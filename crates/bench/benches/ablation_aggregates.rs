@@ -1,0 +1,41 @@
+//! Ablation bench: sensitivity of the n-way join to the aggregate function.
+//!
+//! The paper requires `f` to be monotone and uses MIN as the experimental
+//! default; SUM appears in the introduction's example.  The corner-bound
+//! threshold of the rank join is aggregate-dependent, so the choice affects
+//! how quickly PJ-i can stop pulling pairs.  This bench runs the same
+//! 3-way chain join on the Yeast analogue under every built-in aggregate.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::multiway::{NWayAlgorithm, NWayConfig};
+use dht_core::{Aggregate, QueryGraph};
+use dht_datasets::Scale;
+
+fn bench_aggregate_ablation(c: &mut Criterion) {
+    let dataset = workloads::yeast(Scale::Bench);
+    let sets = workloads::yeast_query_sets(&dataset, 3, 60);
+    let query = QueryGraph::chain(3);
+
+    let mut group = c.benchmark_group("ablation_aggregates");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for aggregate in [Aggregate::Min, Aggregate::Sum, Aggregate::Mean, Aggregate::Max] {
+        let config = NWayConfig::paper_default().with_aggregate(aggregate);
+        group.bench_function(format!("PJi_chain3_{}", aggregate.name()), |b| {
+            b.iter(|| {
+                NWayAlgorithm::IncrementalPartialJoin { m: 50 }
+                    .run(&dataset.graph, &config, &query, &sets)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate_ablation);
+criterion_main!(benches);

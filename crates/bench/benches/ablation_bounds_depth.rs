@@ -1,0 +1,69 @@
+//! Ablation bench: how much do the individual design choices of the best
+//! 2-way join (B-IDJ-Y) contribute?
+//!
+//! * bound ablation — B-BJ (no pruning) vs B-IDJ-X (loose geometric tail) vs
+//!   B-IDJ-Y (Theorem 1 tail), at the paper's default decay and at λ = 0.6
+//!   where the X bound degrades (Section VII-D's discussion of Figure 9(c));
+//! * depth ablation — B-IDJ-Y at walk depths d ∈ {2, 4, 8, 12}: the cost of
+//!   asking for a tighter ε in Lemma 1 (Figure 9(b)'s x-axis re-expressed in
+//!   steps).
+//!
+//! DESIGN.md lists these as the two tunable design choices of the backward
+//! join; this bench quantifies both on the Yeast analogue.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use dht_datasets::Scale;
+use dht_walks::DhtParams;
+
+fn bench_bound_ablation(c: &mut Criterion) {
+    let dataset = workloads::yeast(Scale::Bench);
+    let (p, q) = workloads::link_prediction_sets(&dataset, 60);
+
+    let mut group = c.benchmark_group("ablation_bounds");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for lambda in [0.2f64, 0.6] {
+        let params = DhtParams::dht_lambda(lambda);
+        let d = params.depth_for_epsilon(1e-6).unwrap();
+        let config = TwoWayConfig::new(params, d);
+        for algorithm in [
+            TwoWayAlgorithm::BackwardBasic,
+            TwoWayAlgorithm::BackwardIdjX,
+            TwoWayAlgorithm::BackwardIdjY,
+        ] {
+            group.bench_function(format!("{}_lambda{lambda}", algorithm.name()), |b| {
+                b.iter(|| algorithm.top_k(&dataset.graph, &config, &p, &q, 50))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_depth_ablation(c: &mut Criterion) {
+    let dataset = workloads::yeast(Scale::Bench);
+    let (p, q) = workloads::link_prediction_sets(&dataset, 60);
+    let params = DhtParams::paper_default();
+
+    let mut group = c.benchmark_group("ablation_depth");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for d in [2usize, 4, 8, 12] {
+        let config = TwoWayConfig::new(params, d);
+        group.bench_function(format!("B-IDJ-Y_d{d}"), |b| {
+            b.iter(|| {
+                TwoWayAlgorithm::BackwardIdjY.top_k(&dataset.graph, &config, &p, &q, 50)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_ablation, bench_depth_ablation);
+criterion_main!(benches);

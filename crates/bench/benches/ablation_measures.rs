@@ -1,0 +1,49 @@
+//! Ablation bench: DHT against the alternative proximity measures under the
+//! generic join framework (`dht-measures`), on identical node sets.
+//!
+//! This quantifies the cost side of the extension sketched in the paper's
+//! conclusion: all measures share the bulk per-target evaluation, so their
+//! join costs differ only through the per-column work (first-hit recurrence
+//! for DHT/HT, visit recurrence for PPR, weighted walk counts plus per-source
+//! self-counts for PathSim).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_datasets::Scale;
+use dht_measures::{
+    measure_two_way_top_k, DhtMeasure, PathSim, PersonalizedPageRank, ProximityMeasure,
+    TruncatedHittingTime,
+};
+
+fn bench_measure_ablation(c: &mut Criterion) {
+    // Tiny scale: PathSim's bulk column recomputes per-source self-counts on
+    // every call (it has no per-graph precomputation), which is quadratic-ish
+    // in the node count; the tiny Yeast analogue keeps every measure in the
+    // sub-second range so the comparison stays a micro-benchmark.
+    let dataset = workloads::yeast(Scale::Tiny);
+    let (p, q) = workloads::link_prediction_sets(&dataset, 60);
+
+    let dht = DhtMeasure::paper_default();
+    let ppr = PersonalizedPageRank::default_web();
+    let ht = TruncatedHittingTime::new(8).expect("depth 8 is valid");
+    let pathsim = PathSim::co_occurrence();
+    let measures: Vec<(&str, &dyn ProximityMeasure)> =
+        vec![("DHT", &dht), ("PPR", &ppr), ("HT", &ht), ("PathSim", &pathsim)];
+
+    let mut group = c.benchmark_group("ablation_measures");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for (name, measure) in measures {
+        group.bench_function(format!("generic_twoway_{name}_k50"), |b| {
+            b.iter(|| measure_two_way_top_k(&dataset.graph, measure, &p, &q, 50))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_measure_ablation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 10 (backward 2-way joins on DBLP).
+//!
+//! B-BJ vs B-IDJ-X vs B-IDJ-Y at a small and a large decay factor on the
+//! Criterion-sized DBLP analogue: the X bound degenerates towards B-BJ as λ
+//! grows while the Y bound keeps its advantage.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use dht_walks::DhtParams;
+
+fn bench_fig10(c: &mut Criterion) {
+    let dataset = workloads::dblp_criterion();
+    let (p, q) = workloads::link_prediction_sets(&dataset, 60);
+
+    let mut group = c.benchmark_group("fig10_twoway_dblp");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for lambda in [0.2f64, 0.7] {
+        let params = DhtParams::dht_lambda(lambda);
+        let d = params.depth_for_epsilon(1e-6).unwrap();
+        let config = TwoWayConfig::new(params, d);
+        for algorithm in [
+            TwoWayAlgorithm::BackwardBasic,
+            TwoWayAlgorithm::BackwardIdjX,
+            TwoWayAlgorithm::BackwardIdjY,
+        ] {
+            group.bench_function(format!("{}_lambda{lambda}", algorithm.name()), |b| {
+                b.iter(|| algorithm.top_k(&dataset.graph, &config, &p, &q, 50))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench for Figure 7 (n-way joins on Yeast).
+//!
+//! A representative subset of the figure's sweep: AP vs PJ vs PJ-i on a
+//! 3-way chain, PJ vs PJ-i on a 5-way chain and at a large `k`.  The full
+//! sweep is printed by `cargo run -p dht-bench --release --bin fig7`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::multiway::{NWayAlgorithm, NWayConfig};
+use dht_core::QueryGraph;
+use dht_datasets::Scale;
+
+fn bench_fig7(c: &mut Criterion) {
+    let dataset = workloads::yeast(Scale::Bench);
+    let sets3 = workloads::yeast_query_sets(&dataset, 3, 40);
+    let sets5 = workloads::yeast_query_sets(&dataset, 5, 40);
+    let chain3 = QueryGraph::chain(3);
+    let chain5 = QueryGraph::chain(5);
+    let config = NWayConfig::paper_default();
+
+    let mut group = c.benchmark_group("fig7_nway_yeast");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("AP_n3_chain", |b| {
+        b.iter(|| NWayAlgorithm::AllPairs.run(&dataset.graph, &config, &chain3, &sets3).unwrap())
+    });
+    group.bench_function("PJ_n3_chain_m50", |b| {
+        b.iter(|| {
+            NWayAlgorithm::PartialJoin { m: 50 }
+                .run(&dataset.graph, &config, &chain3, &sets3)
+                .unwrap()
+        })
+    });
+    group.bench_function("PJi_n3_chain_m50", |b| {
+        b.iter(|| {
+            NWayAlgorithm::IncrementalPartialJoin { m: 50 }
+                .run(&dataset.graph, &config, &chain3, &sets3)
+                .unwrap()
+        })
+    });
+    group.bench_function("PJ_n5_chain_m50", |b| {
+        b.iter(|| {
+            NWayAlgorithm::PartialJoin { m: 50 }
+                .run(&dataset.graph, &config, &chain5, &sets5)
+                .unwrap()
+        })
+    });
+    group.bench_function("PJi_n5_chain_m50", |b| {
+        b.iter(|| {
+            NWayAlgorithm::IncrementalPartialJoin { m: 50 }
+                .run(&dataset.graph, &config, &chain5, &sets5)
+                .unwrap()
+        })
+    });
+    let config_k200 = NWayConfig::paper_default().with_k(200);
+    group.bench_function("PJ_n3_chain_k200_m10", |b| {
+        b.iter(|| {
+            NWayAlgorithm::PartialJoin { m: 10 }
+                .run(&dataset.graph, &config_k200, &chain3, &sets3)
+                .unwrap()
+        })
+    });
+    group.bench_function("PJi_n3_chain_k200_m10", |b| {
+        b.iter(|| {
+            NWayAlgorithm::IncrementalPartialJoin { m: 10 }
+                .run(&dataset.graph, &config_k200, &chain3, &sets3)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion bench for Figure 8 (n-way joins on DBLP).
+//!
+//! PJ vs PJ-i on chain query graphs over the reduced Criterion-sized DBLP
+//! analogue.  The full sweep (including the larger bench-scale graph) is
+//! printed by `cargo run -p dht-bench --release --bin fig8`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::multiway::{NWayAlgorithm, NWayConfig};
+use dht_core::QueryGraph;
+
+fn bench_fig8(c: &mut Criterion) {
+    let dataset = workloads::dblp_criterion();
+    let sets3 = workloads::dblp_query_sets(&dataset, 3);
+    let sets4 = workloads::dblp_query_sets(&dataset, 4);
+    let chain3 = QueryGraph::chain(3);
+    let chain4 = QueryGraph::chain(4);
+    let config = NWayConfig::paper_default();
+
+    let mut group = c.benchmark_group("fig8_nway_dblp");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("PJ_n3_chain_m50", |b| {
+        b.iter(|| {
+            NWayAlgorithm::PartialJoin { m: 50 }
+                .run(&dataset.graph, &config, &chain3, &sets3)
+                .unwrap()
+        })
+    });
+    group.bench_function("PJi_n3_chain_m50", |b| {
+        b.iter(|| {
+            NWayAlgorithm::IncrementalPartialJoin { m: 50 }
+                .run(&dataset.graph, &config, &chain3, &sets3)
+                .unwrap()
+        })
+    });
+    group.bench_function("PJ_n4_chain_m50", |b| {
+        b.iter(|| {
+            NWayAlgorithm::PartialJoin { m: 50 }
+                .run(&dataset.graph, &config, &chain4, &sets4)
+                .unwrap()
+        })
+    });
+    group.bench_function("PJi_n4_chain_m50", |b| {
+        b.iter(|| {
+            NWayAlgorithm::IncrementalPartialJoin { m: 50 }
+                .run(&dataset.graph, &config, &chain4, &sets4)
+                .unwrap()
+        })
+    });
+    // a small m relative to k stresses getNextNodePair: the gap between PJ and PJ-i
+    // (the full m sweep, including the extreme m=10 point, lives in `--bin fig8`)
+    let config_k100 = NWayConfig::paper_default().with_k(100);
+    group.bench_function("PJ_n3_chain_k100_m25", |b| {
+        b.iter(|| {
+            NWayAlgorithm::PartialJoin { m: 25 }
+                .run(&dataset.graph, &config_k100, &chain3, &sets3)
+                .unwrap()
+        })
+    });
+    group.bench_function("PJi_n3_chain_k100_m25", |b| {
+        b.iter(|| {
+            NWayAlgorithm::IncrementalPartialJoin { m: 25 }
+                .run(&dataset.graph, &config_k100, &chain3, &sets3)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

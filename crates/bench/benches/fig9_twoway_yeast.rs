@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 9 (2-way join algorithms on Yeast).
+//!
+//! Panel (a) — all five algorithms at the paper defaults — plus the λ = 0.8
+//! point of panel (c) for the backward algorithms.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use dht_datasets::Scale;
+use dht_walks::DhtParams;
+
+fn bench_fig9(c: &mut Criterion) {
+    let dataset = workloads::yeast(Scale::Bench);
+    let (p, q) = workloads::link_prediction_sets(&dataset, 60);
+    let config = TwoWayConfig::paper_default();
+
+    let mut group = c.benchmark_group("fig9_twoway_yeast");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    for algorithm in TwoWayAlgorithm::ALL {
+        group.bench_function(format!("{}_k50", algorithm.name()), |b| {
+            b.iter(|| algorithm.top_k(&dataset.graph, &config, &p, &q, 50))
+        });
+    }
+
+    // panel (c): large decay factor, backward algorithms only
+    let params = DhtParams::dht_lambda(0.8);
+    let d = params.depth_for_epsilon(1e-6).unwrap();
+    let config_hi = TwoWayConfig::new(params, d);
+    for algorithm in [
+        TwoWayAlgorithm::BackwardBasic,
+        TwoWayAlgorithm::BackwardIdjX,
+        TwoWayAlgorithm::BackwardIdjY,
+    ] {
+        group.bench_function(format!("{}_lambda0.8", algorithm.name()), |b| {
+            b.iter(|| algorithm.top_k(&dataset.graph, &config_hi, &p, &q, 50))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (n-way join efficiency on Yeast).
+//! Scale is selected with the `DHT_SCALE` environment variable.
+fn main() {
+    println!("{}", dht_bench::experiments::fig7::run(dht_bench::scale_from_env()));
+}

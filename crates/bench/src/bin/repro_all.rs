@@ -1,0 +1,20 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+//!
+//! Usage:
+//! ```text
+//! DHT_SCALE=bench cargo run -p dht-bench --release --bin repro_all
+//! ```
+//! `DHT_SCALE` can be `tiny` (seconds), `bench` (minutes, the default) or
+//! `full` (paper-scale graphs; the forward baselines then take as long as
+//! they did for the authors).
+fn main() {
+    let scale = dht_bench::scale_from_env();
+    eprintln!("running all experiments at scale '{}'", scale.name());
+    println!("{}", dht_bench::experiments::table3::run(scale));
+    println!("{}", dht_bench::experiments::table4::run(scale));
+    println!("{}", dht_bench::experiments::fig6::run(scale));
+    println!("{}", dht_bench::experiments::fig7::run(scale));
+    println!("{}", dht_bench::experiments::fig8::run(scale));
+    println!("{}", dht_bench::experiments::fig9::run(scale));
+    println!("{}", dht_bench::experiments::fig10::run(scale));
+}

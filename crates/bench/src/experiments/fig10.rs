@@ -1,0 +1,98 @@
+//! Figure 10 — 2-way joins on DBLP.
+//!
+//! (a) running time of the backward algorithms as a function of the decay
+//! factor λ (the `X` bound degenerates towards B-BJ as λ grows, the `Y`
+//! bound does not); (b) the fraction of `Q` pruned in each of the first four
+//! iterations of B-IDJ-X vs B-IDJ-Y at λ = 0.7.
+
+use dht_core::twoway::{bidj, BoundKind, TwoWayAlgorithm, TwoWayConfig};
+use dht_datasets::Scale;
+use dht_eval::report;
+use dht_walks::DhtParams;
+
+use crate::{timing, workloads};
+
+fn set_cap(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 25,
+        _ => 100,
+    }
+}
+
+/// Runs both panels of Figure 10 and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let dataset = workloads::dblp(scale);
+    let cap = set_cap(scale);
+    let (p, q) = workloads::link_prediction_sets(&dataset, cap);
+    let mut out = String::new();
+    out.push_str(&report::heading("Figure 10 — 2-way join on DBLP"));
+    out.push_str(&format!(
+        "{}\nP = {} ({} nodes), Q = {} ({} nodes), k = 50\n",
+        dataset.summary(),
+        p.name(),
+        p.len(),
+        q.name(),
+        q.len()
+    ));
+
+    // (a) running time vs λ for the backward algorithms.
+    let lambdas: &[f64] = if scale == Scale::Tiny { &[0.2, 0.5, 0.8] } else { &[0.2, 0.4, 0.6, 0.8] };
+    let mut rows = Vec::new();
+    for &lambda in lambdas {
+        let params = DhtParams::dht_lambda(lambda);
+        let d = params.depth_for_epsilon(1e-6).expect("valid epsilon");
+        let config = TwoWayConfig::new(params, d);
+        let mut row = vec![format!("{lambda:.1} (d={d})")];
+        for algorithm in [
+            TwoWayAlgorithm::BackwardBasic,
+            TwoWayAlgorithm::BackwardIdjX,
+            TwoWayAlgorithm::BackwardIdjY,
+        ] {
+            let (_, elapsed) =
+                timing::time(|| algorithm.top_k(&dataset.graph, &config, &p, &q, 50));
+            row.push(format!("{:.4}", elapsed.as_secs_f64()));
+        }
+        rows.push(row);
+    }
+    out.push_str(&format!(
+        "\n(a) running time (sec) vs λ\n{}",
+        report::format_table(&["lambda", "B-BJ", "B-IDJ-X", "B-IDJ-Y"], &rows)
+    ));
+
+    // (b) % of Q pruned per iteration at λ = 0.7.
+    let params = DhtParams::dht_lambda(0.7);
+    let d = params.depth_for_epsilon(1e-6).expect("valid epsilon");
+    let config = TwoWayConfig::new(params, d);
+    let x = bidj::top_k(&dataset.graph, &config, &p, &q, 50, BoundKind::X, None);
+    let y = bidj::top_k(&dataset.graph, &config, &p, &q, 50, BoundKind::Y, None);
+    let x_frac = x.stats.pruned_fraction_per_iteration();
+    let y_frac = y.stats.pruned_fraction_per_iteration();
+    let mut rows = Vec::new();
+    for iteration in 0..4 {
+        let fmt = |fractions: &[f64]| {
+            fractions
+                .get(iteration)
+                .map(|f| format!("{:.1}", f * 100.0))
+                .unwrap_or_else(|| "100.0".to_string())
+        };
+        rows.push(vec![(iteration + 1).to_string(), fmt(&x_frac), fmt(&y_frac)]);
+    }
+    out.push_str(&format!(
+        "\n(b) nodes pruned from Q (%) per iteration, λ = 0.7 (d = {d})\n{}",
+        report::format_table(&["iteration", "B-IDJ-X", "B-IDJ-Y"], &rows)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_report_contains_both_panels() {
+        let report = run(Scale::Tiny);
+        assert!(report.contains("(a) running time"));
+        assert!(report.contains("(b) nodes pruned"));
+        assert!(report.contains("B-IDJ-Y"));
+    }
+}

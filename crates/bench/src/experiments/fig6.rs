@@ -1,0 +1,105 @@
+//! Figure 6 — effectiveness of the 2-way join for link prediction.
+//!
+//! (a) ROC curves of the 2-way join link predictor on the three datasets;
+//! (b) AUC as a function of the decay factor λ on Yeast, for `DHT_λ` and
+//! `DHT_e` (the latter has no free λ, so it appears as a constant series, as
+//! in the paper).
+
+use dht_datasets::split::link_prediction_split;
+use dht_datasets::{Dataset, Scale};
+use dht_eval::{linkpred, report};
+use dht_walks::DhtParams;
+
+use crate::workloads;
+
+fn set_cap(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 40,
+        _ => 200,
+    }
+}
+
+fn removal_fraction(dataset: &Dataset) -> f64 {
+    // DBLP's paper split is temporal ("edges before 2010"), approximated
+    // here by removing 30% of the cross-set edges; Yeast and YouTube remove
+    // half, as in the paper.
+    if dataset.name == "dblp" {
+        0.3
+    } else {
+        0.5
+    }
+}
+
+/// Runs both panels of Figure 6 and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let cap = set_cap(scale);
+    let mut out = String::new();
+    out.push_str(&report::heading("Figure 6 — link prediction with 2-way joins"));
+
+    // (a) ROC curves per dataset.
+    out.push_str("\n(a) ROC curve samples (TPR at selected FPR levels)\n");
+    let mut rows = Vec::new();
+    let datasets = [workloads::yeast(scale), workloads::dblp(scale), workloads::youtube(scale)];
+    for dataset in &datasets {
+        let (p, q) = workloads::link_prediction_sets(dataset, cap);
+        let split = link_prediction_split(&dataset.graph, &p, &q, removal_fraction(dataset), 2014)
+            .expect("split of a generated dataset cannot fail");
+        let params = DhtParams::paper_default();
+        let result = linkpred::evaluate(&dataset.graph, &split.test_graph, &p, &q, &params, 8);
+        let mut row = vec![dataset.name.clone()];
+        for fpr in [0.05f64, 0.1, 0.2, 0.5] {
+            row.push(report::rate(result.roc.tpr_at_fpr(fpr)));
+        }
+        row.push(report::rate(result.auc()));
+        row.push(format!("{}", result.positives));
+        rows.push(row);
+    }
+    out.push_str(&report::format_table(
+        &["dataset", "TPR@0.05", "TPR@0.1", "TPR@0.2", "TPR@0.5", "AUC", "positives"],
+        &rows,
+    ));
+
+    // (b) AUC vs λ on Yeast for DHT_λ and DHT_e.
+    let yeast = &datasets[0];
+    let (p, q) = workloads::link_prediction_sets(yeast, cap);
+    let split = link_prediction_split(&yeast.graph, &p, &q, 0.5, 2014)
+        .expect("split of a generated dataset cannot fail");
+    let dht_e = DhtParams::dht_e();
+    let d_e = dht_e.depth_for_epsilon(1e-6).expect("valid epsilon");
+    let auc_e =
+        linkpred::evaluate(&yeast.graph, &split.test_graph, &p, &q, &dht_e, d_e).auc();
+    let mut rows = Vec::new();
+    let lambdas: &[f64] =
+        if scale == Scale::Tiny { &[0.2, 0.6] } else { &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] };
+    for &lambda in lambdas {
+        let params = DhtParams::dht_lambda(lambda);
+        let d = params.depth_for_epsilon(1e-6).expect("valid epsilon");
+        let auc_lambda =
+            linkpred::evaluate(&yeast.graph, &split.test_graph, &p, &q, &params, d).auc();
+        rows.push(vec![
+            format!("{lambda:.1}"),
+            report::rate(auc_lambda),
+            report::rate(auc_e),
+        ]);
+    }
+    out.push_str(&format!(
+        "\n(b) AUC vs λ on Yeast\n{}",
+        report::format_table(&["lambda", "DHT_lambda", "DHT_e"], &rows)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_report_lists_all_three_datasets() {
+        let report = run(Scale::Tiny);
+        assert!(report.contains("yeast"));
+        assert!(report.contains("dblp"));
+        assert!(report.contains("youtube"));
+        assert!(report.contains("AUC"));
+        assert!(report.contains("DHT_e"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 7 — efficiency of the n-way join algorithms on Yeast.
+//!
+//! Four sweeps: (a) running time vs `n` for NL / AP / PJ / PJ-i on chain
+//! query graphs, (b) vs `|E_Q|` with three node sets, (c) vs `k`, (d) vs `m`.
+//! NL is only executed where it terminates in reasonable time (the paper
+//! makes the same cut at `n ≥ 3`), and AP — whose inner join is the paper's
+//! F-BJ — is bounded to the configurations where the full forward
+//! computation stays within the harness budget.
+
+use dht_core::multiway::{NWayAlgorithm, NWayConfig};
+use dht_core::QueryGraph;
+use dht_datasets::{Dataset, Scale};
+use dht_eval::report;
+
+use crate::workloads;
+
+use super::{three_set_query_with_edges, time_nway};
+
+/// Default `m` (and `k`) of the paper's experiments.
+const DEFAULT_M: usize = 50;
+
+fn set_cap(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 20,
+        _ => 60,
+    }
+}
+
+fn na() -> String {
+    "-".to_string()
+}
+
+/// Runs the four sweeps of Figure 7 and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let dataset = workloads::yeast(scale);
+    let cap = set_cap(scale);
+    let mut out = String::new();
+    out.push_str(&report::heading("Figure 7 — n-way join on Yeast (chain query graphs)"));
+    out.push_str(&format!("{}\n", dataset.summary()));
+    out.push_str(&format!("node sets capped at {cap} members; k = m = {DEFAULT_M}; MIN aggregate\n"));
+
+    out.push_str(&fig7a(&dataset, scale, cap));
+    out.push_str(&fig7b(&dataset, scale, cap));
+    out.push_str(&fig7c(&dataset, cap));
+    out.push_str(&fig7d(&dataset, cap));
+    out
+}
+
+/// (a) running time vs n.
+fn fig7a(dataset: &Dataset, scale: Scale, cap: usize) -> String {
+    let config = NWayConfig::paper_default();
+    let mut rows = Vec::new();
+    let max_n = if scale == Scale::Tiny { 4 } else { 7 };
+    for n in 2..=max_n {
+        let sets = workloads::yeast_query_sets(dataset, n, cap);
+        let query = QueryGraph::chain(n);
+        let nl = if n <= 2 {
+            let (secs, _) = time_nway(dataset, NWayAlgorithm::NestedLoop, &config, &query, &sets);
+            format!("{secs:.3}")
+        } else {
+            na() // the paper: NL "cannot complete in a reasonable time at n >= 3"
+        };
+        let ap = if n <= 4 || scale == Scale::Tiny {
+            let (secs, _) = time_nway(dataset, NWayAlgorithm::AllPairs, &config, &query, &sets);
+            format!("{secs:.3}")
+        } else {
+            na()
+        };
+        let (pj, _) =
+            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pji, _) = time_nway(
+            dataset,
+            NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
+        rows.push(vec![n.to_string(), nl, ap, format!("{pj:.3}"), format!("{pji:.3}")]);
+    }
+    format!(
+        "\n(a) running time (sec) vs n\n{}",
+        report::format_table(&["n", "NL", "AP", "PJ", "PJ-i"], &rows)
+    )
+}
+
+/// (b) running time vs |E_Q| over three node sets.
+fn fig7b(dataset: &Dataset, scale: Scale, cap: usize) -> String {
+    let config = NWayConfig::paper_default();
+    let sets = workloads::yeast_query_sets(dataset, 3, cap);
+    let mut rows = Vec::new();
+    for edges in 2..=6 {
+        let query = three_set_query_with_edges(edges);
+        let ap = if edges <= 3 || scale == Scale::Tiny {
+            let (secs, _) = time_nway(dataset, NWayAlgorithm::AllPairs, &config, &query, &sets);
+            format!("{secs:.3}")
+        } else {
+            na()
+        };
+        let (pj, _) =
+            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pji, _) = time_nway(
+            dataset,
+            NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
+        rows.push(vec![edges.to_string(), ap, format!("{pj:.3}"), format!("{pji:.3}")]);
+    }
+    format!(
+        "\n(b) running time (sec) vs |EQ| (3 node sets)\n{}",
+        report::format_table(&["|EQ|", "AP", "PJ", "PJ-i"], &rows)
+    )
+}
+
+/// (c) running time vs k on a 3-way chain.
+fn fig7c(dataset: &Dataset, cap: usize) -> String {
+    let sets = workloads::yeast_query_sets(dataset, 3, cap);
+    let query = QueryGraph::chain(3);
+    let mut rows = Vec::new();
+    for k in [10usize, 50, 100, 200] {
+        let config = NWayConfig::paper_default().with_k(k);
+        let (pj, _) =
+            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pji, _) = time_nway(
+            dataset,
+            NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
+        rows.push(vec![k.to_string(), format!("{pj:.3}"), format!("{pji:.3}")]);
+    }
+    format!(
+        "\n(c) running time (sec) vs k (3-way chain, m = {DEFAULT_M})\n{}",
+        report::format_table(&["k", "PJ", "PJ-i"], &rows)
+    )
+}
+
+/// (d) running time vs m on a 3-way chain.
+fn fig7d(dataset: &Dataset, cap: usize) -> String {
+    let sets = workloads::yeast_query_sets(dataset, 3, cap);
+    let query = QueryGraph::chain(3);
+    let config = NWayConfig::paper_default();
+    let mut rows = Vec::new();
+    for m in [10usize, 20, 50, 100, 200, 500] {
+        let (pj, _) = time_nway(dataset, NWayAlgorithm::PartialJoin { m }, &config, &query, &sets);
+        let (pji, _) = time_nway(
+            dataset,
+            NWayAlgorithm::IncrementalPartialJoin { m },
+            &config,
+            &query,
+            &sets,
+        );
+        rows.push(vec![m.to_string(), format!("{pj:.3}"), format!("{pji:.3}")]);
+    }
+    format!(
+        "\n(d) running time (sec) vs m (3-way chain, k = 50)\n{}",
+        report::format_table(&["m", "PJ", "PJ-i"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_report_contains_all_four_panels() {
+        let report = run(Scale::Tiny);
+        assert!(report.contains("(a) running time"));
+        assert!(report.contains("(b) running time"));
+        assert!(report.contains("(c) running time"));
+        assert!(report.contains("(d) running time"));
+        assert!(report.contains("PJ-i"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Figure 9 — efficiency of the 2-way join algorithms on Yeast.
+//!
+//! Four panels: (a) all five algorithms at the default configuration,
+//! (b) the backward algorithms vs the accuracy bound ε (which sets the walk
+//! depth `d` through Lemma 1), (c) vs the decay factor λ, (d) vs `k`.
+
+use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use dht_datasets::{Dataset, Scale};
+use dht_eval::report;
+use dht_graph::NodeSet;
+use dht_walks::DhtParams;
+
+use crate::{timing, workloads};
+
+const BACKWARD: [TwoWayAlgorithm; 3] = [
+    TwoWayAlgorithm::BackwardBasic,
+    TwoWayAlgorithm::BackwardIdjX,
+    TwoWayAlgorithm::BackwardIdjY,
+];
+
+fn set_cap(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 25,
+        _ => 100,
+    }
+}
+
+fn time_two_way(
+    dataset: &Dataset,
+    algorithm: TwoWayAlgorithm,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+) -> f64 {
+    let (_, elapsed) = timing::time(|| algorithm.top_k(&dataset.graph, config, p, q, k));
+    elapsed.as_secs_f64()
+}
+
+/// Runs the four panels of Figure 9 and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let dataset = workloads::yeast(scale);
+    let cap = set_cap(scale);
+    let (p, q) = workloads::link_prediction_sets(&dataset, cap);
+    let mut out = String::new();
+    out.push_str(&report::heading("Figure 9 — 2-way join on Yeast"));
+    out.push_str(&format!(
+        "{}\nP = {} ({} nodes), Q = {} ({} nodes), k = 50\n",
+        dataset.summary(),
+        p.name(),
+        p.len(),
+        q.name(),
+        q.len()
+    ));
+
+    // (a) all five algorithms at the paper defaults.
+    let config = TwoWayConfig::paper_default();
+    let mut rows = Vec::new();
+    for algorithm in TwoWayAlgorithm::ALL {
+        let secs = time_two_way(&dataset, algorithm, &config, &p, &q, 50);
+        rows.push(vec![algorithm.name().to_string(), format!("{secs:.4}")]);
+    }
+    out.push_str(&format!(
+        "\n(a) running time (sec) per algorithm (λ = 0.2, ε = 1e-6)\n{}",
+        report::format_table(&["algorithm", "time (s)"], &rows)
+    ));
+
+    // (b) backward algorithms vs ε.
+    let mut rows = Vec::new();
+    for exp in [3i32, 4, 5, 6, 7, 8] {
+        let epsilon = 10f64.powi(-exp);
+        let params = DhtParams::paper_default();
+        let d = params.depth_for_epsilon(epsilon).expect("valid epsilon");
+        let config = TwoWayConfig::new(params, d);
+        let mut row = vec![format!("1e-{exp} (d={d})")];
+        for algorithm in BACKWARD {
+            row.push(format!("{:.4}", time_two_way(&dataset, algorithm, &config, &p, &q, 50)));
+        }
+        rows.push(row);
+    }
+    out.push_str(&format!(
+        "\n(b) running time (sec) vs ε\n{}",
+        report::format_table(&["epsilon", "B-BJ", "B-IDJ-X", "B-IDJ-Y"], &rows)
+    ));
+
+    // (c) backward algorithms vs λ.
+    let mut rows = Vec::new();
+    for lambda in [0.2f64, 0.4, 0.6, 0.8] {
+        let params = DhtParams::dht_lambda(lambda);
+        let d = params.depth_for_epsilon(1e-6).expect("valid epsilon");
+        let config = TwoWayConfig::new(params, d);
+        let mut row = vec![format!("{lambda:.1} (d={d})")];
+        for algorithm in BACKWARD {
+            row.push(format!("{:.4}", time_two_way(&dataset, algorithm, &config, &p, &q, 50)));
+        }
+        rows.push(row);
+    }
+    out.push_str(&format!(
+        "\n(c) running time (sec) vs λ\n{}",
+        report::format_table(&["lambda", "B-BJ", "B-IDJ-X", "B-IDJ-Y"], &rows)
+    ));
+
+    // (d) backward algorithms vs k.
+    let config = TwoWayConfig::paper_default();
+    let mut rows = Vec::new();
+    for k in [10usize, 20, 50, 75, 100] {
+        let mut row = vec![k.to_string()];
+        for algorithm in BACKWARD {
+            row.push(format!("{:.4}", time_two_way(&dataset, algorithm, &config, &p, &q, k)));
+        }
+        rows.push(row);
+    }
+    out.push_str(&format!(
+        "\n(d) running time (sec) vs k\n{}",
+        report::format_table(&["k", "B-BJ", "B-IDJ-X", "B-IDJ-Y"], &rows)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_report_contains_all_panels_and_algorithms() {
+        let report = run(Scale::Tiny);
+        for needle in ["(a)", "(b)", "(c)", "(d)", "F-BJ", "F-IDJ", "B-BJ", "B-IDJ-X", "B-IDJ-Y"] {
+            assert!(report.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Table IV — AUC scores for link prediction and 3-clique prediction on the
+//! three datasets.
+
+use dht_core::Aggregate;
+use dht_datasets::split::{clique_prediction_split, link_prediction_split};
+use dht_datasets::{Dataset, Scale};
+use dht_eval::{cliquepred, linkpred, report};
+use dht_walks::DhtParams;
+
+use crate::workloads;
+
+fn link_cap(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 40,
+        _ => 200,
+    }
+}
+
+fn clique_cap(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 40,
+        _ => 150,
+    }
+}
+
+fn link_auc(dataset: &Dataset, scale: Scale) -> f64 {
+    let (p, q) = workloads::link_prediction_sets(dataset, link_cap(scale));
+    let fraction = if dataset.name == "dblp" { 0.3 } else { 0.5 };
+    let split = link_prediction_split(&dataset.graph, &p, &q, fraction, 2014)
+        .expect("split of a generated dataset cannot fail");
+    let params = DhtParams::paper_default();
+    linkpred::evaluate(&dataset.graph, &split.test_graph, &p, &q, &params, 8).auc()
+}
+
+fn clique_auc(dataset: &Dataset, scale: Scale) -> Option<f64> {
+    let (p, q, r) = workloads::clique_prediction_sets(dataset, clique_cap(scale));
+    let split = clique_prediction_split(&dataset.graph, &p, &q, &r, 2014)
+        .expect("split of a generated dataset cannot fail");
+    if split.cliques.is_empty() {
+        return None;
+    }
+    let params = DhtParams::paper_default();
+    let result = cliquepred::evaluate(
+        &dataset.graph,
+        &split.test_graph,
+        &p,
+        &q,
+        &r,
+        &params,
+        8,
+        Aggregate::Min,
+    );
+    if result.positives == 0 || result.negatives == 0 {
+        None
+    } else {
+        Some(result.auc())
+    }
+}
+
+/// Runs the Table IV experiment and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let mut out = String::new();
+    out.push_str(&report::heading("Table IV — AUC for link- and 3-clique-prediction"));
+    let datasets = [workloads::yeast(scale), workloads::dblp(scale), workloads::youtube(scale)];
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        let link = link_auc(dataset, scale);
+        let clique = clique_auc(dataset, scale)
+            .map(report::rate)
+            .unwrap_or_else(|| "n/a (no spanning 3-cliques)".to_string());
+        rows.push(vec![dataset.name.clone(), report::rate(link), clique]);
+    }
+    out.push_str(&report::format_table(&["dataset", "link-prediction", "3-clique-prediction"], &rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_report_lists_every_dataset_with_an_auc() {
+        let report = run(Scale::Tiny);
+        for needle in ["yeast", "dblp", "youtube", "link-prediction", "3-clique-prediction"] {
+            assert!(report.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn link_prediction_auc_beats_chance_on_tiny_yeast() {
+        let dataset = workloads::yeast(Scale::Tiny);
+        let auc = link_auc(&dataset, Scale::Tiny);
+        assert!(auc > 0.55, "AUC {auc} is not better than chance");
+    }
+}

@@ -1,0 +1,43 @@
+//! # dht-bench
+//!
+//! The benchmark and experiment harness that regenerates every table and
+//! figure of the paper's evaluation (Section VII).  Each experiment is a
+//! library function returning the formatted report, so it can be invoked
+//! from its dedicated binary (`cargo run -p dht-bench --release --bin fig7`),
+//! from the combined `repro_all` binary, or asserted on by tests.
+//!
+//! | paper artefact | module | binary |
+//! |---|---|---|
+//! | Table III (top-5 3-way joins on DBLP) | [`experiments::table3`] | `table3` |
+//! | Table IV (link / 3-clique prediction AUC) | [`experiments::table4`] | `table4` |
+//! | Figure 6 (ROC curves, AUC vs λ) | [`experiments::fig6`] | `fig6` |
+//! | Figure 7 (n-way joins on Yeast) | [`experiments::fig7`] | `fig7` |
+//! | Figure 8 (n-way joins on DBLP) | [`experiments::fig8`] | `fig8` |
+//! | Figure 9 (2-way joins on Yeast) | [`experiments::fig9`] | `fig9` |
+//! | Figure 10 (2-way joins on DBLP) | [`experiments::fig10`] | `fig10` |
+//!
+//! Criterion benches (`cargo bench -p dht-bench`) cover the timing figures
+//! with a representative subset of each sweep so that a full `cargo bench`
+//! stays laptop-sized; the binaries print the complete sweeps.
+//!
+//! The experiment scale is chosen with the `DHT_SCALE` environment variable
+//! (`tiny`, `bench` — the default, or `full`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod timing;
+pub mod workloads;
+
+use dht_datasets::Scale;
+
+/// Reads the experiment scale from the `DHT_SCALE` environment variable
+/// (default: [`Scale::Bench`]).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("DHT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "tiny" => Scale::Tiny,
+        "full" => Scale::Full,
+        _ => Scale::Bench,
+    }
+}

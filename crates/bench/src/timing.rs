@@ -1,0 +1,45 @@
+//! Wall-clock timing helpers used by the figure harnesses.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its result together with the elapsed wall-clock
+/// time.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Runs `f` `runs` times (the paper averages over 10 runs) and returns the
+/// last result with the mean duration.
+pub fn time_avg<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let runs = runs.max(1);
+    let start = Instant::now();
+    let mut last = f();
+    for _ in 1..runs {
+        last = f();
+    }
+    (last, start.elapsed() / runs as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let (value, elapsed) = time(|| 2 + 2);
+        assert_eq!(value, 4);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn time_avg_runs_the_requested_number_of_times() {
+        let mut count = 0;
+        let (_, _) = time_avg(5, || count += 1);
+        assert_eq!(count, 5);
+        let mut count = 0;
+        let (_, _) = time_avg(0, || count += 1);
+        assert_eq!(count, 1, "at least one run");
+    }
+}

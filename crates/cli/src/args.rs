@@ -1,0 +1,173 @@
+//! A minimal `--key value` argument parser.
+//!
+//! The workspace deliberately avoids an external CLI dependency (DESIGN.md
+//! lists the allowed crates); the option grammar here is small enough that a
+//! hand-rolled parser is clearer than a dependency:
+//!
+//! * every option is `--name value`;
+//! * options may repeat (`--set A --set B` keeps both, in order);
+//! * `--help` is recognised without a value;
+//! * anything not starting with `--` is a positional argument.
+
+use crate::{CliError, Result};
+
+/// Parsed arguments of one sub-command.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArgMap {
+    options: Vec<(String, String)>,
+    positional: Vec<String>,
+    help: bool,
+}
+
+impl ArgMap {
+    /// Parses an argument slice (without the program / command names).
+    pub fn parse(args: &[String]) -> Result<Self> {
+        let mut map = ArgMap::default();
+        let mut iter = args.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if arg == "--help" || arg == "-h" {
+                map.help = true;
+                continue;
+            }
+            if let Some(name) = arg.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(CliError::Usage("empty option name '--'".into()));
+                }
+                let Some(value) = iter.next() else {
+                    return Err(CliError::Usage(format!("option '--{name}' expects a value")));
+                };
+                map.options.push((name.to_string(), value.clone()));
+            } else {
+                map.positional.push(arg.clone());
+            }
+        }
+        Ok(map)
+    }
+
+    /// Whether `--help` was given.
+    pub fn wants_help(&self) -> bool {
+        self.help
+    }
+
+    /// The positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Last value of a possibly repeated option, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeated option, in the order given.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Required option: error mentioning the option name when missing.
+    pub fn require(&self, name: &str) -> Result<&str> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required option '--{name}'")))
+    }
+
+    /// Optional option parsed into `T`, with a default when absent.
+    pub fn get_parsed_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                CliError::Parse(format!("option '--{name}' has an invalid value '{raw}'"))
+            }),
+        }
+    }
+
+    /// Names of options that were supplied but are not in `known`; used by
+    /// the sub-commands to reject typos instead of silently ignoring them.
+    pub fn unknown_options(&self, known: &[&str]) -> Vec<String> {
+        let mut unknown: Vec<String> = self
+            .options
+            .iter()
+            .map(|(n, _)| n.clone())
+            .filter(|n| !known.contains(&n.as_str()))
+            .collect();
+        unknown.dedup();
+        unknown
+    }
+
+    /// Convenience wrapper turning leftover unknown options into an error.
+    pub fn reject_unknown(&self, known: &[&str]) -> Result<()> {
+        let unknown = self.unknown_options(known);
+        if unknown.is_empty() {
+            Ok(())
+        } else {
+            Err(CliError::Usage(format!("unknown option(s): --{}", unknown.join(", --"))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options_and_positionals() {
+        let m = ArgMap::parse(&argv(&["--k", "10", "input.tsv", "--name", "x"])).unwrap();
+        assert_eq!(m.get("k"), Some("10"));
+        assert_eq!(m.get("name"), Some("x"));
+        assert_eq!(m.positional(), &["input.tsv".to_string()]);
+        assert!(!m.wants_help());
+    }
+
+    #[test]
+    fn repeated_options_keep_every_value_in_order() {
+        let m = ArgMap::parse(&argv(&["--set", "A", "--set", "B", "--set", "C"])).unwrap();
+        assert_eq!(m.get_all("set"), vec!["A", "B", "C"]);
+        // `get` returns the last occurrence
+        assert_eq!(m.get("set"), Some("C"));
+    }
+
+    #[test]
+    fn missing_value_and_empty_name_are_errors() {
+        assert!(ArgMap::parse(&argv(&["--k"])).is_err());
+        assert!(ArgMap::parse(&argv(&["--", "x"])).is_err());
+    }
+
+    #[test]
+    fn help_flag_needs_no_value() {
+        let m = ArgMap::parse(&argv(&["--help"])).unwrap();
+        assert!(m.wants_help());
+        let m = ArgMap::parse(&argv(&["-h", "--k", "3"])).unwrap();
+        assert!(m.wants_help());
+        assert_eq!(m.get("k"), Some("3"));
+    }
+
+    #[test]
+    fn require_and_parsed_defaults() {
+        let m = ArgMap::parse(&argv(&["--k", "7"])).unwrap();
+        assert_eq!(m.require("k").unwrap(), "7");
+        assert!(m.require("graph").is_err());
+        assert_eq!(m.get_parsed_or("k", 50usize).unwrap(), 7);
+        assert_eq!(m.get_parsed_or("m", 50usize).unwrap(), 50);
+        let bad = ArgMap::parse(&argv(&["--k", "seven"])).unwrap();
+        assert!(bad.get_parsed_or("k", 1usize).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_detected() {
+        let m = ArgMap::parse(&argv(&["--k", "7", "--krak", "9"])).unwrap();
+        assert_eq!(m.unknown_options(&["k"]), vec!["krak".to_string()]);
+        assert!(m.reject_unknown(&["k"]).is_err());
+        assert!(m.reject_unknown(&["k", "krak"]).is_ok());
+    }
+}

@@ -1,0 +1,133 @@
+//! Sub-command implementations and the option-parsing helpers they share.
+
+pub mod generate;
+pub mod linkpred;
+pub mod nway;
+pub mod stats;
+pub mod twoway;
+
+use dht_core::twoway::TwoWayAlgorithm;
+use dht_core::Aggregate;
+use dht_graph::Graph;
+use dht_walks::DhtParams;
+
+use crate::{CliError, Result};
+
+/// Loads a graph from `--graph <path>`.
+pub(crate) fn load_graph(args: &crate::ArgMap) -> Result<Graph> {
+    let path = args.require("graph")?;
+    dht_graph::io::read_edge_list_file(path).map_err(CliError::from)
+}
+
+/// Parses the shared DHT options `--variant`, `--lambda` and `--epsilon`
+/// into parameters plus the Lemma-1 walk depth.
+pub(crate) fn dht_options(args: &crate::ArgMap) -> Result<(DhtParams, usize)> {
+    let variant = args.get("variant").unwrap_or("lambda");
+    let lambda: f64 = args.get_parsed_or("lambda", 0.2)?;
+    let epsilon: f64 = args.get_parsed_or("epsilon", 1e-6)?;
+    let params = match variant {
+        "lambda" | "dht-lambda" => DhtParams::try_dht_lambda(lambda)
+            .map_err(|e| CliError::Parse(format!("invalid --lambda: {e}")))?,
+        "e" | "dht-e" => DhtParams::dht_e(),
+        other => {
+            return Err(CliError::Parse(format!(
+                "unknown DHT variant '{other}' (expected 'lambda' or 'e')"
+            )))
+        }
+    };
+    let depth = params
+        .depth_for_epsilon(epsilon)
+        .map_err(|e| CliError::Parse(format!("invalid --epsilon: {e}")))?;
+    Ok((params, depth))
+}
+
+/// Parses `--algorithm` into one of the five 2-way join algorithms.
+pub(crate) fn parse_two_way_algorithm(name: &str) -> Result<TwoWayAlgorithm> {
+    let normalized = name.to_ascii_lowercase();
+    let algo = match normalized.as_str() {
+        "f-bj" | "fbj" => TwoWayAlgorithm::ForwardBasic,
+        "f-idj" | "fidj" => TwoWayAlgorithm::ForwardIdj,
+        "b-bj" | "bbj" => TwoWayAlgorithm::BackwardBasic,
+        "b-idj-x" | "bidjx" => TwoWayAlgorithm::BackwardIdjX,
+        "b-idj-y" | "bidjy" => TwoWayAlgorithm::BackwardIdjY,
+        _ => {
+            return Err(CliError::Parse(format!(
+                "unknown 2-way algorithm '{name}' (expected F-BJ, F-IDJ, B-BJ, B-IDJ-X or B-IDJ-Y)"
+            )))
+        }
+    };
+    Ok(algo)
+}
+
+/// Parses `--aggregate` into a monotone aggregate.
+pub(crate) fn parse_aggregate(name: &str) -> Result<Aggregate> {
+    match name.to_ascii_lowercase().as_str() {
+        "min" => Ok(Aggregate::Min),
+        "max" => Ok(Aggregate::Max),
+        "sum" => Ok(Aggregate::Sum),
+        "mean" | "avg" => Ok(Aggregate::Mean),
+        _ => Err(CliError::Parse(format!(
+            "unknown aggregate '{name}' (expected min, max, sum or mean)"
+        ))),
+    }
+}
+
+/// Renders a two-column-ish ranking table used by both join commands.
+pub(crate) fn format_ranking<I: IntoIterator<Item = (String, f64)>>(rows: I) -> String {
+    let mut out = String::from("rank  score        answer\n");
+    for (i, (answer, score)) in rows.into_iter().enumerate() {
+        out.push_str(&format!("{:>4}  {:<11.6}  {}\n", i + 1, score, answer));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArgMap;
+
+    fn argmap(parts: &[&str]) -> ArgMap {
+        ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn dht_options_defaults_match_the_paper() {
+        let (params, depth) = dht_options(&argmap(&[])).unwrap();
+        assert!((params.lambda - 0.2).abs() < 1e-12);
+        assert_eq!(depth, 8);
+    }
+
+    #[test]
+    fn dht_options_parse_variant_and_lambda() {
+        let (params, _) = dht_options(&argmap(&["--variant", "e"])).unwrap();
+        assert!((params.lambda - (1.0 / std::f64::consts::E)).abs() < 1e-12);
+        let (params, depth) =
+            dht_options(&argmap(&["--lambda", "0.5", "--epsilon", "0.001"])).unwrap();
+        assert!((params.lambda - 0.5).abs() < 1e-12);
+        assert!(depth >= 1);
+        assert!(dht_options(&argmap(&["--variant", "zeta"])).is_err());
+        assert!(dht_options(&argmap(&["--lambda", "1.5"])).is_err());
+        assert!(dht_options(&argmap(&["--epsilon", "-1"])).is_err());
+    }
+
+    #[test]
+    fn algorithm_names_are_case_insensitive() {
+        assert_eq!(parse_two_way_algorithm("B-IDJ-Y").unwrap(), TwoWayAlgorithm::BackwardIdjY);
+        assert_eq!(parse_two_way_algorithm("fbj").unwrap(), TwoWayAlgorithm::ForwardBasic);
+        assert!(parse_two_way_algorithm("quantum").is_err());
+    }
+
+    #[test]
+    fn aggregates_parse() {
+        assert_eq!(parse_aggregate("MIN").unwrap(), Aggregate::Min);
+        assert_eq!(parse_aggregate("avg").unwrap(), Aggregate::Mean);
+        assert!(parse_aggregate("median").is_err());
+    }
+
+    #[test]
+    fn ranking_table_has_one_line_per_row() {
+        let table = format_ranking(vec![("(a, b)".to_string(), 0.5), ("(c, d)".to_string(), 0.25)]);
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("(c, d)"));
+    }
+}

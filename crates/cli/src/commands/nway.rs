@@ -1,0 +1,249 @@
+//! `dht nway` — top-k n-way join over a query graph of node sets.
+
+use dht_core::multiway::{NWayAlgorithm, NWayConfig};
+use dht_core::{Answer, QueryGraph};
+use dht_graph::{Graph, NodeSet};
+use dht_measures::{measure_nway_top_k, PersonalizedPageRank, TruncatedHittingTime};
+
+use crate::{setsfile, ArgMap, CliError, Result};
+
+const HELP: &str = "\
+dht nway — top-k n-way join over a query graph of node sets
+
+The node sets participating in the join are given with repeated --set
+options; their order defines the query-graph vertices R_1 … R_n.
+
+OPTIONS:
+    --graph <path>          edge-list graph file (required)
+    --sets <path>           node-set file (required)
+    --set <name>            node set, repeated n times in order (required, n ≥ 2)
+    --query <shape>         chain | cycle | triangle | star     [default: chain]
+    --k <n>                 number of answers to return         [default: 10]
+    --m <n>                 PJ / PJ-i initial 2-way join size   [default: 50]
+    --algorithm <name>      NL | AP | PJ | PJ-i (DHT only)      [default: PJ-i]
+    --aggregate <name>      min | max | sum | mean              [default: min]
+    --measure <name>        dht | ppr | ht                      [default: dht]
+    --variant <lambda|e>    DHT variant                         [default: lambda]
+    --lambda <x>            DHT_λ decay factor                  [default: 0.2]
+    --epsilon <x>           truncation error bound              [default: 1e-6]
+    --damping <x>           PPR walk-continuation probability   [default: 0.85]
+    --labels <0|1>          print node labels when available    [default: 1]
+";
+
+const KNOWN: &[&str] = &[
+    "graph", "sets", "set", "query", "k", "m", "algorithm", "aggregate", "measure", "variant",
+    "lambda", "epsilon", "damping", "labels",
+];
+
+/// Runs the command.
+pub fn run(args: &ArgMap) -> Result<String> {
+    if args.wants_help() {
+        return Ok(HELP.to_string());
+    }
+    args.reject_unknown(KNOWN)?;
+    let graph = super::load_graph(args)?;
+    let all_sets = setsfile::read_node_sets_file(args.require("sets")?)?;
+    let chosen_names = args.get_all("set");
+    if chosen_names.len() < 2 {
+        return Err(CliError::Usage(
+            "an n-way join needs at least two --set options".to_string(),
+        ));
+    }
+    let node_sets: Vec<NodeSet> = chosen_names
+        .iter()
+        .map(|name| setsfile::find_set(&all_sets, name).cloned())
+        .collect::<Result<_>>()?;
+    let query = build_query(args.get("query").unwrap_or("chain"), node_sets.len())?;
+    let k: usize = args.get_parsed_or("k", 10)?;
+    let aggregate = super::parse_aggregate(args.get("aggregate").unwrap_or("min"))?;
+    let with_labels = args.get_parsed_or("labels", 1u8)? == 1;
+
+    let measure = args.get("measure").unwrap_or("dht");
+    let (header, answers) = match measure.to_ascii_lowercase().as_str() {
+        "dht" => {
+            let (params, depth) = super::dht_options(args)?;
+            let m: usize = args.get_parsed_or("m", 50)?;
+            let algorithm = parse_nway_algorithm(args.get("algorithm").unwrap_or("pj-i"), m)?;
+            let config = NWayConfig::new(params, depth, aggregate, k);
+            let output = algorithm.run(&graph, &config, &query, &node_sets)?;
+            (
+                format!(
+                    "top-{k} {}-way join over {} (DHT, {}, {} aggregate)",
+                    node_sets.len(),
+                    chosen_names.join(" — "),
+                    algorithm.name(),
+                    aggregate.name()
+                ),
+                output.answers,
+            )
+        }
+        "ppr" => {
+            let damping: f64 = args.get_parsed_or("damping", 0.85)?;
+            let epsilon: f64 = args.get_parsed_or("epsilon", 1e-6)?;
+            let m = PersonalizedPageRank::with_epsilon(damping, epsilon)?;
+            let output = measure_nway_top_k(&graph, &m, &query, &node_sets, aggregate, k)?;
+            (
+                format!(
+                    "top-{k} {}-way join over {} (PPR, {} aggregate)",
+                    node_sets.len(),
+                    chosen_names.join(" — "),
+                    aggregate.name()
+                ),
+                output.answers,
+            )
+        }
+        "ht" | "hitting-time" => {
+            let (_, depth) = super::dht_options(args)?;
+            let m = TruncatedHittingTime::new(depth)?;
+            let output = measure_nway_top_k(&graph, &m, &query, &node_sets, aggregate, k)?;
+            (
+                format!(
+                    "top-{k} {}-way join over {} (truncated hitting time, {} aggregate)",
+                    node_sets.len(),
+                    chosen_names.join(" — "),
+                    aggregate.name()
+                ),
+                output.answers,
+            )
+        }
+        other => {
+            return Err(CliError::Parse(format!(
+                "unknown measure '{other}' for nway (expected dht, ppr or ht)"
+            )))
+        }
+    };
+
+    let table =
+        super::format_ranking(answers.iter().map(|a| (answer_label(&graph, a, with_labels), a.score)));
+    Ok(format!("{header}\n{table}"))
+}
+
+fn build_query(shape: &str, n: usize) -> Result<QueryGraph> {
+    match shape.to_ascii_lowercase().as_str() {
+        "chain" => Ok(QueryGraph::chain(n)),
+        "cycle" => Ok(QueryGraph::cycle(n)),
+        "star" => Ok(QueryGraph::star(n)),
+        "triangle" => {
+            if n != 3 {
+                return Err(CliError::Usage(format!(
+                    "a triangle query graph needs exactly 3 node sets, got {n}"
+                )));
+            }
+            Ok(QueryGraph::triangle())
+        }
+        other => Err(CliError::Parse(format!(
+            "unknown query shape '{other}' (expected chain, cycle, triangle or star)"
+        ))),
+    }
+}
+
+fn parse_nway_algorithm(name: &str, m: usize) -> Result<NWayAlgorithm> {
+    match name.to_ascii_lowercase().as_str() {
+        "nl" => Ok(NWayAlgorithm::NestedLoop),
+        "ap" => Ok(NWayAlgorithm::AllPairs),
+        "pj" => Ok(NWayAlgorithm::PartialJoin { m }),
+        "pj-i" | "pji" => Ok(NWayAlgorithm::IncrementalPartialJoin { m }),
+        _ => Err(CliError::Parse(format!(
+            "unknown n-way algorithm '{name}' (expected NL, AP, PJ or PJ-i)"
+        ))),
+    }
+}
+
+fn answer_label(graph: &Graph, answer: &Answer, with_labels: bool) -> String {
+    let parts: Vec<String> = answer
+        .nodes
+        .iter()
+        .map(|&n| if with_labels { graph.display_name(n) } else { n.0.to_string() })
+        .collect();
+    format!("({})", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::{GraphBuilder, NodeId};
+
+    fn argmap(parts: &[&str]) -> ArgMap {
+        ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn fixture(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let mut b = GraphBuilder::with_nodes(9);
+        // three loosely connected triples
+        for (u, v) in [
+            (0u32, 1u32), (1, 2), (0, 2),
+            (3, 4), (4, 5), (3, 5),
+            (6, 7), (7, 8), (6, 8),
+            (2, 3), (5, 6), (8, 0),
+        ] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let dir = std::env::temp_dir();
+        let graph_path = dir.join(format!("dht-cli-nway-{tag}-{}.tsv", std::process::id()));
+        let sets_path = dir.join(format!("dht-cli-nway-{tag}-{}.sets", std::process::id()));
+        dht_graph::io::write_edge_list_file(&g, &graph_path).unwrap();
+        let sets = vec![
+            NodeSet::new("A", (0..3).map(NodeId)),
+            NodeSet::new("B", (3..6).map(NodeId)),
+            NodeSet::new("C", (6..9).map(NodeId)),
+        ];
+        setsfile::write_node_sets_file(&sets, &sets_path).unwrap();
+        (graph_path, sets_path)
+    }
+
+    #[test]
+    fn query_shapes_validate() {
+        assert_eq!(build_query("chain", 4).unwrap().edge_count(), 3);
+        assert_eq!(build_query("triangle", 3).unwrap().edge_count(), 6);
+        assert!(build_query("triangle", 4).is_err());
+        assert!(build_query("hypercube", 3).is_err());
+        assert!(parse_nway_algorithm("pj-i", 10).is_ok());
+        assert!(parse_nway_algorithm("zz", 10).is_err());
+    }
+
+    #[test]
+    fn dht_triangle_join_runs_end_to_end() {
+        let (g, s) = fixture("dht");
+        let out = run(&argmap(&[
+            "--graph", g.to_str().unwrap(),
+            "--sets", s.to_str().unwrap(),
+            "--set", "A", "--set", "B", "--set", "C",
+            "--query", "triangle", "--k", "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("PJ-i"));
+        assert!(out.contains("rank"));
+        std::fs::remove_file(&g).ok();
+        std::fs::remove_file(&s).ok();
+    }
+
+    #[test]
+    fn ppr_chain_join_runs_end_to_end() {
+        let (g, s) = fixture("ppr");
+        let out = run(&argmap(&[
+            "--graph", g.to_str().unwrap(),
+            "--sets", s.to_str().unwrap(),
+            "--set", "A", "--set", "B",
+            "--measure", "ppr", "--aggregate", "sum", "--k", "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("PPR"));
+        std::fs::remove_file(&g).ok();
+        std::fs::remove_file(&s).ok();
+    }
+
+    #[test]
+    fn too_few_sets_is_a_usage_error() {
+        let (g, s) = fixture("few");
+        let err = run(&argmap(&[
+            "--graph", g.to_str().unwrap(),
+            "--sets", s.to_str().unwrap(),
+            "--set", "A",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("at least two"));
+        std::fs::remove_file(&g).ok();
+        std::fs::remove_file(&s).ok();
+    }
+}

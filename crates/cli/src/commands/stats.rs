@@ -1,0 +1,86 @@
+//! `dht stats` — structural statistics of an edge-list graph.
+
+use dht_graph::analysis;
+
+use crate::{ArgMap, Result};
+
+const HELP: &str = "\
+dht stats — print structural statistics of an edge-list graph
+
+OPTIONS:
+    --graph <path>      edge-list file to inspect (required)
+    --triangles <0|1>   also count triangles (cubic in degree; off by default)
+";
+
+const KNOWN: &[&str] = &["graph", "triangles"];
+
+/// Runs the command.
+pub fn run(args: &ArgMap) -> Result<String> {
+    if args.wants_help() {
+        return Ok(HELP.to_string());
+    }
+    args.reject_unknown(KNOWN)?;
+    let graph = super::load_graph(args)?;
+    let degrees = analysis::degree_stats(&graph);
+    let (_, components) = analysis::connected_components(&graph);
+    let largest = analysis::largest_component_size(&graph);
+
+    let mut out = String::new();
+    out.push_str(&format!("nodes:              {}\n", graph.node_count()));
+    out.push_str(&format!("directed edges:     {}\n", graph.edge_count()));
+    out.push_str(&format!("min out-degree:     {}\n", degrees.min));
+    out.push_str(&format!("max out-degree:     {}\n", degrees.max));
+    out.push_str(&format!("mean out-degree:    {:.3}\n", degrees.mean));
+    out.push_str(&format!("isolated nodes:     {}\n", degrees.isolated));
+    out.push_str(&format!("weakly conn. comps: {components}\n"));
+    out.push_str(&format!("largest component:  {largest}\n"));
+    out.push_str(&format!("heap footprint:     {} bytes\n", graph.heap_bytes()));
+    if args.get_parsed_or("triangles", 0u8)? == 1 {
+        out.push_str(&format!("triangles:          {}\n", analysis::triangle_count(&graph)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::{GraphBuilder, NodeId};
+
+    fn argmap(parts: &[&str]) -> ArgMap {
+        ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn write_triangle_graph() -> std::path::PathBuf {
+        let mut b = GraphBuilder::with_nodes(3);
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let path = std::env::temp_dir().join(format!("dht-cli-stats-{}.tsv", std::process::id()));
+        dht_graph::io::write_edge_list_file(&g, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn help_and_missing_graph() {
+        assert!(run(&argmap(&["--help"])).unwrap().contains("--graph"));
+        assert!(run(&argmap(&[])).is_err());
+    }
+
+    #[test]
+    fn reports_counts_for_a_triangle() {
+        let path = write_triangle_graph();
+        let out = run(&argmap(&["--graph", path.to_str().unwrap(), "--triangles", "1"])).unwrap();
+        assert!(out.contains("nodes:              3"));
+        assert!(out.contains("directed edges:     6"));
+        assert!(out.contains("weakly conn. comps: 1"));
+        assert!(out.contains("triangles:          1"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn nonexistent_file_is_an_error() {
+        let err = run(&argmap(&["--graph", "/nonexistent/definitely-missing.tsv"])).unwrap_err();
+        assert!(err.to_string().contains("error"));
+    }
+}

@@ -1,0 +1,222 @@
+//! `dht two-way` — top-k 2-way join between two named node sets.
+
+use dht_core::twoway::TwoWayConfig;
+use dht_graph::Graph;
+use dht_measures::{
+    measure_two_way_top_k, KatzIndex, KatzMode, MeasurePair, PathSim, PersonalizedPageRank,
+    TruncatedHittingTime,
+};
+
+use crate::{setsfile, ArgMap, CliError, Result};
+
+const HELP: &str = "\
+dht two-way — top-k 2-way join between two named node sets
+
+OPTIONS:
+    --graph <path>          edge-list graph file (required)
+    --sets <path>           node-set file (required)
+    --left <name>           name of the left node set P (required)
+    --right <name>          name of the right node set Q (required)
+    --k <n>                 number of pairs to return          [default: 10]
+    --measure <name>        dht | ppr | ht | pathsim | katz    [default: dht]
+    --algorithm <name>      F-BJ | F-IDJ | B-BJ | B-IDJ-X | B-IDJ-Y
+                            (DHT measure only)                 [default: B-IDJ-Y]
+    --variant <lambda|e>    DHT variant                        [default: lambda]
+    --lambda <x>            DHT_λ decay factor                 [default: 0.2]
+    --epsilon <x>           truncation error bound             [default: 1e-6]
+    --damping <x>           PPR walk-continuation probability  [default: 0.85]
+    --length <n>            PathSim walk length                [default: 2]
+    --beta <x>              Katz attenuation factor            [default: 0.05]
+    --labels <0|1>          print node labels when available   [default: 1]
+";
+
+const KNOWN: &[&str] = &[
+    "graph", "sets", "left", "right", "k", "measure", "algorithm", "variant", "lambda", "epsilon",
+    "damping", "length", "beta", "labels",
+];
+
+/// Runs the command.
+pub fn run(args: &ArgMap) -> Result<String> {
+    if args.wants_help() {
+        return Ok(HELP.to_string());
+    }
+    args.reject_unknown(KNOWN)?;
+    let graph = super::load_graph(args)?;
+    let sets = setsfile::read_node_sets_file(args.require("sets")?)?;
+    let left = setsfile::find_set(&sets, args.require("left")?)?;
+    let right = setsfile::find_set(&sets, args.require("right")?)?;
+    let k: usize = args.get_parsed_or("k", 10)?;
+    let with_labels = args.get_parsed_or("labels", 1u8)? == 1;
+
+    let measure = args.get("measure").unwrap_or("dht");
+    let (header, pairs) = match measure.to_ascii_lowercase().as_str() {
+        "dht" => {
+            let (params, depth) = super::dht_options(args)?;
+            let algorithm = super::parse_two_way_algorithm(args.get("algorithm").unwrap_or("b-idj-y"))?;
+            let config = TwoWayConfig::new(params, depth);
+            let output = algorithm.top_k(&graph, &config, left, right, k);
+            (
+                format!(
+                    "top-{k} 2-way join {} ⋈ {} (DHT, {}, λ={}, d={depth})",
+                    left.name(),
+                    right.name(),
+                    algorithm.name(),
+                    params.lambda
+                ),
+                output.pairs,
+            )
+        }
+        "ppr" => {
+            let damping: f64 = args.get_parsed_or("damping", 0.85)?;
+            let epsilon: f64 = args.get_parsed_or("epsilon", 1e-6)?;
+            let m = PersonalizedPageRank::with_epsilon(damping, epsilon)?;
+            (
+                format!(
+                    "top-{k} 2-way join {} ⋈ {} (PPR, c={damping})",
+                    left.name(),
+                    right.name()
+                ),
+                measure_two_way_top_k(&graph, &m, left, right, k),
+            )
+        }
+        "ht" | "hitting-time" => {
+            let (_, depth) = super::dht_options(args)?;
+            let m = TruncatedHittingTime::new(depth)?;
+            (
+                format!(
+                    "top-{k} 2-way join {} ⋈ {} (truncated hitting time, d={depth})",
+                    left.name(),
+                    right.name()
+                ),
+                measure_two_way_top_k(&graph, &m, left, right, k),
+            )
+        }
+        "pathsim" => {
+            let length: usize = args.get_parsed_or("length", 2)?;
+            let m = PathSim::new(length)?;
+            (
+                format!(
+                    "top-{k} 2-way join {} ⋈ {} (PathSim, L={length})",
+                    left.name(),
+                    right.name()
+                ),
+                measure_two_way_top_k(&graph, &m, left, right, k),
+            )
+        }
+        "katz" => {
+            let beta: f64 = args.get_parsed_or("beta", 0.05)?;
+            let (_, depth) = super::dht_options(args)?;
+            let m = KatzIndex::new(beta, depth, KatzMode::Transition)?;
+            (
+                format!(
+                    "top-{k} 2-way join {} ⋈ {} (Katz, β={beta}, d={depth})",
+                    left.name(),
+                    right.name()
+                ),
+                measure_two_way_top_k(&graph, &m, left, right, k),
+            )
+        }
+        other => {
+            return Err(CliError::Parse(format!(
+                "unknown measure '{other}' (expected dht, ppr, ht, pathsim or katz)"
+            )))
+        }
+    };
+
+    let table = super::format_ranking(pairs.iter().map(|p| (pair_label(&graph, p, with_labels), p.score)));
+    Ok(format!("{header}\n{table}"))
+}
+
+fn pair_label(graph: &Graph, pair: &MeasurePair, with_labels: bool) -> String {
+    if with_labels {
+        format!("({}, {})", graph.display_name(pair.left), graph.display_name(pair.right))
+    } else {
+        format!("({}, {})", pair.left.0, pair.right.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::{GraphBuilder, NodeId, NodeSet};
+
+    fn argmap(parts: &[&str]) -> ArgMap {
+        ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    /// Writes a small two-community graph plus node sets, returns the paths.
+    fn fixture(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let mut b = GraphBuilder::with_nodes(8);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6), (6, 7), (4, 7), (3, 4)]
+        {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let dir = std::env::temp_dir();
+        let graph_path = dir.join(format!("dht-cli-2way-{tag}-{}.tsv", std::process::id()));
+        let sets_path = dir.join(format!("dht-cli-2way-{tag}-{}.sets", std::process::id()));
+        dht_graph::io::write_edge_list_file(&g, &graph_path).unwrap();
+        let sets = vec![
+            NodeSet::new("P", (0..4).map(NodeId)),
+            NodeSet::new("Q", (4..8).map(NodeId)),
+        ];
+        setsfile::write_node_sets_file(&sets, &sets_path).unwrap();
+        (graph_path, sets_path)
+    }
+
+    #[test]
+    fn help_lists_measures() {
+        assert!(run(&argmap(&["--help"])).unwrap().contains("--measure"));
+    }
+
+    #[test]
+    fn dht_join_produces_a_ranking() {
+        let (g, s) = fixture("dht");
+        let out = run(&argmap(&[
+            "--graph", g.to_str().unwrap(),
+            "--sets", s.to_str().unwrap(),
+            "--left", "P", "--right", "Q", "--k", "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("B-IDJ-Y"));
+        assert_eq!(out.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 3);
+        std::fs::remove_file(&g).ok();
+        std::fs::remove_file(&s).ok();
+    }
+
+    #[test]
+    fn alternative_measures_produce_rankings() {
+        let (g, s) = fixture("alt");
+        for measure in ["ppr", "ht", "pathsim", "katz"] {
+            let out = run(&argmap(&[
+                "--graph", g.to_str().unwrap(),
+                "--sets", s.to_str().unwrap(),
+                "--left", "P", "--right", "Q", "--k", "2", "--measure", measure,
+            ]))
+            .unwrap();
+            assert!(out.contains("rank"), "measure {measure} produced no table");
+        }
+        std::fs::remove_file(&g).ok();
+        std::fs::remove_file(&s).ok();
+    }
+
+    #[test]
+    fn unknown_measure_and_set_names_error() {
+        let (g, s) = fixture("err");
+        let base = [
+            "--graph", g.to_str().unwrap(),
+            "--sets", s.to_str().unwrap(),
+            "--left", "P", "--right", "Q",
+        ];
+        let mut with_measure: Vec<&str> = base.to_vec();
+        with_measure.extend(["--measure", "adamic-adar"]);
+        assert!(run(&argmap(&with_measure)).is_err());
+
+        let mut bad_set: Vec<&str> = base.to_vec();
+        bad_set[7] = "Z";
+        let err = run(&argmap(&bad_set)).unwrap_err();
+        assert!(err.to_string().contains("available sets"));
+        std::fs::remove_file(&g).ok();
+        std::fs::remove_file(&s).ok();
+    }
+}

@@ -1,0 +1,110 @@
+//! Monotone aggregate functions over per-edge DHT scores (Definition 2).
+//!
+//! The aggregate score `A.f` of a candidate answer is a monotone function of
+//! the `|E_Q|` DHT scores selected by the query graph edges.  Monotonicity
+//! (each input non-decreasing ⇒ output non-decreasing) is what makes the
+//! corner-bound rank join of AP / PJ / PJ-i correct, so only monotone
+//! aggregates are provided.
+
+/// A monotone aggregate over the per-edge DHT scores of a candidate answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// Sum of the per-edge scores ("overall closeness" in the paper).
+    Sum,
+    /// Minimum of the per-edge scores (the paper's experimental default):
+    /// the answer is only as good as its weakest pair.
+    Min,
+    /// Maximum of the per-edge scores.
+    Max,
+    /// Arithmetic mean of the per-edge scores.
+    Mean,
+}
+
+impl Aggregate {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::Sum => "SUM",
+            Aggregate::Min => "MIN",
+            Aggregate::Max => "MAX",
+            Aggregate::Mean => "MEAN",
+        }
+    }
+
+    /// Combines the per-edge scores into the aggregate score.
+    ///
+    /// An empty slice yields `f64::NEG_INFINITY` (no edges means no evidence
+    /// at all), but valid query graphs always have at least one edge.
+    pub fn combine(self, scores: &[f64]) -> f64 {
+        if scores.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        match self {
+            Aggregate::Sum => scores.iter().sum(),
+            Aggregate::Min => scores.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregate::Max => scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Mean => scores.iter().sum::<f64>() / scores.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCORES: &[f64] = &[0.5, -0.2, 0.3];
+
+    #[test]
+    fn combine_matches_definitions() {
+        assert!((Aggregate::Sum.combine(SCORES) - 0.6).abs() < 1e-12);
+        assert!((Aggregate::Min.combine(SCORES) - (-0.2)).abs() < 1e-12);
+        assert!((Aggregate::Max.combine(SCORES) - 0.5).abs() < 1e-12);
+        assert!((Aggregate::Mean.combine(SCORES) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_input_is_identity_for_all_aggregates() {
+        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Mean] {
+            assert!((agg.combine(&[0.7]) - 0.7).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_negative_infinity() {
+        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Mean] {
+            assert_eq!(agg.combine(&[]), f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn all_aggregates_are_monotone() {
+        // Increasing any single coordinate never decreases the aggregate.
+        let base = [0.1, 0.4, -0.3, 0.2];
+        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Mean] {
+            let f0 = agg.combine(&base);
+            for i in 0..base.len() {
+                let mut bumped = base;
+                bumped[i] += 0.5;
+                assert!(
+                    agg.combine(&bumped) >= f0 - 1e-12,
+                    "{} is not monotone in coordinate {i}",
+                    agg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            Aggregate::Sum.name(),
+            Aggregate::Min.name(),
+            Aggregate::Max.name(),
+            Aggregate::Mean.name(),
+        ];
+        let mut dedup = names.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,115 @@
+//! Candidate answers (Definition 3) and result tuples.
+
+use dht_graph::NodeId;
+
+/// A fully scored n-way join answer: one node per node set of the query
+/// graph plus the aggregate score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// The selected node of each node set, indexed like the query graph's
+    /// node sets (`nodes[i] ∈ R_i`).
+    pub nodes: Vec<NodeId>,
+    /// Aggregate score `A.f`.
+    pub score: f64,
+}
+
+impl Answer {
+    /// Creates an answer.
+    pub fn new(nodes: Vec<NodeId>, score: f64) -> Self {
+        Answer { nodes, score }
+    }
+
+    /// Arity `n` of the answer.
+    pub fn arity(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Sorts answers by descending score, breaking ties by the node ids so that
+/// all algorithms produce results in the same deterministic order.
+pub fn sort_answers(answers: &mut [Answer]) {
+    answers.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.nodes.cmp(&b.nodes))
+    });
+}
+
+/// A scored node pair produced by a 2-way join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairScore {
+    /// Node drawn from the first (left) node set `P`.
+    pub left: NodeId,
+    /// Node drawn from the second (right) node set `Q`.
+    pub right: NodeId,
+    /// Truncated DHT score `h_d(left, right)`.
+    pub score: f64,
+}
+
+impl PairScore {
+    /// Creates a scored pair.
+    pub fn new(left: NodeId, right: NodeId, score: f64) -> Self {
+        PairScore { left, right, score }
+    }
+}
+
+/// Sorts pairs by descending score, breaking ties by node ids for
+/// determinism.
+pub fn sort_pairs(pairs: &mut [PairScore]) {
+    pairs.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| (a.left, a.right).cmp(&(b.left, b.right)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_answers_orders_by_score_then_nodes() {
+        let mut answers = vec![
+            Answer::new(vec![NodeId(2), NodeId(3)], 1.0),
+            Answer::new(vec![NodeId(0), NodeId(1)], 2.0),
+            Answer::new(vec![NodeId(1), NodeId(1)], 1.0),
+        ];
+        sort_answers(&mut answers);
+        assert_eq!(answers[0].score, 2.0);
+        assert_eq!(answers[1].nodes, vec![NodeId(1), NodeId(1)]);
+        assert_eq!(answers[2].nodes, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn sort_pairs_orders_by_score_then_ids() {
+        let mut pairs = vec![
+            PairScore::new(NodeId(5), NodeId(1), 0.3),
+            PairScore::new(NodeId(1), NodeId(2), 0.3),
+            PairScore::new(NodeId(9), NodeId(9), 0.9),
+        ];
+        sort_pairs(&mut pairs);
+        assert_eq!(pairs[0].score, 0.9);
+        assert_eq!(pairs[1].left, NodeId(1));
+        assert_eq!(pairs[2].left, NodeId(5));
+    }
+
+    #[test]
+    fn arity_reports_tuple_width() {
+        let a = Answer::new(vec![NodeId(0), NodeId(1), NodeId(2)], 0.0);
+        assert_eq!(a.arity(), 3);
+    }
+
+    #[test]
+    fn nan_scores_sort_deterministically() {
+        // total_cmp places positive NaN above every number, so in the
+        // descending order used here a NaN-scored pair sorts first; the key
+        // property is that sorting never panics and is deterministic.
+        let mut pairs = vec![
+            PairScore::new(NodeId(0), NodeId(1), f64::NAN),
+            PairScore::new(NodeId(2), NodeId(3), 0.1),
+        ];
+        sort_pairs(&mut pairs);
+        assert!(pairs[0].score.is_nan());
+        assert_eq!(pairs[1].left, NodeId(2));
+    }
+}

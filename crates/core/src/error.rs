@@ -1,0 +1,76 @@
+//! Error type for join configuration problems.
+
+use std::fmt;
+
+/// Errors produced when configuring or running a join.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A query-graph edge referenced a node-set index outside `0..n`.
+    InvalidQueryNode {
+        /// The offending node-set index.
+        index: usize,
+        /// Number of node sets declared in the query graph.
+        node_sets: usize,
+    },
+    /// A query-graph edge connected a node set to itself.
+    SelfLoopQueryEdge(usize),
+    /// The same directed query edge was added twice.
+    DuplicateQueryEdge(usize, usize),
+    /// The number of node sets supplied to an n-way join did not match the
+    /// query graph.
+    NodeSetCountMismatch {
+        /// Node sets expected by the query graph.
+        expected: usize,
+        /// Node sets actually supplied.
+        actual: usize,
+    },
+    /// The query graph has no edges, so there is nothing to score.
+    EmptyQueryGraph,
+    /// PJ / PJ-i require a weakly connected query graph to expand candidate
+    /// answers across candidate buffers.
+    DisconnectedQueryGraph,
+    /// One of the supplied node sets is empty.
+    EmptyNodeSet(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidQueryNode { index, node_sets } => {
+                write!(f, "query edge references node set {index}, but only {node_sets} node sets exist")
+            }
+            CoreError::SelfLoopQueryEdge(i) => {
+                write!(f, "query edge connects node set {i} to itself")
+            }
+            CoreError::DuplicateQueryEdge(i, j) => {
+                write!(f, "duplicate query edge ({i}, {j})")
+            }
+            CoreError::NodeSetCountMismatch { expected, actual } => {
+                write!(f, "query graph expects {expected} node sets but {actual} were supplied")
+            }
+            CoreError::EmptyQueryGraph => write!(f, "query graph has no edges"),
+            CoreError::DisconnectedQueryGraph => {
+                write!(f, "query graph must be weakly connected for partial joins")
+            }
+            CoreError::EmptyNodeSet(name) => write!(f, "node set '{name}' is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_offending_values() {
+        assert!(CoreError::InvalidQueryNode { index: 7, node_sets: 3 }.to_string().contains('7'));
+        assert!(CoreError::SelfLoopQueryEdge(2).to_string().contains('2'));
+        assert!(CoreError::DuplicateQueryEdge(1, 2).to_string().contains("(1, 2)"));
+        assert!(CoreError::NodeSetCountMismatch { expected: 3, actual: 2 }.to_string().contains('3'));
+        assert!(CoreError::EmptyNodeSet("DB".into()).to_string().contains("DB"));
+        assert!(!CoreError::EmptyQueryGraph.to_string().is_empty());
+        assert!(!CoreError::DisconnectedQueryGraph.to_string().is_empty());
+    }
+}

@@ -1,0 +1,377 @@
+//! The Pull/Bound Rank Join driver shared by AP, PJ and PJ-i
+//! (Steps 5–15 of Algorithm 1).
+//!
+//! The three algorithms differ only in *where* the per-edge sorted pair
+//! lists come from: AP pre-computes complete lists, PJ starts with top-`m`
+//! lists and re-runs deeper joins on demand, PJ-i starts with top-`m` lists
+//! and extends them from its incremental bound structure.  That difference
+//! is captured by the [`EdgeListProvider`] trait; everything else — the
+//! round-robin pulling, the candidate buffers, the candidate expansion
+//! (`getCandidate`) and the HRJN corner-bound stopping rule — is identical
+//! and implemented once here.
+
+use std::collections::HashSet;
+
+use dht_graph::{NodeId, NodeSet};
+use dht_rankjoin::{CornerBound, RoundRobin, TopKBuffer};
+
+use crate::aggregate::Aggregate;
+use crate::answer::{sort_answers, Answer, PairScore};
+use crate::query::QueryGraph;
+use crate::stats::NWayStats;
+use crate::Result;
+
+use super::candidate_buffer::CandidateBuffer;
+
+/// Source of the per-edge descending pair lists consumed by the rank join.
+pub trait EdgeListProvider {
+    /// Returns the pair at position `index` (0-based) of edge `edge`'s
+    /// descending list, or `None` if the list has fewer than `index + 1`
+    /// pairs and cannot be extended.
+    ///
+    /// The driver always asks for positions in order (`0, 1, 2, …` per
+    /// edge), so providers may extend lazily.
+    fn get(&mut self, edge: usize, index: usize, stats: &mut NWayStats) -> Option<PairScore>;
+
+    /// The score of a pair with no connecting path (`β`); used to tighten
+    /// the corner bound once a list is exhausted.
+    fn floor(&self) -> f64;
+}
+
+/// Runs the rank join and returns the top-k answers (descending score).
+pub fn run(
+    query: &QueryGraph,
+    node_sets: &[NodeSet],
+    aggregate: Aggregate,
+    k: usize,
+    provider: &mut dyn EdgeListProvider,
+    stats: &mut NWayStats,
+) -> Result<Vec<Answer>> {
+    query.validate_node_sets(node_sets)?;
+    if !query.is_connected() {
+        return Err(crate::CoreError::DisconnectedQueryGraph);
+    }
+
+    let edge_count = query.edge_count();
+    let mut buffers: Vec<CandidateBuffer> = vec![CandidateBuffer::new(); edge_count];
+    let mut positions = vec![0usize; edge_count];
+    let mut exhausted = vec![false; edge_count];
+    let mut corner = CornerBound::new(edge_count);
+    let mut rr = RoundRobin::new(edge_count);
+    let mut output: TopKBuffer<Vec<NodeId>> = TopKBuffer::new(k);
+    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    // Pre-compute the edge expansion order from every possible start edge.
+    let expansion_orders: Vec<Vec<usize>> =
+        (0..edge_count).map(|e| query.edges_in_expansion_order(e)).collect();
+
+    loop {
+        // Stopping rule (Step 6): stop once k answers are held and the worst
+        // of them already reaches the corner-bound threshold.
+        if output.is_full() {
+            let tau = corner.threshold(|scores| aggregate.combine(scores));
+            if output.min_score().expect("full buffer has a minimum") >= tau {
+                break;
+            }
+        }
+        // Pick the next non-exhausted list round-robin (Step 7).
+        let Some(edge) = rr.next_active(|e| !exhausted[e]) else {
+            break; // every list exhausted
+        };
+        let index = positions[edge];
+        match provider.get(edge, index, stats) {
+            None => {
+                exhausted[edge] = true;
+                corner.exhaust(edge, provider.floor());
+            }
+            Some(pair) => {
+                positions[edge] += 1;
+                stats.pairs_pulled += 1;
+                corner.observe(edge, pair.score);
+                buffers[edge].insert(pair.left, pair.right, pair.score);
+                // getCandidate (Step 12): build every complete answer that
+                // uses the newly pulled pair.
+                let candidates = expand_candidates(
+                    query,
+                    &expansion_orders[edge],
+                    edge,
+                    &pair,
+                    &buffers,
+                    aggregate,
+                );
+                for answer in candidates {
+                    stats.candidates_generated += 1;
+                    let key: Vec<u32> = answer.nodes.iter().map(|n| n.0).collect();
+                    if seen.insert(key) {
+                        output.insert(answer.score, answer.nodes);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut answers: Vec<Answer> = output
+        .into_sorted_desc()
+        .into_iter()
+        .map(|(score, nodes)| Answer::new(nodes, score))
+        .collect();
+    sort_answers(&mut answers);
+    Ok(answers)
+}
+
+/// `getCandidate`: extends the newly pulled pair of `start_edge` into every
+/// complete candidate answer supported by the current candidate buffers.
+fn expand_candidates(
+    query: &QueryGraph,
+    expansion_order: &[usize],
+    start_edge: usize,
+    pair: &PairScore,
+    buffers: &[CandidateBuffer],
+    aggregate: Aggregate,
+) -> Vec<Answer> {
+    let n = query.node_set_count();
+    let (a, b) = query.edges()[start_edge];
+    let mut assignment: Vec<Option<NodeId>> = vec![None; n];
+    assignment[a] = Some(pair.left);
+    assignment[b] = Some(pair.right);
+    let mut edge_scores: Vec<f64> = vec![0.0; query.edge_count()];
+    edge_scores[start_edge] = pair.score;
+    let mut out = Vec::new();
+    recurse(
+        query,
+        expansion_order,
+        1,
+        &mut assignment,
+        &mut edge_scores,
+        buffers,
+        aggregate,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    query: &QueryGraph,
+    order: &[usize],
+    pos: usize,
+    assignment: &mut Vec<Option<NodeId>>,
+    edge_scores: &mut Vec<f64>,
+    buffers: &[CandidateBuffer],
+    aggregate: Aggregate,
+    out: &mut Vec<Answer>,
+) {
+    if pos == order.len() {
+        // All node sets must be assigned (true for connected query graphs).
+        if assignment.iter().any(Option::is_none) {
+            return;
+        }
+        let nodes: Vec<NodeId> = assignment.iter().map(|n| n.expect("checked above")).collect();
+        let score = aggregate.combine(edge_scores);
+        out.push(Answer::new(nodes, score));
+        return;
+    }
+    let edge = order[pos];
+    let (a, b) = query.edges()[edge];
+    match (assignment[a], assignment[b]) {
+        (Some(na), Some(nb)) => {
+            if let Some(score) = buffers[edge].score_of(na, nb) {
+                edge_scores[edge] = score;
+                recurse(query, order, pos + 1, assignment, edge_scores, buffers, aggregate, out);
+            }
+        }
+        (Some(na), None) => {
+            let matches: Vec<(u32, f64)> = buffers[edge].with_left(na).to_vec();
+            for (nb, score) in matches {
+                assignment[b] = Some(NodeId(nb));
+                edge_scores[edge] = score;
+                recurse(query, order, pos + 1, assignment, edge_scores, buffers, aggregate, out);
+                assignment[b] = None;
+            }
+        }
+        (None, Some(nb)) => {
+            let matches: Vec<(u32, f64)> = buffers[edge].with_right(nb).to_vec();
+            for (na, score) in matches {
+                assignment[a] = Some(NodeId(na));
+                edge_scores[edge] = score;
+                recurse(query, order, pos + 1, assignment, edge_scores, buffers, aggregate, out);
+                assignment[a] = None;
+            }
+        }
+        (None, None) => {
+            // Only reachable for disconnected query graphs, which the driver
+            // rejects; handled defensively by enumerating the whole buffer.
+            let matches: Vec<(NodeId, NodeId, f64)> = buffers[edge].iter_all().collect();
+            for (na, nb, score) in matches {
+                assignment[a] = Some(na);
+                assignment[b] = Some(nb);
+                edge_scores[edge] = score;
+                recurse(query, order, pos + 1, assignment, edge_scores, buffers, aggregate, out);
+                assignment[a] = None;
+                assignment[b] = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::PairScore;
+
+    /// A provider backed by fixed in-memory lists.
+    struct StaticProvider {
+        lists: Vec<Vec<PairScore>>,
+        floor: f64,
+    }
+
+    impl EdgeListProvider for StaticProvider {
+        fn get(&mut self, edge: usize, index: usize, _stats: &mut NWayStats) -> Option<PairScore> {
+            self.lists[edge].get(index).copied()
+        }
+        fn floor(&self) -> f64 {
+            self.floor
+        }
+    }
+
+    fn pair(l: u32, r: u32, s: f64) -> PairScore {
+        PairScore::new(NodeId(l), NodeId(r), s)
+    }
+
+    /// Brute-force reference: join the full lists on shared node sets.
+    fn brute_force_chain(
+        lists: &[Vec<PairScore>; 2],
+        aggregate: Aggregate,
+        k: usize,
+    ) -> Vec<(Vec<u32>, f64)> {
+        let mut answers = Vec::new();
+        for p1 in &lists[0] {
+            for p2 in &lists[1] {
+                if p1.right == p2.left {
+                    let score = aggregate.combine(&[p1.score, p2.score]);
+                    answers.push((vec![p1.left.0, p1.right.0, p2.right.0], score));
+                }
+            }
+        }
+        answers.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        answers.truncate(k);
+        answers
+    }
+
+    #[test]
+    fn chain_rank_join_matches_brute_force() {
+        // Query graph A -> B -> C over node sets {1,2}, {10,11}, {20,21}.
+        let query = QueryGraph::chain(3);
+        let sets = vec![
+            NodeSet::new("A", [NodeId(1), NodeId(2)]),
+            NodeSet::new("B", [NodeId(10), NodeId(11)]),
+            NodeSet::new("C", [NodeId(20), NodeId(21)]),
+        ];
+        let list0 = vec![pair(1, 10, 0.9), pair(2, 10, 0.7), pair(1, 11, 0.5), pair(2, 11, 0.2)];
+        let list1 = vec![pair(10, 20, 0.8), pair(11, 21, 0.6), pair(10, 21, 0.3), pair(11, 20, 0.1)];
+        for aggregate in [Aggregate::Sum, Aggregate::Min] {
+            for k in [1usize, 2, 3, 10] {
+                let mut provider =
+                    StaticProvider { lists: vec![list0.clone(), list1.clone()], floor: -10.0 };
+                let mut stats = NWayStats::default();
+                let answers =
+                    run(&query, &sets, aggregate, k, &mut provider, &mut stats).unwrap();
+                let expected = brute_force_chain(&[list0.clone(), list1.clone()], aggregate, k);
+                assert_eq!(answers.len(), expected.len(), "agg={aggregate:?} k={k}");
+                for (a, (nodes, score)) in answers.iter().zip(expected.iter()) {
+                    assert!((a.score - score).abs() < 1e-12);
+                    let got: Vec<u32> = a.nodes.iter().map(|n| n.0).collect();
+                    assert_eq!(&got, nodes, "agg={aggregate:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_does_not_pull_everything() {
+        // With SUM, the top answer combines the heads of both lists, so the
+        // join should stop long before exhausting the long tails.
+        let query = QueryGraph::chain(3);
+        let sets = vec![
+            NodeSet::new("A", (0..50).map(NodeId)),
+            NodeSet::new("B", (100..150).map(NodeId)),
+            NodeSet::new("C", (200..250).map(NodeId)),
+        ];
+        let mut list0 = vec![pair(0, 100, 10.0)];
+        let mut list1 = vec![pair(100, 200, 10.0)];
+        for i in 1..50u32 {
+            list0.push(pair(i, 100 + i, 1.0 - i as f64 * 0.01));
+            list1.push(pair(100 + i, 200 + i, 1.0 - i as f64 * 0.01));
+        }
+        let total = list0.len() + list1.len();
+        let mut provider = StaticProvider { lists: vec![list0, list1], floor: -10.0 };
+        let mut stats = NWayStats::default();
+        let answers = run(&query, &sets, Aggregate::Sum, 1, &mut provider, &mut stats).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert!((answers[0].score - 20.0).abs() < 1e-12);
+        assert!(
+            (stats.pairs_pulled as usize) < total,
+            "rank join pulled {} of {total} pairs",
+            stats.pairs_pulled
+        );
+    }
+
+    #[test]
+    fn triangle_query_requires_consistent_assignments() {
+        // Triangle over sets {1},{2},{3} with directed edges both ways; only
+        // consistent pairs should form an answer.
+        let query = QueryGraph::triangle();
+        let sets = vec![
+            NodeSet::new("A", [NodeId(1)]),
+            NodeSet::new("B", [NodeId(2)]),
+            NodeSet::new("C", [NodeId(3)]),
+        ];
+        // edges: (0,1), (1,0), (1,2), (2,1), (0,2), (2,0)
+        let lists = vec![
+            vec![pair(1, 2, 0.5)],
+            vec![pair(2, 1, 0.4)],
+            vec![pair(2, 3, 0.3)],
+            vec![pair(3, 2, 0.2)],
+            vec![pair(1, 3, 0.6)],
+            vec![pair(3, 1, 0.1)],
+        ];
+        let mut provider = StaticProvider { lists, floor: -10.0 };
+        let mut stats = NWayStats::default();
+        let answers = run(&query, &sets, Aggregate::Min, 5, &mut provider, &mut stats).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].nodes, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!((answers[0].score - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_counterpart_yields_no_answer() {
+        let query = QueryGraph::chain(3);
+        let sets = vec![
+            NodeSet::new("A", [NodeId(1)]),
+            NodeSet::new("B", [NodeId(10), NodeId(11)]),
+            NodeSet::new("C", [NodeId(20)]),
+        ];
+        // list0 pairs 1-10, but list1 only has 11-20: no consistent answer.
+        let lists = vec![vec![pair(1, 10, 0.9)], vec![pair(11, 20, 0.8)]];
+        let mut provider = StaticProvider { lists, floor: -10.0 };
+        let mut stats = NWayStats::default();
+        let answers = run(&query, &sets, Aggregate::Sum, 3, &mut provider, &mut stats).unwrap();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn disconnected_query_graph_is_rejected() {
+        let mut query = QueryGraph::new(4);
+        query.add_edge(0, 1).unwrap();
+        query.add_edge(2, 3).unwrap();
+        let sets = vec![
+            NodeSet::new("A", [NodeId(1)]),
+            NodeSet::new("B", [NodeId(2)]),
+            NodeSet::new("C", [NodeId(3)]),
+            NodeSet::new("D", [NodeId(4)]),
+        ];
+        let mut provider = StaticProvider { lists: vec![vec![], vec![]], floor: 0.0 };
+        let mut stats = NWayStats::default();
+        let err = run(&query, &sets, Aggregate::Sum, 1, &mut provider, &mut stats).unwrap_err();
+        assert_eq!(err, crate::CoreError::DisconnectedQueryGraph);
+    }
+}

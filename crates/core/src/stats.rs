@@ -1,0 +1,131 @@
+//! Instrumentation counters.
+//!
+//! The experiment harness needs more than wall-clock time: Figure 10(b) of
+//! the paper reports the *fraction of `Q` nodes pruned per iteration* of the
+//! B-IDJ variants, and the analysis in Section VII explains the speed-ups in
+//! terms of how many DHT evaluations / random-walk steps each algorithm
+//! performs.  These counters are cheap (plain integer increments) and are
+//! returned alongside every join result.
+
+/// Counters collected by a 2-way join run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TwoWayStats {
+    /// Number of full DHT evaluations (forward per-pair walks or backward
+    /// per-target walks, counted once per walk invocation).
+    pub walk_invocations: u64,
+    /// Total number of walk steps performed, summed over invocations.
+    pub walk_steps: u64,
+    /// Number of candidate node pairs whose score was computed or bounded.
+    pub pairs_scored: u64,
+    /// Size of the (remaining) target set `Q` after each iterative-deepening
+    /// iteration; index 0 is the size before any pruning.
+    pub q_remaining_per_iteration: Vec<usize>,
+}
+
+impl TwoWayStats {
+    /// Fraction of `Q` pruned after each iteration (Figure 10(b)); entry `i`
+    /// is the cumulative fraction pruned after iteration `i + 1`.
+    pub fn pruned_fraction_per_iteration(&self) -> Vec<f64> {
+        if self.q_remaining_per_iteration.len() < 2 {
+            return Vec::new();
+        }
+        let initial = self.q_remaining_per_iteration[0] as f64;
+        if initial == 0.0 {
+            return vec![0.0; self.q_remaining_per_iteration.len() - 1];
+        }
+        self.q_remaining_per_iteration[1..]
+            .iter()
+            .map(|&remaining| 1.0 - remaining as f64 / initial)
+            .collect()
+    }
+
+    /// Merges counters from another run into this one (used when a
+    /// higher-level algorithm performs several 2-way joins).
+    pub fn absorb(&mut self, other: &TwoWayStats) {
+        self.walk_invocations += other.walk_invocations;
+        self.walk_steps += other.walk_steps;
+        self.pairs_scored += other.pairs_scored;
+        // Per-iteration pruning traces are only meaningful per run; keep the
+        // first one recorded.
+        if self.q_remaining_per_iteration.is_empty() {
+            self.q_remaining_per_iteration = other.q_remaining_per_iteration.clone();
+        }
+    }
+}
+
+/// Counters collected by an n-way join run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NWayStats {
+    /// Number of 2-way join invocations (initial top-m joins plus any
+    /// re-runs triggered by `getNextNodePair`).
+    pub two_way_joins: u64,
+    /// Number of `getNextNodePair` calls (list exhaustions).
+    pub next_pair_calls: u64,
+    /// Number of entries pulled from the per-edge lists by the rank join.
+    pub pairs_pulled: u64,
+    /// Number of complete candidate answers generated (before top-k
+    /// filtering).
+    pub candidates_generated: u64,
+    /// Number of candidate tuples enumerated by NL (zero for the other
+    /// algorithms).
+    pub tuples_enumerated: u64,
+    /// Aggregated 2-way join counters.
+    pub two_way: TwoWayStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_fraction_matches_hand_computation() {
+        let stats = TwoWayStats {
+            q_remaining_per_iteration: vec![100, 40, 10, 10],
+            ..Default::default()
+        };
+        let fractions = stats.pruned_fraction_per_iteration();
+        assert_eq!(fractions.len(), 3);
+        assert!((fractions[0] - 0.6).abs() < 1e-12);
+        assert!((fractions[1] - 0.9).abs() < 1e-12);
+        assert!((fractions[2] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruned_fraction_handles_degenerate_traces() {
+        assert!(TwoWayStats::default().pruned_fraction_per_iteration().is_empty());
+        let stats = TwoWayStats { q_remaining_per_iteration: vec![0, 0], ..Default::default() };
+        assert_eq!(stats.pruned_fraction_per_iteration(), vec![0.0]);
+    }
+
+    #[test]
+    fn absorb_accumulates_counters() {
+        let mut a = TwoWayStats {
+            walk_invocations: 2,
+            walk_steps: 10,
+            pairs_scored: 4,
+            q_remaining_per_iteration: vec![],
+        };
+        let b = TwoWayStats {
+            walk_invocations: 3,
+            walk_steps: 5,
+            pairs_scored: 1,
+            q_remaining_per_iteration: vec![7, 3],
+        };
+        a.absorb(&b);
+        assert_eq!(a.walk_invocations, 5);
+        assert_eq!(a.walk_steps, 15);
+        assert_eq!(a.pairs_scored, 5);
+        assert_eq!(a.q_remaining_per_iteration, vec![7, 3]);
+        // absorbing again does not overwrite the recorded trace
+        a.absorb(&TwoWayStats { q_remaining_per_iteration: vec![9], ..Default::default() });
+        assert_eq!(a.q_remaining_per_iteration, vec![7, 3]);
+    }
+
+    #[test]
+    fn nway_stats_default_is_zeroed() {
+        let s = NWayStats::default();
+        assert_eq!(s.two_way_joins, 0);
+        assert_eq!(s.pairs_pulled, 0);
+        assert_eq!(s.two_way, TwoWayStats::default());
+    }
+}

@@ -1,0 +1,274 @@
+//! B-IDJ: the Backward Iterative Deepening Join (Algorithm 2), with the two
+//! upper-bound strategies of Section VI-C:
+//!
+//! * **B-IDJ-X** uses the parameter-only geometric tail `X_l⁺` (Lemma 2);
+//! * **B-IDJ-Y** uses the reachability-aware bound `Y_l⁺(P, q)` (Theorem 1),
+//!   which is never looser than `X_l⁺` (Lemma 5) and prunes far more
+//!   aggressively in practice, especially at large `λ`.
+//!
+//! `⌊log d⌋` iterations are performed.  In iteration `j` every still-alive
+//! target `q` runs an `l = 2^{j-1}`-step backward walk; the truncated scores
+//! `h_l(p, q)` are lower bounds, `max_p h_l(p,q) + U_l⁺` is an upper bound
+//! for everything involving `q`, and targets whose upper bound falls below
+//! the `k`-th best lower bound are pruned.  A final `d`-step walk over the
+//! survivors produces the exact answer.
+//!
+//! When an [`IncrementalState`] is supplied (the PJ-i path), every
+//! `(p, q)` bound computed along the way is recorded in the mutable priority
+//! structure `F`, so that later `getNextNodePair` calls can be answered
+//! without restarting the join from scratch (Section VI-D).
+
+use dht_graph::{Graph, NodeId, NodeSet};
+use dht_rankjoin::TopKBuffer;
+use dht_walks::backward::backward_dht_all_sources;
+use dht_walks::bounds::{x_upper_bound, YBoundTable};
+
+use crate::stats::TwoWayStats;
+
+use super::incremental::IncrementalState;
+use super::{finalize_pairs, TwoWayConfig, TwoWayOutput};
+
+/// Which upper-bound function `U_l⁺` drives the pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundKind {
+    /// The geometric tail `X_l⁺` of Lemma 2 (B-IDJ-X).
+    X,
+    /// The reachability-aware `Y_l⁺(P, q)` of Theorem 1 (B-IDJ-Y).
+    Y,
+}
+
+/// Runs B-IDJ with the chosen bound and returns the top-`k` pairs.
+///
+/// If `incremental` is provided, the per-pair bound information computed
+/// during the run is recorded there (the `F` structure of PJ-i) and the
+/// emitted top-`k` pairs are marked as already returned.
+pub fn top_k(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    bound: BoundKind,
+    mut incremental: Option<&mut IncrementalState>,
+) -> TwoWayOutput {
+    let params = &config.params;
+    let d = config.d;
+    let mut stats = TwoWayStats::default();
+
+    // The Y bound needs one d-step forward sweep seeded with all of P.
+    let y_table = match bound {
+        BoundKind::Y => {
+            stats.walk_invocations += 1;
+            stats.walk_steps += d as u64;
+            Some(YBoundTable::new(graph, params, p, d))
+        }
+        BoundKind::X => None,
+    };
+    if let (Some(state), Some(table)) = (incremental.as_deref_mut(), y_table.clone()) {
+        state.set_y_table(table);
+    }
+
+    let p_members: Vec<NodeId> = p.iter().collect();
+    let mut alive: Vec<NodeId> = q.iter().collect();
+    stats.q_remaining_per_iteration.push(alive.len());
+
+    let bound_at = |l: usize, qn: NodeId| -> f64 {
+        match bound {
+            BoundKind::X => x_upper_bound(params, l),
+            BoundKind::Y => y_table.as_ref().expect("Y table built above").bound(l, qn),
+        }
+    };
+
+    let mut l = 1usize;
+    while l < d && alive.len() > 1 {
+        let mut buffer: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
+        let mut uppers: Vec<(NodeId, f64)> = Vec::with_capacity(alive.len());
+        for &qn in &alive {
+            let scores = backward_dht_all_sources(graph, params, qn, l);
+            stats.walk_invocations += 1;
+            stats.walk_steps += l as u64;
+            let u_bound = bound_at(l, qn);
+            let mut p_max = params.min_score();
+            for &pn in &p_members {
+                if pn == qn {
+                    continue;
+                }
+                let lower = scores[pn.index()];
+                stats.pairs_scored += 1;
+                if lower > params.min_score() {
+                    buffer.insert(lower, (pn.0, qn.0));
+                }
+                if lower > p_max {
+                    p_max = lower;
+                }
+                if let Some(state) = incremental.as_deref_mut() {
+                    state.record(pn, qn, lower, lower + u_bound, l);
+                }
+            }
+            uppers.push((qn, p_max + u_bound));
+        }
+        if let Some(tk) = buffer.kth_score() {
+            alive = uppers
+                .iter()
+                .filter(|&&(_, upper)| upper >= tk)
+                .map(|&(qn, _)| qn)
+                .collect();
+        }
+        stats.q_remaining_per_iteration.push(alive.len());
+        l *= 2;
+    }
+
+    // Final pass: exact d-step scores for the surviving targets.
+    let mut buffer = TopKBuffer::new(k);
+    for &qn in &alive {
+        let scores = backward_dht_all_sources(graph, params, qn, d);
+        stats.walk_invocations += 1;
+        stats.walk_steps += d as u64;
+        for &pn in &p_members {
+            if pn == qn {
+                continue;
+            }
+            stats.pairs_scored += 1;
+            buffer.insert(scores[pn.index()], (pn.0, qn.0));
+            if let Some(state) = incremental.as_deref_mut() {
+                state.record_exact(pn, qn, scores[pn.index()]);
+            }
+        }
+    }
+
+    let pairs = finalize_pairs(buffer);
+    if let Some(state) = incremental.as_deref_mut() {
+        for pair in &pairs {
+            state.mark_emitted(pair.left, pair.right);
+        }
+    }
+    TwoWayOutput { pairs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twoway::{bbj, fbj};
+    use dht_graph::generators::{erdos_renyi, planted_partition, PlantedPartitionConfig};
+    use dht_graph::NodeId;
+    use dht_walks::DhtParams;
+
+    fn sets(p: &[u32], q: &[u32]) -> (NodeSet, NodeSet) {
+        (
+            NodeSet::new("P", p.iter().copied().map(NodeId)),
+            NodeSet::new("Q", q.iter().copied().map(NodeId)),
+        )
+    }
+
+    fn community_fixture() -> dht_graph::generators::CommunityGraph {
+        planted_partition(&PlantedPartitionConfig {
+            communities: 4,
+            community_size: 30,
+            avg_internal_degree: 8.0,
+            avg_external_degree: 1.0,
+            weighted: false,
+            seed: 77,
+        })
+    }
+
+    #[test]
+    fn x_variant_matches_the_basic_backward_join() {
+        let g = erdos_renyi(40, 120, 51);
+        let cfg = TwoWayConfig::paper_default();
+        let (p, q) = sets(&[0, 1, 2, 3, 4, 5], &[30, 31, 32, 33, 34, 35]);
+        let reference = bbj::top_k(&g, &cfg, &p, &q, 7);
+        let idj = top_k(&g, &cfg, &p, &q, 7, BoundKind::X, None);
+        assert_eq!(reference.pairs.len(), idj.pairs.len());
+        for (a, b) in reference.pairs.iter().zip(idj.pairs.iter()) {
+            assert!((a.score - b.score).abs() < 1e-10, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn y_variant_matches_the_forward_oracle() {
+        let cg = community_fixture();
+        let cfg = TwoWayConfig::paper_default();
+        let p = cg.community(0).clone();
+        let q = cg.community(1).clone();
+        let reference = fbj::top_k(&cg.graph, &cfg, &p, &q, 10);
+        let idj = top_k(&cg.graph, &cfg, &p, &q, 10, BoundKind::Y, None);
+        assert_eq!(reference.pairs.len(), idj.pairs.len());
+        for (a, b) in reference.pairs.iter().zip(idj.pairs.iter()) {
+            assert!((a.score - b.score).abs() < 1e-10, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn y_prunes_at_least_as_much_as_x() {
+        let cg = community_fixture();
+        let cfg = TwoWayConfig::new(DhtParams::dht_lambda(0.5), 10);
+        let p = cg.community(0).clone();
+        let q = cg.community(2).clone();
+        let x = top_k(&cg.graph, &cfg, &p, &q, 5, BoundKind::X, None);
+        let y = top_k(&cg.graph, &cfg, &p, &q, 5, BoundKind::Y, None);
+        // same answers
+        for (a, b) in x.pairs.iter().zip(y.pairs.iter()) {
+            assert!((a.score - b.score).abs() < 1e-10);
+        }
+        // Y never keeps more targets alive than X at any iteration
+        let xt = &x.stats.q_remaining_per_iteration;
+        let yt = &y.stats.q_remaining_per_iteration;
+        for (xa, ya) in xt.iter().zip(yt.iter()) {
+            assert!(ya <= xa, "X trace {xt:?}, Y trace {yt:?}");
+        }
+        // and Y performs no more walk work
+        assert!(y.stats.walk_steps <= x.stats.walk_steps + cfg.d as u64);
+    }
+
+    #[test]
+    fn pruning_trace_starts_with_full_q() {
+        let cg = community_fixture();
+        let cfg = TwoWayConfig::paper_default();
+        let p = cg.community(0).clone();
+        let q = cg.community(1).clone();
+        let out = top_k(&cg.graph, &cfg, &p, &q, 5, BoundKind::Y, None);
+        assert_eq!(out.stats.q_remaining_per_iteration[0], q.len());
+        // remaining counts never increase
+        for w in out.stats.q_remaining_per_iteration.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn incremental_state_is_populated_and_marks_emitted_pairs() {
+        let cg = community_fixture();
+        let cfg = TwoWayConfig::paper_default();
+        let p = cg.community(0).clone();
+        let q = cg.community(1).clone();
+        let mut state = IncrementalState::new(cfg.params, cfg.d);
+        let out = top_k(&cg.graph, &cfg, &p, &q, 8, BoundKind::Y, Some(&mut state));
+        assert_eq!(out.pairs.len(), 8);
+        // every (p, q) pair has an entry recorded
+        assert_eq!(state.len(), p.len() * q.len());
+        assert_eq!(state.emitted_count(), 8);
+    }
+
+    #[test]
+    fn overlapping_node_sets_never_pair_a_node_with_itself() {
+        let g = erdos_renyi(20, 60, 13);
+        let cfg = TwoWayConfig::paper_default();
+        let (p, q) = sets(&[0, 1, 2, 3], &[2, 3, 4, 5]);
+        for kind in [BoundKind::X, BoundKind::Y] {
+            let out = top_k(&g, &cfg, &p, &q, 20, kind, None);
+            assert!(out.pairs.iter().all(|pr| pr.left != pr.right));
+            assert_eq!(out.pairs.len(), 4 * 4 - 2);
+        }
+    }
+
+    #[test]
+    fn single_target_skips_the_deepening_loop() {
+        let g = erdos_renyi(15, 45, 19);
+        let cfg = TwoWayConfig::paper_default();
+        let (p, q) = sets(&[0, 1, 2, 3], &[10]);
+        let out = top_k(&g, &cfg, &p, &q, 3, BoundKind::Y, None);
+        let reference = bbj::top_k(&g, &cfg, &p, &q, 3);
+        for (a, b) in reference.pairs.iter().zip(out.pairs.iter()) {
+            assert!((a.score - b.score).abs() < 1e-10);
+        }
+    }
+}

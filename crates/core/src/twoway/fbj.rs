@@ -1,0 +1,122 @@
+//! F-BJ: the Forward Basic Join (Section V-B).
+//!
+//! Computes `h_d(p, q)` for **every** pair `(p, q) ∈ P × Q` with a forward
+//! absorbing walk per pair, then returns the `k` best.  Complexity
+//! `O(|P|·|Q|·d·|E_G|)` — the slowest algorithm, but also the one with no
+//! moving parts, which makes it the reference oracle for the others.
+
+use dht_graph::{Graph, NodeSet};
+use dht_rankjoin::TopKBuffer;
+use dht_walks::forward;
+
+use crate::stats::TwoWayStats;
+
+use super::{finalize_pairs, TwoWayConfig, TwoWayOutput};
+
+/// Runs F-BJ and returns the top-`k` pairs.
+pub fn top_k(graph: &Graph, config: &TwoWayConfig, p: &NodeSet, q: &NodeSet, k: usize) -> TwoWayOutput {
+    let mut stats = TwoWayStats::default();
+    let mut buffer = TopKBuffer::new(k);
+    for pn in p.iter() {
+        for qn in q.iter() {
+            if pn == qn {
+                continue;
+            }
+            let score = forward::forward_dht(graph, &config.params, pn, qn, config.d);
+            stats.walk_invocations += 1;
+            stats.walk_steps += config.d as u64;
+            stats.pairs_scored += 1;
+            buffer.insert(score, (pn.0, qn.0));
+        }
+    }
+    TwoWayOutput { pairs: finalize_pairs(buffer), stats }
+}
+
+/// Computes the complete sorted list of all `|P|·|Q|` pairs (used by the AP
+/// n-way join, which needs every pair, not just the top-k).
+pub fn all_pairs(graph: &Graph, config: &TwoWayConfig, p: &NodeSet, q: &NodeSet) -> TwoWayOutput {
+    top_k(graph, config, p, q, p.len() * q.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::generators::erdos_renyi;
+    use dht_graph::{GraphBuilder, NodeId};
+    use dht_walks::exact::all_pairs_dht;
+
+    fn sets(p: &[u32], q: &[u32]) -> (NodeSet, NodeSet) {
+        (
+            NodeSet::new("P", p.iter().copied().map(NodeId)),
+            NodeSet::new("Q", q.iter().copied().map(NodeId)),
+        )
+    }
+
+    #[test]
+    fn matches_brute_force_oracle() {
+        let g = erdos_renyi(20, 60, 11);
+        let cfg = TwoWayConfig::paper_default();
+        let (p, q) = sets(&[0, 1, 2, 3, 4], &[10, 11, 12, 13]);
+        let oracle = all_pairs_dht(&g, &cfg.params, cfg.d);
+        let out = top_k(&g, &cfg, &p, &q, 5);
+        assert_eq!(out.pairs.len(), 5);
+        // collect oracle's top 5 scores over the same pair domain
+        let mut expected: Vec<f64> = p
+            .iter()
+            .flat_map(|pn| q.iter().map(move |qn| (pn, qn)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| oracle[a.index()][b.index()])
+            .collect();
+        expected.sort_by(|a, b| b.total_cmp(a));
+        for (got, want) in out.pairs.iter().zip(expected.iter()) {
+            assert!((got.score - want).abs() < 1e-10);
+        }
+        // pairs are sorted descending
+        for w in out.pairs.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+        }
+    }
+
+    #[test]
+    fn excludes_identical_nodes() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_undirected_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_undirected_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let cfg = TwoWayConfig::paper_default();
+        let p = NodeSet::new("P", [NodeId(0), NodeId(1)]);
+        let q = NodeSet::new("Q", [NodeId(1), NodeId(2)]);
+        let out = top_k(&g, &cfg, &p, &q, 10);
+        assert!(out.pairs.iter().all(|pr| pr.left != pr.right));
+        assert_eq!(out.pairs.len(), 3);
+    }
+
+    #[test]
+    fn k_larger_than_domain_returns_everything() {
+        let g = erdos_renyi(10, 20, 2);
+        let cfg = TwoWayConfig::paper_default();
+        let (p, q) = sets(&[0, 1], &[5, 6]);
+        let out = top_k(&g, &cfg, &p, &q, 100);
+        assert_eq!(out.pairs.len(), 4);
+    }
+
+    #[test]
+    fn stats_count_every_pair() {
+        let g = erdos_renyi(15, 40, 4);
+        let cfg = TwoWayConfig::paper_default();
+        let (p, q) = sets(&[0, 1, 2], &[8, 9]);
+        let out = top_k(&g, &cfg, &p, &q, 3);
+        assert_eq!(out.stats.pairs_scored, 6);
+        assert_eq!(out.stats.walk_invocations, 6);
+        assert_eq!(out.stats.walk_steps, 6 * cfg.d as u64);
+    }
+
+    #[test]
+    fn all_pairs_returns_the_full_cross_product() {
+        let g = erdos_renyi(12, 30, 6);
+        let cfg = TwoWayConfig::paper_default();
+        let (p, q) = sets(&[0, 1, 2], &[6, 7, 8, 9]);
+        let out = all_pairs(&g, &cfg, &p, &q);
+        assert_eq!(out.pairs.len(), 12);
+    }
+}

@@ -1,0 +1,313 @@
+//! The mutable bound structure `F` of PJ-i (Section VI-D).
+//!
+//! While the modified B-IDJ of PJ-i evaluates a top-`m` 2-way join, it
+//! records, for every candidate pair `(p, q)`, the tightest lower and upper
+//! bounds of `h_d(p, q)` seen so far together with the walk depth `l` that
+//! produced them.  A later `getNextNodePair` call then works entirely from
+//! this structure:
+//!
+//! 1. take the non-emitted pair with the largest upper bound;
+//! 2. if its bounds were computed at full depth `d`, its score is exact and
+//!    no other pair can beat it (its upper bound is maximal) — emit it;
+//! 3. otherwise *refine* it: re-run a backward walk from its target with
+//!    twice the depth (or directly depth `d` when it already dominates every
+//!    other pair's upper bound), update all entries of that target, and
+//!    repeat.
+//!
+//! Because refinement always increases the recorded depth and depth is
+//! capped at `d`, the loop terminates; because entries exist for every pair
+//! (including the unreachable ones, whose score is `β`), the structure can
+//! serve the entire `|P|·|Q|` ranking without ever falling back to a fresh
+//! top-`m'` join — this is what makes PJ-i cheap when the rank join keeps
+//! asking for "just one more pair".
+
+use std::collections::{HashMap, HashSet};
+
+use dht_graph::{Graph, NodeId};
+use dht_walks::backward::backward_dht_all_sources;
+use dht_walks::bounds::{x_upper_bound, YBoundTable};
+use dht_walks::DhtParams;
+
+use crate::answer::PairScore;
+
+/// Bound information of one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FEntry {
+    /// Lower bound of `h_d(p, q)` (a truncated score `h_l`).
+    pub lower: f64,
+    /// Upper bound of `h_d(p, q)` (`h_l + U_l⁺`).
+    pub upper: f64,
+    /// Walk depth `l` at which the bounds were computed; `l = d` means the
+    /// score is exact.
+    pub level: usize,
+}
+
+/// The mutable priority structure `F` plus the bookkeeping needed to emit
+/// pairs in descending score order.
+#[derive(Debug, Clone)]
+pub struct IncrementalState {
+    params: DhtParams,
+    d: usize,
+    entries: HashMap<(u32, u32), FEntry>,
+    emitted: HashSet<(u32, u32)>,
+    y_table: Option<YBoundTable>,
+    /// Number of backward walks run by refinement (exposed for stats).
+    refinement_walks: u64,
+    /// Total refinement walk steps.
+    refinement_steps: u64,
+}
+
+impl IncrementalState {
+    /// Creates an empty structure for the given parameters and walk depth.
+    pub fn new(params: DhtParams, d: usize) -> Self {
+        IncrementalState {
+            params,
+            d: d.max(1),
+            entries: HashMap::new(),
+            emitted: HashSet::new(),
+            y_table: None,
+            refinement_walks: 0,
+            refinement_steps: 0,
+        }
+    }
+
+    /// Installs the `Y_l⁺` table of the originating B-IDJ-Y run so that
+    /// refinements can use the tighter bound; without it the `X_l⁺` bound is
+    /// used.
+    pub fn set_y_table(&mut self, table: YBoundTable) {
+        self.y_table = Some(table);
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pair has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of pairs already emitted (the top-`m` list plus any
+    /// `next_pair` results).
+    pub fn emitted_count(&self) -> usize {
+        self.emitted.len()
+    }
+
+    /// Backward walks performed by refinement so far.
+    pub fn refinement_walks(&self) -> u64 {
+        self.refinement_walks
+    }
+
+    /// Walk steps performed by refinement so far.
+    pub fn refinement_steps(&self) -> u64 {
+        self.refinement_steps
+    }
+
+    /// Looks up the entry of a pair (mainly for tests).
+    pub fn entry(&self, p: NodeId, q: NodeId) -> Option<FEntry> {
+        self.entries.get(&(p.0, q.0)).copied()
+    }
+
+    /// Records bounds computed at depth `level`; entries are only replaced
+    /// by deeper (tighter) information, mirroring the "supersede if
+    /// `e.l < s.l`" rule of the paper.
+    pub fn record(&mut self, p: NodeId, q: NodeId, lower: f64, upper: f64, level: usize) {
+        let key = (p.0, q.0);
+        match self.entries.get_mut(&key) {
+            Some(existing) if existing.level >= level => {}
+            Some(existing) => *existing = FEntry { lower, upper, level },
+            None => {
+                self.entries.insert(key, FEntry { lower, upper, level });
+            }
+        }
+    }
+
+    /// Records an exact score (depth `d`).
+    pub fn record_exact(&mut self, p: NodeId, q: NodeId, score: f64) {
+        self.record(p, q, score, score, self.d);
+    }
+
+    /// Marks a pair as already returned to the caller.
+    pub fn mark_emitted(&mut self, p: NodeId, q: NodeId) {
+        self.emitted.insert((p.0, q.0));
+    }
+
+    /// Finds the non-emitted entry with the largest upper bound and the
+    /// largest upper bound among the rest.
+    fn best_candidate(&self) -> Option<((u32, u32), FEntry, f64)> {
+        let mut best: Option<((u32, u32), FEntry)> = None;
+        let mut second = f64::NEG_INFINITY;
+        for (&key, &entry) in &self.entries {
+            if self.emitted.contains(&key) {
+                continue;
+            }
+            match best {
+                None => best = Some((key, entry)),
+                Some((_, current)) => {
+                    if entry.upper > current.upper {
+                        second = current.upper;
+                        best = Some((key, entry));
+                    } else if entry.upper > second {
+                        second = entry.upper;
+                    }
+                }
+            }
+        }
+        best.map(|(key, entry)| (key, entry, second))
+    }
+
+    /// Re-runs a backward walk from `target` at depth `level` and tightens
+    /// every entry whose target matches.
+    fn refine_target(&mut self, graph: &Graph, target: NodeId, level: usize) {
+        let level = level.clamp(1, self.d);
+        let scores = backward_dht_all_sources(graph, &self.params, target, level);
+        self.refinement_walks += 1;
+        self.refinement_steps += level as u64;
+        let u_bound = if level >= self.d {
+            0.0
+        } else {
+            match &self.y_table {
+                Some(table) => table.bound(level, target),
+                None => x_upper_bound(&self.params, level),
+            }
+        };
+        for (key, entry) in self.entries.iter_mut() {
+            if key.1 != target.0 || entry.level >= level {
+                continue;
+            }
+            let lower = scores[key.0 as usize];
+            *entry = FEntry { lower, upper: lower + u_bound, level };
+        }
+    }
+
+    /// `getNextNodePair`: returns the non-emitted pair with the highest exact
+    /// score, refining bounds lazily as needed.  Returns `None` once every
+    /// recorded pair has been emitted.
+    pub fn next_pair(&mut self, graph: &Graph) -> Option<PairScore> {
+        loop {
+            let (key, entry, second_upper) = self.best_candidate()?;
+            if entry.level >= self.d {
+                // Exact and maximal among the remaining upper bounds: emit.
+                self.emitted.insert(key);
+                return Some(PairScore::new(NodeId(key.0), NodeId(key.1), entry.lower));
+            }
+            let target = NodeId(key.1);
+            let confident = entry.lower >= second_upper;
+            let new_level = if confident { self.d } else { (entry.level * 2).clamp(1, self.d) };
+            self.refine_target(graph, target, new_level.max(entry.level + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::twoway::{bbj, bidj, BoundKind, TwoWayConfig};
+    use dht_graph::generators::{erdos_renyi, planted_partition, PlantedPartitionConfig};
+    use dht_graph::NodeSet;
+
+    #[test]
+    fn record_keeps_the_deepest_information() {
+        let mut state = IncrementalState::new(DhtParams::paper_default(), 8);
+        let (p, q) = (NodeId(1), NodeId(2));
+        state.record(p, q, 0.1, 0.5, 1);
+        state.record(p, q, 0.2, 0.3, 2);
+        assert_eq!(state.entry(p, q).unwrap().level, 2);
+        // shallower information never overwrites deeper information
+        state.record(p, q, 0.0, 1.0, 1);
+        assert_eq!(state.entry(p, q).unwrap().lower, 0.2);
+        state.record_exact(p, q, 0.25);
+        let e = state.entry(p, q).unwrap();
+        assert_eq!(e.level, 8);
+        assert_eq!(e.lower, e.upper);
+    }
+
+    #[test]
+    fn next_pair_streams_the_exact_ranking() {
+        // The pairs emitted by top-m + repeated next_pair calls must equal
+        // the full ranking computed by B-BJ.
+        let cg = planted_partition(&PlantedPartitionConfig {
+            communities: 3,
+            community_size: 20,
+            avg_internal_degree: 6.0,
+            avg_external_degree: 1.5,
+            weighted: false,
+            seed: 5,
+        });
+        let cfg = TwoWayConfig::paper_default();
+        let p = cg.community(0).clone();
+        let q = cg.community(1).clone();
+        let m = 10;
+        let mut state = IncrementalState::new(cfg.params, cfg.d);
+        let top_m = bidj::top_k(&cg.graph, &cfg, &p, &q, m, BoundKind::Y, Some(&mut state));
+
+        let total = 40usize;
+        let mut streamed: Vec<f64> = top_m.pairs.iter().map(|pr| pr.score).collect();
+        while streamed.len() < total {
+            let pair = state.next_pair(&cg.graph).expect("entries remain");
+            streamed.push(pair.score);
+        }
+        let reference = bbj::top_k(&cg.graph, &cfg, &p, &q, total);
+        assert_eq!(reference.pairs.len(), total);
+        for (i, (got, want)) in streamed.iter().zip(reference.pairs.iter()).enumerate() {
+            assert!(
+                (got - want.score).abs() < 1e-9,
+                "rank {i}: streamed {got} but reference {}",
+                want.score
+            );
+        }
+        // scores are non-increasing
+        for w in streamed.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn next_pair_exhausts_and_returns_none() {
+        let g = erdos_renyi(10, 30, 9);
+        let cfg = TwoWayConfig::paper_default();
+        let p = NodeSet::new("P", [NodeId(0), NodeId(1)]);
+        let q = NodeSet::new("Q", [NodeId(5), NodeId(6)]);
+        let mut state = IncrementalState::new(cfg.params, cfg.d);
+        let out = bidj::top_k(&g, &cfg, &p, &q, 2, BoundKind::Y, Some(&mut state));
+        assert_eq!(out.pairs.len(), 2);
+        let mut remaining = 0;
+        while state.next_pair(&g).is_some() {
+            remaining += 1;
+        }
+        assert_eq!(remaining, 2, "4 pairs total, 2 already emitted");
+        assert!(state.next_pair(&g).is_none());
+    }
+
+    #[test]
+    fn refinement_work_is_recorded() {
+        let cg = planted_partition(&PlantedPartitionConfig {
+            communities: 2,
+            community_size: 25,
+            avg_internal_degree: 6.0,
+            avg_external_degree: 1.0,
+            weighted: false,
+            seed: 8,
+        });
+        let cfg = TwoWayConfig::paper_default();
+        let p = cg.community(0).clone();
+        let q = cg.community(1).clone();
+        let mut state = IncrementalState::new(cfg.params, cfg.d);
+        bidj::top_k(&cg.graph, &cfg, &p, &q, 3, BoundKind::Y, Some(&mut state));
+        for _ in 0..5 {
+            state.next_pair(&cg.graph);
+        }
+        // pulling beyond the top-3 list requires at least some refinement
+        assert!(state.refinement_walks() > 0);
+        assert!(state.refinement_steps() >= state.refinement_walks());
+    }
+
+    #[test]
+    fn empty_state_yields_nothing() {
+        let g = erdos_renyi(5, 8, 1);
+        let mut state = IncrementalState::new(DhtParams::paper_default(), 4);
+        assert!(state.is_empty());
+        assert!(state.next_pair(&g).is_none());
+    }
+}

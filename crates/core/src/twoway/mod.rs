@@ -1,0 +1,159 @@
+//! Top-k 2-way joins over DHT (Sections V and VI of the paper).
+//!
+//! All algorithms share the same contract: given a graph, the DHT parameters
+//! and walk depth, two node sets `P` and `Q` and a result size `k`, return
+//! the `k` pairs `(p, q) ∈ P × Q` (`p ≠ q`) with the highest truncated DHT
+//! scores `h_d(p, q)`, sorted by descending score, together with
+//! instrumentation counters.
+//!
+//! The forward algorithms ([`fbj`], [`fidj`]) walk from each source `p`
+//! towards each target `q`; the backward algorithms ([`bbj`], [`bidj`]) walk
+//! backwards from each target `q` and obtain the scores of *all* sources at
+//! once, which is why they are roughly `|P|` times faster.
+
+pub mod bbj;
+pub mod bidj;
+pub mod fbj;
+pub mod fidj;
+pub mod incremental;
+
+use dht_graph::{Graph, NodeSet};
+use dht_walks::DhtParams;
+
+use crate::answer::PairScore;
+use crate::stats::TwoWayStats;
+
+pub use bidj::BoundKind;
+pub use incremental::IncrementalState;
+
+/// Shared configuration of a 2-way join run.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoWayConfig {
+    /// DHT parameters (α, β, λ).
+    pub params: DhtParams,
+    /// Truncation depth `d` (usually chosen with Lemma 1).
+    pub d: usize,
+}
+
+impl TwoWayConfig {
+    /// Creates a configuration.
+    pub fn new(params: DhtParams, d: usize) -> Self {
+        TwoWayConfig { params, d: d.max(1) }
+    }
+
+    /// The paper's default configuration: `DHT_λ` with `λ = 0.2` and
+    /// `ε = 10⁻⁶`, i.e. `d = 8`.
+    pub fn paper_default() -> Self {
+        let params = DhtParams::paper_default();
+        let d = params.depth_for_epsilon(1e-6).expect("1e-6 is a valid epsilon");
+        TwoWayConfig { params, d }
+    }
+}
+
+/// Result of a 2-way join: the top-k pairs (descending score) plus counters.
+#[derive(Debug, Clone)]
+pub struct TwoWayOutput {
+    /// The `k` highest-scored pairs, sorted by descending score.
+    pub pairs: Vec<PairScore>,
+    /// Instrumentation counters.
+    pub stats: TwoWayStats,
+}
+
+/// Selects one of the five 2-way join algorithms of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TwoWayAlgorithm {
+    /// F-BJ: forward basic join.
+    ForwardBasic,
+    /// F-IDJ: forward iterative-deepening join.
+    ForwardIdj,
+    /// B-BJ: backward basic join.
+    BackwardBasic,
+    /// B-IDJ-X: backward iterative deepening with the `X_l⁺` bound.
+    BackwardIdjX,
+    /// B-IDJ-Y: backward iterative deepening with the `Y_l⁺` bound
+    /// (Theorem 1) — the paper's best 2-way join.
+    BackwardIdjY,
+}
+
+impl TwoWayAlgorithm {
+    /// All five algorithms, in the order of Figure 9(a).
+    pub const ALL: [TwoWayAlgorithm; 5] = [
+        TwoWayAlgorithm::ForwardBasic,
+        TwoWayAlgorithm::ForwardIdj,
+        TwoWayAlgorithm::BackwardBasic,
+        TwoWayAlgorithm::BackwardIdjX,
+        TwoWayAlgorithm::BackwardIdjY,
+    ];
+
+    /// The paper's abbreviation for the algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            TwoWayAlgorithm::ForwardBasic => "F-BJ",
+            TwoWayAlgorithm::ForwardIdj => "F-IDJ",
+            TwoWayAlgorithm::BackwardBasic => "B-BJ",
+            TwoWayAlgorithm::BackwardIdjX => "B-IDJ-X",
+            TwoWayAlgorithm::BackwardIdjY => "B-IDJ-Y",
+        }
+    }
+
+    /// Runs the selected algorithm.
+    pub fn top_k(
+        self,
+        graph: &Graph,
+        config: &TwoWayConfig,
+        p: &NodeSet,
+        q: &NodeSet,
+        k: usize,
+    ) -> TwoWayOutput {
+        match self {
+            TwoWayAlgorithm::ForwardBasic => fbj::top_k(graph, config, p, q, k),
+            TwoWayAlgorithm::ForwardIdj => fidj::top_k(graph, config, p, q, k),
+            TwoWayAlgorithm::BackwardBasic => bbj::top_k(graph, config, p, q, k),
+            TwoWayAlgorithm::BackwardIdjX => {
+                bidj::top_k(graph, config, p, q, k, BoundKind::X, None)
+            }
+            TwoWayAlgorithm::BackwardIdjY => {
+                bidj::top_k(graph, config, p, q, k, BoundKind::Y, None)
+            }
+        }
+    }
+}
+
+/// Builds the final sorted pair list from a top-k buffer, breaking score
+/// ties deterministically.
+pub(crate) fn finalize_pairs(buffer: dht_rankjoin::TopKBuffer<(u32, u32)>) -> Vec<PairScore> {
+    let mut pairs: Vec<PairScore> = buffer
+        .into_sorted_desc()
+        .into_iter()
+        .map(|(score, (l, r))| PairScore::new(dht_graph::NodeId(l), dht_graph::NodeId(r), score))
+        .collect();
+    crate::answer::sort_pairs(&mut pairs);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(TwoWayAlgorithm::ForwardBasic.name(), "F-BJ");
+        assert_eq!(TwoWayAlgorithm::ForwardIdj.name(), "F-IDJ");
+        assert_eq!(TwoWayAlgorithm::BackwardBasic.name(), "B-BJ");
+        assert_eq!(TwoWayAlgorithm::BackwardIdjX.name(), "B-IDJ-X");
+        assert_eq!(TwoWayAlgorithm::BackwardIdjY.name(), "B-IDJ-Y");
+    }
+
+    #[test]
+    fn paper_default_config_has_depth_eight() {
+        let cfg = TwoWayConfig::paper_default();
+        assert_eq!(cfg.d, 8);
+        assert!((cfg.params.lambda - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_is_clamped_to_at_least_one() {
+        let cfg = TwoWayConfig::new(DhtParams::paper_default(), 0);
+        assert_eq!(cfg.d, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! The dataset container and scale presets.
+
+use dht_graph::{Graph, NodeSet};
+
+/// How large a synthetic dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// A few hundred nodes — used by unit tests.
+    Tiny,
+    /// Tens of thousands of nodes — used by the benchmark harness so that a
+    /// full figure sweep completes in minutes on one core.
+    Bench,
+    /// Approximately the paper's sizes (DBLP 188k nodes / YouTube 1M+).
+    /// Generation stays fast (edge-sampling generators), but running the
+    /// forward baselines at this scale takes as long as it did for the
+    /// authors.
+    Full,
+}
+
+impl Scale {
+    /// Short lowercase name used in report headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Bench => "bench",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// A generated dataset: the graph plus its named node sets.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name ("dblp", "yeast", "youtube").
+    pub name: String,
+    /// The generated graph.
+    pub graph: Graph,
+    /// Named node sets (research areas / partitions / interest groups).
+    pub node_sets: Vec<NodeSet>,
+}
+
+impl Dataset {
+    /// Looks up a node set by name.
+    pub fn node_set(&self, name: &str) -> Option<&NodeSet> {
+        self.node_sets.iter().find(|s| s.name() == name)
+    }
+
+    /// The `n` largest node sets, by member count (descending).
+    pub fn largest_sets(&self, n: usize) -> Vec<&NodeSet> {
+        let mut sets: Vec<&NodeSet> = self.node_sets.iter().collect();
+        sets.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.name().cmp(b.name())));
+        sets.truncate(n);
+        sets
+    }
+
+    /// One-line summary used by the experiment binaries.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} nodes, {} directed edges, {} node sets",
+            self.name,
+            self.graph.node_count(),
+            self.graph.edge_count(),
+            self.node_sets.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::{GraphBuilder, NodeId};
+
+    fn toy() -> Dataset {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_undirected_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        Dataset {
+            name: "toy".into(),
+            graph: b.build().unwrap(),
+            node_sets: vec![
+                NodeSet::new("A", [NodeId(0)]),
+                NodeSet::new("B", [NodeId(1), NodeId(2)]),
+                NodeSet::new("C", [NodeId(3), NodeId(0), NodeId(1)]),
+            ],
+        }
+    }
+
+    #[test]
+    fn node_set_lookup_by_name() {
+        let d = toy();
+        assert_eq!(d.node_set("B").unwrap().len(), 2);
+        assert!(d.node_set("missing").is_none());
+    }
+
+    #[test]
+    fn largest_sets_are_ordered_by_size() {
+        let d = toy();
+        let top = d.largest_sets(2);
+        assert_eq!(top[0].name(), "C");
+        assert_eq!(top[1].name(), "B");
+        assert_eq!(d.largest_sets(10).len(), 3);
+    }
+
+    #[test]
+    fn summary_mentions_the_sizes() {
+        let d = toy();
+        let s = d.summary();
+        assert!(s.contains("toy"));
+        assert!(s.contains("4 nodes"));
+        assert!(s.contains("3 node sets"));
+    }
+
+    #[test]
+    fn scale_names() {
+        assert_eq!(Scale::Tiny.name(), "tiny");
+        assert_eq!(Scale::Bench.name(), "bench");
+        assert_eq!(Scale::Full.name(), "full");
+    }
+}

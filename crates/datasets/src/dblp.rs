@@ -1,0 +1,309 @@
+//! Synthetic analogue of the DBLP co-authorship graph.
+//!
+//! The paper's DBLP snapshot (2012) is an undirected, weighted graph with
+//! 188k author nodes and 1.14M edges; the edge weight is the number of
+//! co-authored papers, and "authors who published in the same research area
+//! form a node set" — the experiments use the top-100 authors (by number of
+//! publications) of DB, AI and SYS.
+//!
+//! The analogue plants one community per research area, samples
+//! within-community and cross-community co-authorship edges with
+//! heavy-tailed weights, and exposes each area's top-`h` nodes by weighted
+//! degree as its node set.  Author labels are synthetic ("DB-0042"), since
+//! real names cannot be reproduced, but the structural role of each node set
+//! matches the paper's.
+
+use dht_graph::{GraphBuilder, NodeId, NodeSet};
+use rand::Rng;
+
+use crate::dataset::{Dataset, Scale};
+use crate::gen;
+
+/// The research areas used to label the communities.  The first three (DB,
+/// AI, SYS) are the ones the paper's Table III and 3-clique experiments use.
+pub const AREAS: [&str; 8] = ["DB", "AI", "SYS", "DM", "IR", "ML", "NET", "SEC"];
+
+/// Configuration of the DBLP analogue generator.
+#[derive(Debug, Clone)]
+pub struct DblpConfig {
+    /// Number of research areas (≤ `AREAS.len()`).
+    pub areas: usize,
+    /// Authors per research area.
+    pub authors_per_area: usize,
+    /// Average number of within-area co-authors per author.
+    pub avg_internal_degree: f64,
+    /// Average number of cross-area co-authors per author.
+    pub avg_external_degree: f64,
+    /// Size of each exposed node set (top authors by weighted degree);
+    /// the paper uses 100.
+    pub top_authors_per_set: usize,
+    /// Number of planted cross-disciplinary collaborations: triangles whose
+    /// corners are prolific authors of the first three areas (DB, AI, SYS).
+    /// Real bibliographic networks have them (senior authors co-publish
+    /// across areas); they are what the 3-clique-prediction experiment of
+    /// Table IV predicts.
+    pub cross_area_triangles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DblpConfig {
+    /// Preset for a [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => DblpConfig {
+                areas: 4,
+                authors_per_area: 60,
+                avg_internal_degree: 6.0,
+                avg_external_degree: 1.5,
+                top_authors_per_set: 15,
+                cross_area_triangles: 12,
+                seed: 2014,
+            },
+            Scale::Bench => DblpConfig {
+                areas: 8,
+                authors_per_area: 2_500,
+                avg_internal_degree: 10.0,
+                avg_external_degree: 2.0,
+                top_authors_per_set: 100,
+                cross_area_triangles: 150,
+                seed: 2014,
+            },
+            Scale::Full => DblpConfig {
+                areas: 8,
+                authors_per_area: 23_500,
+                avg_internal_degree: 10.0,
+                avg_external_degree: 2.0,
+                top_authors_per_set: 100,
+                cross_area_triangles: 400,
+                seed: 2014,
+            },
+        }
+    }
+}
+
+/// Generates the DBLP analogue.
+pub fn generate(config: &DblpConfig) -> Dataset {
+    let areas = config.areas.min(AREAS.len()).max(1);
+    let per_area = config.authors_per_area.max(2);
+    let n = areas * per_area;
+    let mut rng = gen::rng(config.seed);
+    let mut builder = GraphBuilder::with_capacity(n, (n as f64 * config.avg_internal_degree) as usize);
+
+    for area in 0..areas {
+        for i in 0..per_area {
+            builder.add_labeled_node(format!("{}-{:04}", AREAS[area], i));
+        }
+    }
+
+    // An adjacency mirror lets part of the cross-area co-authorships be
+    // produced by triadic closure, which is the structural property the
+    // link-prediction experiment relies on (held-out collaborations keep
+    // their 2-hop support in the test graph).
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut weighted_edges: Vec<(u32, u32, f64)> = Vec::new();
+    let push_edge =
+        |adjacency: &mut Vec<Vec<u32>>, edges: &mut Vec<(u32, u32, f64)>, u: u32, v: u32, w: f64| {
+            if adjacency[u as usize].contains(&v) {
+                return;
+            }
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+            edges.push((u, v, w));
+        };
+
+    // Within-area co-authorships.
+    for area in 0..areas {
+        let start = (area * per_area) as u32;
+        let end = start + per_area as u32;
+        let edge_count = (per_area as f64 * config.avg_internal_degree / 2.0).round() as usize;
+        for (u, v) in gen::sample_edges_within(&mut rng, start..end, edge_count) {
+            let w = gen::heavy_tailed_weight(&mut rng, 60);
+            push_edge(&mut adjacency, &mut weighted_edges, u, v, w);
+        }
+    }
+
+    // Cross-area co-authorships: a uniformly spread random seed over all
+    // area pairs, then triadic closure for the remainder.
+    if areas > 1 {
+        let external_total = (n as f64 * config.avg_external_degree / 2.0).round() as usize;
+        let seed_total = external_total / 2;
+        let pairs: Vec<(usize, usize)> =
+            (0..areas).flat_map(|a| ((a + 1)..areas).map(move |b| (a, b))).collect();
+        let per_pair = (seed_total / pairs.len().max(1)).max(1);
+        for &(a, b) in &pairs {
+            let a_start = (a * per_area) as u32;
+            let b_start = (b * per_area) as u32;
+            for (u, v) in gen::sample_edges_across(
+                &mut rng,
+                a_start..a_start + per_area as u32,
+                b_start..b_start + per_area as u32,
+                per_pair,
+            ) {
+                let w = gen::heavy_tailed_weight(&mut rng, 20);
+                push_edge(&mut adjacency, &mut weighted_edges, u, v, w);
+            }
+        }
+        let closure_target = external_total.saturating_sub(seed_total);
+        let area_of = |node: u32| node as usize / per_area;
+        let closed = gen::triadic_closure_edges(&mut rng, &mut adjacency, closure_target, |u, v| {
+            area_of(u) != area_of(v)
+        });
+        for (u, v) in closed {
+            let w = gen::heavy_tailed_weight(&mut rng, 20);
+            weighted_edges.push((u, v, w));
+        }
+    }
+
+    // Planted cross-disciplinary collaborations: triangles over prolific
+    // authors of the first three areas, so that the DB/AI/SYS node sets
+    // (top authors by weighted degree) contain spanning 3-cliques, as the
+    // real DBLP graph does.
+    if areas >= 3 && config.cross_area_triangles > 0 {
+        let mut weighted_degree = vec![0.0f64; n];
+        for &(u, v, w) in &weighted_edges {
+            weighted_degree[u as usize] += w;
+            weighted_degree[v as usize] += w;
+        }
+        let pool: Vec<Vec<u32>> = (0..3)
+            .map(|area| {
+                let start = (area * per_area) as u32;
+                let mut ids: Vec<u32> = (start..start + per_area as u32).collect();
+                ids.sort_by(|&a, &b| {
+                    weighted_degree[b as usize].total_cmp(&weighted_degree[a as usize])
+                });
+                ids.truncate(config.top_authors_per_set.max(1));
+                ids
+            })
+            .collect();
+        for _ in 0..config.cross_area_triangles {
+            let a = pool[0][rng.gen_range(0..pool[0].len())];
+            let b = pool[1][rng.gen_range(0..pool[1].len())];
+            let c = pool[2][rng.gen_range(0..pool[2].len())];
+            for (u, v) in [(a, b), (b, c), (a, c)] {
+                let w = gen::heavy_tailed_weight(&mut rng, 20) + 4.0;
+                push_edge(&mut adjacency, &mut weighted_edges, u, v, w);
+            }
+        }
+    }
+
+    for &(u, v, w) in &weighted_edges {
+        builder
+            .add_undirected_edge(NodeId(u), NodeId(v), w)
+            .expect("sampled endpoints are valid");
+    }
+
+    let graph = builder.build().expect("generated DBLP graph is valid");
+
+    // Node sets: top authors per area by weighted out-degree ("number of
+    // publications").
+    let mut node_sets = Vec::with_capacity(areas);
+    for area in 0..areas {
+        let start = area * per_area;
+        let mut scored: Vec<(NodeId, f64)> = (start..start + per_area)
+            .map(|i| {
+                let node = NodeId(i as u32);
+                let weight: f64 = graph.out_weights(node).iter().sum();
+                (node, weight)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.truncate(config.top_authors_per_set.max(1));
+        node_sets.push(NodeSet::new(AREAS[area], scored.into_iter().map(|(n, _)| n)));
+    }
+
+    Dataset { name: "dblp".into(), graph, node_sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::analysis;
+
+    #[test]
+    fn tiny_scale_has_expected_shape() {
+        let d = generate(&DblpConfig::for_scale(Scale::Tiny));
+        assert_eq!(d.graph.node_count(), 4 * 60);
+        assert_eq!(d.node_sets.len(), 4);
+        assert!(d.node_sets.iter().all(|s| s.len() == 15));
+        assert_eq!(d.node_set("DB").unwrap().name(), "DB");
+        assert!(d.graph.edge_count() > 4 * 60, "graph should not be trivially sparse");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&DblpConfig::for_scale(Scale::Tiny));
+        let b = generate(&DblpConfig::for_scale(Scale::Tiny));
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.node_sets[0].members(), b.node_sets[0].members());
+    }
+
+    #[test]
+    fn node_sets_contain_only_nodes_of_their_area() {
+        let cfg = DblpConfig::for_scale(Scale::Tiny);
+        let d = generate(&cfg);
+        for (area, set) in d.node_sets.iter().enumerate() {
+            let start = area * cfg.authors_per_area;
+            let end = start + cfg.authors_per_area;
+            assert!(set.iter().all(|n| (start..end).contains(&n.index())));
+        }
+    }
+
+    #[test]
+    fn top_authors_have_high_weighted_degree() {
+        let cfg = DblpConfig::for_scale(Scale::Tiny);
+        let d = generate(&cfg);
+        let set = d.node_set("DB").unwrap();
+        let in_set_min = set
+            .iter()
+            .map(|n| d.graph.out_weights(n).iter().sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        // an average non-selected author should not beat the weakest selected one
+        let mut out_of_set = Vec::new();
+        for i in 0..cfg.authors_per_area {
+            let n = NodeId(i as u32);
+            if !set.contains(n) {
+                out_of_set.push(d.graph.out_weights(n).iter().sum::<f64>());
+            }
+        }
+        let max_outside = out_of_set.into_iter().fold(0.0f64, f64::max);
+        assert!(in_set_min >= max_outside - 1e-9);
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed() {
+        let d = generate(&DblpConfig::for_scale(Scale::Tiny));
+        let max_w = d.graph.edges().map(|(_, _, w)| w).fold(0.0f64, f64::max);
+        assert!(max_w > 1.0);
+    }
+
+    #[test]
+    fn labels_follow_the_area_naming_scheme() {
+        let d = generate(&DblpConfig::for_scale(Scale::Tiny));
+        assert_eq!(d.graph.label(NodeId(0)), Some("DB-0000"));
+        let set = d.node_set("AI").unwrap();
+        assert!(set.iter().all(|n| d.graph.label(n).unwrap().starts_with("AI-")));
+    }
+
+    #[test]
+    fn planted_collaborations_create_spanning_cliques_in_the_top_sets() {
+        let d = generate(&DblpConfig::for_scale(Scale::Tiny));
+        let cliques = dht_graph::analysis::cliques_across_sets(
+            &d.graph,
+            d.node_set("DB").unwrap(),
+            d.node_set("AI").unwrap(),
+            d.node_set("SYS").unwrap(),
+        );
+        assert!(
+            !cliques.is_empty(),
+            "the DB/AI/SYS node sets must contain cross-area 3-cliques"
+        );
+    }
+
+    #[test]
+    fn graph_is_mostly_connected() {
+        let d = generate(&DblpConfig::for_scale(Scale::Tiny));
+        let largest = analysis::largest_component_size(&d.graph);
+        assert!(largest * 10 >= d.graph.node_count() * 8, "largest component covers >= 80%");
+    }
+}

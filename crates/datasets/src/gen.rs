@@ -1,0 +1,271 @@
+//! Edge-sampling building blocks shared by the dataset generators.
+//!
+//! The planted-partition generator in `dht-graph` enumerates all `O(n²)` node
+//! pairs, which is fine for test-sized graphs but not for the paper-scale
+//! datasets (188k–1M nodes).  The helpers here sample edges directly
+//! (`O(|E|)` work), so even the `Full` scale generates in seconds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a dataset seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples `count` distinct undirected edges `(u, v)` with `u ≠ v`, both
+/// endpoints drawn uniformly from `range` (a contiguous node id range).
+/// Returns fewer edges only if the range is too small to host `count`
+/// distinct pairs.
+pub fn sample_edges_within(
+    rng: &mut StdRng,
+    range: std::ops::Range<u32>,
+    count: usize,
+) -> Vec<(u32, u32)> {
+    let n = (range.end - range.start) as usize;
+    if n < 2 {
+        return Vec::new();
+    }
+    let max_edges = n * (n - 1) / 2;
+    let count = count.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    let mut edges = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while edges.len() < count && attempts < count * 50 + 100 {
+        attempts += 1;
+        let u = range.start + rng.gen_range(0..n) as u32;
+        let v = range.start + rng.gen_range(0..n) as u32;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    edges
+}
+
+/// Samples `count` distinct undirected edges whose endpoints come from two
+/// *different* contiguous ranges (cross-community edges).
+pub fn sample_edges_across(
+    rng: &mut StdRng,
+    a: std::ops::Range<u32>,
+    b: std::ops::Range<u32>,
+    count: usize,
+) -> Vec<(u32, u32)> {
+    let na = (a.end - a.start) as usize;
+    let nb = (b.end - b.start) as usize;
+    if na == 0 || nb == 0 {
+        return Vec::new();
+    }
+    let max_edges = na * nb;
+    let count = count.min(max_edges);
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    let mut edges = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while edges.len() < count && attempts < count * 50 + 100 {
+        attempts += 1;
+        let u = a.start + rng.gen_range(0..na) as u32;
+        let v = b.start + rng.gen_range(0..nb) as u32;
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            edges.push(key);
+        }
+    }
+    edges
+}
+
+/// Samples `count` new undirected edges by *triadic closure*: pick a random
+/// wedge `u – w – v` in the current adjacency structure and close it with the
+/// edge `(u, v)` if `accept(u, v)` holds and the edge does not exist yet.
+///
+/// Closure edges are what make the link-prediction experiments meaningful:
+/// when such an edge is later held out, the wedge that created it remains in
+/// the test graph, so random-walk measures (DHT) rank the held-out pair far
+/// above structurally unrelated pairs — the same property real co-authorship
+/// and interaction networks have.
+///
+/// `adjacency` is updated in place with the new edges.
+pub fn triadic_closure_edges(
+    rng: &mut StdRng,
+    adjacency: &mut [Vec<u32>],
+    count: usize,
+    accept: impl Fn(u32, u32) -> bool,
+) -> Vec<(u32, u32)> {
+    let n = adjacency.len();
+    let mut edges = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count * 200 + 1000;
+    while edges.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.gen_range(0..n) as u32;
+        let u_neighbors = &adjacency[u as usize];
+        if u_neighbors.is_empty() {
+            continue;
+        }
+        let w = u_neighbors[rng.gen_range(0..u_neighbors.len())];
+        let w_neighbors = &adjacency[w as usize];
+        if w_neighbors.is_empty() {
+            continue;
+        }
+        let v = w_neighbors[rng.gen_range(0..w_neighbors.len())];
+        if v == u || !accept(u, v) || adjacency[u as usize].contains(&v) {
+            continue;
+        }
+        adjacency[u as usize].push(v);
+        adjacency[v as usize].push(u);
+        edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+    edges
+}
+
+/// Heavy-tailed integer weight in `1..=max` (Pareto-like): mimics "number of
+/// co-authored papers", where most pairs have 1 and a few have many.
+pub fn heavy_tailed_weight(rng: &mut StdRng, max: u32) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-9);
+    let w = (1.0 / u.powf(0.6)).floor() as u32;
+    w.clamp(1, max) as f64
+}
+
+/// Splits `total` items into `parts` group sizes that sum to `total`, with a
+/// mild skew so that some groups are clearly larger than others (like the 13
+/// Yeast partitions).
+pub fn skewed_partition_sizes(rng: &mut StdRng, total: usize, parts: usize) -> Vec<usize> {
+    if parts == 0 {
+        return Vec::new();
+    }
+    // Draw positive weights with a squared-uniform skew, normalise, round.
+    let weights: Vec<f64> = (0..parts).map(|_| rng.gen::<f64>().powi(2) + 0.05).collect();
+    let sum: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> =
+        weights.iter().map(|w| ((w / sum) * total as f64).floor() as usize).collect();
+    // Guarantee every group has at least 2 members, then fix the total.
+    for s in sizes.iter_mut() {
+        if *s < 2 {
+            *s = 2;
+        }
+    }
+    let mut current: usize = sizes.iter().sum();
+    let mut i = 0usize;
+    while current < total {
+        sizes[i % parts] += 1;
+        current += 1;
+        i += 1;
+    }
+    while current > total {
+        let idx = i % parts;
+        if sizes[idx] > 2 {
+            sizes[idx] -= 1;
+            current -= 1;
+        }
+        i += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_edges_stay_in_range_and_are_distinct() {
+        let mut r = rng(1);
+        let edges = sample_edges_within(&mut r, 10..30, 50);
+        assert_eq!(edges.len(), 50);
+        let mut dedup = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), edges.len());
+        assert!(edges.iter().all(|&(u, v)| (10..30).contains(&u) && (10..30).contains(&v) && u != v));
+    }
+
+    #[test]
+    fn within_edges_cap_at_complete_graph() {
+        let mut r = rng(2);
+        let edges = sample_edges_within(&mut r, 0..4, 1000);
+        assert_eq!(edges.len(), 6);
+    }
+
+    #[test]
+    fn across_edges_connect_the_two_ranges() {
+        let mut r = rng(3);
+        let edges = sample_edges_across(&mut r, 0..10, 10..20, 30);
+        assert_eq!(edges.len(), 30);
+        for &(u, v) in &edges {
+            let (lo, hi) = (u.min(v), u.max(v));
+            assert!(lo < 10 && hi >= 10);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_yield_no_edges() {
+        let mut r = rng(4);
+        assert!(sample_edges_within(&mut r, 5..6, 10).is_empty());
+        assert!(sample_edges_across(&mut r, 0..0, 5..10, 10).is_empty());
+    }
+
+    #[test]
+    fn closure_edges_close_existing_wedges() {
+        let mut r = rng(11);
+        // path 0 - 1 - 2 - 3: the first closure must be (0,2) or (1,3)
+        let original = vec![vec![1u32], vec![0, 2], vec![1, 3], vec![2]];
+        let mut adjacency = original.clone();
+        let edges = triadic_closure_edges(&mut r, &mut adjacency, 2, |_, _| true);
+        assert_eq!(edges.len(), 2);
+        assert!(edges[0] == (0, 2) || edges[0] == (1, 3), "unexpected first closure {edges:?}");
+        for &(u, v) in &edges {
+            // the closed edge was not present before and is symmetric now
+            assert!(!original[u as usize].contains(&v));
+            assert!(adjacency[u as usize].contains(&v));
+            assert!(adjacency[v as usize].contains(&u));
+        }
+    }
+
+    #[test]
+    fn closure_respects_the_accept_predicate() {
+        let mut r = rng(12);
+        let mut adjacency = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
+        let edges = triadic_closure_edges(&mut r, &mut adjacency, 5, |u, v| u.max(v) != 2);
+        assert!(edges.iter().all(|&(u, v)| u != 2 && v != 2));
+    }
+
+    #[test]
+    fn closure_gives_up_gracefully_when_no_wedge_is_left() {
+        let mut r = rng(13);
+        let mut adjacency = vec![vec![1], vec![0]]; // a single edge: no wedges
+        let edges = triadic_closure_edges(&mut r, &mut adjacency, 3, |_, _| true);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed_but_bounded() {
+        let mut r = rng(5);
+        let weights: Vec<f64> = (0..2000).map(|_| heavy_tailed_weight(&mut r, 40)).collect();
+        assert!(weights.iter().all(|&w| (1.0..=40.0).contains(&w)));
+        let ones = weights.iter().filter(|&&w| w == 1.0).count();
+        let heavy = weights.iter().filter(|&&w| w >= 5.0).count();
+        assert!(ones > weights.len() / 3, "most weights should be 1");
+        assert!(heavy > 0, "some weights should be large");
+    }
+
+    #[test]
+    fn partition_sizes_sum_to_total_with_minimum_two() {
+        let mut r = rng(6);
+        let sizes = skewed_partition_sizes(&mut r, 2400, 13);
+        assert_eq!(sizes.len(), 13);
+        assert_eq!(sizes.iter().sum::<usize>(), 2400);
+        assert!(sizes.iter().all(|&s| s >= 2));
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > min, "sizes should be skewed");
+    }
+
+    #[test]
+    fn partition_sizes_handle_edge_cases() {
+        let mut r = rng(7);
+        assert!(skewed_partition_sizes(&mut r, 100, 0).is_empty());
+        let one = skewed_partition_sizes(&mut r, 50, 1);
+        assert_eq!(one, vec![50]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Train/test splits for the effectiveness experiments (Section VII-B).
+//!
+//! The paper distinguishes the *true graph* `G` from a *test graph* `T` on
+//! which the join is executed; prediction quality is then measured against
+//! `G`.  Two split procedures are used:
+//!
+//! * **link prediction** — remove a fraction of the undirected edges between
+//!   the two query node sets (`P`, `Q`).  For DBLP the paper uses a temporal
+//!   cut-off (edges before 2010); with synthetic data the equivalent is a
+//!   seeded random removal, which produces the same kind of held-out
+//!   positive set.
+//! * **3-clique prediction** — for every 3-clique of `G` with one node in
+//!   each of `P`, `Q`, `R`, remove one of its edges.
+
+use dht_graph::analysis::cliques_across_sets;
+use dht_graph::subgraph::{cross_set_edges, remove_undirected_edges, undirected_key};
+use dht_graph::{Graph, NodeId, NodeSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::gen;
+
+/// Result of a link-prediction split.
+#[derive(Debug, Clone)]
+pub struct LinkSplit {
+    /// The test graph `T` (edges removed).
+    pub test_graph: Graph,
+    /// The undirected cross-set edges that were removed (the positives).
+    pub removed: Vec<(NodeId, NodeId)>,
+    /// The undirected cross-set edges that remain in `T`.
+    pub kept: Vec<(NodeId, NodeId)>,
+}
+
+/// Removes `fraction` of the undirected edges between `p` and `q` (seeded).
+///
+/// Returns an error only if the rebuilt graph would be invalid, which cannot
+/// happen for well-formed inputs.
+pub fn link_prediction_split(
+    graph: &Graph,
+    p: &NodeSet,
+    q: &NodeSet,
+    fraction: f64,
+    seed: u64,
+) -> dht_graph::Result<LinkSplit> {
+    let mut rng = gen::rng(seed);
+    let mut edges = cross_set_edges(graph, p, q);
+    edges.shuffle(&mut rng);
+    let remove_count = ((edges.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+    let removed: Vec<(NodeId, NodeId)> = edges[..remove_count].to_vec();
+    let kept: Vec<(NodeId, NodeId)> = edges[remove_count..].to_vec();
+    let test_graph = remove_undirected_edges(graph, &removed)?;
+    Ok(LinkSplit { test_graph, removed, kept })
+}
+
+/// Result of a 3-clique split.
+#[derive(Debug, Clone)]
+pub struct CliqueSplit {
+    /// The test graph `T` (one edge per clique removed).
+    pub test_graph: Graph,
+    /// The 3-cliques of the true graph spanning `(P, Q, R)`.
+    pub cliques: Vec<(NodeId, NodeId, NodeId)>,
+    /// The undirected edges that were removed.
+    pub removed: Vec<(NodeId, NodeId)>,
+}
+
+/// For every 3-clique of `graph` with one node in each of `p`, `q`, `r`,
+/// removes one (randomly chosen) of its three edges.
+pub fn clique_prediction_split(
+    graph: &Graph,
+    p: &NodeSet,
+    q: &NodeSet,
+    r: &NodeSet,
+    seed: u64,
+) -> dht_graph::Result<CliqueSplit> {
+    let mut rng = gen::rng(seed);
+    let cliques = cliques_across_sets(graph, p, q, r);
+    let mut removed: Vec<(NodeId, NodeId)> = Vec::with_capacity(cliques.len());
+    for &(a, b, c) in &cliques {
+        let edge = match rng.gen_range(0..3) {
+            0 => undirected_key(a, b),
+            1 => undirected_key(b, c),
+            _ => undirected_key(a, c),
+        };
+        removed.push(edge);
+    }
+    removed.sort_unstable();
+    removed.dedup();
+    let test_graph = remove_undirected_edges(graph, &removed)?;
+    Ok(CliqueSplit { test_graph, cliques, removed })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Scale;
+    use crate::yeast::{self, YeastConfig};
+    use dht_graph::GraphBuilder;
+
+    fn yeast_tiny() -> crate::Dataset {
+        yeast::generate(&YeastConfig::for_scale(Scale::Tiny))
+    }
+
+    #[test]
+    fn link_split_removes_roughly_the_requested_fraction() {
+        let d = yeast_tiny();
+        let sets = d.largest_sets(2);
+        let (p, q) = (sets[0].clone(), sets[1].clone());
+        let all = cross_set_edges(&d.graph, &p, &q);
+        let split = link_prediction_split(&d.graph, &p, &q, 0.5, 7).unwrap();
+        assert_eq!(split.removed.len() + split.kept.len(), all.len());
+        assert_eq!(split.removed.len(), (all.len() as f64 * 0.5).round() as usize);
+        // removed edges are gone from T, kept edges remain
+        for &(u, v) in &split.removed {
+            assert!(!split.test_graph.has_edge_either(u, v));
+            assert!(d.graph.has_edge_either(u, v));
+        }
+        for &(u, v) in &split.kept {
+            assert!(split.test_graph.has_edge_either(u, v));
+        }
+    }
+
+    #[test]
+    fn link_split_is_deterministic_per_seed() {
+        let d = yeast_tiny();
+        let sets = d.largest_sets(2);
+        let a = link_prediction_split(&d.graph, sets[0], sets[1], 0.5, 9).unwrap();
+        let b = link_prediction_split(&d.graph, sets[0], sets[1], 0.5, 9).unwrap();
+        assert_eq!(a.removed, b.removed);
+        // some other seed must eventually produce a different removal set
+        let differs = (10..30u64).any(|seed| {
+            let c = link_prediction_split(&d.graph, sets[0], sets[1], 0.5, seed).unwrap();
+            c.removed != a.removed
+        });
+        assert!(differs, "every seed produced the identical removal set");
+    }
+
+    #[test]
+    fn fraction_bounds_are_clamped() {
+        let d = yeast_tiny();
+        let sets = d.largest_sets(2);
+        let none = link_prediction_split(&d.graph, sets[0], sets[1], -1.0, 1).unwrap();
+        assert!(none.removed.is_empty());
+        let all = link_prediction_split(&d.graph, sets[0], sets[1], 2.0, 1).unwrap();
+        assert!(all.kept.is_empty());
+    }
+
+    #[test]
+    fn clique_split_breaks_every_clique() {
+        // Build a graph with two known spanning triangles.
+        let mut b = GraphBuilder::with_nodes(6);
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let p = NodeSet::new("P", [NodeId(0), NodeId(3)]);
+        let q = NodeSet::new("Q", [NodeId(1), NodeId(4)]);
+        let r = NodeSet::new("R", [NodeId(2), NodeId(5)]);
+        let split = clique_prediction_split(&g, &p, &q, &r, 3).unwrap();
+        assert_eq!(split.cliques.len(), 2);
+        assert!(!split.removed.is_empty());
+        // every clique lost at least one edge in T
+        for &(a, bb, c) in &split.cliques {
+            let complete = split.test_graph.has_edge_either(a, bb)
+                && split.test_graph.has_edge_either(bb, c)
+                && split.test_graph.has_edge_either(a, c);
+            assert!(!complete, "clique ({a:?},{bb:?},{c:?}) survived intact");
+        }
+    }
+
+    #[test]
+    fn clique_split_on_clique_free_sets_is_a_no_op() {
+        let d = yeast_tiny();
+        let p = NodeSet::new("P", [NodeId(0)]);
+        let q = NodeSet::new("Q", [NodeId(1)]);
+        let r = NodeSet::new("R", [NodeId(2)]);
+        let split = clique_prediction_split(&d.graph, &p, &q, &r, 3).unwrap();
+        if split.cliques.is_empty() {
+            assert_eq!(split.test_graph.edge_count(), d.graph.edge_count());
+        }
+    }
+}

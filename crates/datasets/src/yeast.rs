@@ -1,0 +1,268 @@
+//! Synthetic analogue of the Yeast protein–protein interaction network.
+//!
+//! The paper's Yeast dataset is a small, undirected, unweighted graph with
+//! 2.4k nodes and 7.2k edges whose nodes are partitioned into 13
+//! non-overlapping sets by protein type; the link-prediction experiment uses
+//! the two largest partitions ("3-U" and "8-D") and the 3-clique experiment
+//! adds a third ("5-F").
+//!
+//! The analogue keeps the same size and density, plants 13 skewed partitions
+//! and samples within/cross-partition interactions so that partition members
+//! are structurally closer to each other than to the rest of the graph.
+
+use dht_graph::{GraphBuilder, NodeId, NodeSet};
+use rand::Rng;
+
+use crate::dataset::{Dataset, Scale};
+use crate::gen;
+
+/// Names of the 13 partitions.  The first three mirror the partition names
+/// the paper mentions (3-U, 8-D, 5-F); the rest are synthetic.
+pub const PARTITIONS: [&str; 13] = [
+    "3-U", "8-D", "5-F", "1-A", "2-B", "4-C", "6-E", "7-G", "9-H", "10-I", "11-J", "12-K", "13-L",
+];
+
+/// Configuration of the Yeast analogue generator.
+#[derive(Debug, Clone)]
+pub struct YeastConfig {
+    /// Total number of protein nodes.
+    pub nodes: usize,
+    /// Total number of undirected interactions.
+    pub edges: usize,
+    /// Number of partitions (≤ 13).
+    pub partitions: usize,
+    /// Fraction of edges that stay inside a partition.
+    pub internal_fraction: f64,
+    /// Number of planted cross-partition protein complexes: triangles with
+    /// one protein in each of the first three partitions (3-U, 8-D, 5-F).
+    /// They give the 3-clique-prediction experiment of Table IV something to
+    /// predict, mirroring the multi-type complexes of the real PPI network.
+    pub cross_partition_triangles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl YeastConfig {
+    /// Preset for a [`Scale`].  `Bench` and `Full` both use the paper's true
+    /// size (the real dataset is already laptop-sized); `Tiny` shrinks it
+    /// for unit tests.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => YeastConfig {
+                nodes: 300,
+                edges: 900,
+                partitions: 6,
+                internal_fraction: 0.75,
+                cross_partition_triangles: 12,
+                seed: 35,
+            },
+            Scale::Bench | Scale::Full => YeastConfig {
+                nodes: 2_400,
+                edges: 7_200,
+                partitions: 13,
+                internal_fraction: 0.75,
+                cross_partition_triangles: 80,
+                seed: 35,
+            },
+        }
+    }
+}
+
+/// Generates the Yeast analogue.
+pub fn generate(config: &YeastConfig) -> Dataset {
+    let partitions = config.partitions.clamp(1, PARTITIONS.len());
+    let mut rng = gen::rng(config.seed);
+    let sizes = gen::skewed_partition_sizes(&mut rng, config.nodes, partitions);
+
+    let mut builder = GraphBuilder::with_capacity(config.nodes, config.edges * 2);
+    let mut starts = Vec::with_capacity(partitions);
+    let mut next = 0u32;
+    for (p, &size) in sizes.iter().enumerate() {
+        starts.push(next);
+        for i in 0..size {
+            builder.add_labeled_node(format!("{}-p{:04}", PARTITIONS[p], i));
+        }
+        next += size as u32;
+    }
+    let ends: Vec<u32> = starts
+        .iter()
+        .zip(sizes.iter())
+        .map(|(&s, &len)| s + len as u32)
+        .collect();
+
+    // Edge construction keeps an adjacency mirror so that a share of the
+    // cross-partition interactions can be produced by triadic closure (see
+    // `gen::triadic_closure_edges`), which is what gives the link- and
+    // clique-prediction experiments their signal.
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); config.nodes];
+    let mut all_edges: Vec<(u32, u32)> = Vec::with_capacity(config.edges);
+    let push_edge = |adjacency: &mut Vec<Vec<u32>>, all: &mut Vec<(u32, u32)>, u: u32, v: u32| {
+        if adjacency[u as usize].contains(&v) {
+            return;
+        }
+        adjacency[u as usize].push(v);
+        adjacency[v as usize].push(u);
+        all.push((u, v));
+    };
+
+    // Within-partition interactions, proportional to partition size.
+    let internal_total = (config.edges as f64 * config.internal_fraction) as usize;
+    for p in 0..partitions {
+        let share = (internal_total as f64 * sizes[p] as f64 / config.nodes as f64).round() as usize;
+        for (u, v) in gen::sample_edges_within(&mut rng, starts[p]..ends[p], share) {
+            push_edge(&mut adjacency, &mut all_edges, u, v);
+        }
+    }
+    // Cross-partition interactions: a random seed over every partition pair
+    // (proportional to the product of sizes), then triadic closure for the
+    // remainder of the external budget.
+    let external_total = config.edges - internal_total.min(config.edges);
+    if partitions > 1 && external_total > 0 {
+        let seed_total = external_total / 2;
+        let total_pair_weight: f64 = (0..partitions)
+            .flat_map(|a| ((a + 1)..partitions).map(move |b| (a, b)))
+            .map(|(a, b)| (sizes[a] * sizes[b]) as f64)
+            .sum();
+        for a in 0..partitions {
+            for b in (a + 1)..partitions {
+                let weight = (sizes[a] * sizes[b]) as f64 / total_pair_weight;
+                let count = ((seed_total as f64) * weight).ceil() as usize;
+                for (u, v) in
+                    gen::sample_edges_across(&mut rng, starts[a]..ends[a], starts[b]..ends[b], count)
+                {
+                    push_edge(&mut adjacency, &mut all_edges, u, v);
+                }
+            }
+        }
+        // Remaining external edges close wedges that end in different
+        // partitions.
+        let partition_of = |node: u32| -> usize {
+            starts
+                .iter()
+                .zip(ends.iter())
+                .position(|(&s, &e)| node >= s && node < e)
+                .expect("every node belongs to a partition")
+        };
+        let closure_target = external_total.saturating_sub(seed_total);
+        let closed = gen::triadic_closure_edges(&mut rng, &mut adjacency, closure_target, |u, v| {
+            partition_of(u) != partition_of(v)
+        });
+        all_edges.extend(closed);
+    }
+
+    // Planted cross-partition complexes: triangles spanning the first three
+    // partitions, which the 3-clique-prediction experiment predicts.
+    if partitions >= 3 && config.cross_partition_triangles > 0 {
+        for _ in 0..config.cross_partition_triangles {
+            let pick = |rng: &mut rand::rngs::StdRng, p: usize| {
+                starts[p] + rng.gen_range(0..sizes[p]) as u32
+            };
+            let a = pick(&mut rng, 0);
+            let b = pick(&mut rng, 1);
+            let c = pick(&mut rng, 2);
+            for (u, v) in [(a, b), (b, c), (a, c)] {
+                push_edge(&mut adjacency, &mut all_edges, u, v);
+            }
+        }
+    }
+
+    for &(u, v) in &all_edges {
+        builder
+            .add_undirected_edge(NodeId(u), NodeId(v), 1.0)
+            .expect("sampled endpoints are valid");
+    }
+
+    let graph = builder.build().expect("generated Yeast graph is valid");
+    let node_sets = (0..partitions)
+        .map(|p| {
+            NodeSet::new(
+                PARTITIONS[p],
+                (starts[p]..ends[p]).map(NodeId),
+            )
+        })
+        .collect();
+    Dataset { name: "yeast".into(), graph, node_sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scale_matches_the_paper_sizes_approximately() {
+        let d = generate(&YeastConfig::for_scale(Scale::Bench));
+        assert_eq!(d.graph.node_count(), 2_400);
+        // each undirected edge is two directed edges; sampling may fall a
+        // little short of the target but must be in the right ballpark
+        let undirected = d.graph.edge_count() / 2;
+        assert!(undirected > 6_000 && undirected < 8_000, "got {undirected}");
+        assert_eq!(d.node_sets.len(), 13);
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover_everything() {
+        let d = generate(&YeastConfig::for_scale(Scale::Tiny));
+        let mut seen = vec![false; d.graph.node_count()];
+        for set in &d.node_sets {
+            for n in set.iter() {
+                assert!(!seen[n.index()], "partitions must not overlap");
+                seen[n.index()] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn partition_names_include_the_paper_partitions() {
+        let d = generate(&YeastConfig::for_scale(Scale::Bench));
+        assert!(d.node_set("3-U").is_some());
+        assert!(d.node_set("8-D").is_some());
+        assert!(d.node_set("5-F").is_some());
+    }
+
+    #[test]
+    fn edges_are_unweighted() {
+        let d = generate(&YeastConfig::for_scale(Scale::Tiny));
+        assert!(d.graph.edges().all(|(_, _, w)| (w - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn most_edges_stay_within_a_partition() {
+        let d = generate(&YeastConfig::for_scale(Scale::Tiny));
+        let partition_of = |n: NodeId| {
+            d.node_sets
+                .iter()
+                .position(|s| s.contains(n))
+                .expect("every node belongs to a partition")
+        };
+        let mut internal = 0usize;
+        let mut external = 0usize;
+        for (u, v, _) in d.graph.edges() {
+            if partition_of(u) == partition_of(v) {
+                internal += 1;
+            } else {
+                external += 1;
+            }
+        }
+        assert!(internal > external, "internal={internal} external={external}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&YeastConfig::for_scale(Scale::Tiny));
+        let b = generate(&YeastConfig::for_scale(Scale::Tiny));
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn planted_complexes_create_spanning_cliques() {
+        let d = generate(&YeastConfig::for_scale(Scale::Tiny));
+        let cliques = dht_graph::analysis::cliques_across_sets(
+            &d.graph,
+            d.node_set("3-U").unwrap(),
+            d.node_set("8-D").unwrap(),
+            d.node_set("5-F").unwrap(),
+        );
+        assert!(!cliques.is_empty(), "3-U / 8-D / 5-F must contain spanning 3-cliques");
+    }
+}

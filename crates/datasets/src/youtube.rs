@@ -1,0 +1,252 @@
+//! Synthetic analogue of the YouTube social graph.
+//!
+//! The paper's YouTube dataset is a large, undirected, unweighted friendship
+//! graph (1.1M nodes, 3M edges) where users additionally create *interest
+//! groups*; the groups are the node sets of the join queries (the link
+//! prediction experiment uses the anonymous groups with ids 1 and 5, the
+//! 3-clique experiment adds 88).
+//!
+//! The analogue uses an affiliation model: every user joins a small number
+//! of groups with a heavy-tailed group-popularity distribution, users who
+//! share a group are connected with a fixed probability, and a sprinkle of
+//! random friendships keeps the graph connected.  Group membership is
+//! exposed as (possibly overlapping) node sets named "G1", "G2", ….
+
+use dht_graph::{GraphBuilder, NodeId, NodeSet};
+use rand::Rng;
+
+use crate::dataset::{Dataset, Scale};
+use crate::gen;
+
+/// Configuration of the YouTube analogue generator.
+#[derive(Debug, Clone)]
+pub struct YoutubeConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of interest groups.
+    pub groups: usize,
+    /// Average number of groups a user joins.
+    pub avg_memberships: f64,
+    /// Probability that two co-members of a group are friends.
+    pub co_member_edge_prob: f64,
+    /// Number of extra uniformly random friendships.
+    pub random_edges: usize,
+    /// Number of planted friendship triangles spanning the groups used by
+    /// the 3-clique-prediction experiment (G1, G5, G8).
+    pub cross_group_triangles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl YoutubeConfig {
+    /// Preset for a [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => YoutubeConfig {
+                users: 800,
+                groups: 12,
+                avg_memberships: 1.5,
+                co_member_edge_prob: 0.06,
+                random_edges: 600,
+                cross_group_triangles: 15,
+                seed: 36,
+            },
+            Scale::Bench => YoutubeConfig {
+                users: 50_000,
+                groups: 200,
+                avg_memberships: 1.5,
+                co_member_edge_prob: 0.02,
+                random_edges: 40_000,
+                cross_group_triangles: 120,
+                seed: 36,
+            },
+            Scale::Full => YoutubeConfig {
+                users: 1_100_000,
+                groups: 2_000,
+                avg_memberships: 1.5,
+                co_member_edge_prob: 0.005,
+                random_edges: 900_000,
+                cross_group_triangles: 400,
+                seed: 36,
+            },
+        }
+    }
+}
+
+/// Generates the YouTube analogue.
+pub fn generate(config: &YoutubeConfig) -> Dataset {
+    let users = config.users.max(2);
+    let groups = config.groups.max(1);
+    let mut rng = gen::rng(config.seed);
+    let mut builder = GraphBuilder::with_nodes(users);
+
+    // Assign users to groups: group popularity is heavy-tailed (group g gets
+    // weight ~ 1/(g+1)), each user joins ~avg_memberships groups.
+    let mut membership: Vec<Vec<u32>> = vec![Vec::new(); groups];
+    let weights: Vec<f64> = (0..groups).map(|g| 1.0 / (g as f64 + 1.0)).collect();
+    let weight_sum: f64 = weights.iter().sum();
+    for user in 0..users {
+        let joins = 1 + (rng.gen::<f64>() * (config.avg_memberships * 2.0 - 1.0).max(0.0)) as usize;
+        for _ in 0..joins {
+            // weighted pick
+            let mut target = rng.gen::<f64>() * weight_sum;
+            let mut chosen = 0usize;
+            for (g, &w) in weights.iter().enumerate() {
+                if target <= w {
+                    chosen = g;
+                    break;
+                }
+                target -= w;
+            }
+            let list = &mut membership[chosen];
+            if !list.contains(&(user as u32)) {
+                list.push(user as u32);
+            }
+        }
+    }
+
+    // Friendships between co-members of each group.
+    let mut edge_seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for members in &membership {
+        let m = members.len();
+        if m < 2 {
+            continue;
+        }
+        // expected number of edges = p * C(m, 2), sampled directly
+        let expected = (config.co_member_edge_prob * (m * (m - 1) / 2) as f64).ceil() as usize;
+        for _ in 0..expected {
+            let a = members[rng.gen_range(0..m)];
+            let b = members[rng.gen_range(0..m)];
+            if a == b {
+                continue;
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            if edge_seen.insert(key) {
+                builder
+                    .add_undirected_edge(NodeId(key.0), NodeId(key.1), 1.0)
+                    .expect("valid endpoints");
+            }
+        }
+    }
+
+    // Extra random friendships for global connectivity.
+    for (u, v) in gen::sample_edges_within(&mut rng, 0..users as u32, config.random_edges) {
+        if edge_seen.insert((u.min(v), u.max(v))) {
+            builder
+                .add_undirected_edge(NodeId(u), NodeId(v), 1.0)
+                .expect("valid endpoints");
+        }
+    }
+
+    // Planted friendship triangles spanning the groups the 3-clique
+    // experiment uses (G1, G5, G8 — indices 0, 4 and 7).
+    if config.cross_group_triangles > 0 && groups >= 8 {
+        let clique_groups = [0usize, 4, 7];
+        if clique_groups.iter().all(|&g| !membership[g].is_empty()) {
+            for _ in 0..config.cross_group_triangles {
+                let picks: Vec<u32> = clique_groups
+                    .iter()
+                    .map(|&g| membership[g][rng.gen_range(0..membership[g].len())])
+                    .collect();
+                if picks[0] == picks[1] || picks[1] == picks[2] || picks[0] == picks[2] {
+                    continue;
+                }
+                for (i, j) in [(0usize, 1usize), (1, 2), (0, 2)] {
+                    let (a, b) = (picks[i].min(picks[j]), picks[i].max(picks[j]));
+                    if edge_seen.insert((a, b)) {
+                        builder
+                            .add_undirected_edge(NodeId(a), NodeId(b), 1.0)
+                            .expect("valid endpoints");
+                    }
+                }
+            }
+        }
+    }
+
+    let graph = builder.build().expect("generated YouTube graph is valid");
+    let node_sets = membership
+        .into_iter()
+        .enumerate()
+        .map(|(g, members)| NodeSet::new(format!("G{}", g + 1), members.into_iter().map(NodeId)))
+        .collect();
+    Dataset { name: "youtube".into(), graph, node_sets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_scale_shape() {
+        let d = generate(&YoutubeConfig::for_scale(Scale::Tiny));
+        assert_eq!(d.graph.node_count(), 800);
+        assert_eq!(d.node_sets.len(), 12);
+        assert!(d.graph.edge_count() > 800);
+        assert!(d.node_set("G1").is_some());
+        assert!(d.node_set("G12").is_some());
+    }
+
+    #[test]
+    fn group_popularity_is_heavy_tailed() {
+        let d = generate(&YoutubeConfig::for_scale(Scale::Tiny));
+        let first = d.node_set("G1").unwrap().len();
+        let last = d.node_set("G12").unwrap().len();
+        assert!(first > last, "G1 should be much more popular than G12");
+    }
+
+    #[test]
+    fn groups_may_overlap_but_contain_valid_users() {
+        let d = generate(&YoutubeConfig::for_scale(Scale::Tiny));
+        for set in &d.node_sets {
+            assert!(set.iter().all(|n| n.index() < d.graph.node_count()));
+        }
+    }
+
+    #[test]
+    fn unweighted_edges() {
+        let d = generate(&YoutubeConfig::for_scale(Scale::Tiny));
+        assert!(d.graph.edges().all(|(_, _, w)| (w - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(&YoutubeConfig::for_scale(Scale::Tiny));
+        let b = generate(&YoutubeConfig::for_scale(Scale::Tiny));
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.node_sets[0].len(), b.node_sets[0].len());
+    }
+
+    #[test]
+    fn planted_triangles_span_the_clique_experiment_groups() {
+        let d = generate(&YoutubeConfig::for_scale(Scale::Tiny));
+        let cliques = dht_graph::analysis::cliques_across_sets(
+            &d.graph,
+            d.node_set("G1").unwrap(),
+            d.node_set("G5").unwrap(),
+            d.node_set("G8").unwrap(),
+        );
+        assert!(!cliques.is_empty(), "G1 / G5 / G8 must contain spanning 3-cliques");
+    }
+
+    #[test]
+    fn co_members_are_more_likely_to_be_friends_than_strangers() {
+        let d = generate(&YoutubeConfig::for_scale(Scale::Tiny));
+        let g1 = d.node_set("G1").unwrap();
+        // density inside G1
+        let members: Vec<_> = g1.members().to_vec();
+        let mut inside = 0usize;
+        let mut pairs = 0usize;
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                pairs += 1;
+                if d.graph.has_edge_either(a, b) {
+                    inside += 1;
+                }
+            }
+        }
+        let inside_density = inside as f64 / pairs.max(1) as f64;
+        let global_density =
+            d.graph.edge_count() as f64 / (d.graph.node_count() * (d.graph.node_count() - 1)) as f64;
+        assert!(inside_density > global_density, "{inside_density} vs {global_density}");
+    }
+}

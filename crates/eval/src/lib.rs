@@ -1,0 +1,25 @@
+//! # dht-eval
+//!
+//! Effectiveness evaluation of DHT joins (Section VII-B of the paper):
+//!
+//! * [`roc`] — ROC curves and AUC computed from scored, labelled candidates
+//!   (the paper's quality metrics, "robust to the skewness between possible
+//!   and existing edges");
+//! * [`linkpred`] — the link-prediction experiment: run a 2-way join on the
+//!   test graph `T`, check predicted pairs against the true graph `G`
+//!   (Figure 6, Table IV left column);
+//! * [`cliquepred`] — the 3-clique-prediction experiment: run a triangle
+//!   3-way join on `T`, check predicted triples against the 3-cliques of `G`
+//!   (Table IV right column);
+//! * [`report`] — plain-text table formatting shared by the experiment
+//!   binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cliquepred;
+pub mod linkpred;
+pub mod report;
+pub mod roc;
+
+pub use roc::{auc, roc_curve, RocCurve, RocPoint};

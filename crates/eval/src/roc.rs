@@ -1,0 +1,192 @@
+//! ROC curves and AUC.
+//!
+//! Inputs are `(score, is_positive)` pairs: a higher score means the
+//! predictor ranks the candidate as more likely to be a true link / clique.
+//! The AUC is computed with the rank-statistic (Mann–Whitney) formulation,
+//! which handles ties by assigning mid-ranks — equivalent to the area under
+//! the step-wise ROC curve with diagonal tie segments.
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate.
+    pub tpr: f64,
+}
+
+/// A ROC curve together with its AUC.
+#[derive(Debug, Clone)]
+pub struct RocCurve {
+    /// Curve points from (0,0) to (1,1), in order of decreasing threshold.
+    pub points: Vec<RocPoint>,
+    /// Area under the curve.
+    pub auc: f64,
+}
+
+impl RocCurve {
+    /// The true-positive rate at the largest threshold whose false-positive
+    /// rate does not exceed `fpr` (used to read "TPR at FPR ≈ 0.1" off the
+    /// curve as the paper does).
+    pub fn tpr_at_fpr(&self, fpr: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.fpr <= fpr + 1e-12)
+            .map(|p| p.tpr)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Computes the AUC of scored, labelled candidates via mid-rank statistics.
+/// Returns 0.5 when either class is empty (no information).
+pub fn auc(scored: &[(f64, bool)]) -> f64 {
+    let positives = scored.iter().filter(|&&(_, label)| label).count();
+    let negatives = scored.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return 0.5;
+    }
+    // Sort ascending by score and assign mid-ranks to ties.
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| scored[a].0.total_cmp(&scored[b].0));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scored[order[j + 1]].0 == scored[order[i]].0 {
+            j += 1;
+        }
+        // ranks are 1-based; mid-rank of the tie group [i, j]
+        let mid_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if scored[idx].1 {
+                rank_sum_pos += mid_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos = positives as f64;
+    let n_neg = negatives as f64;
+    (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+/// Computes the full ROC curve (and AUC) of scored, labelled candidates.
+pub fn roc_curve(scored: &[(f64, bool)]) -> RocCurve {
+    let positives = scored.iter().filter(|&&(_, label)| label).count();
+    let negatives = scored.len() - positives;
+    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0 }];
+    if positives == 0 || negatives == 0 {
+        points.push(RocPoint { fpr: 1.0, tpr: 1.0 });
+        return RocCurve { points, auc: 0.5 };
+    }
+    let mut sorted: Vec<(f64, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0usize;
+    while i < sorted.len() {
+        // process tie groups together so the curve is threshold-consistent
+        let mut j = i;
+        while j + 1 < sorted.len() && sorted[j + 1].0 == sorted[i].0 {
+            j += 1;
+        }
+        for &(_, label) in &sorted[i..=j] {
+            if label {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        points.push(RocPoint {
+            fpr: fp as f64 / negatives as f64,
+            tpr: tp as f64 / positives as f64,
+        });
+        i = j + 1;
+    }
+    RocCurve { points, auc: auc(scored) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let scored = vec![(0.9, true), (0.8, true), (0.3, false), (0.1, false)];
+        assert!((auc(&scored) - 1.0).abs() < 1e-12);
+        let curve = roc_curve(&scored);
+        assert!((curve.auc - 1.0).abs() < 1e-12);
+        assert!((curve.tpr_at_fpr(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero() {
+        let scored = vec![(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!(auc(&scored).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_interleaving_has_auc_half() {
+        let scored = vec![(0.9, true), (0.8, false), (0.7, true), (0.6, false)];
+        // positives beat negatives in 3 of 4 comparisons? (0.9 > 0.8, 0.9 > 0.6,
+        // 0.7 > 0.6 yes; 0.7 > 0.8 no) => 3/4
+        assert!((auc(&scored) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ties_give_auc_half() {
+        let scored = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((auc(&scored) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_half() {
+        assert_eq!(auc(&[]), 0.5);
+        assert_eq!(auc(&[(0.4, true)]), 0.5);
+        assert_eq!(auc(&[(0.4, false), (0.2, false)]), 0.5);
+    }
+
+    #[test]
+    fn curve_starts_at_origin_and_ends_at_one_one() {
+        let scored = vec![(0.9, true), (0.5, false), (0.4, true), (0.2, false)];
+        let curve = roc_curve(&scored);
+        assert_eq!(curve.points.first().unwrap(), &RocPoint { fpr: 0.0, tpr: 0.0 });
+        let last = curve.points.last().unwrap();
+        assert!((last.fpr - 1.0).abs() < 1e-12 && (last.tpr - 1.0).abs() < 1e-12);
+        // monotone non-decreasing in both coordinates
+        for w in curve.points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+    }
+
+    #[test]
+    fn auc_matches_trapezoid_area_of_the_curve() {
+        let scored = vec![
+            (0.95, true),
+            (0.9, false),
+            (0.85, true),
+            (0.8, true),
+            (0.7, false),
+            (0.6, true),
+            (0.5, false),
+            (0.4, false),
+            (0.3, true),
+            (0.2, false),
+        ];
+        let curve = roc_curve(&scored);
+        let mut area = 0.0;
+        for w in curve.points.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        assert!((area - curve.auc).abs() < 1e-9, "trapezoid {area} vs rank {}", curve.auc);
+    }
+
+    #[test]
+    fn tpr_at_fpr_reads_the_expected_operating_point() {
+        let scored = vec![(0.9, true), (0.8, true), (0.7, false), (0.6, true), (0.1, false)];
+        let curve = roc_curve(&scored);
+        // at fpr = 0 the curve already reaches tpr = 2/3
+        assert!((curve.tpr_at_fpr(0.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((curve.tpr_at_fpr(0.6) - 1.0).abs() < 1e-12);
+    }
+}

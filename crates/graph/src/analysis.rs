@@ -1,0 +1,284 @@
+//! Structural analysis helpers.
+//!
+//! These routines support the evaluation harness: degree statistics for
+//! sanity-checking generated datasets, connected components (treating edges
+//! as undirected, as in the paper's datasets), breadth-first distances, and
+//! enumeration of 3-cliques spanning three node sets (needed by the 3-clique
+//! prediction experiment of Table IV).
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::nodeset::NodeSet;
+
+/// Summary statistics of a degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min: usize,
+    /// Maximum out-degree.
+    pub max: usize,
+    /// Mean out-degree.
+    pub mean: f64,
+    /// Number of nodes with out-degree zero.
+    pub isolated: usize,
+}
+
+/// Computes out-degree statistics for a graph.
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.node_count();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut total = 0usize;
+    let mut isolated = 0usize;
+    for u in graph.nodes() {
+        let d = graph.out_degree(u);
+        min = min.min(d);
+        max = max.max(d);
+        total += d;
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    DegreeStats { min, max, mean: total as f64 / n as f64, isolated }
+}
+
+/// Assigns every node a connected-component id, treating all edges as
+/// undirected.  Returns `(component_of, component_count)`.
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.node_count();
+    let mut component = vec![usize::MAX; n];
+    let mut count = 0usize;
+    let mut stack: Vec<u32> = Vec::new();
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        component[start] = count;
+        stack.push(start as u32);
+        while let Some(u) = stack.pop() {
+            let u = NodeId(u);
+            for &v in graph.out_targets(u).iter().chain(graph.in_sources(u).iter()) {
+                if component[v as usize] == usize::MAX {
+                    component[v as usize] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (component, count)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(graph: &Graph) -> usize {
+    let (components, count) = connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for c in components {
+        sizes[c] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Breadth-first hop distances from `source`, treating edges as directed.
+/// Unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<usize> {
+    let n = graph.node_count();
+    let mut dist = vec![usize::MAX; n];
+    if source.index() >= n {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in graph.out_targets(u) {
+            let v = v as usize;
+            if dist[v] == usize::MAX {
+                dist[v] = du + 1;
+                queue.push_back(NodeId(v as u32));
+            }
+        }
+    }
+    dist
+}
+
+/// A 3-clique `(p, q, r)` with `p ∈ P`, `q ∈ Q`, `r ∈ R` where every pair is
+/// connected (in either direction, matching the undirected datasets).
+pub type Clique3 = (NodeId, NodeId, NodeId);
+
+/// Enumerates all 3-cliques spanning the three node sets.
+///
+/// Used to derive the 3-clique prediction experiment: the paper removes one
+/// edge from each such clique to form the test graph.
+pub fn cliques_across_sets(graph: &Graph, p: &NodeSet, q: &NodeSet, r: &NodeSet) -> Vec<Clique3> {
+    let q_bitmap = q.membership_bitmap(graph.node_count());
+    let mut cliques = Vec::new();
+    for pn in p.iter() {
+        // neighbours of p that belong to Q (either direction)
+        let mut q_neighbors: Vec<NodeId> = Vec::new();
+        for &v in graph.out_targets(pn).iter().chain(graph.in_sources(pn).iter()) {
+            if q_bitmap[v as usize] {
+                let v = NodeId(v);
+                if !q_neighbors.contains(&v) {
+                    q_neighbors.push(v);
+                }
+            }
+        }
+        for &qn in &q_neighbors {
+            for rn in r.iter() {
+                if rn == pn || rn == qn {
+                    continue;
+                }
+                if graph.has_edge_either(pn, rn) && graph.has_edge_either(qn, rn) {
+                    cliques.push((pn, qn, rn));
+                }
+            }
+        }
+    }
+    cliques
+}
+
+/// Counts the triangles (3-cliques) in the whole graph, treating edges as
+/// undirected.  Intended for dataset sanity checks on small graphs.
+pub fn triangle_count(graph: &Graph) -> usize {
+    let n = graph.node_count();
+    // Build undirected neighbour sets with deduplication.
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for u in graph.nodes() {
+        for &v in graph.out_targets(u) {
+            if v as usize != u.index() {
+                neighbors[u.index()].push(v);
+                neighbors[v as usize].push(u.0);
+            }
+        }
+    }
+    for list in &mut neighbors {
+        list.sort_unstable();
+        list.dedup();
+    }
+    let mut count = 0usize;
+    for u in 0..n {
+        for &v in &neighbors[u] {
+            if (v as usize) <= u {
+                continue;
+            }
+            // count common neighbours w > v
+            let (a, b) = (&neighbors[u], &neighbors[v as usize]);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < a.len() && j < b.len() {
+                use std::cmp::Ordering;
+                match a[i].cmp(&b[j]) {
+                    Ordering::Less => i += 1,
+                    Ordering::Greater => j += 1,
+                    Ordering::Equal => {
+                        if a[i] > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn undirected(edges: &[(u32, u32)], n: usize) -> Graph {
+        let mut b = GraphBuilder::with_nodes(n);
+        for &(u, v) in edges {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn degree_stats_on_path() {
+        let g = undirected(&[(0, 1), (1, 2)], 3);
+        let stats = degree_stats(&g);
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 2);
+        assert_eq!(stats.isolated, 0);
+        assert!((stats.mean - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        let stats = degree_stats(&g);
+        assert_eq!(stats, DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 });
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = undirected(&[(0, 1), (2, 3)], 5);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_eq!(largest_component_size(&g), 2);
+    }
+
+    #[test]
+    fn components_follow_directed_edges_in_both_directions() {
+        // A purely directed chain is still one weakly-connected component.
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_unit_edge(NodeId(0), NodeId(1)).unwrap();
+        b.add_unit_edge(NodeId(2), NodeId(1)).unwrap();
+        let g = b.build().unwrap();
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bfs_distances_on_chain() {
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_unit_edge(NodeId(0), NodeId(1)).unwrap();
+        b.add_unit_edge(NodeId(1), NodeId(2)).unwrap();
+        let g = b.build().unwrap();
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, usize::MAX]);
+    }
+
+    #[test]
+    fn triangle_count_on_k4() {
+        let g = undirected(&[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)], 4);
+        assert_eq!(triangle_count(&g), 4);
+    }
+
+    #[test]
+    fn triangle_count_on_triangle_free_graph() {
+        let g = undirected(&[(0, 1), (1, 2), (2, 3)], 4);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn cliques_across_sets_finds_spanning_triangles() {
+        // Triangle 0-1-2 spans P={0}, Q={1}, R={2}; node 3 dangles.
+        let g = undirected(&[(0, 1), (1, 2), (0, 2), (2, 3)], 4);
+        let p = NodeSet::new("P", [NodeId(0)]);
+        let q = NodeSet::new("Q", [NodeId(1)]);
+        let r = NodeSet::new("R", [NodeId(2), NodeId(3)]);
+        let cliques = cliques_across_sets(&g, &p, &q, &r);
+        assert_eq!(cliques, vec![(NodeId(0), NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn cliques_across_sets_empty_when_no_triangle() {
+        let g = undirected(&[(0, 1), (1, 2)], 3);
+        let p = NodeSet::new("P", [NodeId(0)]);
+        let q = NodeSet::new("Q", [NodeId(1)]);
+        let r = NodeSet::new("R", [NodeId(2)]);
+        assert!(cliques_across_sets(&g, &p, &q, &r).is_empty());
+    }
+}

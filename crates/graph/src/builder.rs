@@ -1,0 +1,222 @@
+//! Mutable graph builder.
+//!
+//! [`GraphBuilder`] accumulates nodes and directed weighted edges and then
+//! produces an immutable [`Graph`].  Duplicate parallel edges are merged by
+//! summing their weights (this matches the DBLP convention of the paper where
+//! the edge weight between two authors is the number of co-authored papers).
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::Result;
+
+/// Builder for [`Graph`] instances.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    labels: Vec<Option<String>>,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder pre-sized for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            node_count: 0,
+            labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Creates a builder that already contains `n` unlabeled nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        GraphBuilder {
+            node_count: n,
+            labels: vec![None; n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edge insertions so far (before merging of duplicates).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an unlabeled node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::from_index(self.node_count);
+        self.node_count += 1;
+        self.labels.push(None);
+        id
+    }
+
+    /// Adds a labeled node (e.g. an author name) and returns its id.
+    pub fn add_labeled_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId::from_index(self.node_count);
+        self.node_count += 1;
+        self.labels.push(Some(label.into()));
+        id
+    }
+
+    /// Ensures the builder has at least `n` nodes, adding unlabeled nodes as
+    /// needed.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        while self.node_count < n {
+            self.add_node();
+        }
+    }
+
+    fn validate_endpoint(&self, node: NodeId) -> Result<()> {
+        if node.index() >= self.node_count {
+            return Err(GraphError::InvalidNode { node: node.0, node_count: self.node_count });
+        }
+        Ok(())
+    }
+
+    /// Adds a directed edge `from -> to` with the given weight.
+    ///
+    /// Self-loops are accepted (a random walker may stay put for one step)
+    /// but are rarely useful for hitting-time computations; generators in
+    /// this crate never produce them.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<()> {
+        self.validate_endpoint(from)?;
+        self.validate_endpoint(to)?;
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(GraphError::InvalidWeight { from: from.0, to: to.0, weight });
+        }
+        self.edges.push((from.0, to.0, weight));
+        Ok(())
+    }
+
+    /// Adds a directed edge with weight 1.
+    pub fn add_unit_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        self.add_edge(from, to, 1.0)
+    }
+
+    /// Adds an undirected edge, i.e. two directed edges with the same weight.
+    ///
+    /// The paper's DBLP, Yeast and YouTube graphs are all undirected; they
+    /// are modelled as symmetric directed graphs.
+    pub fn add_undirected_edge(&mut self, a: NodeId, b: NodeId, weight: f64) -> Result<()> {
+        self.add_edge(a, b, weight)?;
+        if a != b {
+            self.add_edge(b, a, weight)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the builder and produces an immutable [`Graph`].
+    ///
+    /// Parallel edges are merged by summing weights; adjacency lists are
+    /// sorted by target id; transition probabilities are computed as
+    /// `p_uv = w_uv / Σ_{v'∈O_u} w_uv'`.
+    pub fn build(self) -> Result<Graph> {
+        Graph::from_parts(self.node_count, self.labels, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        let c = b.add_node();
+        let d = b.add_labeled_node("dave");
+        b.add_edge(a, c, 2.0).unwrap();
+        b.add_edge(a, d, 1.0).unwrap();
+        b.add_edge(c, d, 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.label(d), Some("dave"));
+        assert_eq!(g.label(a), None);
+    }
+
+    #[test]
+    fn transition_probabilities_are_weight_normalised() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        let c = b.add_node();
+        let d = b.add_node();
+        b.add_edge(a, c, 3.0).unwrap();
+        b.add_edge(a, d, 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!((g.transition_prob(a, c).unwrap() - 0.75).abs() < 1e-12);
+        assert!((g.transition_prob(a, d).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(g.transition_prob(c, a), None);
+    }
+
+    #[test]
+    fn duplicate_edges_merge_by_summing_weights() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        let c = b.add_node();
+        b.add_edge(a, c, 1.0).unwrap();
+        b.add_edge(a, c, 2.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!((g.edge_weight(a, c).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_endpoint_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        let err = b.add_edge(a, NodeId(5), 1.0).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidNode { node: 5, .. }));
+    }
+
+    #[test]
+    fn invalid_weight_is_rejected() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        let c = b.add_node();
+        assert!(b.add_edge(a, c, 0.0).is_err());
+        assert!(b.add_edge(a, c, -2.0).is_err());
+        assert!(b.add_edge(a, c, f64::NAN).is_err());
+        assert!(b.add_edge(a, c, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn undirected_edge_adds_both_directions() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node();
+        let c = b.add_node();
+        b.add_undirected_edge(a, c, 1.5).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.has_edge(a, c));
+        assert!(g.has_edge(c, a));
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn ensure_nodes_grows_but_never_shrinks() {
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(5);
+        assert_eq!(b.node_count(), 5);
+        b.ensure_nodes(3);
+        assert_eq!(b.node_count(), 5);
+    }
+
+    #[test]
+    fn with_nodes_preallocates_ids() {
+        let b = GraphBuilder::with_nodes(4);
+        assert_eq!(b.node_count(), 4);
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

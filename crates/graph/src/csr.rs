@@ -1,0 +1,191 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! A [`Csr`] stores, for every node, a contiguous slice of neighbour ids
+//! together with the per-edge weight and the pre-computed random-walk
+//! transition probability.  The same structure is used for the forward
+//! (out-neighbour) and the reverse (in-neighbour) index of a
+//! [`crate::Graph`]; only the interpretation of the stored probability
+//! differs (see [`crate::graph`]).
+
+/// Immutable CSR adjacency index.
+///
+/// For node `u`, the neighbour ids live in
+/// `targets[offsets[u] .. offsets[u + 1]]`, and `weights` / `probs` are
+/// parallel arrays over the same range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR index from an adjacency list given as
+    /// `(target, weight, probability)` triples per node.
+    ///
+    /// The caller guarantees that `adjacency.len()` equals the number of
+    /// nodes in the graph and that every target id is a valid node id.
+    pub fn from_adjacency(adjacency: &[Vec<(u32, f64, f64)>]) -> Self {
+        let node_count = adjacency.len();
+        let edge_count: usize = adjacency.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(node_count + 1);
+        let mut targets = Vec::with_capacity(edge_count);
+        let mut weights = Vec::with_capacity(edge_count);
+        let mut probs = Vec::with_capacity(edge_count);
+
+        offsets.push(0u32);
+        for list in adjacency {
+            for &(t, w, p) in list {
+                targets.push(t);
+                weights.push(w);
+                probs.push(p);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets, weights, probs }
+    }
+
+    /// Number of nodes covered by this index.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Range of edge slots belonging to `node`.
+    #[inline]
+    fn range(&self, node: usize) -> std::ops::Range<usize> {
+        let start = self.offsets[node] as usize;
+        let end = self.offsets[node + 1] as usize;
+        start..end
+    }
+
+    /// Degree (number of stored neighbours) of `node`.
+    #[inline]
+    pub fn degree(&self, node: usize) -> usize {
+        self.range(node).len()
+    }
+
+    /// Neighbour ids of `node`.
+    #[inline]
+    pub fn neighbors(&self, node: usize) -> &[u32] {
+        &self.targets[self.range(node)]
+    }
+
+    /// Edge weights of `node`, parallel to [`Csr::neighbors`].
+    #[inline]
+    pub fn weights(&self, node: usize) -> &[f64] {
+        &self.weights[self.range(node)]
+    }
+
+    /// Transition probabilities of `node`, parallel to [`Csr::neighbors`].
+    #[inline]
+    pub fn probs(&self, node: usize) -> &[f64] {
+        &self.probs[self.range(node)]
+    }
+
+    /// Looks up the stored probability of the edge `node -> target`, if the
+    /// edge exists.  Neighbour lists are sorted by target id, so a binary
+    /// search is used.
+    pub fn prob_of(&self, node: usize, target: u32) -> Option<f64> {
+        let range = self.range(node);
+        let slice = &self.targets[range.clone()];
+        slice
+            .binary_search(&target)
+            .ok()
+            .map(|i| self.probs[range.start + i])
+    }
+
+    /// Looks up the stored weight of the edge `node -> target`, if present.
+    pub fn weight_of(&self, node: usize, target: u32) -> Option<f64> {
+        let range = self.range(node);
+        let slice = &self.targets[range.clone()];
+        slice
+            .binary_search(&target)
+            .ok()
+            .map(|i| self.weights[range.start + i])
+    }
+
+    /// Whether the directed edge `node -> target` is present.
+    pub fn has_edge(&self, node: usize, target: u32) -> bool {
+        self.neighbors(node).binary_search(&target).is_ok()
+    }
+
+    /// Approximate heap footprint in bytes (used by capacity-planning tests).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<u32>()
+            + self.weights.len() * std::mem::size_of::<f64>()
+            + self.probs.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -> 1 (w=1, p=0.5), 0 -> 2 (w=1, p=0.5), 2 -> 0 (w=3, p=1.0)
+        let adjacency = vec![
+            vec![(1, 1.0, 0.5), (2, 1.0, 0.5)],
+            vec![],
+            vec![(0, 3.0, 1.0)],
+        ];
+        Csr::from_adjacency(&adjacency)
+    }
+
+    #[test]
+    fn counts() {
+        let csr = sample();
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.edge_count(), 3);
+    }
+
+    #[test]
+    fn neighbor_slices() {
+        let csr = sample();
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(2), &[0]);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 0);
+    }
+
+    #[test]
+    fn parallel_arrays() {
+        let csr = sample();
+        assert_eq!(csr.weights(0), &[1.0, 1.0]);
+        assert_eq!(csr.probs(0), &[0.5, 0.5]);
+        assert_eq!(csr.weights(2), &[3.0]);
+        assert_eq!(csr.probs(2), &[1.0]);
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let csr = sample();
+        assert_eq!(csr.prob_of(0, 2), Some(0.5));
+        assert_eq!(csr.prob_of(0, 0), None);
+        assert_eq!(csr.weight_of(2, 0), Some(3.0));
+        assert!(csr.has_edge(0, 1));
+        assert!(!csr.has_edge(1, 0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_adjacency(&[]);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_scales_with_edges() {
+        let csr = sample();
+        assert!(csr.heap_bytes() >= 3 * (4 + 8 + 8));
+    }
+}

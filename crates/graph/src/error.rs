@@ -1,0 +1,93 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by graph construction, validation and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id that is not part of the graph being
+    /// built.
+    InvalidNode {
+        /// The offending node id.
+        node: u32,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge weight was not a finite, strictly positive number.
+    InvalidWeight {
+        /// Source node of the edge.
+        from: u32,
+        /// Target node of the edge.
+        to: u32,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A text edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Underlying I/O failure while reading or writing a graph file.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode { node, node_count } => {
+                write!(f, "node id {node} is out of range for a graph with {node_count} nodes")
+            }
+            GraphError::InvalidWeight { from, to, weight } => {
+                write!(f, "edge ({from}, {to}) has invalid weight {weight}; weights must be finite and > 0")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(value: io::Error) -> Self {
+        GraphError::Io(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::InvalidNode { node: 9, node_count: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3"));
+
+        let e = GraphError::InvalidWeight { from: 1, to: 2, weight: -1.0 };
+        assert!(e.to_string().contains("-1"));
+
+        let e = GraphError::Parse { line: 4, message: "bad token".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        let inner = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let e: GraphError = inner.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

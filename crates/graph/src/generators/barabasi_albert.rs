@@ -1,0 +1,110 @@
+//! Barabási–Albert preferential-attachment graphs.
+//!
+//! Social and bibliographic networks such as the paper's DBLP and YouTube
+//! datasets have heavy-tailed degree distributions; preferential attachment
+//! is the standard generative model for that regime.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+use super::rng_from_seed;
+
+/// Generates an undirected Barabási–Albert graph with `n` nodes where every
+/// new node attaches to `m` existing nodes chosen proportionally to their
+/// current degree.  Unit weights, no self-loops, no duplicate edges.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = rng_from_seed(seed);
+    let mut builder = GraphBuilder::with_nodes(n);
+    if n == 0 {
+        return builder.build().expect("empty BA graph is valid");
+    }
+    let m = m.max(1).min(n.saturating_sub(1).max(1));
+
+    // `targets` holds one entry per edge endpoint: sampling uniformly from it
+    // is sampling proportionally to degree.
+    let mut endpoint_pool: Vec<u32> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over the first m+1 nodes (or fewer if n is tiny).
+    let seed_size = (m + 1).min(n);
+    for u in 0..seed_size {
+        for v in (u + 1)..seed_size {
+            builder
+                .add_undirected_edge(NodeId(u as u32), NodeId(v as u32), 1.0)
+                .expect("seed clique endpoints are valid");
+            endpoint_pool.push(u as u32);
+            endpoint_pool.push(v as u32);
+        }
+    }
+
+    for new in seed_size..n {
+        let mut attached: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0usize;
+        while attached.len() < m && guard < 50 * m {
+            guard += 1;
+            let target = if endpoint_pool.is_empty() {
+                rng.gen_range(0..new) as u32
+            } else {
+                endpoint_pool[rng.gen_range(0..endpoint_pool.len())]
+            };
+            if target as usize == new || attached.contains(&target) {
+                continue;
+            }
+            attached.push(target);
+        }
+        for &t in &attached {
+            builder
+                .add_undirected_edge(NodeId(new as u32), NodeId(t), 1.0)
+                .expect("attachment endpoints are valid");
+            endpoint_pool.push(new as u32);
+            endpoint_pool.push(t);
+        }
+    }
+    builder.build().expect("generated BA graph is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::degree_stats;
+
+    #[test]
+    fn node_count_is_exact_and_edges_scale_with_m() {
+        let g = barabasi_albert(200, 3, 5);
+        assert_eq!(g.node_count(), 200);
+        // roughly (n - m0) * m undirected edges plus the seed clique
+        assert!(g.edge_count() >= 2 * (200 - 4) * 3);
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let a = barabasi_albert(100, 2, 11);
+        let b = barabasi_albert(100, 2, 11);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let g = barabasi_albert(500, 2, 7);
+        let stats = degree_stats(&g);
+        // hubs should have much larger degree than the minimum attachment
+        assert!(stats.max >= 5 * stats.min.max(1));
+        assert_eq!(stats.isolated, 0);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic()  {
+        assert_eq!(barabasi_albert(0, 3, 1).node_count(), 0);
+        assert_eq!(barabasi_albert(1, 3, 1).edge_count(), 0);
+        let g = barabasi_albert(3, 5, 1);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = barabasi_albert(150, 2, 13);
+        assert!(g.edges().all(|(u, v, _)| u != v));
+    }
+}

@@ -1,0 +1,212 @@
+//! Planted-partition (community) graphs.
+//!
+//! The effectiveness experiments of the paper (link prediction, 3-clique
+//! prediction) rely on the fact that DHT scores are higher between nodes
+//! that are structurally close.  A planted-partition graph — dense inside
+//! communities, sparse across them — provides exactly that structure, and the
+//! communities double as the node sets (`R_i`) of the join queries, mirroring
+//! "research areas" in DBLP and "interest groups" in YouTube.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::nodeset::NodeSet;
+
+use super::rng_from_seed;
+
+/// Configuration of a planted-partition generator run.
+#[derive(Debug, Clone)]
+pub struct PlantedPartitionConfig {
+    /// Number of communities.
+    pub communities: usize,
+    /// Nodes per community.
+    pub community_size: usize,
+    /// Expected number of within-community neighbours per node.
+    pub avg_internal_degree: f64,
+    /// Expected number of cross-community neighbours per node.
+    pub avg_external_degree: f64,
+    /// Whether edge weights are drawn from a heavy-tailed distribution
+    /// (papers-co-authored style) instead of being 1.
+    pub weighted: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedPartitionConfig {
+    fn default() -> Self {
+        PlantedPartitionConfig {
+            communities: 4,
+            community_size: 100,
+            avg_internal_degree: 8.0,
+            avg_external_degree: 2.0,
+            weighted: false,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated community graph together with its planted communities exposed
+/// as [`NodeSet`]s.
+#[derive(Debug, Clone)]
+pub struct CommunityGraph {
+    /// The generated graph.
+    pub graph: Graph,
+    /// One node set per planted community, in community order.
+    pub communities: Vec<NodeSet>,
+}
+
+impl CommunityGraph {
+    /// Returns the community node set with the given index.
+    pub fn community(&self, index: usize) -> &NodeSet {
+        &self.communities[index]
+    }
+}
+
+/// Draws a heavy-tailed integer weight in `1..=max` (Pareto-like, most mass
+/// at 1) — mimics "number of co-authored papers".
+fn heavy_tailed_weight(rng: &mut impl Rng, max: u32) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-9);
+    let w = (1.0 / u.powf(0.5)).floor() as u32;
+    w.clamp(1, max) as f64
+}
+
+/// Generates a planted-partition community graph.
+pub fn planted_partition(config: &PlantedPartitionConfig) -> CommunityGraph {
+    let mut rng = rng_from_seed(config.seed);
+    let n = config.communities * config.community_size;
+    let mut builder = GraphBuilder::with_nodes(n);
+
+    let community_of = |node: usize| node / config.community_size.max(1);
+
+    // Probability that a given within/cross pair is connected, derived from
+    // the requested average degrees.
+    let internal_pairs = (config.community_size.saturating_sub(1)) as f64;
+    let external_pairs = (n - config.community_size.min(n)) as f64;
+    let p_in = if internal_pairs > 0.0 {
+        (config.avg_internal_degree / internal_pairs).min(1.0)
+    } else {
+        0.0
+    };
+    let p_out = if external_pairs > 0.0 {
+        (config.avg_external_degree / external_pairs).min(1.0)
+    } else {
+        0.0
+    };
+
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community_of(u) == community_of(v) { p_in } else { p_out };
+            if p > 0.0 && rng.gen_bool(p) {
+                let w = if config.weighted { heavy_tailed_weight(&mut rng, 50) } else { 1.0 };
+                builder
+                    .add_undirected_edge(NodeId(u as u32), NodeId(v as u32), w)
+                    .expect("generated endpoints are valid");
+            }
+        }
+    }
+
+    let graph = builder.build().expect("generated community graph is valid");
+    let communities = (0..config.communities)
+        .map(|c| {
+            let start = c * config.community_size;
+            let end = start + config.community_size;
+            NodeSet::new(
+                format!("C{c}"),
+                (start..end).map(|i| NodeId(i as u32)),
+            )
+        })
+        .collect();
+    CommunityGraph { graph, communities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PlantedPartitionConfig {
+        PlantedPartitionConfig {
+            communities: 3,
+            community_size: 40,
+            avg_internal_degree: 6.0,
+            avg_external_degree: 1.0,
+            weighted: false,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn sizes_match_configuration() {
+        let cg = planted_partition(&small_config());
+        assert_eq!(cg.graph.node_count(), 120);
+        assert_eq!(cg.communities.len(), 3);
+        assert!(cg.communities.iter().all(|c| c.len() == 40));
+    }
+
+    #[test]
+    fn communities_partition_the_nodes() {
+        let cg = planted_partition(&small_config());
+        let mut seen = vec![false; cg.graph.node_count()];
+        for c in &cg.communities {
+            for n in c.iter() {
+                assert!(!seen[n.index()], "node in two communities");
+                seen[n.index()] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn internal_edges_dominate_external_edges() {
+        let cg = planted_partition(&small_config());
+        let community_of = |n: NodeId| n.index() / 40;
+        let mut internal = 0usize;
+        let mut external = 0usize;
+        for (u, v, _) in cg.graph.edges() {
+            if community_of(u) == community_of(v) {
+                internal += 1;
+            } else {
+                external += 1;
+            }
+        }
+        assert!(internal > external, "internal={internal} external={external}");
+    }
+
+    #[test]
+    fn weighted_mode_produces_weights_above_one() {
+        let mut cfg = small_config();
+        cfg.weighted = true;
+        let cg = planted_partition(&cfg);
+        let max_weight = cg
+            .graph
+            .edges()
+            .map(|(_, _, w)| w)
+            .fold(0.0f64, f64::max);
+        assert!(max_weight > 1.0);
+        assert!(cg.graph.edges().all(|(_, _, w)| w >= 1.0));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = planted_partition(&small_config());
+        let b = planted_partition(&small_config());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degenerate_single_community() {
+        let cfg = PlantedPartitionConfig {
+            communities: 1,
+            community_size: 10,
+            avg_internal_degree: 3.0,
+            avg_external_degree: 5.0,
+            weighted: false,
+            seed: 1,
+        };
+        let cg = planted_partition(&cfg);
+        assert_eq!(cg.graph.node_count(), 10);
+        assert_eq!(cg.communities.len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Erdős–Rényi `G(n, m)` random graphs.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::subgraph::undirected_key;
+
+use super::rng_from_seed;
+
+/// Generates an undirected Erdős–Rényi graph with `n` nodes and (up to)
+/// `m` distinct undirected edges, unit weights, no self-loops.
+///
+/// Sampling is with rejection of duplicates, so for dense requests
+/// (`m` close to `n·(n−1)/2`) the generator falls back to enumerating all
+/// pairs and sampling without replacement.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = rng_from_seed(seed);
+    let mut builder = GraphBuilder::with_nodes(n);
+    if n < 2 || m == 0 {
+        return builder.build().expect("empty ER graph is always valid");
+    }
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+
+    let mut chosen: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+    if m * 3 >= max_edges {
+        // Dense: sample without replacement from all pairs.
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(max_edges);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                pairs.push((NodeId(u as u32), NodeId(v as u32)));
+            }
+        }
+        // Partial Fisher-Yates shuffle.
+        for i in 0..m {
+            let j = rng.gen_range(i..pairs.len());
+            pairs.swap(i, j);
+        }
+        chosen.extend_from_slice(&pairs[..m]);
+    } else {
+        // Sparse: rejection sampling with a sorted dedup index.
+        let mut seen: Vec<(NodeId, NodeId)> = Vec::with_capacity(m);
+        while chosen.len() < m {
+            let u = rng.gen_range(0..n) as u32;
+            let v = rng.gen_range(0..n) as u32;
+            if u == v {
+                continue;
+            }
+            let key = undirected_key(NodeId(u), NodeId(v));
+            match seen.binary_search(&key) {
+                Ok(_) => continue,
+                Err(pos) => {
+                    seen.insert(pos, key);
+                    chosen.push(key);
+                }
+            }
+        }
+    }
+
+    for (u, v) in chosen {
+        builder
+            .add_undirected_edge(u, v, 1.0)
+            .expect("generated endpoints are always valid");
+    }
+    builder.build().expect("generated ER graph is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requested_size_is_honoured() {
+        let g = erdos_renyi(50, 100, 1);
+        assert_eq!(g.node_count(), 50);
+        // each undirected edge appears twice in the directed edge count
+        assert_eq!(g.edge_count(), 200);
+    }
+
+    #[test]
+    fn deterministic_for_a_given_seed() {
+        let a = erdos_renyi(30, 60, 42);
+        let b = erdos_renyi(30, 60, 42);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(30, 60, 1);
+        let b = erdos_renyi(30, 60, 2);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn dense_request_caps_at_complete_graph() {
+        let g = erdos_renyi(5, 1000, 3);
+        assert_eq!(g.edge_count(), 5 * 4); // complete undirected K5
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(erdos_renyi(0, 10, 1).node_count(), 0);
+        assert_eq!(erdos_renyi(1, 10, 1).edge_count(), 0);
+        assert_eq!(erdos_renyi(10, 0, 1).edge_count(), 0);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(40, 80, 9);
+        assert!(g.edges().all(|(u, v, _)| u != v));
+    }
+}

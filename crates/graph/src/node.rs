@@ -1,0 +1,90 @@
+//! Node identifiers.
+//!
+//! Nodes are identified by dense `u32` indices.  A newtype keeps the public
+//! API honest (node ids are not interchangeable with arbitrary integers) while
+//! compiling down to a bare integer.
+
+use std::fmt;
+
+/// Identifier of a node inside a [`crate::Graph`].
+///
+/// Node ids are dense: a graph with `n` nodes uses exactly the ids
+/// `0 .. n-1`.  They are only meaningful relative to the graph that produced
+/// them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index, suitable for indexing per-node
+    /// vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a node id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in a `u32`; graphs in this library are
+    /// bounded by `u32::MAX` nodes.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index out of range");
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+    }
+
+    #[test]
+    fn conversions() {
+        let n: NodeId = 7u32.into();
+        let raw: u32 = n.into();
+        assert_eq!(raw, 7);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId(3)), "3");
+        assert_eq!(format!("{:?}", NodeId(3)), "n3");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(NodeId(10) > NodeId(2));
+    }
+}

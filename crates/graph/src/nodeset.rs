@@ -1,0 +1,169 @@
+//! Node sets — the operands of 2-way and n-way joins.
+//!
+//! A [`NodeSet`] is a named, duplicate-free, ordered collection of node ids
+//! (`R_i ⊆ V_G` in the paper).  Iteration order is the insertion order used
+//! when the set was created; membership tests are `O(1)` amortised via an
+//! auxiliary sorted index.
+
+use crate::node::NodeId;
+
+/// A named subset of the nodes of a graph, used as one operand of a join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSet {
+    name: String,
+    members: Vec<NodeId>,
+    sorted: Vec<NodeId>,
+}
+
+impl NodeSet {
+    /// Creates a node set from an iterator of node ids.  Duplicates are
+    /// removed, keeping the first occurrence.
+    pub fn new(name: impl Into<String>, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut members: Vec<NodeId> = Vec::new();
+        let mut seen: Vec<NodeId> = Vec::new();
+        for n in nodes {
+            if seen.binary_search(&n).is_err() {
+                let pos = seen.binary_search(&n).unwrap_err();
+                seen.insert(pos, n);
+                members.push(n);
+            }
+        }
+        NodeSet { name: name.into(), members, sorted: seen }
+    }
+
+    /// Creates an empty node set.
+    pub fn empty(name: impl Into<String>) -> Self {
+        NodeSet { name: name.into(), members: Vec::new(), sorted: Vec::new() }
+    }
+
+    /// The set's name (e.g. "DB", "AI", "SYS").
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of member nodes `|R_i|`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Members in insertion order.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Iterator over members in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Membership test (binary search over the sorted index).
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.sorted.binary_search(&node).is_ok()
+    }
+
+    /// Position of `node` in insertion order, if it is a member.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        if !self.contains(node) {
+            return None;
+        }
+        self.members.iter().position(|&m| m == node)
+    }
+
+    /// Returns a new node set containing only the members also present in
+    /// `other`.
+    pub fn intersection(&self, other: &NodeSet) -> NodeSet {
+        let members = self.members.iter().copied().filter(|&n| other.contains(n));
+        NodeSet::new(format!("{}∩{}", self.name, other.name), members)
+    }
+
+    /// Returns a membership bitmap of length `node_count`, used by hot walk
+    /// loops to avoid hashing.
+    pub fn membership_bitmap(&self, node_count: usize) -> Vec<bool> {
+        let mut bitmap = vec![false; node_count];
+        for &n in &self.members {
+            if n.index() < node_count {
+                bitmap[n.index()] = true;
+            }
+        }
+        bitmap
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeSet {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.members.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(values: &[u32]) -> Vec<NodeId> {
+        values.iter().copied().map(NodeId).collect()
+    }
+
+    #[test]
+    fn construction_removes_duplicates_preserving_order() {
+        let s = NodeSet::new("P", ids(&[5, 3, 5, 8, 3]));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.members(), &ids(&[5, 3, 8])[..]);
+    }
+
+    #[test]
+    fn membership_and_position() {
+        let s = NodeSet::new("P", ids(&[10, 20, 30]));
+        assert!(s.contains(NodeId(20)));
+        assert!(!s.contains(NodeId(25)));
+        assert_eq!(s.position(NodeId(30)), Some(2));
+        assert_eq!(s.position(NodeId(99)), None);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = NodeSet::empty("Q");
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(NodeId(0)));
+        assert_eq!(s.name(), "Q");
+    }
+
+    #[test]
+    fn intersection() {
+        let a = NodeSet::new("A", ids(&[1, 2, 3, 4]));
+        let b = NodeSet::new("B", ids(&[3, 4, 5]));
+        let i = a.intersection(&b);
+        assert_eq!(i.members(), &ids(&[3, 4])[..]);
+    }
+
+    #[test]
+    fn bitmap_covers_members_only() {
+        let s = NodeSet::new("P", ids(&[0, 2]));
+        let bm = s.membership_bitmap(4);
+        assert_eq!(bm, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn bitmap_ignores_out_of_range_members() {
+        let s = NodeSet::new("P", ids(&[1, 9]));
+        let bm = s.membership_bitmap(3);
+        assert_eq!(bm, vec![false, true, false]);
+    }
+
+    #[test]
+    fn iteration_matches_members() {
+        let s = NodeSet::new("P", ids(&[7, 1]));
+        let collected: Vec<NodeId> = (&s).into_iter().collect();
+        assert_eq!(collected, ids(&[7, 1]));
+        let collected2: Vec<NodeId> = s.iter().collect();
+        assert_eq!(collected2, ids(&[7, 1]));
+    }
+}

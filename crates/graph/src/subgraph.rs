@@ -1,0 +1,143 @@
+//! Edge-removal helpers for deriving "test graphs".
+//!
+//! The paper's effectiveness experiments distinguish a *true graph* `G` from
+//! a *test graph* `T` obtained by deleting some edges of `G` (e.g. "half of
+//! the edges between the node pairs in (P, Q)").  The functions here rebuild
+//! a graph with a caller-chosen subset of edges removed, keeping the node id
+//! space (and labels) identical so that node sets remain valid in both
+//! graphs.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::node::NodeId;
+use crate::Result;
+
+/// An undirected edge key with the smaller endpoint first, used to treat the
+/// symmetric directed pair `(u, v)` / `(v, u)` as one logical edge.
+#[inline]
+pub fn undirected_key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u.0 <= v.0 {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Rebuilds `graph` without the directed edges for which `remove` returns
+/// `true`.  Node ids and labels are preserved.
+pub fn remove_edges_if(graph: &Graph, mut remove: impl FnMut(NodeId, NodeId) -> bool) -> Result<Graph> {
+    let mut builder = GraphBuilder::with_capacity(graph.node_count(), graph.edge_count());
+    for u in graph.nodes() {
+        match graph.label(u) {
+            Some(l) => {
+                builder.add_labeled_node(l);
+            }
+            None => {
+                builder.add_node();
+            }
+        }
+    }
+    for (u, v, w) in graph.edges() {
+        if !remove(u, v) {
+            builder.add_edge(u, v, w)?;
+        }
+    }
+    builder.build()
+}
+
+/// Rebuilds `graph` without the given *undirected* edges: for each pair in
+/// `edges`, both directions are removed if present.
+pub fn remove_undirected_edges(graph: &Graph, edges: &[(NodeId, NodeId)]) -> Result<Graph> {
+    let mut removed: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v)| undirected_key(u, v)).collect();
+    removed.sort_unstable();
+    removed.dedup();
+    remove_edges_if(graph, |u, v| removed.binary_search(&undirected_key(u, v)).is_ok())
+}
+
+/// Collects the undirected edges (smaller id first) that connect a node in
+/// `p` with a node in `q`.
+pub fn cross_set_edges(
+    graph: &Graph,
+    p: &crate::nodeset::NodeSet,
+    q: &crate::nodeset::NodeSet,
+) -> Vec<(NodeId, NodeId)> {
+    let p_bitmap = p.membership_bitmap(graph.node_count());
+    let q_bitmap = q.membership_bitmap(graph.node_count());
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (u, v, _) in graph.edges() {
+        let crosses = (p_bitmap[u.index()] && q_bitmap[v.index()])
+            || (q_bitmap[u.index()] && p_bitmap[v.index()]);
+        if crosses {
+            edges.push(undirected_key(u, v));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nodeset::NodeSet;
+
+    fn square() -> Graph {
+        // undirected square 0-1-2-3-0 with a label on node 0
+        let mut b = GraphBuilder::new();
+        let a = b.add_labeled_node("a");
+        let c = b.add_node();
+        let d = b.add_node();
+        let e = b.add_node();
+        for (u, v) in [(a, c), (c, d), (d, e), (e, a)] {
+            b.add_undirected_edge(u, v, 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn undirected_key_orders_endpoints() {
+        assert_eq!(undirected_key(NodeId(3), NodeId(1)), (NodeId(1), NodeId(3)));
+        assert_eq!(undirected_key(NodeId(1), NodeId(3)), (NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn remove_edges_if_preserves_nodes_and_labels() {
+        let g = square();
+        let t = remove_edges_if(&g, |u, v| u == NodeId(0) && v == NodeId(1)).unwrap();
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.label(NodeId(0)), Some("a"));
+        assert!(!t.has_edge(NodeId(0), NodeId(1)));
+        // reverse direction untouched by this predicate
+        assert!(t.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(t.edge_count(), g.edge_count() - 1);
+    }
+
+    #[test]
+    fn remove_undirected_edges_removes_both_directions() {
+        let g = square();
+        let t = remove_undirected_edges(&g, &[(NodeId(1), NodeId(0))]).unwrap();
+        assert!(!t.has_edge(NodeId(0), NodeId(1)));
+        assert!(!t.has_edge(NodeId(1), NodeId(0)));
+        assert_eq!(t.edge_count(), g.edge_count() - 2);
+    }
+
+    #[test]
+    fn remove_undirected_edges_ignores_missing_edges() {
+        let g = square();
+        let t = remove_undirected_edges(&g, &[(NodeId(0), NodeId(2))]).unwrap();
+        assert_eq!(t.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn cross_set_edges_finds_only_crossing_pairs() {
+        let g = square();
+        let p = NodeSet::new("P", [NodeId(0), NodeId(2)]);
+        let q = NodeSet::new("Q", [NodeId(1), NodeId(3)]);
+        let edges = cross_set_edges(&g, &p, &q);
+        // every edge of the square crosses P/Q
+        assert_eq!(edges.len(), 4);
+        let p2 = NodeSet::new("P", [NodeId(0)]);
+        let q2 = NodeSet::new("Q", [NodeId(2)]);
+        assert!(cross_set_edges(&g, &p2, &q2).is_empty());
+    }
+}

@@ -1,0 +1,377 @@
+//! Generic top-k joins over any [`ProximityMeasure`].
+//!
+//! These functions generalise the paper's join algorithms beyond DHT:
+//!
+//! * [`measure_two_way_top_k`] mirrors **B-BJ**: one bulk column per target,
+//!   feeding a bounded top-k buffer;
+//! * [`measure_two_way_top_k_pruned`] mirrors **B-IDJ-X**: iterative
+//!   deepening with the measure's own tail bound pruning whole targets
+//!   before the final deep pass (requires [`IterativeMeasure`]);
+//! * [`measure_nway_top_k`] mirrors **AP**: a complete 2-way join per query
+//!   edge followed by the same Pull/Bound Rank Join driver that the DHT
+//!   n-way algorithms use (`dht-core`'s PBRJ is reused verbatim through its
+//!   [`EdgeListProvider`] abstraction).
+//!
+//! The point of the exercise — and what the integration tests check — is
+//! that the *structure* of the paper's solution carries over unchanged: only
+//! the measure changes.
+
+use dht_core::answer::{sort_pairs, Answer, PairScore};
+use dht_core::multiway::pbrj::{self, EdgeListProvider};
+use dht_core::{Aggregate, NWayStats, QueryGraph};
+use dht_graph::{Graph, NodeSet};
+use dht_rankjoin::TopKBuffer;
+
+use crate::measure::{IterativeMeasure, ProximityMeasure};
+use crate::{MeasureError, Result};
+
+/// A scored node pair produced by a generic 2-way join (same layout as the
+/// DHT joins' [`PairScore`]).
+pub type MeasurePair = PairScore;
+
+/// Result of a generic n-way join.
+#[derive(Debug, Clone)]
+pub struct MeasureNWayOutput {
+    /// The top-k answers, sorted by descending aggregate score.
+    pub answers: Vec<Answer>,
+    /// Rank-join counters (pairs pulled, candidates generated, …).
+    pub stats: NWayStats,
+}
+
+/// Top-k 2-way join of `p ⋈ q` under an arbitrary measure, B-BJ style:
+/// one bulk column per target node.
+///
+/// Pairs with identical left and right node are skipped (the paper's joins
+/// never score a node against itself).  Ties are broken by node ids so the
+/// result is deterministic.
+pub fn measure_two_way_top_k<M: ProximityMeasure + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+) -> Vec<MeasurePair> {
+    let mut buffer: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
+    for target in q.iter() {
+        let column = measure.scores_to_target(graph, target);
+        for source in p.iter() {
+            if source == target || source.index() >= column.len() {
+                continue;
+            }
+            buffer.insert(column[source.index()], (source.0, target.0));
+        }
+    }
+    finalize(buffer)
+}
+
+/// Top-k 2-way join with iterative-deepening pruning, B-IDJ-X style.
+///
+/// At each doubling depth `l`, partial columns provide lower bounds and
+/// `partial + tail_bound(l)` provides per-target upper bounds; targets whose
+/// upper bound cannot reach the current k-th best lower bound are discarded
+/// before the final full-depth pass.  Produces exactly the same pairs as
+/// [`measure_two_way_top_k`].
+pub fn measure_two_way_top_k_pruned<M: IterativeMeasure + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+) -> Vec<MeasurePair> {
+    if k == 0 || p.is_empty() || q.is_empty() {
+        return Vec::new();
+    }
+    let d = measure.depth();
+    let mut remaining: Vec<_> = q.iter().collect();
+    let mut l = 1usize;
+    while l < d && remaining.len() > 1 {
+        // Lower bounds at depth l for every surviving target.
+        let mut lower: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
+        let mut upper_per_target = Vec::with_capacity(remaining.len());
+        for &target in &remaining {
+            let partial = measure.partial_scores_to_target(graph, target, l);
+            let mut best_partial = f64::NEG_INFINITY;
+            for source in p.iter() {
+                if source == target || source.index() >= partial.len() {
+                    continue;
+                }
+                let s = partial[source.index()];
+                lower.insert(s, (source.0, target.0));
+                if s > best_partial {
+                    best_partial = s;
+                }
+            }
+            upper_per_target.push(best_partial + measure.tail_bound(l));
+        }
+        if lower.is_full() {
+            let tk = lower.kth_score().expect("full buffer has a k-th score");
+            let kept: Vec<_> = remaining
+                .iter()
+                .zip(upper_per_target.iter())
+                .filter(|&(_, &ub)| ub >= tk)
+                .map(|(&t, _)| t)
+                .collect();
+            // Keep at least one target so the final pass always has work.
+            if !kept.is_empty() {
+                remaining = kept;
+            }
+        }
+        l *= 2;
+    }
+    // Final full-depth pass over the surviving targets.
+    let mut buffer: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
+    for target in remaining {
+        let column = measure.scores_to_target(graph, target);
+        for source in p.iter() {
+            if source == target || source.index() >= column.len() {
+                continue;
+            }
+            buffer.insert(column[source.index()], (source.0, target.0));
+        }
+    }
+    finalize(buffer)
+}
+
+fn finalize(buffer: TopKBuffer<(u32, u32)>) -> Vec<MeasurePair> {
+    let mut pairs: Vec<MeasurePair> = buffer
+        .into_sorted_desc()
+        .into_iter()
+        .map(|(score, (l, r))| PairScore::new(dht_graph::NodeId(l), dht_graph::NodeId(r), score))
+        .collect();
+    sort_pairs(&mut pairs);
+    pairs
+}
+
+/// Complete per-edge lists pre-computed from a measure, exposed to the PBRJ
+/// driver of `dht-core`.
+struct PrecomputedLists {
+    lists: Vec<Vec<PairScore>>,
+    floor: f64,
+}
+
+impl EdgeListProvider for PrecomputedLists {
+    fn get(&mut self, edge: usize, index: usize, _stats: &mut NWayStats) -> Option<PairScore> {
+        self.lists.get(edge).and_then(|list| list.get(index)).copied()
+    }
+
+    fn floor(&self) -> f64 {
+        self.floor
+    }
+}
+
+/// Top-k n-way join under an arbitrary measure, AP style: a complete 2-way
+/// join per query edge followed by the Pull/Bound Rank Join.
+///
+/// The query graph, node sets and aggregate have exactly the semantics of
+/// the DHT n-way joins in `dht-core`; only the per-edge similarity changes.
+pub fn measure_nway_top_k<M: ProximityMeasure + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    query: &QueryGraph,
+    node_sets: &[NodeSet],
+    aggregate: Aggregate,
+    k: usize,
+) -> Result<MeasureNWayOutput> {
+    let mut stats = NWayStats::default();
+    let mut lists = Vec::with_capacity(query.edge_count());
+    for &(from, to) in query.edges() {
+        let (Some(p), Some(q)) = (node_sets.get(from), node_sets.get(to)) else {
+            return Err(MeasureError::InvalidJoin(format!(
+                "query edge ({from}, {to}) references a missing node set \
+                 (only {} sets supplied)",
+                node_sets.len()
+            )));
+        };
+        stats.two_way_joins += 1;
+        let full = p.len().saturating_mul(q.len());
+        lists.push(measure_two_way_top_k(graph, measure, p, q, full));
+    }
+    let mut provider = PrecomputedLists { lists, floor: measure.min_score() };
+    let answers = pbrj::run(query, node_sets, aggregate, k, &mut provider, &mut stats)
+        .map_err(|e| MeasureError::InvalidJoin(e.to_string()))?;
+    Ok(MeasureNWayOutput { answers, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dht::DhtMeasure;
+    use crate::ppr::PersonalizedPageRank;
+    use dht_graph::{GraphBuilder, NodeId};
+
+    /// A two-community graph: 0-4 densely connected, 5-9 densely connected,
+    /// with a single bridge 4-5.  Edge weights vary so that scores have no
+    /// exact ties and result orders are unambiguous.
+    fn two_communities() -> Graph {
+        let mut b = GraphBuilder::with_nodes(10);
+        for base in [0u32, 5u32] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    let w = 1.0 + 0.31 * f64::from(base + i) + 0.17 * f64::from(j);
+                    b.add_undirected_edge(NodeId(base + i), NodeId(base + j), w).unwrap();
+                }
+            }
+        }
+        b.add_undirected_edge(NodeId(4), NodeId(5), 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    fn sets() -> (NodeSet, NodeSet, NodeSet) {
+        (
+            NodeSet::new("A", (0..3).map(NodeId)),
+            NodeSet::new("B", (3..7).map(NodeId)),
+            NodeSet::new("C", (7..10).map(NodeId)),
+        )
+    }
+
+    /// Brute-force reference: score every pair with the single-pair method.
+    fn brute_force(
+        graph: &Graph,
+        measure: &impl ProximityMeasure,
+        p: &NodeSet,
+        q: &NodeSet,
+        k: usize,
+    ) -> Vec<(u32, u32, f64)> {
+        let mut all: Vec<(u32, u32, f64)> = p
+            .iter()
+            .flat_map(|a| q.iter().map(move |b| (a, b)))
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (a.0, b.0, measure.score(graph, a, b)))
+            .collect();
+        all.sort_by(|x, y| y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn basic_join_matches_brute_force_for_ppr() {
+        let g = two_communities();
+        let (a, b, _) = sets();
+        let m = PersonalizedPageRank::new(0.8, 8).unwrap();
+        let fast = measure_two_way_top_k(&g, &m, &a, &b, 5);
+        let slow = brute_force(&g, &m, &a, &b, 5);
+        assert_eq!(fast.len(), 5);
+        for (pair, (l, r, s)) in fast.iter().zip(slow.iter()) {
+            assert_eq!((pair.left.0, pair.right.0), (*l, *r));
+            assert!((pair.score - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruned_join_agrees_with_basic_join() {
+        let g = two_communities();
+        let (a, b, c) = sets();
+        for k in [1, 3, 8, 50] {
+            let dht = DhtMeasure::paper_default();
+            let basic = measure_two_way_top_k(&g, &dht, &a, &c, k);
+            let pruned = measure_two_way_top_k_pruned(&g, &dht, &a, &c, k);
+            assert_eq!(basic.len(), pruned.len(), "k={k}");
+            for (x, y) in basic.iter().zip(pruned.iter()) {
+                assert_eq!((x.left, x.right), (y.left, y.right), "k={k}");
+                assert!((x.score - y.score).abs() < 1e-12);
+            }
+
+            let ppr = PersonalizedPageRank::new(0.85, 10).unwrap();
+            let basic = measure_two_way_top_k(&g, &ppr, &b, &c, k);
+            let pruned = measure_two_way_top_k_pruned(&g, &ppr, &b, &c, k);
+            assert_eq!(basic, pruned, "PPR disagreement at k={k}");
+        }
+    }
+
+    #[test]
+    fn self_pairs_are_never_reported() {
+        let g = two_communities();
+        let overlap_a = NodeSet::new("P", [NodeId(0), NodeId(1), NodeId(2)]);
+        let overlap_b = NodeSet::new("Q", [NodeId(1), NodeId(2), NodeId(3)]);
+        let m = PersonalizedPageRank::new(0.8, 6).unwrap();
+        let pairs = measure_two_way_top_k(&g, &m, &overlap_a, &overlap_b, 100);
+        assert!(pairs.iter().all(|p| p.left != p.right));
+        // 3·3 ordered pairs minus the 2 self pairs
+        assert_eq!(pairs.len(), 7);
+    }
+
+    #[test]
+    fn oversized_k_returns_every_pair() {
+        let g = two_communities();
+        let (a, _, c) = sets();
+        let m = DhtMeasure::paper_default();
+        let pairs = measure_two_way_top_k(&g, &m, &a, &c, 10_000);
+        assert_eq!(pairs.len(), a.len() * c.len());
+        // sorted descending
+        for w in pairs.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-15);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_results() {
+        let g = two_communities();
+        let (a, b, _) = sets();
+        let m = DhtMeasure::paper_default();
+        assert!(measure_two_way_top_k(&g, &m, &a, &b, 0).is_empty());
+        assert!(measure_two_way_top_k_pruned(&g, &m, &a, &b, 0).is_empty());
+        let empty = NodeSet::empty("none");
+        assert!(measure_two_way_top_k(&g, &m, &empty, &b, 5).is_empty());
+        assert!(measure_two_way_top_k_pruned(&g, &m, &a, &empty, 5).is_empty());
+    }
+
+    #[test]
+    fn nway_join_matches_brute_force_enumeration() {
+        let g = two_communities();
+        let (a, b, c) = sets();
+        let m = PersonalizedPageRank::new(0.8, 8).unwrap();
+        let query = QueryGraph::chain(3);
+        let k = 5;
+        let result =
+            measure_nway_top_k(&g, &m, &query, &[a.clone(), b.clone(), c.clone()], Aggregate::Sum, k)
+                .unwrap();
+
+        // Brute force over all 3-tuples.
+        let mut tuples: Vec<(Vec<NodeId>, f64)> = Vec::new();
+        for x in a.iter() {
+            for y in b.iter() {
+                for z in c.iter() {
+                    if x == y || y == z || x == z {
+                        continue;
+                    }
+                    let score = m.score(&g, x, y) + m.score(&g, y, z);
+                    tuples.push((vec![x, y, z], score));
+                }
+            }
+        }
+        tuples.sort_by(|p, q| q.1.total_cmp(&p.1).then_with(|| p.0.cmp(&q.0)));
+        tuples.truncate(k);
+
+        assert_eq!(result.answers.len(), k);
+        for (answer, (nodes, score)) in result.answers.iter().zip(tuples.iter()) {
+            assert!(
+                (answer.score - score).abs() < 1e-9,
+                "score mismatch: {} vs {score}",
+                answer.score
+            );
+            assert_eq!(&answer.nodes, nodes);
+        }
+        assert_eq!(result.stats.two_way_joins, 2);
+        assert!(result.stats.pairs_pulled > 0);
+    }
+
+    #[test]
+    fn nway_join_rejects_malformed_inputs() {
+        let g = two_communities();
+        let (a, b, _) = sets();
+        let m = DhtMeasure::paper_default();
+        let query = QueryGraph::chain(3);
+        // missing third node set
+        let err = measure_nway_top_k(&g, &m, &query, &[a.clone(), b.clone()], Aggregate::Min, 3)
+            .unwrap_err();
+        assert!(matches!(err, MeasureError::InvalidJoin(_)));
+        // disconnected query graph
+        let mut disconnected = QueryGraph::new(4);
+        disconnected.add_edge(0, 1).unwrap();
+        disconnected.add_edge(2, 3).unwrap();
+        let sets4 = vec![a.clone(), b.clone(), a.clone(), b.clone()];
+        let err =
+            measure_nway_top_k(&g, &m, &disconnected, &sets4, Aggregate::Min, 3).unwrap_err();
+        assert!(matches!(err, MeasureError::InvalidJoin(_)));
+    }
+}

@@ -1,0 +1,60 @@
+//! # dht-measures
+//!
+//! Alternative random-walk proximity measures and generic top-k joins over
+//! them.
+//!
+//! The ICDE 2014 paper closes with: *"We plan to extend the study of n-way
+//! join for other proximity measures on graphs, including Personalized
+//! PageRank, SimRank, and PathSim."*  This crate carries out that extension:
+//!
+//! * [`measure`] — the [`ProximityMeasure`] trait (single-pair and bulk
+//!   per-target scoring) and the [`IterativeMeasure`] refinement that exposes
+//!   truncated partial scores plus a tail bound, which is exactly the shape
+//!   the iterative-deepening join framework needs;
+//! * [`dht`] — an adapter presenting the paper's own DHT (from `dht-walks`)
+//!   through the measure traits, so DHT competes on equal footing with the
+//!   alternatives;
+//! * [`ppr`] — truncated Personalized PageRank (Jeh & Widom, WWW 2003);
+//! * [`hitting_time`] — the plain truncated hitting time (no discount),
+//!   negated and normalised into a similarity;
+//! * [`simrank`] — SimRank (Jeh & Widom, KDD 2002): a dense iterative solver
+//!   for small graphs and a seeded Monte-Carlo estimator for larger ones;
+//! * [`pathsim`] — a PathSim-style normalised walk-count similarity adapted
+//!   to homogeneous graphs (Sun et al., VLDB 2011);
+//! * [`katz`] — the truncated Katz index, the classical link-prediction
+//!   baseline, in transition-normalised and raw-weighted variants;
+//! * [`join`] — generic top-k 2-way joins over any [`ProximityMeasure`]
+//!   (with iterative-deepening pruning when the measure is
+//!   [`IterativeMeasure`]) and a generic rank-join based n-way join, mirroring
+//!   the paper's AP / B-IDJ-X structure but parameterised by the measure.
+//!
+//! Every solver is deterministic: Monte-Carlo estimators take explicit seeds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dht;
+pub mod error;
+pub mod hitting_time;
+pub mod join;
+pub mod katz;
+pub mod measure;
+pub mod pathsim;
+pub mod ppr;
+pub mod simrank;
+
+pub use dht::DhtMeasure;
+pub use error::MeasureError;
+pub use hitting_time::TruncatedHittingTime;
+pub use katz::{KatzIndex, KatzMode};
+pub use join::{
+    measure_nway_top_k, measure_two_way_top_k, measure_two_way_top_k_pruned, MeasureNWayOutput,
+    MeasurePair,
+};
+pub use measure::{IterativeMeasure, ProximityMeasure};
+pub use pathsim::PathSim;
+pub use ppr::PersonalizedPageRank;
+pub use simrank::{MonteCarloSimRank, SimRank, SimRankMatrix};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, MeasureError>;

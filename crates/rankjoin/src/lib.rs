@@ -1,0 +1,30 @@
+//! # dht-rankjoin
+//!
+//! Building blocks of the Pull/Bound Rank Join (PBRJ) used by the AP and PJ
+//! n-way join algorithms of the paper:
+//!
+//! * [`TopKBuffer`] — the bounded output buffer `O` that keeps the `k`
+//!   highest-scored candidate answers seen so far;
+//! * [`CornerBound`] — the HRJN *corner bound* threshold `τ`: the best score
+//!   any not-yet-seen combination of stream entries could still achieve,
+//!   given the first (largest) and last (most recently pulled) score of every
+//!   input stream;
+//! * [`RoundRobin`] — the HRJN stream-selection policy used in Step 7 of
+//!   Algorithm 1.
+//!
+//! The actual joining of pulled entries into n-tuples is query-graph
+//! specific (candidate buffers keyed by shared node sets) and lives in
+//! `dht-core::multiway`; this crate is deliberately agnostic of what an
+//! "item" is so that it can be tested exhaustively against brute force on
+//! synthetic streams.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bound;
+pub mod roundrobin;
+pub mod topk;
+
+pub use bound::CornerBound;
+pub use roundrobin::RoundRobin;
+pub use topk::TopKBuffer;

@@ -1,0 +1,84 @@
+//! Round-robin stream selection (the HRJN pulling strategy used in Step 7 of
+//! Algorithm 1).
+
+/// Cycles over `n` streams, skipping the ones reported inactive.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    n: usize,
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a scheduler over `n` streams.
+    pub fn new(n: usize) -> Self {
+        RoundRobin { n, cursor: 0 }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the scheduler has zero streams.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Returns the index of the next stream for which `active` is true,
+    /// advancing the cursor past it, or `None` if no stream is active.
+    pub fn next_active(&mut self, active: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.n == 0 {
+            return None;
+        }
+        for offset in 0..self.n {
+            let idx = (self.cursor + offset) % self.n;
+            if active(idx) {
+                self.cursor = (idx + 1) % self.n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_through_all_streams_fairly() {
+        let mut rr = RoundRobin::new(3);
+        let order: Vec<usize> = (0..6).map(|_| rr.next_active(|_| true).unwrap()).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_inactive_streams() {
+        let mut rr = RoundRobin::new(3);
+        let order: Vec<usize> = (0..4).map(|_| rr.next_active(|i| i != 1).unwrap()).collect();
+        assert_eq!(order, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn returns_none_when_everything_is_inactive() {
+        let mut rr = RoundRobin::new(2);
+        assert_eq!(rr.next_active(|_| false), None);
+        // and recovers once a stream becomes active again
+        assert_eq!(rr.next_active(|i| i == 1), Some(1));
+    }
+
+    #[test]
+    fn empty_scheduler_yields_nothing() {
+        let mut rr = RoundRobin::new(0);
+        assert!(rr.is_empty());
+        assert_eq!(rr.next_active(|_| true), None);
+    }
+
+    #[test]
+    fn single_stream_is_always_selected() {
+        let mut rr = RoundRobin::new(1);
+        for _ in 0..5 {
+            assert_eq!(rr.next_active(|_| true), Some(0));
+        }
+    }
+}

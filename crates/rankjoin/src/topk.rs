@@ -1,0 +1,220 @@
+//! Bounded top-k output buffer.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry; the heap is a *min*-heap on score so that the lowest
+/// retained score is always at the top and can be evicted in `O(log k)`.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    score: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score => min-heap by score.  Ties broken by insertion
+        // order (later insertions evicted first) to keep results stable.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A buffer that retains the `k` highest-scored items inserted into it.
+///
+/// This is the output buffer `O` of Algorithm 1 (and the buffer `B` of
+/// Algorithm 2): a priority queue of size `k` storing candidate answers with
+/// the `k` highest aggregate scores.
+#[derive(Debug, Clone)]
+pub struct TopKBuffer<T> {
+    k: usize,
+    seq: u64,
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T> TopKBuffer<T> {
+    /// Creates a buffer retaining at most `k` items.
+    pub fn new(k: usize) -> Self {
+        TopKBuffer { k, seq: 0, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Capacity `k` of the buffer.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of items currently retained.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the buffer holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the buffer already holds `k` items.
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Lowest retained score, if any item is retained.
+    ///
+    /// When the buffer is full this is `T_k`, the `k`-th highest score seen
+    /// so far — the pruning threshold of the iterative-deepening joins.
+    pub fn min_score(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.score)
+    }
+
+    /// The `k`-th highest score seen so far, or `None` while fewer than `k`
+    /// items have been retained (no meaningful threshold yet).
+    pub fn kth_score(&self) -> Option<f64> {
+        if self.is_full() {
+            self.min_score()
+        } else {
+            None
+        }
+    }
+
+    /// Inserts an item.  Returns `true` if the item was retained (it may
+    /// still be evicted by later, higher-scoring insertions).
+    pub fn insert(&mut self, score: f64, item: T) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let entry = Entry { score, seq: self.seq, item };
+        self.seq += 1;
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+            return true;
+        }
+        // Buffer full: replace the minimum if the new score is strictly higher.
+        let current_min = self.heap.peek().expect("non-empty full heap").score;
+        if score > current_min {
+            self.heap.pop();
+            self.heap.push(entry);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the buffer and returns its items sorted by descending score
+    /// (ties in first-inserted order).
+    pub fn into_sorted_desc(self) -> Vec<(f64, T)> {
+        let mut items: Vec<Entry<T>> = self.heap.into_vec();
+        items.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.seq.cmp(&b.seq)));
+        items.into_iter().map(|e| (e.score, e.item)).collect()
+    }
+
+    /// Iterates over retained `(score, item)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &T)> {
+        self.heap.iter().map(|e| (e.score, &e.item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_the_k_highest_scores() {
+        let mut buf = TopKBuffer::new(3);
+        for (s, v) in [(1.0, "a"), (5.0, "b"), (3.0, "c"), (4.0, "d"), (0.5, "e")] {
+            buf.insert(s, v);
+        }
+        let out = buf.into_sorted_desc();
+        let items: Vec<&str> = out.iter().map(|&(_, v)| v).collect();
+        assert_eq!(items, vec!["b", "d", "c"]);
+    }
+
+    #[test]
+    fn kth_score_only_defined_when_full() {
+        let mut buf = TopKBuffer::new(2);
+        assert_eq!(buf.kth_score(), None);
+        buf.insert(4.0, ());
+        assert_eq!(buf.kth_score(), None);
+        buf.insert(7.0, ());
+        assert_eq!(buf.kth_score(), Some(4.0));
+        buf.insert(5.0, ());
+        assert_eq!(buf.kth_score(), Some(5.0));
+    }
+
+    #[test]
+    fn insert_reports_retention() {
+        let mut buf = TopKBuffer::new(2);
+        assert!(buf.insert(1.0, 1));
+        assert!(buf.insert(2.0, 2));
+        assert!(!buf.insert(0.5, 3), "lower than the current minimum");
+        assert!(buf.insert(3.0, 4));
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn equal_scores_keep_earliest_insertions() {
+        let mut buf = TopKBuffer::new(2);
+        buf.insert(1.0, "first");
+        buf.insert(1.0, "second");
+        assert!(!buf.insert(1.0, "third"), "ties do not evict earlier entries");
+        let out = buf.into_sorted_desc();
+        assert_eq!(out[0].1, "first");
+        assert_eq!(out[1].1, "second");
+    }
+
+    #[test]
+    fn zero_capacity_accepts_nothing() {
+        let mut buf: TopKBuffer<i32> = TopKBuffer::new(0);
+        assert!(!buf.insert(10.0, 1));
+        assert!(buf.is_empty());
+        assert!(buf.kth_score().is_none());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_input() {
+        // Deterministic pseudo-random stream (LCG) — no external RNG needed.
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        let values: Vec<f64> = (0..500).map(|_| next()).collect();
+        let mut buf = TopKBuffer::new(25);
+        for (i, &v) in values.iter().enumerate() {
+            buf.insert(v, i);
+        }
+        let got: Vec<f64> = buf.into_sorted_desc().into_iter().map(|(s, _)| s).collect();
+        let mut expected = values.clone();
+        expected.sort_by(|a, b| b.total_cmp(a));
+        expected.truncate(25);
+        assert_eq!(got.len(), 25);
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert!((g - e).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn iter_exposes_all_retained_items() {
+        let mut buf = TopKBuffer::new(3);
+        buf.insert(1.0, 'x');
+        buf.insert(2.0, 'y');
+        let mut seen: Vec<char> = buf.iter().map(|(_, &c)| c).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec!['x', 'y']);
+    }
+}

@@ -1,0 +1,259 @@
+//! Backward walk engine (`backWalk` in the paper, Section VI-A).
+//!
+//! For a fixed *target* `q`, one pass of the backward recurrence produces the
+//! first-hit probabilities `P_i(u, q)` for **every** source `u` at once:
+//!
+//! ```text
+//! P_1(u, q) = p_uq
+//! P_i(u, q) = Σ_{v ∈ O_u, v ≠ q} p_uv · P_{i-1}(v, q)     (i > 1)
+//! ```
+//!
+//! Excluding `v = q` for `i > 1` is what makes these *first*-hit
+//! probabilities: walks that already passed through `q` are not continued.
+//! A full `d`-step pass costs `O(d·|E_G|)`, which is `O(|P|)` times cheaper
+//! than evaluating the same scores with forward walks — this asymmetry is
+//! the entire point of the backward 2-way join algorithms (B-BJ, B-IDJ).
+
+use dht_graph::{Graph, NodeId};
+
+use crate::params::DhtParams;
+
+/// Incremental backward walk towards a fixed target.  Each call to
+/// [`BackwardWalk::step`] advances one step and exposes `P_i(u, target)` for
+/// all `u` via [`BackwardWalk::current`].
+#[derive(Debug, Clone)]
+pub struct BackwardWalk<'g> {
+    graph: &'g Graph,
+    target: NodeId,
+    /// `current[u] = P_i(u, target)` for the last completed step `i`.
+    current: Vec<f64>,
+    next: Vec<f64>,
+    steps_taken: usize,
+}
+
+impl<'g> BackwardWalk<'g> {
+    /// Prepares a backward walk towards `target`.  No steps are taken yet.
+    pub fn new(graph: &'g Graph, target: NodeId) -> Self {
+        let n = graph.node_count();
+        let mut current = vec![0.0; n];
+        if target.index() < n {
+            // backProb[q] = 1: at "step 0" only the target itself has hit the
+            // target.  The first step then yields P_1(u,q) = p_uq.
+            current[target.index()] = 1.0;
+        }
+        BackwardWalk { graph, target, current, next: vec![0.0; n], steps_taken: 0 }
+    }
+
+    /// The target node of the walk.
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// Number of steps performed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// `P_i(u, target)` for all `u`, where `i` is the number of steps taken.
+    /// Before the first step this is the indicator vector of the target.
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// Advances the walk by one step.  After the call, [`Self::current`]
+    /// holds `P_{i}(·, target)` for the new step count `i`.
+    pub fn step(&mut self) {
+        let n = self.graph.node_count();
+        let exclude_target = self.steps_taken >= 1;
+        self.next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let u_id = NodeId(u as u32);
+            let targets = self.graph.out_targets(u_id);
+            let probs = self.graph.out_probs(u_id);
+            let mut acc = 0.0;
+            for (&v, &p) in targets.iter().zip(probs.iter()) {
+                if exclude_target && v as usize == self.target.index() {
+                    // For i > 1 walks must not pass through the target again.
+                    continue;
+                }
+                acc += p * self.current[v as usize];
+            }
+            self.next[u] = acc;
+        }
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.steps_taken += 1;
+    }
+
+    /// Runs `extra` additional steps, accumulating the discounted score of
+    /// every source into `scores` (which must have length `|V_G|`):
+    /// `scores[u] += α · Σ λ^i · P_i(u, target)` over the newly taken steps.
+    pub fn accumulate(&mut self, params: &DhtParams, extra: usize, scores: &mut [f64]) {
+        for _ in 0..extra {
+            self.step();
+            let discount = params.discount(self.steps_taken);
+            for (s, &p) in scores.iter_mut().zip(self.current.iter()) {
+                *s += discount * p;
+            }
+        }
+    }
+}
+
+/// `backWalk(G, q, d)`: the truncated DHT score `h_d(u, q)` for **every**
+/// node `u` of the graph, computed with one backward pass.
+///
+/// The entry for `u = q` is set to `params.max_score()` by convention and is
+/// never used by the join algorithms (candidate answers never pair a node
+/// with itself).
+pub fn backward_dht_all_sources(
+    graph: &Graph,
+    params: &DhtParams,
+    target: NodeId,
+    d: usize,
+) -> Vec<f64> {
+    let mut walk = BackwardWalk::new(graph, target);
+    let mut scores = vec![0.0; graph.node_count()];
+    walk.accumulate(params, d, &mut scores);
+    for s in scores.iter_mut() {
+        *s += params.beta;
+    }
+    if target.index() < scores.len() {
+        scores[target.index()] = params.max_score();
+    }
+    scores
+}
+
+/// Per-step first-hit probabilities towards `target` for every source node:
+/// entry `[i-1][u] = P_i(u, target)`.
+pub fn backward_hitting_probabilities(graph: &Graph, target: NodeId, d: usize) -> Vec<Vec<f64>> {
+    let mut walk = BackwardWalk::new(graph, target);
+    let mut out = Vec::with_capacity(d);
+    for _ in 0..d {
+        walk.step();
+        out.push(walk.current().to_vec());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forward::{forward_dht, hitting_probabilities};
+    use dht_graph::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::with_nodes(3);
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_unit_edge(NodeId(0), NodeId(1)).unwrap();
+        b.add_unit_edge(NodeId(1), NodeId(2)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn backward_matches_forward_on_triangle() {
+        let g = triangle();
+        let d = 8;
+        let back = backward_hitting_probabilities(&g, NodeId(1), d);
+        for u in [0u32, 2u32] {
+            let fwd = hitting_probabilities(&g, NodeId(u), NodeId(1), d);
+            for i in 0..d {
+                assert!(
+                    (back[i][u as usize] - fwd[i]).abs() < 1e-12,
+                    "step {i} source {u}: backward {} vs forward {}",
+                    back[i][u as usize],
+                    fwd[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_dht_matches_forward_dht() {
+        let g = triangle();
+        let params = DhtParams::paper_default();
+        let d = 8;
+        let scores = backward_dht_all_sources(&g, &params, NodeId(2), d);
+        for u in [0u32, 1u32] {
+            let f = forward_dht(&g, &params, NodeId(u), NodeId(2), d);
+            assert!((scores[u as usize] - f).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn directed_path_only_upstream_nodes_score() {
+        let g = path3();
+        let params = DhtParams::paper_default();
+        let scores = backward_dht_all_sources(&g, &params, NodeId(2), 8);
+        assert!(scores[0] > params.min_score());
+        assert!(scores[1] > scores[0], "closer node scores higher");
+        // node 2 is the target itself
+        assert_eq!(scores[2], params.max_score());
+    }
+
+    #[test]
+    fn unreachable_sources_score_beta() {
+        let g = path3();
+        let params = DhtParams::paper_default();
+        // target 0 is unreachable from 1 and 2
+        let scores = backward_dht_all_sources(&g, &params, NodeId(0), 8);
+        assert_eq!(scores[1], params.min_score());
+        assert_eq!(scores[2], params.min_score());
+    }
+
+    #[test]
+    fn first_step_equals_transition_probability() {
+        let g = triangle();
+        let back = backward_hitting_probabilities(&g, NodeId(0), 1);
+        assert!((back[0][1] - 0.5).abs() < 1e-12);
+        assert!((back[0][2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn walks_do_not_pass_through_the_target() {
+        // In the triangle, P_2(2, 0) must only count 2 -> 1 -> 0 (prob 1/4),
+        // not 2 -> 0 -> ... which already hit at step 1.
+        let g = triangle();
+        let back = backward_hitting_probabilities(&g, NodeId(0), 2);
+        assert!((back[1][2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_accumulate_matches_batch() {
+        let g = triangle();
+        let params = DhtParams::paper_default();
+        let mut walk = BackwardWalk::new(&g, NodeId(1));
+        let mut scores = vec![0.0; g.node_count()];
+        walk.accumulate(&params, 3, &mut scores);
+        walk.accumulate(&params, 5, &mut scores);
+        for s in scores.iter_mut() {
+            *s += params.beta;
+        }
+        let batch = backward_dht_all_sources(&g, &params, NodeId(1), 8);
+        for u in [0usize, 2usize] {
+            assert!((scores[u] - batch[u]).abs() < 1e-12);
+        }
+        assert_eq!(walk.steps_taken(), 8);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let g = triangle();
+        let back = backward_hitting_probabilities(&g, NodeId(2), 20);
+        for step in &back {
+            for &p in step {
+                assert!((0.0..=1.0 + 1e-12).contains(&p));
+            }
+        }
+        // cumulative first-hit probability per source also stays <= 1
+        for u in 0..3 {
+            let total: f64 = back.iter().map(|s| s[u]).sum();
+            assert!(total <= 1.0 + 1e-9);
+        }
+    }
+}

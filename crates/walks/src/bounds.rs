@@ -1,0 +1,237 @@
+//! Upper bounds on truncated DHT scores.
+//!
+//! The iterative-deepening joins prune candidates using an upper bound of
+//! `h_d(p,q)` derived after only `l < d` walk steps:
+//!
+//! * **`X_l⁺`** (Lemma 2) — the geometric tail `α·λ^{l+1}/(1−λ)`, which only
+//!   depends on the parameters.  Cheap but loose, especially for large `λ`.
+//! * **`Y_l⁺(P,q)`** (Theorem 1) — `α·Σ_{i=l+1..d} λ^i · min(Σ_{p∈P} S_i(p,q), 1)`,
+//!   where `S_i(p,q)` is the *reach* probability (not first-hit).  It is
+//!   always at least as tight as `X_l⁺` (Lemma 5) and much tighter in
+//!   practice, because most nodes `q` simply cannot be reached from `P` in
+//!   few steps with any significant probability.
+//!
+//! The `Y` bound is pre-computed for all nodes with a single `d`-step
+//! forward sweep seeded with **all** sources of `P` at once, exactly as the
+//! paper's `probVec` implementation sketch describes (cost `O(d·|E_G|)`,
+//! space `O(d·|V_G|)`).
+
+use dht_graph::{Graph, NodeId, NodeSet};
+
+use crate::params::DhtParams;
+
+/// `X_l⁺ = α · Σ_{i>l} λ^i` — the parameter-only tail bound of Lemma 2.
+#[inline]
+pub fn x_upper_bound(params: &DhtParams, l: usize) -> f64 {
+    params.tail_bound(l)
+}
+
+/// Pre-computed `Y_l⁺(P, q)` bounds for every node `q` and every prefix
+/// length `l ∈ [0, d]`.
+#[derive(Debug, Clone)]
+pub struct YBoundTable {
+    d: usize,
+    /// `suffix[l][q] = α · Σ_{i=l+1..d} λ^i · min(sum_reach_i[q], 1)`
+    suffix: Vec<Vec<f64>>,
+}
+
+impl YBoundTable {
+    /// Builds the table for source set `P` with walk depth `d`.
+    ///
+    /// One forward (non-absorbing) sweep of `d` steps is performed, seeded
+    /// with mass 1 on every node of `P`; after step `i` the vector holds
+    /// `Σ_{p∈P} S_i(p, v)` for every `v`.
+    pub fn new(graph: &Graph, params: &DhtParams, p: &NodeSet, d: usize) -> Self {
+        let n = graph.node_count();
+        let mut current = vec![0.0; n];
+        for node in p.iter() {
+            if node.index() < n {
+                current[node.index()] = 1.0;
+            }
+        }
+        let mut next = vec![0.0; n];
+
+        // reach_sums[i-1][v] = Σ_{p∈P} S_i(p, v)
+        let mut reach_sums: Vec<Vec<f64>> = Vec::with_capacity(d);
+        for _ in 0..d {
+            next.iter_mut().for_each(|x| *x = 0.0);
+            for u in 0..n {
+                let mass = current[u];
+                if mass == 0.0 {
+                    continue;
+                }
+                let u_id = NodeId(u as u32);
+                for (&v, &pr) in graph.out_targets(u_id).iter().zip(graph.out_probs(u_id).iter()) {
+                    next[v as usize] += mass * pr;
+                }
+            }
+            reach_sums.push(next.clone());
+            std::mem::swap(&mut current, &mut next);
+        }
+
+        // suffix[l][q] = α Σ_{i=l+1..d} λ^i min(reach_sums[i-1][q], 1)
+        // computed back-to-front so each level is O(|V|).
+        let mut suffix = vec![vec![0.0; n]; d + 1];
+        for l in (0..d).rev() {
+            let discount = params.discount(l + 1);
+            for q in 0..n {
+                let capped = reach_sums[l][q].min(1.0);
+                suffix[l][q] = suffix[l + 1][q] + discount * capped;
+            }
+        }
+        YBoundTable { d, suffix }
+    }
+
+    /// The walk depth `d` the table was built for.
+    pub fn depth(&self) -> usize {
+        self.d
+    }
+
+    /// `Y_l⁺(P, q)`: upper bound on the mass still missing from `h_l(p,q)`
+    /// for any `p ∈ P`, after `l` steps.  `l` is clamped to `[0, d]`.
+    #[inline]
+    pub fn bound(&self, l: usize, q: NodeId) -> f64 {
+        let l = l.min(self.d);
+        self.suffix[l][q.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::backward_dht_all_sources;
+    use crate::forward::{forward_dht, hitting_probabilities};
+    use dht_graph::generators::erdos_renyi;
+    use dht_graph::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        // triangle 0-1-2 plus a tail 2-3-4 (undirected)
+        let mut b = GraphBuilder::with_nodes(5);
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2), (2, 3), (3, 4)] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn x_bound_is_the_geometric_tail() {
+        let params = DhtParams::dht_lambda(0.5); // alpha = 2
+        assert!((x_upper_bound(&params, 0) - 2.0).abs() < 1e-12);
+        assert!((x_upper_bound(&params, 1) - 1.0).abs() < 1e-12);
+        assert!(x_upper_bound(&params, 5) < x_upper_bound(&params, 4));
+    }
+
+    #[test]
+    fn y_bound_never_exceeds_x_bound() {
+        // Lemma 5: Y_l+(P, q) <= X_l+ for every q and l.
+        let g = triangle_plus_tail();
+        let params = DhtParams::paper_default();
+        let d = 8;
+        let p = NodeSet::new("P", [NodeId(0), NodeId(1)]);
+        let table = YBoundTable::new(&g, &params, &p, d);
+        for l in 0..=d {
+            let x = x_upper_bound(&params, l);
+            for q in g.nodes() {
+                assert!(
+                    table.bound(l, q) <= x + 1e-12,
+                    "Y bound at l={l}, q={q:?} exceeds X bound"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn y_bound_is_monotone_in_l() {
+        let g = triangle_plus_tail();
+        let params = DhtParams::paper_default();
+        let p = NodeSet::new("P", [NodeId(0)]);
+        let table = YBoundTable::new(&g, &params, &p, 8);
+        for q in g.nodes() {
+            for l in 0..8 {
+                assert!(table.bound(l + 1, q) <= table.bound(l, q) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn y_bound_at_depth_d_is_zero() {
+        let g = triangle_plus_tail();
+        let params = DhtParams::paper_default();
+        let p = NodeSet::new("P", [NodeId(0)]);
+        let table = YBoundTable::new(&g, &params, &p, 8);
+        for q in g.nodes() {
+            assert_eq!(table.bound(8, q), 0.0);
+            // over-long l values are clamped
+            assert_eq!(table.bound(20, q), 0.0);
+        }
+    }
+
+    #[test]
+    fn theorem_1_holds_on_small_graph() {
+        // hd(p,q) <= hl(p,q) + Y_l+(P, q) for every p in P, q, l.
+        let g = triangle_plus_tail();
+        let params = DhtParams::paper_default();
+        let d = 8;
+        let p_nodes = [NodeId(0), NodeId(1)];
+        let p = NodeSet::new("P", p_nodes);
+        let table = YBoundTable::new(&g, &params, &p, d);
+        for &pn in &p_nodes {
+            for q in g.nodes() {
+                if q == pn {
+                    continue;
+                }
+                let hits = hitting_probabilities(&g, pn, q, d);
+                let hd = params.score_from_hits(&hits);
+                for l in 0..=d {
+                    let hl = params.score_from_hits(&hits[..l.min(hits.len())]);
+                    assert!(
+                        hd <= hl + table.bound(l, q) + 1e-9,
+                        "violated at p={pn:?} q={q:?} l={l}: hd={hd} hl={hl} Y={}",
+                        table.bound(l, q)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x_bound_is_valid_on_random_graph() {
+        // hd(p,q) <= hl(p,q) + X_l+ on a random graph (Lemma 2 instance).
+        let g = erdos_renyi(40, 100, 3);
+        let params = DhtParams::dht_lambda(0.4);
+        let d = 8;
+        let target = NodeId(5);
+        let full = backward_dht_all_sources(&g, &params, target, d);
+        for l in [0usize, 1, 2, 4] {
+            let partial = backward_dht_all_sources(&g, &params, target, l.max(1));
+            for u in g.nodes() {
+                if u == target {
+                    continue;
+                }
+                // partial at depth max(1, l) >= depth l score, so this is a
+                // conservative check of hd <= hl + X_l+.
+                let hl = if l == 0 { params.min_score() } else { partial[u.index()] };
+                assert!(full[u.index()] <= hl + x_upper_bound(&params, l) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn y_bound_reflects_reachability() {
+        // Nodes far from P get much tighter (smaller) Y bounds than near ones.
+        let g = triangle_plus_tail();
+        let params = DhtParams::paper_default();
+        let p = NodeSet::new("P", [NodeId(0)]);
+        let table = YBoundTable::new(&g, &params, &p, 8);
+        assert!(table.bound(1, NodeId(4)) < table.bound(1, NodeId(1)));
+    }
+
+    #[test]
+    fn forward_matches_truncation_plus_tail_consistency() {
+        // sanity: hd computed forward is within X_0+ of beta + alpha bound
+        let g = triangle_plus_tail();
+        let params = DhtParams::paper_default();
+        let h = forward_dht(&g, &params, NodeId(0), NodeId(4), 8);
+        assert!(h <= params.min_score() + x_upper_bound(&params, 0) + 1e-12);
+    }
+}

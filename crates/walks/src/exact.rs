@@ -1,0 +1,210 @@
+//! Small-graph oracles used to validate the walk engines.
+//!
+//! Two independent reference implementations are provided:
+//!
+//! * [`path_enumeration_hits`] enumerates **every** walk of length ≤ `d` that
+//!   avoids the target until its final step, multiplying transition
+//!   probabilities along the way.  Exponential in `d`, so only usable on tiny
+//!   graphs — but it shares no code with the propagation engines, making it a
+//!   genuinely independent oracle.
+//! * [`all_pairs_dht`] computes the full `|V|×|V|` matrix of truncated DHT
+//!   scores with forward walks, used as a brute-force oracle by the join
+//!   algorithm tests.
+
+use dht_graph::{Graph, NodeId};
+
+use crate::forward;
+use crate::params::DhtParams;
+
+/// First-hit probabilities `P_1..P_d` from `source` to `target`, computed by
+/// exhaustive walk enumeration.  Intended for graphs with a handful of nodes
+/// and small `d` only.
+pub fn path_enumeration_hits(graph: &Graph, source: NodeId, target: NodeId, d: usize) -> Vec<f64> {
+    let mut hits = vec![0.0; d];
+    // Depth-first enumeration of walks: (current node, probability, length).
+    let mut stack: Vec<(NodeId, f64, usize)> = vec![(source, 1.0, 0)];
+    while let Some((node, prob, len)) = stack.pop() {
+        if len >= d {
+            continue;
+        }
+        for (next, _, p) in graph.out_edges(node) {
+            let new_prob = prob * p;
+            if new_prob == 0.0 {
+                continue;
+            }
+            if next == target {
+                hits[len] += new_prob;
+            } else {
+                stack.push((next, new_prob, len + 1));
+            }
+        }
+    }
+    hits
+}
+
+/// Truncated DHT score via exhaustive walk enumeration.
+pub fn path_enumeration_dht(
+    graph: &Graph,
+    params: &DhtParams,
+    source: NodeId,
+    target: NodeId,
+    d: usize,
+) -> f64 {
+    params.score_from_hits(&path_enumeration_hits(graph, source, target, d))
+}
+
+/// All-pairs truncated DHT matrix: `matrix[u][v] = h_d(u, v)` for `u ≠ v`,
+/// and `params.max_score()` on the diagonal (never used by joins).
+pub fn all_pairs_dht(graph: &Graph, params: &DhtParams, d: usize) -> Vec<Vec<f64>> {
+    let n = graph.node_count();
+    let mut matrix = vec![vec![params.min_score(); n]; n];
+    for u in graph.nodes() {
+        for v in graph.nodes() {
+            matrix[u.index()][v.index()] = if u == v {
+                params.max_score()
+            } else {
+                forward::forward_dht(graph, params, u, v, d)
+            };
+        }
+    }
+    matrix
+}
+
+/// DHT evaluated to (numerical) convergence: keeps extending the walk until
+/// the geometric tail bound drops below `tol`.  Used to sanity-check the
+/// Lemma-1 depth selection.
+pub fn converged_dht(
+    graph: &Graph,
+    params: &DhtParams,
+    source: NodeId,
+    target: NodeId,
+    tol: f64,
+) -> f64 {
+    let mut d = 1usize;
+    while params.tail_bound(d) > tol && d < 10_000 {
+        d += 1;
+    }
+    forward::forward_dht(graph, params, source, target, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::backward_dht_all_sources;
+    use crate::forward::hitting_probabilities;
+    use dht_graph::generators::erdos_renyi;
+    use dht_graph::GraphBuilder;
+
+    fn small_weighted_graph() -> Graph {
+        // 0 -> 1 (2.0), 0 -> 2 (1.0), 1 -> 2 (1.0), 2 -> 0 (1.0), 1 -> 3 (1.0)
+        let mut b = GraphBuilder::with_nodes(4);
+        b.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn propagation_matches_path_enumeration() {
+        let g = small_weighted_graph();
+        let d = 6;
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let by_walks = hitting_probabilities(&g, u, v, d);
+                let by_paths = path_enumeration_hits(&g, u, v, d);
+                for i in 0..d {
+                    assert!(
+                        (by_walks[i] - by_paths[i]).abs() < 1e-10,
+                        "mismatch at ({u:?},{v:?}) step {i}: {} vs {}",
+                        by_walks[i],
+                        by_paths[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_path_enumeration_dht() {
+        let g = small_weighted_graph();
+        let params = DhtParams::dht_e();
+        let d = 6;
+        for v in g.nodes() {
+            let scores = backward_dht_all_sources(&g, &params, v, d);
+            for u in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let oracle = path_enumeration_dht(&g, &params, u, v, d);
+                assert!(
+                    (scores[u.index()] - oracle).abs() < 1e-10,
+                    "mismatch at ({u:?},{v:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_matrix_is_consistent_with_backward() {
+        let g = erdos_renyi(12, 30, 5);
+        let params = DhtParams::paper_default();
+        let d = 5;
+        let matrix = all_pairs_dht(&g, &params, d);
+        for v in g.nodes() {
+            let scores = backward_dht_all_sources(&g, &params, v, d);
+            for u in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                assert!((matrix[u.index()][v.index()] - scores[u.index()]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_1_depth_is_sufficient() {
+        // |h - h_d| <= epsilon when d is chosen by Lemma 1.
+        let g = small_weighted_graph();
+        let params = DhtParams::dht_lambda(0.5);
+        let eps = 1e-5;
+        let d = params.depth_for_epsilon(eps).unwrap();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let truncated = forward::forward_dht(&g, &params, u, v, d);
+                let converged = converged_dht(&g, &params, u, v, eps * 1e-3);
+                assert!(
+                    (converged - truncated).abs() <= eps + 1e-9,
+                    "Lemma 1 violated at ({u:?},{v:?}): {converged} vs {truncated}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_of_all_pairs_matrix_is_max_score() {
+        let g = small_weighted_graph();
+        let params = DhtParams::paper_default();
+        let m = all_pairs_dht(&g, &params, 4);
+        for u in g.nodes() {
+            assert_eq!(m[u.index()][u.index()], params.max_score());
+        }
+    }
+
+    #[test]
+    fn asymmetry_is_visible_on_directed_graphs() {
+        // h(1, 3) > beta (edge 1 -> 3) but h(3, 1) = beta (3 has no out-edges).
+        let g = small_weighted_graph();
+        let params = DhtParams::paper_default();
+        let m = all_pairs_dht(&g, &params, 6);
+        assert!(m[1][3] > params.min_score());
+        assert_eq!(m[3][1], params.min_score());
+    }
+}

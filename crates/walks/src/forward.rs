@@ -1,0 +1,276 @@
+//! Forward absorbing-walk engine.
+//!
+//! Given a source `u` and a target `v`, the engine propagates the walker's
+//! probability distribution one step at a time.  The target is *absorbing*:
+//! probability mass that reaches `v` is recorded as the first-hit probability
+//! `P_i(u,v)` of the current step and is not propagated any further.  This is
+//! exactly the evaluation strategy of F-BJ described in Section V-B of the
+//! paper (a vector `r` of size `|V_G|`, refreshed once per step at a cost of
+//! `O(|E_G|)`).
+
+use dht_graph::{Graph, NodeId};
+
+use crate::params::DhtParams;
+
+/// Incremental forward absorbing walk from a fixed source towards a fixed
+/// target.  Each call to [`AbsorbingWalk::step`] advances one step and
+/// returns the first-hit probability of that step.
+#[derive(Debug, Clone)]
+pub struct AbsorbingWalk<'g> {
+    graph: &'g Graph,
+    target: NodeId,
+    current: Vec<f64>,
+    next: Vec<f64>,
+    steps_taken: usize,
+}
+
+impl<'g> AbsorbingWalk<'g> {
+    /// Starts a walk at `source` with absorbing `target`.
+    pub fn new(graph: &'g Graph, source: NodeId, target: NodeId) -> Self {
+        let n = graph.node_count();
+        let mut current = vec![0.0; n];
+        if source.index() < n {
+            current[source.index()] = 1.0;
+        }
+        AbsorbingWalk { graph, target, current, next: vec![0.0; n], steps_taken: 0 }
+    }
+
+    /// Number of steps performed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Advances the walk by one step and returns `P_i(source, target)` for
+    /// the new step `i`.
+    pub fn step(&mut self) -> f64 {
+        let n = self.graph.node_count();
+        self.next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let mass = self.current[u];
+            if mass == 0.0 || u == self.target.index() {
+                // Mass already absorbed at the target is never propagated.
+                continue;
+            }
+            let u = NodeId(u as u32);
+            let targets = self.graph.out_targets(u);
+            let probs = self.graph.out_probs(u);
+            for (&v, &p) in targets.iter().zip(probs.iter()) {
+                self.next[v as usize] += mass * p;
+            }
+        }
+        let hit = self.next[self.target.index()];
+        // Record the absorbed mass and clear it so it cannot be re-counted.
+        self.next[self.target.index()] = 0.0;
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.steps_taken += 1;
+        hit
+    }
+
+    /// Runs the walk for `d` steps (from the current position) and returns
+    /// the per-step first-hit probabilities.
+    pub fn run(&mut self, d: usize) -> Vec<f64> {
+        (0..d).map(|_| self.step()).collect()
+    }
+}
+
+/// First-hit probabilities `P_1 .. P_d` from `source` to `target`.
+pub fn hitting_probabilities(graph: &Graph, source: NodeId, target: NodeId, d: usize) -> Vec<f64> {
+    AbsorbingWalk::new(graph, source, target).run(d)
+}
+
+/// Truncated DHT score `h_d(source, target)` computed with a forward
+/// absorbing walk.
+pub fn forward_dht(
+    graph: &Graph,
+    params: &DhtParams,
+    source: NodeId,
+    target: NodeId,
+    d: usize,
+) -> f64 {
+    if source == target {
+        // The paper defines DHT over distinct nodes; by convention
+        // h(v, v) = 0 for DHT_λ.  We return the score of "hit at step 0",
+        // i.e. α·Σ 0 + β would be wrong, so we follow DHT_λ's boundary
+        // condition h(v,v) = 0 shifted into the general form: a walker that
+        // is already at the target has hit it, which the truncated series
+        // cannot express; callers never score identical nodes in joins.
+        return params.max_score();
+    }
+    let hits = hitting_probabilities(graph, source, target, d);
+    params.score_from_hits(&hits)
+}
+
+/// Reach (not first-hit) probabilities `S_i(source, ·)` for `i = 1..d`
+/// without any absorption: entry `[i-1][v]` is the probability that a walker
+/// starting at `source` is at `v` after exactly `i` steps.  Used by tests
+/// and by the `Y_l⁺` bound construction in [`crate::bounds`].
+pub fn reach_probabilities(graph: &Graph, source: NodeId, d: usize) -> Vec<Vec<f64>> {
+    let n = graph.node_count();
+    let mut current = vec![0.0; n];
+    if source.index() < n {
+        current[source.index()] = 1.0;
+    }
+    let mut out = Vec::with_capacity(d);
+    let mut next = vec![0.0; n];
+    for _ in 0..d {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let mass = current[u];
+            if mass == 0.0 {
+                continue;
+            }
+            let u = NodeId(u as u32);
+            for (&v, &p) in graph.out_targets(u).iter().zip(graph.out_probs(u).iter()) {
+                next[v as usize] += mass * p;
+            }
+        }
+        out.push(next.clone());
+        std::mem::swap(&mut current, &mut next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::GraphBuilder;
+
+    /// Path graph 0 -> 1 -> 2 (unit weights, directed).
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_unit_edge(NodeId(0), NodeId(1)).unwrap();
+        b.add_unit_edge(NodeId(1), NodeId(2)).unwrap();
+        b.build().unwrap()
+    }
+
+    /// Undirected triangle on 3 nodes.
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::with_nodes(3);
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_path_hits_exactly_once() {
+        let g = path3();
+        let hits = hitting_probabilities(&g, NodeId(0), NodeId(2), 5);
+        assert_eq!(hits.len(), 5);
+        assert!((hits[1] - 1.0).abs() < 1e-12, "hit at step 2");
+        assert!(hits[0].abs() < 1e-12);
+        assert!(hits[2].abs() < 1e-12 && hits[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_neighbour_hits_at_step_one() {
+        let g = path3();
+        let hits = hitting_probabilities(&g, NodeId(0), NodeId(1), 3);
+        assert!((hits[0] - 1.0).abs() < 1e-12);
+        assert!(hits[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_never_hits() {
+        let g = path3();
+        let hits = hitting_probabilities(&g, NodeId(2), NodeId(0), 6);
+        assert!(hits.iter().all(|&p| p == 0.0));
+        let params = DhtParams::paper_default();
+        assert_eq!(forward_dht(&g, &params, NodeId(2), NodeId(0), 6), params.min_score());
+    }
+
+    #[test]
+    fn triangle_first_hit_probabilities() {
+        // From node 0 in the undirected triangle, target node 1:
+        // P_1 = 1/2 (step directly), P_2 = 1/4 (0 -> 2 -> 1), P_3 = 1/8, ...
+        let g = triangle();
+        let hits = hitting_probabilities(&g, NodeId(0), NodeId(1), 4);
+        assert!((hits[0] - 0.5).abs() < 1e-12);
+        assert!((hits[1] - 0.25).abs() < 1e-12);
+        assert!((hits[2] - 0.125).abs() < 1e-12);
+        assert!((hits[3] - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_hit_probability_never_exceeds_one() {
+        let g = triangle();
+        let hits = hitting_probabilities(&g, NodeId(0), NodeId(2), 30);
+        let total: f64 = hits.iter().sum();
+        assert!(total <= 1.0 + 1e-9);
+        assert!(total > 0.99, "triangle walks eventually hit the target");
+    }
+
+    #[test]
+    fn dht_score_increases_with_depth() {
+        let g = triangle();
+        let params = DhtParams::paper_default();
+        let h2 = forward_dht(&g, &params, NodeId(0), NodeId(1), 2);
+        let h4 = forward_dht(&g, &params, NodeId(0), NodeId(1), 4);
+        let h8 = forward_dht(&g, &params, NodeId(0), NodeId(1), 8);
+        assert!(h2 <= h4 + 1e-12);
+        assert!(h4 <= h8 + 1e-12);
+    }
+
+    #[test]
+    fn dht_score_is_bounded_by_params_range() {
+        let g = triangle();
+        let params = DhtParams::paper_default();
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                if u == v {
+                    continue;
+                }
+                let h = forward_dht(&g, &params, NodeId(u), NodeId(v), 8);
+                assert!(h >= params.min_score() - 1e-12);
+                assert!(h <= params.max_score() + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_walk_matches_batch_run() {
+        let g = triangle();
+        let mut w = AbsorbingWalk::new(&g, NodeId(0), NodeId(1));
+        let first_two = vec![w.step(), w.step()];
+        let rest = w.run(2);
+        let batch = hitting_probabilities(&g, NodeId(0), NodeId(1), 4);
+        assert!((first_two[0] - batch[0]).abs() < 1e-12);
+        assert!((first_two[1] - batch[1]).abs() < 1e-12);
+        assert!((rest[0] - batch[2]).abs() < 1e-12);
+        assert!((rest[1] - batch[3]).abs() < 1e-12);
+        assert_eq!(w.steps_taken(), 4);
+    }
+
+    #[test]
+    fn reach_probabilities_sum_to_one_each_step_on_closed_graph() {
+        let g = triangle();
+        let reach = reach_probabilities(&g, NodeId(0), 5);
+        for step in &reach {
+            let sum: f64 = step.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reach_dominates_first_hit() {
+        // Lemma 3: P_i(u,v) <= S_i(u,v).
+        let g = triangle();
+        let hits = hitting_probabilities(&g, NodeId(0), NodeId(1), 6);
+        let reach = reach_probabilities(&g, NodeId(0), 6);
+        for i in 0..6 {
+            assert!(hits[i] <= reach[i][1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_edges_bias_the_first_step() {
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1), 3.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        let g = b.build().unwrap();
+        let hits_to_1 = hitting_probabilities(&g, NodeId(0), NodeId(1), 1);
+        let hits_to_2 = hitting_probabilities(&g, NodeId(0), NodeId(2), 1);
+        assert!((hits_to_1[0] - 0.75).abs() < 1e-12);
+        assert!((hits_to_2[0] - 0.25).abs() < 1e-12);
+    }
+}

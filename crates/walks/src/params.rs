@@ -1,0 +1,254 @@
+//! The general DHT form and its published parameterisations.
+
+use std::f64::consts::E;
+use std::fmt;
+
+/// Error produced when constructing an invalid [`DhtParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    /// `α` must be non-zero.
+    ZeroAlpha,
+    /// `λ` must lie strictly inside `(0, 1)`.
+    LambdaOutOfRange(f64),
+    /// `ε` must be strictly positive for depth selection.
+    NonPositiveEpsilon(f64),
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::ZeroAlpha => write!(f, "alpha must be non-zero"),
+            ParamsError::LambdaOutOfRange(l) => {
+                write!(f, "lambda must be in the open interval (0, 1), got {l}")
+            }
+            ParamsError::NonPositiveEpsilon(e) => {
+                write!(f, "epsilon must be > 0, got {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+/// Parameters of the general DHT form `h(u,v) = α·Σ λ^i·P_i(u,v) + β`
+/// (Definition 5 and Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DhtParams {
+    /// Scale coefficient `α ≠ 0`.
+    pub alpha: f64,
+    /// Offset coefficient `β`.
+    pub beta: f64,
+    /// Decay factor `λ ∈ (0, 1)`.
+    pub lambda: f64,
+}
+
+impl DhtParams {
+    /// Constructs a general-form parameter set, validating `α` and `λ`.
+    pub fn general(alpha: f64, beta: f64, lambda: f64) -> Result<Self, ParamsError> {
+        if alpha == 0.0 || !alpha.is_finite() {
+            return Err(ParamsError::ZeroAlpha);
+        }
+        if !(lambda > 0.0 && lambda < 1.0) {
+            return Err(ParamsError::LambdaOutOfRange(lambda));
+        }
+        Ok(DhtParams { alpha, beta, lambda })
+    }
+
+    /// The `DHT_e` measure of Guan et al. (SIGMOD 2011):
+    /// `α = e`, `β = 0`, `λ = 1/e` (Table II).
+    pub fn dht_e() -> Self {
+        DhtParams { alpha: E, beta: 0.0, lambda: 1.0 / E }
+    }
+
+    /// The `DHT_λ` measure of Sarkar & Moore (KDD 2010), negated into a
+    /// similarity: `α = 1/(1−λ)`, `β = −1/(1−λ)` (Table II).
+    ///
+    /// # Panics
+    /// Panics if `λ ∉ (0, 1)`; use [`DhtParams::try_dht_lambda`] for a
+    /// fallible constructor.
+    pub fn dht_lambda(lambda: f64) -> Self {
+        Self::try_dht_lambda(lambda).expect("lambda must be in (0,1)")
+    }
+
+    /// Fallible version of [`DhtParams::dht_lambda`].
+    pub fn try_dht_lambda(lambda: f64) -> Result<Self, ParamsError> {
+        if !(lambda > 0.0 && lambda < 1.0) {
+            return Err(ParamsError::LambdaOutOfRange(lambda));
+        }
+        let alpha = 1.0 / (1.0 - lambda);
+        Ok(DhtParams { alpha, beta: -alpha, lambda })
+    }
+
+    /// The experimental default of the paper: `DHT_λ` with `λ = 0.2`
+    /// (so `α = 1.25`, `β = −1.25`).
+    pub fn paper_default() -> Self {
+        Self::dht_lambda(0.2)
+    }
+
+    /// Lemma 1: the smallest walk depth `d` such that
+    /// `|h(u,v) − h_d(u,v)| ≤ ε`, i.e. `d ≥ log_λ( ε(1−λ) / (αλ) )`.
+    ///
+    /// With the paper defaults (`λ = 0.2`, `α = 1.25`) and `ε = 10⁻⁶` this
+    /// returns 8, matching Section VII-A.
+    pub fn depth_for_epsilon(&self, epsilon: f64) -> Result<usize, ParamsError> {
+        if epsilon <= 0.0 {
+            return Err(ParamsError::NonPositiveEpsilon(epsilon));
+        }
+        let ratio = epsilon * (1.0 - self.lambda) / (self.alpha.abs() * self.lambda);
+        if ratio >= 1.0 {
+            // Even a single step already satisfies the error budget.
+            return Ok(1);
+        }
+        let d = ratio.ln() / self.lambda.ln();
+        Ok(d.ceil().max(1.0) as usize)
+    }
+
+    /// Discount applied to the hitting probability of step `i ≥ 1`:
+    /// `α·λ^i`.
+    #[inline]
+    pub fn discount(&self, i: usize) -> f64 {
+        self.alpha * self.lambda.powi(i as i32)
+    }
+
+    /// Evaluates the truncated DHT `h_d` from per-step first-hit
+    /// probabilities `hits[0] = P_1, hits[1] = P_2, …`.
+    pub fn score_from_hits(&self, hits: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        let mut discount = self.alpha;
+        for &p in hits {
+            discount *= self.lambda;
+            acc += discount * p;
+        }
+        acc + self.beta
+    }
+
+    /// The score of a node pair with no path at all (all `P_i = 0`), i.e.
+    /// `β`.  This is the natural "minus infinity" of the measure.
+    #[inline]
+    pub fn min_score(&self) -> f64 {
+        self.beta
+    }
+
+    /// Upper bound on any DHT score: all probability mass hitting at step 1
+    /// gives `α·λ + β` (for `α > 0`).
+    #[inline]
+    pub fn max_score(&self) -> f64 {
+        self.alpha * self.lambda + self.beta
+    }
+
+    /// The geometric tail `X_l⁺ = α · Σ_{i>l} λ^i = α·λ^{l+1}/(1−λ)`
+    /// (Lemma 2).  Exposed here because both the bounds module and the
+    /// iterative-deepening joins need it.
+    #[inline]
+    pub fn tail_bound(&self, l: usize) -> f64 {
+        self.alpha * self.lambda.powi(l as i32 + 1) / (1.0 - self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dht_e_matches_table_ii() {
+        let p = DhtParams::dht_e();
+        assert!((p.alpha - E).abs() < 1e-12);
+        assert_eq!(p.beta, 0.0);
+        assert!((p.lambda - 1.0 / E).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dht_lambda_matches_table_ii() {
+        let p = DhtParams::dht_lambda(0.2);
+        assert!((p.alpha - 1.25).abs() < 1e-12);
+        assert!((p.beta + 1.25).abs() < 1e-12);
+        assert!((p.lambda - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_default_depth_is_eight() {
+        let p = DhtParams::paper_default();
+        assert_eq!(p.depth_for_epsilon(1e-6).unwrap(), 8);
+    }
+
+    #[test]
+    fn depth_grows_as_epsilon_shrinks() {
+        let p = DhtParams::paper_default();
+        let d3 = p.depth_for_epsilon(1e-3).unwrap();
+        let d6 = p.depth_for_epsilon(1e-6).unwrap();
+        let d8 = p.depth_for_epsilon(1e-8).unwrap();
+        assert!(d3 <= d6 && d6 <= d8);
+        assert!(d8 > d3);
+    }
+
+    #[test]
+    fn depth_grows_with_lambda() {
+        let shallow = DhtParams::dht_lambda(0.2).depth_for_epsilon(1e-6).unwrap();
+        let deep = DhtParams::dht_lambda(0.8).depth_for_epsilon(1e-6).unwrap();
+        assert!(deep > shallow);
+    }
+
+    #[test]
+    fn huge_epsilon_still_needs_one_step() {
+        let p = DhtParams::paper_default();
+        assert_eq!(p.depth_for_epsilon(10.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(DhtParams::general(0.0, 0.0, 0.5).is_err());
+        assert!(DhtParams::general(1.0, 0.0, 0.0).is_err());
+        assert!(DhtParams::general(1.0, 0.0, 1.0).is_err());
+        assert!(DhtParams::try_dht_lambda(1.5).is_err());
+        assert!(DhtParams::paper_default().depth_for_epsilon(0.0).is_err());
+        assert!(DhtParams::paper_default().depth_for_epsilon(-1.0).is_err());
+    }
+
+    #[test]
+    fn score_from_hits_matches_manual_sum() {
+        let p = DhtParams::dht_lambda(0.5); // alpha = 2, beta = -2
+        // P_1 = 0.5, P_2 = 0.25
+        let score = p.score_from_hits(&[0.5, 0.25]);
+        let expected = 2.0 * (0.5 * 0.5 + 0.25 * 0.25) - 2.0;
+        assert!((score - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_of_no_hits_is_beta() {
+        let p = DhtParams::paper_default();
+        assert_eq!(p.score_from_hits(&[]), p.min_score());
+        assert_eq!(p.score_from_hits(&[0.0, 0.0, 0.0]), p.beta);
+    }
+
+    #[test]
+    fn max_score_reached_by_immediate_hit() {
+        let p = DhtParams::paper_default();
+        let s = p.score_from_hits(&[1.0]);
+        assert!((s - p.max_score()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_bound_is_geometric_tail() {
+        let p = DhtParams::dht_lambda(0.5); // alpha = 2
+        // X_1+ = 2 * (0.25 + 0.125 + ...) = 2 * 0.5 = 1.0
+        assert!((p.tail_bound(1) - 1.0).abs() < 1e-12);
+        // tails shrink monotonically
+        assert!(p.tail_bound(2) < p.tail_bound(1));
+        assert!(p.tail_bound(10) < 1e-2);
+    }
+
+    #[test]
+    fn discount_decreases_geometrically() {
+        let p = DhtParams::dht_lambda(0.2);
+        assert!((p.discount(1) - 1.25 * 0.2).abs() < 1e-12);
+        assert!((p.discount(2) - 1.25 * 0.04).abs() < 1e-12);
+        assert!(p.discount(3) < p.discount(2));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ParamsError::ZeroAlpha.to_string().contains("alpha"));
+        assert!(ParamsError::LambdaOutOfRange(2.0).to_string().contains("2"));
+        assert!(ParamsError::NonPositiveEpsilon(0.0).to_string().contains("epsilon"));
+    }
+}

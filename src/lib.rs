@@ -1,0 +1,101 @@
+//! # dht-nway
+//!
+//! Top-k multi-way joins over Discounted Hitting Time — a Rust
+//! implementation of *"Evaluating Multi-Way Joins over Discounted Hitting
+//! Time"* (Zhang, Cheng, Kao — ICDE 2014).
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`graph`] — the graph substrate ([`Graph`], [`GraphBuilder`],
+//!   [`NodeSet`], generators, I/O);
+//! * [`walks`] — DHT measures and walk engines ([`DhtParams`], forward /
+//!   backward walks, bounds);
+//! * [`core`] — the join algorithms themselves ([`QueryGraph`],
+//!   [`Aggregate`], the 2-way algorithms F-BJ … B-IDJ-Y and the n-way
+//!   algorithms NL / AP / PJ / PJ-i);
+//! * [`datasets`] — synthetic analogues of the paper's datasets;
+//! * [`eval`] — ROC / AUC, link- and 3-clique-prediction experiments;
+//! * [`measures`] — the extension sketched in the paper's conclusion:
+//!   Personalized PageRank, SimRank, PathSim and the plain truncated hitting
+//!   time behind a common [`measures::ProximityMeasure`] trait, plus generic
+//!   top-k joins over any of them.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dht_nway::prelude::*;
+//!
+//! // A small friendship graph.
+//! let mut builder = GraphBuilder::with_nodes(6);
+//! for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)] {
+//!     builder.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+//! }
+//! let graph = builder.build().unwrap();
+//!
+//! // Two interest groups.
+//! let soccer = NodeSet::new("soccer", [NodeId(0), NodeId(1), NodeId(2)]);
+//! let basket = NodeSet::new("basketball", [NodeId(3), NodeId(4), NodeId(5)]);
+//!
+//! // Top-3 2-way join with the paper's best algorithm (B-IDJ-Y).
+//! let config = TwoWayConfig::paper_default();
+//! let result = TwoWayAlgorithm::BackwardIdjY.top_k(&graph, &config, &soccer, &basket, 3);
+//! assert_eq!(result.pairs.len(), 3);
+//! assert!(result.pairs[0].score >= result.pairs[1].score);
+//! ```
+//!
+//! ## An n-way join
+//!
+//! ```
+//! use dht_nway::prelude::*;
+//!
+//! let cg = dht_nway::graph::generators::planted_partition(
+//!     &PlantedPartitionConfig { communities: 3, community_size: 12, seed: 7, ..Default::default() },
+//! );
+//! let query = QueryGraph::triangle();
+//! let config = NWayConfig::paper_default().with_k(5);
+//! let result = NWayAlgorithm::IncrementalPartialJoin { m: 20 }
+//!     .run(&cg.graph, &config, &query, &cg.communities)
+//!     .unwrap();
+//! assert!(result.answers.len() <= 5);
+//! for answer in &result.answers {
+//!     assert_eq!(answer.arity(), 3);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use dht_core as core;
+pub use dht_datasets as datasets;
+pub use dht_eval as eval;
+pub use dht_graph as graph;
+pub use dht_measures as measures;
+pub use dht_rankjoin as rankjoin;
+pub use dht_walks as walks;
+
+/// The most commonly used types, re-exported for `use dht_nway::prelude::*`.
+pub mod prelude {
+    pub use dht_core::multiway::{NWayAlgorithm, NWayConfig, NWayOutput};
+    pub use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig, TwoWayOutput};
+    pub use dht_core::{Aggregate, Answer, QueryGraph};
+    pub use dht_graph::generators::PlantedPartitionConfig;
+    pub use dht_graph::{Graph, GraphBuilder, NodeId, NodeSet};
+    pub use dht_measures::{IterativeMeasure, ProximityMeasure};
+    pub use dht_walks::DhtParams;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        let params = DhtParams::paper_default();
+        assert_eq!(params.depth_for_epsilon(1e-6).unwrap(), 8);
+        let query = QueryGraph::chain(3);
+        assert_eq!(query.edge_count(), 2);
+        assert_eq!(Aggregate::Min.name(), "MIN");
+        assert_eq!(TwoWayAlgorithm::BackwardIdjY.name(), "B-IDJ-Y");
+        assert_eq!(NWayAlgorithm::IncrementalPartialJoin { m: 50 }.name(), "PJ-i");
+    }
+}

@@ -24,7 +24,12 @@ fn bench_aggregate_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(3));
 
-    for aggregate in [Aggregate::Min, Aggregate::Sum, Aggregate::Mean, Aggregate::Max] {
+    for aggregate in [
+        Aggregate::Min,
+        Aggregate::Sum,
+        Aggregate::Mean,
+        Aggregate::Max,
+    ] {
         let config = NWayConfig::paper_default().with_aggregate(aggregate);
         group.bench_function(format!("PJi_chain3_{}", aggregate.name()), |b| {
             b.iter(|| {

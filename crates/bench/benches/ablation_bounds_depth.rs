@@ -57,9 +57,7 @@ fn bench_depth_ablation(c: &mut Criterion) {
     for d in [2usize, 4, 8, 12] {
         let config = TwoWayConfig::new(params, d);
         group.bench_function(format!("B-IDJ-Y_d{d}"), |b| {
-            b.iter(|| {
-                TwoWayAlgorithm::BackwardIdjY.top_k(&dataset.graph, &config, &p, &q, 50)
-            })
+            b.iter(|| TwoWayAlgorithm::BackwardIdjY.top_k(&dataset.graph, &config, &p, &q, 50))
         });
     }
     group.finish();

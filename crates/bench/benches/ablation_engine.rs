@@ -1,0 +1,56 @@
+//! Walk-engine ablation on the Figure 9 two-way Yeast workload.
+//!
+//! Compares, per join algorithm, the three execution modes introduced by
+//! the sparse-frontier walk engine:
+//!
+//! * `dense-serial`    — the seed's dense sweep, one thread (baseline);
+//! * `sparse-serial`   — sparse frontier + buffer pooling, one thread;
+//! * `sparse-4threads` — sparse frontier with 4 worker threads.
+//!
+//! All three produce identical rankings (see `tests/engine_parity_proptest`);
+//! only the wall-clock differs.  On a single-core host the threaded mode
+//! measures the overhead/neutrality of the deterministic fan-out rather
+//! than a speedup.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use dht_datasets::Scale;
+use dht_walks::WalkEngine;
+
+fn bench_engine_ablation(c: &mut Criterion) {
+    let dataset = workloads::yeast(Scale::Bench);
+    let (p, q) = workloads::link_prediction_sets(&dataset, 60);
+
+    let modes: [(&str, WalkEngine, usize); 3] = [
+        ("dense-serial", WalkEngine::Dense, 1),
+        ("sparse-serial", WalkEngine::Sparse, 1),
+        ("sparse-4threads", WalkEngine::Sparse, 4),
+    ];
+
+    let mut group = c.benchmark_group("ablation_engine_fig9_yeast");
+    group.sample_size(5);
+    group.measurement_time(Duration::from_secs(4));
+
+    for algorithm in [
+        TwoWayAlgorithm::ForwardBasic,
+        TwoWayAlgorithm::BackwardBasic,
+        TwoWayAlgorithm::BackwardIdjY,
+    ] {
+        for (mode_name, engine, threads) in modes {
+            let config = TwoWayConfig::paper_default()
+                .with_engine(engine)
+                .with_threads(threads);
+            group.bench_function(format!("{}_{mode_name}", algorithm.name()), |b| {
+                b.iter(|| algorithm.top_k(&dataset.graph, &config, &p, &q, 50))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_ablation);
+criterion_main!(benches);

@@ -30,8 +30,12 @@ fn bench_measure_ablation(c: &mut Criterion) {
     let ppr = PersonalizedPageRank::default_web();
     let ht = TruncatedHittingTime::new(8).expect("depth 8 is valid");
     let pathsim = PathSim::co_occurrence();
-    let measures: Vec<(&str, &dyn ProximityMeasure)> =
-        vec![("DHT", &dht), ("PPR", &ppr), ("HT", &ht), ("PathSim", &pathsim)];
+    let measures: Vec<(&str, &(dyn ProximityMeasure + Sync))> = vec![
+        ("DHT", &dht),
+        ("PPR", &ppr),
+        ("HT", &ht),
+        ("PathSim", &pathsim),
+    ];
 
     let mut group = c.benchmark_group("ablation_measures");
     group.sample_size(10);

@@ -26,7 +26,11 @@ fn bench_fig7(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
 
     group.bench_function("AP_n3_chain", |b| {
-        b.iter(|| NWayAlgorithm::AllPairs.run(&dataset.graph, &config, &chain3, &sets3).unwrap())
+        b.iter(|| {
+            NWayAlgorithm::AllPairs
+                .run(&dataset.graph, &config, &chain3, &sets3)
+                .unwrap()
+        })
     });
     group.bench_function("PJ_n3_chain_m50", |b| {
         b.iter(|| {

@@ -1,5 +1,8 @@
 //! Regenerates Figure 10 (2-way join efficiency and pruning on DBLP).
 //! Scale is selected with the `DHT_SCALE` environment variable.
 fn main() {
-    println!("{}", dht_bench::experiments::fig10::run(dht_bench::scale_from_env()));
+    println!(
+        "{}",
+        dht_bench::experiments::fig10::run(dht_bench::scale_from_env())
+    );
 }

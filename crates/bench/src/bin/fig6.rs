@@ -1,5 +1,8 @@
 //! Regenerates Figure 6 (ROC curves and AUC vs λ for link prediction).
 //! Scale is selected with the `DHT_SCALE` environment variable.
 fn main() {
-    println!("{}", dht_bench::experiments::fig6::run(dht_bench::scale_from_env()));
+    println!(
+        "{}",
+        dht_bench::experiments::fig6::run(dht_bench::scale_from_env())
+    );
 }

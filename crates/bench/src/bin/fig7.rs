@@ -1,5 +1,8 @@
 //! Regenerates Figure 7 (n-way join efficiency on Yeast).
 //! Scale is selected with the `DHT_SCALE` environment variable.
 fn main() {
-    println!("{}", dht_bench::experiments::fig7::run(dht_bench::scale_from_env()));
+    println!(
+        "{}",
+        dht_bench::experiments::fig7::run(dht_bench::scale_from_env())
+    );
 }

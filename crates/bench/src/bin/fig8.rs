@@ -1,5 +1,8 @@
 //! Regenerates Figure 8 (n-way join efficiency on DBLP).
 //! Scale is selected with the `DHT_SCALE` environment variable.
 fn main() {
-    println!("{}", dht_bench::experiments::fig8::run(dht_bench::scale_from_env()));
+    println!(
+        "{}",
+        dht_bench::experiments::fig8::run(dht_bench::scale_from_env())
+    );
 }

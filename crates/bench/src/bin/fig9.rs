@@ -1,5 +1,8 @@
 //! Regenerates Figure 9 (2-way join efficiency on Yeast).
 //! Scale is selected with the `DHT_SCALE` environment variable.
 fn main() {
-    println!("{}", dht_bench::experiments::fig9::run(dht_bench::scale_from_env()));
+    println!(
+        "{}",
+        dht_bench::experiments::fig9::run(dht_bench::scale_from_env())
+    );
 }

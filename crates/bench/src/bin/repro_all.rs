@@ -1,4 +1,6 @@
-//! Regenerates every table and figure of the paper's evaluation in one run.
+//! Regenerates every table and figure of the paper's evaluation in one run,
+//! and writes a machine-readable `BENCH_results.json` so the repository's
+//! performance trajectory can be tracked across commits.
 //!
 //! Usage:
 //! ```text
@@ -7,14 +9,122 @@
 //! `DHT_SCALE` can be `tiny` (seconds), `bench` (minutes, the default) or
 //! `full` (paper-scale graphs; the forward baselines then take as long as
 //! they did for the authors).
+//!
+//! The JSON report contains the wall-clock seconds of each experiment plus
+//! a walk-engine ablation (dense-serial seed path vs sparse-serial vs
+//! sparse multi-threaded) on the Figure 9 two-way Yeast workload.
+
+use std::fmt::Write as _;
+
+use dht_bench::{timing, workloads};
+use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use dht_datasets::Scale;
+use dht_walks::WalkEngine;
+
 fn main() {
     let scale = dht_bench::scale_from_env();
     eprintln!("running all experiments at scale '{}'", scale.name());
-    println!("{}", dht_bench::experiments::table3::run(scale));
-    println!("{}", dht_bench::experiments::table4::run(scale));
-    println!("{}", dht_bench::experiments::fig6::run(scale));
-    println!("{}", dht_bench::experiments::fig7::run(scale));
-    println!("{}", dht_bench::experiments::fig8::run(scale));
-    println!("{}", dht_bench::experiments::fig9::run(scale));
-    println!("{}", dht_bench::experiments::fig10::run(scale));
+
+    type Experiment = (&'static str, fn(Scale) -> String);
+    let experiments: [Experiment; 7] = [
+        ("table3", dht_bench::experiments::table3::run),
+        ("table4", dht_bench::experiments::table4::run),
+        ("fig6", dht_bench::experiments::fig6::run),
+        ("fig7", dht_bench::experiments::fig7::run),
+        ("fig8", dht_bench::experiments::fig8::run),
+        ("fig9", dht_bench::experiments::fig9::run),
+        ("fig10", dht_bench::experiments::fig10::run),
+    ];
+
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    for (name, run) in experiments {
+        let (report, elapsed) = timing::time(|| run(scale));
+        println!("{report}");
+        timings.push((name.to_string(), elapsed.as_secs_f64()));
+    }
+
+    let ablation = engine_ablation(scale);
+    let json = render_json(scale, &timings, &ablation);
+    let path = "BENCH_results.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+}
+
+/// One measured configuration of the walk-engine ablation.
+struct AblationRow {
+    algorithm: &'static str,
+    mode: &'static str,
+    seconds: f64,
+}
+
+/// Times the three engine modes on the Figure 9 two-way Yeast workload
+/// (`P ⋈ Q`, k = 50, paper defaults) for the three representative join
+/// algorithms.  The dense-serial rows reproduce the seed's execution path.
+fn engine_ablation(scale: Scale) -> Vec<AblationRow> {
+    let dataset = workloads::yeast(scale);
+    let cap = match scale {
+        Scale::Tiny => 25,
+        _ => 60,
+    };
+    let (p, q) = workloads::link_prediction_sets(&dataset, cap);
+    let modes: [(&'static str, WalkEngine, usize); 3] = [
+        ("dense-serial", WalkEngine::Dense, 1),
+        ("sparse-serial", WalkEngine::Sparse, 1),
+        ("sparse-4threads", WalkEngine::Sparse, 4),
+    ];
+    let mut rows = Vec::new();
+    eprintln!("walk-engine ablation (fig9 two-way Yeast workload):");
+    for algorithm in [
+        TwoWayAlgorithm::ForwardBasic,
+        TwoWayAlgorithm::BackwardBasic,
+        TwoWayAlgorithm::BackwardIdjY,
+    ] {
+        for (mode, engine, threads) in modes {
+            let config = TwoWayConfig::paper_default()
+                .with_engine(engine)
+                .with_threads(threads);
+            let (_, elapsed) =
+                timing::time_avg(3, || algorithm.top_k(&dataset.graph, &config, &p, &q, 50));
+            let seconds = elapsed.as_secs_f64();
+            eprintln!("  {:>8} {:<16} {seconds:.4} s", algorithm.name(), mode);
+            rows.push(AblationRow {
+                algorithm: algorithm.name(),
+                mode,
+                seconds,
+            });
+        }
+    }
+    rows
+}
+
+/// Hand-rolled JSON rendering (the workspace is dependency-free); all
+/// strings written here are plain ASCII identifiers, so no escaping is
+/// needed.
+fn render_json(scale: Scale, timings: &[(String, f64)], ablation: &[AblationRow]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"scale\": \"{}\",", scale.name());
+    out.push_str("  \"experiments\": [\n");
+    for (i, (name, seconds)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{name}\", \"seconds\": {seconds:.6}}}{comma}"
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"engine_ablation\": {\n");
+    out.push_str("    \"workload\": \"fig9_twoway_yeast_k50\",\n");
+    out.push_str("    \"rows\": [\n");
+    for (i, row) in ablation.iter().enumerate() {
+        let comma = if i + 1 < ablation.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"algorithm\": \"{}\", \"mode\": \"{}\", \"seconds\": {:.6}}}{comma}",
+            row.algorithm, row.mode, row.seconds
+        );
+    }
+    out.push_str("    ]\n  }\n}\n");
+    out
 }

@@ -1,5 +1,8 @@
 //! Regenerates Table III (top-5 3-way joins on DBLP).
 //! Scale is selected with the `DHT_SCALE` environment variable.
 fn main() {
-    println!("{}", dht_bench::experiments::table3::run(dht_bench::scale_from_env()));
+    println!(
+        "{}",
+        dht_bench::experiments::table3::run(dht_bench::scale_from_env())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates Table IV (link- and 3-clique-prediction AUC).
 //! Scale is selected with the `DHT_SCALE` environment variable.
 fn main() {
-    println!("{}", dht_bench::experiments::table4::run(dht_bench::scale_from_env()));
+    println!(
+        "{}",
+        dht_bench::experiments::table4::run(dht_bench::scale_from_env())
+    );
 }

@@ -36,7 +36,11 @@ pub fn run(scale: Scale) -> String {
     ));
 
     // (a) running time vs λ for the backward algorithms.
-    let lambdas: &[f64] = if scale == Scale::Tiny { &[0.2, 0.5, 0.8] } else { &[0.2, 0.4, 0.6, 0.8] };
+    let lambdas: &[f64] = if scale == Scale::Tiny {
+        &[0.2, 0.5, 0.8]
+    } else {
+        &[0.2, 0.4, 0.6, 0.8]
+    };
     let mut rows = Vec::new();
     for &lambda in lambdas {
         let params = DhtParams::dht_lambda(lambda);
@@ -75,7 +79,11 @@ pub fn run(scale: Scale) -> String {
                 .map(|f| format!("{:.1}", f * 100.0))
                 .unwrap_or_else(|| "100.0".to_string())
         };
-        rows.push(vec![(iteration + 1).to_string(), fmt(&x_frac), fmt(&y_frac)]);
+        rows.push(vec![
+            (iteration + 1).to_string(),
+            fmt(&x_frac),
+            fmt(&y_frac),
+        ]);
     }
     out.push_str(&format!(
         "\n(b) nodes pruned from Q (%) per iteration, λ = 0.7 (d = {d})\n{}",

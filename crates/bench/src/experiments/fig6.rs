@@ -34,12 +34,18 @@ fn removal_fraction(dataset: &Dataset) -> f64 {
 pub fn run(scale: Scale) -> String {
     let cap = set_cap(scale);
     let mut out = String::new();
-    out.push_str(&report::heading("Figure 6 — link prediction with 2-way joins"));
+    out.push_str(&report::heading(
+        "Figure 6 — link prediction with 2-way joins",
+    ));
 
     // (a) ROC curves per dataset.
     out.push_str("\n(a) ROC curve samples (TPR at selected FPR levels)\n");
     let mut rows = Vec::new();
-    let datasets = [workloads::yeast(scale), workloads::dblp(scale), workloads::youtube(scale)];
+    let datasets = [
+        workloads::yeast(scale),
+        workloads::dblp(scale),
+        workloads::youtube(scale),
+    ];
     for dataset in &datasets {
         let (p, q) = workloads::link_prediction_sets(dataset, cap);
         let split = link_prediction_split(&dataset.graph, &p, &q, removal_fraction(dataset), 2014)
@@ -55,7 +61,15 @@ pub fn run(scale: Scale) -> String {
         rows.push(row);
     }
     out.push_str(&report::format_table(
-        &["dataset", "TPR@0.05", "TPR@0.1", "TPR@0.2", "TPR@0.5", "AUC", "positives"],
+        &[
+            "dataset",
+            "TPR@0.05",
+            "TPR@0.1",
+            "TPR@0.2",
+            "TPR@0.5",
+            "AUC",
+            "positives",
+        ],
         &rows,
     ));
 
@@ -66,11 +80,13 @@ pub fn run(scale: Scale) -> String {
         .expect("split of a generated dataset cannot fail");
     let dht_e = DhtParams::dht_e();
     let d_e = dht_e.depth_for_epsilon(1e-6).expect("valid epsilon");
-    let auc_e =
-        linkpred::evaluate(&yeast.graph, &split.test_graph, &p, &q, &dht_e, d_e).auc();
+    let auc_e = linkpred::evaluate(&yeast.graph, &split.test_graph, &p, &q, &dht_e, d_e).auc();
     let mut rows = Vec::new();
-    let lambdas: &[f64] =
-        if scale == Scale::Tiny { &[0.2, 0.6] } else { &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] };
+    let lambdas: &[f64] = if scale == Scale::Tiny {
+        &[0.2, 0.6]
+    } else {
+        &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    };
     for &lambda in lambdas {
         let params = DhtParams::dht_lambda(lambda);
         let d = params.depth_for_epsilon(1e-6).expect("valid epsilon");

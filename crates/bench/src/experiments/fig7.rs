@@ -35,9 +35,13 @@ pub fn run(scale: Scale) -> String {
     let dataset = workloads::yeast(scale);
     let cap = set_cap(scale);
     let mut out = String::new();
-    out.push_str(&report::heading("Figure 7 — n-way join on Yeast (chain query graphs)"));
+    out.push_str(&report::heading(
+        "Figure 7 — n-way join on Yeast (chain query graphs)",
+    ));
     out.push_str(&format!("{}\n", dataset.summary()));
-    out.push_str(&format!("node sets capped at {cap} members; k = m = {DEFAULT_M}; MIN aggregate\n"));
+    out.push_str(&format!(
+        "node sets capped at {cap} members; k = m = {DEFAULT_M}; MIN aggregate\n"
+    ));
 
     out.push_str(&fig7a(&dataset, scale, cap));
     out.push_str(&fig7b(&dataset, scale, cap));
@@ -66,8 +70,13 @@ fn fig7a(dataset: &Dataset, scale: Scale, cap: usize) -> String {
         } else {
             na()
         };
-        let (pj, _) =
-            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pj, _) = time_nway(
+            dataset,
+            NWayAlgorithm::PartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
         let (pji, _) = time_nway(
             dataset,
             NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
@@ -75,7 +84,13 @@ fn fig7a(dataset: &Dataset, scale: Scale, cap: usize) -> String {
             &query,
             &sets,
         );
-        rows.push(vec![n.to_string(), nl, ap, format!("{pj:.3}"), format!("{pji:.3}")]);
+        rows.push(vec![
+            n.to_string(),
+            nl,
+            ap,
+            format!("{pj:.3}"),
+            format!("{pji:.3}"),
+        ]);
     }
     format!(
         "\n(a) running time (sec) vs n\n{}",
@@ -96,8 +111,13 @@ fn fig7b(dataset: &Dataset, scale: Scale, cap: usize) -> String {
         } else {
             na()
         };
-        let (pj, _) =
-            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pj, _) = time_nway(
+            dataset,
+            NWayAlgorithm::PartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
         let (pji, _) = time_nway(
             dataset,
             NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
@@ -105,7 +125,12 @@ fn fig7b(dataset: &Dataset, scale: Scale, cap: usize) -> String {
             &query,
             &sets,
         );
-        rows.push(vec![edges.to_string(), ap, format!("{pj:.3}"), format!("{pji:.3}")]);
+        rows.push(vec![
+            edges.to_string(),
+            ap,
+            format!("{pj:.3}"),
+            format!("{pji:.3}"),
+        ]);
     }
     format!(
         "\n(b) running time (sec) vs |EQ| (3 node sets)\n{}",
@@ -120,8 +145,13 @@ fn fig7c(dataset: &Dataset, cap: usize) -> String {
     let mut rows = Vec::new();
     for k in [10usize, 50, 100, 200] {
         let config = NWayConfig::paper_default().with_k(k);
-        let (pj, _) =
-            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pj, _) = time_nway(
+            dataset,
+            NWayAlgorithm::PartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
         let (pji, _) = time_nway(
             dataset,
             NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
@@ -144,7 +174,13 @@ fn fig7d(dataset: &Dataset, cap: usize) -> String {
     let config = NWayConfig::paper_default();
     let mut rows = Vec::new();
     for m in [10usize, 20, 50, 100, 200, 500] {
-        let (pj, _) = time_nway(dataset, NWayAlgorithm::PartialJoin { m }, &config, &query, &sets);
+        let (pj, _) = time_nway(
+            dataset,
+            NWayAlgorithm::PartialJoin { m },
+            &config,
+            &query,
+            &sets,
+        );
         let (pji, _) = time_nway(
             dataset,
             NWayAlgorithm::IncrementalPartialJoin { m },

@@ -25,7 +25,9 @@ fn na() -> String {
 pub fn run(scale: Scale) -> String {
     let dataset = workloads::dblp(scale);
     let mut out = String::new();
-    out.push_str(&report::heading("Figure 8 — n-way join on DBLP (chain query graphs)"));
+    out.push_str(&report::heading(
+        "Figure 8 — n-way join on DBLP (chain query graphs)",
+    ));
     out.push_str(&format!("{}\n", dataset.summary()));
     out.push_str(&format!(
         "node sets = top-{} authors per research area; k = m = {DEFAULT_M}; MIN aggregate\n",
@@ -51,8 +53,13 @@ fn fig8a(dataset: &Dataset, scale: Scale) -> String {
         } else {
             na() // forward all-pairs joins exceed the harness budget at DBLP scale
         };
-        let (pj, _) =
-            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pj, _) = time_nway(
+            dataset,
+            NWayAlgorithm::PartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
         let (pji, _) = time_nway(
             dataset,
             NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
@@ -60,7 +67,12 @@ fn fig8a(dataset: &Dataset, scale: Scale) -> String {
             &query,
             &sets,
         );
-        rows.push(vec![n.to_string(), ap, format!("{pj:.3}"), format!("{pji:.3}")]);
+        rows.push(vec![
+            n.to_string(),
+            ap,
+            format!("{pj:.3}"),
+            format!("{pji:.3}"),
+        ]);
     }
     format!(
         "\n(a) running time (sec) vs n\n{}",
@@ -74,8 +86,13 @@ fn fig8b(dataset: &Dataset) -> String {
     let mut rows = Vec::new();
     for edges in 2..=6 {
         let query = three_set_query_with_edges(edges);
-        let (pj, _) =
-            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pj, _) = time_nway(
+            dataset,
+            NWayAlgorithm::PartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
         let (pji, _) = time_nway(
             dataset,
             NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
@@ -83,7 +100,11 @@ fn fig8b(dataset: &Dataset) -> String {
             &query,
             &sets,
         );
-        rows.push(vec![edges.to_string(), format!("{pj:.3}"), format!("{pji:.3}")]);
+        rows.push(vec![
+            edges.to_string(),
+            format!("{pj:.3}"),
+            format!("{pji:.3}"),
+        ]);
     }
     format!(
         "\n(b) running time (sec) vs |EQ| (3 node sets)\n{}",
@@ -97,8 +118,13 @@ fn fig8c(dataset: &Dataset) -> String {
     let mut rows = Vec::new();
     for k in [10usize, 50, 100, 200] {
         let config = NWayConfig::paper_default().with_k(k);
-        let (pj, _) =
-            time_nway(dataset, NWayAlgorithm::PartialJoin { m: DEFAULT_M }, &config, &query, &sets);
+        let (pj, _) = time_nway(
+            dataset,
+            NWayAlgorithm::PartialJoin { m: DEFAULT_M },
+            &config,
+            &query,
+            &sets,
+        );
         let (pji, _) = time_nway(
             dataset,
             NWayAlgorithm::IncrementalPartialJoin { m: DEFAULT_M },
@@ -120,7 +146,13 @@ fn fig8d(dataset: &Dataset) -> String {
     let config = NWayConfig::paper_default();
     let mut rows = Vec::new();
     for m in [0usize, 20, 50, 100, 200] {
-        let (pj, _) = time_nway(dataset, NWayAlgorithm::PartialJoin { m }, &config, &query, &sets);
+        let (pj, _) = time_nway(
+            dataset,
+            NWayAlgorithm::PartialJoin { m },
+            &config,
+            &query,
+            &sets,
+        );
         let (pji, _) = time_nway(
             dataset,
             NWayAlgorithm::IncrementalPartialJoin { m },

@@ -74,7 +74,10 @@ pub fn run(scale: Scale) -> String {
         let config = TwoWayConfig::new(params, d);
         let mut row = vec![format!("1e-{exp} (d={d})")];
         for algorithm in BACKWARD {
-            row.push(format!("{:.4}", time_two_way(&dataset, algorithm, &config, &p, &q, 50)));
+            row.push(format!(
+                "{:.4}",
+                time_two_way(&dataset, algorithm, &config, &p, &q, 50)
+            ));
         }
         rows.push(row);
     }
@@ -91,7 +94,10 @@ pub fn run(scale: Scale) -> String {
         let config = TwoWayConfig::new(params, d);
         let mut row = vec![format!("{lambda:.1} (d={d})")];
         for algorithm in BACKWARD {
-            row.push(format!("{:.4}", time_two_way(&dataset, algorithm, &config, &p, &q, 50)));
+            row.push(format!(
+                "{:.4}",
+                time_two_way(&dataset, algorithm, &config, &p, &q, 50)
+            ));
         }
         rows.push(row);
     }
@@ -106,7 +112,10 @@ pub fn run(scale: Scale) -> String {
     for k in [10usize, 20, 50, 75, 100] {
         let mut row = vec![k.to_string()];
         for algorithm in BACKWARD {
-            row.push(format!("{:.4}", time_two_way(&dataset, algorithm, &config, &p, &q, k)));
+            row.push(format!(
+                "{:.4}",
+                time_two_way(&dataset, algorithm, &config, &p, &q, k)
+            ));
         }
         rows.push(row);
     }
@@ -124,7 +133,9 @@ mod tests {
     #[test]
     fn tiny_report_contains_all_panels_and_algorithms() {
         let report = run(Scale::Tiny);
-        for needle in ["(a)", "(b)", "(c)", "(d)", "F-BJ", "F-IDJ", "B-BJ", "B-IDJ-X", "B-IDJ-Y"] {
+        for needle in [
+            "(a)", "(b)", "(c)", "(d)", "F-BJ", "F-IDJ", "B-BJ", "B-IDJ-X", "B-IDJ-Y",
+        ] {
             assert!(report.contains(needle), "missing {needle}");
         }
     }

@@ -22,10 +22,15 @@ pub fn run(scale: Scale) -> String {
     let algorithm = NWayAlgorithm::IncrementalPartialJoin { m: 50 };
 
     let mut out = String::new();
-    out.push_str(&report::heading("Table III — top-5 3-way join on DBLP (DB, AI, SYS)"));
+    out.push_str(&report::heading(
+        "Table III — top-5 3-way join on DBLP (DB, AI, SYS)",
+    ));
     out.push_str(&format!("{}\n", dataset.summary()));
 
-    for (label, query) in [("Triangle", QueryGraph::triangle()), ("Chain", QueryGraph::chain(3))] {
+    for (label, query) in [
+        ("Triangle", QueryGraph::triangle()),
+        ("Chain", QueryGraph::chain(3)),
+    ] {
         let result = algorithm
             .run(&dataset.graph, &config, &query, &sets)
             .expect("table III query is valid");

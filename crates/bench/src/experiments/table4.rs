@@ -60,8 +60,14 @@ fn clique_auc(dataset: &Dataset, scale: Scale) -> Option<f64> {
 /// Runs the Table IV experiment and returns the formatted report.
 pub fn run(scale: Scale) -> String {
     let mut out = String::new();
-    out.push_str(&report::heading("Table IV — AUC for link- and 3-clique-prediction"));
-    let datasets = [workloads::yeast(scale), workloads::dblp(scale), workloads::youtube(scale)];
+    out.push_str(&report::heading(
+        "Table IV — AUC for link- and 3-clique-prediction",
+    ));
+    let datasets = [
+        workloads::yeast(scale),
+        workloads::dblp(scale),
+        workloads::youtube(scale),
+    ];
     let mut rows = Vec::new();
     for dataset in &datasets {
         let link = link_auc(dataset, scale);
@@ -70,7 +76,10 @@ pub fn run(scale: Scale) -> String {
             .unwrap_or_else(|| "n/a (no spanning 3-cliques)".to_string());
         rows.push(vec![dataset.name.clone(), report::rate(link), clique]);
     }
-    out.push_str(&report::format_table(&["dataset", "link-prediction", "3-clique-prediction"], &rows));
+    out.push_str(&report::format_table(
+        &["dataset", "link-prediction", "3-clique-prediction"],
+        &rows,
+    ));
     out
 }
 
@@ -81,7 +90,13 @@ mod tests {
     #[test]
     fn tiny_report_lists_every_dataset_with_an_auc() {
         let report = run(Scale::Tiny);
-        for needle in ["yeast", "dblp", "youtube", "link-prediction", "3-clique-prediction"] {
+        for needle in [
+            "yeast",
+            "dblp",
+            "youtube",
+            "link-prediction",
+            "3-clique-prediction",
+        ] {
             assert!(report.contains(needle), "missing {needle}");
         }
     }

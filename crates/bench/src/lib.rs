@@ -35,7 +35,11 @@ use dht_datasets::Scale;
 /// Reads the experiment scale from the `DHT_SCALE` environment variable
 /// (default: [`Scale::Bench`]).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("DHT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("DHT_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => Scale::Tiny,
         "full" => Scale::Full,
         _ => Scale::Bench,

@@ -6,7 +6,7 @@ use dht_datasets::dblp::{self, DblpConfig};
 use dht_datasets::yeast::{self, YeastConfig};
 use dht_datasets::youtube::{self, YoutubeConfig};
 use dht_datasets::{Dataset, Scale};
-use dht_graph::{NodeSet};
+use dht_graph::NodeSet;
 
 /// Builds the Yeast analogue at the given scale.
 pub fn yeast(scale: Scale) -> Dataset {
@@ -96,7 +96,10 @@ pub fn link_prediction_sets(dataset: &Dataset, cap: usize) -> (NodeSet, NodeSet)
 /// by construction).
 pub fn clique_prediction_sets(dataset: &Dataset, cap: usize) -> (NodeSet, NodeSet, NodeSet) {
     let pick = |name: &str| -> NodeSet {
-        dataset.node_set(name).unwrap_or_else(|| dataset.largest_sets(1)[0]).clone()
+        dataset
+            .node_set(name)
+            .unwrap_or_else(|| dataset.largest_sets(1)[0])
+            .clone()
     };
     let (p, q, r) = match dataset.name.as_str() {
         "dblp" => (pick("DB"), pick("AI"), pick("SYS")),

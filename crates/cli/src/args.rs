@@ -34,7 +34,9 @@ impl ArgMap {
                     return Err(CliError::Usage("empty option name '--'".into()));
                 }
                 let Some(value) = iter.next() else {
-                    return Err(CliError::Usage(format!("option '--{name}' expects a value")));
+                    return Err(CliError::Usage(format!(
+                        "option '--{name}' expects a value"
+                    )));
                 };
                 map.options.push((name.to_string(), value.clone()));
             } else {
@@ -107,7 +109,10 @@ impl ArgMap {
         if unknown.is_empty() {
             Ok(())
         } else {
-            Err(CliError::Usage(format!("unknown option(s): --{}", unknown.join(", --"))))
+            Err(CliError::Usage(format!(
+                "unknown option(s): --{}",
+                unknown.join(", --")
+            )))
         }
     }
 }

@@ -66,8 +66,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
         )));
     }
 
-    let (label, measure): (String, Box<dyn ProximityMeasure>) =
-        build_measure(args)?;
+    let (label, measure): (String, Box<dyn ProximityMeasure>) = build_measure(args)?;
     let outcome = linkpred::evaluate_with(&graph, &split.test_graph, left, right, |g, t| {
         measure.scores_to_target(g, t)
     });
@@ -90,7 +89,11 @@ pub fn run(args: &ArgMap) -> Result<String> {
     ));
     out.push_str(&format!("AUC = {:.4}\n", outcome.auc()));
     for fpr in [0.05f64, 0.1, 0.2, 0.5] {
-        out.push_str(&format!("TPR at FPR {:>4.2} = {:.3}\n", fpr, outcome.roc.tpr_at_fpr(fpr)));
+        out.push_str(&format!(
+            "TPR at FPR {:>4.2} = {:.3}\n",
+            fpr,
+            outcome.roc.tpr_at_fpr(fpr)
+        ));
     }
     Ok(out)
 }
@@ -98,7 +101,12 @@ pub fn run(args: &ArgMap) -> Result<String> {
 /// Builds the scoring measure selected by `--measure`, returning a display
 /// label alongside it.
 fn build_measure(args: &ArgMap) -> Result<(String, Box<dyn ProximityMeasure>)> {
-    match args.get("measure").unwrap_or("dht").to_ascii_lowercase().as_str() {
+    match args
+        .get("measure")
+        .unwrap_or("dht")
+        .to_ascii_lowercase()
+        .as_str()
+    {
         "dht" => {
             let (params, depth) = super::dht_options(args)?;
             let m = DhtMeasure::new(params, depth)?;
@@ -112,11 +120,17 @@ fn build_measure(args: &ArgMap) -> Result<(String, Box<dyn ProximityMeasure>)> {
         }
         "ht" | "hitting-time" => {
             let (_, depth) = super::dht_options(args)?;
-            Ok((format!("truncated hitting time (d={depth})"), Box::new(TruncatedHittingTime::new(depth)?)))
+            Ok((
+                format!("truncated hitting time (d={depth})"),
+                Box::new(TruncatedHittingTime::new(depth)?),
+            ))
         }
         "pathsim" => {
             let length: usize = args.get_parsed_or("length", 2)?;
-            Ok((format!("PathSim (L={length})"), Box::new(PathSim::new(length)?)))
+            Ok((
+                format!("PathSim (L={length})"),
+                Box::new(PathSim::new(length)?),
+            ))
         }
         "katz" => {
             let beta: f64 = args.get_parsed_or("beta", 0.05)?;
@@ -147,7 +161,8 @@ mod tests {
         for i in 0..5u32 {
             for j in (i + 1)..5u32 {
                 b.add_undirected_edge(NodeId(i), NodeId(j), 1.0).unwrap();
-                b.add_undirected_edge(NodeId(5 + i), NodeId(5 + j), 1.0).unwrap();
+                b.add_undirected_edge(NodeId(5 + i), NodeId(5 + j), 1.0)
+                    .unwrap();
             }
         }
         for (u, v) in [(0u32, 5u32), (1, 6), (2, 7), (3, 8), (4, 9), (0, 6), (1, 7)] {
@@ -178,10 +193,18 @@ mod tests {
         let (g, s) = fixture("all");
         for measure in ["dht", "ppr", "ht", "pathsim", "katz"] {
             let out = run(&argmap(&[
-                "--graph", g.to_str().unwrap(),
-                "--sets", s.to_str().unwrap(),
-                "--left", "P", "--right", "Q",
-                "--measure", measure, "--seed", "7",
+                "--graph",
+                g.to_str().unwrap(),
+                "--sets",
+                s.to_str().unwrap(),
+                "--left",
+                "P",
+                "--right",
+                "Q",
+                "--measure",
+                measure,
+                "--seed",
+                "7",
             ]))
             .unwrap();
             assert!(out.contains("AUC ="), "{measure}: no AUC reported\n{out}");
@@ -195,9 +218,14 @@ mod tests {
     fn invalid_fraction_and_measure_are_rejected() {
         let (g, s) = fixture("bad");
         let base = [
-            "--graph", g.to_str().unwrap(),
-            "--sets", s.to_str().unwrap(),
-            "--left", "P", "--right", "Q",
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--left",
+            "P",
+            "--right",
+            "Q",
         ];
         let mut bad_fraction: Vec<&str> = base.to_vec();
         bad_fraction.extend(["--fraction", "1.5"]);

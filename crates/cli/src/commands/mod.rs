@@ -9,7 +9,7 @@ pub mod twoway;
 use dht_core::twoway::TwoWayAlgorithm;
 use dht_core::Aggregate;
 use dht_graph::Graph;
-use dht_walks::DhtParams;
+use dht_walks::{DhtParams, WalkEngine};
 
 use crate::{CliError, Result};
 
@@ -39,6 +39,21 @@ pub(crate) fn dht_options(args: &crate::ArgMap) -> Result<(DhtParams, usize)> {
         .depth_for_epsilon(epsilon)
         .map_err(|e| CliError::Parse(format!("invalid --epsilon: {e}")))?;
     Ok((params, depth))
+}
+
+/// Parses the shared execution options `--engine` (walk propagation engine)
+/// and `--threads` (worker threads; 0 = all cores, default 1 = serial).
+pub(crate) fn engine_options(args: &crate::ArgMap) -> Result<(WalkEngine, usize)> {
+    let engine = match args.get("engine") {
+        None => WalkEngine::default(),
+        Some(raw) => WalkEngine::parse(raw).ok_or_else(|| {
+            CliError::Parse(format!(
+                "unknown walk engine '{raw}' (expected dense, sparse or auto)"
+            ))
+        })?,
+    };
+    let threads: usize = args.get_parsed_or("threads", 1)?;
+    Ok((engine, threads))
 }
 
 /// Parses `--algorithm` into one of the five 2-way join algorithms.
@@ -111,9 +126,32 @@ mod tests {
     }
 
     #[test]
+    fn engine_options_parse_and_reject() {
+        let (engine, threads) = engine_options(&argmap(&[])).unwrap();
+        assert_eq!(engine, WalkEngine::Auto);
+        assert_eq!(threads, 1);
+        let (engine, threads) =
+            engine_options(&argmap(&["--engine", "dense", "--threads", "4"])).unwrap();
+        assert_eq!(engine, WalkEngine::Dense);
+        assert_eq!(threads, 4);
+        let (engine, threads) =
+            engine_options(&argmap(&["--engine", "sparse", "--threads", "0"])).unwrap();
+        assert_eq!(engine, WalkEngine::Sparse);
+        assert_eq!(threads, 0);
+        assert!(engine_options(&argmap(&["--engine", "warp"])).is_err());
+        assert!(engine_options(&argmap(&["--threads", "many"])).is_err());
+    }
+
+    #[test]
     fn algorithm_names_are_case_insensitive() {
-        assert_eq!(parse_two_way_algorithm("B-IDJ-Y").unwrap(), TwoWayAlgorithm::BackwardIdjY);
-        assert_eq!(parse_two_way_algorithm("fbj").unwrap(), TwoWayAlgorithm::ForwardBasic);
+        assert_eq!(
+            parse_two_way_algorithm("B-IDJ-Y").unwrap(),
+            TwoWayAlgorithm::BackwardIdjY
+        );
+        assert_eq!(
+            parse_two_way_algorithm("fbj").unwrap(),
+            TwoWayAlgorithm::ForwardBasic
+        );
         assert!(parse_two_way_algorithm("quantum").is_err());
     }
 
@@ -126,7 +164,10 @@ mod tests {
 
     #[test]
     fn ranking_table_has_one_line_per_row() {
-        let table = format_ranking(vec![("(a, b)".to_string(), 0.5), ("(c, d)".to_string(), 0.25)]);
+        let table = format_ranking(vec![
+            ("(a, b)".to_string(), 0.5),
+            ("(c, d)".to_string(), 0.25),
+        ]);
         assert_eq!(table.lines().count(), 3);
         assert!(table.contains("(c, d)"));
     }

@@ -3,7 +3,7 @@
 use dht_core::multiway::{NWayAlgorithm, NWayConfig};
 use dht_core::{Answer, QueryGraph};
 use dht_graph::{Graph, NodeSet};
-use dht_measures::{measure_nway_top_k, PersonalizedPageRank, TruncatedHittingTime};
+use dht_measures::{measure_nway_top_k_threaded, PersonalizedPageRank, TruncatedHittingTime};
 
 use crate::{setsfile, ArgMap, CliError, Result};
 
@@ -27,12 +27,28 @@ OPTIONS:
     --lambda <x>            DHT_λ decay factor                  [default: 0.2]
     --epsilon <x>           truncation error bound              [default: 1e-6]
     --damping <x>           PPR walk-continuation probability   [default: 0.85]
+    --engine <name>         walk engine: dense | sparse | auto  [default: auto]
+    --threads <n>           worker threads (0 = all cores)      [default: 1]
     --labels <0|1>          print node labels when available    [default: 1]
 ";
 
 const KNOWN: &[&str] = &[
-    "graph", "sets", "set", "query", "k", "m", "algorithm", "aggregate", "measure", "variant",
-    "lambda", "epsilon", "damping", "labels",
+    "graph",
+    "sets",
+    "set",
+    "query",
+    "k",
+    "m",
+    "algorithm",
+    "aggregate",
+    "measure",
+    "variant",
+    "lambda",
+    "epsilon",
+    "damping",
+    "engine",
+    "threads",
+    "labels",
 ];
 
 /// Runs the command.
@@ -57,6 +73,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
     let k: usize = args.get_parsed_or("k", 10)?;
     let aggregate = super::parse_aggregate(args.get("aggregate").unwrap_or("min"))?;
     let with_labels = args.get_parsed_or("labels", 1u8)? == 1;
+    let (engine, threads) = super::engine_options(args)?;
 
     let measure = args.get("measure").unwrap_or("dht");
     let (header, answers) = match measure.to_ascii_lowercase().as_str() {
@@ -64,7 +81,9 @@ pub fn run(args: &ArgMap) -> Result<String> {
             let (params, depth) = super::dht_options(args)?;
             let m: usize = args.get_parsed_or("m", 50)?;
             let algorithm = parse_nway_algorithm(args.get("algorithm").unwrap_or("pj-i"), m)?;
-            let config = NWayConfig::new(params, depth, aggregate, k);
+            let config = NWayConfig::new(params, depth, aggregate, k)
+                .with_engine(engine)
+                .with_threads(threads);
             let output = algorithm.run(&graph, &config, &query, &node_sets)?;
             (
                 format!(
@@ -81,7 +100,8 @@ pub fn run(args: &ArgMap) -> Result<String> {
             let damping: f64 = args.get_parsed_or("damping", 0.85)?;
             let epsilon: f64 = args.get_parsed_or("epsilon", 1e-6)?;
             let m = PersonalizedPageRank::with_epsilon(damping, epsilon)?;
-            let output = measure_nway_top_k(&graph, &m, &query, &node_sets, aggregate, k)?;
+            let output =
+                measure_nway_top_k_threaded(&graph, &m, &query, &node_sets, aggregate, k, threads)?;
             (
                 format!(
                     "top-{k} {}-way join over {} (PPR, {} aggregate)",
@@ -95,7 +115,8 @@ pub fn run(args: &ArgMap) -> Result<String> {
         "ht" | "hitting-time" => {
             let (_, depth) = super::dht_options(args)?;
             let m = TruncatedHittingTime::new(depth)?;
-            let output = measure_nway_top_k(&graph, &m, &query, &node_sets, aggregate, k)?;
+            let output =
+                measure_nway_top_k_threaded(&graph, &m, &query, &node_sets, aggregate, k, threads)?;
             (
                 format!(
                     "top-{k} {}-way join over {} (truncated hitting time, {} aggregate)",
@@ -113,8 +134,11 @@ pub fn run(args: &ArgMap) -> Result<String> {
         }
     };
 
-    let table =
-        super::format_ranking(answers.iter().map(|a| (answer_label(&graph, a, with_labels), a.score)));
+    let table = super::format_ranking(
+        answers
+            .iter()
+            .map(|a| (answer_label(&graph, a, with_labels), a.score)),
+    );
     Ok(format!("{header}\n{table}"))
 }
 
@@ -153,7 +177,13 @@ fn answer_label(graph: &Graph, answer: &Answer, with_labels: bool) -> String {
     let parts: Vec<String> = answer
         .nodes
         .iter()
-        .map(|&n| if with_labels { graph.display_name(n) } else { n.0.to_string() })
+        .map(|&n| {
+            if with_labels {
+                graph.display_name(n)
+            } else {
+                n.0.to_string()
+            }
+        })
         .collect();
     format!("({})", parts.join(", "))
 }
@@ -171,10 +201,18 @@ mod tests {
         let mut b = GraphBuilder::with_nodes(9);
         // three loosely connected triples
         for (u, v) in [
-            (0u32, 1u32), (1, 2), (0, 2),
-            (3, 4), (4, 5), (3, 5),
-            (6, 7), (7, 8), (6, 8),
-            (2, 3), (5, 6), (8, 0),
+            (0u32, 1u32),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (6, 7),
+            (7, 8),
+            (6, 8),
+            (2, 3),
+            (5, 6),
+            (8, 0),
         ] {
             b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
         }
@@ -206,10 +244,20 @@ mod tests {
     fn dht_triangle_join_runs_end_to_end() {
         let (g, s) = fixture("dht");
         let out = run(&argmap(&[
-            "--graph", g.to_str().unwrap(),
-            "--sets", s.to_str().unwrap(),
-            "--set", "A", "--set", "B", "--set", "C",
-            "--query", "triangle", "--k", "4",
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--set",
+            "A",
+            "--set",
+            "B",
+            "--set",
+            "C",
+            "--query",
+            "triangle",
+            "--k",
+            "4",
         ]))
         .unwrap();
         assert!(out.contains("PJ-i"));
@@ -222,10 +270,20 @@ mod tests {
     fn ppr_chain_join_runs_end_to_end() {
         let (g, s) = fixture("ppr");
         let out = run(&argmap(&[
-            "--graph", g.to_str().unwrap(),
-            "--sets", s.to_str().unwrap(),
-            "--set", "A", "--set", "B",
-            "--measure", "ppr", "--aggregate", "sum", "--k", "3",
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--set",
+            "A",
+            "--set",
+            "B",
+            "--measure",
+            "ppr",
+            "--aggregate",
+            "sum",
+            "--k",
+            "3",
         ]))
         .unwrap();
         assert!(out.contains("PPR"));
@@ -237,9 +295,12 @@ mod tests {
     fn too_few_sets_is_a_usage_error() {
         let (g, s) = fixture("few");
         let err = run(&argmap(&[
-            "--graph", g.to_str().unwrap(),
-            "--sets", s.to_str().unwrap(),
-            "--set", "A",
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--set",
+            "A",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("at least two"));

@@ -34,9 +34,15 @@ pub fn run(args: &ArgMap) -> Result<String> {
     out.push_str(&format!("isolated nodes:     {}\n", degrees.isolated));
     out.push_str(&format!("weakly conn. comps: {components}\n"));
     out.push_str(&format!("largest component:  {largest}\n"));
-    out.push_str(&format!("heap footprint:     {} bytes\n", graph.heap_bytes()));
+    out.push_str(&format!(
+        "heap footprint:     {} bytes\n",
+        graph.heap_bytes()
+    ));
     if args.get_parsed_or("triangles", 0u8)? == 1 {
-        out.push_str(&format!("triangles:          {}\n", analysis::triangle_count(&graph)));
+        out.push_str(&format!(
+            "triangles:          {}\n",
+            analysis::triangle_count(&graph)
+        ));
     }
     Ok(out)
 }
@@ -70,7 +76,13 @@ mod tests {
     #[test]
     fn reports_counts_for_a_triangle() {
         let path = write_triangle_graph();
-        let out = run(&argmap(&["--graph", path.to_str().unwrap(), "--triangles", "1"])).unwrap();
+        let out = run(&argmap(&[
+            "--graph",
+            path.to_str().unwrap(),
+            "--triangles",
+            "1",
+        ]))
+        .unwrap();
         assert!(out.contains("nodes:              3"));
         assert!(out.contains("directed edges:     6"));
         assert!(out.contains("weakly conn. comps: 1"));

@@ -3,8 +3,8 @@
 use dht_core::twoway::TwoWayConfig;
 use dht_graph::Graph;
 use dht_measures::{
-    measure_two_way_top_k, KatzIndex, KatzMode, MeasurePair, PathSim, PersonalizedPageRank,
-    TruncatedHittingTime,
+    measure_two_way_top_k_threaded, KatzIndex, KatzMode, MeasurePair, PathSim,
+    PersonalizedPageRank, TruncatedHittingTime,
 };
 
 use crate::{setsfile, ArgMap, CliError, Result};
@@ -27,12 +27,28 @@ OPTIONS:
     --damping <x>           PPR walk-continuation probability  [default: 0.85]
     --length <n>            PathSim walk length                [default: 2]
     --beta <x>              Katz attenuation factor            [default: 0.05]
+    --engine <name>         walk engine: dense | sparse | auto [default: auto]
+    --threads <n>           worker threads (0 = all cores)     [default: 1]
     --labels <0|1>          print node labels when available   [default: 1]
 ";
 
 const KNOWN: &[&str] = &[
-    "graph", "sets", "left", "right", "k", "measure", "algorithm", "variant", "lambda", "epsilon",
-    "damping", "length", "beta", "labels",
+    "graph",
+    "sets",
+    "left",
+    "right",
+    "k",
+    "measure",
+    "algorithm",
+    "variant",
+    "lambda",
+    "epsilon",
+    "damping",
+    "length",
+    "beta",
+    "engine",
+    "threads",
+    "labels",
 ];
 
 /// Runs the command.
@@ -47,13 +63,17 @@ pub fn run(args: &ArgMap) -> Result<String> {
     let right = setsfile::find_set(&sets, args.require("right")?)?;
     let k: usize = args.get_parsed_or("k", 10)?;
     let with_labels = args.get_parsed_or("labels", 1u8)? == 1;
+    let (engine, threads) = super::engine_options(args)?;
 
     let measure = args.get("measure").unwrap_or("dht");
     let (header, pairs) = match measure.to_ascii_lowercase().as_str() {
         "dht" => {
             let (params, depth) = super::dht_options(args)?;
-            let algorithm = super::parse_two_way_algorithm(args.get("algorithm").unwrap_or("b-idj-y"))?;
-            let config = TwoWayConfig::new(params, depth);
+            let algorithm =
+                super::parse_two_way_algorithm(args.get("algorithm").unwrap_or("b-idj-y"))?;
+            let config = TwoWayConfig::new(params, depth)
+                .with_engine(engine)
+                .with_threads(threads);
             let output = algorithm.top_k(&graph, &config, left, right, k);
             (
                 format!(
@@ -76,7 +96,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
                     left.name(),
                     right.name()
                 ),
-                measure_two_way_top_k(&graph, &m, left, right, k),
+                measure_two_way_top_k_threaded(&graph, &m, left, right, k, threads),
             )
         }
         "ht" | "hitting-time" => {
@@ -88,7 +108,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
                     left.name(),
                     right.name()
                 ),
-                measure_two_way_top_k(&graph, &m, left, right, k),
+                measure_two_way_top_k_threaded(&graph, &m, left, right, k, threads),
             )
         }
         "pathsim" => {
@@ -100,7 +120,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
                     left.name(),
                     right.name()
                 ),
-                measure_two_way_top_k(&graph, &m, left, right, k),
+                measure_two_way_top_k_threaded(&graph, &m, left, right, k, threads),
             )
         }
         "katz" => {
@@ -113,7 +133,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
                     left.name(),
                     right.name()
                 ),
-                measure_two_way_top_k(&graph, &m, left, right, k),
+                measure_two_way_top_k_threaded(&graph, &m, left, right, k, threads),
             )
         }
         other => {
@@ -123,13 +143,21 @@ pub fn run(args: &ArgMap) -> Result<String> {
         }
     };
 
-    let table = super::format_ranking(pairs.iter().map(|p| (pair_label(&graph, p, with_labels), p.score)));
+    let table = super::format_ranking(
+        pairs
+            .iter()
+            .map(|p| (pair_label(&graph, p, with_labels), p.score)),
+    );
     Ok(format!("{header}\n{table}"))
 }
 
 fn pair_label(graph: &Graph, pair: &MeasurePair, with_labels: bool) -> String {
     if with_labels {
-        format!("({}, {})", graph.display_name(pair.left), graph.display_name(pair.right))
+        format!(
+            "({}, {})",
+            graph.display_name(pair.left),
+            graph.display_name(pair.right)
+        )
     } else {
         format!("({}, {})", pair.left.0, pair.right.0)
     }
@@ -147,8 +175,17 @@ mod tests {
     /// Writes a small two-community graph plus node sets, returns the paths.
     fn fixture(tag: &str) -> (std::path::PathBuf, std::path::PathBuf) {
         let mut b = GraphBuilder::with_nodes(8);
-        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (0, 3), (4, 5), (5, 6), (6, 7), (4, 7), (3, 4)]
-        {
+        for (u, v) in [
+            (0u32, 1u32),
+            (1, 2),
+            (2, 3),
+            (0, 3),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (4, 7),
+            (3, 4),
+        ] {
             b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
         }
         let g = b.build().unwrap();
@@ -173,13 +210,25 @@ mod tests {
     fn dht_join_produces_a_ranking() {
         let (g, s) = fixture("dht");
         let out = run(&argmap(&[
-            "--graph", g.to_str().unwrap(),
-            "--sets", s.to_str().unwrap(),
-            "--left", "P", "--right", "Q", "--k", "3",
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--left",
+            "P",
+            "--right",
+            "Q",
+            "--k",
+            "3",
         ]))
         .unwrap();
         assert!(out.contains("B-IDJ-Y"));
-        assert_eq!(out.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count(), 3);
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            3
+        );
         std::fs::remove_file(&g).ok();
         std::fs::remove_file(&s).ok();
     }
@@ -189,9 +238,18 @@ mod tests {
         let (g, s) = fixture("alt");
         for measure in ["ppr", "ht", "pathsim", "katz"] {
             let out = run(&argmap(&[
-                "--graph", g.to_str().unwrap(),
-                "--sets", s.to_str().unwrap(),
-                "--left", "P", "--right", "Q", "--k", "2", "--measure", measure,
+                "--graph",
+                g.to_str().unwrap(),
+                "--sets",
+                s.to_str().unwrap(),
+                "--left",
+                "P",
+                "--right",
+                "Q",
+                "--k",
+                "2",
+                "--measure",
+                measure,
             ]))
             .unwrap();
             assert!(out.contains("rank"), "measure {measure} produced no table");
@@ -201,12 +259,46 @@ mod tests {
     }
 
     #[test]
+    fn engine_and_threads_flags_do_not_change_the_ranking() {
+        let (g, s) = fixture("engine");
+        let base = [
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--left",
+            "P",
+            "--right",
+            "Q",
+            "--k",
+            "4",
+        ];
+        let mut dense: Vec<&str> = base.to_vec();
+        dense.extend(["--engine", "dense"]);
+        let mut sparse_mt: Vec<&str> = base.to_vec();
+        sparse_mt.extend(["--engine", "sparse", "--threads", "4"]);
+        let reference = run(&argmap(&base)).unwrap();
+        assert_eq!(run(&argmap(&dense)).unwrap(), reference);
+        assert_eq!(run(&argmap(&sparse_mt)).unwrap(), reference);
+        let mut bad: Vec<&str> = base.to_vec();
+        bad.extend(["--engine", "warp"]);
+        assert!(run(&argmap(&bad)).is_err());
+        std::fs::remove_file(&g).ok();
+        std::fs::remove_file(&s).ok();
+    }
+
+    #[test]
     fn unknown_measure_and_set_names_error() {
         let (g, s) = fixture("err");
         let base = [
-            "--graph", g.to_str().unwrap(),
-            "--sets", s.to_str().unwrap(),
-            "--left", "P", "--right", "Q",
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--left",
+            "P",
+            "--right",
+            "Q",
         ];
         let mut with_measure: Vec<&str> = base.to_vec();
         with_measure.extend(["--measure", "adamic-adar"]);

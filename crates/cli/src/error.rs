@@ -78,9 +78,17 @@ mod tests {
 
     #[test]
     fn display_passes_messages_through() {
-        assert_eq!(CliError::Usage("use it right".into()).to_string(), "use it right");
-        assert_eq!(CliError::Parse("bad number".into()).to_string(), "bad number");
-        assert!(CliError::NotFound("no such set".into()).to_string().contains("no such set"));
+        assert_eq!(
+            CliError::Usage("use it right".into()).to_string(),
+            "use it right"
+        );
+        assert_eq!(
+            CliError::Parse("bad number".into()).to_string(),
+            "bad number"
+        );
+        assert!(CliError::NotFound("no such set".into())
+            .to_string()
+            .contains("no such set"));
     }
 
     #[test]

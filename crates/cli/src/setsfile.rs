@@ -44,7 +44,9 @@ pub fn parse_node_sets(text: &str) -> Result<Vec<NodeSet>> {
         };
         for token in parts {
             let id: u32 = token.parse().map_err(|_| {
-                CliError::Parse(format!("sets file line {lineno}: invalid node id '{token}'"))
+                CliError::Parse(format!(
+                    "sets file line {lineno}: invalid node id '{token}'"
+                ))
             })?;
             members[idx].push(NodeId(id));
         }
@@ -58,8 +60,12 @@ pub fn parse_node_sets(text: &str) -> Result<Vec<NodeSet>> {
 
 /// Reads node sets from a file.
 pub fn read_node_sets_file(path: impl AsRef<Path>) -> Result<Vec<NodeSet>> {
-    let text = fs::read_to_string(path.as_ref())
-        .map_err(|e| CliError::Io(std::io::Error::new(e.kind(), format!("{}: {e}", path.as_ref().display()))))?;
+    let text = fs::read_to_string(path.as_ref()).map_err(|e| {
+        CliError::Io(std::io::Error::new(
+            e.kind(),
+            format!("{}: {e}", path.as_ref().display()),
+        ))
+    })?;
     parse_node_sets(&text)
 }
 
@@ -104,7 +110,10 @@ mod tests {
         let sets = parse_node_sets(text).unwrap();
         assert_eq!(sets.len(), 3);
         assert_eq!(sets[0].name(), "DB");
-        assert_eq!(sets[0].members(), &[NodeId(0), NodeId(4), NodeId(17), NodeId(23)]);
+        assert_eq!(
+            sets[0].members(),
+            &[NodeId(0), NodeId(4), NodeId(17), NodeId(23)]
+        );
         assert_eq!(sets[1].len(), 2);
         assert_eq!(sets[2].name(), "SYS");
     }
@@ -138,7 +147,10 @@ mod tests {
 
     #[test]
     fn find_set_reports_available_names() {
-        let sets = vec![NodeSet::new("A", [NodeId(0)]), NodeSet::new("B", [NodeId(1)])];
+        let sets = vec![
+            NodeSet::new("A", [NodeId(0)]),
+            NodeSet::new("B", [NodeId(1)]),
+        ];
         assert_eq!(find_set(&sets, "B").unwrap().name(), "B");
         let err = find_set(&sets, "C").unwrap_err();
         assert!(err.to_string().contains("available sets: A, B"));

@@ -64,14 +64,24 @@ mod tests {
 
     #[test]
     fn single_input_is_identity_for_all_aggregates() {
-        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Mean] {
+        for agg in [
+            Aggregate::Sum,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Mean,
+        ] {
             assert!((agg.combine(&[0.7]) - 0.7).abs() < 1e-12);
         }
     }
 
     #[test]
     fn empty_input_is_negative_infinity() {
-        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Mean] {
+        for agg in [
+            Aggregate::Sum,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Mean,
+        ] {
             assert_eq!(agg.combine(&[]), f64::NEG_INFINITY);
         }
     }
@@ -80,7 +90,12 @@ mod tests {
     fn all_aggregates_are_monotone() {
         // Increasing any single coordinate never decreases the aggregate.
         let base = [0.1, 0.4, -0.3, 0.2];
-        for agg in [Aggregate::Sum, Aggregate::Min, Aggregate::Max, Aggregate::Mean] {
+        for agg in [
+            Aggregate::Sum,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Mean,
+        ] {
             let f0 = agg.combine(&base);
             for i in 0..base.len() {
                 let mut bumped = base;

@@ -37,7 +37,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidQueryNode { index, node_sets } => {
-                write!(f, "query edge references node set {index}, but only {node_sets} node sets exist")
+                write!(
+                    f,
+                    "query edge references node set {index}, but only {node_sets} node sets exist"
+                )
             }
             CoreError::SelfLoopQueryEdge(i) => {
                 write!(f, "query edge connects node set {i} to itself")
@@ -46,7 +49,10 @@ impl fmt::Display for CoreError {
                 write!(f, "duplicate query edge ({i}, {j})")
             }
             CoreError::NodeSetCountMismatch { expected, actual } => {
-                write!(f, "query graph expects {expected} node sets but {actual} were supplied")
+                write!(
+                    f,
+                    "query graph expects {expected} node sets but {actual} were supplied"
+                )
             }
             CoreError::EmptyQueryGraph => write!(f, "query graph has no edges"),
             CoreError::DisconnectedQueryGraph => {
@@ -65,11 +71,25 @@ mod tests {
 
     #[test]
     fn messages_mention_the_offending_values() {
-        assert!(CoreError::InvalidQueryNode { index: 7, node_sets: 3 }.to_string().contains('7'));
+        assert!(CoreError::InvalidQueryNode {
+            index: 7,
+            node_sets: 3
+        }
+        .to_string()
+        .contains('7'));
         assert!(CoreError::SelfLoopQueryEdge(2).to_string().contains('2'));
-        assert!(CoreError::DuplicateQueryEdge(1, 2).to_string().contains("(1, 2)"));
-        assert!(CoreError::NodeSetCountMismatch { expected: 3, actual: 2 }.to_string().contains('3'));
-        assert!(CoreError::EmptyNodeSet("DB".into()).to_string().contains("DB"));
+        assert!(CoreError::DuplicateQueryEdge(1, 2)
+            .to_string()
+            .contains("(1, 2)"));
+        assert!(CoreError::NodeSetCountMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(CoreError::EmptyNodeSet("DB".into())
+            .to_string()
+            .contains("DB"));
         assert!(!CoreError::EmptyQueryGraph.to_string().is_empty());
         assert!(!CoreError::DisconnectedQueryGraph.to_string().is_empty());
     }

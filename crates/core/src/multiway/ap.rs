@@ -12,7 +12,7 @@ use dht_graph::{Graph, NodeSet};
 use crate::answer::PairScore;
 use crate::query::QueryGraph;
 use crate::stats::NWayStats;
-use crate::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use crate::twoway::TwoWayAlgorithm;
 use crate::Result;
 
 use super::pbrj::{self, EdgeListProvider};
@@ -35,6 +35,11 @@ impl EdgeListProvider for FullListProvider {
 
 /// Runs AP with the given inner 2-way join algorithm (the paper uses F-BJ;
 /// `BackwardBasic` produces identical lists faster).
+///
+/// The per-edge 2-way joins are independent of one another; with
+/// `config.threads > 1` and a multi-edge query graph they run concurrently
+/// (each join serial inside, so workers are not oversubscribed), and their
+/// outputs are absorbed in edge order — identical to a serial run.
 pub fn run(
     graph: &Graph,
     config: &NWayConfig,
@@ -44,20 +49,49 @@ pub fn run(
 ) -> Result<NWayOutput> {
     query.validate_node_sets(node_sets)?;
     let mut stats = NWayStats::default();
-    let two_way_config = TwoWayConfig::new(config.params, config.d);
+    let threads = dht_par::effective_threads(config.threads);
 
-    let mut lists = Vec::with_capacity(query.edge_count());
-    for &(i, j) in query.edges() {
-        let p = &node_sets[i];
-        let q = &node_sets[j];
-        let out = two_way.top_k(graph, &two_way_config, p, q, p.len() * q.len());
+    let edges: Vec<(usize, usize)> = query.edges().to_vec();
+    let outputs = if threads > 1 && edges.len() > 1 {
+        // Outer-level parallelism over query edges; inner joins run serial
+        // so total concurrency stays at the requested thread count.
+        let inner = config.two_way().with_threads(1);
+        dht_par::parallel_map(config.threads, &edges, |_, &(i, j)| {
+            let p = &node_sets[i];
+            let q = &node_sets[j];
+            two_way.top_k(graph, &inner, p, q, p.len() * q.len())
+        })
+    } else {
+        let inner = config.two_way();
+        edges
+            .iter()
+            .map(|&(i, j)| {
+                let p = &node_sets[i];
+                let q = &node_sets[j];
+                two_way.top_k(graph, &inner, p, q, p.len() * q.len())
+            })
+            .collect()
+    };
+
+    let mut lists = Vec::with_capacity(edges.len());
+    for out in outputs {
         stats.two_way_joins += 1;
         stats.two_way.absorb(&out.stats);
         lists.push(out.pairs);
     }
 
-    let mut provider = FullListProvider { lists, floor: config.params.min_score() };
-    let answers = pbrj::run(query, node_sets, config.aggregate, config.k, &mut provider, &mut stats)?;
+    let mut provider = FullListProvider {
+        lists,
+        floor: config.params.min_score(),
+    };
+    let answers = pbrj::run(
+        query,
+        node_sets,
+        config.aggregate,
+        config.k,
+        &mut provider,
+        &mut stats,
+    )?;
     Ok(NWayOutput { answers, stats })
 }
 
@@ -84,7 +118,9 @@ mod tests {
         let (g, sets) = fixture();
         let query = QueryGraph::chain(3);
         for aggregate in [Aggregate::Min, Aggregate::Sum] {
-            let config = NWayConfig::paper_default().with_k(6).with_aggregate(aggregate);
+            let config = NWayConfig::paper_default()
+                .with_k(6)
+                .with_aggregate(aggregate);
             let reference = nl::run(&g, &config, &query, &sets, true).unwrap();
             let ap = run(&g, &config, &query, &sets, TwoWayAlgorithm::ForwardBasic).unwrap();
             assert_eq!(reference.answers.len(), ap.answers.len());
@@ -111,7 +147,14 @@ mod tests {
         let query = QueryGraph::triangle();
         let config = NWayConfig::paper_default().with_k(5);
         let reference = nl::run(&cg.graph, &config, &query, &sets, true).unwrap();
-        let ap = run(&cg.graph, &config, &query, &sets, TwoWayAlgorithm::BackwardBasic).unwrap();
+        let ap = run(
+            &cg.graph,
+            &config,
+            &query,
+            &sets,
+            TwoWayAlgorithm::BackwardBasic,
+        )
+        .unwrap();
         assert_eq!(reference.answers.len(), ap.answers.len());
         for (a, b) in reference.answers.iter().zip(ap.answers.iter()) {
             assert!((a.score - b.score).abs() < 1e-10, "{a:?} vs {b:?}");

@@ -40,8 +40,14 @@ impl CandidateBuffer {
     /// Inserts a scored pair.  Pairs are expected to be inserted at most
     /// once (the rank join pulls each list entry exactly once).
     pub fn insert(&mut self, left: NodeId, right: NodeId, score: f64) {
-        self.by_left.entry(left.0).or_default().push((right.0, score));
-        self.by_right.entry(right.0).or_default().push((left.0, score));
+        self.by_left
+            .entry(left.0)
+            .or_default()
+            .push((right.0, score));
+        self.by_right
+            .entry(right.0)
+            .or_default()
+            .push((left.0, score));
         self.len += 1;
     }
 
@@ -66,9 +72,9 @@ impl CandidateBuffer {
 
     /// Iterates over every stored `(left, right, score)` triple.
     pub fn iter_all(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
-        self.by_left.iter().flat_map(|(&l, pairs)| {
-            pairs.iter().map(move |&(r, s)| (NodeId(l), NodeId(r), s))
-        })
+        self.by_left
+            .iter()
+            .flat_map(|(&l, pairs)| pairs.iter().map(move |&(r, s)| (NodeId(l), NodeId(r), s)))
     }
 }
 
@@ -93,7 +99,11 @@ mod tests {
         let mut buf = CandidateBuffer::new();
         buf.insert(NodeId(3), NodeId(7), 0.9);
         assert_eq!(buf.score_of(NodeId(3), NodeId(7)), Some(0.9));
-        assert_eq!(buf.score_of(NodeId(7), NodeId(3)), None, "direction matters");
+        assert_eq!(
+            buf.score_of(NodeId(7), NodeId(3)),
+            None,
+            "direction matters"
+        );
         assert_eq!(buf.score_of(NodeId(3), NodeId(8)), None);
     }
 

@@ -25,13 +25,13 @@ pub mod pj;
 pub mod pji;
 
 use dht_graph::{Graph, NodeSet};
-use dht_walks::DhtParams;
+use dht_walks::{DhtParams, WalkEngine};
 
 use crate::aggregate::Aggregate;
 use crate::answer::Answer;
 use crate::query::QueryGraph;
 use crate::stats::NWayStats;
-use crate::twoway::TwoWayAlgorithm;
+use crate::twoway::{TwoWayAlgorithm, TwoWayConfig};
 use crate::Result;
 
 /// Shared configuration of an n-way join run.
@@ -45,12 +45,26 @@ pub struct NWayConfig {
     pub aggregate: Aggregate,
     /// Number of answers to return.
     pub k: usize,
+    /// Walk propagation engine of the inner 2-way joins.
+    pub engine: WalkEngine,
+    /// Worker threads: `1` serial (default), `0` all available cores.
+    /// Applied to the per-edge 2-way joins (run concurrently when the query
+    /// graph has several edges) and forwarded to their inner parallelism
+    /// otherwise; results are identical at every thread count.
+    pub threads: usize,
 }
 
 impl NWayConfig {
-    /// Creates a configuration.
+    /// Creates a configuration with the default engine, serial execution.
     pub fn new(params: DhtParams, d: usize, aggregate: Aggregate, k: usize) -> Self {
-        NWayConfig { params, d: d.max(1), aggregate, k }
+        NWayConfig {
+            params,
+            d: d.max(1),
+            aggregate,
+            k,
+            engine: WalkEngine::default(),
+            threads: 1,
+        }
     }
 
     /// The paper's experimental defaults: `DHT_λ` with `λ = 0.2`, `d = 8`
@@ -58,7 +72,7 @@ impl NWayConfig {
     pub fn paper_default() -> Self {
         let params = DhtParams::paper_default();
         let d = params.depth_for_epsilon(1e-6).expect("1e-6 is valid");
-        NWayConfig { params, d, aggregate: Aggregate::Min, k: 50 }
+        Self::new(params, d, Aggregate::Min, 50)
     }
 
     /// Returns a copy with a different `k`.
@@ -71,6 +85,26 @@ impl NWayConfig {
     pub fn with_aggregate(mut self, aggregate: Aggregate) -> Self {
         self.aggregate = aggregate;
         self
+    }
+
+    /// Returns a copy with a different propagation engine.
+    pub fn with_engine(mut self, engine: WalkEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Returns a copy with a different worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configuration of the inner 2-way joins, inheriting the engine
+    /// and thread knobs.
+    pub fn two_way(&self) -> TwoWayConfig {
+        TwoWayConfig::new(self.params, self.d)
+            .with_engine(self.engine)
+            .with_threads(self.threads)
     }
 }
 
@@ -124,12 +158,21 @@ impl NWayAlgorithm {
     ) -> Result<NWayOutput> {
         match self {
             NWayAlgorithm::NestedLoop => nl::run(graph, config, query, node_sets, false),
-            NWayAlgorithm::AllPairs => {
-                ap::run(graph, config, query, node_sets, TwoWayAlgorithm::ForwardBasic)
-            }
-            NWayAlgorithm::PartialJoin { m } => {
-                pj::run(graph, config, query, node_sets, m, TwoWayAlgorithm::BackwardIdjY)
-            }
+            NWayAlgorithm::AllPairs => ap::run(
+                graph,
+                config,
+                query,
+                node_sets,
+                TwoWayAlgorithm::ForwardBasic,
+            ),
+            NWayAlgorithm::PartialJoin { m } => pj::run(
+                graph,
+                config,
+                query,
+                node_sets,
+                m,
+                TwoWayAlgorithm::BackwardIdjY,
+            ),
             NWayAlgorithm::IncrementalPartialJoin { m } => {
                 pji::run(graph, config, query, node_sets, m)
             }
@@ -151,7 +194,9 @@ mod tests {
 
     #[test]
     fn builder_style_overrides() {
-        let cfg = NWayConfig::paper_default().with_k(10).with_aggregate(Aggregate::Sum);
+        let cfg = NWayConfig::paper_default()
+            .with_k(10)
+            .with_aggregate(Aggregate::Sum);
         assert_eq!(cfg.k, 10);
         assert_eq!(cfg.aggregate, Aggregate::Sum);
     }
@@ -161,6 +206,9 @@ mod tests {
         assert_eq!(NWayAlgorithm::NestedLoop.name(), "NL");
         assert_eq!(NWayAlgorithm::AllPairs.name(), "AP");
         assert_eq!(NWayAlgorithm::PartialJoin { m: 50 }.name(), "PJ");
-        assert_eq!(NWayAlgorithm::IncrementalPartialJoin { m: 50 }.name(), "PJ-i");
+        assert_eq!(
+            NWayAlgorithm::IncrementalPartialJoin { m: 50 }.name(),
+            "PJ-i"
+        );
     }
 }

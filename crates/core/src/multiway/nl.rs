@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::forward;
+use dht_walks::{forward, WalkScratch};
 
 use crate::answer::{sort_answers, Answer};
 use crate::query::QueryGraph;
@@ -33,6 +33,8 @@ pub fn run(
     let mut stats = NWayStats::default();
     let mut output: TopKBuffer<Vec<NodeId>> = TopKBuffer::new(config.k);
     let mut cache: HashMap<(u32, u32), f64> = HashMap::new();
+    // One scratch serves every forward walk of the enumeration.
+    let mut scratch = WalkScratch::new();
 
     let n = node_sets.len();
     let mut assignment: Vec<NodeId> = vec![NodeId(0); n];
@@ -60,7 +62,15 @@ pub fn run(
                     match cache.get(&(u.0, v.0)) {
                         Some(&s) => s,
                         None => {
-                            let s = forward::forward_dht(graph, &config.params, u, v, config.d);
+                            let s = forward::forward_dht_with(
+                                graph,
+                                &config.params,
+                                u,
+                                v,
+                                config.d,
+                                config.engine,
+                                &mut scratch,
+                            );
                             stats.two_way.walk_invocations += 1;
                             stats.two_way.walk_steps += config.d as u64;
                             cache.insert((u.0, v.0), s);
@@ -70,7 +80,15 @@ pub fn run(
                 } else {
                     stats.two_way.walk_invocations += 1;
                     stats.two_way.walk_steps += config.d as u64;
-                    forward::forward_dht(graph, &config.params, u, v, config.d)
+                    forward::forward_dht_with(
+                        graph,
+                        &config.params,
+                        u,
+                        v,
+                        config.d,
+                        config.engine,
+                        &mut scratch,
+                    )
                 };
                 stats.two_way.pairs_scored += 1;
                 edge_scores[e] = score;
@@ -157,7 +175,9 @@ mod tests {
     fn memoized_and_plain_runs_agree() {
         let (g, sets) = fixture();
         let query = QueryGraph::triangle();
-        let config = NWayConfig::paper_default().with_k(4).with_aggregate(Aggregate::Sum);
+        let config = NWayConfig::paper_default()
+            .with_k(4)
+            .with_aggregate(Aggregate::Sum);
         let plain = run(&g, &config, &query, &sets, false).unwrap();
         let memo = run(&g, &config, &query, &sets, true).unwrap();
         assert_eq!(plain.answers.len(), memo.answers.len());

@@ -23,6 +23,41 @@ use crate::Result;
 
 use super::candidate_buffer::CandidateBuffer;
 
+/// Deduplication key of a candidate answer.
+///
+/// The rank join can generate the same n-tuple through several expansion
+/// paths, so every candidate is checked against a `seen` set.  Keying that
+/// set on a `Vec<u32>` (as the seed did) costs one heap allocation per
+/// *candidate* — by far the most frequent allocation in PJ/PJ-i runs.  For
+/// the paper's query graphs (`n ≤ 8` node sets) the ids fit in a fixed
+/// inline array; wider queries fall back to a boxed slice.
+#[derive(Debug, PartialEq, Eq, Hash)]
+enum AnswerKey {
+    /// `n ≤ 8` node sets: ids inline, unused slots padded with `u32::MAX`.
+    /// The length is part of the key, so padding cannot collide with a
+    /// shorter genuine answer.
+    Packed { len: u8, ids: [u32; 8] },
+    /// Arbitrary arity fallback (allocates, like the seed's key).
+    Wide(Box<[u32]>),
+}
+
+impl AnswerKey {
+    fn new(nodes: &[NodeId]) -> Self {
+        if nodes.len() <= 8 {
+            let mut ids = [u32::MAX; 8];
+            for (slot, node) in ids.iter_mut().zip(nodes.iter()) {
+                *slot = node.0;
+            }
+            AnswerKey::Packed {
+                len: nodes.len() as u8,
+                ids,
+            }
+        } else {
+            AnswerKey::Wide(nodes.iter().map(|n| n.0).collect())
+        }
+    }
+}
+
 /// Source of the per-edge descending pair lists consumed by the rank join.
 pub trait EdgeListProvider {
     /// Returns the pair at position `index` (0-based) of edge `edge`'s
@@ -59,10 +94,11 @@ pub fn run(
     let mut corner = CornerBound::new(edge_count);
     let mut rr = RoundRobin::new(edge_count);
     let mut output: TopKBuffer<Vec<NodeId>> = TopKBuffer::new(k);
-    let mut seen: HashSet<Vec<u32>> = HashSet::new();
+    let mut seen: HashSet<AnswerKey> = HashSet::new();
     // Pre-compute the edge expansion order from every possible start edge.
-    let expansion_orders: Vec<Vec<usize>> =
-        (0..edge_count).map(|e| query.edges_in_expansion_order(e)).collect();
+    let expansion_orders: Vec<Vec<usize>> = (0..edge_count)
+        .map(|e| query.edges_in_expansion_order(e))
+        .collect();
 
     loop {
         // Stopping rule (Step 6): stop once k answers are held and the worst
@@ -100,8 +136,7 @@ pub fn run(
                 );
                 for answer in candidates {
                     stats.candidates_generated += 1;
-                    let key: Vec<u32> = answer.nodes.iter().map(|n| n.0).collect();
-                    if seen.insert(key) {
+                    if seen.insert(AnswerKey::new(&answer.nodes)) {
                         output.insert(answer.score, answer.nodes);
                     }
                 }
@@ -165,7 +200,10 @@ fn recurse(
         if assignment.iter().any(Option::is_none) {
             return;
         }
-        let nodes: Vec<NodeId> = assignment.iter().map(|n| n.expect("checked above")).collect();
+        let nodes: Vec<NodeId> = assignment
+            .iter()
+            .map(|n| n.expect("checked above"))
+            .collect();
         let score = aggregate.combine(edge_scores);
         out.push(Answer::new(nodes, score));
         return;
@@ -176,7 +214,16 @@ fn recurse(
         (Some(na), Some(nb)) => {
             if let Some(score) = buffers[edge].score_of(na, nb) {
                 edge_scores[edge] = score;
-                recurse(query, order, pos + 1, assignment, edge_scores, buffers, aggregate, out);
+                recurse(
+                    query,
+                    order,
+                    pos + 1,
+                    assignment,
+                    edge_scores,
+                    buffers,
+                    aggregate,
+                    out,
+                );
             }
         }
         (Some(na), None) => {
@@ -184,7 +231,16 @@ fn recurse(
             for (nb, score) in matches {
                 assignment[b] = Some(NodeId(nb));
                 edge_scores[edge] = score;
-                recurse(query, order, pos + 1, assignment, edge_scores, buffers, aggregate, out);
+                recurse(
+                    query,
+                    order,
+                    pos + 1,
+                    assignment,
+                    edge_scores,
+                    buffers,
+                    aggregate,
+                    out,
+                );
                 assignment[b] = None;
             }
         }
@@ -193,7 +249,16 @@ fn recurse(
             for (na, score) in matches {
                 assignment[a] = Some(NodeId(na));
                 edge_scores[edge] = score;
-                recurse(query, order, pos + 1, assignment, edge_scores, buffers, aggregate, out);
+                recurse(
+                    query,
+                    order,
+                    pos + 1,
+                    assignment,
+                    edge_scores,
+                    buffers,
+                    aggregate,
+                    out,
+                );
                 assignment[a] = None;
             }
         }
@@ -205,7 +270,16 @@ fn recurse(
                 assignment[a] = Some(na);
                 assignment[b] = Some(nb);
                 edge_scores[edge] = score;
-                recurse(query, order, pos + 1, assignment, edge_scores, buffers, aggregate, out);
+                recurse(
+                    query,
+                    order,
+                    pos + 1,
+                    assignment,
+                    edge_scores,
+                    buffers,
+                    aggregate,
+                    out,
+                );
                 assignment[a] = None;
                 assignment[b] = None;
             }
@@ -266,15 +340,26 @@ mod tests {
             NodeSet::new("B", [NodeId(10), NodeId(11)]),
             NodeSet::new("C", [NodeId(20), NodeId(21)]),
         ];
-        let list0 = vec![pair(1, 10, 0.9), pair(2, 10, 0.7), pair(1, 11, 0.5), pair(2, 11, 0.2)];
-        let list1 = vec![pair(10, 20, 0.8), pair(11, 21, 0.6), pair(10, 21, 0.3), pair(11, 20, 0.1)];
+        let list0 = vec![
+            pair(1, 10, 0.9),
+            pair(2, 10, 0.7),
+            pair(1, 11, 0.5),
+            pair(2, 11, 0.2),
+        ];
+        let list1 = vec![
+            pair(10, 20, 0.8),
+            pair(11, 21, 0.6),
+            pair(10, 21, 0.3),
+            pair(11, 20, 0.1),
+        ];
         for aggregate in [Aggregate::Sum, Aggregate::Min] {
             for k in [1usize, 2, 3, 10] {
-                let mut provider =
-                    StaticProvider { lists: vec![list0.clone(), list1.clone()], floor: -10.0 };
+                let mut provider = StaticProvider {
+                    lists: vec![list0.clone(), list1.clone()],
+                    floor: -10.0,
+                };
                 let mut stats = NWayStats::default();
-                let answers =
-                    run(&query, &sets, aggregate, k, &mut provider, &mut stats).unwrap();
+                let answers = run(&query, &sets, aggregate, k, &mut provider, &mut stats).unwrap();
                 let expected = brute_force_chain(&[list0.clone(), list1.clone()], aggregate, k);
                 assert_eq!(answers.len(), expected.len(), "agg={aggregate:?} k={k}");
                 for (a, (nodes, score)) in answers.iter().zip(expected.iter()) {
@@ -303,7 +388,10 @@ mod tests {
             list1.push(pair(100 + i, 200 + i, 1.0 - i as f64 * 0.01));
         }
         let total = list0.len() + list1.len();
-        let mut provider = StaticProvider { lists: vec![list0, list1], floor: -10.0 };
+        let mut provider = StaticProvider {
+            lists: vec![list0, list1],
+            floor: -10.0,
+        };
         let mut stats = NWayStats::default();
         let answers = run(&query, &sets, Aggregate::Sum, 1, &mut provider, &mut stats).unwrap();
         assert_eq!(answers.len(), 1);
@@ -334,7 +422,10 @@ mod tests {
             vec![pair(1, 3, 0.6)],
             vec![pair(3, 1, 0.1)],
         ];
-        let mut provider = StaticProvider { lists, floor: -10.0 };
+        let mut provider = StaticProvider {
+            lists,
+            floor: -10.0,
+        };
         let mut stats = NWayStats::default();
         let answers = run(&query, &sets, Aggregate::Min, 5, &mut provider, &mut stats).unwrap();
         assert_eq!(answers.len(), 1);
@@ -352,10 +443,31 @@ mod tests {
         ];
         // list0 pairs 1-10, but list1 only has 11-20: no consistent answer.
         let lists = vec![vec![pair(1, 10, 0.9)], vec![pair(11, 20, 0.8)]];
-        let mut provider = StaticProvider { lists, floor: -10.0 };
+        let mut provider = StaticProvider {
+            lists,
+            floor: -10.0,
+        };
         let mut stats = NWayStats::default();
         let answers = run(&query, &sets, Aggregate::Sum, 3, &mut provider, &mut stats).unwrap();
         assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn answer_keys_distinguish_tuples_without_allocating_for_small_n() {
+        let a = AnswerKey::new(&[NodeId(1), NodeId(2), NodeId(3)]);
+        let b = AnswerKey::new(&[NodeId(1), NodeId(2), NodeId(3)]);
+        let c = AnswerKey::new(&[NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(matches!(a, AnswerKey::Packed { len: 3, .. }));
+        // Padding is part of the length-tagged key: a genuine u32::MAX id in
+        // a longer tuple cannot collide with a shorter tuple's padding.
+        let padded_lookalike = AnswerKey::new(&[NodeId(1), NodeId(2), NodeId(3), NodeId(u32::MAX)]);
+        assert_ne!(a, padded_lookalike);
+        // Wider-than-8 queries fall back to the allocating key.
+        let wide_nodes: Vec<NodeId> = (0..9).map(NodeId).collect();
+        assert!(matches!(AnswerKey::new(&wide_nodes), AnswerKey::Wide(_)));
+        assert_eq!(AnswerKey::new(&wide_nodes), AnswerKey::new(&wide_nodes));
     }
 
     #[test]
@@ -369,7 +481,10 @@ mod tests {
             NodeSet::new("C", [NodeId(3)]),
             NodeSet::new("D", [NodeId(4)]),
         ];
-        let mut provider = StaticProvider { lists: vec![vec![], vec![]], floor: 0.0 };
+        let mut provider = StaticProvider {
+            lists: vec![vec![], vec![]],
+            floor: 0.0,
+        };
         let mut stats = NWayStats::default();
         let err = run(&query, &sets, Aggregate::Sum, 1, &mut provider, &mut stats).unwrap_err();
         assert_eq!(err, crate::CoreError::DisconnectedQueryGraph);

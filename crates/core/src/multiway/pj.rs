@@ -49,7 +49,9 @@ impl EdgeListProvider for RestartingProvider<'_> {
             self.complete[edge] = true;
             return None;
         }
-        let out = self.two_way.top_k(self.graph, &self.two_way_config, p, q, wanted);
+        let out = self
+            .two_way
+            .top_k(self.graph, &self.two_way_config, p, q, wanted);
         stats.two_way_joins += 1;
         stats.two_way.absorb(&out.stats);
         if out.pairs.len() <= index {
@@ -79,7 +81,7 @@ pub fn run(
 ) -> Result<NWayOutput> {
     query.validate_node_sets(node_sets)?;
     let mut stats = NWayStats::default();
-    let two_way_config = TwoWayConfig::new(config.params, config.d);
+    let two_way_config = config.two_way();
 
     // Step 2–4: a top-m 2-way join per query edge.
     let mut lists = Vec::with_capacity(query.edge_count());
@@ -102,7 +104,14 @@ pub fn run(
         complete: vec![false; query.edge_count()],
         floor: config.params.min_score(),
     };
-    let answers = pbrj::run(query, node_sets, config.aggregate, config.k, &mut provider, &mut stats)?;
+    let answers = pbrj::run(
+        query,
+        node_sets,
+        config.aggregate,
+        config.k,
+        &mut provider,
+        &mut stats,
+    )?;
     Ok(NWayOutput { answers, stats })
 }
 
@@ -130,7 +139,9 @@ mod tests {
         let (g, sets) = fixture();
         let query = QueryGraph::chain(3);
         for aggregate in [Aggregate::Min, Aggregate::Sum] {
-            let config = NWayConfig::paper_default().with_k(5).with_aggregate(aggregate);
+            let config = NWayConfig::paper_default()
+                .with_k(5)
+                .with_aggregate(aggregate);
             let reference = nl::run(&g, &config, &query, &sets, true).unwrap();
             let pj = run(&g, &config, &query, &sets, 5, TwoWayAlgorithm::BackwardIdjY).unwrap();
             assert_eq!(reference.answers.len(), pj.answers.len());
@@ -157,7 +168,10 @@ mod tests {
         let config = NWayConfig::paper_default().with_k(8);
         let reference = nl::run(&g, &config, &query, &sets, true).unwrap();
         let pj = run(&g, &config, &query, &sets, 2, TwoWayAlgorithm::BackwardIdjY).unwrap();
-        assert!(pj.stats.next_pair_calls > 0, "m=2 must exhaust the initial lists");
+        assert!(
+            pj.stats.next_pair_calls > 0,
+            "m=2 must exhaust the initial lists"
+        );
         assert_eq!(reference.answers.len(), pj.answers.len());
         for (a, b) in reference.answers.iter().zip(pj.answers.iter()) {
             assert!((a.score - b.score).abs() < 1e-9);
@@ -169,7 +183,15 @@ mod tests {
         let (g, sets) = fixture();
         let query = QueryGraph::chain(3);
         let config = NWayConfig::paper_default().with_k(3);
-        let pj = run(&g, &config, &query, &sets, 100, TwoWayAlgorithm::BackwardIdjY).unwrap();
+        let pj = run(
+            &g,
+            &config,
+            &query,
+            &sets,
+            100,
+            TwoWayAlgorithm::BackwardIdjY,
+        )
+        .unwrap();
         assert_eq!(pj.stats.next_pair_calls, 0);
         assert_eq!(pj.answers.len(), 3);
     }
@@ -180,7 +202,15 @@ mod tests {
         let query = QueryGraph::triangle();
         let config = NWayConfig::paper_default().with_k(4);
         let reference = nl::run(&g, &config, &query, &sets, true).unwrap();
-        let pj = run(&g, &config, &query, &sets, 10, TwoWayAlgorithm::BackwardIdjY).unwrap();
+        let pj = run(
+            &g,
+            &config,
+            &query,
+            &sets,
+            10,
+            TwoWayAlgorithm::BackwardIdjY,
+        )
+        .unwrap();
         assert_eq!(reference.answers.len(), pj.answers.len());
         for (a, b) in reference.answers.iter().zip(pj.answers.iter()) {
             assert!((a.score - b.score).abs() < 1e-9, "{a:?} vs {b:?}");
@@ -193,7 +223,15 @@ mod tests {
         let query = QueryGraph::chain(2);
         let config = NWayConfig::paper_default().with_k(3);
         let reference = nl::run(&g, &config, &query, &sets[..2], true).unwrap();
-        let pj = run(&g, &config, &query, &sets[..2], 0, TwoWayAlgorithm::BackwardIdjY).unwrap();
+        let pj = run(
+            &g,
+            &config,
+            &query,
+            &sets[..2],
+            0,
+            TwoWayAlgorithm::BackwardIdjY,
+        )
+        .unwrap();
         assert_eq!(reference.answers.len(), pj.answers.len());
         for (a, b) in reference.answers.iter().zip(pj.answers.iter()) {
             assert!((a.score - b.score).abs() < 1e-9);

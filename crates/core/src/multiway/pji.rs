@@ -18,7 +18,7 @@ use dht_graph::{Graph, NodeSet};
 use crate::answer::PairScore;
 use crate::query::QueryGraph;
 use crate::stats::NWayStats;
-use crate::twoway::{bidj, BoundKind, IncrementalState, TwoWayConfig};
+use crate::twoway::{bidj, BoundKind, IncrementalState};
 use crate::Result;
 
 use super::pbrj::{self, EdgeListProvider};
@@ -71,7 +71,7 @@ pub fn run(
 ) -> Result<NWayOutput> {
     query.validate_node_sets(node_sets)?;
     let mut stats = NWayStats::default();
-    let two_way_config = TwoWayConfig::new(config.params, config.d);
+    let two_way_config = config.two_way();
 
     let mut lists = Vec::with_capacity(query.edge_count());
     let mut states = Vec::with_capacity(query.edge_count());
@@ -79,16 +79,35 @@ pub fn run(
         let p = &node_sets[i];
         let q = &node_sets[j];
         let mut state = IncrementalState::new(config.params, config.d);
-        let out = bidj::top_k(graph, &two_way_config, p, q, m, BoundKind::Y, Some(&mut state));
+        let out = bidj::top_k(
+            graph,
+            &two_way_config,
+            p,
+            q,
+            m,
+            BoundKind::Y,
+            Some(&mut state),
+        );
         stats.two_way_joins += 1;
         stats.two_way.absorb(&out.stats);
         lists.push(out.pairs);
         states.push(state);
     }
 
-    let mut provider =
-        IncrementalProvider { graph, lists, states, floor: config.params.min_score() };
-    let answers = pbrj::run(query, node_sets, config.aggregate, config.k, &mut provider, &mut stats)?;
+    let mut provider = IncrementalProvider {
+        graph,
+        lists,
+        states,
+        floor: config.params.min_score(),
+    };
+    let answers = pbrj::run(
+        query,
+        node_sets,
+        config.aggregate,
+        config.k,
+        &mut provider,
+        &mut stats,
+    )?;
     Ok(NWayOutput { answers, stats })
 }
 
@@ -117,7 +136,9 @@ mod tests {
         let (g, sets) = fixture();
         let query = QueryGraph::chain(3);
         for aggregate in [Aggregate::Min, Aggregate::Sum] {
-            let config = NWayConfig::paper_default().with_k(6).with_aggregate(aggregate);
+            let config = NWayConfig::paper_default()
+                .with_k(6)
+                .with_aggregate(aggregate);
             let reference = nl::run(&g, &config, &query, &sets[..3], true).unwrap();
             let pji = run(&g, &config, &query, &sets[..3], 5).unwrap();
             assert_eq!(reference.answers.len(), pji.answers.len());

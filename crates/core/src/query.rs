@@ -20,7 +20,10 @@ pub struct QueryGraph {
 impl QueryGraph {
     /// Creates a query graph over `node_sets` node sets with no edges.
     pub fn new(node_sets: usize) -> Self {
-        QueryGraph { node_sets, edges: Vec::new() }
+        QueryGraph {
+            node_sets,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of node sets `n`.
@@ -42,10 +45,16 @@ impl QueryGraph {
     /// of `R_from` towards nodes of `R_to`).
     pub fn add_edge(&mut self, from: usize, to: usize) -> Result<()> {
         if from >= self.node_sets {
-            return Err(CoreError::InvalidQueryNode { index: from, node_sets: self.node_sets });
+            return Err(CoreError::InvalidQueryNode {
+                index: from,
+                node_sets: self.node_sets,
+            });
         }
         if to >= self.node_sets {
-            return Err(CoreError::InvalidQueryNode { index: to, node_sets: self.node_sets });
+            return Err(CoreError::InvalidQueryNode {
+                index: to,
+                node_sets: self.node_sets,
+            });
         }
         if from == to {
             return Err(CoreError::SelfLoopQueryEdge(from));
@@ -173,8 +182,8 @@ impl QueryGraph {
         }
         // Any remaining edges belong to other components; append them so the
         // caller still sees every edge (their candidates simply never complete).
-        for idx in 0..m {
-            if !placed[idx] {
+        for (idx, &was_placed) in placed.iter().enumerate() {
+            if !was_placed {
                 order.push(idx);
             }
         }
@@ -224,9 +233,18 @@ mod tests {
     fn add_edge_validation() {
         let mut q = QueryGraph::new(3);
         assert!(q.add_edge(0, 1).is_ok());
-        assert_eq!(q.add_edge(0, 1).unwrap_err(), CoreError::DuplicateQueryEdge(0, 1));
-        assert_eq!(q.add_edge(1, 1).unwrap_err(), CoreError::SelfLoopQueryEdge(1));
-        assert!(matches!(q.add_edge(0, 5), Err(CoreError::InvalidQueryNode { index: 5, .. })));
+        assert_eq!(
+            q.add_edge(0, 1).unwrap_err(),
+            CoreError::DuplicateQueryEdge(0, 1)
+        );
+        assert_eq!(
+            q.add_edge(1, 1).unwrap_err(),
+            CoreError::SelfLoopQueryEdge(1)
+        );
+        assert!(matches!(
+            q.add_edge(0, 5),
+            Err(CoreError::InvalidQueryNode { index: 5, .. })
+        ));
         // opposite direction is a distinct edge
         assert!(q.add_edge(1, 0).is_ok());
     }
@@ -264,7 +282,7 @@ mod tests {
         let order = q.edges_in_expansion_order(2);
         assert_eq!(order[0], 2);
         // every subsequent edge touches a node set covered by earlier edges
-        let mut covered = vec![false; 4];
+        let mut covered = [false; 4];
         let (a, b) = q.edges()[2];
         covered[a] = true;
         covered[b] = true;
@@ -294,8 +312,14 @@ mod tests {
             NodeSet::empty("B"),
             NodeSet::new("C", [NodeId(2)]),
         ];
-        assert!(matches!(q.validate_node_sets(&with_empty), Err(CoreError::EmptyNodeSet(_))));
+        assert!(matches!(
+            q.validate_node_sets(&with_empty),
+            Err(CoreError::EmptyNodeSet(_))
+        ));
         let edgeless = QueryGraph::new(3);
-        assert_eq!(edgeless.validate_node_sets(&sets).unwrap_err(), CoreError::EmptyQueryGraph);
+        assert_eq!(
+            edgeless.validate_node_sets(&sets).unwrap_err(),
+            CoreError::EmptyQueryGraph
+        );
     }
 }

@@ -92,8 +92,13 @@ mod tests {
 
     #[test]
     fn pruned_fraction_handles_degenerate_traces() {
-        assert!(TwoWayStats::default().pruned_fraction_per_iteration().is_empty());
-        let stats = TwoWayStats { q_remaining_per_iteration: vec![0, 0], ..Default::default() };
+        assert!(TwoWayStats::default()
+            .pruned_fraction_per_iteration()
+            .is_empty());
+        let stats = TwoWayStats {
+            q_remaining_per_iteration: vec![0, 0],
+            ..Default::default()
+        };
         assert_eq!(stats.pruned_fraction_per_iteration(), vec![0.0]);
     }
 
@@ -117,7 +122,10 @@ mod tests {
         assert_eq!(a.pairs_scored, 5);
         assert_eq!(a.q_remaining_per_iteration, vec![7, 3]);
         // absorbing again does not overwrite the recorded trace
-        a.absorb(&TwoWayStats { q_remaining_per_iteration: vec![9], ..Default::default() });
+        a.absorb(&TwoWayStats {
+            q_remaining_per_iteration: vec![9],
+            ..Default::default()
+        });
         assert_eq!(a.q_remaining_per_iteration, vec![7, 3]);
     }
 

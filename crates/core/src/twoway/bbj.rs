@@ -4,21 +4,31 @@
 //! every source `p ∈ P` simultaneously, so the whole join costs
 //! `O(|Q|·d·|E_G|)` — a factor `|P|` better than F-BJ while producing exactly
 //! the same scores.
+//!
+//! The per-target walks are independent; with `config.threads > 1` the
+//! targets are processed in parallel chunks (bounding the number of
+//! materialised `|V_G|`-sized score vectors to one chunk) and merged in
+//! target order, so results are bit-identical to the serial run.
 
-use dht_graph::{Graph, NodeSet};
+use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::backward;
 
 use crate::stats::TwoWayStats;
 
-use super::{finalize_pairs, TwoWayConfig, TwoWayOutput};
+use super::{finalize_pairs, for_each_backward_column, TwoWayConfig, TwoWayOutput};
 
 /// Runs B-BJ and returns the top-`k` pairs.
-pub fn top_k(graph: &Graph, config: &TwoWayConfig, p: &NodeSet, q: &NodeSet, k: usize) -> TwoWayOutput {
+pub fn top_k(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+) -> TwoWayOutput {
     let mut stats = TwoWayStats::default();
     let mut buffer = TopKBuffer::new(k);
-    for qn in q.iter() {
-        let scores = backward::backward_dht_all_sources(graph, &config.params, qn, config.d);
+    let targets: Vec<NodeId> = q.iter().collect();
+    for_each_backward_column(graph, config, config.d, &targets, |qn, scores| {
         stats.walk_invocations += 1;
         stats.walk_steps += config.d as u64;
         for pn in p.iter() {
@@ -28,8 +38,11 @@ pub fn top_k(graph: &Graph, config: &TwoWayConfig, p: &NodeSet, q: &NodeSet, k: 
             stats.pairs_scored += 1;
             buffer.insert(scores[pn.index()], (pn.0, qn.0));
         }
+    });
+    TwoWayOutput {
+        pairs: finalize_pairs(buffer),
+        stats,
     }
-    TwoWayOutput { pairs: finalize_pairs(buffer), stats }
 }
 
 /// Complete sorted list of all pairs, computed backwards (a faster drop-in

@@ -20,13 +20,13 @@
 
 use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::backward::backward_dht_all_sources;
 use dht_walks::bounds::{x_upper_bound, YBoundTable};
+use dht_walks::WalkScratch;
 
 use crate::stats::TwoWayStats;
 
 use super::incremental::IncrementalState;
-use super::{finalize_pairs, TwoWayConfig, TwoWayOutput};
+use super::{finalize_pairs, for_each_backward_column, TwoWayConfig, TwoWayOutput};
 
 /// Which upper-bound function `U_l⁺` drives the pruning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,7 +60,15 @@ pub fn top_k(
         BoundKind::Y => {
             stats.walk_invocations += 1;
             stats.walk_steps += d as u64;
-            Some(YBoundTable::new(graph, params, p, d))
+            Some(YBoundTable::new_with(
+                graph,
+                params,
+                p,
+                d,
+                config.engine,
+                config.threads,
+                &mut WalkScratch::new(),
+            ))
         }
         BoundKind::X => None,
     };
@@ -83,8 +91,10 @@ pub fn top_k(
     while l < d && alive.len() > 1 {
         let mut buffer: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
         let mut uppers: Vec<(NodeId, f64)> = Vec::with_capacity(alive.len());
-        for &qn in &alive {
-            let scores = backward_dht_all_sources(graph, params, qn, l);
+        // The l-step backward walks of the surviving targets run (possibly
+        // in parallel) on the shared column streamer; bound bookkeeping
+        // consumes them in target order, identical to a serial run.
+        for_each_backward_column(graph, config, l, &alive, |qn, scores| {
             stats.walk_invocations += 1;
             stats.walk_steps += l as u64;
             let u_bound = bound_at(l, qn);
@@ -106,7 +116,7 @@ pub fn top_k(
                 }
             }
             uppers.push((qn, p_max + u_bound));
-        }
+        });
         if let Some(tk) = buffer.kth_score() {
             alive = uppers
                 .iter()
@@ -120,8 +130,7 @@ pub fn top_k(
 
     // Final pass: exact d-step scores for the surviving targets.
     let mut buffer = TopKBuffer::new(k);
-    for &qn in &alive {
-        let scores = backward_dht_all_sources(graph, params, qn, d);
+    for_each_backward_column(graph, config, d, &alive, |qn, scores| {
         stats.walk_invocations += 1;
         stats.walk_steps += d as u64;
         for &pn in &p_members {
@@ -134,10 +143,10 @@ pub fn top_k(
                 state.record_exact(pn, qn, scores[pn.index()]);
             }
         }
-    }
+    });
 
     let pairs = finalize_pairs(buffer);
-    if let Some(state) = incremental.as_deref_mut() {
+    if let Some(state) = incremental {
         for pair in &pairs {
             state.mark_emitted(pair.left, pair.right);
         }

@@ -4,32 +4,86 @@
 //! absorbing walk per pair, then returns the `k` best.  Complexity
 //! `O(|P|·|Q|·d·|E_G|)` — the slowest algorithm, but also the one with no
 //! moving parts, which makes it the reference oracle for the others.
+//!
+//! The per-pair walks are independent, so this is the most embarrassingly
+//! parallel join in the workspace: with `config.threads > 1` the pair
+//! domain is fanned out over worker threads (each reusing one
+//! [`WalkScratch`]), and scores are merged back into the top-k buffer in
+//! pair order — bit-identical to the serial run.
 
-use dht_graph::{Graph, NodeSet};
+use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::forward;
+use dht_walks::{forward, WalkScratch};
 
 use crate::stats::TwoWayStats;
 
 use super::{finalize_pairs, TwoWayConfig, TwoWayOutput};
 
 /// Runs F-BJ and returns the top-`k` pairs.
-pub fn top_k(graph: &Graph, config: &TwoWayConfig, p: &NodeSet, q: &NodeSet, k: usize) -> TwoWayOutput {
-    let mut stats = TwoWayStats::default();
+pub fn top_k(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+) -> TwoWayOutput {
+    let domain: Vec<(NodeId, NodeId)> = p
+        .iter()
+        .flat_map(|pn| q.iter().map(move |qn| (pn, qn)))
+        .filter(|(pn, qn)| pn != qn)
+        .collect();
+
     let mut buffer = TopKBuffer::new(k);
-    for pn in p.iter() {
-        for qn in q.iter() {
-            if pn == qn {
-                continue;
-            }
-            let score = forward::forward_dht(graph, &config.params, pn, qn, config.d);
-            stats.walk_invocations += 1;
-            stats.walk_steps += config.d as u64;
-            stats.pairs_scored += 1;
+    if config.effective_threads() <= 1 {
+        // Serial path: one scratch reused across every pair.
+        let mut scratch = WalkScratch::new();
+        for &(pn, qn) in &domain {
+            let score = forward::forward_dht_with(
+                graph,
+                &config.params,
+                pn,
+                qn,
+                config.d,
+                config.engine,
+                &mut scratch,
+            );
+            buffer.insert(score, (pn.0, qn.0));
+        }
+    } else {
+        // Parallel path: workers score pair slices with per-worker
+        // scratches; the merge below runs in pair order, so insertion
+        // sequence (and therefore tie-breaking) matches the serial path.
+        let scores = dht_par::parallel_map_init(
+            config.threads,
+            &domain,
+            WalkScratch::new,
+            |scratch, _, &(pn, qn)| {
+                forward::forward_dht_with(
+                    graph,
+                    &config.params,
+                    pn,
+                    qn,
+                    config.d,
+                    config.engine,
+                    scratch,
+                )
+            },
+        );
+        for (&(pn, qn), score) in domain.iter().zip(scores) {
             buffer.insert(score, (pn.0, qn.0));
         }
     }
-    TwoWayOutput { pairs: finalize_pairs(buffer), stats }
+
+    let stats = TwoWayStats {
+        walk_invocations: domain.len() as u64,
+        walk_steps: domain.len() as u64 * config.d as u64,
+        pairs_scored: domain.len() as u64,
+        ..Default::default()
+    };
+    TwoWayOutput {
+        pairs: finalize_pairs(buffer),
+        stats,
+    }
 }
 
 /// Computes the complete sorted list of all `|P|·|Q|` pairs (used by the AP

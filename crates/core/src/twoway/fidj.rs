@@ -17,17 +17,25 @@
 
 use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::{bounds, forward};
+use dht_walks::{bounds, forward, WalkScratch};
 
 use crate::stats::TwoWayStats;
 
 use super::{finalize_pairs, TwoWayConfig, TwoWayOutput};
 
 /// Runs F-IDJ and returns the top-`k` pairs.
-pub fn top_k(graph: &Graph, config: &TwoWayConfig, p: &NodeSet, q: &NodeSet, k: usize) -> TwoWayOutput {
+pub fn top_k(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+) -> TwoWayOutput {
     let mut stats = TwoWayStats::default();
     let d = config.d;
     let params = &config.params;
+    // One scratch serves every truncated walk of every round.
+    let mut scratch = WalkScratch::new();
 
     let mut alive: Vec<NodeId> = p.iter().collect();
     stats.q_remaining_per_iteration.push(alive.len());
@@ -42,11 +50,19 @@ pub fn top_k(graph: &Graph, config: &TwoWayConfig, p: &NodeSet, q: &NodeSet, k: 
                 if pn == qn {
                     continue;
                 }
-                let hits = forward::hitting_probabilities(graph, pn, qn, l);
                 stats.walk_invocations += 1;
                 stats.walk_steps += l as u64;
                 stats.pairs_scored += 1;
-                let lower = params.score_from_hits(&hits);
+                // h_l(p, q): the truncated score is itself the lower bound.
+                let lower = forward::forward_dht_with(
+                    graph,
+                    params,
+                    pn,
+                    qn,
+                    l,
+                    config.engine,
+                    &mut scratch,
+                );
                 if lower > params.min_score() {
                     buffer.insert(lower, (pn.0, qn.0));
                 }
@@ -74,14 +90,18 @@ pub fn top_k(graph: &Graph, config: &TwoWayConfig, p: &NodeSet, q: &NodeSet, k: 
             if pn == qn {
                 continue;
             }
-            let score = forward::forward_dht(graph, params, pn, qn, d);
+            let score =
+                forward::forward_dht_with(graph, params, pn, qn, d, config.engine, &mut scratch);
             stats.walk_invocations += 1;
             stats.walk_steps += d as u64;
             stats.pairs_scored += 1;
             buffer.insert(score, (pn.0, qn.0));
         }
     }
-    TwoWayOutput { pairs: finalize_pairs(buffer), stats }
+    TwoWayOutput {
+        pairs: finalize_pairs(buffer),
+        stats,
+    }
 }
 
 #[cfg(test)]

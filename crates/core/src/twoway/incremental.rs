@@ -116,9 +116,22 @@ impl IncrementalState {
         let key = (p.0, q.0);
         match self.entries.get_mut(&key) {
             Some(existing) if existing.level >= level => {}
-            Some(existing) => *existing = FEntry { lower, upper, level },
+            Some(existing) => {
+                *existing = FEntry {
+                    lower,
+                    upper,
+                    level,
+                }
+            }
             None => {
-                self.entries.insert(key, FEntry { lower, upper, level });
+                self.entries.insert(
+                    key,
+                    FEntry {
+                        lower,
+                        upper,
+                        level,
+                    },
+                );
             }
         }
     }
@@ -177,7 +190,11 @@ impl IncrementalState {
                 continue;
             }
             let lower = scores[key.0 as usize];
-            *entry = FEntry { lower, upper: lower + u_bound, level };
+            *entry = FEntry {
+                lower,
+                upper: lower + u_bound,
+                level,
+            };
         }
     }
 
@@ -194,7 +211,11 @@ impl IncrementalState {
             }
             let target = NodeId(key.1);
             let confident = entry.lower >= second_upper;
-            let new_level = if confident { self.d } else { (entry.level * 2).clamp(1, self.d) };
+            let new_level = if confident {
+                self.d
+            } else {
+                (entry.level * 2).clamp(1, self.d)
+            };
             self.refine_target(graph, target, new_level.max(entry.level + 1));
         }
     }

@@ -18,7 +18,7 @@ pub mod fidj;
 pub mod incremental;
 
 use dht_graph::{Graph, NodeSet};
-use dht_walks::DhtParams;
+use dht_walks::{DhtParams, WalkEngine};
 
 use crate::answer::PairScore;
 use crate::stats::TwoWayStats;
@@ -33,20 +33,59 @@ pub struct TwoWayConfig {
     pub params: DhtParams,
     /// Truncation depth `d` (usually chosen with Lemma 1).
     pub d: usize,
+    /// Walk propagation engine (dense reference sweep vs sparse frontier).
+    pub engine: WalkEngine,
+    /// Worker threads for the embarrassingly parallel stages: `1` (the
+    /// default) runs serially, `0` uses every available core.  Results are
+    /// identical at every thread count — work is merged in a fixed order.
+    pub threads: usize,
 }
 
 impl TwoWayConfig {
-    /// Creates a configuration.
+    /// Creates a configuration with the default engine, serial execution.
     pub fn new(params: DhtParams, d: usize) -> Self {
-        TwoWayConfig { params, d: d.max(1) }
+        TwoWayConfig {
+            params,
+            d: d.max(1),
+            engine: WalkEngine::default(),
+            threads: 1,
+        }
     }
 
     /// The paper's default configuration: `DHT_λ` with `λ = 0.2` and
     /// `ε = 10⁻⁶`, i.e. `d = 8`.
     pub fn paper_default() -> Self {
-        let params = DhtParams::paper_default();
-        let d = params.depth_for_epsilon(1e-6).expect("1e-6 is a valid epsilon");
-        TwoWayConfig { params, d }
+        Self::new(DhtParams::paper_default(), 8).with_depth_for_epsilon(1e-6)
+    }
+
+    /// Returns a copy with the walk depth chosen by Lemma 1 for `epsilon`.
+    ///
+    /// # Panics
+    /// Panics when `epsilon <= 0`; use [`DhtParams::depth_for_epsilon`]
+    /// directly for a fallible version.
+    pub fn with_depth_for_epsilon(mut self, epsilon: f64) -> Self {
+        self.d = self
+            .params
+            .depth_for_epsilon(epsilon)
+            .expect("epsilon must be positive");
+        self
+    }
+
+    /// Returns a copy with a different propagation engine.
+    pub fn with_engine(mut self, engine: WalkEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Returns a copy with a different worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker count (`0` → available parallelism).
+    pub fn effective_threads(&self) -> usize {
+        dht_par::effective_threads(self.threads)
     }
 }
 
@@ -117,6 +156,47 @@ impl TwoWayAlgorithm {
             }
         }
     }
+}
+
+/// Streams the backward DHT score column of every target in `targets` (at
+/// walk depth `depth`) to `consume`, **in target order** — the shared
+/// backbone of B-BJ and both B-IDJ variants.
+///
+/// Computation runs on [`dht_par::stream_map_ordered`]: chunked fan-out over
+/// `config.threads` workers (bounding peak memory to one chunk of
+/// `|V_G|`-sized columns), in-order consumption, so callers observe exactly
+/// the serial sequence at every thread count.  Workers draw their
+/// [`WalkScratch`] buffers from a shared [`ScratchPool`], so buffer
+/// allocations amortise across the chunk rounds of one streaming pass.
+pub(crate) fn for_each_backward_column(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    depth: usize,
+    targets: &[dht_graph::NodeId],
+    mut consume: impl FnMut(dht_graph::NodeId, &[f64]),
+) {
+    use dht_walks::{backward, ScratchPool};
+
+    let pool = ScratchPool::new();
+    dht_par::stream_map_ordered(
+        config.threads,
+        targets,
+        || pool.acquire(),
+        |scratch, &qn| {
+            let mut scores = Vec::new();
+            backward::backward_dht_into(
+                graph,
+                &config.params,
+                qn,
+                depth,
+                config.engine,
+                scratch,
+                &mut scores,
+            );
+            scores
+        },
+        |&qn, scores| consume(qn, &scores),
+    );
 }
 
 /// Builds the final sorted pair list from a top-k buffer, breaking score

@@ -88,11 +88,12 @@ pub fn generate(config: &DblpConfig) -> Dataset {
     let per_area = config.authors_per_area.max(2);
     let n = areas * per_area;
     let mut rng = gen::rng(config.seed);
-    let mut builder = GraphBuilder::with_capacity(n, (n as f64 * config.avg_internal_degree) as usize);
+    let mut builder =
+        GraphBuilder::with_capacity(n, (n as f64 * config.avg_internal_degree) as usize);
 
-    for area in 0..areas {
+    for label in AREAS.iter().take(areas) {
         for i in 0..per_area {
-            builder.add_labeled_node(format!("{}-{:04}", AREAS[area], i));
+            builder.add_labeled_node(format!("{label}-{i:04}"));
         }
     }
 
@@ -102,15 +103,18 @@ pub fn generate(config: &DblpConfig) -> Dataset {
     // their 2-hop support in the test graph).
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut weighted_edges: Vec<(u32, u32, f64)> = Vec::new();
-    let push_edge =
-        |adjacency: &mut Vec<Vec<u32>>, edges: &mut Vec<(u32, u32, f64)>, u: u32, v: u32, w: f64| {
-            if adjacency[u as usize].contains(&v) {
-                return;
-            }
-            adjacency[u as usize].push(v);
-            adjacency[v as usize].push(u);
-            edges.push((u, v, w));
-        };
+    let push_edge = |adjacency: &mut Vec<Vec<u32>>,
+                     edges: &mut Vec<(u32, u32, f64)>,
+                     u: u32,
+                     v: u32,
+                     w: f64| {
+        if adjacency[u as usize].contains(&v) {
+            return;
+        }
+        adjacency[u as usize].push(v);
+        adjacency[v as usize].push(u);
+        edges.push((u, v, w));
+    };
 
     // Within-area co-authorships.
     for area in 0..areas {
@@ -128,8 +132,9 @@ pub fn generate(config: &DblpConfig) -> Dataset {
     if areas > 1 {
         let external_total = (n as f64 * config.avg_external_degree / 2.0).round() as usize;
         let seed_total = external_total / 2;
-        let pairs: Vec<(usize, usize)> =
-            (0..areas).flat_map(|a| ((a + 1)..areas).map(move |b| (a, b))).collect();
+        let pairs: Vec<(usize, usize)> = (0..areas)
+            .flat_map(|a| ((a + 1)..areas).map(move |b| (a, b)))
+            .collect();
         let per_pair = (seed_total / pairs.len().max(1)).max(1);
         for &(a, b) in &pairs {
             let a_start = (a * per_area) as u32;
@@ -146,9 +151,10 @@ pub fn generate(config: &DblpConfig) -> Dataset {
         }
         let closure_target = external_total.saturating_sub(seed_total);
         let area_of = |node: u32| node as usize / per_area;
-        let closed = gen::triadic_closure_edges(&mut rng, &mut adjacency, closure_target, |u, v| {
-            area_of(u) != area_of(v)
-        });
+        let closed =
+            gen::triadic_closure_edges(&mut rng, &mut adjacency, closure_target, |u, v| {
+                area_of(u) != area_of(v)
+            });
         for (u, v) in closed {
             let w = gen::heavy_tailed_weight(&mut rng, 20);
             weighted_edges.push((u, v, w));
@@ -198,7 +204,7 @@ pub fn generate(config: &DblpConfig) -> Dataset {
     // Node sets: top authors per area by weighted out-degree ("number of
     // publications").
     let mut node_sets = Vec::with_capacity(areas);
-    for area in 0..areas {
+    for (area, &label) in AREAS.iter().enumerate().take(areas) {
         let start = area * per_area;
         let mut scored: Vec<(NodeId, f64)> = (start..start + per_area)
             .map(|i| {
@@ -209,10 +215,14 @@ pub fn generate(config: &DblpConfig) -> Dataset {
             .collect();
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.truncate(config.top_authors_per_set.max(1));
-        node_sets.push(NodeSet::new(AREAS[area], scored.into_iter().map(|(n, _)| n)));
+        node_sets.push(NodeSet::new(label, scored.into_iter().map(|(n, _)| n)));
     }
 
-    Dataset { name: "dblp".into(), graph, node_sets }
+    Dataset {
+        name: "dblp".into(),
+        graph,
+        node_sets,
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +237,10 @@ mod tests {
         assert_eq!(d.node_sets.len(), 4);
         assert!(d.node_sets.iter().all(|s| s.len() == 15));
         assert_eq!(d.node_set("DB").unwrap().name(), "DB");
-        assert!(d.graph.edge_count() > 4 * 60, "graph should not be trivially sparse");
+        assert!(
+            d.graph.edge_count() > 4 * 60,
+            "graph should not be trivially sparse"
+        );
     }
 
     #[test]
@@ -282,7 +295,9 @@ mod tests {
         let d = generate(&DblpConfig::for_scale(Scale::Tiny));
         assert_eq!(d.graph.label(NodeId(0)), Some("DB-0000"));
         let set = d.node_set("AI").unwrap();
-        assert!(set.iter().all(|n| d.graph.label(n).unwrap().starts_with("AI-")));
+        assert!(set
+            .iter()
+            .all(|n| d.graph.label(n).unwrap().starts_with("AI-")));
     }
 
     #[test]
@@ -304,6 +319,9 @@ mod tests {
     fn graph_is_mostly_connected() {
         let d = generate(&DblpConfig::for_scale(Scale::Tiny));
         let largest = analysis::largest_component_size(&d.graph);
-        assert!(largest * 10 >= d.graph.node_count() * 8, "largest component covers >= 80%");
+        assert!(
+            largest * 10 >= d.graph.node_count() * 8,
+            "largest component covers >= 80%"
+        );
     }
 }

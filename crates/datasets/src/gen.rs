@@ -136,10 +136,14 @@ pub fn skewed_partition_sizes(rng: &mut StdRng, total: usize, parts: usize) -> V
         return Vec::new();
     }
     // Draw positive weights with a squared-uniform skew, normalise, round.
-    let weights: Vec<f64> = (0..parts).map(|_| rng.gen::<f64>().powi(2) + 0.05).collect();
+    let weights: Vec<f64> = (0..parts)
+        .map(|_| rng.gen::<f64>().powi(2) + 0.05)
+        .collect();
     let sum: f64 = weights.iter().sum();
-    let mut sizes: Vec<usize> =
-        weights.iter().map(|w| ((w / sum) * total as f64).floor() as usize).collect();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / sum) * total as f64).floor() as usize)
+        .collect();
     // Guarantee every group has at least 2 members, then fix the total.
     for s in sizes.iter_mut() {
         if *s < 2 {
@@ -177,7 +181,9 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), edges.len());
-        assert!(edges.iter().all(|&(u, v)| (10..30).contains(&u) && (10..30).contains(&v) && u != v));
+        assert!(edges
+            .iter()
+            .all(|&(u, v)| (10..30).contains(&u) && (10..30).contains(&v) && u != v));
     }
 
     #[test]
@@ -213,7 +219,10 @@ mod tests {
         let mut adjacency = original.clone();
         let edges = triadic_closure_edges(&mut r, &mut adjacency, 2, |_, _| true);
         assert_eq!(edges.len(), 2);
-        assert!(edges[0] == (0, 2) || edges[0] == (1, 3), "unexpected first closure {edges:?}");
+        assert!(
+            edges[0] == (0, 2) || edges[0] == (1, 3),
+            "unexpected first closure {edges:?}"
+        );
         for &(u, v) in &edges {
             // the closed edge was not present before and is symmetric now
             assert!(!original[u as usize].contains(&v));

@@ -49,7 +49,11 @@ pub fn link_prediction_split(
     let removed: Vec<(NodeId, NodeId)> = edges[..remove_count].to_vec();
     let kept: Vec<(NodeId, NodeId)> = edges[remove_count..].to_vec();
     let test_graph = remove_undirected_edges(graph, &removed)?;
-    Ok(LinkSplit { test_graph, removed, kept })
+    Ok(LinkSplit {
+        test_graph,
+        removed,
+        kept,
+    })
 }
 
 /// Result of a 3-clique split.
@@ -86,7 +90,11 @@ pub fn clique_prediction_split(
     removed.sort_unstable();
     removed.dedup();
     let test_graph = remove_undirected_edges(graph, &removed)?;
-    Ok(CliqueSplit { test_graph, cliques, removed })
+    Ok(CliqueSplit {
+        test_graph,
+        cliques,
+        removed,
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +116,10 @@ mod tests {
         let all = cross_set_edges(&d.graph, &p, &q);
         let split = link_prediction_split(&d.graph, &p, &q, 0.5, 7).unwrap();
         assert_eq!(split.removed.len() + split.kept.len(), all.len());
-        assert_eq!(split.removed.len(), (all.len() as f64 * 0.5).round() as usize);
+        assert_eq!(
+            split.removed.len(),
+            (all.len() as f64 * 0.5).round() as usize
+        );
         // removed edges are gone from T, kept edges remain
         for &(u, v) in &split.removed {
             assert!(!split.test_graph.has_edge_either(u, v));

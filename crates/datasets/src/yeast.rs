@@ -108,7 +108,8 @@ pub fn generate(config: &YeastConfig) -> Dataset {
     // Within-partition interactions, proportional to partition size.
     let internal_total = (config.edges as f64 * config.internal_fraction) as usize;
     for p in 0..partitions {
-        let share = (internal_total as f64 * sizes[p] as f64 / config.nodes as f64).round() as usize;
+        let share =
+            (internal_total as f64 * sizes[p] as f64 / config.nodes as f64).round() as usize;
         for (u, v) in gen::sample_edges_within(&mut rng, starts[p]..ends[p], share) {
             push_edge(&mut adjacency, &mut all_edges, u, v);
         }
@@ -127,9 +128,12 @@ pub fn generate(config: &YeastConfig) -> Dataset {
             for b in (a + 1)..partitions {
                 let weight = (sizes[a] * sizes[b]) as f64 / total_pair_weight;
                 let count = ((seed_total as f64) * weight).ceil() as usize;
-                for (u, v) in
-                    gen::sample_edges_across(&mut rng, starts[a]..ends[a], starts[b]..ends[b], count)
-                {
+                for (u, v) in gen::sample_edges_across(
+                    &mut rng,
+                    starts[a]..ends[a],
+                    starts[b]..ends[b],
+                    count,
+                ) {
                     push_edge(&mut adjacency, &mut all_edges, u, v);
                 }
             }
@@ -144,9 +148,10 @@ pub fn generate(config: &YeastConfig) -> Dataset {
                 .expect("every node belongs to a partition")
         };
         let closure_target = external_total.saturating_sub(seed_total);
-        let closed = gen::triadic_closure_edges(&mut rng, &mut adjacency, closure_target, |u, v| {
-            partition_of(u) != partition_of(v)
-        });
+        let closed =
+            gen::triadic_closure_edges(&mut rng, &mut adjacency, closure_target, |u, v| {
+                partition_of(u) != partition_of(v)
+            });
         all_edges.extend(closed);
     }
 
@@ -174,14 +179,13 @@ pub fn generate(config: &YeastConfig) -> Dataset {
 
     let graph = builder.build().expect("generated Yeast graph is valid");
     let node_sets = (0..partitions)
-        .map(|p| {
-            NodeSet::new(
-                PARTITIONS[p],
-                (starts[p]..ends[p]).map(NodeId),
-            )
-        })
+        .map(|p| NodeSet::new(PARTITIONS[p], (starts[p]..ends[p]).map(NodeId)))
         .collect();
-    Dataset { name: "yeast".into(), graph, node_sets }
+    Dataset {
+        name: "yeast".into(),
+        graph,
+        node_sets,
+    }
 }
 
 #[cfg(test)]
@@ -244,7 +248,10 @@ mod tests {
                 external += 1;
             }
         }
-        assert!(internal > external, "internal={internal} external={external}");
+        assert!(
+            internal > external,
+            "internal={internal} external={external}"
+        );
     }
 
     #[test]
@@ -263,6 +270,9 @@ mod tests {
             d.node_set("8-D").unwrap(),
             d.node_set("5-F").unwrap(),
         );
-        assert!(!cliques.is_empty(), "3-U / 8-D / 5-F must contain spanning 3-cliques");
+        assert!(
+            !cliques.is_empty(),
+            "3-U / 8-D / 5-F must contain spanning 3-cliques"
+        );
     }
 }

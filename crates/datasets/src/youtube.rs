@@ -169,7 +169,11 @@ pub fn generate(config: &YoutubeConfig) -> Dataset {
         .enumerate()
         .map(|(g, members)| NodeSet::new(format!("G{}", g + 1), members.into_iter().map(NodeId)))
         .collect();
-    Dataset { name: "youtube".into(), graph, node_sets }
+    Dataset {
+        name: "youtube".into(),
+        graph,
+        node_sets,
+    }
 }
 
 #[cfg(test)]
@@ -225,7 +229,10 @@ mod tests {
             d.node_set("G5").unwrap(),
             d.node_set("G8").unwrap(),
         );
-        assert!(!cliques.is_empty(), "G1 / G5 / G8 must contain spanning 3-cliques");
+        assert!(
+            !cliques.is_empty(),
+            "G1 / G5 / G8 must contain spanning 3-cliques"
+        );
     }
 
     #[test]
@@ -245,8 +252,11 @@ mod tests {
             }
         }
         let inside_density = inside as f64 / pairs.max(1) as f64;
-        let global_density =
-            d.graph.edge_count() as f64 / (d.graph.node_count() * (d.graph.node_count() - 1)) as f64;
-        assert!(inside_density > global_density, "{inside_density} vs {global_density}");
+        let global_density = d.graph.edge_count() as f64
+            / (d.graph.node_count() * (d.graph.node_count() - 1)) as f64;
+        assert!(
+            inside_density > global_density,
+            "{inside_density} vs {global_density}"
+        );
     }
 }

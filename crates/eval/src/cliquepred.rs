@@ -61,6 +61,7 @@ fn is_clique(graph: &Graph, a: NodeId, b: NodeId, c: NodeId) -> bool {
 }
 
 /// Evaluates 3-clique prediction for the triangle query over `(p, q, r)`.
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate(
     true_graph: &Graph,
     test_graph: &Graph,
@@ -93,9 +94,8 @@ pub fn evaluate(
                 if is_clique(test_graph, pn, qn, rn) {
                     continue;
                 }
-                let score = aggregate.combine(&[
-                    pq[i][j], qp[j][i], qr[j][l], rq[l][j], pr[i][l], rp[l][i],
-                ]);
+                let score = aggregate
+                    .combine(&[pq[i][j], qp[j][i], qr[j][l], rq[l][j], pr[i][l], rp[l][i]]);
                 let label = is_clique(true_graph, pn, qn, rn);
                 scored.push((score, label));
             }
@@ -103,7 +103,11 @@ pub fn evaluate(
     }
     let positives = scored.iter().filter(|&&(_, l)| l).count();
     let negatives = scored.len() - positives;
-    CliquePrediction { roc: roc_curve(&scored), positives, negatives }
+    CliquePrediction {
+        roc: roc_curve(&scored),
+        positives,
+        negatives,
+    }
 }
 
 #[cfg(test)]
@@ -125,8 +129,16 @@ mod tests {
             return;
         }
         let params = DhtParams::paper_default();
-        let result =
-            evaluate(&d.graph, &split.test_graph, &p, &q, &r, &params, 8, Aggregate::Min);
+        let result = evaluate(
+            &d.graph,
+            &split.test_graph,
+            &p,
+            &q,
+            &r,
+            &params,
+            8,
+            Aggregate::Min,
+        );
         assert!(result.positives > 0);
         assert!(result.negatives > 0);
         assert!(
@@ -154,8 +166,16 @@ mod tests {
         let q = NodeSet::new("Q", [NodeId(1), NodeId(3)]);
         let r = NodeSet::new("R", [NodeId(2), NodeId(4)]);
         let params = DhtParams::paper_default();
-        let result =
-            evaluate(&true_graph, &test_graph, &p, &q, &r, &params, 8, Aggregate::Min);
+        let result = evaluate(
+            &true_graph,
+            &test_graph,
+            &p,
+            &q,
+            &r,
+            &params,
+            8,
+            Aggregate::Min,
+        );
         // candidates: (0,1,2)+ (0,1,4)- (0,3,2)- (0,3,4)-  => positive must rank first
         assert_eq!(result.positives, 1);
         assert!(result.negatives >= 2);
@@ -189,10 +209,26 @@ mod tests {
             return;
         }
         let params = DhtParams::paper_default();
-        let min =
-            evaluate(&d.graph, &split.test_graph, &p, &q, &r, &params, 8, Aggregate::Min);
-        let sum =
-            evaluate(&d.graph, &split.test_graph, &p, &q, &r, &params, 8, Aggregate::Sum);
+        let min = evaluate(
+            &d.graph,
+            &split.test_graph,
+            &p,
+            &q,
+            &r,
+            &params,
+            8,
+            Aggregate::Min,
+        );
+        let sum = evaluate(
+            &d.graph,
+            &split.test_graph,
+            &p,
+            &q,
+            &r,
+            &params,
+            8,
+            Aggregate::Sum,
+        );
         assert!(min.auc() > 0.5);
         assert!(sum.auc() > 0.5);
     }

@@ -84,7 +84,11 @@ pub fn evaluate_with(
     }
     let positives = scored.iter().filter(|&&(_, l)| l).count();
     let negatives = scored.len() - positives;
-    LinkPrediction { roc: roc_curve(&scored), positives, negatives }
+    LinkPrediction {
+        roc: roc_curve(&scored),
+        positives,
+        negatives,
+    }
 }
 
 #[cfg(test)]
@@ -92,7 +96,7 @@ mod tests {
     use super::*;
     use dht_datasets::split::link_prediction_split;
     use dht_datasets::yeast::{self, YeastConfig};
-    use dht_datasets::{Scale};
+    use dht_datasets::Scale;
     use dht_graph::{GraphBuilder, NodeId};
 
     #[test]
@@ -101,7 +105,10 @@ mod tests {
         let sets = d.largest_sets(2);
         let (p, q) = (sets[0].clone(), sets[1].clone());
         let split = link_prediction_split(&d.graph, &p, &q, 0.5, 11).unwrap();
-        assert!(!split.removed.is_empty(), "the split must hold out some edges");
+        assert!(
+            !split.removed.is_empty(),
+            "the split must hold out some edges"
+        );
         let params = DhtParams::paper_default();
         let result = evaluate(&d.graph, &split.test_graph, &p, &q, &params, 8);
         assert_eq!(result.positives, split.removed.len());

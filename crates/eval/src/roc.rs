@@ -102,7 +102,10 @@ pub fn roc_curve(scored: &[(f64, bool)]) -> RocCurve {
         });
         i = j + 1;
     }
-    RocCurve { points, auc: auc(scored) }
+    RocCurve {
+        points,
+        auc: auc(scored),
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +152,10 @@ mod tests {
     fn curve_starts_at_origin_and_ends_at_one_one() {
         let scored = vec![(0.9, true), (0.5, false), (0.4, true), (0.2, false)];
         let curve = roc_curve(&scored);
-        assert_eq!(curve.points.first().unwrap(), &RocPoint { fpr: 0.0, tpr: 0.0 });
+        assert_eq!(
+            curve.points.first().unwrap(),
+            &RocPoint { fpr: 0.0, tpr: 0.0 }
+        );
         let last = curve.points.last().unwrap();
         assert!((last.fpr - 1.0).abs() < 1e-12 && (last.tpr - 1.0).abs() < 1e-12);
         // monotone non-decreasing in both coordinates
@@ -178,12 +184,22 @@ mod tests {
         for w in curve.points.windows(2) {
             area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
         }
-        assert!((area - curve.auc).abs() < 1e-9, "trapezoid {area} vs rank {}", curve.auc);
+        assert!(
+            (area - curve.auc).abs() < 1e-9,
+            "trapezoid {area} vs rank {}",
+            curve.auc
+        );
     }
 
     #[test]
     fn tpr_at_fpr_reads_the_expected_operating_point() {
-        let scored = vec![(0.9, true), (0.8, true), (0.7, false), (0.6, true), (0.1, false)];
+        let scored = vec![
+            (0.9, true),
+            (0.8, true),
+            (0.7, false),
+            (0.6, true),
+            (0.1, false),
+        ];
         let curve = roc_curve(&scored);
         // at fpr = 0 the curve already reaches tpr = 2/3
         assert!((curve.tpr_at_fpr(0.0) - 2.0 / 3.0).abs() < 1e-12);

@@ -27,7 +27,12 @@ pub struct DegreeStats {
 pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let n = graph.node_count();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            isolated: 0,
+        };
     }
     let mut min = usize::MAX;
     let mut max = 0usize;
@@ -42,7 +47,12 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
             isolated += 1;
         }
     }
-    DegreeStats { min, max, mean: total as f64 / n as f64, isolated }
+    DegreeStats {
+        min,
+        max,
+        mean: total as f64 / n as f64,
+        isolated,
+    }
 }
 
 /// Assigns every node a connected-component id, treating all edges as
@@ -60,7 +70,11 @@ pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
         stack.push(start as u32);
         while let Some(u) = stack.pop() {
             let u = NodeId(u);
-            for &v in graph.out_targets(u).iter().chain(graph.in_sources(u).iter()) {
+            for &v in graph
+                .out_targets(u)
+                .iter()
+                .chain(graph.in_sources(u).iter())
+            {
                 if component[v as usize] == usize::MAX {
                     component[v as usize] = count;
                     stack.push(v);
@@ -120,7 +134,11 @@ pub fn cliques_across_sets(graph: &Graph, p: &NodeSet, q: &NodeSet, r: &NodeSet)
     for pn in p.iter() {
         // neighbours of p that belong to Q (either direction)
         let mut q_neighbors: Vec<NodeId> = Vec::new();
-        for &v in graph.out_targets(pn).iter().chain(graph.in_sources(pn).iter()) {
+        for &v in graph
+            .out_targets(pn)
+            .iter()
+            .chain(graph.in_sources(pn).iter())
+        {
             if q_bitmap[v as usize] {
                 let v = NodeId(v);
                 if !q_neighbors.contains(&v) {
@@ -215,7 +233,15 @@ mod tests {
     fn degree_stats_empty_graph() {
         let g = GraphBuilder::new().build().unwrap();
         let stats = degree_stats(&g);
-        assert_eq!(stats, DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 });
+        assert_eq!(
+            stats,
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                isolated: 0
+            }
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl GraphBuilder {
 
     fn validate_endpoint(&self, node: NodeId) -> Result<()> {
         if node.index() >= self.node_count {
-            return Err(GraphError::InvalidNode { node: node.0, node_count: self.node_count });
+            return Err(GraphError::InvalidNode {
+                node: node.0,
+                node_count: self.node_count,
+            });
         }
         Ok(())
     }
@@ -92,7 +95,11 @@ impl GraphBuilder {
         self.validate_endpoint(from)?;
         self.validate_endpoint(to)?;
         if !weight.is_finite() || weight <= 0.0 {
-            return Err(GraphError::InvalidWeight { from: from.0, to: to.0, weight });
+            return Err(GraphError::InvalidWeight {
+                from: from.0,
+                to: to.0,
+                weight,
+            });
         }
         self.edges.push((from.0, to.0, weight));
         Ok(())

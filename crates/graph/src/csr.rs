@@ -43,7 +43,12 @@ impl Csr {
             }
             offsets.push(targets.len() as u32);
         }
-        Csr { offsets, targets, weights, probs }
+        Csr {
+            offsets,
+            targets,
+            weights,
+            probs,
+        }
     }
 
     /// Number of nodes covered by this index.
@@ -88,6 +93,15 @@ impl Csr {
     #[inline]
     pub fn probs(&self, node: usize) -> &[f64] {
         &self.probs[self.range(node)]
+    }
+
+    /// Neighbour ids and transition probabilities of `node` in one call —
+    /// the hot-path accessor of the frontier walk kernels, which touch both
+    /// slices for every frontier node and want a single range computation.
+    #[inline]
+    pub fn neighbors_and_probs(&self, node: usize) -> (&[u32], &[f64]) {
+        let range = self.range(node);
+        (&self.targets[range.clone()], &self.probs[range])
     }
 
     /// Looks up the stored probability of the edge `node -> target`, if the

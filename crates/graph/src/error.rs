@@ -38,7 +38,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InvalidNode { node, node_count } => {
-                write!(f, "node id {node} is out of range for a graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node id {node} is out of range for a graph with {node_count} nodes"
+                )
             }
             GraphError::InvalidWeight { from, to, weight } => {
                 write!(f, "edge ({from}, {to}) has invalid weight {weight}; weights must be finite and > 0")
@@ -72,14 +75,24 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::InvalidNode { node: 9, node_count: 3 };
+        let e = GraphError::InvalidNode {
+            node: 9,
+            node_count: 3,
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("3"));
 
-        let e = GraphError::InvalidWeight { from: 1, to: 2, weight: -1.0 };
+        let e = GraphError::InvalidWeight {
+            from: 1,
+            to: 2,
+            weight: -1.0,
+        };
         assert!(e.to_string().contains("-1"));
 
-        let e = GraphError::Parse { line: 4, message: "bad token".into() };
+        let e = GraphError::Parse {
+            line: 4,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 4"));
     }
 

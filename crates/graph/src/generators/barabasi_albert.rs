@@ -95,7 +95,7 @@ mod tests {
     }
 
     #[test]
-    fn tiny_graphs_do_not_panic()  {
+    fn tiny_graphs_do_not_panic() {
         assert_eq!(barabasi_albert(0, 3, 1).node_count(), 0);
         assert_eq!(barabasi_albert(1, 3, 1).edge_count(), 0);
         let g = barabasi_albert(3, 5, 1);

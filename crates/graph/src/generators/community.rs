@@ -97,9 +97,17 @@ pub fn planted_partition(config: &PlantedPartitionConfig) -> CommunityGraph {
 
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if community_of(u) == community_of(v) { p_in } else { p_out };
+            let p = if community_of(u) == community_of(v) {
+                p_in
+            } else {
+                p_out
+            };
             if p > 0.0 && rng.gen_bool(p) {
-                let w = if config.weighted { heavy_tailed_weight(&mut rng, 50) } else { 1.0 };
+                let w = if config.weighted {
+                    heavy_tailed_weight(&mut rng, 50)
+                } else {
+                    1.0
+                };
                 builder
                     .add_undirected_edge(NodeId(u as u32), NodeId(v as u32), w)
                     .expect("generated endpoints are valid");
@@ -112,10 +120,7 @@ pub fn planted_partition(config: &PlantedPartitionConfig) -> CommunityGraph {
         .map(|c| {
             let start = c * config.community_size;
             let end = start + config.community_size;
-            NodeSet::new(
-                format!("C{c}"),
-                (start..end).map(|i| NodeId(i as u32)),
-            )
+            NodeSet::new(format!("C{c}"), (start..end).map(|i| NodeId(i as u32)))
         })
         .collect();
     CommunityGraph { graph, communities }
@@ -170,7 +175,10 @@ mod tests {
                 external += 1;
             }
         }
-        assert!(internal > external, "internal={internal} external={external}");
+        assert!(
+            internal > external,
+            "internal={internal} external={external}"
+        );
     }
 
     #[test]
@@ -178,11 +186,7 @@ mod tests {
         let mut cfg = small_config();
         cfg.weighted = true;
         let cg = planted_partition(&cfg);
-        let max_weight = cg
-            .graph
-            .edges()
-            .map(|(_, _, w)| w)
-            .fold(0.0f64, f64::max);
+        let max_weight = cg.graph.edges().map(|(_, _, w)| w).fold(0.0f64, f64::max);
         assert!(max_weight > 1.0);
         assert!(cg.graph.edges().all(|(_, _, w)| w >= 1.0));
     }
@@ -192,7 +196,10 @@ mod tests {
         let a = planted_partition(&small_config());
         let b = planted_partition(&small_config());
         assert_eq!(a.graph.edge_count(), b.graph.edge_count());
-        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -78,7 +78,13 @@ impl Graph {
         let reverse = Csr::from_adjacency(&reverse_adj);
         let edge_count = forward.edge_count();
 
-        Ok(Graph { node_count, edge_count, forward, reverse, labels })
+        Ok(Graph {
+            node_count,
+            edge_count,
+            forward,
+            reverse,
+            labels,
+        })
     }
 
     /// Number of nodes `|V_G|`.
@@ -146,6 +152,34 @@ impl Graph {
     #[inline]
     pub fn in_weights(&self, v: NodeId) -> &[f64] {
         self.reverse.weights(v.index())
+    }
+
+    /// Out-neighbour ids and transition probabilities of `u` in one call
+    /// (hot-path accessor for the frontier walk kernels).
+    #[inline]
+    pub fn out_targets_probs(&self, u: NodeId) -> (&[u32], &[f64]) {
+        self.forward.neighbors_and_probs(u.index())
+    }
+
+    /// In-neighbour ids of `v` with the probabilities `p_uv` of the original
+    /// edges `u -> v`, in one call (hot-path accessor for the backward
+    /// frontier kernel).
+    #[inline]
+    pub fn in_sources_probs(&self, v: NodeId) -> (&[u32], &[f64]) {
+        self.reverse.neighbors_and_probs(v.index())
+    }
+
+    /// Sum of the out-degrees of the given nodes — the work estimate of one
+    /// sparse *push* step over that frontier, used by the walk kernels'
+    /// push/pull (sparse/dense) switch heuristic.
+    pub fn frontier_out_degree_sum(&self, frontier: &[u32]) -> usize {
+        frontier.iter().map(|&u| self.out_degree(NodeId(u))).sum()
+    }
+
+    /// Sum of the in-degrees of the given nodes — the work estimate of one
+    /// sparse backward step over that frontier.
+    pub fn frontier_in_degree_sum(&self, frontier: &[u32]) -> usize {
+        frontier.iter().map(|&u| self.in_degree(NodeId(u))).sum()
     }
 
     /// Iterator over `(target, weight, probability)` of the out-edges of `u`.
@@ -226,7 +260,9 @@ impl Graph {
             + self
                 .labels
                 .iter()
-                .map(|l| l.as_ref().map_or(0, |s| s.capacity()) + std::mem::size_of::<Option<String>>())
+                .map(|l| {
+                    l.as_ref().map_or(0, |s| s.capacity()) + std::mem::size_of::<Option<String>>()
+                })
                 .sum::<usize>()
     }
 

@@ -52,9 +52,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
         let mut parts = content.split_whitespace();
         let first = parts.next().expect("non-empty line has a first token");
         if first == "nodes" {
-            let count = parts
-                .next()
-                .ok_or_else(|| GraphError::Parse { line: lineno, message: "missing node count".into() })?;
+            let count = parts.next().ok_or_else(|| GraphError::Parse {
+                line: lineno,
+                message: "missing node count".into(),
+            })?;
             let count: usize = count.parse().map_err(|_| GraphError::Parse {
                 line: lineno,
                 message: format!("invalid node count '{count}'"),
@@ -66,9 +67,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
             line: lineno,
             message: format!("invalid source node '{first}'"),
         })?;
-        let to_tok = parts
-            .next()
-            .ok_or_else(|| GraphError::Parse { line: lineno, message: "missing target node".into() })?;
+        let to_tok = parts.next().ok_or_else(|| GraphError::Parse {
+            line: lineno,
+            message: "missing target node".into(),
+        })?;
         let to: u32 = to_tok.parse().map_err(|_| GraphError::Parse {
             line: lineno,
             message: format!("invalid target node '{to_tok}'"),
@@ -81,7 +83,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
             None => 1.0,
         };
         if parts.next().is_some() {
-            return Err(GraphError::Parse { line: lineno, message: "trailing tokens after weight".into() });
+            return Err(GraphError::Parse {
+                line: lineno,
+                message: "trailing tokens after weight".into(),
+            });
         }
         max_node = Some(max_node.map_or(from.max(to), |m| m.max(from).max(to)));
         pending_edges.push((from, to, weight));

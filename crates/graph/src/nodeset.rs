@@ -28,12 +28,20 @@ impl NodeSet {
                 members.push(n);
             }
         }
-        NodeSet { name: name.into(), members, sorted: seen }
+        NodeSet {
+            name: name.into(),
+            members,
+            sorted: seen,
+        }
     }
 
     /// Creates an empty node set.
     pub fn empty(name: impl Into<String>) -> Self {
-        NodeSet { name: name.into(), members: Vec::new(), sorted: Vec::new() }
+        NodeSet {
+            name: name.into(),
+            members: Vec::new(),
+            sorted: Vec::new(),
+        }
     }
 
     /// The set's name (e.g. "DB", "AI", "SYS").

@@ -25,7 +25,10 @@ pub fn undirected_key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
 
 /// Rebuilds `graph` without the directed edges for which `remove` returns
 /// `true`.  Node ids and labels are preserved.
-pub fn remove_edges_if(graph: &Graph, mut remove: impl FnMut(NodeId, NodeId) -> bool) -> Result<Graph> {
+pub fn remove_edges_if(
+    graph: &Graph,
+    mut remove: impl FnMut(NodeId, NodeId) -> bool,
+) -> Result<Graph> {
     let mut builder = GraphBuilder::with_capacity(graph.node_count(), graph.edge_count());
     for u in graph.nodes() {
         match graph.label(u) {
@@ -48,10 +51,13 @@ pub fn remove_edges_if(graph: &Graph, mut remove: impl FnMut(NodeId, NodeId) -> 
 /// Rebuilds `graph` without the given *undirected* edges: for each pair in
 /// `edges`, both directions are removed if present.
 pub fn remove_undirected_edges(graph: &Graph, edges: &[(NodeId, NodeId)]) -> Result<Graph> {
-    let mut removed: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v)| undirected_key(u, v)).collect();
+    let mut removed: Vec<(NodeId, NodeId)> =
+        edges.iter().map(|&(u, v)| undirected_key(u, v)).collect();
     removed.sort_unstable();
     removed.dedup();
-    remove_edges_if(graph, |u, v| removed.binary_search(&undirected_key(u, v)).is_ok())
+    remove_edges_if(graph, |u, v| {
+        removed.binary_search(&undirected_key(u, v)).is_ok()
+    })
 }
 
 /// Collects the undirected edges (smaller id first) that connect a node in

@@ -33,7 +33,9 @@ impl DhtMeasure {
     /// (depth 8).
     pub fn paper_default() -> Self {
         let params = DhtParams::paper_default();
-        let depth = params.depth_for_epsilon(1e-6).expect("1e-6 is a valid epsilon");
+        let depth = params
+            .depth_for_epsilon(1e-6)
+            .expect("1e-6 is a valid epsilon");
         DhtMeasure { params, depth }
     }
 
@@ -139,8 +141,14 @@ mod tests {
             assert!(tail >= 0.0);
             for u in g.nodes().filter(|&u| u != NodeId(2)) {
                 let i = u.index();
-                assert!(partial[i] <= full[i] + 1e-12, "partial exceeds full at l={l}");
-                assert!(full[i] <= partial[i] + tail + 1e-12, "tail bound violated at l={l}");
+                assert!(
+                    partial[i] <= full[i] + 1e-12,
+                    "partial exceeds full at l={l}"
+                );
+                assert!(
+                    full[i] <= partial[i] + tail + 1e-12,
+                    "tail bound violated at l={l}"
+                );
             }
         }
         assert_eq!(m.tail_bound(m.depth()), 0.0);

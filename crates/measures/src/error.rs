@@ -71,12 +71,27 @@ mod tests {
 
     #[test]
     fn display_mentions_parameter_names() {
-        let e = MeasureError::ParameterOutOfRange { name: "damping", value: 1.5, range: "(0, 1)" };
+        let e = MeasureError::ParameterOutOfRange {
+            name: "damping",
+            value: 1.5,
+            range: "(0, 1)",
+        };
         assert!(e.to_string().contains("damping"));
         assert!(e.to_string().contains("1.5"));
-        assert!(MeasureError::ZeroCount { name: "depth" }.to_string().contains("depth"));
-        assert!(MeasureError::GraphTooLarge { nodes: 10, limit: 5 }.to_string().contains("10"));
-        assert!(MeasureError::NodeOutOfBounds { node: 9, nodes: 3 }.to_string().contains("9"));
-        assert!(MeasureError::InvalidJoin("empty".into()).to_string().contains("empty"));
+        assert!(MeasureError::ZeroCount { name: "depth" }
+            .to_string()
+            .contains("depth"));
+        assert!(MeasureError::GraphTooLarge {
+            nodes: 10,
+            limit: 5
+        }
+        .to_string()
+        .contains("10"));
+        assert!(MeasureError::NodeOutOfBounds { node: 9, nodes: 3 }
+            .to_string()
+            .contains("9"));
+        assert!(MeasureError::InvalidJoin("empty".into())
+            .to_string()
+            .contains("empty"));
     }
 }

@@ -140,7 +140,7 @@ impl IterativeMeasure for TruncatedHittingTime {
         // A walker that has not arrived within l steps is charged d by the
         // partial score; arriving at step i ∈ (l, d] instead charges i, so the
         // similarity can still rise by at most (d − (l+1)) / d.
-        (self.depth - l - 1).max(0) as f64 / self.depth as f64
+        (self.depth - (l + 1)) as f64 / self.depth as f64
     }
 }
 
@@ -152,7 +152,8 @@ mod tests {
     fn path(n: usize) -> Graph {
         let mut b = GraphBuilder::with_nodes(n);
         for i in 0..n - 1 {
-            b.add_unit_edge(NodeId(i as u32), NodeId((i + 1) as u32)).unwrap();
+            b.add_unit_edge(NodeId(i as u32), NodeId((i + 1) as u32))
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -233,7 +234,10 @@ mod tests {
             for u in g.nodes().filter(|&u| u != NodeId(3)) {
                 let i = u.index();
                 assert!(partial[i] <= full[i] + 1e-12, "partial above full at l={l}");
-                assert!(full[i] <= partial[i] + tail + 1e-12, "tail bound violated at l={l}");
+                assert!(
+                    full[i] <= partial[i] + tail + 1e-12,
+                    "tail bound violated at l={l}"
+                );
             }
         }
         assert_eq!(m.tail_bound(m.depth()), 0.0);

@@ -38,29 +38,71 @@ pub struct MeasureNWayOutput {
     pub stats: NWayStats,
 }
 
+/// Streams per-target score columns to `consume` in target order, computing
+/// them with up to `threads` workers on [`dht_par::stream_map_ordered`]
+/// (the same chunked, order-preserving backbone the core joins use), so
+/// peak memory stays at one chunk of `|V_G|`-sized columns and results are
+/// identical at every thread count.
+fn for_each_column<F>(
+    targets: &[dht_graph::NodeId],
+    threads: usize,
+    produce: F,
+    mut consume: impl FnMut(dht_graph::NodeId, &[f64]),
+) where
+    F: Fn(dht_graph::NodeId) -> Vec<f64> + Sync,
+{
+    dht_par::stream_map_ordered(
+        threads,
+        targets,
+        || (),
+        |(), &target| produce(target),
+        |&target, column| consume(target, &column),
+    );
+}
+
 /// Top-k 2-way join of `p ⋈ q` under an arbitrary measure, B-BJ style:
 /// one bulk column per target node.
 ///
 /// Pairs with identical left and right node are skipped (the paper's joins
 /// never score a node against itself).  Ties are broken by node ids so the
 /// result is deterministic.
-pub fn measure_two_way_top_k<M: ProximityMeasure + ?Sized>(
+pub fn measure_two_way_top_k<M: ProximityMeasure + Sync + ?Sized>(
     graph: &Graph,
     measure: &M,
     p: &NodeSet,
     q: &NodeSet,
     k: usize,
 ) -> Vec<MeasurePair> {
+    measure_two_way_top_k_threaded(graph, measure, p, q, k, 1)
+}
+
+/// [`measure_two_way_top_k`] with the per-target bulk evaluations (the
+/// dominant cost: one full PPR / hitting-time / DHT sweep per target) fanned
+/// out over `threads` workers.  Results are identical to the serial join at
+/// every thread count.
+pub fn measure_two_way_top_k_threaded<M: ProximityMeasure + Sync + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    threads: usize,
+) -> Vec<MeasurePair> {
+    let targets: Vec<dht_graph::NodeId> = q.iter().collect();
     let mut buffer: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
-    for target in q.iter() {
-        let column = measure.scores_to_target(graph, target);
-        for source in p.iter() {
-            if source == target || source.index() >= column.len() {
-                continue;
+    for_each_column(
+        &targets,
+        threads,
+        |target| measure.scores_to_target(graph, target),
+        |target, column| {
+            for source in p.iter() {
+                if source == target || source.index() >= column.len() {
+                    continue;
+                }
+                buffer.insert(column[source.index()], (source.0, target.0));
             }
-            buffer.insert(column[source.index()], (source.0, target.0));
-        }
-    }
+        },
+    );
     finalize(buffer)
 }
 
@@ -71,12 +113,26 @@ pub fn measure_two_way_top_k<M: ProximityMeasure + ?Sized>(
 /// upper bound cannot reach the current k-th best lower bound are discarded
 /// before the final full-depth pass.  Produces exactly the same pairs as
 /// [`measure_two_way_top_k`].
-pub fn measure_two_way_top_k_pruned<M: IterativeMeasure + ?Sized>(
+pub fn measure_two_way_top_k_pruned<M: IterativeMeasure + Sync + ?Sized>(
     graph: &Graph,
     measure: &M,
     p: &NodeSet,
     q: &NodeSet,
     k: usize,
+) -> Vec<MeasurePair> {
+    measure_two_way_top_k_pruned_threaded(graph, measure, p, q, k, 1)
+}
+
+/// [`measure_two_way_top_k_pruned`] with the per-target partial and exact
+/// sweeps of every deepening round fanned out over `threads` workers.
+/// Results are identical to the serial join at every thread count.
+pub fn measure_two_way_top_k_pruned_threaded<M: IterativeMeasure + Sync + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    threads: usize,
 ) -> Vec<MeasurePair> {
     if k == 0 || p.is_empty() || q.is_empty() {
         return Vec::new();
@@ -88,21 +144,25 @@ pub fn measure_two_way_top_k_pruned<M: IterativeMeasure + ?Sized>(
         // Lower bounds at depth l for every surviving target.
         let mut lower: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
         let mut upper_per_target = Vec::with_capacity(remaining.len());
-        for &target in &remaining {
-            let partial = measure.partial_scores_to_target(graph, target, l);
-            let mut best_partial = f64::NEG_INFINITY;
-            for source in p.iter() {
-                if source == target || source.index() >= partial.len() {
-                    continue;
+        for_each_column(
+            &remaining,
+            threads,
+            |target| measure.partial_scores_to_target(graph, target, l),
+            |target, partial| {
+                let mut best_partial = f64::NEG_INFINITY;
+                for source in p.iter() {
+                    if source == target || source.index() >= partial.len() {
+                        continue;
+                    }
+                    let s = partial[source.index()];
+                    lower.insert(s, (source.0, target.0));
+                    if s > best_partial {
+                        best_partial = s;
+                    }
                 }
-                let s = partial[source.index()];
-                lower.insert(s, (source.0, target.0));
-                if s > best_partial {
-                    best_partial = s;
-                }
-            }
-            upper_per_target.push(best_partial + measure.tail_bound(l));
-        }
+                upper_per_target.push(best_partial + measure.tail_bound(l));
+            },
+        );
         if lower.is_full() {
             let tk = lower.kth_score().expect("full buffer has a k-th score");
             let kept: Vec<_> = remaining
@@ -120,15 +180,19 @@ pub fn measure_two_way_top_k_pruned<M: IterativeMeasure + ?Sized>(
     }
     // Final full-depth pass over the surviving targets.
     let mut buffer: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
-    for target in remaining {
-        let column = measure.scores_to_target(graph, target);
-        for source in p.iter() {
-            if source == target || source.index() >= column.len() {
-                continue;
+    for_each_column(
+        &remaining,
+        threads,
+        |target| measure.scores_to_target(graph, target),
+        |target, column| {
+            for source in p.iter() {
+                if source == target || source.index() >= column.len() {
+                    continue;
+                }
+                buffer.insert(column[source.index()], (source.0, target.0));
             }
-            buffer.insert(column[source.index()], (source.0, target.0));
-        }
-    }
+        },
+    );
     finalize(buffer)
 }
 
@@ -151,7 +215,10 @@ struct PrecomputedLists {
 
 impl EdgeListProvider for PrecomputedLists {
     fn get(&mut self, edge: usize, index: usize, _stats: &mut NWayStats) -> Option<PairScore> {
-        self.lists.get(edge).and_then(|list| list.get(index)).copied()
+        self.lists
+            .get(edge)
+            .and_then(|list| list.get(index))
+            .copied()
     }
 
     fn floor(&self) -> f64 {
@@ -164,7 +231,7 @@ impl EdgeListProvider for PrecomputedLists {
 ///
 /// The query graph, node sets and aggregate have exactly the semantics of
 /// the DHT n-way joins in `dht-core`; only the per-edge similarity changes.
-pub fn measure_nway_top_k<M: ProximityMeasure + ?Sized>(
+pub fn measure_nway_top_k<M: ProximityMeasure + Sync + ?Sized>(
     graph: &Graph,
     measure: &M,
     query: &QueryGraph,
@@ -172,21 +239,49 @@ pub fn measure_nway_top_k<M: ProximityMeasure + ?Sized>(
     aggregate: Aggregate,
     k: usize,
 ) -> Result<MeasureNWayOutput> {
+    measure_nway_top_k_threaded(graph, measure, query, node_sets, aggregate, k, 1)
+}
+
+/// [`measure_nway_top_k`] with the per-edge 2-way joins running
+/// concurrently on `threads` workers (each inner join serial, so workers
+/// are not oversubscribed).  Results are identical to the serial join.
+pub fn measure_nway_top_k_threaded<M: ProximityMeasure + Sync + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    query: &QueryGraph,
+    node_sets: &[NodeSet],
+    aggregate: Aggregate,
+    k: usize,
+    threads: usize,
+) -> Result<MeasureNWayOutput> {
     let mut stats = NWayStats::default();
-    let mut lists = Vec::with_capacity(query.edge_count());
-    for &(from, to) in query.edges() {
-        let (Some(p), Some(q)) = (node_sets.get(from), node_sets.get(to)) else {
+    let edges: Vec<(usize, usize)> = query.edges().to_vec();
+    for &(from, to) in &edges {
+        if node_sets.get(from).is_none() || node_sets.get(to).is_none() {
             return Err(MeasureError::InvalidJoin(format!(
                 "query edge ({from}, {to}) references a missing node set \
                  (only {} sets supplied)",
                 node_sets.len()
             )));
-        };
-        stats.two_way_joins += 1;
-        let full = p.len().saturating_mul(q.len());
-        lists.push(measure_two_way_top_k(graph, measure, p, q, full));
+        }
     }
-    let mut provider = PrecomputedLists { lists, floor: measure.min_score() };
+    let join_edge = |&(from, to): &(usize, usize), inner_threads: usize| {
+        let p = &node_sets[from];
+        let q = &node_sets[to];
+        let full = p.len().saturating_mul(q.len());
+        measure_two_way_top_k_threaded(graph, measure, p, q, full, inner_threads)
+    };
+    let lists: Vec<Vec<MeasurePair>> = if dht_par::effective_threads(threads) > 1 && edges.len() > 1
+    {
+        dht_par::parallel_map(threads, &edges, |_, edge| join_edge(edge, 1))
+    } else {
+        edges.iter().map(|edge| join_edge(edge, threads)).collect()
+    };
+    stats.two_way_joins = edges.len() as u64;
+    let mut provider = PrecomputedLists {
+        lists,
+        floor: measure.min_score(),
+    };
     let answers = pbrj::run(query, node_sets, aggregate, k, &mut provider, &mut stats)
         .map_err(|e| MeasureError::InvalidJoin(e.to_string()))?;
     Ok(MeasureNWayOutput { answers, stats })
@@ -208,7 +303,8 @@ mod tests {
             for i in 0..5 {
                 for j in (i + 1)..5 {
                     let w = 1.0 + 0.31 * f64::from(base + i) + 0.17 * f64::from(j);
-                    b.add_undirected_edge(NodeId(base + i), NodeId(base + j), w).unwrap();
+                    b.add_undirected_edge(NodeId(base + i), NodeId(base + j), w)
+                        .unwrap();
                 }
             }
         }
@@ -238,7 +334,10 @@ mod tests {
             .filter(|(a, b)| a != b)
             .map(|(a, b)| (a.0, b.0, measure.score(graph, a, b)))
             .collect();
-        all.sort_by(|x, y| y.2.total_cmp(&x.2).then_with(|| (x.0, x.1).cmp(&(y.0, y.1))));
+        all.sort_by(|x, y| {
+            y.2.total_cmp(&x.2)
+                .then_with(|| (x.0, x.1).cmp(&(y.0, y.1)))
+        });
         all.truncate(k);
         all
     }
@@ -322,9 +421,15 @@ mod tests {
         let m = PersonalizedPageRank::new(0.8, 8).unwrap();
         let query = QueryGraph::chain(3);
         let k = 5;
-        let result =
-            measure_nway_top_k(&g, &m, &query, &[a.clone(), b.clone(), c.clone()], Aggregate::Sum, k)
-                .unwrap();
+        let result = measure_nway_top_k(
+            &g,
+            &m,
+            &query,
+            &[a.clone(), b.clone(), c.clone()],
+            Aggregate::Sum,
+            k,
+        )
+        .unwrap();
 
         // Brute force over all 3-tuples.
         let mut tuples: Vec<(Vec<NodeId>, f64)> = Vec::new();
@@ -356,6 +461,31 @@ mod tests {
     }
 
     #[test]
+    fn threaded_joins_are_identical_to_serial_ones() {
+        let g = two_communities();
+        let (a, b, c) = sets();
+        let ppr = PersonalizedPageRank::new(0.8, 8).unwrap();
+        let dht = DhtMeasure::paper_default();
+        for threads in [2usize, 4, 0] {
+            let serial = measure_two_way_top_k(&g, &ppr, &a, &b, 6);
+            let parallel = measure_two_way_top_k_threaded(&g, &ppr, &a, &b, 6, threads);
+            assert_eq!(serial, parallel, "2-way, threads={threads}");
+
+            let serial = measure_two_way_top_k_pruned(&g, &dht, &a, &c, 4);
+            let parallel = measure_two_way_top_k_pruned_threaded(&g, &dht, &a, &c, 4, threads);
+            assert_eq!(serial, parallel, "pruned, threads={threads}");
+
+            let query = QueryGraph::chain(3);
+            let sets3 = [a.clone(), b.clone(), c.clone()];
+            let serial = measure_nway_top_k(&g, &ppr, &query, &sets3, Aggregate::Sum, 5).unwrap();
+            let parallel =
+                measure_nway_top_k_threaded(&g, &ppr, &query, &sets3, Aggregate::Sum, 5, threads)
+                    .unwrap();
+            assert_eq!(serial.answers, parallel.answers, "n-way, threads={threads}");
+        }
+    }
+
+    #[test]
     fn nway_join_rejects_malformed_inputs() {
         let g = two_communities();
         let (a, b, _) = sets();
@@ -370,8 +500,7 @@ mod tests {
         disconnected.add_edge(0, 1).unwrap();
         disconnected.add_edge(2, 3).unwrap();
         let sets4 = vec![a.clone(), b.clone(), a.clone(), b.clone()];
-        let err =
-            measure_nway_top_k(&g, &m, &disconnected, &sets4, Aggregate::Min, 3).unwrap_err();
+        let err = measure_nway_top_k(&g, &m, &disconnected, &sets4, Aggregate::Min, 3).unwrap_err();
         assert!(matches!(err, MeasureError::InvalidJoin(_)));
     }
 }

@@ -53,7 +53,7 @@ impl KatzIndex {
     /// Creates a truncated Katz index with attenuation `β ∈ (0, 1)`, walk
     /// depth `depth ≥ 1`, and the given counting mode.
     pub fn new(beta: f64, depth: usize, mode: KatzMode) -> Result<Self> {
-        if !(beta > 0.0 && beta < 1.0) || !beta.is_finite() {
+        if beta <= 0.0 || beta >= 1.0 || !beta.is_finite() {
             return Err(MeasureError::ParameterOutOfRange {
                 name: "beta",
                 value: beta,
@@ -69,7 +69,11 @@ impl KatzIndex {
     /// The classical link-prediction configuration: transition-normalised
     /// counts, `β = 0.05`, depth 6.
     pub fn link_prediction_default() -> Self {
-        KatzIndex { beta: 0.05, depth: 6, mode: KatzMode::Transition }
+        KatzIndex {
+            beta: 0.05,
+            depth: 6,
+            mode: KatzMode::Transition,
+        }
     }
 
     /// The attenuation factor `β`.
@@ -134,7 +138,9 @@ impl ProximityMeasure for KatzIndex {
     fn max_score(&self) -> f64 {
         match self.mode {
             // Σ β^i with every walk probability 1.
-            KatzMode::Transition => self.beta * (1.0 - self.beta.powi(self.depth as i32)) / (1.0 - self.beta),
+            KatzMode::Transition => {
+                self.beta * (1.0 - self.beta.powi(self.depth as i32)) / (1.0 - self.beta)
+            }
             KatzMode::Weighted => f64::INFINITY,
         }
     }
@@ -175,7 +181,8 @@ mod tests {
     fn path(n: usize) -> Graph {
         let mut b = GraphBuilder::with_nodes(n);
         for i in 0..n - 1 {
-            b.add_unit_edge(NodeId(i as u32), NodeId((i + 1) as u32)).unwrap();
+            b.add_unit_edge(NodeId(i as u32), NodeId((i + 1) as u32))
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -207,7 +214,10 @@ mod tests {
                 for j in (i + 1)..5u32 {
                     let expected = 0.3f64.powi((j - i) as i32);
                     let s = m.score(&g, NodeId(i), NodeId(j));
-                    assert!((s - expected).abs() < 1e-12, "{mode:?} ({i},{j}): {s} vs {expected}");
+                    assert!(
+                        (s - expected).abs() < 1e-12,
+                        "{mode:?} ({i},{j}): {s} vs {expected}"
+                    );
                     // nothing flows against the edge direction
                     assert_eq!(m.score(&g, NodeId(j), NodeId(i)), 0.0);
                 }

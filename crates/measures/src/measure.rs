@@ -85,8 +85,7 @@ pub trait IterativeMeasure: ProximityMeasure {
 /// target `t`, after `i` pushes `current[u]` holds the probability that an
 /// `i`-step walk from `u` ends at `t`.
 pub(crate) fn push_step(graph: &Graph, current: &[f64], next: &mut [f64]) {
-    next.iter_mut().for_each(|x| *x = 0.0);
-    for u in 0..graph.node_count() {
+    for (u, slot) in next.iter_mut().enumerate() {
         let u_id = NodeId(u as u32);
         let targets = graph.out_targets(u_id);
         let probs = graph.out_probs(u_id);
@@ -94,7 +93,7 @@ pub(crate) fn push_step(graph: &Graph, current: &[f64], next: &mut [f64]) {
         for (&v, &p) in targets.iter().zip(probs.iter()) {
             acc += p * current[v as usize];
         }
-        next[u] = acc;
+        *slot = acc;
     }
 }
 
@@ -102,8 +101,7 @@ pub(crate) fn push_step(graph: &Graph, current: &[f64], next: &mut [f64]) {
 /// probabilities, so after `i` pushes `current[u]` holds the total weight of
 /// length-`i` walks from `u` to the target.  Used by the PathSim adaptation.
 pub(crate) fn push_step_weighted(graph: &Graph, current: &[f64], next: &mut [f64]) {
-    next.iter_mut().for_each(|x| *x = 0.0);
-    for u in 0..graph.node_count() {
+    for (u, slot) in next.iter_mut().enumerate() {
         let u_id = NodeId(u as u32);
         let targets = graph.out_targets(u_id);
         let weights = graph.out_weights(u_id);
@@ -111,7 +109,7 @@ pub(crate) fn push_step_weighted(graph: &Graph, current: &[f64], next: &mut [f64
         for (&v, &w) in targets.iter().zip(weights.iter()) {
             acc += w * current[v as usize];
         }
-        next[u] = acc;
+        *slot = acc;
     }
 }
 

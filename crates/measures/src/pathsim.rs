@@ -74,7 +74,10 @@ impl PathSim {
     /// Weighted count of length-`L` closed walks at `u`
     /// (`|{paths u ⇝ u}|` in the PathSim formula).
     fn self_count(&self, graph: &Graph, u: NodeId) -> f64 {
-        self.walk_counts_to(graph, u).get(u.index()).copied().unwrap_or(0.0)
+        self.walk_counts_to(graph, u)
+            .get(u.index())
+            .copied()
+            .unwrap_or(0.0)
     }
 }
 
@@ -109,14 +112,18 @@ impl ProximityMeasure for PathSim {
         let to_v = self.walk_counts_to(graph, v);
         let vv = to_v[v.index()];
         let mut out = Vec::with_capacity(n);
-        for u in 0..n {
+        for (u, &count_to_v) in to_v.iter().enumerate() {
             if u == v.index() {
                 out.push(self.max_score());
                 continue;
             }
             let uu = self.self_count(graph, NodeId(u as u32));
             let denom = uu + vv;
-            out.push(if denom <= 0.0 { 0.0 } else { 2.0 * to_v[u] / denom });
+            out.push(if denom <= 0.0 {
+                0.0
+            } else {
+                2.0 * count_to_v / denom
+            });
         }
         out
     }

@@ -40,7 +40,7 @@ impl PersonalizedPageRank {
     /// (often written `c`; the restart probability is `1 − c`) and truncation
     /// depth `depth`.
     pub fn new(damping: f64, depth: usize) -> Result<Self> {
-        if !(damping > 0.0 && damping < 1.0) || !damping.is_finite() {
+        if damping <= 0.0 || damping >= 1.0 || !damping.is_finite() {
             return Err(MeasureError::ParameterOutOfRange {
                 name: "damping",
                 value: damping,
@@ -62,7 +62,7 @@ impl PersonalizedPageRank {
     /// Chooses the smallest depth such that the truncated tail `c^{d+1}` is
     /// at most `epsilon`, mirroring Lemma 1 of the paper.
     pub fn with_epsilon(damping: f64, epsilon: f64) -> Result<Self> {
-        if !(epsilon > 0.0) {
+        if epsilon.is_nan() || epsilon <= 0.0 {
             return Err(MeasureError::ParameterOutOfRange {
                 name: "epsilon",
                 value: epsilon,
@@ -130,8 +130,7 @@ impl ProximityMeasure for PersonalizedPageRank {
         for _ in 1..=self.depth {
             // forward step: next[w] = Σ_{x -> w} p_xw · current[x]
             next.iter_mut().for_each(|x| *x = 0.0);
-            for x in 0..n {
-                let mass = current[x];
+            for (x, &mass) in current.iter().enumerate() {
                 if mass == 0.0 {
                     continue;
                 }
@@ -189,7 +188,8 @@ mod tests {
     fn cycle(n: usize) -> Graph {
         let mut b = GraphBuilder::with_nodes(n);
         for i in 0..n {
-            b.add_unit_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32)).unwrap();
+            b.add_unit_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32))
+                .unwrap();
         }
         b.build().unwrap()
     }
@@ -223,7 +223,12 @@ mod tests {
         // one step less would not have sufficed
         assert!(0.5f64.powi(m.depth() as i32) > 1e-3);
         // a huge epsilon still keeps one step
-        assert_eq!(PersonalizedPageRank::with_epsilon(0.5, 2.0).unwrap().depth(), 1);
+        assert_eq!(
+            PersonalizedPageRank::with_epsilon(0.5, 2.0)
+                .unwrap()
+                .depth(),
+            1
+        );
     }
 
     #[test]
@@ -254,7 +259,10 @@ mod tests {
         for u in g.nodes() {
             let total: f64 = g.nodes().map(|v| m.score(&g, u, v)).sum();
             assert!(total <= 1.0 + 1e-9, "source {u:?} total {total}");
-            assert!((total - expected).abs() < 1e-9, "expected {expected}, got {total}");
+            assert!(
+                (total - expected).abs() < 1e-9,
+                "expected {expected}, got {total}"
+            );
         }
     }
 

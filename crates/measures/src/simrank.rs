@@ -41,7 +41,7 @@ impl SimRank {
     /// Creates a dense solver with decay `C`, a fixed number of iterations,
     /// and the default node limit of 1 000.
     pub fn new(decay: f64, iterations: usize) -> Result<Self> {
-        if !(decay > 0.0 && decay < 1.0) || !decay.is_finite() {
+        if decay <= 0.0 || decay >= 1.0 || !decay.is_finite() {
             return Err(MeasureError::ParameterOutOfRange {
                 name: "decay",
                 value: decay,
@@ -51,7 +51,11 @@ impl SimRank {
         if iterations == 0 {
             return Err(MeasureError::ZeroCount { name: "iterations" });
         }
-        Ok(SimRank { decay, iterations, max_nodes: 1_000 })
+        Ok(SimRank {
+            decay,
+            iterations,
+            max_nodes: 1_000,
+        })
     }
 
     /// The customary configuration from the original KDD 2002 paper: `C = 0.8`,
@@ -70,7 +74,10 @@ impl SimRank {
     pub fn compute(&self, graph: &Graph) -> Result<SimRankMatrix> {
         let n = graph.node_count();
         if n > self.max_nodes {
-            return Err(MeasureError::GraphTooLarge { nodes: n, limit: self.max_nodes });
+            return Err(MeasureError::GraphTooLarge {
+                nodes: n,
+                limit: self.max_nodes,
+            });
         }
         let mut current = identity_matrix(n);
         let mut next = vec![0.0; n * n];
@@ -159,7 +166,9 @@ impl ProximityMeasure for SimRankMatrix {
         if v.index() >= self.n {
             return vec![0.0; self.n];
         }
-        (0..self.n).map(|u| self.scores[u * self.n + v.index()]).collect()
+        (0..self.n)
+            .map(|u| self.scores[u * self.n + v.index()])
+            .collect()
     }
 
     fn min_score(&self) -> f64 {
@@ -190,7 +199,7 @@ pub struct MonteCarloSimRank {
 impl MonteCarloSimRank {
     /// Creates an estimator.
     pub fn new(decay: f64, walk_length: usize, num_walks: usize, seed: u64) -> Result<Self> {
-        if !(decay > 0.0 && decay < 1.0) || !decay.is_finite() {
+        if decay <= 0.0 || decay >= 1.0 || !decay.is_finite() {
             return Err(MeasureError::ParameterOutOfRange {
                 name: "decay",
                 value: decay,
@@ -198,12 +207,19 @@ impl MonteCarloSimRank {
             });
         }
         if walk_length == 0 {
-            return Err(MeasureError::ZeroCount { name: "walk_length" });
+            return Err(MeasureError::ZeroCount {
+                name: "walk_length",
+            });
         }
         if num_walks == 0 {
             return Err(MeasureError::ZeroCount { name: "num_walks" });
         }
-        Ok(MonteCarloSimRank { decay, walk_length, num_walks, seed })
+        Ok(MonteCarloSimRank {
+            decay,
+            walk_length,
+            num_walks,
+            seed,
+        })
     }
 
     /// One coupled-walk sample for the pair `(u, v)`.
@@ -246,7 +262,9 @@ impl ProximityMeasure for MonteCarloSimRank {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(u64::from(u.0) << 32 | u64::from(v.0));
         let mut rng = StdRng::seed_from_u64(pair_seed);
-        let total: f64 = (0..self.num_walks).map(|_| self.sample(graph, u, v, &mut rng)).sum();
+        let total: f64 = (0..self.num_walks)
+            .map(|_| self.sample(graph, u, v, &mut rng))
+            .sum();
         total / self.num_walks as f64
     }
 
@@ -296,7 +314,10 @@ mod tests {
     fn node_limit_guards_the_dense_solver() {
         let g = shared_parents();
         let solver = SimRank::kdd2002_default().with_max_nodes(2);
-        assert!(matches!(solver.compute(&g), Err(MeasureError::GraphTooLarge { nodes: 4, limit: 2 })));
+        assert!(matches!(
+            solver.compute(&g),
+            Err(MeasureError::GraphTooLarge { nodes: 4, limit: 2 })
+        ));
     }
 
     #[test]
@@ -336,7 +357,10 @@ mod tests {
         assert_eq!(column.len(), 4);
         assert!((column[2] - matrix.get(NodeId(2), NodeId(3))).abs() < 1e-12);
         // out-of-bounds target yields a zero column
-        assert!(matrix.scores_to_target(&g, NodeId(50)).iter().all(|&s| s == 0.0));
+        assert!(matrix
+            .scores_to_target(&g, NodeId(50))
+            .iter()
+            .all(|&s| s == 0.0));
         assert_eq!(matrix.get(NodeId(50), NodeId(0)), 0.0);
     }
 

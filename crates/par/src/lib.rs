@@ -1,0 +1,286 @@
+//! # dht-par
+//!
+//! Minimal deterministic data parallelism on `std::thread::scope` — the
+//! workspace's dependency-free stand-in for rayon.
+//!
+//! All helpers share the same contract:
+//!
+//! * output order equals input order, regardless of scheduling, so callers
+//!   that merge results sequentially produce **bit-identical** output to a
+//!   serial run;
+//! * `threads == 1` (the default everywhere) never spawns and runs the plain
+//!   serial loop — zero overhead on the common path;
+//! * `threads == 0` means "use every available core".
+//!
+//! Work is distributed by an atomic cursor (work stealing at item
+//! granularity), which keeps threads busy even when per-item costs are
+//! skewed — exactly the situation in iterative-deepening joins, where one
+//! surviving target can cost many times more than a pruned one.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads actually used for a requested thread count:
+/// `0` resolves to the available parallelism, anything else is taken as-is.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_parallelism()
+    } else {
+        requested
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` with up to `threads` worker threads, returning the
+/// results in input order.
+///
+/// `f` receives the item index and the item.  See the module docs for the
+/// determinism contract.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_init(threads, items, || (), |(), index, item| f(index, item))
+}
+
+/// Like [`parallel_map`], but each worker thread first builds private state
+/// with `init` (e.g. a reusable scratch buffer) and threads it through every
+/// item it processes.
+///
+/// The state must not influence results — it exists so workers can reuse
+/// allocations across items.
+pub fn parallel_map_init<T, R, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = effective_threads(threads).min(items.len()).max(1);
+    if workers == 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(&mut state, index, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        local.push((index, f(&mut state, index, &items[index])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dht-par worker panicked"))
+            .collect()
+    });
+
+    // Reassemble in input order.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for batch in collected.drain(..) {
+        for (index, value) in batch {
+            slots[index] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced exactly one result"))
+        .collect()
+}
+
+/// Streams `produce(item)` results to `consume` **in item order**, computing
+/// them with up to `threads` workers.
+///
+/// Items are processed in chunks of `threads · 4`, bounding peak memory to
+/// one chunk of materialised results while keeping the work queue long
+/// enough to absorb per-item cost skew.  Each worker builds private state
+/// with `init` once per chunk round (e.g. borrows a scratch buffer from a
+/// pool); the state must not influence results.  With `threads <= 1`
+/// everything runs inline on a single state.  Because `consume` always runs
+/// in item order on the calling thread, callers observe exactly the serial
+/// sequence — results are identical at every thread count.
+pub fn stream_map_ordered<T, R, S, I, P, C>(
+    threads: usize,
+    items: &[T],
+    init: I,
+    produce: P,
+    mut consume: C,
+) where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    P: Fn(&mut S, &T) -> R + Sync,
+    C: FnMut(&T, R),
+{
+    /// Chunk length per parallel round, in items per worker.
+    const ITEMS_PER_WORKER_ROUND: usize = 4;
+
+    let workers = effective_threads(threads).min(items.len()).max(1);
+    if workers == 1 {
+        let mut state = init();
+        for item in items {
+            let result = produce(&mut state, item);
+            consume(item, result);
+        }
+        return;
+    }
+    for chunk in items.chunks(workers * ITEMS_PER_WORKER_ROUND) {
+        let results =
+            parallel_map_init(threads, chunk, &init, |state, _, item| produce(state, item));
+        for (item, result) in chunk.iter().zip(results) {
+            consume(item, result);
+        }
+    }
+}
+
+/// Splits `data` into contiguous chunks of (a multiple of) `chunk_len`
+/// elements and runs `f(offset, chunk)` on them in parallel, one worker
+/// thread per chunk, at most `threads` chunks.
+///
+/// `chunk_len` should be a multiple of any record stride in `data` so that
+/// chunks never split a logical record; when the requested `chunk_len`
+/// would need more than `threads` chunks it is scaled up (in whole
+/// multiples, preserving the stride) so the thread cap holds.  Chunks are
+/// disjoint `&mut` slices, so no synchronisation is needed and results are
+/// position-deterministic.
+pub fn parallel_chunks_mut<T, F>(threads: usize, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let workers = effective_threads(threads);
+    let chunk_len = chunk_len.max(1);
+    if workers == 1 || data.len() <= chunk_len {
+        f(0, data);
+        return;
+    }
+    // Scale the chunk length up (in whole chunk_len multiples) until at
+    // most `workers` chunks remain.
+    let per_worker = data.len().div_ceil(workers);
+    let chunk_len = chunk_len * per_worker.div_ceil(chunk_len);
+    std::thread::scope(|scope| {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i * chunk_len, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_resolves_zero_to_all_cores() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn map_preserves_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 16] {
+            let got = parallel_map(threads, &items, |_, &x| x * x);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_correct_indices() {
+        let items = vec!["a", "b", "c", "d"];
+        let got = parallel_map(4, &items, |i, &s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c", "3d"]);
+    }
+
+    #[test]
+    fn init_state_is_reused_without_affecting_results() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = parallel_map_init(4, &items, Vec::<usize>::new, |scratch, _, &x| {
+            scratch.push(x); // grows per worker; must not affect output
+            x + 1
+        });
+        assert_eq!(got, (1..=100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn chunks_mut_visits_disjoint_slices_with_offsets() {
+        let mut data: Vec<usize> = vec![0; 100];
+        for threads in [1, 4] {
+            data.iter_mut().for_each(|x| *x = 0);
+            parallel_chunks_mut(threads, &mut data, 30, |offset, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = offset + i;
+                }
+            });
+            let expected: Vec<usize> = (0..100).collect();
+            assert_eq!(data, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_never_exceeds_the_thread_cap() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let mut data: Vec<u8> = vec![0; 10_000];
+        let offsets: Mutex<HashSet<usize>> = Mutex::new(HashSet::new());
+        parallel_chunks_mut(4, &mut data, 16, |offset, chunk| {
+            assert_eq!(offset % 16, 0, "stride preserved");
+            chunk.iter_mut().for_each(|x| *x = 1);
+            offsets.lock().unwrap().insert(offset);
+        });
+        assert!(data.iter().all(|&x| x == 1), "every element visited");
+        let chunks = offsets.lock().unwrap().len();
+        assert!(chunks <= 4, "spawned {chunks} chunks for 4 threads");
+    }
+
+    #[test]
+    fn stream_map_preserves_order_and_reuses_state() {
+        let items: Vec<u64> = (0..123).collect();
+        for threads in [1, 3, 8] {
+            let mut seen = Vec::new();
+            stream_map_ordered(
+                threads,
+                &items,
+                || 0u64, // per-worker counter: reused, must not affect output
+                |count, &x| {
+                    *count += 1;
+                    x * 2
+                },
+                |&item, result| seen.push((item, result)),
+            );
+            let expected: Vec<(u64, u64)> = items.iter().map(|&x| (x, x * 2)).collect();
+            assert_eq!(seen, expected, "threads = {threads}");
+        }
+    }
+}

@@ -25,7 +25,10 @@ pub struct CornerBound {
 impl CornerBound {
     /// Creates a tracker for `streams` input streams.
     pub fn new(streams: usize) -> Self {
-        CornerBound { first: vec![None; streams], last: vec![None; streams] }
+        CornerBound {
+            first: vec![None; streams],
+            last: vec![None; streams],
+        }
     }
 
     /// Number of tracked streams.
@@ -42,7 +45,7 @@ impl CornerBound {
             self.first[stream] = Some(score);
         }
         debug_assert!(
-            self.last[stream].map_or(true, |prev| score <= prev + 1e-12),
+            self.last[stream].is_none_or(|prev| score <= prev + 1e-12),
             "stream {stream} produced scores out of order"
         );
         self.last[stream] = Some(score);
@@ -80,7 +83,11 @@ impl CornerBound {
         if self.first.iter().any(Option::is_none) {
             return f64::INFINITY;
         }
-        let firsts: Vec<f64> = self.first.iter().map(|f| f.expect("checked above")).collect();
+        let firsts: Vec<f64> = self
+            .first
+            .iter()
+            .map(|f| f.expect("checked above"))
+            .collect();
         let mut tau = f64::NEG_INFINITY;
         let mut scratch = firsts.clone();
         for i in 0..s {
@@ -187,8 +194,8 @@ mod tests {
         // Two streams of descending scores; answers are all cross pairs with
         // SUM aggregate.  After pulling a prefix of each stream, no unseen
         // pair may beat the corner bound.
-        let s0 = vec![9.0, 7.0, 4.0, 1.0];
-        let s1 = vec![8.0, 5.0, 5.0, 0.5];
+        let s0 = [9.0, 7.0, 4.0, 1.0];
+        let s1 = [8.0, 5.0, 5.0, 0.5];
         for pull0 in 1..=s0.len() {
             for pull1 in 1..=s1.len() {
                 let mut cb = CornerBound::new(2);

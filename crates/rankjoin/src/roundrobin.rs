@@ -55,7 +55,9 @@ mod tests {
     #[test]
     fn skips_inactive_streams() {
         let mut rr = RoundRobin::new(3);
-        let order: Vec<usize> = (0..4).map(|_| rr.next_active(|i| i != 1).unwrap()).collect();
+        let order: Vec<usize> = (0..4)
+            .map(|_| rr.next_active(|i| i != 1).unwrap())
+            .collect();
         assert_eq!(order, vec![0, 2, 0, 2]);
     }
 

@@ -51,7 +51,11 @@ pub struct TopKBuffer<T> {
 impl<T> TopKBuffer<T> {
     /// Creates a buffer retaining at most `k` items.
     pub fn new(k: usize) -> Self {
-        TopKBuffer { k, seq: 0, heap: BinaryHeap::with_capacity(k + 1) }
+        TopKBuffer {
+            k,
+            seq: 0,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// Capacity `k` of the buffer.
@@ -98,7 +102,11 @@ impl<T> TopKBuffer<T> {
         if self.k == 0 {
             return false;
         }
-        let entry = Entry { score, seq: self.seq, item };
+        let entry = Entry {
+            score,
+            seq: self.seq,
+            item,
+        };
         self.seq += 1;
         if self.heap.len() < self.k {
             self.heap.push(entry);
@@ -171,7 +179,10 @@ mod tests {
         let mut buf = TopKBuffer::new(2);
         buf.insert(1.0, "first");
         buf.insert(1.0, "second");
-        assert!(!buf.insert(1.0, "third"), "ties do not evict earlier entries");
+        assert!(
+            !buf.insert(1.0, "third"),
+            "ties do not evict earlier entries"
+        );
         let out = buf.into_sorted_desc();
         assert_eq!(out[0].1, "first");
         assert_eq!(out[1].1, "second");
@@ -190,7 +201,9 @@ mod tests {
         // Deterministic pseudo-random stream (LCG) — no external RNG needed.
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / ((1u64 << 31) as f64)
         };
         let values: Vec<f64> = (0..500).map(|_| next()).collect();

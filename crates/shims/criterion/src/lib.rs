@@ -1,0 +1,263 @@
+//! A vendored, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace builds hermetically, so the benchmark harness surface its
+//! benches use is re-implemented here: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`], [`BenchmarkGroup::measurement_time`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is warmed up
+//! once, then run for up to `sample_size` samples or until the measurement
+//! time budget is spent, and the per-iteration mean / min / max are printed
+//! as a single line — enough to compare engines and track regressions.
+//! Results are also collected into [`Criterion::take_results`] so harnesses
+//! can export machine-readable reports.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Mean wall-clock seconds per sample.
+    pub mean_secs: f64,
+    /// Fastest sample in seconds.
+    pub min_secs: f64,
+    /// Slowest sample in seconds.
+    pub max_secs: f64,
+}
+
+/// The benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: u64,
+    default_measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(3),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group '{name}'");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        let time = self.default_measurement_time;
+        self.run_one(id.into(), sample_size, time, f);
+        self
+    }
+
+    /// Drains the results recorded so far.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        sample_size: u64,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        // Warm-up sample (also primes caches and lazy statics).
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+
+        let mut samples = Vec::with_capacity(sample_size as usize);
+        let budget_start = Instant::now();
+        for _ in 0..sample_size.max(1) {
+            let mut bencher = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64());
+            if budget_start.elapsed() > measurement_time {
+                break;
+            }
+        }
+        let n = samples.len() as u64;
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        eprintln!(
+            "  {id:<40} mean {:>12} (min {:>12}, max {:>12}, n={n})",
+            fmt_secs(mean),
+            fmt_secs(min),
+            fmt_secs(max)
+        );
+        self.results.push(BenchResult {
+            id,
+            samples: n,
+            mean_secs: mean,
+            min_secs: min,
+            max_secs: max,
+        });
+    }
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{:.3} µs", secs * 1e6)
+    }
+}
+
+/// A group of related benchmarks (mirror of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    /// Sets the soft time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let time = self
+            .measurement_time
+            .unwrap_or(self.criterion.default_measurement_time);
+        self.criterion.run_one(id, sample_size, time, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures one sample: runs `f` once and records its wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        black_box(out);
+    }
+}
+
+/// Opaque value barrier (mirror of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function (mirror of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (mirror of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_record_results_with_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(50));
+            group.bench_function("noop", |b| b.iter(|| 1 + 1));
+            group.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "g/noop");
+        assert!(results[0].samples >= 1);
+        assert!(results[0].mean_secs >= 0.0);
+        assert!(c.take_results().is_empty(), "results are drained");
+    }
+
+    #[test]
+    fn standalone_bench_function_works() {
+        let mut c = Criterion::default();
+        c.bench_function("alone", |b| b.iter(|| std::hint::black_box(2u64.pow(10))));
+        assert_eq!(c.take_results().len(), 1);
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("demo", |b| b.iter(|| 40 + 2));
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        demo_group();
+    }
+}

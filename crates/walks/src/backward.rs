@@ -13,9 +13,17 @@
 //! A full `d`-step pass costs `O(d·|E_G|)`, which is `O(|P|)` times cheaper
 //! than evaluating the same scores with forward walks — this asymmetry is
 //! the entire point of the backward 2-way join algorithms (B-BJ, B-IDJ).
+//!
+//! Propagation runs on the sparse-frontier kernel of [`crate::frontier`]:
+//! the step-`i` support of `P_i(·, q)` is the `i`-hop in-neighbourhood of
+//! `q`, which is small for the first few steps, so the sparse engine pushes
+//! mass through the reverse adjacency index instead of pulling through a
+//! full `O(|V| + |E|)` sweep.  [`WalkEngine::Dense`] reproduces the seed's
+//! sweep bit for bit.
 
 use dht_graph::{Graph, NodeId};
 
+use crate::frontier::{WalkEngine, WalkScratch};
 use crate::params::DhtParams;
 
 /// Incremental backward walk towards a fixed target.  Each call to
@@ -25,23 +33,31 @@ use crate::params::DhtParams;
 pub struct BackwardWalk<'g> {
     graph: &'g Graph,
     target: NodeId,
-    /// `current[u] = P_i(u, target)` for the last completed step `i`.
-    current: Vec<f64>,
-    next: Vec<f64>,
+    engine: WalkEngine,
+    scratch: WalkScratch,
     steps_taken: usize,
 }
 
 impl<'g> BackwardWalk<'g> {
-    /// Prepares a backward walk towards `target`.  No steps are taken yet.
+    /// Prepares a backward walk towards `target` with the default engine.
+    /// No steps are taken yet.
     pub fn new(graph: &'g Graph, target: NodeId) -> Self {
-        let n = graph.node_count();
-        let mut current = vec![0.0; n];
-        if target.index() < n {
-            // backProb[q] = 1: at "step 0" only the target itself has hit the
-            // target.  The first step then yields P_1(u,q) = p_uq.
-            current[target.index()] = 1.0;
+        Self::with_engine(graph, target, WalkEngine::default())
+    }
+
+    /// Prepares a backward walk with an explicit propagation engine.
+    pub fn with_engine(graph: &'g Graph, target: NodeId, engine: WalkEngine) -> Self {
+        let mut scratch = WalkScratch::new();
+        // backProb[q] = 1: at "step 0" only the target itself has hit the
+        // target.  The first step then yields P_1(u,q) = p_uq.
+        scratch.begin(graph.node_count(), [target]);
+        BackwardWalk {
+            graph,
+            target,
+            engine,
+            scratch,
+            steps_taken: 0,
         }
-        BackwardWalk { graph, target, current, next: vec![0.0; n], steps_taken: 0 }
     }
 
     /// The target node of the walk.
@@ -57,30 +73,22 @@ impl<'g> BackwardWalk<'g> {
     /// `P_i(u, target)` for all `u`, where `i` is the number of steps taken.
     /// Before the first step this is the indicator vector of the target.
     pub fn current(&self) -> &[f64] {
-        &self.current
+        self.scratch.current()
+    }
+
+    /// Whether no probability mass is left to propagate (all remaining
+    /// `P_i(·, target)` are zero).  Conservative in dense mode.
+    pub fn is_exhausted(&self) -> bool {
+        self.scratch.is_exhausted()
     }
 
     /// Advances the walk by one step.  After the call, [`Self::current`]
     /// holds `P_{i}(·, target)` for the new step count `i`.
     pub fn step(&mut self) {
-        let n = self.graph.node_count();
+        // For i > 1 walks must not pass through the target again.
         let exclude_target = self.steps_taken >= 1;
-        self.next.iter_mut().for_each(|x| *x = 0.0);
-        for u in 0..n {
-            let u_id = NodeId(u as u32);
-            let targets = self.graph.out_targets(u_id);
-            let probs = self.graph.out_probs(u_id);
-            let mut acc = 0.0;
-            for (&v, &p) in targets.iter().zip(probs.iter()) {
-                if exclude_target && v as usize == self.target.index() {
-                    // For i > 1 walks must not pass through the target again.
-                    continue;
-                }
-                acc += p * self.current[v as usize];
-            }
-            self.next[u] = acc;
-        }
-        std::mem::swap(&mut self.current, &mut self.next);
+        self.scratch
+            .step_backward(self.graph, self.target, exclude_target, self.engine);
         self.steps_taken += 1;
     }
 
@@ -89,36 +97,75 @@ impl<'g> BackwardWalk<'g> {
     /// `scores[u] += α · Σ λ^i · P_i(u, target)` over the newly taken steps.
     pub fn accumulate(&mut self, params: &DhtParams, extra: usize, scores: &mut [f64]) {
         for _ in 0..extra {
+            if self.is_exhausted() {
+                self.steps_taken += 1;
+                continue;
+            }
             self.step();
             let discount = params.discount(self.steps_taken);
-            for (s, &p) in scores.iter_mut().zip(self.current.iter()) {
-                *s += discount * p;
-            }
+            self.scratch.for_each_nonzero(|u, p| {
+                scores[u] += discount * p;
+            });
         }
+    }
+}
+
+/// `backWalk(G, q, d)` into a caller-provided output vector: the truncated
+/// DHT score `h_d(u, q)` for **every** node `u`, computed with one backward
+/// pass on a reused scratch.  This is the zero-allocation inner loop of
+/// B-BJ / B-IDJ.
+///
+/// The entry for `u = q` is set to `params.self_score()` by convention
+/// (`h(v, v) = 0` for DHT_λ) and is never used by the join algorithms.
+pub fn backward_dht_into(
+    graph: &Graph,
+    params: &DhtParams,
+    target: NodeId,
+    d: usize,
+    engine: WalkEngine,
+    scratch: &mut WalkScratch,
+    scores: &mut Vec<f64>,
+) {
+    let n = graph.node_count();
+    scores.clear();
+    scores.resize(n, 0.0);
+    scratch.begin(n, [target]);
+    for i in 1..=d {
+        if scratch.is_exhausted() {
+            break;
+        }
+        scratch.step_backward(graph, target, i > 1, engine);
+        let discount = params.discount(i);
+        scratch.for_each_nonzero(|u, p| {
+            scores[u] += discount * p;
+        });
+    }
+    for s in scores.iter_mut() {
+        *s += params.beta;
+    }
+    if target.index() < n {
+        scores[target.index()] = params.self_score();
     }
 }
 
 /// `backWalk(G, q, d)`: the truncated DHT score `h_d(u, q)` for **every**
 /// node `u` of the graph, computed with one backward pass.
-///
-/// The entry for `u = q` is set to `params.max_score()` by convention and is
-/// never used by the join algorithms (candidate answers never pair a node
-/// with itself).
 pub fn backward_dht_all_sources(
     graph: &Graph,
     params: &DhtParams,
     target: NodeId,
     d: usize,
 ) -> Vec<f64> {
-    let mut walk = BackwardWalk::new(graph, target);
-    let mut scores = vec![0.0; graph.node_count()];
-    walk.accumulate(params, d, &mut scores);
-    for s in scores.iter_mut() {
-        *s += params.beta;
-    }
-    if target.index() < scores.len() {
-        scores[target.index()] = params.max_score();
-    }
+    let mut scores = Vec::new();
+    backward_dht_into(
+        graph,
+        params,
+        target,
+        d,
+        WalkEngine::default(),
+        &mut WalkScratch::new(),
+        &mut scores,
+    );
     scores
 }
 
@@ -192,8 +239,18 @@ mod tests {
         let scores = backward_dht_all_sources(&g, &params, NodeId(2), 8);
         assert!(scores[0] > params.min_score());
         assert!(scores[1] > scores[0], "closer node scores higher");
-        // node 2 is the target itself
-        assert_eq!(scores[2], params.max_score());
+        // node 2 is the target itself: the h(v,v) = 0 convention.
+        assert_eq!(scores[2], params.self_score());
+    }
+
+    #[test]
+    fn self_pair_convention_agrees_with_forward_engine() {
+        let g = triangle();
+        for params in [DhtParams::paper_default(), DhtParams::dht_e()] {
+            let scores = backward_dht_all_sources(&g, &params, NodeId(1), 8);
+            assert_eq!(scores[1], params.self_score());
+            assert_eq!(scores[1], forward_dht(&g, &params, NodeId(1), NodeId(1), 8));
+        }
     }
 
     #[test]
@@ -239,6 +296,53 @@ mod tests {
             assert!((scores[u] - batch[u]).abs() < 1e-12);
         }
         assert_eq!(walk.steps_taken(), 8);
+    }
+
+    #[test]
+    fn pooled_backward_scores_match_fresh_ones() {
+        let g = triangle();
+        let params = DhtParams::paper_default();
+        let mut scratch = WalkScratch::new();
+        let mut scores = Vec::new();
+        for target in [0u32, 1, 2, 0, 2] {
+            backward_dht_into(
+                &g,
+                &params,
+                NodeId(target),
+                8,
+                WalkEngine::default(),
+                &mut scratch,
+                &mut scores,
+            );
+            let fresh = backward_dht_all_sources(&g, &params, NodeId(target), 8);
+            assert_eq!(scores, fresh, "scratch reuse changed target {target}");
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_on_backward_scores() {
+        let g = triangle();
+        let params = DhtParams::dht_lambda(0.4);
+        let mut scratch = WalkScratch::new();
+        let mut dense = Vec::new();
+        let mut other = Vec::new();
+        for target in g.nodes() {
+            backward_dht_into(
+                &g,
+                &params,
+                target,
+                8,
+                WalkEngine::Dense,
+                &mut scratch,
+                &mut dense,
+            );
+            for engine in [WalkEngine::Sparse, WalkEngine::Auto] {
+                backward_dht_into(&g, &params, target, 8, engine, &mut scratch, &mut other);
+                for (a, b) in dense.iter().zip(other.iter()) {
+                    assert!((a - b).abs() < 1e-12, "{engine:?} target {target:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //! The `Y` bound is pre-computed for all nodes with a single `d`-step
 //! forward sweep seeded with **all** sources of `P` at once, exactly as the
 //! paper's `probVec` implementation sketch describes (cost `O(d·|E_G|)`,
-//! space `O(d·|V_G|)`).
+//! space `O(d·|V_G|)`).  The sweep runs on the sparse-frontier kernel of
+//! [`crate::frontier`] (early steps only touch `P`'s few-hop
+//! neighbourhood), and the suffix-table construction — independent per node
+//! `q` — can be split across threads.
 
 use dht_graph::{Graph, NodeId, NodeSet};
 
+use crate::frontier::{WalkEngine, WalkScratch};
 use crate::params::DhtParams;
 
 /// `X_l⁺ = α · Σ_{i>l} λ^i` — the parameter-only tail bound of Lemma 2.
@@ -31,55 +35,86 @@ pub fn x_upper_bound(params: &DhtParams, l: usize) -> f64 {
 #[derive(Debug, Clone)]
 pub struct YBoundTable {
     d: usize,
-    /// `suffix[l][q] = α · Σ_{i=l+1..d} λ^i · min(sum_reach_i[q], 1)`
-    suffix: Vec<Vec<f64>>,
+    node_count: usize,
+    /// Column-major: `suffix[q · (d + 1) + l] = Y_l⁺(P, q)`.  Column-major
+    /// keeps each node's suffix chain contiguous, so the table can be built
+    /// per-node (and in parallel) with the same per-node accumulation order
+    /// as a serial build — bounds are bit-identical at any thread count.
+    suffix: Vec<f64>,
 }
 
 impl YBoundTable {
-    /// Builds the table for source set `P` with walk depth `d`.
+    /// Builds the table for source set `P` with walk depth `d` using the
+    /// default engine, serially.
+    pub fn new(graph: &Graph, params: &DhtParams, p: &NodeSet, d: usize) -> Self {
+        Self::new_with(
+            graph,
+            params,
+            p,
+            d,
+            WalkEngine::default(),
+            1,
+            &mut WalkScratch::new(),
+        )
+    }
+
+    /// Builds the table with an explicit propagation engine, thread count
+    /// (for the suffix construction) and reusable scratch.
     ///
     /// One forward (non-absorbing) sweep of `d` steps is performed, seeded
     /// with mass 1 on every node of `P`; after step `i` the vector holds
     /// `Σ_{p∈P} S_i(p, v)` for every `v`.
-    pub fn new(graph: &Graph, params: &DhtParams, p: &NodeSet, d: usize) -> Self {
+    pub fn new_with(
+        graph: &Graph,
+        params: &DhtParams,
+        p: &NodeSet,
+        d: usize,
+        engine: WalkEngine,
+        threads: usize,
+        scratch: &mut WalkScratch,
+    ) -> Self {
         let n = graph.node_count();
-        let mut current = vec![0.0; n];
-        for node in p.iter() {
-            if node.index() < n {
-                current[node.index()] = 1.0;
-            }
-        }
-        let mut next = vec![0.0; n];
+        scratch.begin(n, p.iter());
 
         // reach_sums[i-1][v] = Σ_{p∈P} S_i(p, v)
         let mut reach_sums: Vec<Vec<f64>> = Vec::with_capacity(d);
         for _ in 0..d {
-            next.iter_mut().for_each(|x| *x = 0.0);
-            for u in 0..n {
-                let mass = current[u];
-                if mass == 0.0 {
-                    continue;
-                }
-                let u_id = NodeId(u as u32);
-                for (&v, &pr) in graph.out_targets(u_id).iter().zip(graph.out_probs(u_id).iter()) {
-                    next[v as usize] += mass * pr;
-                }
-            }
-            reach_sums.push(next.clone());
-            std::mem::swap(&mut current, &mut next);
+            scratch.step_forward(graph, engine);
+            reach_sums.push(scratch.current().to_vec());
         }
 
-        // suffix[l][q] = α Σ_{i=l+1..d} λ^i min(reach_sums[i-1][q], 1)
-        // computed back-to-front so each level is O(|V|).
-        let mut suffix = vec![vec![0.0; n]; d + 1];
-        for l in (0..d).rev() {
-            let discount = params.discount(l + 1);
-            for q in 0..n {
-                let capped = reach_sums[l][q].min(1.0);
-                suffix[l][q] = suffix[l + 1][q] + discount * capped;
-            }
+        // Per-node suffix chains:
+        // suffix[q][l] = suffix[q][l+1] + α·λ^{l+1} · min(reach_sums[l][q], 1),
+        // accumulated back-to-front.  Nodes are independent, so the columns
+        // are built in parallel chunks.
+        let discounts: Vec<f64> = (0..d).map(|l| params.discount(l + 1)).collect();
+        let stride = d + 1;
+        let mut suffix = vec![0.0; n * stride];
+        let workers = dht_par::effective_threads(threads);
+        let nodes_per_chunk = n.div_ceil(workers.max(1)).max(1);
+        dht_par::parallel_chunks_mut(
+            threads,
+            &mut suffix,
+            nodes_per_chunk * stride,
+            |offset, chunk| {
+                let first_node = offset / stride;
+                for (local, column) in chunk.chunks_mut(stride).enumerate() {
+                    let q = first_node + local;
+                    let mut acc = 0.0;
+                    column[d] = 0.0;
+                    for l in (0..d).rev() {
+                        let capped = reach_sums[l][q].min(1.0);
+                        acc += discounts[l] * capped;
+                        column[l] = acc;
+                    }
+                }
+            },
+        );
+        YBoundTable {
+            d,
+            node_count: n,
+            suffix,
         }
-        YBoundTable { d, suffix }
     }
 
     /// The walk depth `d` the table was built for.
@@ -87,12 +122,17 @@ impl YBoundTable {
         self.d
     }
 
+    /// Number of nodes covered by the table.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
     /// `Y_l⁺(P, q)`: upper bound on the mass still missing from `h_l(p,q)`
     /// for any `p ∈ P`, after `l` steps.  `l` is clamped to `[0, d]`.
     #[inline]
     pub fn bound(&self, l: usize, q: NodeId) -> f64 {
         let l = l.min(self.d);
-        self.suffix[l][q.index()]
+        self.suffix[q.index() * (self.d + 1) + l]
     }
 }
 
@@ -167,6 +207,33 @@ mod tests {
     }
 
     #[test]
+    fn engines_and_thread_counts_agree_on_the_table() {
+        let g = erdos_renyi(60, 180, 7);
+        let params = DhtParams::dht_lambda(0.3);
+        let d = 8;
+        let p = NodeSet::new("P", (0..6).map(NodeId));
+        let mut scratch = WalkScratch::new();
+        let reference =
+            YBoundTable::new_with(&g, &params, &p, d, WalkEngine::Dense, 1, &mut scratch);
+        for engine in [WalkEngine::Sparse, WalkEngine::Auto] {
+            for threads in [1, 4] {
+                let other =
+                    YBoundTable::new_with(&g, &params, &p, d, engine, threads, &mut scratch);
+                for q in g.nodes() {
+                    for l in 0..=d {
+                        let a = reference.bound(l, q);
+                        let b = other.bound(l, q);
+                        assert!(
+                            (a - b).abs() < 1e-12,
+                            "{engine:?} threads={threads} q={q:?} l={l}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn theorem_1_holds_on_small_graph() {
         // hd(p,q) <= hl(p,q) + Y_l+(P, q) for every p in P, q, l.
         let g = triangle_plus_tail();
@@ -210,7 +277,11 @@ mod tests {
                 }
                 // partial at depth max(1, l) >= depth l score, so this is a
                 // conservative check of hd <= hl + X_l+.
-                let hl = if l == 0 { params.min_score() } else { partial[u.index()] };
+                let hl = if l == 0 {
+                    params.min_score()
+                } else {
+                    partial[u.index()]
+                };
                 assert!(full[u.index()] <= hl + x_upper_bound(&params, l) + 1e-9);
             }
         }

@@ -54,14 +54,15 @@ pub fn path_enumeration_dht(
 }
 
 /// All-pairs truncated DHT matrix: `matrix[u][v] = h_d(u, v)` for `u ≠ v`,
-/// and `params.max_score()` on the diagonal (never used by joins).
+/// and `params.self_score()` on the diagonal (the `h(v,v) = 0` convention
+/// of DHT_λ mapped through the general form; never used by joins).
 pub fn all_pairs_dht(graph: &Graph, params: &DhtParams, d: usize) -> Vec<Vec<f64>> {
     let n = graph.node_count();
     let mut matrix = vec![vec![params.min_score(); n]; n];
     for u in graph.nodes() {
         for v in graph.nodes() {
             matrix[u.index()][v.index()] = if u == v {
-                params.max_score()
+                params.self_score()
             } else {
                 forward::forward_dht(graph, params, u, v, d)
             };
@@ -189,12 +190,16 @@ mod tests {
     }
 
     #[test]
-    fn diagonal_of_all_pairs_matrix_is_max_score() {
+    fn diagonal_of_all_pairs_matrix_is_self_score() {
         let g = small_weighted_graph();
-        let params = DhtParams::paper_default();
-        let m = all_pairs_dht(&g, &params, 4);
-        for u in g.nodes() {
-            assert_eq!(m[u.index()][u.index()], params.max_score());
+        for params in [DhtParams::paper_default(), DhtParams::dht_e()] {
+            let m = all_pairs_dht(&g, &params, 4);
+            for u in g.nodes() {
+                assert_eq!(m[u.index()][u.index()], params.self_score());
+                // and it agrees with both walk engines' self-pair convention
+                let scores = backward_dht_all_sources(&g, &params, u, 4);
+                assert_eq!(m[u.index()][u.index()], scores[u.index()]);
+            }
         }
     }
 

@@ -5,11 +5,15 @@
 //! probability mass that reaches `v` is recorded as the first-hit probability
 //! `P_i(u,v)` of the current step and is not propagated any further.  This is
 //! exactly the evaluation strategy of F-BJ described in Section V-B of the
-//! paper (a vector `r` of size `|V_G|`, refreshed once per step at a cost of
-//! `O(|E_G|)`).
+//! paper, except that propagation runs on the sparse-frontier kernel of
+//! [`crate::frontier`]: early steps only touch the source's few-hop
+//! neighbourhood instead of sweeping all of `|V_G|`, and a reused
+//! [`WalkScratch`] removes the per-pair vector allocations.  Passing
+//! [`WalkEngine::Dense`] reproduces the seed's dense sweep bit for bit.
 
 use dht_graph::{Graph, NodeId};
 
+use crate::frontier::{WalkEngine, WalkScratch};
 use crate::params::DhtParams;
 
 /// Incremental forward absorbing walk from a fixed source towards a fixed
@@ -19,20 +23,34 @@ use crate::params::DhtParams;
 pub struct AbsorbingWalk<'g> {
     graph: &'g Graph,
     target: NodeId,
-    current: Vec<f64>,
-    next: Vec<f64>,
+    engine: WalkEngine,
+    scratch: WalkScratch,
     steps_taken: usize,
 }
 
 impl<'g> AbsorbingWalk<'g> {
-    /// Starts a walk at `source` with absorbing `target`.
+    /// Starts a walk at `source` with absorbing `target` using the default
+    /// engine.
     pub fn new(graph: &'g Graph, source: NodeId, target: NodeId) -> Self {
-        let n = graph.node_count();
-        let mut current = vec![0.0; n];
-        if source.index() < n {
-            current[source.index()] = 1.0;
+        Self::with_engine(graph, source, target, WalkEngine::default())
+    }
+
+    /// Starts a walk with an explicit propagation engine.
+    pub fn with_engine(
+        graph: &'g Graph,
+        source: NodeId,
+        target: NodeId,
+        engine: WalkEngine,
+    ) -> Self {
+        let mut scratch = WalkScratch::new();
+        scratch.begin(graph.node_count(), [source]);
+        AbsorbingWalk {
+            graph,
+            target,
+            engine,
+            scratch,
+            steps_taken: 0,
         }
-        AbsorbingWalk { graph, target, current, next: vec![0.0; n], steps_taken: 0 }
     }
 
     /// Number of steps performed so far.
@@ -43,27 +61,13 @@ impl<'g> AbsorbingWalk<'g> {
     /// Advances the walk by one step and returns `P_i(source, target)` for
     /// the new step `i`.
     pub fn step(&mut self) -> f64 {
-        let n = self.graph.node_count();
-        self.next.iter_mut().for_each(|x| *x = 0.0);
-        for u in 0..n {
-            let mass = self.current[u];
-            if mass == 0.0 || u == self.target.index() {
-                // Mass already absorbed at the target is never propagated.
-                continue;
-            }
-            let u = NodeId(u as u32);
-            let targets = self.graph.out_targets(u);
-            let probs = self.graph.out_probs(u);
-            for (&v, &p) in targets.iter().zip(probs.iter()) {
-                self.next[v as usize] += mass * p;
-            }
-        }
-        let hit = self.next[self.target.index()];
-        // Record the absorbed mass and clear it so it cannot be re-counted.
-        self.next[self.target.index()] = 0.0;
-        std::mem::swap(&mut self.current, &mut self.next);
         self.steps_taken += 1;
-        hit
+        if self.scratch.is_exhausted() {
+            // No mass left anywhere: every later first-hit probability is 0.
+            return 0.0;
+        }
+        self.scratch
+            .step_forward_absorbing(self.graph, self.target, self.engine)
     }
 
     /// Runs the walk for `d` steps (from the current position) and returns
@@ -73,9 +77,72 @@ impl<'g> AbsorbingWalk<'g> {
     }
 }
 
+/// First-hit probabilities `P_1 .. P_d` from `source` to `target`, computed
+/// on a caller-provided scratch (no allocation beyond the output vector).
+pub fn hitting_probabilities_with(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    d: usize,
+    engine: WalkEngine,
+    scratch: &mut WalkScratch,
+) -> Vec<f64> {
+    scratch.begin(graph.node_count(), [source]);
+    let mut hits = Vec::with_capacity(d);
+    for _ in 0..d {
+        if scratch.is_exhausted() {
+            hits.push(0.0);
+            continue;
+        }
+        hits.push(scratch.step_forward_absorbing(graph, target, engine));
+    }
+    hits
+}
+
 /// First-hit probabilities `P_1 .. P_d` from `source` to `target`.
 pub fn hitting_probabilities(graph: &Graph, source: NodeId, target: NodeId, d: usize) -> Vec<f64> {
-    AbsorbingWalk::new(graph, source, target).run(d)
+    hitting_probabilities_with(
+        graph,
+        source,
+        target,
+        d,
+        WalkEngine::default(),
+        &mut WalkScratch::new(),
+    )
+}
+
+/// Truncated DHT score `h_d(source, target)` computed with a forward
+/// absorbing walk on a caller-provided scratch.  This is the inner loop of
+/// F-BJ / F-IDJ: the score is accumulated on the fly (no hit vector is
+/// materialised) and the walk stops early once no probability mass is left.
+pub fn forward_dht_with(
+    graph: &Graph,
+    params: &DhtParams,
+    source: NodeId,
+    target: NodeId,
+    d: usize,
+    engine: WalkEngine,
+    scratch: &mut WalkScratch,
+) -> f64 {
+    if source == target {
+        // The paper defines DHT over distinct nodes; the conventional value
+        // for a self pair is "hit at step 0", i.e. α + β (`h(v,v) = 0` for
+        // DHT_λ — see [`DhtParams::self_score`]).  The backward engine and
+        // the exact oracles use the same convention; joins never score
+        // identical nodes.
+        return params.self_score();
+    }
+    scratch.begin(graph.node_count(), [source]);
+    let mut acc = 0.0;
+    let mut discount = params.alpha;
+    for _ in 0..d {
+        if scratch.is_exhausted() {
+            break;
+        }
+        discount *= params.lambda;
+        acc += discount * scratch.step_forward_absorbing(graph, target, engine);
+    }
+    acc + params.beta
 }
 
 /// Truncated DHT score `h_d(source, target)` computed with a forward
@@ -87,17 +154,15 @@ pub fn forward_dht(
     target: NodeId,
     d: usize,
 ) -> f64 {
-    if source == target {
-        // The paper defines DHT over distinct nodes; by convention
-        // h(v, v) = 0 for DHT_λ.  We return the score of "hit at step 0",
-        // i.e. α·Σ 0 + β would be wrong, so we follow DHT_λ's boundary
-        // condition h(v,v) = 0 shifted into the general form: a walker that
-        // is already at the target has hit it, which the truncated series
-        // cannot express; callers never score identical nodes in joins.
-        return params.max_score();
-    }
-    let hits = hitting_probabilities(graph, source, target, d);
-    params.score_from_hits(&hits)
+    forward_dht_with(
+        graph,
+        params,
+        source,
+        target,
+        d,
+        WalkEngine::default(),
+        &mut WalkScratch::new(),
+    )
 }
 
 /// Reach (not first-hit) probabilities `S_i(source, ·)` for `i = 1..d`
@@ -105,27 +170,12 @@ pub fn forward_dht(
 /// starting at `source` is at `v` after exactly `i` steps.  Used by tests
 /// and by the `Y_l⁺` bound construction in [`crate::bounds`].
 pub fn reach_probabilities(graph: &Graph, source: NodeId, d: usize) -> Vec<Vec<f64>> {
-    let n = graph.node_count();
-    let mut current = vec![0.0; n];
-    if source.index() < n {
-        current[source.index()] = 1.0;
-    }
+    let mut scratch = WalkScratch::new();
+    scratch.begin(graph.node_count(), [source]);
     let mut out = Vec::with_capacity(d);
-    let mut next = vec![0.0; n];
     for _ in 0..d {
-        next.iter_mut().for_each(|x| *x = 0.0);
-        for u in 0..n {
-            let mass = current[u];
-            if mass == 0.0 {
-                continue;
-            }
-            let u = NodeId(u as u32);
-            for (&v, &p) in graph.out_targets(u).iter().zip(graph.out_probs(u).iter()) {
-                next[v as usize] += mass * p;
-            }
-        }
-        out.push(next.clone());
-        std::mem::swap(&mut current, &mut next);
+        scratch.step_forward(graph, WalkEngine::default());
+        out.push(scratch.current().to_vec());
     }
     out
 }
@@ -176,7 +226,10 @@ mod tests {
         let hits = hitting_probabilities(&g, NodeId(2), NodeId(0), 6);
         assert!(hits.iter().all(|&p| p == 0.0));
         let params = DhtParams::paper_default();
-        assert_eq!(forward_dht(&g, &params, NodeId(2), NodeId(0), 6), params.min_score());
+        assert_eq!(
+            forward_dht(&g, &params, NodeId(2), NodeId(0), 6),
+            params.min_score()
+        );
     }
 
     #[test]
@@ -228,10 +281,28 @@ mod tests {
     }
 
     #[test]
+    fn self_pair_scores_the_step_zero_convention() {
+        // Regression test for the h(v, v) convention: all engines and
+        // oracles return α + β (= 0 for DHT_λ) for self pairs.
+        let g = triangle();
+        for params in [DhtParams::paper_default(), DhtParams::dht_e()] {
+            for v in 0..3u32 {
+                let h = forward_dht(&g, &params, NodeId(v), NodeId(v), 8);
+                assert_eq!(h, params.self_score());
+            }
+        }
+        // DHT_λ's boundary condition is literally h(v, v) = 0.
+        assert_eq!(
+            forward_dht(&g, &DhtParams::dht_lambda(0.3), NodeId(1), NodeId(1), 8),
+            0.0
+        );
+    }
+
+    #[test]
     fn incremental_walk_matches_batch_run() {
         let g = triangle();
         let mut w = AbsorbingWalk::new(&g, NodeId(0), NodeId(1));
-        let first_two = vec![w.step(), w.step()];
+        let first_two = [w.step(), w.step()];
         let rest = w.run(2);
         let batch = hitting_probabilities(&g, NodeId(0), NodeId(1), 4);
         assert!((first_two[0] - batch[0]).abs() < 1e-12);
@@ -239,6 +310,49 @@ mod tests {
         assert!((rest[0] - batch[2]).abs() < 1e-12);
         assert!((rest[1] - batch[3]).abs() < 1e-12);
         assert_eq!(w.steps_taken(), 4);
+    }
+
+    #[test]
+    fn all_engines_agree_on_hitting_probabilities() {
+        let g = triangle();
+        let mut scratch = WalkScratch::new();
+        let dense = hitting_probabilities_with(
+            &g,
+            NodeId(0),
+            NodeId(2),
+            8,
+            WalkEngine::Dense,
+            &mut scratch,
+        );
+        for engine in [WalkEngine::Sparse, WalkEngine::Auto] {
+            let other =
+                hitting_probabilities_with(&g, NodeId(0), NodeId(2), 8, engine, &mut scratch);
+            for (a, b) in dense.iter().zip(other.iter()) {
+                assert!((a - b).abs() < 1e-12, "{engine:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_pairs_matches_fresh_walks() {
+        let g = triangle();
+        let params = DhtParams::paper_default();
+        let mut scratch = WalkScratch::new();
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                let pooled = forward_dht_with(
+                    &g,
+                    &params,
+                    NodeId(u),
+                    NodeId(v),
+                    8,
+                    WalkEngine::default(),
+                    &mut scratch,
+                );
+                let fresh = forward_dht(&g, &params, NodeId(u), NodeId(v), 8);
+                assert_eq!(pooled, fresh, "scratch reuse changed ({u}, {v})");
+            }
+        }
     }
 
     #[test]

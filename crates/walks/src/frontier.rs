@@ -1,0 +1,606 @@
+//! The sparse-frontier propagation kernel and its reusable scratch buffers.
+//!
+//! Every walk engine in this crate advances a probability vector one step at
+//! a time.  The seed implementation swept all `|V_G|` entries per step and
+//! allocated two fresh vectors per walk; this module replaces that with:
+//!
+//! * [`WalkScratch`] — a reusable buffer set (probability vectors, frontier
+//!   lists, membership flags).  One scratch serves an unbounded number of
+//!   consecutive walks with **zero** per-walk allocation, and cleanup after
+//!   a sparse walk touches only the entries the walk actually reached.
+//! * a **sparse-frontier step**: only nodes currently holding probability
+//!   mass (the *frontier*) push their mass along their edges.  The d-step
+//!   neighbourhood of a single source is usually tiny relative to `|V_G|`,
+//!   so early steps cost `O(Σ_{u ∈ frontier} deg(u))` instead of
+//!   `O(|V_G| + |E_G|)`.
+//! * a **push/pull (sparse/dense) switch** in the spirit of
+//!   direction-optimizing BFS (Beamer et al.): when the frontier's degree
+//!   sum approaches the cost of a dense sweep, the kernel switches to the
+//!   seed's dense step for the remainder of the walk.  The switch is
+//!   one-way per walk — rebuilding a frontier from a dense vector would
+//!   cost a full sweep.
+//! * [`ScratchPool`] — a lock-guarded pool handing out scratches to worker
+//!   threads, so parallel joins reuse buffers instead of allocating per
+//!   task.
+//!
+//! Sparse and dense steps accumulate floating-point sums in different
+//! orders, so their results may differ by rounding (≤ 1e-12 relative in
+//! practice; the parity proptests pin this).  Results of a given engine are
+//! fully deterministic: a walk is advanced by exactly one caller, so the
+//! frontier is discovered in an input-determined order — no sorting and no
+//! scheduling dependence.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+use dht_graph::{Graph, NodeId};
+
+/// Which propagation kernel a walk uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WalkEngine {
+    /// Always run the seed's dense `O(|V| + |E|)` sweep — the reference
+    /// engine, bit-identical to the original implementation.
+    Dense,
+    /// Track the active node set and push only from the frontier, switching
+    /// to dense sweeps once the frontier saturates.
+    Sparse,
+    /// Currently an alias for [`WalkEngine::Sparse`] — the recommended
+    /// default, kept as a separate variant so future heuristics (e.g.
+    /// per-graph calibration) do not change the meaning of an explicit
+    /// `Sparse` request.
+    #[default]
+    Auto,
+}
+
+impl WalkEngine {
+    /// Parses the CLI spelling of an engine name.
+    pub fn parse(name: &str) -> Option<WalkEngine> {
+        match name.to_ascii_lowercase().as_str() {
+            "dense" => Some(WalkEngine::Dense),
+            "sparse" => Some(WalkEngine::Sparse),
+            "auto" => Some(WalkEngine::Auto),
+            _ => None,
+        }
+    }
+
+    /// The engine's CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WalkEngine::Dense => "dense",
+            WalkEngine::Sparse => "sparse",
+            WalkEngine::Auto => "auto",
+        }
+    }
+
+    #[inline]
+    fn forces_dense(self) -> bool {
+        matches!(self, WalkEngine::Dense)
+    }
+}
+
+/// Sentinel for forward steps without an absorbing target (no node id ever
+/// reaches `usize::MAX`).
+const NO_ABSORB: usize = usize::MAX;
+
+/// A sparse step is taken while its estimated work (frontier degree sum plus
+/// frontier bookkeeping) times this factor stays below the dense sweep cost
+/// `|V| + |E|`.  The factor accounts for the sparse step's constant-factor
+/// overhead (membership flags, frontier maintenance).
+const SPARSE_WORK_FACTOR: usize = 3;
+
+/// Reusable buffers for one walk at a time.
+///
+/// A scratch may be reused for any number of consecutive walks (of either
+/// direction, on graphs of any size); [`WalkScratch::begin`] re-initialises
+/// it in time proportional to what the *previous* walk touched, not
+/// `O(|V|)`.
+#[derive(Debug, Clone, Default)]
+pub struct WalkScratch {
+    /// Probability mass after the last completed step (dense indexing).
+    current: Vec<f64>,
+    /// Accumulation buffer for the next step; all-zero between steps while
+    /// sparse (the sparse step restores the invariant on swap).
+    next: Vec<f64>,
+    /// Ids of nodes with (potentially) non-zero `current` mass, in
+    /// activation order (a pure function of the walk's input, hence
+    /// deterministic).  Meaningless once `dense_mode` is set.
+    frontier: Vec<u32>,
+    /// Scratch list the next frontier is collected into.
+    spare: Vec<u32>,
+    /// Membership flags used to deduplicate `spare`; all-false between
+    /// steps.
+    active: Vec<bool>,
+    /// Set once a dense step has run for the current walk; cleared by
+    /// [`WalkScratch::begin`].
+    dense_mode: bool,
+}
+
+impl WalkScratch {
+    /// A fresh scratch with no buffers allocated yet.
+    pub fn new() -> Self {
+        WalkScratch::default()
+    }
+
+    /// Starts a new walk over `n` nodes seeded with unit mass on `seeds`.
+    ///
+    /// Cleans up whatever the previous walk left behind, reusing the
+    /// allocations.
+    pub fn begin(&mut self, n: usize, seeds: impl IntoIterator<Item = NodeId>) {
+        if self.dense_mode {
+            self.current.iter_mut().for_each(|x| *x = 0.0);
+            self.next.iter_mut().for_each(|x| *x = 0.0);
+        } else {
+            for &u in &self.frontier {
+                if let Some(slot) = self.current.get_mut(u as usize) {
+                    *slot = 0.0;
+                }
+            }
+        }
+        self.frontier.clear();
+        self.dense_mode = false;
+        self.current.resize(n, 0.0);
+        self.next.resize(n, 0.0);
+        self.active.resize(n, false);
+        for seed in seeds {
+            if seed.index() < n && self.current[seed.index()] == 0.0 {
+                self.current[seed.index()] = 1.0;
+                self.frontier.push(seed.0);
+            }
+        }
+    }
+
+    /// Probability mass per node after the last completed step.
+    #[inline]
+    pub fn current(&self) -> &[f64] {
+        &self.current
+    }
+
+    /// Whether the walk provably has no mass left to propagate (the frontier
+    /// emptied).  Conservative: always `false` once in dense mode.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        !self.dense_mode && self.frontier.is_empty()
+    }
+
+    /// Whether the walk has switched to dense sweeps.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.dense_mode
+    }
+
+    /// Calls `f(node, mass)` for every node with non-zero mass.
+    pub fn for_each_nonzero(&self, mut f: impl FnMut(usize, f64)) {
+        if self.dense_mode {
+            for (u, &mass) in self.current.iter().enumerate() {
+                if mass != 0.0 {
+                    f(u, mass);
+                }
+            }
+        } else {
+            for &u in &self.frontier {
+                let mass = self.current[u as usize];
+                if mass != 0.0 {
+                    f(u as usize, mass);
+                }
+            }
+        }
+    }
+
+    /// One step of a forward **absorbing** walk towards `target`: mass
+    /// reaching the target is returned (the step's first-hit probability)
+    /// instead of being propagated further.
+    pub fn step_forward_absorbing(
+        &mut self,
+        graph: &Graph,
+        target: NodeId,
+        engine: WalkEngine,
+    ) -> f64 {
+        let t = target.index();
+        if self.decide_dense(graph, engine, Direction::Forward) {
+            return self.dense_forward(graph, t);
+        }
+        self.sparse_forward(graph, t)
+    }
+
+    /// One step of a plain (non-absorbing) forward walk: after `i` steps,
+    /// `current[v]` holds the probability that the walker is at `v`.
+    pub fn step_forward(&mut self, graph: &Graph, engine: WalkEngine) {
+        if self.decide_dense(graph, engine, Direction::Forward) {
+            self.dense_forward(graph, NO_ABSORB);
+        } else {
+            self.sparse_forward(graph, NO_ABSORB);
+        }
+    }
+
+    /// One step of the backward first-hit recurrence towards `target`
+    /// (`backWalk`): after the call `current[u] = P_i(u, target)`.  When
+    /// `exclude_target` is set (every step but the first), mass sitting on
+    /// the target is not propagated — that is what makes the probabilities
+    /// *first*-hit ones.
+    pub fn step_backward(
+        &mut self,
+        graph: &Graph,
+        target: NodeId,
+        exclude_target: bool,
+        engine: WalkEngine,
+    ) {
+        if self.decide_dense(graph, engine, Direction::Backward) {
+            self.dense_backward(graph, target, exclude_target);
+        } else {
+            self.sparse_backward(graph, target, exclude_target);
+        }
+    }
+
+    fn decide_dense(&mut self, graph: &Graph, engine: WalkEngine, direction: Direction) -> bool {
+        if engine.forces_dense() || self.dense_mode {
+            self.dense_mode = true;
+            return true;
+        }
+        let degree_sum = match direction {
+            Direction::Forward => graph.frontier_out_degree_sum(&self.frontier),
+            Direction::Backward => graph.frontier_in_degree_sum(&self.frontier),
+        };
+        let sparse_work = degree_sum + self.frontier.len();
+        let dense_work = graph.node_count() + graph.edge_count();
+        if sparse_work * SPARSE_WORK_FACTOR >= dense_work {
+            self.dense_mode = true;
+            return true;
+        }
+        false
+    }
+
+    /// Dense forward sweep, bit-identical to the seed implementation.
+    /// `absorb` carries the target index for absorbing walks ([`NO_ABSORB`]
+    /// for plain reach sweeps) and the absorbed mass is returned.
+    fn dense_forward(&mut self, graph: &Graph, absorb: usize) -> f64 {
+        let n = graph.node_count();
+        self.next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let mass = self.current[u];
+            if mass == 0.0 || u == absorb {
+                continue;
+            }
+            let (targets, probs) = graph.out_targets_probs(NodeId(u as u32));
+            for (&v, &p) in targets.iter().zip(probs.iter()) {
+                self.next[v as usize] += mass * p;
+            }
+        }
+        let mut hit = 0.0;
+        if absorb < n {
+            hit = self.next[absorb];
+            self.next[absorb] = 0.0;
+        }
+        std::mem::swap(&mut self.current, &mut self.next);
+        hit
+    }
+
+    fn sparse_forward(&mut self, graph: &Graph, absorb: usize) -> f64 {
+        let mut hit = 0.0;
+        let frontier = std::mem::take(&mut self.frontier);
+        self.spare.clear();
+        for &u in &frontier {
+            let ui = u as usize;
+            let mass = self.current[ui];
+            if mass == 0.0 || ui == absorb {
+                continue;
+            }
+            let (targets, probs) = graph.out_targets_probs(NodeId(u));
+            for (&v, &p) in targets.iter().zip(probs.iter()) {
+                let vi = v as usize;
+                if vi == absorb {
+                    hit += mass * p;
+                    continue;
+                }
+                if !self.active[vi] {
+                    self.active[vi] = true;
+                    self.spare.push(v);
+                }
+                self.next[vi] += mass * p;
+            }
+        }
+        self.finish_sparse_step(frontier);
+        hit
+    }
+
+    fn dense_backward(&mut self, graph: &Graph, target: NodeId, exclude_target: bool) {
+        let n = graph.node_count();
+        let t = target.index();
+        for u in 0..n {
+            let (targets, probs) = graph.out_targets_probs(NodeId(u as u32));
+            let mut acc = 0.0;
+            for (&v, &p) in targets.iter().zip(probs.iter()) {
+                if exclude_target && v as usize == t {
+                    continue;
+                }
+                acc += p * self.current[v as usize];
+            }
+            self.next[u] = acc;
+        }
+        std::mem::swap(&mut self.current, &mut self.next);
+    }
+
+    fn sparse_backward(&mut self, graph: &Graph, target: NodeId, exclude_target: bool) {
+        let t = target.index();
+        let frontier = std::mem::take(&mut self.frontier);
+        self.spare.clear();
+        for &v in &frontier {
+            let vi = v as usize;
+            if exclude_target && vi == t {
+                continue;
+            }
+            let mass = self.current[vi];
+            if mass == 0.0 {
+                continue;
+            }
+            let (sources, probs) = graph.in_sources_probs(NodeId(v));
+            for (&u, &p) in sources.iter().zip(probs.iter()) {
+                let ui = u as usize;
+                if !self.active[ui] {
+                    self.active[ui] = true;
+                    self.spare.push(u);
+                }
+                self.next[ui] += p * mass;
+            }
+        }
+        self.finish_sparse_step(frontier);
+    }
+
+    /// Restores the scratch invariants after a sparse accumulation into
+    /// `next` / `spare`: zero the old mass, clear the flags and swap the
+    /// buffers.  The new frontier keeps its activation order — which is a
+    /// pure function of the walk's input, so results stay deterministic —
+    /// rather than paying an `O(f log f)` sort per step.
+    fn finish_sparse_step(&mut self, old_frontier: Vec<u32>) {
+        for &u in &old_frontier {
+            self.current[u as usize] = 0.0;
+        }
+        for &v in &self.spare {
+            self.active[v as usize] = false;
+        }
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.frontier = old_frontier;
+        std::mem::swap(&mut self.frontier, &mut self.spare);
+    }
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// A lock-guarded pool of [`WalkScratch`] buffers shared by worker threads.
+///
+/// Acquiring returns a guard that dereferences to the scratch and returns it
+/// to the pool on drop, so a join that processes thousands of walk tasks
+/// allocates at most one scratch per worker thread.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<WalkScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool::default()
+    }
+
+    /// Takes a scratch from the pool, or creates one if none is free.
+    pub fn acquire(&self) -> ScratchGuard<'_> {
+        let scratch = self
+            .free
+            .lock()
+            .expect("scratch pool lock poisoned")
+            .pop()
+            .unwrap_or_default();
+        ScratchGuard {
+            scratch: Some(scratch),
+            pool: self,
+        }
+    }
+
+    /// Number of scratches currently parked in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.free.lock().expect("scratch pool lock poisoned").len()
+    }
+}
+
+/// RAII guard for a pooled [`WalkScratch`]; see [`ScratchPool::acquire`].
+#[derive(Debug)]
+pub struct ScratchGuard<'p> {
+    scratch: Option<WalkScratch>,
+    pool: &'p ScratchPool,
+}
+
+impl Deref for ScratchGuard<'_> {
+    type Target = WalkScratch;
+    fn deref(&self) -> &WalkScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut WalkScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(scratch) = self.scratch.take() {
+            self.pool
+                .free
+                .lock()
+                .expect("scratch pool lock poisoned")
+                .push(scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::with_nodes(3);
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Long path so the frontier never saturates: the sparse engine must
+    /// stay sparse and still agree with dense.
+    fn long_path(n: usize) -> Graph {
+        let mut b = GraphBuilder::with_nodes(n);
+        for i in 0..(n - 1) as u32 {
+            b.add_unit_edge(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sparse_and_dense_forward_absorbing_agree() {
+        let g = triangle();
+        for engine in [WalkEngine::Sparse, WalkEngine::Auto] {
+            let mut sparse = WalkScratch::new();
+            let mut dense = WalkScratch::new();
+            sparse.begin(3, [NodeId(0)]);
+            dense.begin(3, [NodeId(0)]);
+            for step in 0..6 {
+                let hs = sparse.step_forward_absorbing(&g, NodeId(1), engine);
+                let hd = dense.step_forward_absorbing(&g, NodeId(1), WalkEngine::Dense);
+                assert!((hs - hd).abs() < 1e-12, "step {step}: {hs} vs {hd}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_stays_sparse_on_a_long_path() {
+        let g = long_path(1000);
+        let mut scratch = WalkScratch::new();
+        scratch.begin(1000, [NodeId(0)]);
+        for _ in 0..10 {
+            scratch.step_forward(&g, WalkEngine::Sparse);
+        }
+        assert!(
+            !scratch.is_dense(),
+            "frontier of size 1 must never trigger the dense switch"
+        );
+        // all mass sits exactly 10 hops down the path
+        assert!((scratch.current()[10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturated_frontier_switches_to_dense() {
+        let g = triangle();
+        let mut scratch = WalkScratch::new();
+        scratch.begin(3, [NodeId(0)]);
+        // On a 3-node triangle any frontier saturates immediately.
+        scratch.step_forward(&g, WalkEngine::Sparse);
+        assert!(scratch.is_dense());
+    }
+
+    #[test]
+    fn exhausted_walks_report_it() {
+        // 0 -> 1, and node 1 is absorbing target: after one step no mass is left.
+        let mut b = GraphBuilder::with_nodes(8);
+        b.add_unit_edge(NodeId(0), NodeId(1)).unwrap();
+        let g = b.build().unwrap();
+        let mut scratch = WalkScratch::new();
+        scratch.begin(8, [NodeId(0)]);
+        let hit = scratch.step_forward_absorbing(&g, NodeId(1), WalkEngine::Sparse);
+        assert!((hit - 1.0).abs() < 1e-12);
+        assert!(scratch.is_exhausted());
+    }
+
+    #[test]
+    fn backward_sparse_matches_backward_dense() {
+        let g = triangle();
+        let mut sparse = WalkScratch::new();
+        let mut dense = WalkScratch::new();
+        sparse.begin(3, [NodeId(0)]);
+        dense.begin(3, [NodeId(0)]);
+        for step in 0..5 {
+            let exclude = step >= 1;
+            sparse.step_backward(&g, NodeId(0), exclude, WalkEngine::Sparse);
+            dense.step_backward(&g, NodeId(0), exclude, WalkEngine::Dense);
+            for u in 0..3 {
+                assert!(
+                    (sparse.current()[u] - dense.current()[u]).abs() < 1e-12,
+                    "step {step} node {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_leaves_no_residue() {
+        let g = long_path(50);
+        let mut scratch = WalkScratch::new();
+        // First walk deposits mass along the path.
+        scratch.begin(50, [NodeId(0)]);
+        for _ in 0..5 {
+            scratch.step_forward(&g, WalkEngine::Sparse);
+        }
+        // Re-begin with a different seed: everything else must read zero.
+        scratch.begin(50, [NodeId(30)]);
+        let mut nonzero = Vec::new();
+        scratch.for_each_nonzero(|u, _| nonzero.push(u));
+        assert_eq!(nonzero, vec![30]);
+        assert_eq!(scratch.current().iter().filter(|&&x| x != 0.0).count(), 1);
+    }
+
+    #[test]
+    fn scratch_reuse_after_dense_walk_is_clean() {
+        let g = triangle();
+        let mut scratch = WalkScratch::new();
+        scratch.begin(3, [NodeId(0)]);
+        for _ in 0..4 {
+            scratch.step_forward(&g, WalkEngine::Dense);
+        }
+        assert!(scratch.is_dense());
+        scratch.begin(3, [NodeId(2)]);
+        assert!(!scratch.is_dense());
+        assert_eq!(scratch.current(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn scratch_resizes_between_graphs() {
+        let small = triangle();
+        let big = long_path(100);
+        let mut scratch = WalkScratch::new();
+        scratch.begin(3, [NodeId(0)]);
+        scratch.step_forward(&small, WalkEngine::Sparse);
+        scratch.begin(100, [NodeId(0)]);
+        scratch.step_forward(&big, WalkEngine::Sparse);
+        assert!((scratch.current()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_hands_out_and_reclaims_scratches() {
+        let pool = ScratchPool::new();
+        assert_eq!(pool.idle_count(), 0);
+        {
+            let mut a = pool.acquire();
+            let _b = pool.acquire();
+            a.begin(4, [NodeId(1)]);
+            assert_eq!(pool.idle_count(), 0);
+        }
+        assert_eq!(pool.idle_count(), 2);
+        // Reacquired scratch keeps its allocation but is re-initialised.
+        let mut c = pool.acquire();
+        c.begin(4, [NodeId(2)]);
+        assert_eq!(c.current(), &[0.0, 0.0, 1.0, 0.0]);
+        assert_eq!(pool.idle_count(), 1);
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for engine in [WalkEngine::Dense, WalkEngine::Sparse, WalkEngine::Auto] {
+            assert_eq!(WalkEngine::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(WalkEngine::parse("DENSE"), Some(WalkEngine::Dense));
+        assert_eq!(WalkEngine::parse("quantum"), None);
+    }
+}

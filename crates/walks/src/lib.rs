@@ -28,7 +28,12 @@
 //! * [`bounds`] — the `X_l⁺` tail bound and the tighter `Y_l⁺(P,q)` bound of
 //!   Theorem 1, which drive the pruning of B-IDJ-X and B-IDJ-Y;
 //! * [`exact`] — small-graph oracles (path enumeration, dense all-pairs
-//!   tables) used to validate the walk engines in tests.
+//!   tables) used to validate the walk engines in tests;
+//! * [`frontier`] — the sparse-frontier propagation kernel all of the above
+//!   run on: reusable [`WalkScratch`] buffers (pooled via [`ScratchPool`]),
+//!   frontier tracking with a push/pull switch to dense sweeps once the
+//!   frontier saturates, and the [`WalkEngine`] knob selecting between the
+//!   dense reference engine and the sparse one.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -37,9 +42,11 @@ pub mod backward;
 pub mod bounds;
 pub mod exact;
 pub mod forward;
+pub mod frontier;
 pub mod params;
 
 pub use backward::BackwardWalk;
 pub use bounds::{x_upper_bound, YBoundTable};
 pub use forward::AbsorbingWalk;
+pub use frontier::{ScratchPool, WalkEngine, WalkScratch};
 pub use params::{DhtParams, ParamsError};

@@ -51,13 +51,21 @@ impl DhtParams {
         if !(lambda > 0.0 && lambda < 1.0) {
             return Err(ParamsError::LambdaOutOfRange(lambda));
         }
-        Ok(DhtParams { alpha, beta, lambda })
+        Ok(DhtParams {
+            alpha,
+            beta,
+            lambda,
+        })
     }
 
     /// The `DHT_e` measure of Guan et al. (SIGMOD 2011):
     /// `α = e`, `β = 0`, `λ = 1/e` (Table II).
     pub fn dht_e() -> Self {
-        DhtParams { alpha: E, beta: 0.0, lambda: 1.0 / E }
+        DhtParams {
+            alpha: E,
+            beta: 0.0,
+            lambda: 1.0 / E,
+        }
     }
 
     /// The `DHT_λ` measure of Sarkar & Moore (KDD 2010), negated into a
@@ -76,7 +84,11 @@ impl DhtParams {
             return Err(ParamsError::LambdaOutOfRange(lambda));
         }
         let alpha = 1.0 / (1.0 - lambda);
-        Ok(DhtParams { alpha, beta: -alpha, lambda })
+        Ok(DhtParams {
+            alpha,
+            beta: -alpha,
+            lambda,
+        })
     }
 
     /// The experimental default of the paper: `DHT_λ` with `λ = 0.2`
@@ -134,6 +146,19 @@ impl DhtParams {
     #[inline]
     pub fn max_score(&self) -> f64 {
         self.alpha * self.lambda + self.beta
+    }
+
+    /// The conventional score of a self pair `(v, v)`: a walker already at
+    /// the target has hit it at step 0, i.e. `α·λ⁰·1 + β = α + β`.
+    ///
+    /// For `DHT_λ` (`α = 1/(1−λ)`, `β = −α`) this is exactly the boundary
+    /// condition `h(v, v) = 0` of Sarkar & Moore mapped through Table II;
+    /// for `DHT_e` it is `e`.  The join algorithms never score a node
+    /// against itself — this value only appears on the diagonal of bulk
+    /// score vectors and matrices, where all engines must agree.
+    #[inline]
+    pub fn self_score(&self) -> f64 {
+        self.alpha + self.beta
     }
 
     /// The geometric tail `X_l⁺ = α · Σ_{i>l} λ^i = α·λ^{l+1}/(1−λ)`
@@ -207,7 +232,7 @@ mod tests {
     #[test]
     fn score_from_hits_matches_manual_sum() {
         let p = DhtParams::dht_lambda(0.5); // alpha = 2, beta = -2
-        // P_1 = 0.5, P_2 = 0.25
+                                            // P_1 = 0.5, P_2 = 0.25
         let score = p.score_from_hits(&[0.5, 0.25]);
         let expected = 2.0 * (0.5 * 0.5 + 0.25 * 0.25) - 2.0;
         assert!((score - expected).abs() < 1e-12);
@@ -228,9 +253,23 @@ mod tests {
     }
 
     #[test]
+    fn self_score_matches_the_boundary_conventions() {
+        // DHT_λ: h(v, v) = 0 for every λ (Sarkar & Moore's boundary
+        // condition survives the Table II mapping exactly).
+        for lambda in [0.1, 0.2, 0.5, 0.9] {
+            assert_eq!(DhtParams::dht_lambda(lambda).self_score(), 0.0);
+        }
+        // DHT_e: α + β = e.
+        assert!((DhtParams::dht_e().self_score() - E).abs() < 1e-12);
+        // "hit at step 0" dominates every reachable score.
+        let p = DhtParams::paper_default();
+        assert!(p.self_score() >= p.max_score());
+    }
+
+    #[test]
     fn tail_bound_is_geometric_tail() {
         let p = DhtParams::dht_lambda(0.5); // alpha = 2
-        // X_1+ = 2 * (0.25 + 0.125 + ...) = 2 * 0.5 = 1.0
+                                            // X_1+ = 2 * (0.25 + 0.125 + ...) = 2 * 0.5 = 1.0
         assert!((p.tail_bound(1) - 1.0).abs() < 1e-12);
         // tails shrink monotonically
         assert!(p.tail_bound(2) < p.tail_bound(1));
@@ -249,6 +288,8 @@ mod tests {
     fn error_display() {
         assert!(ParamsError::ZeroAlpha.to_string().contains("alpha"));
         assert!(ParamsError::LambdaOutOfRange(2.0).to_string().contains("2"));
-        assert!(ParamsError::NonPositiveEpsilon(0.0).to_string().contains("epsilon"));
+        assert!(ParamsError::NonPositiveEpsilon(0.0)
+            .to_string()
+            .contains("epsilon"));
     }
 }

@@ -31,15 +31,27 @@ fn main() {
 
     // Chain query graph M -> R -> C (Figure 2(b)).
     let query = QueryGraph::chain(3);
-    let config = NWayConfig::paper_default().with_k(5).with_aggregate(Aggregate::Sum);
+    let config = NWayConfig::paper_default()
+        .with_k(5)
+        .with_aggregate(Aggregate::Sum);
 
     // Compare PJ and PJ-i: identical answers, PJ-i does less work when the
     // rank join needs pairs beyond the initial top-m lists.
     let pj = NWayAlgorithm::PartialJoin { m: 10 }
-        .run(&cg.graph, &config, &query, &[manufacturers.clone(), retailers.clone(), customers.clone()])
+        .run(
+            &cg.graph,
+            &config,
+            &query,
+            &[manufacturers.clone(), retailers.clone(), customers.clone()],
+        )
         .expect("chain query is valid");
     let pji = NWayAlgorithm::IncrementalPartialJoin { m: 10 }
-        .run(&cg.graph, &config, &query, &[manufacturers, retailers, customers])
+        .run(
+            &cg.graph,
+            &config,
+            &query,
+            &[manufacturers, retailers, customers],
+        )
         .expect("chain query is valid");
 
     println!("\ntop-5 (manufacturer, retailer, customer) triples — SUM aggregate:");

@@ -28,7 +28,12 @@ fn main() {
     let query = QueryGraph::triangle();
     let config = NWayConfig::paper_default().with_k(5);
     let result = NWayAlgorithm::IncrementalPartialJoin { m: 50 }
-        .run(&dataset.graph, &config, &query, &[db.clone(), ai.clone(), sys.clone()])
+        .run(
+            &dataset.graph,
+            &config,
+            &query,
+            &[db.clone(), ai.clone(), sys.clone()],
+        )
         .expect("triangle query over DBLP areas is valid");
 
     println!("\ntop-5 (DB, AI, SYS) expert triples — triangle query graph, MIN aggregate:");

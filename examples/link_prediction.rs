@@ -18,7 +18,13 @@ fn main() {
     // The two largest partitions play the role of the paper's 3-U and 8-D.
     let sets = dataset.largest_sets(2);
     let (p, q) = (sets[0].clone(), sets[1].clone());
-    println!("predicting links between {} ({} nodes) and {} ({} nodes)", p.name(), p.len(), q.name(), q.len());
+    println!(
+        "predicting links between {} ({} nodes) and {} ({} nodes)",
+        p.name(),
+        p.len(),
+        q.name(),
+        q.len()
+    );
 
     // Hold out half of the P–Q interactions to form the test graph T.
     let split = link_prediction_split(&dataset.graph, &p, &q, 0.5, 42)
@@ -39,7 +45,11 @@ fn main() {
     println!("AUC = {:.4}", outcome.auc());
     println!("\nROC operating points:");
     for fpr in [0.01f64, 0.05, 0.1, 0.2, 0.5] {
-        println!("  FPR {:>5.2} → TPR {:.3}", fpr, outcome.roc.tpr_at_fpr(fpr));
+        println!(
+            "  FPR {:>5.2} → TPR {:.3}",
+            fpr,
+            outcome.roc.tpr_at_fpr(fpr)
+        );
     }
 
     // The same ranking drives friend suggestion: the top-k join returns the
@@ -48,10 +58,9 @@ fn main() {
     let top = TwoWayAlgorithm::BackwardIdjY.top_k(&split.test_graph, &config, &p, &q, 5);
     println!("\ntop-5 predicted interactions:");
     for pair in &top.pairs {
-        let held_out = split
-            .removed
-            .iter()
-            .any(|&(a, b)| (a == pair.left && b == pair.right) || (a == pair.right && b == pair.left));
+        let held_out = split.removed.iter().any(|&(a, b)| {
+            (a == pair.left && b == pair.right) || (a == pair.right && b == pair.left)
+        });
         println!(
             "  {} – {}  score {:.4}  {}",
             split.test_graph.display_name(pair.left),

@@ -42,7 +42,7 @@ fn main() {
         .compute(&split.test_graph)
         .expect("tiny yeast fits the dense SimRank solver");
 
-    let measures: Vec<(&str, &dyn ProximityMeasure)> = vec![
+    let measures: Vec<(&str, &(dyn ProximityMeasure + Sync))> = vec![
         ("DHT (λ=0.2)", &dht),
         ("PPR (c=0.85)", &ppr),
         ("hitting time", &ht),
@@ -51,7 +51,10 @@ fn main() {
         ("SimRank (C=0.8)", &simrank),
     ];
 
-    println!("{:<16} {:>8} {:>12} {:>12}", "measure", "AUC", "TPR@FPR=0.1", "TPR@FPR=0.2");
+    println!(
+        "{:<16} {:>8} {:>12} {:>12}",
+        "measure", "AUC", "TPR@FPR=0.1", "TPR@FPR=0.2"
+    );
     for (name, measure) in &measures {
         let outcome = linkpred::evaluate_with(&dataset.graph, &split.test_graph, &p, &q, |g, t| {
             measure.scores_to_target(g, t)

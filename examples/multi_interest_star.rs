@@ -19,7 +19,14 @@ fn main() {
     // capped so the example finishes instantly.
     let cap = 30usize;
     let names = ["G1", "G2", "G3", "G4", "G5", "G6"];
-    let roles = ["Photography", "Soccer", "Basketball", "Hockey", "Golf", "Tennis"];
+    let roles = [
+        "Photography",
+        "Soccer",
+        "Basketball",
+        "Hockey",
+        "Golf",
+        "Tennis",
+    ];
     let sets: Vec<NodeSet> = names
         .iter()
         .zip(roles.iter())
@@ -48,7 +55,12 @@ fn main() {
             .zip(roles.iter())
             .map(|(&node, role)| format!("{role}=n{}", node.0))
             .collect();
-        println!("  #{} {}  score {:.4}", rank + 1, members.join(" "), answer.score);
+        println!(
+            "  #{} {}  score {:.4}",
+            rank + 1,
+            members.join(" "),
+            answer.score
+        );
     }
     if result.answers.is_empty() {
         println!("  (no tuple connects all six communities in this tiny synthetic graph)");

@@ -18,14 +18,14 @@ fn build_click_graph() -> (Graph, Vec<NodeId>, Vec<NodeId>) {
     let mut b = GraphBuilder::new();
 
     let queries = [
-        "rust lifetimes",          // 0
-        "rust borrow checker",     // 1
-        "rust async await",        // 2
-        "tokio tutorial",          // 3
-        "python asyncio",          // 4
-        "pandas dataframe",        // 5
-        "numpy broadcasting",      // 6
-        "graph random walk",       // 7
+        "rust lifetimes",      // 0
+        "rust borrow checker", // 1
+        "rust async await",    // 2
+        "tokio tutorial",      // 3
+        "python asyncio",      // 4
+        "pandas dataframe",    // 5
+        "numpy broadcasting",  // 6
+        "graph random walk",   // 7
     ];
     let urls = [
         "doc.rust-lang.org/book/ch10-lifetimes",
@@ -43,22 +43,36 @@ fn build_click_graph() -> (Graph, Vec<NodeId>, Vec<NodeId>) {
 
     // clicks: (query index, url index, count)
     let clicks = [
-        (0, 0, 9.0), (0, 1, 4.0),
-        (1, 1, 8.0), (1, 0, 5.0),
-        (2, 2, 7.0), (2, 3, 3.0),
-        (3, 3, 9.0), (3, 2, 2.0),
-        (4, 4, 8.0), (4, 2, 1.0),
+        (0, 0, 9.0),
+        (0, 1, 4.0),
+        (1, 1, 8.0),
+        (1, 0, 5.0),
+        (2, 2, 7.0),
+        (2, 3, 3.0),
+        (3, 3, 9.0),
+        (3, 2, 2.0),
+        (4, 4, 8.0),
+        (4, 2, 1.0),
         (5, 5, 9.0),
-        (6, 6, 7.0), (6, 5, 2.0),
+        (6, 6, 7.0),
+        (6, 5, 2.0),
         (7, 7, 6.0),
     ];
     for &(qi, ui, w) in &clicks {
-        b.add_undirected_edge(query_ids[qi], url_ids[ui], w).unwrap();
+        b.add_undirected_edge(query_ids[qi], url_ids[ui], w)
+            .unwrap();
     }
     // same-session co-occurrences between queries
-    let sessions = [(0, 1, 6.0), (1, 2, 2.0), (2, 3, 5.0), (4, 5, 1.0), (5, 6, 4.0)];
+    let sessions = [
+        (0, 1, 6.0),
+        (1, 2, 2.0),
+        (2, 3, 5.0),
+        (4, 5, 1.0),
+        (5, 6, 4.0),
+    ];
     for &(a, z, w) in &sessions {
-        b.add_undirected_edge(query_ids[a], query_ids[z], w).unwrap();
+        b.add_undirected_edge(query_ids[a], query_ids[z], w)
+            .unwrap();
     }
 
     (b.build().unwrap(), query_ids, url_ids)
@@ -112,9 +126,16 @@ fn main() {
     );
     let urls = NodeSet::new("urls", _urls.iter().copied());
     let query_graph = QueryGraph::chain(3);
-    let config3 = NWayConfig::paper_default().with_k(5).with_aggregate(Aggregate::Min);
+    let config3 = NWayConfig::paper_default()
+        .with_k(5)
+        .with_aggregate(Aggregate::Min);
     let result = NWayAlgorithm::IncrementalPartialJoin { m: 20 }
-        .run(&graph, &config3, &query_graph, &[current_set, other_queries, urls])
+        .run(
+            &graph,
+            &config3,
+            &query_graph,
+            &[current_set, other_queries, urls],
+        )
         .expect("valid 3-way join");
 
     println!("'people also searched, then visited' for 'rust async await':");

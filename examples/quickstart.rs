@@ -34,7 +34,11 @@ fn main() {
             .expect("hand-written edges are valid");
     }
     let graph = builder.build().expect("hand-written graph is valid");
-    println!("graph: {} people, {} directed edges", graph.node_count(), graph.edge_count());
+    println!(
+        "graph: {} people, {} directed edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
 
     // ----- a 2-way join: who should befriend whom? -------------------------
     let soccer = NodeSet::new("soccer", [people[0], people[1], people[2]]);
@@ -60,7 +64,11 @@ fn main() {
         .expect("query graph and node sets are valid");
     println!("\ntop-3 (soccer, swimming, hiking) trios by MIN aggregate:");
     for answer in &result.answers {
-        let names: Vec<String> = answer.nodes.iter().map(|&n| graph.display_name(n)).collect();
+        let names: Vec<String> = answer
+            .nodes
+            .iter()
+            .map(|&n| graph.display_name(n))
+            .collect();
         println!("  {:?}  score {:.4}", names, answer.score);
     }
     println!(

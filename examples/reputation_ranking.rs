@@ -33,10 +33,10 @@ fn main() {
     // Seeds vouch for a few honest accounts; honest accounts vouch for each
     // other with varying strength.
     let vouches: &[(NodeId, NodeId, f64)] = &[
-        (seed_ids[0], honest_ids[0], 3.0), // alice → carol
-        (seed_ids[0], honest_ids[1], 2.0), // alice → dave
-        (seed_ids[1], honest_ids[1], 3.0), // bob → dave
-        (seed_ids[1], honest_ids[2], 1.0), // bob → erin
+        (seed_ids[0], honest_ids[0], 3.0),   // alice → carol
+        (seed_ids[0], honest_ids[1], 2.0),   // alice → dave
+        (seed_ids[1], honest_ids[1], 3.0),   // bob → dave
+        (seed_ids[1], honest_ids[2], 1.0),   // bob → erin
         (honest_ids[0], honest_ids[3], 2.0), // carol → frank
         (honest_ids[1], honest_ids[3], 1.0), // dave → frank
         (honest_ids[1], honest_ids[4], 2.0), // dave → grace

@@ -96,6 +96,9 @@ mod tests {
         assert_eq!(query.edge_count(), 2);
         assert_eq!(Aggregate::Min.name(), "MIN");
         assert_eq!(TwoWayAlgorithm::BackwardIdjY.name(), "B-IDJ-Y");
-        assert_eq!(NWayAlgorithm::IncrementalPartialJoin { m: 50 }.name(), "PJ-i");
+        assert_eq!(
+            NWayAlgorithm::IncrementalPartialJoin { m: 50 }.name(),
+            "PJ-i"
+        );
     }
 }

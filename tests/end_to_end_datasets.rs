@@ -14,13 +14,18 @@ fn capped(set: &NodeSet, cap: usize) -> NodeSet {
 #[test]
 fn dblp_expert_finding_returns_ranked_cross_area_triples() {
     let dataset = dblp::generate(&dblp::DblpConfig::for_scale(Scale::Tiny));
-    let sets: Vec<NodeSet> =
-        ["DB", "AI", "SYS"].iter().map(|n| dataset.node_set(n).unwrap().clone()).collect();
+    let sets: Vec<NodeSet> = ["DB", "AI", "SYS"]
+        .iter()
+        .map(|n| dataset.node_set(n).unwrap().clone())
+        .collect();
     let config = NWayConfig::paper_default().with_k(5);
     let result = NWayAlgorithm::IncrementalPartialJoin { m: 50 }
         .run(&dataset.graph, &config, &QueryGraph::triangle(), &sets)
         .unwrap();
-    assert!(!result.answers.is_empty(), "the triangle join should find connected triples");
+    assert!(
+        !result.answers.is_empty(),
+        "the triangle join should find connected triples"
+    );
     for answer in &result.answers {
         assert_eq!(answer.arity(), 3);
         // each component comes from its own area
@@ -28,7 +33,11 @@ fn dblp_expert_finding_returns_ranked_cross_area_triples() {
             assert!(set.contains(*node));
         }
         // labels carry the area prefix
-        assert!(dataset.graph.label(answer.nodes[0]).unwrap().starts_with("DB-"));
+        assert!(dataset
+            .graph
+            .label(answer.nodes[0])
+            .unwrap()
+            .starts_with("DB-"));
     }
     for w in result.answers.windows(2) {
         assert!(w[0].score >= w[1].score - 1e-12);
@@ -41,8 +50,14 @@ fn yeast_link_prediction_beats_random_guessing() {
     let sets = dataset.largest_sets(2);
     let (p, q) = (sets[0].clone(), sets[1].clone());
     let split = link_prediction_split(&dataset.graph, &p, &q, 0.5, 99).unwrap();
-    let outcome =
-        linkpred::evaluate(&dataset.graph, &split.test_graph, &p, &q, &DhtParams::paper_default(), 8);
+    let outcome = linkpred::evaluate(
+        &dataset.graph,
+        &split.test_graph,
+        &p,
+        &q,
+        &DhtParams::paper_default(),
+        8,
+    );
     assert!(outcome.positives > 0);
     assert!(outcome.auc() > 0.6, "AUC was only {}", outcome.auc());
 }

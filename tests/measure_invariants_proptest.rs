@@ -13,8 +13,7 @@ use dht_nway::prelude::*;
 /// Strategy: a small directed weighted graph as an edge list over `n` nodes.
 fn small_graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (3usize..9).prop_flat_map(|n| {
-        let edges =
-            proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..4.0), 1..(n * 3));
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..4.0), 1..(n * 3));
         (Just(n), edges)
     })
 }
@@ -23,7 +22,9 @@ fn build_graph(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
     let mut builder = GraphBuilder::with_nodes(n);
     for &(u, v, w) in edges {
         if u != v {
-            builder.add_edge(NodeId(u), NodeId(v), w).expect("valid endpoints");
+            builder
+                .add_edge(NodeId(u), NodeId(v), w)
+                .expect("valid endpoints");
         }
     }
     builder.build().expect("generated graph is valid")
@@ -125,7 +126,7 @@ proptest! {
         let ppr = PersonalizedPageRank::new(0.85, 7).unwrap();
         let ht = TruncatedHittingTime::new(6).unwrap();
 
-        fn check<M: IterativeMeasure>(
+        fn check<M: IterativeMeasure + Sync>(
             graph: &Graph, m: &M, p: &NodeSet, q: &NodeSet, k: usize,
         ) -> Result<(), TestCaseError> {
             let basic = measure_two_way_top_k(graph, m, p, q, k);

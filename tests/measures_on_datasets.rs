@@ -27,7 +27,12 @@ fn generic_dht_join_matches_dedicated_join_on_yeast() {
     let generic = measure_two_way_top_k(&data.graph, &DhtMeasure::paper_default(), &p, &q, k);
     assert_eq!(dedicated.pairs.len(), generic.len());
     for (a, b) in dedicated.pairs.iter().zip(generic.iter()) {
-        assert!((a.score - b.score).abs() < 1e-9, "{} vs {}", a.score, b.score);
+        assert!(
+            (a.score - b.score).abs() < 1e-9,
+            "{} vs {}",
+            a.score,
+            b.score
+        );
     }
 }
 
@@ -49,13 +54,37 @@ fn ppr_and_ht_rank_intra_community_pairs_first_on_dblp() {
     let (p, q) = (sets[0].clone(), sets[1].clone());
 
     for (name, pairs) in [
-        ("PPR", measure_two_way_top_k(&data.graph, &PersonalizedPageRank::default_web(), &p, &q, 10)),
-        ("HT", measure_two_way_top_k(&data.graph, &TruncatedHittingTime::new(8).unwrap(), &p, &q, 10)),
+        (
+            "PPR",
+            measure_two_way_top_k(
+                &data.graph,
+                &PersonalizedPageRank::default_web(),
+                &p,
+                &q,
+                10,
+            ),
+        ),
+        (
+            "HT",
+            measure_two_way_top_k(
+                &data.graph,
+                &TruncatedHittingTime::new(8).unwrap(),
+                &p,
+                &q,
+                10,
+            ),
+        ),
     ] {
         assert_eq!(pairs.len(), 10, "{name}: wrong result size");
-        assert!(pairs[0].score > 0.0, "{name}: top pair has no similarity at all");
+        assert!(
+            pairs[0].score > 0.0,
+            "{name}: top pair has no similarity at all"
+        );
         for w in pairs.windows(2) {
-            assert!(w[0].score >= w[1].score - 1e-15, "{name}: ranking not sorted");
+            assert!(
+                w[0].score >= w[1].score - 1e-15,
+                "{name}: ranking not sorted"
+            );
         }
     }
 }
@@ -63,7 +92,10 @@ fn ppr_and_ht_rank_intra_community_pairs_first_on_dblp() {
 #[test]
 fn simrank_dense_solver_handles_the_yeast_analogue() {
     let data = yeast_tiny();
-    assert!(data.graph.node_count() <= 1_000, "tiny yeast should fit the dense solver");
+    assert!(
+        data.graph.node_count() <= 1_000,
+        "tiny yeast should fit the dense solver"
+    );
     let matrix = SimRank::kdd2002_default().compute(&data.graph).unwrap();
     let sets = data.largest_sets(2);
     let (p, q) = (sets[0].clone(), sets[1].clone());
@@ -83,10 +115,8 @@ fn measure_nway_join_respects_query_and_aggregate_semantics() {
     let query = QueryGraph::chain(3);
     let ppr = PersonalizedPageRank::new(0.85, 6).unwrap();
 
-    let min_out =
-        measure_nway_top_k(&data.graph, &ppr, &query, &sets, Aggregate::Min, 5).unwrap();
-    let sum_out =
-        measure_nway_top_k(&data.graph, &ppr, &query, &sets, Aggregate::Sum, 5).unwrap();
+    let min_out = measure_nway_top_k(&data.graph, &ppr, &query, &sets, Aggregate::Min, 5).unwrap();
+    let sum_out = measure_nway_top_k(&data.graph, &ppr, &query, &sets, Aggregate::Sum, 5).unwrap();
     assert_eq!(min_out.answers.len(), 5);
     assert_eq!(sum_out.answers.len(), 5);
 

@@ -13,7 +13,12 @@ fn assert_same_scores(label: &str, reference: &NWayOutput, candidate: &NWayOutpu
         candidate.answers.len(),
         "{label}: answer counts differ"
     );
-    for (i, (a, b)) in reference.answers.iter().zip(candidate.answers.iter()).enumerate() {
+    for (i, (a, b)) in reference
+        .answers
+        .iter()
+        .zip(candidate.answers.iter())
+        .enumerate()
+    {
         assert!(
             (a.score - b.score).abs() < 1e-9,
             "{label}: rank {i} scores differ: {} vs {}",
@@ -24,11 +29,18 @@ fn assert_same_scores(label: &str, reference: &NWayOutput, candidate: &NWayOutpu
 }
 
 fn run_all(graph: &Graph, config: &NWayConfig, query: &QueryGraph, sets: &[NodeSet], label: &str) {
-    let nl = NWayAlgorithm::NestedLoop.run(graph, config, query, sets).unwrap();
-    let ap = NWayAlgorithm::AllPairs.run(graph, config, query, sets).unwrap();
-    let pj = NWayAlgorithm::PartialJoin { m: 5 }.run(graph, config, query, sets).unwrap();
-    let pji =
-        NWayAlgorithm::IncrementalPartialJoin { m: 5 }.run(graph, config, query, sets).unwrap();
+    let nl = NWayAlgorithm::NestedLoop
+        .run(graph, config, query, sets)
+        .unwrap();
+    let ap = NWayAlgorithm::AllPairs
+        .run(graph, config, query, sets)
+        .unwrap();
+    let pj = NWayAlgorithm::PartialJoin { m: 5 }
+        .run(graph, config, query, sets)
+        .unwrap();
+    let pji = NWayAlgorithm::IncrementalPartialJoin { m: 5 }
+        .run(graph, config, query, sets)
+        .unwrap();
     assert_same_scores(&format!("{label}/AP"), &nl, &ap);
     assert_same_scores(&format!("{label}/PJ"), &nl, &pj);
     assert_same_scores(&format!("{label}/PJ-i"), &nl, &pji);
@@ -39,7 +51,10 @@ fn run_all(graph: &Graph, config: &NWayConfig, query: &QueryGraph, sets: &[NodeS
 }
 
 fn small_sets(sets: &[NodeSet], count: usize, cap: usize) -> Vec<NodeSet> {
-    sets.iter().take(count).map(|s| NodeSet::new(s.name(), s.iter().take(cap))).collect()
+    sets.iter()
+        .take(count)
+        .map(|s| NodeSet::new(s.name(), s.iter().take(cap)))
+        .collect()
 }
 
 #[test]
@@ -47,7 +62,13 @@ fn chain_queries_agree_on_the_dblp_analogue() {
     let dataset = dblp::generate(&DblpConfig::for_scale(Scale::Tiny));
     let sets = small_sets(&dataset.node_sets, 3, 8);
     let config = NWayConfig::paper_default().with_k(6);
-    run_all(&dataset.graph, &config, &QueryGraph::chain(3), &sets, "dblp chain");
+    run_all(
+        &dataset.graph,
+        &config,
+        &QueryGraph::chain(3),
+        &sets,
+        "dblp chain",
+    );
 }
 
 #[test]
@@ -55,23 +76,59 @@ fn triangle_queries_agree_on_the_dblp_analogue() {
     let dataset = dblp::generate(&DblpConfig::for_scale(Scale::Tiny));
     let sets = small_sets(&dataset.node_sets, 3, 6);
     let config = NWayConfig::paper_default().with_k(4);
-    run_all(&dataset.graph, &config, &QueryGraph::triangle(), &sets, "dblp triangle");
+    run_all(
+        &dataset.graph,
+        &config,
+        &QueryGraph::triangle(),
+        &sets,
+        "dblp triangle",
+    );
 }
 
 #[test]
 fn star_queries_agree_on_the_yeast_analogue() {
     let dataset = yeast::generate(&YeastConfig::for_scale(Scale::Tiny));
-    let sets = small_sets(&dataset.largest_sets(4).into_iter().cloned().collect::<Vec<_>>(), 4, 6);
+    let sets = small_sets(
+        &dataset
+            .largest_sets(4)
+            .into_iter()
+            .cloned()
+            .collect::<Vec<_>>(),
+        4,
+        6,
+    );
     let config = NWayConfig::paper_default().with_k(5);
-    run_all(&dataset.graph, &config, &QueryGraph::star(4), &sets, "yeast star");
+    run_all(
+        &dataset.graph,
+        &config,
+        &QueryGraph::star(4),
+        &sets,
+        "yeast star",
+    );
 }
 
 #[test]
 fn sum_aggregate_agrees_as_well() {
     let dataset = yeast::generate(&YeastConfig::for_scale(Scale::Tiny));
-    let sets = small_sets(&dataset.largest_sets(3).into_iter().cloned().collect::<Vec<_>>(), 3, 7);
-    let config = NWayConfig::paper_default().with_k(5).with_aggregate(Aggregate::Sum);
-    run_all(&dataset.graph, &config, &QueryGraph::chain(3), &sets, "yeast sum chain");
+    let sets = small_sets(
+        &dataset
+            .largest_sets(3)
+            .into_iter()
+            .cloned()
+            .collect::<Vec<_>>(),
+        3,
+        7,
+    );
+    let config = NWayConfig::paper_default()
+        .with_k(5)
+        .with_aggregate(Aggregate::Sum);
+    run_all(
+        &dataset.graph,
+        &config,
+        &QueryGraph::chain(3),
+        &sets,
+        "yeast sum chain",
+    );
 }
 
 #[test]
@@ -85,5 +142,11 @@ fn four_way_cycle_agrees_on_a_planted_partition_graph() {
         seed: 11,
     });
     let config = NWayConfig::paper_default().with_k(5);
-    run_all(&cg.graph, &config, &QueryGraph::cycle(4), &cg.communities, "cycle 4");
+    run_all(
+        &cg.graph,
+        &config,
+        &QueryGraph::cycle(4),
+        &cg.communities,
+        "cycle 4",
+    );
 }

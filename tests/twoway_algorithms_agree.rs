@@ -8,8 +8,17 @@ use dht_datasets::Scale;
 use dht_nway::prelude::*;
 
 fn assert_same_scores(label: &str, reference: &TwoWayOutput, candidate: &TwoWayOutput) {
-    assert_eq!(reference.pairs.len(), candidate.pairs.len(), "{label}: result sizes differ");
-    for (i, (a, b)) in reference.pairs.iter().zip(candidate.pairs.iter()).enumerate() {
+    assert_eq!(
+        reference.pairs.len(),
+        candidate.pairs.len(),
+        "{label}: result sizes differ"
+    );
+    for (i, (a, b)) in reference
+        .pairs
+        .iter()
+        .zip(candidate.pairs.iter())
+        .enumerate()
+    {
         assert!(
             (a.score - b.score).abs() < 1e-9,
             "{label}: rank {i}: {} vs {}",
@@ -83,6 +92,12 @@ fn swapping_the_operands_changes_the_direction_of_the_scores() {
     // Both are valid rankings; the point is simply that the API treats the
     // ordered pair of node sets as directional.
     assert_eq!(forward.pairs.len(), backward.pairs.len());
-    assert!(forward.pairs.iter().all(|pr| p.contains(pr.left) && q.contains(pr.right)));
-    assert!(backward.pairs.iter().all(|pr| q.contains(pr.left) && p.contains(pr.right)));
+    assert!(forward
+        .pairs
+        .iter()
+        .all(|pr| p.contains(pr.left) && q.contains(pr.right)));
+    assert!(backward
+        .pairs
+        .iter()
+        .all(|pr| q.contains(pr.left) && p.contains(pr.right)));
 }

@@ -13,10 +13,7 @@ use dht_nway::walks::forward;
 /// `n` nodes, plus the number of nodes.
 fn small_graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (3usize..10).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 0.5f64..5.0),
-            1..(n * 3),
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..5.0), 1..(n * 3));
         (Just(n), edges)
     })
 }
@@ -25,7 +22,9 @@ fn build_graph(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
     let mut builder = GraphBuilder::with_nodes(n);
     for &(u, v, w) in edges {
         if u != v {
-            builder.add_edge(NodeId(u), NodeId(v), w).expect("valid endpoints");
+            builder
+                .add_edge(NodeId(u), NodeId(v), w)
+                .expect("valid endpoints");
         }
     }
     builder.build().expect("generated graph is valid")

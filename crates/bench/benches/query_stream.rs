@@ -1,0 +1,60 @@
+//! Warm vs cold engine sessions on a repeated-target two-way query stream.
+//!
+//! Complements the `query_stream` experiment of `repro_all`: measures the
+//! same Yeast workload under Criterion so regressions in the session cache
+//! show up in `cargo bench` output.  Both variants return bit-identical
+//! answers; only the wall-clock differs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::twoway::TwoWayAlgorithm;
+use dht_datasets::Scale;
+use dht_engine::{Engine, EngineConfig, TwoWayQuery};
+
+fn bench_query_stream(c: &mut Criterion) {
+    let dataset = workloads::yeast(Scale::Bench);
+    let sets = workloads::yeast_query_sets(&dataset, 3, 50);
+    let mut queries = Vec::new();
+    for algorithm in [
+        TwoWayAlgorithm::BackwardBasic,
+        TwoWayAlgorithm::BackwardIdjY,
+    ] {
+        for i in 0..3usize {
+            for j in 0..3usize {
+                if i != j {
+                    queries.push(TwoWayQuery {
+                        algorithm,
+                        p: sets[i].clone(),
+                        q: sets[j].clone(),
+                        k: 50,
+                    });
+                }
+            }
+        }
+    }
+
+    let cold_engine = Engine::with_config(
+        dataset.graph.clone(),
+        EngineConfig::paper_default().with_column_cache_capacity(0),
+    );
+    let warm_engine = Engine::with_config(dataset.graph.clone(), EngineConfig::paper_default());
+    let mut warm_session = warm_engine.session();
+    warm_session.two_way_batch(&queries); // fill the cache once
+
+    let mut group = c.benchmark_group("query_stream_yeast");
+    group.sample_size(5);
+    group.measurement_time(Duration::from_secs(4));
+    group.bench_function("cold_cache_off", |b| {
+        b.iter(|| cold_engine.session().two_way_batch(&queries))
+    });
+    group.bench_function("warm_session", |b| {
+        b.iter(|| warm_session.two_way_batch(&queries))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_stream);
+criterion_main!(benches);

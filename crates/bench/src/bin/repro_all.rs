@@ -4,25 +4,53 @@
 //!
 //! Usage:
 //! ```text
+//! cargo run -p dht-bench --release --bin repro_all -- --scale tiny
 //! DHT_SCALE=bench cargo run -p dht-bench --release --bin repro_all
 //! ```
-//! `DHT_SCALE` can be `tiny` (seconds), `bench` (minutes, the default) or
+//! The scale can be `tiny` (seconds), `bench` (minutes, the default) or
 //! `full` (paper-scale graphs; the forward baselines then take as long as
-//! they did for the authors).
+//! they did for the authors).  `--scale` wins over `DHT_SCALE`.
 //!
-//! The JSON report contains the wall-clock seconds of each experiment plus
-//! a walk-engine ablation (dense-serial seed path vs sparse-serial vs
-//! sparse multi-threaded) on the Figure 9 two-way Yeast workload.
+//! The JSON report contains a `host` block (so timings from heterogeneous
+//! runners stay interpretable), the wall-clock seconds of each experiment,
+//! the warm/cold `query_stream` engine-session rows, and a walk-engine
+//! ablation (dense-serial seed path vs sparse-serial vs sparse
+//! multi-threaded) on the Figure 9 two-way Yeast workload.
 
 use std::fmt::Write as _;
 
+use dht_bench::experiments::query_stream::{self, QueryStreamResult};
 use dht_bench::{timing, workloads};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
 use dht_datasets::Scale;
 use dht_walks::WalkEngine;
 
+/// Worker-thread count of the multi-threaded ablation rows.
+const ABLATION_THREADS: usize = 4;
+
+fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--scale" {
+            let Some(name) = iter.next() else {
+                eprintln!("--scale expects a value (tiny, bench or full)");
+                std::process::exit(2);
+            };
+            match dht_bench::parse_scale(name) {
+                Some(scale) => return scale,
+                None => {
+                    eprintln!("unknown scale '{name}' (expected tiny, bench or full)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    dht_bench::scale_from_env()
+}
+
 fn main() {
-    let scale = dht_bench::scale_from_env();
+    let scale = scale_from_args();
     eprintln!("running all experiments at scale '{}'", scale.name());
 
     type Experiment = (&'static str, fn(Scale) -> String);
@@ -43,8 +71,21 @@ fn main() {
         timings.push((name.to_string(), elapsed.as_secs_f64()));
     }
 
+    // The engine-session experiment also feeds its own JSON block, so it is
+    // measured once and reported from the result.
+    let (stream, elapsed) = timing::time(|| query_stream::measure(scale));
+    eprintln!(
+        "query_stream: {} queries, cold {:.4} s, warm {:.4} s ({:.2}x, {:.1}% hit rate)",
+        stream.queries,
+        stream.cold_seconds,
+        stream.warm_seconds,
+        stream.speedup(),
+        100.0 * stream.warm_hit_rate
+    );
+    timings.push(("query_stream".to_string(), elapsed.as_secs_f64()));
+
     let ablation = engine_ablation(scale);
-    let json = render_json(scale, &timings, &ablation);
+    let json = render_json(scale, &timings, &stream, &ablation);
     let path = "BENCH_results.json";
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("wrote {path}"),
@@ -72,7 +113,7 @@ fn engine_ablation(scale: Scale) -> Vec<AblationRow> {
     let modes: [(&'static str, WalkEngine, usize); 3] = [
         ("dense-serial", WalkEngine::Dense, 1),
         ("sparse-serial", WalkEngine::Sparse, 1),
-        ("sparse-4threads", WalkEngine::Sparse, 4),
+        ("sparse-4threads", WalkEngine::Sparse, ABLATION_THREADS),
     ];
     let mut rows = Vec::new();
     eprintln!("walk-engine ablation (fig9 two-way Yeast workload):");
@@ -102,9 +143,21 @@ fn engine_ablation(scale: Scale) -> Vec<AblationRow> {
 /// Hand-rolled JSON rendering (the workspace is dependency-free); all
 /// strings written here are plain ASCII identifiers, so no escaping is
 /// needed.
-fn render_json(scale: Scale, timings: &[(String, f64)], ablation: &[AblationRow]) -> String {
+fn render_json(
+    scale: Scale,
+    timings: &[(String, f64)],
+    stream: &QueryStreamResult,
+    ablation: &[AblationRow],
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"scale\": \"{}\",", scale.name());
+    // Host metadata: perf numbers from heterogeneous runners are only
+    // comparable when the core budget is recorded next to them.
+    out.push_str("  \"host\": {\n");
+    let logical_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let _ = writeln!(out, "    \"logical_cores\": {logical_cores},");
+    let _ = writeln!(out, "    \"ablation_threads\": {ABLATION_THREADS}");
+    out.push_str("  },\n");
     out.push_str("  \"experiments\": [\n");
     for (i, (name, seconds)) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
@@ -114,6 +167,14 @@ fn render_json(scale: Scale, timings: &[(String, f64)], ablation: &[AblationRow]
         );
     }
     out.push_str("  ],\n");
+    out.push_str("  \"query_stream\": {\n");
+    out.push_str("    \"workload\": \"yeast_repeated_target_twoway\",\n");
+    let _ = writeln!(out, "    \"queries\": {},", stream.queries);
+    let _ = writeln!(out, "    \"cold_seconds\": {:.6},", stream.cold_seconds);
+    let _ = writeln!(out, "    \"warm_seconds\": {:.6},", stream.warm_seconds);
+    let _ = writeln!(out, "    \"speedup\": {:.3},", stream.speedup());
+    let _ = writeln!(out, "    \"warm_hit_rate\": {:.4}", stream.warm_hit_rate);
+    out.push_str("  },\n");
     out.push_str("  \"engine_ablation\": {\n");
     out.push_str("    \"workload\": \"fig9_twoway_yeast_k50\",\n");
     out.push_str("    \"rows\": [\n");

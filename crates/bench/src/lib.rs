@@ -32,16 +32,21 @@ pub mod workloads;
 
 use dht_datasets::Scale;
 
+/// Parses a scale name (`tiny`, `bench`, `full`), case-insensitively.
+pub fn parse_scale(name: &str) -> Option<Scale> {
+    match name.to_lowercase().as_str() {
+        "tiny" => Some(Scale::Tiny),
+        "bench" => Some(Scale::Bench),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
 /// Reads the experiment scale from the `DHT_SCALE` environment variable
 /// (default: [`Scale::Bench`]).
 pub fn scale_from_env() -> Scale {
-    match std::env::var("DHT_SCALE")
-        .unwrap_or_default()
-        .to_lowercase()
-        .as_str()
-    {
-        "tiny" => Scale::Tiny,
-        "full" => Scale::Full,
-        _ => Scale::Bench,
-    }
+    std::env::var("DHT_SCALE")
+        .ok()
+        .and_then(|name| parse_scale(&name))
+        .unwrap_or(Scale::Bench)
 }

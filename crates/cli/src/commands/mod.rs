@@ -3,6 +3,7 @@
 pub mod generate;
 pub mod linkpred;
 pub mod nway;
+pub mod querystream;
 pub mod stats;
 pub mod twoway;
 

@@ -1,0 +1,395 @@
+//! `dht querystream` — answer a file of two-way join queries on one warm
+//! engine session and report per-query latency percentiles.
+//!
+//! This is the service-shaped entry point: where `dht two-way` pays full
+//! price for its single query, `querystream` builds one [`dht_engine::Engine`]
+//! over the graph and streams every query through a session whose
+//! backward-column cache stays warm, so repeated targets are answered
+//! without recomputing their walks.
+
+use std::time::Instant;
+
+use dht_core::twoway::TwoWayAlgorithm;
+use dht_engine::{Engine, EngineConfig};
+use dht_graph::NodeSet;
+
+use crate::{setsfile, ArgMap, CliError, Result};
+
+const HELP: &str = "\
+dht querystream — answer a stream of 2-way join queries on a warm session
+
+OPTIONS:
+    --graph <path>          edge-list graph file (required)
+    --sets <path>           node-set file (required)
+    --queries <path>        query file (required): one query per line,
+                            `LEFT RIGHT [k] [ALGORITHM]`; `#` starts a comment
+    --k <n>                 default k for queries that omit it   [default: 10]
+    --algorithm <name>      default algorithm                    [default: B-IDJ-Y]
+    --cache <n>             session column-cache capacity
+                            (columns; 0 disables caching)        [default: 512]
+    --repeat <n>            answer the whole stream n times      [default: 1]
+    --variant <lambda|e>    DHT variant                          [default: lambda]
+    --lambda <x>            DHT_λ decay factor                   [default: 0.2]
+    --epsilon <x>           truncation error bound               [default: 1e-6]
+    --engine <name>         walk engine: dense | sparse | auto   [default: auto]
+    --threads <n>           worker threads (0 = all cores)       [default: 1]
+";
+
+const KNOWN: &[&str] = &[
+    "graph",
+    "sets",
+    "queries",
+    "k",
+    "algorithm",
+    "cache",
+    "repeat",
+    "variant",
+    "lambda",
+    "epsilon",
+    "engine",
+    "threads",
+];
+
+/// One parsed query line.
+struct StreamQuery {
+    left: usize,
+    right: usize,
+    k: usize,
+    algorithm: TwoWayAlgorithm,
+    line_no: usize,
+}
+
+/// Parses the query file: `LEFT RIGHT [k] [ALGORITHM]` per line, `#`
+/// comments, blank lines ignored.
+fn parse_queries(
+    text: &str,
+    sets: &[NodeSet],
+    default_k: usize,
+    default_algorithm: TwoWayAlgorithm,
+) -> Result<Vec<StreamQuery>> {
+    let mut queries = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 2 || fields.len() > 4 {
+            return Err(CliError::Parse(format!(
+                "query line {}: expected `LEFT RIGHT [k] [ALGORITHM]`, got '{line}'",
+                line_no + 1
+            )));
+        }
+        let set_index = |name: &str| -> Result<usize> {
+            sets.iter().position(|s| s.name() == name).ok_or_else(|| {
+                CliError::Parse(format!(
+                    "query line {}: unknown node set '{name}' (available sets: {})",
+                    line_no + 1,
+                    sets.iter()
+                        .map(NodeSet::name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })
+        };
+        let left = set_index(fields[0])?;
+        let right = set_index(fields[1])?;
+        let mut k = None;
+        let mut algorithm = None;
+        for &field in &fields[2..] {
+            if let Ok(parsed) = field.parse::<usize>() {
+                if k.replace(parsed).is_some() {
+                    return Err(CliError::Parse(format!(
+                        "query line {}: duplicate k field '{field}'",
+                        line_no + 1
+                    )));
+                }
+            } else if algorithm
+                .replace(super::parse_two_way_algorithm(field)?)
+                .is_some()
+            {
+                return Err(CliError::Parse(format!(
+                    "query line {}: duplicate algorithm field '{field}'",
+                    line_no + 1
+                )));
+            }
+        }
+        let k = k.unwrap_or(default_k);
+        let algorithm = algorithm.unwrap_or(default_algorithm);
+        queries.push(StreamQuery {
+            left,
+            right,
+            k,
+            algorithm,
+            line_no: line_no + 1,
+        });
+    }
+    if queries.is_empty() {
+        return Err(CliError::Parse("query file contains no queries".into()));
+    }
+    Ok(queries)
+}
+
+/// `p`-th percentile (0 ≤ p ≤ 1) of an ascending-sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+/// Runs the command.
+pub fn run(args: &ArgMap) -> Result<String> {
+    if args.wants_help() {
+        return Ok(HELP.to_string());
+    }
+    args.reject_unknown(KNOWN)?;
+    let graph = super::load_graph(args)?;
+    let sets = setsfile::read_node_sets_file(args.require("sets")?)?;
+    let queries_path = args.require("queries")?;
+    let queries_text = std::fs::read_to_string(queries_path).map_err(CliError::Io)?;
+
+    let default_k: usize = args.get_parsed_or("k", 10)?;
+    let default_algorithm =
+        super::parse_two_way_algorithm(args.get("algorithm").unwrap_or("b-idj-y"))?;
+    let cache: usize = args.get_parsed_or("cache", 512)?;
+    let repeat: usize = args.get_parsed_or("repeat", 1)?.max(1);
+    let (params, depth) = super::dht_options(args)?;
+    let (walk_engine, threads) = super::engine_options(args)?;
+
+    let queries = parse_queries(&queries_text, &sets, default_k, default_algorithm)?;
+
+    let config = EngineConfig::paper_default()
+        .with_params(params, depth)
+        .with_engine(walk_engine)
+        .with_threads(threads)
+        .with_column_cache_capacity(cache);
+    let engine = Engine::with_config(graph, config);
+    let mut session = engine.session();
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(queries.len() * repeat);
+    let mut pairs_returned = 0usize;
+    let stream_start = Instant::now();
+    for _ in 0..repeat {
+        for query in &queries {
+            let p = &sets[query.left];
+            let q = &sets[query.right];
+            let start = Instant::now();
+            let output = session.two_way(query.algorithm, p, q, query.k);
+            latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            if output.pairs.is_empty() && p.len() * q.len() > 1 {
+                // Degenerate but legal (fully disconnected sets); mention the
+                // line so operators can spot bad query files.
+                eprintln!("note: query at line {} returned no pairs", query.line_no);
+            }
+            pairs_returned += output.pairs.len();
+        }
+    }
+    let total_s = stream_start.elapsed().as_secs_f64();
+
+    latencies_ms.sort_by(f64::total_cmp);
+    let answered = latencies_ms.len();
+    let cache_stats = session.cache_stats();
+    let (y_hits, y_misses) = session.y_table_stats();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "query stream: {answered} quer{} answered ({} unique lines × {repeat} pass{}), \
+         {pairs_returned} pairs returned\n",
+        if answered == 1 { "y" } else { "ies" },
+        queries.len(),
+        if repeat == 1 { "" } else { "es" },
+    ));
+    out.push_str(&format!(
+        "engine: d={depth}, engine={}, threads={threads}, column cache={cache}\n",
+        walk_engine.name()
+    ));
+    out.push_str(&format!(
+        "total {total_s:.4} s, throughput {:.1} queries/s\n",
+        answered as f64 / total_s.max(1e-12)
+    ));
+    out.push_str("latency (ms per query)\n");
+    for (label, p) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+        out.push_str(&format!(
+            "  {label}  {:>10.4}\n",
+            percentile(&latencies_ms, p)
+        ));
+    }
+    out.push_str(&format!(
+        "  max  {:>10.4}\n",
+        latencies_ms.last().copied().unwrap_or(0.0)
+    ));
+    out.push_str(&format!(
+        "column cache: {} hits, {} misses, {} evictions ({:.1}% hit rate); \
+         Y-tables: {y_hits} hits, {y_misses} misses\n",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.evictions,
+        100.0 * cache_stats.hit_rate(),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::{GraphBuilder, NodeId};
+
+    fn argmap(parts: &[&str]) -> ArgMap {
+        ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    /// Writes a small graph, node sets and a query file; returns the paths.
+    fn fixture(tag: &str) -> (std::path::PathBuf, std::path::PathBuf, std::path::PathBuf) {
+        let mut b = GraphBuilder::with_nodes(10);
+        for (u, v) in [
+            (0u32, 1u32),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (0, 4),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (5, 9),
+            (4, 5),
+        ] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let g = b.build().unwrap();
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let graph_path = dir.join(format!("dht-qs-{tag}-{pid}.tsv"));
+        let sets_path = dir.join(format!("dht-qs-{tag}-{pid}.sets"));
+        let queries_path = dir.join(format!("dht-qs-{tag}-{pid}.queries"));
+        dht_graph::io::write_edge_list_file(&g, &graph_path).unwrap();
+        let sets = vec![
+            NodeSet::new("P", (0..5).map(NodeId)),
+            NodeSet::new("Q", (5..10).map(NodeId)),
+        ];
+        setsfile::write_node_sets_file(&sets, &sets_path).unwrap();
+        std::fs::write(
+            &queries_path,
+            "# repeated-target stream\n\
+             P Q 3\n\
+             Q P 2 b-bj\n\
+             P Q 3\n\
+             P Q        # same query again, should hit the cache\n",
+        )
+        .unwrap();
+        (graph_path, sets_path, queries_path)
+    }
+
+    fn cleanup(paths: &[&std::path::Path]) {
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn help_mentions_the_query_file_format() {
+        let out = run(&argmap(&["--help"])).unwrap();
+        assert!(out.contains("LEFT RIGHT"));
+    }
+
+    #[test]
+    fn stream_reports_percentiles_and_cache_hits() {
+        let (g, s, q) = fixture("basic");
+        let out = run(&argmap(&[
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+            "--repeat",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("8 queries answered"), "got: {out}");
+        assert!(out.contains("p50"));
+        assert!(out.contains("p99"));
+        assert!(out.contains("hit rate"));
+        // The stream repeats its queries, so the warm cache must hit.
+        let hits: u64 = out
+            .split("column cache: ")
+            .nth(1)
+            .and_then(|rest| rest.split(' ').next())
+            .and_then(|n| n.parse().ok())
+            .unwrap();
+        assert!(hits > 0, "repeated queries must hit the cache: {out}");
+        cleanup(&[&g, &s, &q]);
+    }
+
+    #[test]
+    fn cache_zero_disables_caching_but_answers_identically() {
+        let (g, s, q) = fixture("nocache");
+        let base = [
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+        ];
+        let mut cold: Vec<&str> = base.to_vec();
+        cold.extend(["--cache", "0"]);
+        let out = run(&argmap(&cold)).unwrap();
+        assert!(out.contains("0 hits"), "got: {out}");
+        cleanup(&[&g, &s, &q]);
+    }
+
+    #[test]
+    fn malformed_query_files_are_rejected_with_line_numbers() {
+        let (g, s, q) = fixture("badfile");
+        std::fs::write(&q, "P\n").unwrap();
+        let err = run(&argmap(&[
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+
+        std::fs::write(&q, "P Z\n").unwrap();
+        let err = run(&argmap(&[
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown node set"), "{err}");
+
+        // Two numeric fields (e.g. a typo for one k) must not silently let
+        // the second overwrite the first.
+        std::fs::write(&q, "P Q 3 4\n").unwrap();
+        let err = run(&argmap(&[
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate k"), "{err}");
+        cleanup(&[&g, &s, &q]);
+    }
+
+    #[test]
+    fn percentiles_interpolate_the_sorted_sample() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sample, 0.0), 1.0);
+        assert_eq!(percentile(&sample, 0.5), 3.0);
+        assert_eq!(percentile(&sample, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -36,12 +36,13 @@ USAGE:
     dht <COMMAND> [OPTIONS]
 
 COMMANDS:
-    generate   Generate a synthetic dataset (graph + node sets) to files
-    stats      Print structural statistics of an edge-list graph
-    two-way    Run a top-k 2-way join between two named node sets
-    nway       Run a top-k n-way join over a query graph of node sets
-    linkpred   Hold-out link-prediction evaluation between two node sets
-    help       Show this message
+    generate     Generate a synthetic dataset (graph + node sets) to files
+    stats        Print structural statistics of an edge-list graph
+    two-way      Run a top-k 2-way join between two named node sets
+    nway         Run a top-k n-way join over a query graph of node sets
+    querystream  Answer a file of 2-way queries on a warm engine session
+    linkpred     Hold-out link-prediction evaluation between two node sets
+    help         Show this message
 
 Run `dht <COMMAND> --help` for the options of a command.
 ";
@@ -57,6 +58,7 @@ pub fn run(args: &[String]) -> Result<String> {
         "stats" => commands::stats::run(&ArgMap::parse(rest)?),
         "two-way" | "twoway" => commands::twoway::run(&ArgMap::parse(rest)?),
         "nway" | "n-way" => commands::nway::run(&ArgMap::parse(rest)?),
+        "querystream" | "query-stream" => commands::querystream::run(&ArgMap::parse(rest)?),
         "linkpred" | "link-prediction" => commands::linkpred::run(&ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(

@@ -49,6 +49,9 @@ pub use answer::Answer;
 pub use error::CoreError;
 pub use query::QueryGraph;
 pub use stats::{NWayStats, TwoWayStats};
+// The session context every join can run through (re-exported so callers of
+// the `*_with_ctx` entry points need not depend on `dht-walks` directly).
+pub use dht_walks::QueryCtx;
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -8,6 +8,7 @@
 //! results are ever used.
 
 use dht_graph::{Graph, NodeSet};
+use dht_walks::QueryCtx;
 
 use crate::answer::PairScore;
 use crate::query::QueryGraph;
@@ -33,19 +34,42 @@ impl EdgeListProvider for FullListProvider {
     }
 }
 
-/// Runs AP with the given inner 2-way join algorithm (the paper uses F-BJ;
-/// `BackwardBasic` produces identical lists faster).
-///
-/// The per-edge 2-way joins are independent of one another; with
-/// `config.threads > 1` and a multi-edge query graph they run concurrently
-/// (each join serial inside, so workers are not oversubscribed), and their
-/// outputs are absorbed in edge order — identical to a serial run.
+/// Runs AP as a one-shot call with the given inner 2-way join algorithm
+/// (the paper uses F-BJ; `BackwardBasic` produces identical lists faster).
 pub fn run(
     graph: &Graph,
     config: &NWayConfig,
     query: &QueryGraph,
     node_sets: &[NodeSet],
     two_way: TwoWayAlgorithm,
+) -> Result<NWayOutput> {
+    run_with_ctx(
+        graph,
+        config,
+        query,
+        node_sets,
+        two_way,
+        &mut QueryCtx::one_shot(),
+    )
+}
+
+/// Runs AP through a session context.
+///
+/// The per-edge 2-way joins are independent of one another; with
+/// `config.threads > 1` and a multi-edge query graph they run concurrently
+/// (each join serial inside, so workers are not oversubscribed), and their
+/// outputs are absorbed in edge order — identical to a serial run.  In the
+/// concurrent case each worker runs on a private one-shot context (the
+/// session caches are not shared across threads); the serial path threads
+/// the session context through every edge, so query edges that share a
+/// node set reuse each other's backward columns.
+pub fn run_with_ctx(
+    graph: &Graph,
+    config: &NWayConfig,
+    query: &QueryGraph,
+    node_sets: &[NodeSet],
+    two_way: TwoWayAlgorithm,
+    ctx: &mut QueryCtx,
 ) -> Result<NWayOutput> {
     query.validate_node_sets(node_sets)?;
     let mut stats = NWayStats::default();
@@ -68,7 +92,7 @@ pub fn run(
             .map(|&(i, j)| {
                 let p = &node_sets[i];
                 let q = &node_sets[j];
-                two_way.top_k(graph, &inner, p, q, p.len() * q.len())
+                two_way.top_k_with_ctx(graph, &inner, p, q, p.len() * q.len(), ctx)
             })
             .collect()
     };

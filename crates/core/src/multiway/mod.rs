@@ -25,7 +25,7 @@ pub mod pj;
 pub mod pji;
 
 use dht_graph::{Graph, NodeSet};
-use dht_walks::{DhtParams, WalkEngine};
+use dht_walks::{DhtParams, QueryCtx, WalkEngine};
 
 use crate::aggregate::Aggregate;
 use crate::answer::Answer;
@@ -147,8 +147,9 @@ impl NWayAlgorithm {
         }
     }
 
-    /// Runs the selected algorithm with its default inner 2-way join
-    /// (F-BJ for AP and B-IDJ-Y for PJ / PJ-i, matching Section VII-A).
+    /// Runs the selected algorithm as a one-shot call (a fresh, cache-free
+    /// context) with its default inner 2-way join (F-BJ for AP and B-IDJ-Y
+    /// for PJ / PJ-i, matching Section VII-A).
     pub fn run(
         self,
         graph: &Graph,
@@ -156,25 +157,44 @@ impl NWayAlgorithm {
         query: &QueryGraph,
         node_sets: &[NodeSet],
     ) -> Result<NWayOutput> {
+        self.run_with_ctx(graph, config, query, node_sets, &mut QueryCtx::one_shot())
+    }
+
+    /// Runs the selected algorithm through a session context: the inner
+    /// 2-way joins (and PJ-i's refinement walks) share the context's
+    /// backward-column and Y-table caches.  Answers are bit-identical to
+    /// [`NWayAlgorithm::run`] at every cache state.
+    pub fn run_with_ctx(
+        self,
+        graph: &Graph,
+        config: &NWayConfig,
+        query: &QueryGraph,
+        node_sets: &[NodeSet],
+        ctx: &mut QueryCtx,
+    ) -> Result<NWayOutput> {
         match self {
-            NWayAlgorithm::NestedLoop => nl::run(graph, config, query, node_sets, false),
-            NWayAlgorithm::AllPairs => ap::run(
+            NWayAlgorithm::NestedLoop => {
+                nl::run_with_ctx(graph, config, query, node_sets, false, ctx)
+            }
+            NWayAlgorithm::AllPairs => ap::run_with_ctx(
                 graph,
                 config,
                 query,
                 node_sets,
                 TwoWayAlgorithm::ForwardBasic,
+                ctx,
             ),
-            NWayAlgorithm::PartialJoin { m } => pj::run(
+            NWayAlgorithm::PartialJoin { m } => pj::run_with_ctx(
                 graph,
                 config,
                 query,
                 node_sets,
                 m,
                 TwoWayAlgorithm::BackwardIdjY,
+                ctx,
             ),
             NWayAlgorithm::IncrementalPartialJoin { m } => {
-                pji::run(graph, config, query, node_sets, m)
+                pji::run_with_ctx(graph, config, query, node_sets, m, ctx)
             }
         }
     }

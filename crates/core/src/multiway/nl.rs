@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::{forward, WalkScratch};
+use dht_walks::{forward, QueryCtx};
 
 use crate::answer::{sort_answers, Answer};
 use crate::query::QueryGraph;
@@ -20,8 +20,8 @@ use crate::Result;
 
 use super::{NWayConfig, NWayOutput};
 
-/// Runs NL.  With `memoize = true`, per-pair DHT scores are cached across
-/// candidate tuples (same answers, fewer walks).
+/// Runs NL as a one-shot call.  With `memoize = true`, per-pair DHT scores
+/// are cached across candidate tuples (same answers, fewer walks).
 pub fn run(
     graph: &Graph,
     config: &NWayConfig,
@@ -29,12 +29,32 @@ pub fn run(
     node_sets: &[NodeSet],
     memoize: bool,
 ) -> Result<NWayOutput> {
+    run_with_ctx(
+        graph,
+        config,
+        query,
+        node_sets,
+        memoize,
+        &mut QueryCtx::one_shot(),
+    )
+}
+
+/// Runs NL through a session context (the enumeration's forward walks run
+/// on a pooled scratch; the per-pair memo stays local to the call).
+pub fn run_with_ctx(
+    graph: &Graph,
+    config: &NWayConfig,
+    query: &QueryGraph,
+    node_sets: &[NodeSet],
+    memoize: bool,
+    ctx: &mut QueryCtx,
+) -> Result<NWayOutput> {
     query.validate_node_sets(node_sets)?;
     let mut stats = NWayStats::default();
     let mut output: TopKBuffer<Vec<NodeId>> = TopKBuffer::new(config.k);
     let mut cache: HashMap<(u32, u32), f64> = HashMap::new();
-    // One scratch serves every forward walk of the enumeration.
-    let mut scratch = WalkScratch::new();
+    // One pooled scratch serves every forward walk of the enumeration.
+    let mut scratch = ctx.pool.acquire();
 
     let n = node_sets.len();
     let mut assignment: Vec<NodeId> = vec![NodeId(0); n];

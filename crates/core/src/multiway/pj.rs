@@ -7,6 +7,7 @@
 //! the expensive part that PJ-i later removes.
 
 use dht_graph::{Graph, NodeSet};
+use dht_walks::QueryCtx;
 
 use crate::answer::PairScore;
 use crate::query::QueryGraph;
@@ -29,6 +30,9 @@ struct RestartingProvider<'a> {
     /// Edges whose underlying pair domain has been fully revealed.
     complete: Vec<bool>,
     floor: f64,
+    /// Session context the restarted joins run through — the warm column
+    /// cache is what keeps the re-runs from repeating every backward walk.
+    ctx: &'a mut QueryCtx,
 }
 
 impl EdgeListProvider for RestartingProvider<'_> {
@@ -49,9 +53,9 @@ impl EdgeListProvider for RestartingProvider<'_> {
             self.complete[edge] = true;
             return None;
         }
-        let out = self
-            .two_way
-            .top_k(self.graph, &self.two_way_config, p, q, wanted);
+        let out =
+            self.two_way
+                .top_k_with_ctx(self.graph, &self.two_way_config, p, q, wanted, self.ctx);
         stats.two_way_joins += 1;
         stats.two_way.absorb(&out.stats);
         if out.pairs.len() <= index {
@@ -69,8 +73,8 @@ impl EdgeListProvider for RestartingProvider<'_> {
     }
 }
 
-/// Runs PJ with the given `m` and inner 2-way join algorithm
-/// (the paper's default is B-IDJ-Y).
+/// Runs PJ as a one-shot call with the given `m` and inner 2-way join
+/// algorithm (the paper's default is B-IDJ-Y).
 pub fn run(
     graph: &Graph,
     config: &NWayConfig,
@@ -78,6 +82,29 @@ pub fn run(
     node_sets: &[NodeSet],
     m: usize,
     two_way: TwoWayAlgorithm,
+) -> Result<NWayOutput> {
+    run_with_ctx(
+        graph,
+        config,
+        query,
+        node_sets,
+        m,
+        two_way,
+        &mut QueryCtx::one_shot(),
+    )
+}
+
+/// Runs PJ through a session context: both the initial top-`m` joins and the
+/// restarted deeper joins of `getNextNodePair` share the context's caches,
+/// so a restart only recomputes the columns the deeper join actually adds.
+pub fn run_with_ctx(
+    graph: &Graph,
+    config: &NWayConfig,
+    query: &QueryGraph,
+    node_sets: &[NodeSet],
+    m: usize,
+    two_way: TwoWayAlgorithm,
+    ctx: &mut QueryCtx,
 ) -> Result<NWayOutput> {
     query.validate_node_sets(node_sets)?;
     let mut stats = NWayStats::default();
@@ -88,7 +115,7 @@ pub fn run(
     for &(i, j) in query.edges() {
         let p = &node_sets[i];
         let q = &node_sets[j];
-        let out = two_way.top_k(graph, &two_way_config, p, q, m);
+        let out = two_way.top_k_with_ctx(graph, &two_way_config, p, q, m, ctx);
         stats.two_way_joins += 1;
         stats.two_way.absorb(&out.stats);
         lists.push(out.pairs);
@@ -103,6 +130,7 @@ pub fn run(
         lists,
         complete: vec![false; query.edge_count()],
         floor: config.params.min_score(),
+        ctx,
     };
     let answers = pbrj::run(
         query,

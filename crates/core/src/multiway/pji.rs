@@ -14,6 +14,7 @@
 //! all because the needed entry is already exact.
 
 use dht_graph::{Graph, NodeSet};
+use dht_walks::QueryCtx;
 
 use crate::answer::PairScore;
 use crate::query::QueryGraph;
@@ -31,6 +32,9 @@ struct IncrementalProvider<'a> {
     lists: Vec<Vec<PairScore>>,
     states: Vec<IncrementalState>,
     floor: f64,
+    /// Session context serving the refinement walks of `next_pair` from the
+    /// warm column cache.
+    ctx: &'a mut QueryCtx,
 }
 
 impl EdgeListProvider for IncrementalProvider<'_> {
@@ -43,7 +47,7 @@ impl EdgeListProvider for IncrementalProvider<'_> {
         let state = &mut self.states[edge];
         let walks_before = state.refinement_walks();
         let steps_before = state.refinement_steps();
-        let next = state.next_pair(self.graph);
+        let next = state.next_pair_with_ctx(self.graph, self.ctx);
         stats.two_way.walk_invocations += state.refinement_walks() - walks_before;
         stats.two_way.walk_steps += state.refinement_steps() - steps_before;
         match next {
@@ -60,14 +64,35 @@ impl EdgeListProvider for IncrementalProvider<'_> {
     }
 }
 
-/// Runs PJ-i with the given `m`.  The inner 2-way join is always the
-/// modified B-IDJ-Y, as in the paper.
+/// Runs PJ-i as a one-shot call with the given `m`.  The inner 2-way join
+/// is always the modified B-IDJ-Y, as in the paper.
 pub fn run(
     graph: &Graph,
     config: &NWayConfig,
     query: &QueryGraph,
     node_sets: &[NodeSet],
     m: usize,
+) -> Result<NWayOutput> {
+    run_with_ctx(
+        graph,
+        config,
+        query,
+        node_sets,
+        m,
+        &mut QueryCtx::one_shot(),
+    )
+}
+
+/// Runs PJ-i through a session context: the initial modified B-IDJ-Y joins
+/// and the lazy refinement walks of `getNextNodePair` all share the
+/// context's backward-column and Y-table caches.
+pub fn run_with_ctx(
+    graph: &Graph,
+    config: &NWayConfig,
+    query: &QueryGraph,
+    node_sets: &[NodeSet],
+    m: usize,
+    ctx: &mut QueryCtx,
 ) -> Result<NWayOutput> {
     query.validate_node_sets(node_sets)?;
     let mut stats = NWayStats::default();
@@ -79,7 +104,7 @@ pub fn run(
         let p = &node_sets[i];
         let q = &node_sets[j];
         let mut state = IncrementalState::new(config.params, config.d);
-        let out = bidj::top_k(
+        let out = bidj::top_k_with_ctx(
             graph,
             &two_way_config,
             p,
@@ -87,6 +112,7 @@ pub fn run(
             m,
             BoundKind::Y,
             Some(&mut state),
+            ctx,
         );
         stats.two_way_joins += 1;
         stats.two_way.absorb(&out.stats);
@@ -99,6 +125,7 @@ pub fn run(
         lists,
         states,
         floor: config.params.min_score(),
+        ctx,
     };
     let answers = pbrj::run(
         query,

@@ -12,12 +12,13 @@
 
 use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
+use dht_walks::QueryCtx;
 
 use crate::stats::TwoWayStats;
 
 use super::{finalize_pairs, for_each_backward_column, TwoWayConfig, TwoWayOutput};
 
-/// Runs B-BJ and returns the top-`k` pairs.
+/// Runs B-BJ as a one-shot call and returns the top-`k` pairs.
 pub fn top_k(
     graph: &Graph,
     config: &TwoWayConfig,
@@ -25,10 +26,24 @@ pub fn top_k(
     q: &NodeSet,
     k: usize,
 ) -> TwoWayOutput {
+    top_k_with_ctx(graph, config, p, q, k, &mut QueryCtx::one_shot())
+}
+
+/// Runs B-BJ through a session context: the per-target backward columns are
+/// served from (and fill) the context's cache, so a repeated-target query
+/// stream pays each `O(d·|E_G|)` walk only once.
+pub fn top_k_with_ctx(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    ctx: &mut QueryCtx,
+) -> TwoWayOutput {
     let mut stats = TwoWayStats::default();
     let mut buffer = TopKBuffer::new(k);
     let targets: Vec<NodeId> = q.iter().collect();
-    for_each_backward_column(graph, config, config.d, &targets, |qn, scores| {
+    for_each_backward_column(graph, config, config.d, &targets, ctx, |qn, scores| {
         stats.walk_invocations += 1;
         stats.walk_steps += config.d as u64;
         for pn in p.iter() {

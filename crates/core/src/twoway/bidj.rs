@@ -20,8 +20,8 @@
 
 use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::bounds::{x_upper_bound, YBoundTable};
-use dht_walks::WalkScratch;
+use dht_walks::bounds::x_upper_bound;
+use dht_walks::QueryCtx;
 
 use crate::stats::TwoWayStats;
 
@@ -37,7 +37,8 @@ pub enum BoundKind {
     Y,
 }
 
-/// Runs B-IDJ with the chosen bound and returns the top-`k` pairs.
+/// Runs B-IDJ as a one-shot call with the chosen bound and returns the
+/// top-`k` pairs.
 ///
 /// If `incremental` is provided, the per-pair bound information computed
 /// during the run is recorded there (the `F` structure of PJ-i) and the
@@ -49,31 +50,53 @@ pub fn top_k(
     q: &NodeSet,
     k: usize,
     bound: BoundKind,
+    incremental: Option<&mut IncrementalState>,
+) -> TwoWayOutput {
+    top_k_with_ctx(
+        graph,
+        config,
+        p,
+        q,
+        k,
+        bound,
+        incremental,
+        &mut QueryCtx::one_shot(),
+    )
+}
+
+/// Runs B-IDJ through a session context: the backward columns of every
+/// deepening level and the `Y_l⁺` table are served from (and fill) the
+/// context's caches.
+#[allow(clippy::too_many_arguments)]
+pub fn top_k_with_ctx(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    bound: BoundKind,
     mut incremental: Option<&mut IncrementalState>,
+    ctx: &mut QueryCtx,
 ) -> TwoWayOutput {
     let params = &config.params;
     let d = config.d;
     let mut stats = TwoWayStats::default();
 
-    // The Y bound needs one d-step forward sweep seeded with all of P.
+    // The Y bound needs one d-step forward sweep seeded with all of P; a
+    // warm context serves it from the per-(params, d, engine, P) table
+    // cache.  The walk counters track the algorithm's logical work, so they
+    // are independent of cache temperature.
     let y_table = match bound {
         BoundKind::Y => {
             stats.walk_invocations += 1;
             stats.walk_steps += d as u64;
-            Some(YBoundTable::new_with(
-                graph,
-                params,
-                p,
-                d,
-                config.engine,
-                config.threads,
-                &mut WalkScratch::new(),
-            ))
+            Some(ctx.y_bound_table(graph, params, p, d, config.engine, config.threads))
         }
         BoundKind::X => None,
     };
-    if let (Some(state), Some(table)) = (incremental.as_deref_mut(), y_table.clone()) {
-        state.set_y_table(table);
+    if let (Some(state), Some(table)) = (incremental.as_deref_mut(), y_table.as_deref()) {
+        state.set_y_table(table.clone());
+        state.set_engine(config.engine);
     }
 
     let p_members: Vec<NodeId> = p.iter().collect();
@@ -94,7 +117,7 @@ pub fn top_k(
         // The l-step backward walks of the surviving targets run (possibly
         // in parallel) on the shared column streamer; bound bookkeeping
         // consumes them in target order, identical to a serial run.
-        for_each_backward_column(graph, config, l, &alive, |qn, scores| {
+        for_each_backward_column(graph, config, l, &alive, ctx, |qn, scores| {
             stats.walk_invocations += 1;
             stats.walk_steps += l as u64;
             let u_bound = bound_at(l, qn);
@@ -130,7 +153,7 @@ pub fn top_k(
 
     // Final pass: exact d-step scores for the surviving targets.
     let mut buffer = TopKBuffer::new(k);
-    for_each_backward_column(graph, config, d, &alive, |qn, scores| {
+    for_each_backward_column(graph, config, d, &alive, ctx, |qn, scores| {
         stats.walk_invocations += 1;
         stats.walk_steps += d as u64;
         for &pn in &p_members {

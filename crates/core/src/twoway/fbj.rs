@@ -13,19 +13,33 @@
 
 use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::{forward, WalkScratch};
+use dht_walks::{forward, QueryCtx};
 
 use crate::stats::TwoWayStats;
 
 use super::{finalize_pairs, TwoWayConfig, TwoWayOutput};
 
-/// Runs F-BJ and returns the top-`k` pairs.
+/// Runs F-BJ as a one-shot call and returns the top-`k` pairs.
 pub fn top_k(
     graph: &Graph,
     config: &TwoWayConfig,
     p: &NodeSet,
     q: &NodeSet,
     k: usize,
+) -> TwoWayOutput {
+    top_k_with_ctx(graph, config, p, q, k, &mut QueryCtx::one_shot())
+}
+
+/// Runs F-BJ through a session context.  Forward absorbing walks produce a
+/// single scalar per pair, so there is no column to cache — the context
+/// contributes its scratch pool, keeping a query stream allocation-free.
+pub fn top_k_with_ctx(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    ctx: &mut QueryCtx,
 ) -> TwoWayOutput {
     let domain: Vec<(NodeId, NodeId)> = p
         .iter()
@@ -35,8 +49,8 @@ pub fn top_k(
 
     let mut buffer = TopKBuffer::new(k);
     if config.effective_threads() <= 1 {
-        // Serial path: one scratch reused across every pair.
-        let mut scratch = WalkScratch::new();
+        // Serial path: one pooled scratch reused across every pair.
+        let mut scratch = ctx.pool.acquire();
         for &(pn, qn) in &domain {
             let score = forward::forward_dht_with(
                 graph,
@@ -50,13 +64,14 @@ pub fn top_k(
             buffer.insert(score, (pn.0, qn.0));
         }
     } else {
-        // Parallel path: workers score pair slices with per-worker
+        // Parallel path: workers score pair slices with per-worker pooled
         // scratches; the merge below runs in pair order, so insertion
         // sequence (and therefore tie-breaking) matches the serial path.
+        let pool = &ctx.pool;
         let scores = dht_par::parallel_map_init(
             config.threads,
             &domain,
-            WalkScratch::new,
+            || pool.acquire(),
             |scratch, _, &(pn, qn)| {
                 forward::forward_dht_with(
                     graph,

@@ -17,13 +17,13 @@
 
 use dht_graph::{Graph, NodeId, NodeSet};
 use dht_rankjoin::TopKBuffer;
-use dht_walks::{bounds, forward, WalkScratch};
+use dht_walks::{bounds, forward, QueryCtx};
 
 use crate::stats::TwoWayStats;
 
 use super::{finalize_pairs, TwoWayConfig, TwoWayOutput};
 
-/// Runs F-IDJ and returns the top-`k` pairs.
+/// Runs F-IDJ as a one-shot call and returns the top-`k` pairs.
 pub fn top_k(
     graph: &Graph,
     config: &TwoWayConfig,
@@ -31,11 +31,25 @@ pub fn top_k(
     q: &NodeSet,
     k: usize,
 ) -> TwoWayOutput {
+    top_k_with_ctx(graph, config, p, q, k, &mut QueryCtx::one_shot())
+}
+
+/// Runs F-IDJ through a session context (the context contributes its
+/// scratch pool; forward walks produce per-pair scalars, so there is no
+/// column to cache).
+pub fn top_k_with_ctx(
+    graph: &Graph,
+    config: &TwoWayConfig,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    ctx: &mut QueryCtx,
+) -> TwoWayOutput {
     let mut stats = TwoWayStats::default();
     let d = config.d;
     let params = &config.params;
-    // One scratch serves every truncated walk of every round.
-    let mut scratch = WalkScratch::new();
+    // One pooled scratch serves every truncated walk of every round.
+    let mut scratch = ctx.pool.acquire();
 
     let mut alive: Vec<NodeId> = p.iter().collect();
     stats.q_remaining_per_iteration.push(alive.len());

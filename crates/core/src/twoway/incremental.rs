@@ -24,9 +24,8 @@
 use std::collections::{HashMap, HashSet};
 
 use dht_graph::{Graph, NodeId};
-use dht_walks::backward::backward_dht_all_sources;
 use dht_walks::bounds::{x_upper_bound, YBoundTable};
-use dht_walks::DhtParams;
+use dht_walks::{DhtParams, QueryCtx, WalkEngine};
 
 use crate::answer::PairScore;
 
@@ -48,6 +47,9 @@ pub struct FEntry {
 pub struct IncrementalState {
     params: DhtParams,
     d: usize,
+    /// Walk engine of the refinement walks (installed by the originating
+    /// B-IDJ run so refinements match the join's propagation engine).
+    engine: WalkEngine,
     entries: HashMap<(u32, u32), FEntry>,
     emitted: HashSet<(u32, u32)>,
     y_table: Option<YBoundTable>,
@@ -63,6 +65,7 @@ impl IncrementalState {
         IncrementalState {
             params,
             d: d.max(1),
+            engine: WalkEngine::default(),
             entries: HashMap::new(),
             emitted: HashSet::new(),
             y_table: None,
@@ -76,6 +79,12 @@ impl IncrementalState {
     /// used.
     pub fn set_y_table(&mut self, table: YBoundTable) {
         self.y_table = Some(table);
+    }
+
+    /// Sets the walk engine used by refinement walks (the originating join's
+    /// engine; defaults to [`WalkEngine::default`]).
+    pub fn set_engine(&mut self, engine: WalkEngine) {
+        self.engine = engine;
     }
 
     /// Number of recorded pairs.
@@ -148,6 +157,11 @@ impl IncrementalState {
 
     /// Finds the non-emitted entry with the largest upper bound and the
     /// largest upper bound among the rest.
+    ///
+    /// Ties on the upper bound are broken by the smallest `(p, q)` key, so
+    /// the selection — and therefore the whole PJ-i emission order — is a
+    /// pure function of the recorded bounds, independent of `HashMap`
+    /// iteration order (which is randomized per process).
     fn best_candidate(&self) -> Option<((u32, u32), FEntry, f64)> {
         let mut best: Option<((u32, u32), FEntry)> = None;
         let mut second = f64::NEG_INFINITY;
@@ -157,8 +171,10 @@ impl IncrementalState {
             }
             match best {
                 None => best = Some((key, entry)),
-                Some((_, current)) => {
-                    if entry.upper > current.upper {
+                Some((best_key, current)) => {
+                    if entry.upper > current.upper
+                        || (entry.upper == current.upper && key < best_key)
+                    {
                         second = current.upper;
                         best = Some((key, entry));
                     } else if entry.upper > second {
@@ -171,10 +187,11 @@ impl IncrementalState {
     }
 
     /// Re-runs a backward walk from `target` at depth `level` and tightens
-    /// every entry whose target matches.
-    fn refine_target(&mut self, graph: &Graph, target: NodeId, level: usize) {
+    /// every entry whose target matches.  The walk is served from the
+    /// context's column cache when warm.
+    fn refine_target(&mut self, graph: &Graph, target: NodeId, level: usize, ctx: &mut QueryCtx) {
         let level = level.clamp(1, self.d);
-        let scores = backward_dht_all_sources(graph, &self.params, target, level);
+        let scores = ctx.backward_column(graph, &self.params, target, level, self.engine);
         self.refinement_walks += 1;
         self.refinement_steps += level as u64;
         let u_bound = if level >= self.d {
@@ -202,6 +219,12 @@ impl IncrementalState {
     /// score, refining bounds lazily as needed.  Returns `None` once every
     /// recorded pair has been emitted.
     pub fn next_pair(&mut self, graph: &Graph) -> Option<PairScore> {
+        self.next_pair_with_ctx(graph, &mut QueryCtx::one_shot())
+    }
+
+    /// [`IncrementalState::next_pair`] through a session context: refinement
+    /// walks are served from (and fill) the context's column cache.
+    pub fn next_pair_with_ctx(&mut self, graph: &Graph, ctx: &mut QueryCtx) -> Option<PairScore> {
         loop {
             let (key, entry, second_upper) = self.best_candidate()?;
             if entry.level >= self.d {
@@ -216,7 +239,7 @@ impl IncrementalState {
             } else {
                 (entry.level * 2).clamp(1, self.d)
             };
-            self.refine_target(graph, target, new_level.max(entry.level + 1));
+            self.refine_target(graph, target, new_level.max(entry.level + 1), ctx);
         }
     }
 }

@@ -18,7 +18,7 @@ pub mod fidj;
 pub mod incremental;
 
 use dht_graph::{Graph, NodeSet};
-use dht_walks::{DhtParams, WalkEngine};
+use dht_walks::{DhtParams, QueryCtx, WalkEngine};
 
 use crate::answer::PairScore;
 use crate::stats::TwoWayStats;
@@ -135,7 +135,8 @@ impl TwoWayAlgorithm {
         }
     }
 
-    /// Runs the selected algorithm.
+    /// Runs the selected algorithm as a one-shot call (a fresh, cache-free
+    /// context per invocation).
     pub fn top_k(
         self,
         graph: &Graph,
@@ -144,15 +145,31 @@ impl TwoWayAlgorithm {
         q: &NodeSet,
         k: usize,
     ) -> TwoWayOutput {
+        self.top_k_with_ctx(graph, config, p, q, k, &mut QueryCtx::one_shot())
+    }
+
+    /// Runs the selected algorithm through a session context: backward
+    /// columns and Y-bound tables are served from (and fill) the context's
+    /// caches, and walk scratches come from its pool.  Answers are
+    /// bit-identical to [`TwoWayAlgorithm::top_k`] at every cache state.
+    pub fn top_k_with_ctx(
+        self,
+        graph: &Graph,
+        config: &TwoWayConfig,
+        p: &NodeSet,
+        q: &NodeSet,
+        k: usize,
+        ctx: &mut QueryCtx,
+    ) -> TwoWayOutput {
         match self {
-            TwoWayAlgorithm::ForwardBasic => fbj::top_k(graph, config, p, q, k),
-            TwoWayAlgorithm::ForwardIdj => fidj::top_k(graph, config, p, q, k),
-            TwoWayAlgorithm::BackwardBasic => bbj::top_k(graph, config, p, q, k),
+            TwoWayAlgorithm::ForwardBasic => fbj::top_k_with_ctx(graph, config, p, q, k, ctx),
+            TwoWayAlgorithm::ForwardIdj => fidj::top_k_with_ctx(graph, config, p, q, k, ctx),
+            TwoWayAlgorithm::BackwardBasic => bbj::top_k_with_ctx(graph, config, p, q, k, ctx),
             TwoWayAlgorithm::BackwardIdjX => {
-                bidj::top_k(graph, config, p, q, k, BoundKind::X, None)
+                bidj::top_k_with_ctx(graph, config, p, q, k, BoundKind::X, None, ctx)
             }
             TwoWayAlgorithm::BackwardIdjY => {
-                bidj::top_k(graph, config, p, q, k, BoundKind::Y, None)
+                bidj::top_k_with_ctx(graph, config, p, q, k, BoundKind::Y, None, ctx)
             }
         }
     }
@@ -160,42 +177,31 @@ impl TwoWayAlgorithm {
 
 /// Streams the backward DHT score column of every target in `targets` (at
 /// walk depth `depth`) to `consume`, **in target order** — the shared
-/// backbone of B-BJ and both B-IDJ variants.
+/// backbone of B-BJ and both B-IDJ variants, routed through the session
+/// context.
 ///
-/// Computation runs on [`dht_par::stream_map_ordered`]: chunked fan-out over
-/// `config.threads` workers (bounding peak memory to one chunk of
-/// `|V_G|`-sized columns), in-order consumption, so callers observe exactly
-/// the serial sequence at every thread count.  Workers draw their
-/// [`WalkScratch`] buffers from a shared [`ScratchPool`], so buffer
-/// allocations amortise across the chunk rounds of one streaming pass.
+/// Cache misses are computed in parallel chunks over `config.threads`
+/// workers (bounding peak memory to one chunk of `|V_G|`-sized columns)
+/// with scratches drawn from the context's pool; cache hits skip the walk
+/// entirely.  Consumption always runs in target order on the calling
+/// thread, so callers observe exactly the serial sequence at every thread
+/// count and cache temperature.
 pub(crate) fn for_each_backward_column(
     graph: &Graph,
     config: &TwoWayConfig,
     depth: usize,
     targets: &[dht_graph::NodeId],
-    mut consume: impl FnMut(dht_graph::NodeId, &[f64]),
+    ctx: &mut QueryCtx,
+    consume: impl FnMut(dht_graph::NodeId, &[f64]),
 ) {
-    use dht_walks::{backward, ScratchPool};
-
-    let pool = ScratchPool::new();
-    dht_par::stream_map_ordered(
+    ctx.for_each_backward_column(
+        graph,
+        &config.params,
+        depth,
+        config.engine,
         config.threads,
         targets,
-        || pool.acquire(),
-        |scratch, &qn| {
-            let mut scores = Vec::new();
-            backward::backward_dht_into(
-                graph,
-                &config.params,
-                qn,
-                depth,
-                config.engine,
-                scratch,
-                &mut scores,
-            );
-            scores
-        },
-        |&qn, scores| consume(qn, &scores),
+        consume,
     );
 }
 

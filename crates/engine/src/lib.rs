@@ -1,0 +1,453 @@
+//! # dht-engine
+//!
+//! The query-session engine: an [`Engine`] is built **once per graph** and
+//! hands out [`Session`]s that answer streams of two-way and n-way join
+//! queries while keeping all graph-lifetime walk state warm.
+//!
+//! The paper's algorithms are stateless — every call to a `dht-core` free
+//! function rebuilds its backward columns, `Y_l⁺` tables and scratch
+//! buffers from scratch.  That is the right shape for a one-shot
+//! experiment, but a service answering many users against one graph keeps
+//! paying for state it could reuse.  A [`Session`] owns a
+//! [`dht_walks::QueryCtx`]: a scratch pool, an LRU cache of backward DHT
+//! columns keyed by `(params, depth, engine, target)`, and lazily built
+//! Y-bound tables keyed by `(params, depth, engine, P)` — so a cache hit
+//! turns a B-BJ / B-IDJ target from an `O(d·|E_G|)` walk into a shared
+//! pointer clone, and repeated-target query streams get answered at
+//! memcpy speed.
+//!
+//! Answers are **bit-identical** to the one-shot free functions at every
+//! cache state (the repository's cache-parity proptest pins this): caching
+//! never changes results, only how often walks actually run.
+//!
+//! ```
+//! use dht_engine::{Engine, TwoWayQuery};
+//! use dht_core::twoway::TwoWayAlgorithm;
+//! use dht_graph::{GraphBuilder, NodeId, NodeSet};
+//!
+//! let mut b = GraphBuilder::with_nodes(6);
+//! for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)] {
+//!     b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+//! }
+//! let engine = Engine::new(b.build().unwrap());
+//!
+//! let p = NodeSet::new("P", [NodeId(0), NodeId(1), NodeId(2)]);
+//! let q = NodeSet::new("Q", [NodeId(3), NodeId(4), NodeId(5)]);
+//! let mut session = engine.session();
+//! let first = session.two_way(TwoWayAlgorithm::BackwardIdjY, &p, &q, 3);
+//! let again = session.two_way(TwoWayAlgorithm::BackwardIdjY, &p, &q, 3);
+//! assert_eq!(first.pairs, again.pairs); // second answer came from the warm cache
+//! assert!(session.cache_stats().hits > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use dht_core::multiway::{NWayAlgorithm, NWayConfig, NWayOutput};
+use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig, TwoWayOutput};
+use dht_core::{Aggregate, QueryGraph};
+use dht_graph::{Graph, NodeSet};
+use dht_walks::{CacheStats, DhtParams, QueryCtx, WalkEngine};
+
+/// Construction-time knobs of an [`Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// DHT parameters (α, β, λ).
+    pub params: DhtParams,
+    /// Truncation depth `d` (usually chosen with Lemma 1).
+    pub d: usize,
+    /// Walk propagation engine; the default `Auto` self-calibrates to the
+    /// graph (see `dht_walks::frontier::calibrated_switch_factor`).
+    pub engine: WalkEngine,
+    /// Worker threads per query: `1` serial (default), `0` all cores.
+    pub threads: usize,
+    /// Capacity of each session's backward-column LRU cache, in columns
+    /// (each `|V_G|` doubles).  `0` disables caching entirely.
+    pub column_cache_capacity: usize,
+}
+
+impl EngineConfig {
+    /// The paper's experimental defaults (`DHT_λ`, `λ = 0.2`, `ε = 10⁻⁶` →
+    /// `d = 8`) with a 512-column session cache.
+    pub fn paper_default() -> Self {
+        let params = DhtParams::paper_default();
+        let d = params.depth_for_epsilon(1e-6).expect("1e-6 is valid");
+        EngineConfig {
+            params,
+            d,
+            engine: WalkEngine::default(),
+            threads: 1,
+            column_cache_capacity: 512,
+        }
+    }
+
+    /// Returns a copy with different DHT parameters and depth.
+    pub fn with_params(mut self, params: DhtParams, d: usize) -> Self {
+        self.params = params;
+        self.d = d.max(1);
+        self
+    }
+
+    /// Returns a copy with a different propagation engine.
+    pub fn with_engine(mut self, engine: WalkEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Returns a copy with a different worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with a different column-cache capacity (`0` disables
+    /// caching).
+    pub fn with_column_cache_capacity(mut self, capacity: usize) -> Self {
+        self.column_cache_capacity = capacity;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::paper_default()
+    }
+}
+
+/// One two-way query of a batch: the `k` best pairs of `p ⋈ q` under
+/// `algorithm`.
+#[derive(Debug, Clone)]
+pub struct TwoWayQuery {
+    /// Join algorithm to answer the query with.
+    pub algorithm: TwoWayAlgorithm,
+    /// Left node set `P`.
+    pub p: NodeSet,
+    /// Right node set `Q`.
+    pub q: NodeSet,
+    /// Number of pairs to return.
+    pub k: usize,
+}
+
+/// One n-way query of a batch.
+#[derive(Debug, Clone)]
+pub struct NWayQuery {
+    /// Join algorithm to answer the query with.
+    pub algorithm: NWayAlgorithm,
+    /// Query graph over the node sets.
+    pub query: QueryGraph,
+    /// One node set per query-graph vertex.
+    pub sets: Vec<NodeSet>,
+    /// Monotone aggregate over per-edge scores.
+    pub aggregate: Aggregate,
+    /// Number of answers to return.
+    pub k: usize,
+}
+
+/// A per-graph query engine: owns the graph and the configuration every
+/// session answers queries with.
+///
+/// The engine itself is immutable (and therefore freely shareable by
+/// reference across threads); all mutable walk state lives in the
+/// [`Session`]s it hands out.
+#[derive(Debug)]
+pub struct Engine {
+    graph: Graph,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Builds an engine over `graph` with [`EngineConfig::paper_default`].
+    pub fn new(graph: Graph) -> Self {
+        Engine::with_config(graph, EngineConfig::paper_default())
+    }
+
+    /// Builds an engine with an explicit configuration.
+    pub fn with_config(graph: Graph, config: EngineConfig) -> Self {
+        Engine { graph, config }
+    }
+
+    /// The graph this engine answers queries over.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The two-way join configuration sessions run with.
+    pub fn two_way_config(&self) -> TwoWayConfig {
+        TwoWayConfig::new(self.config.params, self.config.d)
+            .with_engine(self.config.engine)
+            .with_threads(self.config.threads)
+    }
+
+    /// The n-way join configuration for `aggregate` and `k`.
+    pub fn n_way_config(&self, aggregate: Aggregate, k: usize) -> NWayConfig {
+        NWayConfig::new(self.config.params, self.config.d, aggregate, k)
+            .with_engine(self.config.engine)
+            .with_threads(self.config.threads)
+    }
+
+    /// Opens a fresh session (cold caches, empty scratch pool).
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            engine: self,
+            ctx: QueryCtx::with_capacity(self.config.column_cache_capacity),
+        }
+    }
+
+    /// Answers a whole stream of two-way queries on one internal session, so
+    /// later queries reuse the columns earlier ones computed.  Results are
+    /// in query order and bit-identical to answering each query one-shot.
+    pub fn two_way_batch(&self, queries: &[TwoWayQuery]) -> Vec<TwoWayOutput> {
+        self.session().two_way_batch(queries)
+    }
+
+    /// Answers a stream of n-way queries on one internal session.
+    ///
+    /// # Errors
+    /// Fails on the first query whose query graph and node sets are
+    /// inconsistent (see [`NWayAlgorithm::run`]).
+    pub fn n_way_batch(&self, queries: &[NWayQuery]) -> dht_core::Result<Vec<NWayOutput>> {
+        self.session().n_way_batch(queries)
+    }
+}
+
+/// A query session against one [`Engine`]: owns the warm walk state
+/// (scratch pool, backward-column LRU, Y-bound tables) and answers queries
+/// through it.
+///
+/// Sessions are cheap to create and single-threaded by design — one per
+/// concurrent client; queries *within* a session still fan out over
+/// `EngineConfig::threads` workers.
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e Engine,
+    ctx: QueryCtx,
+}
+
+impl Session<'_> {
+    /// The engine this session belongs to.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// Answers one two-way query: the `k` best pairs of `p ⋈ q`.
+    pub fn two_way(
+        &mut self,
+        algorithm: TwoWayAlgorithm,
+        p: &NodeSet,
+        q: &NodeSet,
+        k: usize,
+    ) -> TwoWayOutput {
+        let config = self.engine.two_way_config();
+        algorithm.top_k_with_ctx(&self.engine.graph, &config, p, q, k, &mut self.ctx)
+    }
+
+    /// Answers one n-way query.
+    ///
+    /// # Errors
+    /// Fails when the query graph and node sets are inconsistent.
+    pub fn n_way(
+        &mut self,
+        algorithm: NWayAlgorithm,
+        query: &QueryGraph,
+        sets: &[NodeSet],
+        aggregate: Aggregate,
+        k: usize,
+    ) -> dht_core::Result<NWayOutput> {
+        let config = self.engine.n_way_config(aggregate, k);
+        algorithm.run_with_ctx(&self.engine.graph, &config, query, sets, &mut self.ctx)
+    }
+
+    /// Answers a stream of two-way queries in order on this session's warm
+    /// state.
+    pub fn two_way_batch(&mut self, queries: &[TwoWayQuery]) -> Vec<TwoWayOutput> {
+        queries
+            .iter()
+            .map(|query| self.two_way(query.algorithm, &query.p, &query.q, query.k))
+            .collect()
+    }
+
+    /// Answers a stream of n-way queries in order on this session's warm
+    /// state.
+    ///
+    /// # Errors
+    /// Fails on the first inconsistent query.
+    pub fn n_way_batch(&mut self, queries: &[NWayQuery]) -> dht_core::Result<Vec<NWayOutput>> {
+        queries
+            .iter()
+            .map(|query| {
+                self.n_way(
+                    query.algorithm,
+                    &query.query,
+                    &query.sets,
+                    query.aggregate,
+                    query.k,
+                )
+            })
+            .collect()
+    }
+
+    /// Cumulative backward-column cache counters of this session.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.ctx.column_stats()
+    }
+
+    /// `(hits, misses)` of this session's Y-bound-table cache.
+    pub fn y_table_stats(&self) -> (u64, u64) {
+        self.ctx.y_table_stats()
+    }
+
+    /// Drops the session's cached columns and tables (allocations and
+    /// counters are kept).
+    pub fn clear_cache(&mut self) {
+        self.ctx.clear();
+    }
+
+    /// Direct access to the underlying context, for callers composing with
+    /// the `*_with_ctx` entry points of `dht-core` / `dht-measures`.
+    pub fn ctx_mut(&mut self) -> &mut QueryCtx {
+        &mut self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::generators::{planted_partition, PlantedPartitionConfig};
+    use dht_graph::NodeId;
+
+    fn fixture() -> (Graph, Vec<NodeSet>) {
+        let cg = planted_partition(&PlantedPartitionConfig {
+            communities: 3,
+            community_size: 16,
+            avg_internal_degree: 5.0,
+            avg_external_degree: 1.5,
+            weighted: true,
+            seed: 2014,
+        });
+        (cg.graph, cg.communities)
+    }
+
+    #[test]
+    fn session_answers_match_one_shot_calls_for_every_algorithm() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let mut session = engine.session();
+        let config = engine.two_way_config();
+        for algorithm in TwoWayAlgorithm::ALL {
+            for _ in 0..2 {
+                let warm = session.two_way(algorithm, &sets[0], &sets[1], 7);
+                let cold = algorithm.top_k(engine.graph(), &config, &sets[0], &sets[1], 7);
+                assert_eq!(warm.pairs, cold.pairs, "{}", algorithm.name());
+            }
+        }
+        assert!(session.cache_stats().hits > 0, "repeats must hit the cache");
+    }
+
+    #[test]
+    fn n_way_sessions_match_one_shot_calls() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let mut session = engine.session();
+        let query = QueryGraph::chain(3);
+        for algorithm in [
+            NWayAlgorithm::AllPairs,
+            NWayAlgorithm::PartialJoin { m: 5 },
+            NWayAlgorithm::IncrementalPartialJoin { m: 5 },
+        ] {
+            let warm = session
+                .n_way(algorithm, &query, &sets, Aggregate::Min, 5)
+                .unwrap();
+            let config = engine.n_way_config(Aggregate::Min, 5);
+            let cold = algorithm
+                .run(engine.graph(), &config, &query, &sets)
+                .unwrap();
+            assert_eq!(warm.answers, cold.answers, "{}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn batches_reuse_the_warm_cache_across_queries() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let queries: Vec<TwoWayQuery> = (0..6)
+            .map(|i| TwoWayQuery {
+                algorithm: TwoWayAlgorithm::BackwardBasic,
+                p: sets[i % 2].clone(),
+                q: sets[2].clone(), // every query shares the same targets
+                k: 5,
+            })
+            .collect();
+        let mut session = engine.session();
+        let outputs = session.two_way_batch(&queries);
+        assert_eq!(outputs.len(), queries.len());
+        let stats = session.cache_stats();
+        // |Q| misses on the first query, hits from then on.
+        assert_eq!(stats.misses, sets[2].len() as u64);
+        assert_eq!(stats.hits, 5 * sets[2].len() as u64);
+        // engine-level batch produces the same outputs on a fresh session
+        let again = engine.two_way_batch(&queries);
+        for (a, b) in outputs.iter().zip(again.iter()) {
+            assert_eq!(a.pairs, b.pairs);
+        }
+    }
+
+    #[test]
+    fn y_tables_are_shared_across_repeated_bidj_y_queries() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let mut session = engine.session();
+        for _ in 0..3 {
+            session.two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 4);
+        }
+        let (hits, misses) = session.y_table_stats();
+        assert_eq!(misses, 1, "one build for three identical queries");
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn disabled_cache_still_answers_correctly() {
+        let (graph, sets) = fixture();
+        let config = EngineConfig::paper_default().with_column_cache_capacity(0);
+        let engine = Engine::with_config(graph, config);
+        let mut session = engine.session();
+        let a = session.two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 5);
+        let b = session.two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 5);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(session.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn clear_cache_forces_recomputation() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let mut session = engine.session();
+        session.two_way(TwoWayAlgorithm::BackwardBasic, &sets[0], &sets[1], 5);
+        let misses_before = session.cache_stats().misses;
+        session.clear_cache();
+        session.two_way(TwoWayAlgorithm::BackwardBasic, &sets[0], &sets[1], 5);
+        assert_eq!(session.cache_stats().misses, 2 * misses_before);
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let config = EngineConfig::paper_default()
+            .with_params(DhtParams::dht_e(), 6)
+            .with_engine(WalkEngine::Dense)
+            .with_threads(4)
+            .with_column_cache_capacity(16);
+        assert_eq!(config.d, 6);
+        assert_eq!(config.engine, WalkEngine::Dense);
+        assert_eq!(config.threads, 4);
+        assert_eq!(config.column_cache_capacity, 16);
+        let mut b = dht_graph::GraphBuilder::with_nodes(2);
+        b.add_unit_edge(NodeId(0), NodeId(1)).unwrap();
+        let engine = Engine::with_config(b.build().unwrap(), config);
+        assert_eq!(engine.two_way_config().d, 6);
+        assert_eq!(engine.n_way_config(Aggregate::Sum, 3).k, 3);
+    }
+}

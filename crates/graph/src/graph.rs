@@ -23,7 +23,15 @@ pub struct Graph {
     forward: Csr,
     reverse: Csr,
     labels: Vec<Option<String>>,
+    /// Process-unique identity assigned at construction (see [`Graph::uid`]).
+    /// Clones share it — a clone has identical contents, so anything keyed
+    /// by the uid (e.g. cached walk columns) stays valid for it.
+    uid: u64,
 }
+
+/// Source of [`Graph::uid`] values; starts at 1 so 0 can serve callers as a
+/// "no graph yet" sentinel.
+static NEXT_GRAPH_UID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl Graph {
     /// Builds a graph from raw parts.  Used by [`crate::GraphBuilder`].
@@ -84,7 +92,19 @@ impl Graph {
             forward,
             reverse,
             labels,
+            uid: NEXT_GRAPH_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         })
+    }
+
+    /// Process-unique identity of this graph's contents: every
+    /// [`crate::GraphBuilder::build`] gets a fresh uid, and clones keep it
+    /// (their contents are identical).  Equal uids therefore imply equal
+    /// graphs within one process — which is what per-graph caches (the
+    /// session column cache of `dht-walks`) key on to never serve a column
+    /// computed on a different graph.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of nodes `|V_G|`.

@@ -65,6 +65,18 @@ impl ProximityMeasure for DhtMeasure {
     fn max_score(&self) -> f64 {
         self.params.max_score()
     }
+
+    fn column_signature(&self) -> Option<u64> {
+        Some(dht_walks::cache::custom_column_sig(
+            "measure:DHT",
+            &[
+                self.params.alpha.to_bits(),
+                self.params.beta.to_bits(),
+                self.params.lambda.to_bits(),
+                self.depth as u64,
+            ],
+        ))
+    }
 }
 
 impl IterativeMeasure for DhtMeasure {

@@ -122,6 +122,13 @@ impl ProximityMeasure for TruncatedHittingTime {
     fn max_score(&self) -> f64 {
         1.0
     }
+
+    fn column_signature(&self) -> Option<u64> {
+        Some(dht_walks::cache::custom_column_sig(
+            "measure:HT",
+            &[self.depth as u64],
+        ))
+    }
 }
 
 impl IterativeMeasure for TruncatedHittingTime {

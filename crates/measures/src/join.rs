@@ -21,6 +21,8 @@ use dht_core::multiway::pbrj::{self, EdgeListProvider};
 use dht_core::{Aggregate, NWayStats, QueryGraph};
 use dht_graph::{Graph, NodeSet};
 use dht_rankjoin::TopKBuffer;
+use dht_walks::cache::custom_column_sig;
+use dht_walks::QueryCtx;
 
 use crate::measure::{IterativeMeasure, ProximityMeasure};
 use crate::{MeasureError, Result};
@@ -38,12 +40,26 @@ pub struct MeasureNWayOutput {
     pub stats: NWayStats,
 }
 
+/// The cache signature of a measure's *partial* (depth-`l`) columns,
+/// derived from its full-column signature so partial and full columns never
+/// alias.
+fn partial_sig(full: u64, l: usize) -> u64 {
+    custom_column_sig("partial", &[full, l as u64])
+}
+
 /// Streams per-target score columns to `consume` in target order, computing
-/// them with up to `threads` workers on [`dht_par::stream_map_ordered`]
-/// (the same chunked, order-preserving backbone the core joins use), so
-/// peak memory stays at one chunk of `|V_G|`-sized columns and results are
-/// identical at every thread count.
+/// them with up to `threads` workers (the same chunked, order-preserving
+/// backbone the core joins use), so peak memory stays at one chunk of
+/// `|V_G|`-sized columns and results are identical at every thread count.
+///
+/// With `sig = Some(_)` the columns are routed through the session
+/// context's shared column cache (misses computed in parallel, hits served
+/// without any work); with `None` — a measure that opted out of caching —
+/// every column is computed fresh.
 fn for_each_column<F>(
+    graph: &Graph,
+    ctx: &mut QueryCtx,
+    sig: Option<u64>,
     targets: &[dht_graph::NodeId],
     threads: usize,
     produce: F,
@@ -51,13 +67,23 @@ fn for_each_column<F>(
 ) where
     F: Fn(dht_graph::NodeId) -> Vec<f64> + Sync,
 {
-    dht_par::stream_map_ordered(
-        threads,
-        targets,
-        || (),
-        |(), &target| produce(target),
-        |&target, column| consume(target, &column),
-    );
+    match sig {
+        Some(sig) => ctx.for_each_column_cached(
+            graph,
+            sig,
+            threads,
+            targets,
+            |_scratch, target| produce(target),
+            consume,
+        ),
+        None => dht_par::stream_map_ordered(
+            threads,
+            targets,
+            || (),
+            |(), &target| produce(target),
+            |&target, column| consume(target, &column),
+        ),
+    }
 }
 
 /// Top-k 2-way join of `p ⋈ q` under an arbitrary measure, B-BJ style:
@@ -88,9 +114,29 @@ pub fn measure_two_way_top_k_threaded<M: ProximityMeasure + Sync + ?Sized>(
     k: usize,
     threads: usize,
 ) -> Vec<MeasurePair> {
+    measure_two_way_top_k_ctx(graph, measure, p, q, k, threads, &mut QueryCtx::one_shot())
+}
+
+/// [`measure_two_way_top_k_threaded`] through a session context: bulk
+/// columns of measures that provide a
+/// [`ProximityMeasure::column_signature`] are served from (and fill) the
+/// context's shared column cache — the same cache the DHT joins of
+/// `dht-core` use.  Results are bit-identical at every cache state.
+pub fn measure_two_way_top_k_ctx<M: ProximityMeasure + Sync + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    threads: usize,
+    ctx: &mut QueryCtx,
+) -> Vec<MeasurePair> {
     let targets: Vec<dht_graph::NodeId> = q.iter().collect();
     let mut buffer: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
     for_each_column(
+        graph,
+        ctx,
+        measure.column_signature(),
         &targets,
         threads,
         |target| measure.scores_to_target(graph, target),
@@ -134,9 +180,25 @@ pub fn measure_two_way_top_k_pruned_threaded<M: IterativeMeasure + Sync + ?Sized
     k: usize,
     threads: usize,
 ) -> Vec<MeasurePair> {
+    measure_two_way_top_k_pruned_ctx(graph, measure, p, q, k, threads, &mut QueryCtx::one_shot())
+}
+
+/// [`measure_two_way_top_k_pruned_threaded`] through a session context:
+/// both the partial (per deepening level) and the exact columns are cached,
+/// keyed so they never alias each other.
+pub fn measure_two_way_top_k_pruned_ctx<M: IterativeMeasure + Sync + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    p: &NodeSet,
+    q: &NodeSet,
+    k: usize,
+    threads: usize,
+    ctx: &mut QueryCtx,
+) -> Vec<MeasurePair> {
     if k == 0 || p.is_empty() || q.is_empty() {
         return Vec::new();
     }
+    let full_sig = measure.column_signature();
     let d = measure.depth();
     let mut remaining: Vec<_> = q.iter().collect();
     let mut l = 1usize;
@@ -145,6 +207,9 @@ pub fn measure_two_way_top_k_pruned_threaded<M: IterativeMeasure + Sync + ?Sized
         let mut lower: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
         let mut upper_per_target = Vec::with_capacity(remaining.len());
         for_each_column(
+            graph,
+            ctx,
+            full_sig.map(|sig| partial_sig(sig, l)),
             &remaining,
             threads,
             |target| measure.partial_scores_to_target(graph, target, l),
@@ -181,6 +246,9 @@ pub fn measure_two_way_top_k_pruned_threaded<M: IterativeMeasure + Sync + ?Sized
     // Final full-depth pass over the surviving targets.
     let mut buffer: TopKBuffer<(u32, u32)> = TopKBuffer::new(k);
     for_each_column(
+        graph,
+        ctx,
+        full_sig,
         &remaining,
         threads,
         |target| measure.scores_to_target(graph, target),
@@ -254,6 +322,34 @@ pub fn measure_nway_top_k_threaded<M: ProximityMeasure + Sync + ?Sized>(
     k: usize,
     threads: usize,
 ) -> Result<MeasureNWayOutput> {
+    measure_nway_top_k_ctx(
+        graph,
+        measure,
+        query,
+        node_sets,
+        aggregate,
+        k,
+        threads,
+        &mut QueryCtx::one_shot(),
+    )
+}
+
+/// [`measure_nway_top_k_threaded`] through a session context.  On the
+/// serial path every per-edge join shares the context's column cache, so
+/// query edges with a common node set reuse each other's columns; the
+/// concurrent path runs each edge on a private one-shot context (the
+/// session caches are not shared across threads).
+#[allow(clippy::too_many_arguments)]
+pub fn measure_nway_top_k_ctx<M: ProximityMeasure + Sync + ?Sized>(
+    graph: &Graph,
+    measure: &M,
+    query: &QueryGraph,
+    node_sets: &[NodeSet],
+    aggregate: Aggregate,
+    k: usize,
+    threads: usize,
+    ctx: &mut QueryCtx,
+) -> Result<MeasureNWayOutput> {
     let mut stats = NWayStats::default();
     let edges: Vec<(usize, usize)> = query.edges().to_vec();
     for &(from, to) in &edges {
@@ -265,17 +361,35 @@ pub fn measure_nway_top_k_threaded<M: ProximityMeasure + Sync + ?Sized>(
             )));
         }
     }
-    let join_edge = |&(from, to): &(usize, usize), inner_threads: usize| {
-        let p = &node_sets[from];
-        let q = &node_sets[to];
-        let full = p.len().saturating_mul(q.len());
-        measure_two_way_top_k_threaded(graph, measure, p, q, full, inner_threads)
-    };
+    let full_k =
+        |&(from, to): &(usize, usize)| node_sets[from].len().saturating_mul(node_sets[to].len());
     let lists: Vec<Vec<MeasurePair>> = if dht_par::effective_threads(threads) > 1 && edges.len() > 1
     {
-        dht_par::parallel_map(threads, &edges, |_, edge| join_edge(edge, 1))
+        dht_par::parallel_map(threads, &edges, |_, edge @ &(from, to)| {
+            measure_two_way_top_k_threaded(
+                graph,
+                measure,
+                &node_sets[from],
+                &node_sets[to],
+                full_k(edge),
+                1,
+            )
+        })
     } else {
-        edges.iter().map(|edge| join_edge(edge, threads)).collect()
+        edges
+            .iter()
+            .map(|edge @ &(from, to)| {
+                measure_two_way_top_k_ctx(
+                    graph,
+                    measure,
+                    &node_sets[from],
+                    &node_sets[to],
+                    full_k(edge),
+                    threads,
+                    ctx,
+                )
+            })
+            .collect()
     };
     stats.two_way_joins = edges.len() as u64;
     let mut provider = PrecomputedLists {
@@ -483,6 +597,40 @@ mod tests {
                     .unwrap();
             assert_eq!(serial.answers, parallel.answers, "n-way, threads={threads}");
         }
+    }
+
+    #[test]
+    fn session_context_joins_are_identical_and_hit_the_cache() {
+        let g = two_communities();
+        let (a, b, c) = sets();
+        let ppr = PersonalizedPageRank::new(0.8, 8).unwrap();
+        let dht = DhtMeasure::paper_default();
+        let mut ctx = QueryCtx::with_capacity(64);
+        for pass in 0..2 {
+            let warm = measure_two_way_top_k_ctx(&g, &ppr, &a, &b, 6, 1, &mut ctx);
+            assert_eq!(
+                warm,
+                measure_two_way_top_k(&g, &ppr, &a, &b, 6),
+                "pass {pass}"
+            );
+            let warm = measure_two_way_top_k_pruned_ctx(&g, &dht, &a, &c, 4, 1, &mut ctx);
+            assert_eq!(
+                warm,
+                measure_two_way_top_k_pruned(&g, &dht, &a, &c, 4),
+                "pass {pass}"
+            );
+            let query = QueryGraph::chain(3);
+            let sets3 = [a.clone(), b.clone(), c.clone()];
+            let warm =
+                measure_nway_top_k_ctx(&g, &ppr, &query, &sets3, Aggregate::Sum, 5, 1, &mut ctx)
+                    .unwrap();
+            let cold = measure_nway_top_k(&g, &ppr, &query, &sets3, Aggregate::Sum, 5).unwrap();
+            assert_eq!(warm.answers, cold.answers, "pass {pass}");
+        }
+        let stats = ctx.column_stats();
+        assert!(stats.hits > 0, "second pass must hit the cache: {stats:?}");
+        // DHT and PPR columns for the same target must not alias.
+        assert_ne!(ppr.column_signature(), dht.column_signature());
     }
 
     #[test]

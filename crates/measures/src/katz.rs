@@ -144,6 +144,17 @@ impl ProximityMeasure for KatzIndex {
             KatzMode::Weighted => f64::INFINITY,
         }
     }
+
+    fn column_signature(&self) -> Option<u64> {
+        let mode = match self.mode {
+            KatzMode::Transition => 0u64,
+            KatzMode::Weighted => 1u64,
+        };
+        Some(dht_walks::cache::custom_column_sig(
+            "measure:Katz",
+            &[self.beta.to_bits(), self.depth as u64, mode],
+        ))
+    }
 }
 
 impl IterativeMeasure for KatzIndex {

@@ -47,9 +47,10 @@ pub use dht::DhtMeasure;
 pub use error::MeasureError;
 pub use hitting_time::TruncatedHittingTime;
 pub use join::{
-    measure_nway_top_k, measure_nway_top_k_threaded, measure_two_way_top_k,
-    measure_two_way_top_k_pruned, measure_two_way_top_k_pruned_threaded,
-    measure_two_way_top_k_threaded, MeasureNWayOutput, MeasurePair,
+    measure_nway_top_k, measure_nway_top_k_ctx, measure_nway_top_k_threaded, measure_two_way_top_k,
+    measure_two_way_top_k_ctx, measure_two_way_top_k_pruned, measure_two_way_top_k_pruned_ctx,
+    measure_two_way_top_k_pruned_threaded, measure_two_way_top_k_threaded, MeasureNWayOutput,
+    MeasurePair,
 };
 pub use katz::{KatzIndex, KatzMode};
 pub use measure::{IterativeMeasure, ProximityMeasure};

@@ -49,6 +49,21 @@ pub trait ProximityMeasure {
     /// The highest score the measure can produce, used for sanity checks and
     /// as the conventional self-similarity.
     fn max_score(&self) -> f64;
+
+    /// Stable identity of this measure's bulk columns for the shared
+    /// session column cache (`dht_walks::cache`): two measure instances
+    /// must return the same signature **iff** their
+    /// [`ProximityMeasure::scores_to_target`] columns are bit-identical for
+    /// every graph and target.  Build one with
+    /// [`dht_walks::cache::custom_column_sig`] from the measure name and
+    /// its parameter bit patterns.
+    ///
+    /// The default `None` opts the measure out of caching (the safe choice
+    /// for randomized or stateful measures); the ctx-aware joins then
+    /// recompute every column.
+    fn column_signature(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// A measure defined as a truncated series over walk lengths, with a bound on

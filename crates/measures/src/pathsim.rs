@@ -135,6 +135,13 @@ impl ProximityMeasure for PathSim {
     fn max_score(&self) -> f64 {
         1.0
     }
+
+    fn column_signature(&self) -> Option<u64> {
+        Some(dht_walks::cache::custom_column_sig(
+            "measure:PathSim",
+            &[self.length as u64],
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,13 @@ impl ProximityMeasure for PersonalizedPageRank {
     fn max_score(&self) -> f64 {
         1.0
     }
+
+    fn column_signature(&self) -> Option<u64> {
+        Some(dht_walks::cache::custom_column_sig(
+            "measure:PPR",
+            &[self.damping.to_bits(), self.depth as u64],
+        ))
+    }
 }
 
 impl IterativeMeasure for PersonalizedPageRank {

@@ -1,0 +1,719 @@
+//! Graph-lifetime query state: the backward-column LRU cache and the
+//! [`QueryCtx`] handle the join layers thread through a query session.
+//!
+//! The paper's backward algorithms (B-BJ, B-IDJ) spend almost all of their
+//! time in `backWalk(G, q, l)` passes — `O(l·|E_G|)` each — and a query
+//! stream with repeated targets (the norm for a service answering many
+//! users against one graph) recomputes identical columns over and over.
+//! This module caches them:
+//!
+//! * [`ColumnCache`] — a bounded LRU of score columns keyed by
+//!   `(signature, target)`, where the signature folds in everything else
+//!   that determines the column (DHT parameters, walk depth, engine — see
+//!   [`dht_column_sig`] — or an arbitrary measure signature for the generic
+//!   joins of `dht-measures`).  A hit turns an `O(l·|E_G|)` walk into a
+//!   shared-pointer clone.
+//! * [`QueryCtx`] — the per-session bundle the join algorithms take
+//!   `&mut` internally: a [`ScratchPool`] of walk buffers, the column
+//!   cache, and lazily built [`YBoundTable`]s keyed by
+//!   `(params, d, engine, P)`.
+//!
+//! Columns are deterministic functions of their key (every walk engine is
+//! input-deterministic), so replaying a cached column is bit-identical to
+//! recomputing it: joins answered through a warm context return exactly the
+//! pairs a cold one produces.  `tests/session_cache_parity_proptest.rs`
+//! pins this.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use dht_graph::{Graph, NodeId, NodeSet};
+
+use crate::backward::backward_dht_into;
+use crate::bounds::YBoundTable;
+use crate::frontier::{ScratchPool, WalkEngine, WalkScratch};
+use crate::params::DhtParams;
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a accumulator.
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The column signature of a truncated backward DHT computation: two columns
+/// share a signature exactly when they were produced by the same parameters,
+/// walk depth and propagation engine (so their values are bit-identical for
+/// equal targets).
+pub fn dht_column_sig(params: &DhtParams, d: usize, engine: WalkEngine) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, b"dht");
+    h = fnv1a(h, &params.alpha.to_bits().to_le_bytes());
+    h = fnv1a(h, &params.beta.to_bits().to_le_bytes());
+    h = fnv1a(h, &params.lambda.to_bits().to_le_bytes());
+    h = fnv1a(h, &(d as u64).to_le_bytes());
+    fnv1a(h, engine.name().as_bytes())
+}
+
+/// Builds a column signature from a tag string and a list of 64-bit words
+/// (typically parameter bit patterns) — the hook measures outside this
+/// crate use to share the [`ColumnCache`] (see
+/// `dht-measures`' `ProximityMeasure::column_signature`).
+pub fn custom_column_sig(tag: &str, words: &[u64]) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, tag.as_bytes());
+    for &w in words {
+        h = fnv1a(h, &w.to_le_bytes());
+    }
+    h
+}
+
+/// Folds the graph's process-unique identity ([`Graph::uid`]) into a column
+/// signature, so a context reused across graphs can never serve a column
+/// computed on a different graph.  Applied internally by every cached
+/// [`QueryCtx`] operation.
+fn graph_scoped_sig(graph: &Graph, sig: u64) -> u64 {
+    custom_column_sig("graph", &[graph.uid(), sig])
+}
+
+/// Order-sensitive signature of a node set's membership, used to key cached
+/// [`YBoundTable`]s (the table depends on the seed set `P`).
+pub fn node_set_sig(set: &NodeSet) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &(set.len() as u64).to_le_bytes());
+    for node in set.iter() {
+        h = fnv1a(h, &node.0.to_le_bytes());
+    }
+    h
+}
+
+/// Hit / miss / eviction counters of a [`ColumnCache`] (cumulative since
+/// construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh computation.
+    pub misses: u64,
+    /// Entries displaced by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheSlot {
+    /// LRU stamp of the slot's most recent touch; stale queue entries whose
+    /// stamp no longer matches are skipped during eviction.
+    stamp: u64,
+    column: Arc<[f64]>,
+}
+
+/// A bounded LRU cache of score columns keyed by `(signature, target)`.
+///
+/// Eviction is strict LRU via touch stamps with a lazily compacted queue:
+/// `get` and `insert` are `O(1)` amortised.  A capacity of `0` disables the
+/// cache entirely (every lookup misses, nothing is stored) — that is what
+/// the one-shot join wrappers use, so their behaviour and allocation profile
+/// match the pre-session code paths.
+#[derive(Debug, Default)]
+pub struct ColumnCache {
+    capacity: usize,
+    slots: HashMap<(u64, u32), CacheSlot>,
+    /// `(stamp, key)` pairs in touch order; entries are stale when the
+    /// slot's current stamp differs.
+    order: VecDeque<(u64, (u64, u32))>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ColumnCache {
+    /// A cache holding at most `capacity` columns.
+    pub fn new(capacity: usize) -> Self {
+        ColumnCache {
+            capacity,
+            ..ColumnCache::default()
+        }
+    }
+
+    /// A disabled cache (capacity 0): every lookup misses, inserts are
+    /// dropped.
+    pub fn disabled() -> Self {
+        ColumnCache::new(0)
+    }
+
+    /// The configured capacity in columns.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Number of columns currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache currently holds no columns.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Cumulative hit / miss / eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up the column for `(sig, target)`, refreshing its LRU position
+    /// on a hit.
+    pub fn get(&mut self, sig: u64, target: u32) -> Option<Arc<[f64]>> {
+        if self.capacity == 0 {
+            self.stats.misses += 1;
+            return None;
+        }
+        let key = (sig, target);
+        match self.slots.get_mut(&key) {
+            Some(slot) => {
+                self.tick += 1;
+                slot.stamp = self.tick;
+                self.order.push_back((self.tick, key));
+                self.stats.hits += 1;
+                let column = slot.column.clone();
+                self.compact();
+                Some(column)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the column for `(sig, target)`, evicting the
+    /// least recently used entry when full.
+    pub fn insert(&mut self, sig: u64, target: u32, column: Arc<[f64]>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (sig, target);
+        self.tick += 1;
+        let stamp = self.tick;
+        self.order.push_back((stamp, key));
+        if self
+            .slots
+            .insert(key, CacheSlot { stamp, column })
+            .is_none()
+            && self.slots.len() > self.capacity
+        {
+            self.evict_one();
+        }
+        self.compact();
+    }
+
+    /// Drops everything (counters are kept).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.order.clear();
+    }
+
+    fn evict_one(&mut self) {
+        while let Some((stamp, key)) = self.order.pop_front() {
+            let live = self.slots.get(&key).is_some_and(|slot| slot.stamp == stamp);
+            if live {
+                self.slots.remove(&key);
+                self.stats.evictions += 1;
+                return;
+            }
+        }
+    }
+
+    /// Keeps the lazily invalidated queue from growing without bound: stale
+    /// prefix entries are dropped whenever the queue is more than twice the
+    /// live set.
+    fn compact(&mut self) {
+        while self.order.len() > 2 * self.slots.len().max(1) {
+            let Some(&(stamp, key)) = self.order.front() else {
+                return;
+            };
+            let live = self.slots.get(&key).is_some_and(|slot| slot.stamp == stamp);
+            if live {
+                return;
+            }
+            self.order.pop_front();
+        }
+    }
+}
+
+/// Per-session query state threaded through every join layer: pooled walk
+/// scratches, the backward-column LRU and lazily built Y-bound tables.
+///
+/// A context built with [`QueryCtx::one_shot`] (what the free-function join
+/// wrappers use) disables the caches, reproducing the stateless behaviour;
+/// a context built with [`QueryCtx::with_capacity`] keeps columns and
+/// Y-tables warm across queries, which is what makes repeated-target query
+/// streams cheap.  Answers are bit-identical either way.
+#[derive(Debug, Default)]
+pub struct QueryCtx {
+    /// Pool of reusable walk scratches shared by the worker threads of the
+    /// joins running through this context.
+    pub pool: ScratchPool,
+    columns: ColumnCache,
+    /// Cached Y-bound tables with their LRU touch stamps; bounded by
+    /// [`Y_TABLE_CAPACITY`] so long-lived sessions answering B-IDJ-Y
+    /// queries over many distinct `P` sets cannot grow without limit.
+    y_tables: HashMap<(u64, u64), (u64, Arc<YBoundTable>)>,
+    y_tick: u64,
+    y_hits: u64,
+    y_misses: u64,
+}
+
+/// Maximum number of Y-bound tables a context keeps (each is
+/// `O(d·|V_G|)` floats — far heavier than a column, hence the small fixed
+/// bound with LRU eviction).
+const Y_TABLE_CAPACITY: usize = 16;
+
+impl QueryCtx {
+    /// A context whose column cache holds up to `capacity` columns.
+    pub fn with_capacity(capacity: usize) -> Self {
+        QueryCtx {
+            columns: ColumnCache::new(capacity),
+            ..QueryCtx::default()
+        }
+    }
+
+    /// A context with all caching disabled — the free-function join
+    /// wrappers use this, so a one-shot call behaves exactly like the
+    /// stateless implementation it replaced.
+    pub fn one_shot() -> Self {
+        QueryCtx::with_capacity(0)
+    }
+
+    /// The backward-column cache (for stats inspection).
+    pub fn column_cache(&self) -> &ColumnCache {
+        &self.columns
+    }
+
+    /// Cumulative column-cache counters.
+    pub fn column_stats(&self) -> CacheStats {
+        self.columns.stats()
+    }
+
+    /// `(hits, misses)` of the Y-bound-table cache.
+    pub fn y_table_stats(&self) -> (u64, u64) {
+        (self.y_hits, self.y_misses)
+    }
+
+    /// Drops all cached columns and tables, keeping allocations and
+    /// counters.
+    pub fn clear(&mut self) {
+        self.columns.clear();
+        self.y_tables.clear();
+    }
+
+    /// The truncated backward DHT column `h_d(·, target)` for every source,
+    /// served from the cache when possible.
+    pub fn backward_column(
+        &mut self,
+        graph: &Graph,
+        params: &DhtParams,
+        target: NodeId,
+        d: usize,
+        engine: WalkEngine,
+    ) -> Arc<[f64]> {
+        let sig = graph_scoped_sig(graph, dht_column_sig(params, d, engine));
+        if let Some(column) = self.columns.get(sig, target.0) {
+            return column;
+        }
+        let mut scratch = self.pool.acquire();
+        let mut scores = Vec::new();
+        backward_dht_into(graph, params, target, d, engine, &mut scratch, &mut scores);
+        let column: Arc<[f64]> = scores.into();
+        self.columns.insert(sig, target.0, column.clone());
+        column
+    }
+
+    /// Streams the backward DHT column of every target in `targets` (walk
+    /// depth `d`) to `consume`, **in target order** — the shared backbone of
+    /// B-BJ and both B-IDJ variants, now cache-aware.
+    ///
+    /// Cache misses are computed in parallel chunks on up to `threads`
+    /// workers (bounding peak memory to one chunk of `|V_G|`-sized columns)
+    /// with scratches drawn from the context's pool; hits are served
+    /// without any walk.  Consumption always runs in target order on the
+    /// calling thread, so callers observe exactly the serial sequence at
+    /// every thread count and cache temperature.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_each_backward_column(
+        &mut self,
+        graph: &Graph,
+        params: &DhtParams,
+        d: usize,
+        engine: WalkEngine,
+        threads: usize,
+        targets: &[NodeId],
+        consume: impl FnMut(NodeId, &[f64]),
+    ) {
+        let sig = dht_column_sig(params, d, engine);
+        self.for_each_column_cached(
+            graph,
+            sig,
+            threads,
+            targets,
+            |scratch, target| {
+                let mut scores = Vec::new();
+                backward_dht_into(graph, params, target, d, engine, scratch, &mut scores);
+                scores
+            },
+            consume,
+        );
+    }
+
+    /// Generic cached column streaming: like
+    /// [`QueryCtx::for_each_backward_column`] but with an arbitrary column
+    /// producer and signature — the entry point the generic measure joins
+    /// of `dht-measures` route through.
+    ///
+    /// `produce` must be a pure function of `(graph, sig, target)`; the
+    /// scratch it receives is a pooled buffer it may use (or ignore)
+    /// without affecting results.  The graph's [`Graph::uid`] is folded
+    /// into the cache key, so contexts reused across graphs stay correct.
+    pub fn for_each_column_cached(
+        &mut self,
+        graph: &Graph,
+        sig: u64,
+        threads: usize,
+        targets: &[NodeId],
+        produce: impl Fn(&mut WalkScratch, NodeId) -> Vec<f64> + Sync,
+        mut consume: impl FnMut(NodeId, &[f64]),
+    ) {
+        let sig = graph_scoped_sig(graph, sig);
+        let pool = &self.pool;
+        if !self.columns.is_enabled() {
+            // Uncached fast path: identical to the pre-session streamer.
+            dht_par::stream_map_ordered(
+                threads,
+                targets,
+                || pool.acquire(),
+                |scratch, &target| produce(scratch, target),
+                |&target, column| consume(target, &column),
+            );
+            return;
+        }
+        /// Chunk length per parallel round, in items per worker (matches
+        /// `dht_par::stream_map_ordered`).
+        const ITEMS_PER_WORKER_ROUND: usize = 4;
+        let workers = dht_par::effective_threads(threads).max(1);
+        for chunk in targets.chunks(workers * ITEMS_PER_WORKER_ROUND) {
+            let mut slots: Vec<Option<Arc<[f64]>>> = chunk
+                .iter()
+                .map(|&target| self.columns.get(sig, target.0))
+                .collect();
+            let missing: Vec<(usize, NodeId)> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.is_none())
+                .map(|(i, _)| (i, chunk[i]))
+                .collect();
+            let computed = dht_par::parallel_map_init(
+                threads,
+                &missing,
+                || pool.acquire(),
+                |scratch, _, &(_, target)| -> Arc<[f64]> { produce(scratch, target).into() },
+            );
+            for (&(slot_index, target), column) in missing.iter().zip(computed) {
+                self.columns.insert(sig, target.0, column.clone());
+                slots[slot_index] = Some(column);
+            }
+            for (slot, &target) in slots.iter().zip(chunk) {
+                let column = slot.as_ref().expect("every slot filled by hit or compute");
+                consume(target, column);
+            }
+        }
+    }
+
+    /// The `Y_l⁺(P, q)` bound table for source set `p` at depth `d`, built
+    /// lazily and cached per `(params, d, engine, P)`.
+    ///
+    /// When caching is disabled the table is rebuilt on every call, exactly
+    /// as the stateless B-IDJ-Y did.
+    pub fn y_bound_table(
+        &mut self,
+        graph: &Graph,
+        params: &DhtParams,
+        p: &NodeSet,
+        d: usize,
+        engine: WalkEngine,
+        threads: usize,
+    ) -> Arc<YBoundTable> {
+        let key = (
+            graph_scoped_sig(graph, dht_column_sig(params, d, engine)),
+            node_set_sig(p),
+        );
+        if self.columns.is_enabled() {
+            if let Some((stamp, table)) = self.y_tables.get_mut(&key) {
+                self.y_tick += 1;
+                *stamp = self.y_tick;
+                self.y_hits += 1;
+                return table.clone();
+            }
+        }
+        self.y_misses += 1;
+        let mut scratch = self.pool.acquire();
+        let table = Arc::new(YBoundTable::new_with(
+            graph,
+            params,
+            p,
+            d,
+            engine,
+            threads,
+            &mut scratch,
+        ));
+        if self.columns.is_enabled() {
+            self.y_tick += 1;
+            self.y_tables.insert(key, (self.y_tick, table.clone()));
+            if self.y_tables.len() > Y_TABLE_CAPACITY {
+                // Tiny map (≤ 17 entries): a linear scan for the oldest
+                // stamp is cheaper than any auxiliary structure.
+                if let Some(&oldest) = self
+                    .y_tables
+                    .iter()
+                    .min_by_key(|(_, &(stamp, _))| stamp)
+                    .map(|(key, _)| key)
+                {
+                    self.y_tables.remove(&oldest);
+                }
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backward::backward_dht_all_sources;
+    use dht_graph::GraphBuilder;
+
+    fn ring(n: usize) -> Graph {
+        let mut b = GraphBuilder::with_nodes(n);
+        for i in 0..n as u32 {
+            b.add_undirected_edge(NodeId(i), NodeId((i + 1) % n as u32), 1.0)
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn signatures_separate_params_depth_and_engine() {
+        let a = DhtParams::paper_default();
+        let b = DhtParams::dht_e();
+        let sig = |p, d, e| dht_column_sig(p, d, e);
+        assert_ne!(
+            sig(&a, 8, WalkEngine::Sparse),
+            sig(&b, 8, WalkEngine::Sparse)
+        );
+        assert_ne!(
+            sig(&a, 8, WalkEngine::Sparse),
+            sig(&a, 4, WalkEngine::Sparse)
+        );
+        assert_ne!(
+            sig(&a, 8, WalkEngine::Sparse),
+            sig(&a, 8, WalkEngine::Dense)
+        );
+        assert_eq!(sig(&a, 8, WalkEngine::Auto), sig(&a, 8, WalkEngine::Auto));
+    }
+
+    #[test]
+    fn node_set_signature_is_order_and_content_sensitive() {
+        let a = NodeSet::new("A", [NodeId(1), NodeId(2), NodeId(3)]);
+        let b = NodeSet::new("B", [NodeId(3), NodeId(2), NodeId(1)]);
+        let c = NodeSet::new("C", [NodeId(1), NodeId(2), NodeId(3)]);
+        assert_ne!(node_set_sig(&a), node_set_sig(&b));
+        assert_eq!(node_set_sig(&a), node_set_sig(&c));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_column() {
+        let mut cache = ColumnCache::new(2);
+        let col = |x: f64| -> Arc<[f64]> { vec![x].into() };
+        cache.insert(1, 10, col(1.0));
+        cache.insert(1, 20, col(2.0));
+        assert!(cache.get(1, 10).is_some()); // refresh 10: 20 becomes LRU
+        cache.insert(1, 30, col(3.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1, 20).is_none(), "20 was evicted");
+        assert!(cache.get(1, 10).is_some());
+        assert!(cache.get(1, 30).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let mut cache = ColumnCache::disabled();
+        cache.insert(1, 1, vec![1.0].into());
+        assert!(cache.get(1, 1).is_none());
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_tracks_lookups() {
+        let mut cache = ColumnCache::new(4);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        cache.insert(1, 1, vec![1.0].into());
+        assert!(cache.get(1, 1).is_some());
+        assert!(cache.get(1, 2).is_none());
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_compaction_bounds_memory_under_repeated_hits() {
+        let mut cache = ColumnCache::new(2);
+        cache.insert(1, 1, vec![1.0].into());
+        cache.insert(1, 2, vec![2.0].into());
+        for _ in 0..10_000 {
+            cache.get(1, 1);
+            cache.get(1, 2);
+        }
+        assert!(
+            cache.order.len() <= 2 * cache.slots.len().max(1) + 2,
+            "stale queue entries must be compacted, got {}",
+            cache.order.len()
+        );
+    }
+
+    #[test]
+    fn cached_backward_columns_are_bit_identical_to_fresh_ones() {
+        let g = ring(16);
+        let params = DhtParams::paper_default();
+        let mut ctx = QueryCtx::with_capacity(8);
+        for &t in &[3u32, 7, 3, 7, 3] {
+            let column = ctx.backward_column(&g, &params, NodeId(t), 8, WalkEngine::Sparse);
+            let fresh = backward_dht_all_sources(&g, &params, NodeId(t), 8);
+            assert_eq!(&column[..], &fresh[..], "target {t}");
+        }
+        let stats = ctx.column_stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn streaming_with_and_without_cache_consumes_identical_sequences() {
+        let g = ring(24);
+        let params = DhtParams::paper_default();
+        let targets: Vec<NodeId> = [0u32, 5, 11, 5, 0, 17, 11].map(NodeId).to_vec();
+        let collect = |ctx: &mut QueryCtx, threads: usize| {
+            let mut seen: Vec<(u32, Vec<f64>)> = Vec::new();
+            ctx.for_each_backward_column(
+                &g,
+                &params,
+                6,
+                WalkEngine::Sparse,
+                threads,
+                &targets,
+                |t, col| seen.push((t.0, col.to_vec())),
+            );
+            seen
+        };
+        let reference = collect(&mut QueryCtx::one_shot(), 1);
+        for threads in [1usize, 4] {
+            let mut warm = QueryCtx::with_capacity(3); // forces eviction
+            let first = collect(&mut warm, threads);
+            let second = collect(&mut warm, threads);
+            assert_eq!(first, reference, "threads={threads} cold pass");
+            assert_eq!(second, reference, "threads={threads} warm pass");
+            assert!(warm.column_stats().hits > 0, "repeats must hit");
+        }
+    }
+
+    #[test]
+    fn contexts_reused_across_graphs_never_cross_serve_columns() {
+        // Same parameters, same target id, two different graphs: the cache
+        // key folds in Graph::uid, so the second graph must get its own
+        // column, not the first one's.
+        let g1 = ring(8);
+        let g2 = {
+            let mut b = GraphBuilder::with_nodes(8);
+            b.add_unit_edge(NodeId(0), NodeId(3)).unwrap();
+            b.add_unit_edge(NodeId(1), NodeId(3)).unwrap();
+            b.build().unwrap()
+        };
+        let params = DhtParams::paper_default();
+        let mut ctx = QueryCtx::with_capacity(8);
+        for graph in [&g1, &g2, &g1, &g2] {
+            let column = ctx.backward_column(graph, &params, NodeId(3), 6, WalkEngine::Sparse);
+            let fresh = backward_dht_all_sources(graph, &params, NodeId(3), 6);
+            assert_eq!(&column[..], &fresh[..], "graph uid {}", graph.uid());
+        }
+        // A clone shares contents, so it may (correctly) share cache entries.
+        let clone = g1.clone();
+        assert_eq!(clone.uid(), g1.uid());
+        let hits_before = ctx.column_stats().hits;
+        ctx.backward_column(&clone, &params, NodeId(3), 6, WalkEngine::Sparse);
+        assert_eq!(ctx.column_stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn y_table_cache_is_bounded() {
+        let g = ring(10);
+        let params = DhtParams::paper_default();
+        let mut ctx = QueryCtx::with_capacity(8);
+        // One more distinct P set than the capacity: the oldest entry must
+        // be evicted, not accumulated.
+        for i in 0..=Y_TABLE_CAPACITY as u32 {
+            let p = NodeSet::new("P", [NodeId(i % 10), NodeId(i / 10 + 2)]);
+            ctx.y_bound_table(&g, &params, &p, 4, WalkEngine::Sparse, 1);
+        }
+        assert_eq!(ctx.y_tables.len(), Y_TABLE_CAPACITY);
+        // The first (least recently used) set was evicted: asking for it
+        // again misses and rebuilds.
+        let first = NodeSet::new("P", [NodeId(0), NodeId(2)]);
+        let (_, misses_before) = ctx.y_table_stats();
+        ctx.y_bound_table(&g, &params, &first, 4, WalkEngine::Sparse, 1);
+        assert_eq!(ctx.y_table_stats().1, misses_before + 1);
+    }
+
+    #[test]
+    fn y_tables_are_cached_per_source_set() {
+        let g = ring(12);
+        let params = DhtParams::paper_default();
+        let p1 = NodeSet::new("P1", [NodeId(0), NodeId(1)]);
+        let p2 = NodeSet::new("P2", [NodeId(4), NodeId(5)]);
+        let mut ctx = QueryCtx::with_capacity(8);
+        let a = ctx.y_bound_table(&g, &params, &p1, 6, WalkEngine::Sparse, 1);
+        let b = ctx.y_bound_table(&g, &params, &p1, 6, WalkEngine::Sparse, 1);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share the table");
+        let c = ctx.y_bound_table(&g, &params, &p2, 6, WalkEngine::Sparse, 1);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(ctx.y_table_stats(), (1, 2));
+        // one-shot contexts rebuild every time
+        let mut cold = QueryCtx::one_shot();
+        let d = cold.y_bound_table(&g, &params, &p1, 6, WalkEngine::Sparse, 1);
+        let e = cold.y_bound_table(&g, &params, &p1, 6, WalkEngine::Sparse, 1);
+        assert!(!Arc::ptr_eq(&d, &e));
+        for q in g.nodes() {
+            for l in 0..=6 {
+                assert_eq!(a.bound(l, q), d.bound(l, q));
+            }
+        }
+    }
+}

@@ -42,12 +42,17 @@ pub enum WalkEngine {
     /// engine, bit-identical to the original implementation.
     Dense,
     /// Track the active node set and push only from the frontier, switching
-    /// to dense sweeps once the frontier saturates.
+    /// to dense sweeps once the frontier saturates (fixed switch threshold
+    /// [`SPARSE_WORK_FACTOR`]).
     Sparse,
-    /// Currently an alias for [`WalkEngine::Sparse`] — the recommended
-    /// default, kept as a separate variant so future heuristics (e.g.
-    /// per-graph calibration) do not change the meaning of an explicit
-    /// `Sparse` request.
+    /// Like [`WalkEngine::Sparse`], but with a **per-graph calibrated**
+    /// switch threshold (see [`calibrated_switch_factor`]): on small dense
+    /// graphs, where a frontier grows by the average degree per step, the
+    /// switch anticipates one step of growth and goes dense earlier —
+    /// skipping the expensive final sparse steps that made the sparse path
+    /// merely tie dense on such graphs.  On sparse graphs (average degree
+    /// near the fixed factor) it behaves exactly like `Sparse`.  The
+    /// recommended default.
     #[default]
     Auto,
 }
@@ -86,7 +91,44 @@ const NO_ABSORB: usize = usize::MAX;
 /// frontier bookkeeping) times this factor stays below the dense sweep cost
 /// `|V| + |E|`.  The factor accounts for the sparse step's constant-factor
 /// overhead (membership flags, frontier maintenance).
-const SPARSE_WORK_FACTOR: usize = 3;
+pub const SPARSE_WORK_FACTOR: usize = 3;
+
+/// Number of node degrees sampled by [`calibrated_switch_factor`].
+const CALIBRATION_SAMPLES: usize = 64;
+
+/// The per-graph switch threshold of [`WalkEngine::Auto`]: the fixed
+/// [`SPARSE_WORK_FACTOR`] raised to the graph's sampled average out-degree.
+///
+/// A frontier grows by roughly the average degree `ḡ` per step, so on dense
+/// graphs the step *after* the one that trips the fixed threshold costs
+/// about `ḡ` times more — and that final, most expensive sparse step is
+/// exactly what made the sparse path tie (rather than beat) the dense sweep
+/// on small dense graphs.  Scaling the threshold by `ḡ` makes the switch
+/// fire one step earlier there, while graphs with `ḡ ≤` the fixed factor
+/// (long paths, large sparse networks) keep the `Sparse` behaviour
+/// unchanged.
+///
+/// Degrees are sampled at a fixed stride over at most
+/// [`CALIBRATION_SAMPLES`] nodes, so calibration is `O(1)`-ish per walk and
+/// fully deterministic.
+pub fn calibrated_switch_factor(graph: &Graph) -> usize {
+    let n = graph.node_count();
+    if n == 0 {
+        return SPARSE_WORK_FACTOR;
+    }
+    let samples = n.min(CALIBRATION_SAMPLES);
+    let stride = (n / samples).max(1);
+    let mut degree_sum = 0usize;
+    let mut counted = 0usize;
+    let mut u = 0usize;
+    while counted < samples && u < n {
+        degree_sum += graph.out_degree(NodeId(u as u32));
+        counted += 1;
+        u += stride;
+    }
+    let avg = (degree_sum as f64 / counted.max(1) as f64).round() as usize;
+    SPARSE_WORK_FACTOR.max(avg)
+}
 
 /// Reusable buffers for one walk at a time.
 ///
@@ -113,6 +155,10 @@ pub struct WalkScratch {
     /// Set once a dense step has run for the current walk; cleared by
     /// [`WalkScratch::begin`].
     dense_mode: bool,
+    /// Per-walk memo of [`calibrated_switch_factor`] for [`WalkEngine::Auto`]
+    /// (`0` = not computed yet for this walk); cleared by
+    /// [`WalkScratch::begin`].
+    auto_factor: usize,
 }
 
 impl WalkScratch {
@@ -138,6 +184,7 @@ impl WalkScratch {
         }
         self.frontier.clear();
         self.dense_mode = false;
+        self.auto_factor = 0;
         self.current.resize(n, 0.0);
         self.next.resize(n, 0.0);
         self.active.resize(n, false);
@@ -240,9 +287,17 @@ impl WalkScratch {
             Direction::Forward => graph.frontier_out_degree_sum(&self.frontier),
             Direction::Backward => graph.frontier_in_degree_sum(&self.frontier),
         };
+        let factor = if matches!(engine, WalkEngine::Auto) {
+            if self.auto_factor == 0 {
+                self.auto_factor = calibrated_switch_factor(graph);
+            }
+            self.auto_factor
+        } else {
+            SPARSE_WORK_FACTOR
+        };
         let sparse_work = degree_sum + self.frontier.len();
         let dense_work = graph.node_count() + graph.edge_count();
-        if sparse_work * SPARSE_WORK_FACTOR >= dense_work {
+        if sparse_work * factor >= dense_work {
             self.dense_mode = true;
             return true;
         }
@@ -593,6 +648,74 @@ mod tests {
         c.begin(4, [NodeId(2)]);
         assert_eq!(c.current(), &[0.0, 0.0, 1.0, 0.0]);
         assert_eq!(pool.idle_count(), 1);
+    }
+
+    /// A deterministic moderately dense directed graph: every node gets one
+    /// out-edge per offset, so the sampled average out-degree equals
+    /// `offsets.len()`.
+    fn strided_graph(n: usize, offsets: &[usize]) -> Graph {
+        let mut b = GraphBuilder::with_nodes(n);
+        for u in 0..n {
+            for &off in offsets {
+                let v = (u + off) % n;
+                if v != u {
+                    b.add_unit_edge(NodeId(u as u32), NodeId(v as u32)).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn calibrated_factor_tracks_the_sampled_average_degree() {
+        let dense = strided_graph(200, &[1, 3, 7, 19, 53, 101, 137, 171]);
+        assert_eq!(calibrated_switch_factor(&dense), 8);
+        // Sparse graphs never drop below the fixed factor.
+        let path = long_path(500);
+        assert_eq!(calibrated_switch_factor(&path), SPARSE_WORK_FACTOR);
+        let empty = GraphBuilder::with_nodes(0).build().unwrap();
+        assert_eq!(calibrated_switch_factor(&empty), SPARSE_WORK_FACTOR);
+    }
+
+    #[test]
+    fn auto_switches_to_dense_earlier_than_sparse_on_dense_graphs() {
+        // Closes the ROADMAP item: on small dense graphs the fixed-factor
+        // sparse path keeps taking sparse steps right up to saturation, and
+        // the last of those costs nearly a dense sweep.  Auto's calibrated
+        // threshold anticipates one step of frontier growth and goes dense
+        // earlier.
+        let g = strided_graph(200, &[1, 3, 7, 19, 53, 101, 137, 171]);
+        let first_dense_step = |engine: WalkEngine| -> Option<usize> {
+            let mut scratch = WalkScratch::new();
+            scratch.begin(g.node_count(), [NodeId(0)]);
+            for step in 0..30 {
+                scratch.step_forward(&g, engine);
+                if scratch.is_dense() {
+                    return Some(step);
+                }
+            }
+            None
+        };
+        let sparse = first_dense_step(WalkEngine::Sparse).expect("sparse saturates eventually");
+        let auto = first_dense_step(WalkEngine::Auto).expect("auto saturates eventually");
+        assert!(
+            auto < sparse,
+            "auto must switch strictly earlier on a dense graph: auto at {auto}, sparse at {sparse}"
+        );
+    }
+
+    #[test]
+    fn auto_stays_sparse_on_a_long_path() {
+        // Average degree 1 < the fixed factor, so calibration changes
+        // nothing: a frontier of size 1 never triggers the dense switch.
+        let g = long_path(1000);
+        let mut scratch = WalkScratch::new();
+        scratch.begin(1000, [NodeId(0)]);
+        for _ in 0..10 {
+            scratch.step_forward(&g, WalkEngine::Auto);
+        }
+        assert!(!scratch.is_dense());
+        assert!((scratch.current()[10] - 1.0).abs() < 1e-12);
     }
 
     #[test]

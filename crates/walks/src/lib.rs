@@ -33,13 +33,19 @@
 //!   run on: reusable [`WalkScratch`] buffers (pooled via [`ScratchPool`]),
 //!   frontier tracking with a push/pull switch to dense sweeps once the
 //!   frontier saturates, and the [`WalkEngine`] knob selecting between the
-//!   dense reference engine and the sparse one.
+//!   dense reference engine, the sparse one, and the per-graph calibrated
+//!   `Auto` mode;
+//! * [`cache`] — graph-lifetime query state: the [`QueryCtx`] session
+//!   context with its pooled scratches, LRU cache of backward DHT columns
+//!   and lazily built Y-bound tables, which the join layers of `dht-core` /
+//!   `dht-measures` and the `dht-engine` sessions run through.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod backward;
 pub mod bounds;
+pub mod cache;
 pub mod exact;
 pub mod forward;
 pub mod frontier;
@@ -47,6 +53,7 @@ pub mod params;
 
 pub use backward::BackwardWalk;
 pub use bounds::{x_upper_bound, YBoundTable};
+pub use cache::{CacheStats, ColumnCache, QueryCtx};
 pub use forward::AbsorbingWalk;
 pub use frontier::{ScratchPool, WalkEngine, WalkScratch};
 pub use params::{DhtParams, ParamsError};

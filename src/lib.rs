@@ -13,6 +13,9 @@
 //! * [`core`] — the join algorithms themselves ([`QueryGraph`],
 //!   [`Aggregate`], the 2-way algorithms F-BJ … B-IDJ-Y and the n-way
 //!   algorithms NL / AP / PJ / PJ-i);
+//! * [`engine`] — the query-session engine: an [`Engine`] per graph hands
+//!   out [`Session`]s whose warm backward-column caches answer repeated
+//!   query streams without recomputing walks;
 //! * [`datasets`] — synthetic analogues of the paper's datasets;
 //! * [`eval`] — ROC / AUC, link- and 3-clique-prediction experiments;
 //! * [`measures`] — the extension sketched in the paper's conclusion:
@@ -67,21 +70,26 @@
 
 pub use dht_core as core;
 pub use dht_datasets as datasets;
+pub use dht_engine as engine;
 pub use dht_eval as eval;
 pub use dht_graph as graph;
 pub use dht_measures as measures;
 pub use dht_rankjoin as rankjoin;
 pub use dht_walks as walks;
 
+#[doc(inline)]
+pub use dht_engine::{Engine, Session};
+
 /// The most commonly used types, re-exported for `use dht_nway::prelude::*`.
 pub mod prelude {
     pub use dht_core::multiway::{NWayAlgorithm, NWayConfig, NWayOutput};
     pub use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig, TwoWayOutput};
     pub use dht_core::{Aggregate, Answer, QueryGraph};
+    pub use dht_engine::{Engine, EngineConfig, NWayQuery, Session, TwoWayQuery};
     pub use dht_graph::generators::PlantedPartitionConfig;
     pub use dht_graph::{Graph, GraphBuilder, NodeId, NodeSet};
     pub use dht_measures::{IterativeMeasure, ProximityMeasure};
-    pub use dht_walks::DhtParams;
+    pub use dht_walks::{DhtParams, QueryCtx};
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ fn bench_query_stream(c: &mut Criterion) {
 
     let cold_engine = Engine::with_config(
         dataset.graph.clone(),
-        EngineConfig::paper_default().with_column_cache_capacity(0),
+        EngineConfig::paper_default().with_cache_bytes(0),
     );
     let warm_engine = Engine::with_config(dataset.graph.clone(), EngineConfig::paper_default());
     let mut warm_session = warm_engine.session();

@@ -1,0 +1,66 @@
+//! Shared vs private caches when concurrent sessions answer one stream.
+//!
+//! Complements the `query_stream_concurrent` experiment of `repro_all`:
+//! measures the same mixed Yeast stream under Criterion so regressions in
+//! the cross-session `SharedColumnCache` show up in `cargo bench` output.
+//! All variants return bit-identical answers; only the wall-clock differs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dht_bench::workloads;
+use dht_core::twoway::TwoWayAlgorithm;
+use dht_datasets::Scale;
+use dht_engine::{Engine, EngineConfig, EngineQuery, TwoWayQuery};
+
+fn bench_query_stream_concurrent(c: &mut Criterion) {
+    let dataset = workloads::yeast(Scale::Bench);
+    let sets = workloads::yeast_query_sets(&dataset, 3, 50);
+    let mut queries = Vec::new();
+    for algorithm in [
+        TwoWayAlgorithm::BackwardBasic,
+        TwoWayAlgorithm::BackwardIdjY,
+    ] {
+        for i in 0..3usize {
+            for j in 0..3usize {
+                if i != j {
+                    queries.push(EngineQuery::TwoWay(TwoWayQuery {
+                        algorithm,
+                        p: sets[i].clone(),
+                        q: sets[j].clone(),
+                        k: 50,
+                    }));
+                }
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("query_stream_concurrent_yeast");
+    group.sample_size(5);
+    group.measurement_time(Duration::from_secs(4));
+    for sessions in [2usize, 4] {
+        group.bench_function(format!("shared_{sessions}_sessions"), |b| {
+            b.iter(|| {
+                // Fresh engine per iteration: measures the cold ramp-up the
+                // sessions share.
+                let engine =
+                    Engine::with_config(dataset.graph.clone(), EngineConfig::paper_default());
+                engine.batch_sessions(&queries, sessions).unwrap()
+            })
+        });
+        group.bench_function(format!("private_{sessions}_sessions"), |b| {
+            b.iter(|| {
+                let engine = Engine::with_config(
+                    dataset.graph.clone(),
+                    EngineConfig::paper_default().with_shared_cache(false),
+                );
+                engine.batch_sessions(&queries, sessions).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_stream_concurrent);
+criterion_main!(benches);

@@ -1,0 +1,216 @@
+//! CI perf-regression gate: compares a fresh `BENCH_results.json` (written
+//! by `repro_all`) against the committed `BENCH_baseline.json` and fails
+//! when the performance trajectory regresses.
+//!
+//! A run **fails** when:
+//!
+//! * any `"parity": false` flag appears anywhere in the fresh report — the
+//!   caches/threading changed an answer, which is never acceptable;
+//! * an experiment row present in the baseline is missing from the fresh
+//!   report (an experiment silently stopped running);
+//! * an experiment row slowed down more than `--max-slowdown` (default
+//!   2.5×) beyond the noise floor: `fresh > base * max_slowdown + floor`,
+//!   with `--floor` defaulting to 0.05 s so millisecond-scale tiny-run
+//!   jitter can't flake the gate.
+//!
+//! Overrides and refresh:
+//!
+//! * `BENCH_CHECK_SKIP=1` demotes failures to warnings (exit 0) — the
+//!   escape hatch for a PR that knowingly trades speed for something else;
+//! * `--update` copies the fresh report over the baseline and exits —
+//!   commit the result to ratify a new performance baseline:
+//!   `cargo run -p dht-bench --release --bin repro_all -- --scale tiny &&
+//!    cargo run -p dht-bench --release --bin bench_check -- --update`.
+//!
+//! ```text
+//! Usage: bench_check [--baseline PATH] [--fresh PATH]
+//!                    [--max-slowdown X] [--floor SECONDS] [--update]
+//! ```
+
+use std::process::ExitCode;
+
+use dht_bench::json::Json;
+
+/// Defaults of the gate's knobs.
+const DEFAULT_BASELINE: &str = "BENCH_baseline.json";
+const DEFAULT_FRESH: &str = "BENCH_results.json";
+const DEFAULT_MAX_SLOWDOWN: f64 = 2.5;
+const DEFAULT_FLOOR_SECONDS: f64 = 0.05;
+
+struct Options {
+    baseline: String,
+    fresh: String,
+    max_slowdown: f64,
+    floor: f64,
+    update: bool,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut options = Options {
+        baseline: DEFAULT_BASELINE.to_string(),
+        fresh: DEFAULT_FRESH.to_string(),
+        max_slowdown: DEFAULT_MAX_SLOWDOWN,
+        floor: DEFAULT_FLOOR_SECONDS,
+        update: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => options.baseline = value("--baseline")?,
+            "--fresh" => options.fresh = value("--fresh")?,
+            "--max-slowdown" => {
+                options.max_slowdown = value("--max-slowdown")?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-slowdown: {e}"))?
+            }
+            "--floor" => {
+                options.floor = value("--floor")?
+                    .parse()
+                    .map_err(|e| format!("invalid --floor: {e}"))?
+            }
+            "--update" => options.update = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(options)
+}
+
+/// `(name, seconds)` rows of the report's `experiments` array.
+fn experiment_rows(report: &Json) -> Vec<(String, f64)> {
+    report
+        .get("experiments")
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|row| {
+                    let name = row.get("name")?.as_str()?.to_string();
+                    let seconds = row.get("seconds")?.as_f64()?;
+                    Some((name, seconds))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Every `"parity"` flag in the report, in document order.
+fn parity_flags(report: &Json) -> Vec<bool> {
+    let mut flags = Vec::new();
+    report.walk_members(&mut |key, value| {
+        if key == "parity" {
+            // A parity member that is not a boolean counts as a failure —
+            // the writer only ever emits true/false.
+            flags.push(value.as_bool() == Some(true));
+        }
+    });
+    flags
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<Vec<String>, String> {
+    let options = parse_options()?;
+
+    if options.update {
+        std::fs::copy(&options.fresh, &options.baseline)
+            .map_err(|e| format!("could not refresh baseline: {e}"))?;
+        println!(
+            "bench_check: refreshed {} from {} — commit it to ratify the new baseline",
+            options.baseline, options.fresh
+        );
+        return Ok(Vec::new());
+    }
+
+    let baseline = load(&options.baseline)?;
+    let fresh = load(&options.fresh)?;
+    let mut failures: Vec<String> = Vec::new();
+
+    // 1. Parity flags: any false (or malformed) flag in the fresh report
+    //    fails the gate outright.
+    let flags = parity_flags(&fresh);
+    if flags.is_empty() {
+        failures.push("fresh report carries no parity flags (writer regressed?)".to_string());
+    }
+    for (index, ok) in flags.iter().enumerate() {
+        if !ok {
+            failures.push(format!("parity flag #{index} is false: an answer changed"));
+        }
+    }
+
+    // 2. Per-experiment slowdown against the baseline.
+    let fresh_rows = experiment_rows(&fresh);
+    let base_rows = experiment_rows(&baseline);
+    if base_rows.is_empty() {
+        failures.push(format!("{} has no experiment rows", options.baseline));
+    }
+    for (name, base_seconds) in &base_rows {
+        let Some((_, fresh_seconds)) = fresh_rows.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("experiment '{name}' missing from fresh report"));
+            continue;
+        };
+        let limit = base_seconds * options.max_slowdown + options.floor;
+        let ratio = fresh_seconds / base_seconds.max(1e-9);
+        let verdict = if *fresh_seconds > limit {
+            failures.push(format!(
+                "experiment '{name}' regressed: {fresh_seconds:.4} s vs baseline \
+                 {base_seconds:.4} s ({ratio:.2}x > {:.1}x + {:.2} s floor)",
+                options.max_slowdown, options.floor
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_check: {verdict:>4}  {name:<24} {fresh_seconds:>9.4} s \
+             (baseline {base_seconds:>9.4} s, {ratio:.2}x, limit {limit:.4} s)"
+        );
+    }
+    println!(
+        "bench_check: {} parity flag(s) checked, {} experiment row(s) compared",
+        flags.len(),
+        base_rows.len()
+    );
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench_check: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for failure in &failures {
+                eprintln!("bench_check: FAIL: {failure}");
+            }
+            if std::env::var("BENCH_CHECK_SKIP").as_deref() == Ok("1") {
+                eprintln!(
+                    "bench_check: BENCH_CHECK_SKIP=1 — {} failure(s) demoted to warnings",
+                    failures.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "bench_check: {} failure(s); to ratify a new baseline run \
+                     `repro_all -- --scale tiny` then `bench_check -- --update` \
+                     and commit BENCH_baseline.json, or set BENCH_CHECK_SKIP=1 \
+                     to override once",
+                    failures.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("bench_check: error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

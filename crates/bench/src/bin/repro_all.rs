@@ -13,13 +13,16 @@
 //!
 //! The JSON report contains a `host` block (so timings from heterogeneous
 //! runners stay interpretable), the wall-clock seconds of each experiment,
-//! the warm/cold `query_stream` engine-session rows, and a walk-engine
-//! ablation (dense-serial seed path vs sparse-serial vs sparse
+//! the warm/cold `query_stream` engine-session rows, the
+//! `query_stream_concurrent` shared-vs-private multi-session rows (each
+//! with a `"parity"` flag the `bench_check` CI gate enforces), and a
+//! walk-engine ablation (dense-serial seed path vs sparse-serial vs sparse
 //! multi-threaded) on the Figure 9 two-way Yeast workload.
 
 use std::fmt::Write as _;
 
 use dht_bench::experiments::query_stream::{self, QueryStreamResult};
+use dht_bench::experiments::query_stream_concurrent::{self, QueryStreamConcurrentResult};
 use dht_bench::{timing, workloads};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
 use dht_datasets::Scale;
@@ -84,8 +87,22 @@ fn main() {
     );
     timings.push(("query_stream".to_string(), elapsed.as_secs_f64()));
 
+    let (concurrent, elapsed) = timing::time(|| query_stream_concurrent::measure(scale));
+    for row in &concurrent.rows {
+        eprintln!(
+            "query_stream_concurrent: {} sessions, shared {:.4} s, private {:.4} s \
+             ({:.2}x, {:.1}% shared hit rate)",
+            row.sessions,
+            row.shared_seconds,
+            row.private_seconds,
+            row.speedup(),
+            100.0 * row.shared_hit_rate
+        );
+    }
+    timings.push(("query_stream_concurrent".to_string(), elapsed.as_secs_f64()));
+
     let ablation = engine_ablation(scale);
-    let json = render_json(scale, &timings, &stream, &ablation);
+    let json = render_json(scale, &timings, &stream, &concurrent, &ablation);
     let path = "BENCH_results.json";
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("wrote {path}"),
@@ -147,6 +164,7 @@ fn render_json(
     scale: Scale,
     timings: &[(String, f64)],
     stream: &QueryStreamResult,
+    concurrent: &QueryStreamConcurrentResult,
     ablation: &[AblationRow],
 ) -> String {
     let mut out = String::from("{\n");
@@ -173,8 +191,30 @@ fn render_json(
     let _ = writeln!(out, "    \"cold_seconds\": {:.6},", stream.cold_seconds);
     let _ = writeln!(out, "    \"warm_seconds\": {:.6},", stream.warm_seconds);
     let _ = writeln!(out, "    \"speedup\": {:.3},", stream.speedup());
-    let _ = writeln!(out, "    \"warm_hit_rate\": {:.4}", stream.warm_hit_rate);
+    let _ = writeln!(out, "    \"warm_hit_rate\": {:.4},", stream.warm_hit_rate);
+    // `measure` asserts warm ≡ cold bitwise, so reaching this line means
+    // the parity contract held for this run.
+    out.push_str("    \"parity\": true\n");
     out.push_str("  },\n");
+    out.push_str("  \"query_stream_concurrent\": {\n");
+    out.push_str("    \"workload\": \"yeast_mixed_stream_sessions\",\n");
+    let _ = writeln!(out, "    \"queries\": {},", concurrent.queries);
+    out.push_str("    \"rows\": [\n");
+    for (i, row) in concurrent.rows.iter().enumerate() {
+        let comma = if i + 1 < concurrent.rows.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "      {{\"sessions\": {}, \"shared_seconds\": {:.6}, \
+             \"private_seconds\": {:.6}, \"shared_hit_rate\": {:.4}, \
+             \"parity\": {}}}{comma}",
+            row.sessions, row.shared_seconds, row.private_seconds, row.shared_hit_rate, row.parity
+        );
+    }
+    out.push_str("    ]\n  },\n");
     out.push_str("  \"engine_ablation\": {\n");
     out.push_str("    \"workload\": \"fig9_twoway_yeast_k50\",\n");
     out.push_str("    \"rows\": [\n");

@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod query_stream;
+pub mod query_stream_concurrent;
 pub mod table3;
 pub mod table4;
 

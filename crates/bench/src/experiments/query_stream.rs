@@ -87,7 +87,7 @@ pub fn measure(scale: Scale) -> QueryStreamResult {
 
     let cold_engine = Engine::with_config(
         dataset.graph.clone(),
-        EngineConfig::paper_default().with_column_cache_capacity(0),
+        EngineConfig::paper_default().with_cache_bytes(0),
     );
     let mut cold_session = cold_engine.session();
     let (cold_outputs, cold_elapsed) = timing::time(|| cold_session.two_way_batch(&queries));

@@ -1,0 +1,245 @@
+//! `query_stream_concurrent` — shared vs private caches when a
+//! repeated-target query stream is answered by several concurrent engine
+//! sessions.
+//!
+//! This experiment tracks the repository's cross-session
+//! `SharedColumnCache`: the same mixed two-way / n-way Yeast stream is
+//! partitioned round-robin over 1, 2 and 4 concurrent sessions and answered
+//! twice per session count —
+//!
+//! * **shared** — the engine's default: all sessions read and fill one
+//!   lock-striped `SharedColumnCache`, so a column any session computes is
+//!   a pointer clone for every other session;
+//! * **private** — `shared_cache: false`: each session warms only its own
+//!   cache, recomputing columns its neighbours already paid for.
+//!
+//! Every configuration must return answers bit-identical to a one-shot
+//! reference (cache disabled, single session) — asserted here and pinned by
+//! `tests/concurrent_sessions_proptest.rs`.  `repro_all` records the
+//! per-row timings and parity flags in `BENCH_results.json`, where the
+//! `bench_check` CI gate watches them across commits.
+
+use dht_core::twoway::TwoWayAlgorithm;
+use dht_core::{Aggregate, QueryGraph};
+use dht_datasets::Scale;
+use dht_engine::{Engine, EngineConfig, EngineOutput, EngineQuery, NWayQuery, TwoWayQuery};
+use dht_eval::report;
+
+use crate::{timing, workloads};
+
+/// Session counts the experiment sweeps.
+pub const SESSION_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One measured session-count configuration.
+pub struct ConcurrentRow {
+    /// Concurrent sessions answering the stream.
+    pub sessions: usize,
+    /// Seconds with the cross-session shared cache (engine default).
+    pub shared_seconds: f64,
+    /// Seconds with private per-session caches of the same byte budget.
+    pub private_seconds: f64,
+    /// Hit rate of the shared cache over the whole run.
+    pub shared_hit_rate: f64,
+    /// Whether both runs returned answers bit-identical to the one-shot
+    /// reference (always asserted; recorded for the CI gate).
+    pub parity: bool,
+}
+
+impl ConcurrentRow {
+    /// `private / shared` — how much the shared cache wins at this session
+    /// count.
+    pub fn speedup(&self) -> f64 {
+        self.private_seconds / self.shared_seconds.max(1e-12)
+    }
+}
+
+/// Measured outcome of the experiment.
+pub struct QueryStreamConcurrentResult {
+    /// Queries in the stream (each answered once per configuration).
+    pub queries: usize,
+    /// One row per entry of [`SESSION_COUNTS`].
+    pub rows: Vec<ConcurrentRow>,
+}
+
+/// Builds the mixed stream: every ordered pair of the three node sets under
+/// B-BJ and B-IDJ-Y, plus a 3-chain AP n-way query per round — targets
+/// repeat heavily both within a session's slice and across sessions, which
+/// is exactly what cross-session sharing exists for.
+fn build_stream(sets: &[dht_graph::NodeSet], k: usize, rounds: usize) -> Vec<EngineQuery> {
+    let mut queries = Vec::new();
+    for _ in 0..rounds {
+        for algorithm in [
+            TwoWayAlgorithm::BackwardBasic,
+            TwoWayAlgorithm::BackwardIdjY,
+        ] {
+            for i in 0..3usize {
+                for j in 0..3usize {
+                    if i == j {
+                        continue;
+                    }
+                    queries.push(EngineQuery::TwoWay(TwoWayQuery {
+                        algorithm,
+                        p: sets[i].clone(),
+                        q: sets[j].clone(),
+                        k,
+                    }));
+                }
+            }
+        }
+        queries.push(EngineQuery::NWay(NWayQuery {
+            algorithm: dht_core::multiway::NWayAlgorithm::AllPairs,
+            query: QueryGraph::chain(3),
+            sets: sets.to_vec(),
+            aggregate: Aggregate::Min,
+            k,
+        }));
+    }
+    queries
+}
+
+/// Bitwise equality of two outputs (pairs/tuples and scores).
+fn outputs_equal(a: &EngineOutput, b: &EngineOutput) -> bool {
+    match (a, b) {
+        (EngineOutput::TwoWay(x), EngineOutput::TwoWay(y)) => x.pairs == y.pairs,
+        (EngineOutput::NWay(x), EngineOutput::NWay(y)) => x.answers == y.answers,
+        _ => false,
+    }
+}
+
+/// Runs the measurement once and returns the rows.
+///
+/// # Panics
+/// Panics if any configuration disagrees with the one-shot reference — the
+/// caches must never change results.
+pub fn measure(scale: Scale) -> QueryStreamConcurrentResult {
+    let dataset = workloads::yeast(scale);
+    let (cap, k, rounds) = match scale {
+        Scale::Tiny => (20, 10, 2),
+        _ => (50, 50, 3),
+    };
+    let sets = workloads::yeast_query_sets(&dataset, 3, cap);
+    let stream = build_stream(&sets, k, rounds);
+
+    // One-shot reference: no caching, one session.
+    let reference = Engine::with_config(
+        dataset.graph.clone(),
+        EngineConfig::paper_default().with_cache_bytes(0),
+    )
+    .batch(&stream)
+    .expect("stream is valid");
+
+    let mut rows = Vec::new();
+    for sessions in SESSION_COUNTS {
+        // Fresh engines per row so every measurement starts cold.
+        let shared_engine =
+            Engine::with_config(dataset.graph.clone(), EngineConfig::paper_default());
+        let (shared_outputs, shared_elapsed) =
+            timing::time(|| shared_engine.batch_sessions(&stream, sessions));
+        let shared_outputs = shared_outputs.expect("stream is valid");
+
+        let private_engine = Engine::with_config(
+            dataset.graph.clone(),
+            EngineConfig::paper_default().with_shared_cache(false),
+        );
+        let (private_outputs, private_elapsed) =
+            timing::time(|| private_engine.batch_sessions(&stream, sessions));
+        let private_outputs = private_outputs.expect("stream is valid");
+
+        let parity = reference.len() == shared_outputs.len()
+            && reference.len() == private_outputs.len()
+            && reference
+                .iter()
+                .zip(shared_outputs.iter())
+                .all(|(a, b)| outputs_equal(a, b))
+            && reference
+                .iter()
+                .zip(private_outputs.iter())
+                .all(|(a, b)| outputs_equal(a, b));
+        assert!(
+            parity,
+            "{sessions}-session answers diverged from the one-shot reference"
+        );
+
+        rows.push(ConcurrentRow {
+            sessions,
+            shared_seconds: shared_elapsed.as_secs_f64(),
+            private_seconds: private_elapsed.as_secs_f64(),
+            shared_hit_rate: shared_engine
+                .shared_cache_stats()
+                .map_or(0.0, |stats| stats.hit_rate()),
+            parity,
+        });
+    }
+
+    QueryStreamConcurrentResult {
+        queries: stream.len(),
+        rows,
+    }
+}
+
+/// Runs the experiment and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let result = measure(scale);
+    let mut out = String::new();
+    out.push_str(&report::heading(
+        "query_stream_concurrent — shared vs private caches across sessions (Yeast)",
+    ));
+    out.push_str(&format!(
+        "{} mixed two-way/n-way queries, round-robin over concurrent sessions\n\n",
+        result.queries
+    ));
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.sessions.to_string(),
+                format!("{:.4}", row.shared_seconds),
+                format!("{:.4}", row.private_seconds),
+                format!("{:.2}x", row.speedup()),
+                format!("{:.1}%", 100.0 * row.shared_hit_rate),
+            ]
+        })
+        .collect();
+    out.push_str(&report::format_table(
+        &[
+            "sessions",
+            "shared (s)",
+            "private (s)",
+            "shared win",
+            "shared hit rate",
+        ],
+        &rows,
+    ));
+    out.push_str("\nanswers bit-identical to one-shot reference in every configuration\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_concurrent_stream_keeps_parity_and_shares_columns() {
+        let result = measure(Scale::Tiny);
+        assert_eq!(result.rows.len(), SESSION_COUNTS.len());
+        for row in &result.rows {
+            assert!(row.parity, "sessions={}", row.sessions);
+            assert!(
+                row.shared_hit_rate > 0.3,
+                "sessions={}: repeated targets must hit the shared cache, got {}",
+                row.sessions,
+                row.shared_hit_rate
+            );
+        }
+    }
+
+    #[test]
+    fn report_lists_every_session_count() {
+        let report = run(Scale::Tiny);
+        for sessions in SESSION_COUNTS {
+            assert!(report.contains(&format!("\n{sessions} ")), "{report}");
+        }
+        assert!(report.contains("bit-identical"));
+    }
+}

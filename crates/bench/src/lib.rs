@@ -27,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod json;
 pub mod timing;
 pub mod workloads;
 

@@ -142,7 +142,9 @@ pub fn run(args: &ArgMap) -> Result<String> {
     Ok(format!("{header}\n{table}"))
 }
 
-fn build_query(shape: &str, n: usize) -> Result<QueryGraph> {
+/// Builds a query graph of `shape` over `n` node sets (shared with
+/// `querystream`'s n-way query lines).
+pub(crate) fn build_query(shape: &str, n: usize) -> Result<QueryGraph> {
     match shape.to_ascii_lowercase().as_str() {
         "chain" => Ok(QueryGraph::chain(n)),
         "cycle" => Ok(QueryGraph::cycle(n)),
@@ -161,7 +163,8 @@ fn build_query(shape: &str, n: usize) -> Result<QueryGraph> {
     }
 }
 
-fn parse_nway_algorithm(name: &str, m: usize) -> Result<NWayAlgorithm> {
+/// Parses an n-way algorithm name (shared with `querystream`).
+pub(crate) fn parse_nway_algorithm(name: &str, m: usize) -> Result<NWayAlgorithm> {
     match name.to_ascii_lowercase().as_str() {
         "nl" => Ok(NWayAlgorithm::NestedLoop),
         "ap" => Ok(NWayAlgorithm::AllPairs),

@@ -1,38 +1,51 @@
-//! `dht querystream` — answer a file of two-way join queries on one warm
-//! engine session and report per-query latency percentiles.
+//! `dht querystream` — answer a file of join queries (two-way and n-way) on
+//! one engine, optionally over several concurrent sessions, and report
+//! per-query latency percentiles.
 //!
 //! This is the service-shaped entry point: where `dht two-way` pays full
 //! price for its single query, `querystream` builds one [`dht_engine::Engine`]
-//! over the graph and streams every query through a session whose
-//! backward-column cache stays warm, so repeated targets are answered
-//! without recomputing their walks.
+//! over the graph and streams every query through warm sessions.  With
+//! `--sessions N` the stream is answered by `N` concurrent sessions (query
+//! `i` goes to session `i % N`), all reading and filling the engine's
+//! cross-session `SharedColumnCache`, so clients warm each other; with
+//! `--shared 0` each session falls back to a private cache of the same byte
+//! budget.  Answers are bit-identical in every configuration.
 
 use std::time::Instant;
 
 use dht_core::twoway::TwoWayAlgorithm;
-use dht_engine::{Engine, EngineConfig};
+use dht_engine::{Engine, EngineConfig, EngineQuery, NWayQuery, TwoWayQuery};
 use dht_graph::NodeSet;
 
 use crate::{setsfile, ArgMap, CliError, Result};
 
 const HELP: &str = "\
-dht querystream — answer a stream of 2-way join queries on a warm session
+dht querystream — answer a stream of join queries on warm engine sessions
 
 OPTIONS:
     --graph <path>          edge-list graph file (required)
     --sets <path>           node-set file (required)
-    --queries <path>        query file (required): one query per line,
-                            `LEFT RIGHT [k] [ALGORITHM]`; `#` starts a comment
+    --queries <path>        query file (required), one query per line:
+                              LEFT RIGHT [k] [ALGORITHM]          (two-way)
+                              nway SHAPE S1 S2 ... [k] [ALGO] [AGG]  (n-way)
+                            SHAPE: chain | cycle | triangle | star;
+                            n-way ALGO: nl | ap | pj | pj-i;
+                            AGG: min | max | sum | mean; `#` starts a comment
     --k <n>                 default k for queries that omit it   [default: 10]
-    --algorithm <name>      default algorithm                    [default: B-IDJ-Y]
-    --cache <n>             session column-cache capacity
-                            (columns; 0 disables caching)        [default: 512]
+    --algorithm <name>      default two-way algorithm            [default: B-IDJ-Y]
+    --m <n>                 PJ / PJ-i initial 2-way join size    [default: 50]
+    --sessions <n>          concurrent sessions answering the
+                            stream (round-robin)                 [default: 1]
+    --cache <bytes>         column-cache byte budget
+                            (0 disables caching)                 [default: 67108864]
+    --shared <0|1>          1: one cross-session cache shared by
+                            all sessions; 0: private caches      [default: 1]
     --repeat <n>            answer the whole stream n times      [default: 1]
     --variant <lambda|e>    DHT variant                          [default: lambda]
     --lambda <x>            DHT_λ decay factor                   [default: 0.2]
     --epsilon <x>           truncation error bound               [default: 1e-6]
     --engine <name>         walk engine: dense | sparse | auto   [default: auto]
-    --threads <n>           worker threads (0 = all cores)       [default: 1]
+    --threads <n>           worker threads per query (0 = all)   [default: 1]
 ";
 
 const KNOWN: &[&str] = &[
@@ -41,7 +54,10 @@ const KNOWN: &[&str] = &[
     "queries",
     "k",
     "algorithm",
+    "m",
+    "sessions",
     "cache",
+    "shared",
     "repeat",
     "variant",
     "lambda",
@@ -52,20 +68,140 @@ const KNOWN: &[&str] = &[
 
 /// One parsed query line.
 struct StreamQuery {
-    left: usize,
-    right: usize,
-    k: usize,
-    algorithm: TwoWayAlgorithm,
+    query: EngineQuery,
     line_no: usize,
 }
 
-/// Parses the query file: `LEFT RIGHT [k] [ALGORITHM]` per line, `#`
-/// comments, blank lines ignored.
+/// Looks a set name up in `sets`, with a line-numbered error.
+fn set_index(sets: &[NodeSet], name: &str, line_no: usize) -> Result<usize> {
+    sets.iter().position(|s| s.name() == name).ok_or_else(|| {
+        CliError::Parse(format!(
+            "query line {line_no}: unknown node set '{name}' (available sets: {})",
+            sets.iter()
+                .map(NodeSet::name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
+}
+
+/// Parses one n-way query line (the fields after the leading `nway`):
+/// `SHAPE S1 S2 ... Sn [k] [ALGO] [AGG]`.
+fn parse_nway_line(
+    fields: &[&str],
+    sets: &[NodeSet],
+    default_k: usize,
+    m: usize,
+    line_no: usize,
+) -> Result<EngineQuery> {
+    let Some((&shape, rest)) = fields.split_first() else {
+        return Err(CliError::Parse(format!(
+            "query line {line_no}: `nway` needs a query shape and node sets"
+        )));
+    };
+    // Leading fields that name known sets are the query's node sets; the
+    // remainder are the optional k / algorithm / aggregate, in any order.
+    let n_sets = rest
+        .iter()
+        .take_while(|name| sets.iter().any(|s| s.name() == **name))
+        .count();
+    if n_sets < 2 {
+        return Err(CliError::Parse(format!(
+            "query line {line_no}: an n-way query needs at least two node sets"
+        )));
+    }
+    let chosen: Vec<NodeSet> = rest[..n_sets]
+        .iter()
+        .map(|name| set_index(sets, name, line_no).map(|i| sets[i].clone()))
+        .collect::<Result<_>>()?;
+    let query = super::nway::build_query(shape, chosen.len())?;
+    let mut k = None;
+    let mut algorithm = None;
+    let mut aggregate = None;
+    for &field in &rest[n_sets..] {
+        if let Ok(parsed) = field.parse::<usize>() {
+            if k.replace(parsed).is_some() {
+                return Err(CliError::Parse(format!(
+                    "query line {line_no}: duplicate k field '{field}'"
+                )));
+            }
+        } else if let Ok(parsed) = super::parse_aggregate(field) {
+            if aggregate.replace(parsed).is_some() {
+                return Err(CliError::Parse(format!(
+                    "query line {line_no}: duplicate aggregate field '{field}'"
+                )));
+            }
+        } else if algorithm
+            .replace(super::nway::parse_nway_algorithm(field, m)?)
+            .is_some()
+        {
+            return Err(CliError::Parse(format!(
+                "query line {line_no}: duplicate algorithm field '{field}'"
+            )));
+        }
+    }
+    Ok(EngineQuery::NWay(NWayQuery {
+        algorithm: algorithm
+            .unwrap_or(dht_core::multiway::NWayAlgorithm::IncrementalPartialJoin { m }),
+        query,
+        sets: chosen,
+        aggregate: aggregate.unwrap_or(dht_core::Aggregate::Min),
+        k: k.unwrap_or(default_k),
+    }))
+}
+
+/// Parses one two-way query line: `LEFT RIGHT [k] [ALGORITHM]`.
+fn parse_two_way_line(
+    fields: &[&str],
+    sets: &[NodeSet],
+    default_k: usize,
+    default_algorithm: TwoWayAlgorithm,
+    line_no: usize,
+) -> Result<EngineQuery> {
+    if fields.len() < 2 || fields.len() > 4 {
+        return Err(CliError::Parse(format!(
+            "query line {line_no}: expected `LEFT RIGHT [k] [ALGORITHM]` or \
+             `nway SHAPE S1 S2 ... [k] [ALGO] [AGG]`, got '{}'",
+            fields.join(" ")
+        )));
+    }
+    let left = set_index(sets, fields[0], line_no)?;
+    let right = set_index(sets, fields[1], line_no)?;
+    let mut k = None;
+    let mut algorithm = None;
+    for &field in &fields[2..] {
+        if let Ok(parsed) = field.parse::<usize>() {
+            if k.replace(parsed).is_some() {
+                return Err(CliError::Parse(format!(
+                    "query line {line_no}: duplicate k field '{field}'"
+                )));
+            }
+        } else if algorithm
+            .replace(super::parse_two_way_algorithm(field)?)
+            .is_some()
+        {
+            return Err(CliError::Parse(format!(
+                "query line {line_no}: duplicate algorithm field '{field}'"
+            )));
+        }
+    }
+    Ok(EngineQuery::TwoWay(TwoWayQuery {
+        algorithm: algorithm.unwrap_or(default_algorithm),
+        p: sets[left].clone(),
+        q: sets[right].clone(),
+        k: k.unwrap_or(default_k),
+    }))
+}
+
+/// Parses the query file: one query per line (`#` comments, blank lines
+/// ignored) — `LEFT RIGHT [k] [ALGORITHM]` for two-way joins, `nway SHAPE
+/// S1 S2 ... [k] [ALGO] [AGG]` for n-way joins.
 fn parse_queries(
     text: &str,
     sets: &[NodeSet],
     default_k: usize,
     default_algorithm: TwoWayAlgorithm,
+    m: usize,
 ) -> Result<Vec<StreamQuery>> {
     let mut queries = Vec::new();
     for (line_no, raw) in text.lines().enumerate() {
@@ -73,56 +209,14 @@ fn parse_queries(
         if line.is_empty() {
             continue;
         }
+        let line_no = line_no + 1;
         let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 2 || fields.len() > 4 {
-            return Err(CliError::Parse(format!(
-                "query line {}: expected `LEFT RIGHT [k] [ALGORITHM]`, got '{line}'",
-                line_no + 1
-            )));
-        }
-        let set_index = |name: &str| -> Result<usize> {
-            sets.iter().position(|s| s.name() == name).ok_or_else(|| {
-                CliError::Parse(format!(
-                    "query line {}: unknown node set '{name}' (available sets: {})",
-                    line_no + 1,
-                    sets.iter()
-                        .map(NodeSet::name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ))
-            })
+        let query = if fields[0].eq_ignore_ascii_case("nway") {
+            parse_nway_line(&fields[1..], sets, default_k, m, line_no)?
+        } else {
+            parse_two_way_line(&fields, sets, default_k, default_algorithm, line_no)?
         };
-        let left = set_index(fields[0])?;
-        let right = set_index(fields[1])?;
-        let mut k = None;
-        let mut algorithm = None;
-        for &field in &fields[2..] {
-            if let Ok(parsed) = field.parse::<usize>() {
-                if k.replace(parsed).is_some() {
-                    return Err(CliError::Parse(format!(
-                        "query line {}: duplicate k field '{field}'",
-                        line_no + 1
-                    )));
-                }
-            } else if algorithm
-                .replace(super::parse_two_way_algorithm(field)?)
-                .is_some()
-            {
-                return Err(CliError::Parse(format!(
-                    "query line {}: duplicate algorithm field '{field}'",
-                    line_no + 1
-                )));
-            }
-        }
-        let k = k.unwrap_or(default_k);
-        let algorithm = algorithm.unwrap_or(default_algorithm);
-        queries.push(StreamQuery {
-            left,
-            right,
-            k,
-            algorithm,
-            line_no: line_no + 1,
-        });
+        queries.push(StreamQuery { query, line_no });
     }
     if queries.is_empty() {
         return Err(CliError::Parse("query file contains no queries".into()));
@@ -139,6 +233,72 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[index.min(sorted.len() - 1)]
 }
 
+/// What one session worker measured: per-query latencies (with global query
+/// indices), answer counts and its session-local cache counters.
+struct WorkerReport {
+    latencies_ms: Vec<f64>,
+    answers_returned: usize,
+    cache: dht_walks::CacheStats,
+    y_tables: (u64, u64),
+    /// First error (by global query index), if any.
+    error: Option<(usize, String)>,
+    /// Line numbers of queries that returned no answers.
+    empty_lines: Vec<usize>,
+}
+
+/// Answers the indices of `stream` owned by `worker` (round-robin over
+/// `sessions`) on one fresh session, `repeat` passes.
+fn run_worker(
+    engine: &Engine,
+    stream: &[StreamQuery],
+    worker: usize,
+    sessions: usize,
+    repeat: usize,
+) -> WorkerReport {
+    let mut session = engine.session();
+    let mut report = WorkerReport {
+        latencies_ms: Vec::new(),
+        answers_returned: 0,
+        cache: dht_walks::CacheStats::default(),
+        y_tables: (0, 0),
+        error: None,
+        empty_lines: Vec::new(),
+    };
+    for _ in 0..repeat {
+        for (index, item) in stream
+            .iter()
+            .enumerate()
+            .filter(|(index, _)| index % sessions == worker)
+        {
+            let start = Instant::now();
+            let output = session.answer(&item.query);
+            report
+                .latencies_ms
+                .push(start.elapsed().as_secs_f64() * 1e3);
+            match output {
+                Ok(output) => {
+                    if output.answer_count() == 0 {
+                        report.empty_lines.push(item.line_no);
+                    }
+                    report.answers_returned += output.answer_count();
+                }
+                Err(err) => {
+                    if report
+                        .error
+                        .as_ref()
+                        .is_none_or(|(first, _)| index < *first)
+                    {
+                        report.error = Some((index, format!("line {}: {err}", item.line_no)));
+                    }
+                }
+            }
+        }
+    }
+    report.cache = session.cache_stats();
+    report.y_tables = session.y_table_stats();
+    report
+}
+
 /// Runs the command.
 pub fn run(args: &ArgMap) -> Result<String> {
     if args.wants_help() {
@@ -153,57 +313,94 @@ pub fn run(args: &ArgMap) -> Result<String> {
     let default_k: usize = args.get_parsed_or("k", 10)?;
     let default_algorithm =
         super::parse_two_way_algorithm(args.get("algorithm").unwrap_or("b-idj-y"))?;
-    let cache: usize = args.get_parsed_or("cache", 512)?;
+    let m: usize = args.get_parsed_or("m", 50)?;
+    let sessions: usize = args.get_parsed_or("sessions", 1)?.max(1);
+    let cache: usize = args.get_parsed_or("cache", dht_engine::DEFAULT_CACHE_BYTES)?;
+    let shared = args.get_parsed_or("shared", 1u8)? == 1;
     let repeat: usize = args.get_parsed_or("repeat", 1)?.max(1);
     let (params, depth) = super::dht_options(args)?;
     let (walk_engine, threads) = super::engine_options(args)?;
 
-    let queries = parse_queries(&queries_text, &sets, default_k, default_algorithm)?;
+    let stream = parse_queries(&queries_text, &sets, default_k, default_algorithm, m)?;
 
     let config = EngineConfig::paper_default()
         .with_params(params, depth)
         .with_engine(walk_engine)
         .with_threads(threads)
-        .with_column_cache_capacity(cache);
+        .with_cache_bytes(cache)
+        .with_shared_cache(shared);
     let engine = Engine::with_config(graph, config);
-    let mut session = engine.session();
 
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(queries.len() * repeat);
-    let mut pairs_returned = 0usize;
     let stream_start = Instant::now();
-    for _ in 0..repeat {
-        for query in &queries {
-            let p = &sets[query.left];
-            let q = &sets[query.right];
-            let start = Instant::now();
-            let output = session.two_way(query.algorithm, p, q, query.k);
-            latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
-            if output.pairs.is_empty() && p.len() * q.len() > 1 {
-                // Degenerate but legal (fully disconnected sets); mention the
-                // line so operators can spot bad query files.
-                eprintln!("note: query at line {} returned no pairs", query.line_no);
-            }
-            pairs_returned += output.pairs.len();
-        }
-    }
+    let mut reports: Vec<WorkerReport> = if sessions == 1 {
+        vec![run_worker(&engine, &stream, 0, 1, repeat)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|worker| {
+                    let engine = &engine;
+                    let stream = &stream;
+                    scope.spawn(move || run_worker(engine, stream, worker, sessions, repeat))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("session worker panicked"))
+                .collect()
+        })
+    };
     let total_s = stream_start.elapsed().as_secs_f64();
+
+    // Surface the first (smallest query index) error deterministically.
+    if let Some((_, message)) = reports
+        .iter()
+        .filter_map(|r| r.error.clone())
+        .min_by_key(|(index, _)| *index)
+    {
+        return Err(CliError::Parse(format!("query failed at {message}")));
+    }
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut answers_returned = 0usize;
+    let mut cache_stats = dht_walks::CacheStats::default();
+    let (mut y_hits, mut y_misses) = (0u64, 0u64);
+    let mut empty_lines: Vec<usize> = Vec::new();
+    for report in reports.drain(..) {
+        latencies_ms.extend(report.latencies_ms);
+        answers_returned += report.answers_returned;
+        cache_stats = cache_stats.merged(report.cache);
+        y_hits += report.y_tables.0;
+        y_misses += report.y_tables.1;
+        empty_lines.extend(report.empty_lines);
+    }
+    empty_lines.sort_unstable();
+    empty_lines.dedup();
+    for line in empty_lines {
+        // Degenerate but legal (fully disconnected sets); mention the line
+        // so operators can spot bad query files.
+        eprintln!("note: query at line {line} returned no answers");
+    }
 
     latencies_ms.sort_by(f64::total_cmp);
     let answered = latencies_ms.len();
-    let cache_stats = session.cache_stats();
-    let (y_hits, y_misses) = session.y_table_stats();
 
     let mut out = String::new();
     out.push_str(&format!(
         "query stream: {answered} quer{} answered ({} unique lines × {repeat} pass{}), \
-         {pairs_returned} pairs returned\n",
+         {answers_returned} answers returned\n",
         if answered == 1 { "y" } else { "ies" },
-        queries.len(),
+        stream.len(),
         if repeat == 1 { "" } else { "es" },
     ));
     out.push_str(&format!(
-        "engine: d={depth}, engine={}, threads={threads}, column cache={cache}\n",
-        walk_engine.name()
+        "engine: d={depth}, engine={}, threads={threads}, sessions={sessions}, \
+         cache={cache} bytes ({})\n",
+        walk_engine.name(),
+        if shared {
+            "shared across sessions"
+        } else {
+            "private per session"
+        }
     ));
     out.push_str(&format!(
         "total {total_s:.4} s, throughput {:.1} queries/s\n",
@@ -221,13 +418,21 @@ pub fn run(args: &ArgMap) -> Result<String> {
         latencies_ms.last().copied().unwrap_or(0.0)
     ));
     out.push_str(&format!(
-        "column cache: {} hits, {} misses, {} evictions ({:.1}% hit rate); \
+        "column cache: {} hits, {} misses ({:.1}% hit rate across sessions); \
          Y-tables: {y_hits} hits, {y_misses} misses\n",
         cache_stats.hits,
         cache_stats.misses,
-        cache_stats.evictions,
         100.0 * cache_stats.hit_rate(),
     ));
+    if let Some(stats) = engine.shared_cache_stats() {
+        out.push_str(&format!(
+            "shared cache: {} hits, {} misses, {} evictions ({:.1}% hit rate)\n",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            100.0 * stats.hit_rate(),
+        ));
+    }
     Ok(out)
 }
 
@@ -289,9 +494,11 @@ mod tests {
     }
 
     #[test]
-    fn help_mentions_the_query_file_format() {
+    fn help_mentions_both_query_line_formats() {
         let out = run(&argmap(&["--help"])).unwrap();
         assert!(out.contains("LEFT RIGHT"));
+        assert!(out.contains("nway SHAPE"));
+        assert!(out.contains("--sessions"));
     }
 
     #[test]
@@ -324,6 +531,52 @@ mod tests {
     }
 
     #[test]
+    fn nway_lines_are_answered_alongside_two_way_ones() {
+        let (g, s, q) = fixture("nway");
+        std::fs::write(
+            &q,
+            "P Q 3\n\
+             nway chain P Q 2 ap min\n\
+             nway chain P Q P 2 pj-i\n\
+             nway star Q P 2 sum\n",
+        )
+        .unwrap();
+        let out = run(&argmap(&[
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("4 queries answered"), "got: {out}");
+        cleanup(&[&g, &s, &q]);
+    }
+
+    #[test]
+    fn concurrent_sessions_report_the_shared_cache() {
+        let (g, s, q) = fixture("sessions");
+        let out = run(&argmap(&[
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+            "--sessions",
+            "3",
+            "--repeat",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("sessions=3"), "got: {out}");
+        assert!(out.contains("shared cache:"), "got: {out}");
+        assert!(out.contains("8 queries answered"), "got: {out}");
+        cleanup(&[&g, &s, &q]);
+    }
+
+    #[test]
     fn cache_zero_disables_caching_but_answers_identically() {
         let (g, s, q) = fixture("nocache");
         let base = [
@@ -344,43 +597,41 @@ mod tests {
     #[test]
     fn malformed_query_files_are_rejected_with_line_numbers() {
         let (g, s, q) = fixture("badfile");
+        let base = |q: &std::path::Path| {
+            argmap(&[
+                "--graph",
+                g.to_str().unwrap(),
+                "--sets",
+                s.to_str().unwrap(),
+                "--queries",
+                q.to_str().unwrap(),
+            ])
+        };
         std::fs::write(&q, "P\n").unwrap();
-        let err = run(&argmap(&[
-            "--graph",
-            g.to_str().unwrap(),
-            "--sets",
-            s.to_str().unwrap(),
-            "--queries",
-            q.to_str().unwrap(),
-        ]))
-        .unwrap_err();
+        let err = run(&base(&q)).unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
 
         std::fs::write(&q, "P Z\n").unwrap();
-        let err = run(&argmap(&[
-            "--graph",
-            g.to_str().unwrap(),
-            "--sets",
-            s.to_str().unwrap(),
-            "--queries",
-            q.to_str().unwrap(),
-        ]))
-        .unwrap_err();
+        let err = run(&base(&q)).unwrap_err();
         assert!(err.to_string().contains("unknown node set"), "{err}");
 
         // Two numeric fields (e.g. a typo for one k) must not silently let
         // the second overwrite the first.
         std::fs::write(&q, "P Q 3 4\n").unwrap();
-        let err = run(&argmap(&[
-            "--graph",
-            g.to_str().unwrap(),
-            "--sets",
-            s.to_str().unwrap(),
-            "--queries",
-            q.to_str().unwrap(),
-        ]))
-        .unwrap_err();
+        let err = run(&base(&q)).unwrap_err();
         assert!(err.to_string().contains("duplicate k"), "{err}");
+
+        // n-way lines need at least two known sets and a valid shape.
+        std::fs::write(&q, "nway chain P 3\n").unwrap();
+        let err = run(&base(&q)).unwrap_err();
+        assert!(err.to_string().contains("at least two node sets"), "{err}");
+        std::fs::write(&q, "nway blob P Q\n").unwrap();
+        let err = run(&base(&q)).unwrap_err();
+        assert!(err.to_string().contains("unknown query shape"), "{err}");
+        // A triangle needs exactly three sets.
+        std::fs::write(&q, "nway triangle P Q\n").unwrap();
+        let err = run(&base(&q)).unwrap_err();
+        assert!(err.to_string().contains("exactly 3"), "{err}");
         cleanup(&[&g, &s, &q]);
     }
 

@@ -59,10 +59,13 @@ pub fn run(
 /// `config.threads > 1` and a multi-edge query graph they run concurrently
 /// (each join serial inside, so workers are not oversubscribed), and their
 /// outputs are absorbed in edge order — identical to a serial run.  In the
-/// concurrent case each worker runs on a private one-shot context (the
-/// session caches are not shared across threads); the serial path threads
-/// the session context through every edge, so query edges that share a
-/// node set reuse each other's backward columns.
+/// concurrent case each worker forks the session context
+/// ([`QueryCtx::fork`]): when the session is backed by a cross-session
+/// `SharedColumnCache`, the workers read and fill that cache concurrently,
+/// so query edges that share a node set reuse each other's backward columns
+/// even on the parallel path (a session-private cache degrades to one-shot
+/// worker contexts, as before).  The serial path threads the session
+/// context through every edge directly.
 pub fn run_with_ctx(
     graph: &Graph,
     config: &NWayConfig,
@@ -78,13 +81,21 @@ pub fn run_with_ctx(
     let edges: Vec<(usize, usize)> = query.edges().to_vec();
     let outputs = if threads > 1 && edges.len() > 1 {
         // Outer-level parallelism over query edges; inner joins run serial
-        // so total concurrency stays at the requested thread count.
+        // so total concurrency stays at the requested thread count.  Each
+        // worker forks the session context once, so shared-cache sessions
+        // keep warming each other across edges and threads.
         let inner = config.two_way().with_threads(1);
-        dht_par::parallel_map(config.threads, &edges, |_, &(i, j)| {
-            let p = &node_sets[i];
-            let q = &node_sets[j];
-            two_way.top_k(graph, &inner, p, q, p.len() * q.len())
-        })
+        let worker_ctx = &*ctx;
+        dht_par::parallel_map_init(
+            config.threads,
+            &edges,
+            || worker_ctx.fork(),
+            |ctx, _, &(i, j)| {
+                let p = &node_sets[i];
+                let q = &node_sets[j];
+                two_way.top_k_with_ctx(graph, &inner, p, q, p.len() * q.len(), ctx)
+            },
+        )
     } else {
         let inner = config.two_way();
         edges

@@ -9,16 +9,30 @@
 //! buffers from scratch.  That is the right shape for a one-shot
 //! experiment, but a service answering many users against one graph keeps
 //! paying for state it could reuse.  A [`Session`] owns a
-//! [`dht_walks::QueryCtx`]: a scratch pool, an LRU cache of backward DHT
-//! columns keyed by `(params, depth, engine, target)`, and lazily built
-//! Y-bound tables keyed by `(params, depth, engine, P)` — so a cache hit
-//! turns a B-BJ / B-IDJ target from an `O(d·|E_G|)` walk into a shared
-//! pointer clone, and repeated-target query streams get answered at
+//! [`dht_walks::QueryCtx`]: a scratch pool, a byte-budgeted cache of
+//! backward DHT columns keyed by `(params, depth, engine, target)`, and
+//! lazily built Y-bound tables keyed by `(params, depth, engine, P)` — so a
+//! cache hit turns a B-BJ / B-IDJ target from an `O(d·|E_G|)` walk into a
+//! shared pointer clone, and repeated-target query streams get answered at
 //! memcpy speed.
 //!
+//! ## Concurrency model
+//!
+//! By default the engine owns one [`dht_walks::SharedColumnCache`] — a
+//! lock-striped, byte-budgeted column cache — and every session it hands
+//! out reads and writes through it.  Concurrent sessions (one per client
+//! thread) therefore **warm each other**: the first session to need a
+//! column pays for the walk, every later one — in any thread — clones a
+//! pointer.  The engine itself is immutable and `Sync`, so `&Engine` can be
+//! shared across any number of scoped threads, each opening its own
+//! session; [`Engine::batch_sessions`] packages exactly that pattern for
+//! query streams.  Setting [`EngineConfig::shared_cache`] to `false` falls
+//! back to fully session-private caches (same byte budget each).
+//!
 //! Answers are **bit-identical** to the one-shot free functions at every
-//! cache state (the repository's cache-parity proptest pins this): caching
-//! never changes results, only how often walks actually run.
+//! cache state, thread count and session interleaving (the repository's
+//! cache-parity and concurrent-session proptests pin this): caching never
+//! changes results, only how often walks actually run.
 //!
 //! ```
 //! use dht_engine::{Engine, TwoWayQuery};
@@ -35,19 +49,23 @@
 //! let q = NodeSet::new("Q", [NodeId(3), NodeId(4), NodeId(5)]);
 //! let mut session = engine.session();
 //! let first = session.two_way(TwoWayAlgorithm::BackwardIdjY, &p, &q, 3);
-//! let again = session.two_way(TwoWayAlgorithm::BackwardIdjY, &p, &q, 3);
-//! assert_eq!(first.pairs, again.pairs); // second answer came from the warm cache
-//! assert!(session.cache_stats().hits > 0);
+//! // A *different* session hits the engine's shared cache immediately.
+//! let mut other = engine.session();
+//! let again = other.two_way(TwoWayAlgorithm::BackwardIdjY, &p, &q, 3);
+//! assert_eq!(first.pairs, again.pairs);
+//! assert!(other.cache_stats().hits > 0);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::sync::Arc;
+
 use dht_core::multiway::{NWayAlgorithm, NWayConfig, NWayOutput};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig, TwoWayOutput};
 use dht_core::{Aggregate, QueryGraph};
 use dht_graph::{Graph, NodeSet};
-use dht_walks::{CacheStats, DhtParams, QueryCtx, WalkEngine};
+use dht_walks::{CacheStats, DhtParams, QueryCtx, SharedColumnCache, WalkEngine};
 
 /// Construction-time knobs of an [`Engine`].
 #[derive(Debug, Clone, Copy)]
@@ -61,14 +79,24 @@ pub struct EngineConfig {
     pub engine: WalkEngine,
     /// Worker threads per query: `1` serial (default), `0` all cores.
     pub threads: usize,
-    /// Capacity of each session's backward-column LRU cache, in columns
-    /// (each `|V_G|` doubles).  `0` disables caching entirely.
-    pub column_cache_capacity: usize,
+    /// Byte budget of the backward-column cache
+    /// (`dht_walks::column_bytes` per entry).  `0` disables caching
+    /// entirely.
+    pub cache_bytes: usize,
+    /// `true` (the default): the engine owns one cross-session
+    /// [`SharedColumnCache`] of `cache_bytes` and every session reads and
+    /// writes through it, so concurrent clients warm each other.  `false`:
+    /// each session gets its own private cache of `cache_bytes`.
+    pub shared_cache: bool,
 }
+
+/// Default column-cache byte budget: 64 MiB — thousands of columns on the
+/// paper's graphs, a bounded sliver of memory on big ones.
+pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
 
 impl EngineConfig {
     /// The paper's experimental defaults (`DHT_λ`, `λ = 0.2`, `ε = 10⁻⁶` →
-    /// `d = 8`) with a 512-column session cache.
+    /// `d = 8`) with a shared 64 MiB column cache.
     pub fn paper_default() -> Self {
         let params = DhtParams::paper_default();
         let d = params.depth_for_epsilon(1e-6).expect("1e-6 is valid");
@@ -77,7 +105,8 @@ impl EngineConfig {
             d,
             engine: WalkEngine::default(),
             threads: 1,
-            column_cache_capacity: 512,
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            shared_cache: true,
         }
     }
 
@@ -100,10 +129,17 @@ impl EngineConfig {
         self
     }
 
-    /// Returns a copy with a different column-cache capacity (`0` disables
-    /// caching).
-    pub fn with_column_cache_capacity(mut self, capacity: usize) -> Self {
-        self.column_cache_capacity = capacity;
+    /// Returns a copy with a different column-cache byte budget (`0`
+    /// disables caching).
+    pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Returns a copy selecting the cross-session shared cache (`true`) or
+    /// fully session-private caches (`false`).
+    pub fn with_shared_cache(mut self, shared: bool) -> Self {
+        self.shared_cache = shared;
         self
     }
 }
@@ -143,16 +179,48 @@ pub struct NWayQuery {
     pub k: usize,
 }
 
-/// A per-graph query engine: owns the graph and the configuration every
-/// session answers queries with.
+/// One query of a mixed stream: two-way or n-way — what
+/// `dht querystream` files parse into and [`Engine::batch_sessions`]
+/// consumes.
+#[derive(Debug, Clone)]
+pub enum EngineQuery {
+    /// A two-way join query.
+    TwoWay(TwoWayQuery),
+    /// An n-way join query.
+    NWay(NWayQuery),
+}
+
+/// The answer to one [`EngineQuery`].
+#[derive(Debug, Clone)]
+pub enum EngineOutput {
+    /// Answer to a two-way query.
+    TwoWay(TwoWayOutput),
+    /// Answer to an n-way query.
+    NWay(NWayOutput),
+}
+
+impl EngineOutput {
+    /// Number of result rows (pairs or tuples) in the answer.
+    pub fn answer_count(&self) -> usize {
+        match self {
+            EngineOutput::TwoWay(out) => out.pairs.len(),
+            EngineOutput::NWay(out) => out.answers.len(),
+        }
+    }
+}
+
+/// A per-graph query engine: owns the graph, the configuration every
+/// session answers queries with, and (by default) the cross-session
+/// [`SharedColumnCache`] those sessions warm together.
 ///
-/// The engine itself is immutable (and therefore freely shareable by
-/// reference across threads); all mutable walk state lives in the
-/// [`Session`]s it hands out.
+/// The engine is immutable and `Sync` — share `&Engine` across threads
+/// freely; all per-client mutable walk state lives in the [`Session`]s it
+/// hands out.
 #[derive(Debug)]
 pub struct Engine {
     graph: Graph,
     config: EngineConfig,
+    shared: Option<Arc<SharedColumnCache>>,
 }
 
 impl Engine {
@@ -163,7 +231,20 @@ impl Engine {
 
     /// Builds an engine with an explicit configuration.
     pub fn with_config(graph: Graph, config: EngineConfig) -> Self {
-        Engine { graph, config }
+        // Stripe the shared cache for this graph's column size, so even a
+        // budget worth only a handful of |V_G| columns stays usable
+        // instead of being slivered into shards too small to hold one.
+        let shared = (config.shared_cache && config.cache_bytes > 0).then(|| {
+            Arc::new(SharedColumnCache::for_columns(
+                config.cache_bytes,
+                graph.node_count(),
+            ))
+        });
+        Engine {
+            graph,
+            config,
+            shared,
+        }
     }
 
     /// The graph this engine answers queries over.
@@ -174,6 +255,17 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The cross-session column cache, when the engine runs with one.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedColumnCache>> {
+        self.shared.as_ref()
+    }
+
+    /// Cumulative counters of the cross-session cache (all sessions
+    /// combined), when the engine runs with one.
+    pub fn shared_cache_stats(&self) -> Option<CacheStats> {
+        self.shared.as_ref().map(|cache| cache.stats())
     }
 
     /// The two-way join configuration sessions run with.
@@ -190,12 +282,15 @@ impl Engine {
             .with_threads(self.config.threads)
     }
 
-    /// Opens a fresh session (cold caches, empty scratch pool).
+    /// Opens a fresh session: its context reads and writes the engine's
+    /// shared cache (when enabled), so it starts as warm as the engine is;
+    /// with `shared_cache: false` it starts cold with a private cache.
     pub fn session(&self) -> Session<'_> {
-        Session {
-            engine: self,
-            ctx: QueryCtx::with_capacity(self.config.column_cache_capacity),
-        }
+        let ctx = match &self.shared {
+            Some(cache) => QueryCtx::shared(cache.clone()),
+            None => QueryCtx::with_byte_budget(self.config.cache_bytes),
+        };
+        Session { engine: self, ctx }
     }
 
     /// Answers a whole stream of two-way queries on one internal session, so
@@ -213,15 +308,76 @@ impl Engine {
     pub fn n_way_batch(&self, queries: &[NWayQuery]) -> dht_core::Result<Vec<NWayOutput>> {
         self.session().n_way_batch(queries)
     }
+
+    /// Answers a mixed two-way / n-way query stream on one internal
+    /// session, in query order.
+    ///
+    /// # Errors
+    /// Fails on the first inconsistent n-way query.
+    pub fn batch(&self, queries: &[EngineQuery]) -> dht_core::Result<Vec<EngineOutput>> {
+        let mut session = self.session();
+        queries.iter().map(|query| session.answer(query)).collect()
+    }
+
+    /// Answers a mixed query stream on `sessions` concurrent sessions —
+    /// the service shape: query `i` goes to session `i % sessions`, every
+    /// session runs on its own scoped thread, and all of them share the
+    /// engine's cross-session cache (when enabled), warming each other.
+    ///
+    /// Results come back in query order and are **bit-identical** to
+    /// [`Engine::batch`] at any session count: each query is answered
+    /// independently and caching never changes answers.
+    ///
+    /// # Errors
+    /// Fails with the error of the smallest-indexed inconsistent query
+    /// (deterministic regardless of scheduling).
+    pub fn batch_sessions(
+        &self,
+        queries: &[EngineQuery],
+        sessions: usize,
+    ) -> dht_core::Result<Vec<EngineOutput>> {
+        let sessions = sessions.clamp(1, queries.len().max(1));
+        if sessions == 1 {
+            return self.batch(queries);
+        }
+        let slots: Vec<Option<dht_core::Result<EngineOutput>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut session = self.session();
+                        queries
+                            .iter()
+                            .enumerate()
+                            .filter(|(index, _)| index % sessions == worker)
+                            .map(|(index, query)| (index, session.answer(query)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<dht_core::Result<EngineOutput>>> =
+                (0..queries.len()).map(|_| None).collect();
+            for handle in handles {
+                for (index, output) in handle.join().expect("engine session worker panicked") {
+                    slots[index] = Some(output);
+                }
+            }
+            slots
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every query answered exactly once"))
+            .collect()
+    }
 }
 
-/// A query session against one [`Engine`]: owns the warm walk state
-/// (scratch pool, backward-column LRU, Y-bound tables) and answers queries
-/// through it.
+/// A query session against one [`Engine`]: owns the per-client walk state
+/// (scratch pool, Y-bound tables and either a handle to the engine's
+/// shared column cache or a private one) and answers queries through it.
 ///
 /// Sessions are cheap to create and single-threaded by design — one per
 /// concurrent client; queries *within* a session still fan out over
-/// `EngineConfig::threads` workers.
+/// `EngineConfig::threads` workers, and sessions of a shared-cache engine
+/// warm each other across threads.
 #[derive(Debug)]
 pub struct Session<'e> {
     engine: &'e Engine,
@@ -262,6 +418,28 @@ impl Session<'_> {
         algorithm.run_with_ctx(&self.engine.graph, &config, query, sets, &mut self.ctx)
     }
 
+    /// Answers one query of a mixed stream.
+    ///
+    /// # Errors
+    /// Fails when an n-way query's graph and node sets are inconsistent.
+    pub fn answer(&mut self, query: &EngineQuery) -> dht_core::Result<EngineOutput> {
+        match query {
+            EngineQuery::TwoWay(q) => Ok(EngineOutput::TwoWay(self.two_way(
+                q.algorithm,
+                &q.p,
+                &q.q,
+                q.k,
+            ))),
+            EngineQuery::NWay(q) => Ok(EngineOutput::NWay(self.n_way(
+                q.algorithm,
+                &q.query,
+                &q.sets,
+                q.aggregate,
+                q.k,
+            )?)),
+        }
+    }
+
     /// Answers a stream of two-way queries in order on this session's warm
     /// state.
     pub fn two_way_batch(&mut self, queries: &[TwoWayQuery]) -> Vec<TwoWayOutput> {
@@ -291,7 +469,11 @@ impl Session<'_> {
             .collect()
     }
 
-    /// Cumulative backward-column cache counters of this session.
+    /// Cumulative backward-column cache counters **as seen by this
+    /// session**: on a shared-cache engine these count this session's
+    /// lookups (evictions are engine-global — see
+    /// [`Engine::shared_cache_stats`]); on a private-cache engine they are
+    /// the private cache's own counters.
     pub fn cache_stats(&self) -> CacheStats {
         self.ctx.column_stats()
     }
@@ -301,8 +483,9 @@ impl Session<'_> {
         self.ctx.y_table_stats()
     }
 
-    /// Drops the session's cached columns and tables (allocations and
-    /// counters are kept).
+    /// Drops the cached columns and tables this session can reach
+    /// (allocations and counters are kept).  On a shared-cache engine this
+    /// clears the **engine-wide** cache: every session sees the drop.
     pub fn clear_cache(&mut self) {
         self.ctx.clear();
     }
@@ -330,6 +513,12 @@ mod tests {
             seed: 2014,
         });
         (cg.graph, cg.communities)
+    }
+
+    #[test]
+    fn engine_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Engine>();
     }
 
     #[test]
@@ -371,6 +560,39 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_sessions_warm_each_other_through_the_shared_cache() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        // Warm the engine from one session...
+        let first = engine
+            .session()
+            .two_way(TwoWayAlgorithm::BackwardBasic, &sets[0], &sets[2], 5);
+        // ...then answer the same query from four concurrent sessions: all
+        // of them must hit the shared cache and agree bitwise.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = &engine;
+                let first = &first;
+                let sets = &sets;
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    let again =
+                        session.two_way(TwoWayAlgorithm::BackwardBasic, &sets[0], &sets[2], 5);
+                    assert_eq!(&again.pairs, &first.pairs);
+                    assert_eq!(
+                        session.cache_stats().misses,
+                        0,
+                        "every column must come from the shared cache"
+                    );
+                });
+            }
+        });
+        let stats = engine.shared_cache_stats().expect("shared cache on");
+        assert_eq!(stats.misses, sets[2].len() as u64);
+        assert_eq!(stats.hits, 4 * sets[2].len() as u64);
+    }
+
+    #[test]
     fn batches_reuse_the_warm_cache_across_queries() {
         let (graph, sets) = fixture();
         let engine = Engine::new(graph);
@@ -389,10 +611,86 @@ mod tests {
         // |Q| misses on the first query, hits from then on.
         assert_eq!(stats.misses, sets[2].len() as u64);
         assert_eq!(stats.hits, 5 * sets[2].len() as u64);
-        // engine-level batch produces the same outputs on a fresh session
+        // engine-level batch produces the same outputs (served from the
+        // now-warm shared cache)
         let again = engine.two_way_batch(&queries);
         for (a, b) in outputs.iter().zip(again.iter()) {
             assert_eq!(a.pairs, b.pairs);
+        }
+    }
+
+    #[test]
+    fn batch_sessions_matches_single_session_batches() {
+        let (graph, sets) = fixture();
+        let query_graph = QueryGraph::chain(3);
+        let mut queries: Vec<EngineQuery> = Vec::new();
+        for round in 0..3 {
+            for (i, j) in [(0usize, 2usize), (1, 2), (0, 1)] {
+                queries.push(EngineQuery::TwoWay(TwoWayQuery {
+                    algorithm: if round % 2 == 0 {
+                        TwoWayAlgorithm::BackwardBasic
+                    } else {
+                        TwoWayAlgorithm::BackwardIdjY
+                    },
+                    p: sets[i].clone(),
+                    q: sets[j].clone(),
+                    k: 5,
+                }));
+            }
+            queries.push(EngineQuery::NWay(NWayQuery {
+                algorithm: NWayAlgorithm::AllPairs,
+                query: query_graph.clone(),
+                sets: sets.clone(),
+                aggregate: Aggregate::Min,
+                k: 4,
+            }));
+        }
+        for shared in [true, false] {
+            let engine = Engine::with_config(
+                graph.clone(),
+                EngineConfig::paper_default().with_shared_cache(shared),
+            );
+            let reference = engine.batch(&queries).unwrap();
+            for sessions in [2usize, 4] {
+                let concurrent = engine.batch_sessions(&queries, sessions).unwrap();
+                assert_eq!(reference.len(), concurrent.len());
+                for (index, (a, b)) in reference.iter().zip(concurrent.iter()).enumerate() {
+                    match (a, b) {
+                        (EngineOutput::TwoWay(x), EngineOutput::TwoWay(y)) => {
+                            assert_eq!(x.pairs, y.pairs, "query {index} sessions={sessions}");
+                        }
+                        (EngineOutput::NWay(x), EngineOutput::NWay(y)) => {
+                            assert_eq!(x.answers, y.answers, "query {index} sessions={sessions}");
+                        }
+                        _ => panic!("output kind changed for query {index}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sessions_reports_the_first_error_deterministically() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        // Query 1 is malformed (three sets on a 4-vertex query graph).
+        let queries = vec![
+            EngineQuery::TwoWay(TwoWayQuery {
+                algorithm: TwoWayAlgorithm::BackwardBasic,
+                p: sets[0].clone(),
+                q: sets[1].clone(),
+                k: 3,
+            }),
+            EngineQuery::NWay(NWayQuery {
+                algorithm: NWayAlgorithm::AllPairs,
+                query: QueryGraph::chain(4),
+                sets: sets.clone(),
+                aggregate: Aggregate::Min,
+                k: 3,
+            }),
+        ];
+        for sessions in [1usize, 2] {
+            assert!(engine.batch_sessions(&queries, sessions).is_err());
         }
     }
 
@@ -412,8 +710,9 @@ mod tests {
     #[test]
     fn disabled_cache_still_answers_correctly() {
         let (graph, sets) = fixture();
-        let config = EngineConfig::paper_default().with_column_cache_capacity(0);
+        let config = EngineConfig::paper_default().with_cache_bytes(0);
         let engine = Engine::with_config(graph, config);
+        assert!(engine.shared_cache().is_none());
         let mut session = engine.session();
         let a = session.two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 5);
         let b = session.two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 5);
@@ -439,14 +738,17 @@ mod tests {
             .with_params(DhtParams::dht_e(), 6)
             .with_engine(WalkEngine::Dense)
             .with_threads(4)
-            .with_column_cache_capacity(16);
+            .with_cache_bytes(1 << 16)
+            .with_shared_cache(false);
         assert_eq!(config.d, 6);
         assert_eq!(config.engine, WalkEngine::Dense);
         assert_eq!(config.threads, 4);
-        assert_eq!(config.column_cache_capacity, 16);
+        assert_eq!(config.cache_bytes, 1 << 16);
+        assert!(!config.shared_cache);
         let mut b = dht_graph::GraphBuilder::with_nodes(2);
         b.add_unit_edge(NodeId(0), NodeId(1)).unwrap();
         let engine = Engine::with_config(b.build().unwrap(), config);
+        assert!(engine.shared_cache().is_none(), "private caches requested");
         assert_eq!(engine.two_way_config().d, 6);
         assert_eq!(engine.n_way_config(Aggregate::Sum, 3).k, 3);
     }

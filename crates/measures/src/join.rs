@@ -337,8 +337,10 @@ pub fn measure_nway_top_k_threaded<M: ProximityMeasure + Sync + ?Sized>(
 /// [`measure_nway_top_k_threaded`] through a session context.  On the
 /// serial path every per-edge join shares the context's column cache, so
 /// query edges with a common node set reuse each other's columns; the
-/// concurrent path runs each edge on a private one-shot context (the
-/// session caches are not shared across threads).
+/// concurrent path forks the context per worker ([`QueryCtx::fork`]), so a
+/// session backed by a cross-session `SharedColumnCache` keeps sharing
+/// columns across edges and threads (a session-private cache degrades to
+/// one-shot worker contexts, as before).
 #[allow(clippy::too_many_arguments)]
 pub fn measure_nway_top_k_ctx<M: ProximityMeasure + Sync + ?Sized>(
     graph: &Graph,
@@ -365,16 +367,25 @@ pub fn measure_nway_top_k_ctx<M: ProximityMeasure + Sync + ?Sized>(
         |&(from, to): &(usize, usize)| node_sets[from].len().saturating_mul(node_sets[to].len());
     let lists: Vec<Vec<MeasurePair>> = if dht_par::effective_threads(threads) > 1 && edges.len() > 1
     {
-        dht_par::parallel_map(threads, &edges, |_, edge @ &(from, to)| {
-            measure_two_way_top_k_threaded(
-                graph,
-                measure,
-                &node_sets[from],
-                &node_sets[to],
-                full_k(edge),
-                1,
+        {
+            let worker_ctx = &*ctx;
+            dht_par::parallel_map_init(
+                threads,
+                &edges,
+                || worker_ctx.fork(),
+                |ctx, _, edge @ &(from, to)| {
+                    measure_two_way_top_k_ctx(
+                        graph,
+                        measure,
+                        &node_sets[from],
+                        &node_sets[to],
+                        full_k(edge),
+                        1,
+                        ctx,
+                    )
+                },
             )
-        })
+        }
     } else {
         edges
             .iter()
@@ -605,7 +616,7 @@ mod tests {
         let (a, b, c) = sets();
         let ppr = PersonalizedPageRank::new(0.8, 8).unwrap();
         let dht = DhtMeasure::paper_default();
-        let mut ctx = QueryCtx::with_capacity(64);
+        let mut ctx = QueryCtx::with_byte_budget(1 << 20);
         for pass in 0..2 {
             let warm = measure_two_way_top_k_ctx(&g, &ppr, &a, &b, 6, 1, &mut ctx);
             assert_eq!(

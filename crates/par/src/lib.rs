@@ -37,6 +37,33 @@ pub fn available_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Worker-thread counts the repository's parity and stress tests exercise,
+/// read from the `DHT_TEST_THREADS` environment variable (a comma-separated
+/// list, e.g. `DHT_TEST_THREADS=4` or `DHT_TEST_THREADS=1,4`).  Falls back
+/// to `default` when the variable is unset or holds no parsable count —
+/// CI's test matrix sets it so the deterministic-merge guarantees run both
+/// serial and multi-threaded.
+pub fn test_thread_counts(default: &[usize]) -> Vec<usize> {
+    match std::env::var("DHT_TEST_THREADS") {
+        Ok(raw) => parse_thread_counts(&raw, default),
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// Parses a comma-separated thread-count list, falling back to `default`
+/// when nothing parses.
+fn parse_thread_counts(raw: &str, default: &[usize]) -> Vec<usize> {
+    let parsed: Vec<usize> = raw
+        .split(',')
+        .filter_map(|part| part.trim().parse().ok())
+        .collect();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
+}
+
 /// Maps `f` over `items` with up to `threads` worker threads, returning the
 /// results in input order.
 ///
@@ -197,6 +224,14 @@ mod tests {
     fn effective_threads_resolves_zero_to_all_cores() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn thread_count_lists_parse_with_fallback() {
+        assert_eq!(parse_thread_counts("4", &[1, 4]), vec![4]);
+        assert_eq!(parse_thread_counts("1, 4, 0", &[1]), vec![1, 4, 0]);
+        assert_eq!(parse_thread_counts("", &[1, 4]), vec![1, 4]);
+        assert_eq!(parse_thread_counts("many", &[2]), vec![2]);
     }
 
     #[test]

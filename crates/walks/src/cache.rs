@@ -1,5 +1,6 @@
-//! Graph-lifetime query state: the backward-column LRU cache and the
-//! [`QueryCtx`] handle the join layers thread through a query session.
+//! Graph-lifetime query state: the backward-column caches (per-session and
+//! cross-session) and the [`QueryCtx`] handle the join layers thread through
+//! a query session.
 //!
 //! The paper's backward algorithms (B-BJ, B-IDJ) spend almost all of their
 //! time in `backWalk(G, q, l)` passes — `O(l·|E_G|)` each — and a query
@@ -7,25 +8,34 @@
 //! users against one graph) recomputes identical columns over and over.
 //! This module caches them:
 //!
-//! * [`ColumnCache`] — a bounded LRU of score columns keyed by
+//! * [`ColumnCache`] — a byte-budgeted LRU of score columns keyed by
 //!   `(signature, target)`, where the signature folds in everything else
 //!   that determines the column (DHT parameters, walk depth, engine — see
 //!   [`dht_column_sig`] — or an arbitrary measure signature for the generic
 //!   joins of `dht-measures`).  A hit turns an `O(l·|E_G|)` walk into a
-//!   shared-pointer clone.
+//!   shared-pointer clone.  Capacity is accounted in **bytes**
+//!   ([`column_bytes`]), not entries, so dense columns on large graphs
+//!   cannot blow past a configured memory budget.
+//! * [`SharedColumnCache`] — the cross-session variant: a lock-striped set
+//!   of [`ColumnCache`] shards behind `Mutex`es, safe to share (via `Arc`)
+//!   between any number of concurrent sessions over one graph.  Sessions
+//!   warm each other: the first one to compute a column pays for it, every
+//!   later one clones the pointer.
 //! * [`QueryCtx`] — the per-session bundle the join algorithms take
-//!   `&mut` internally: a [`ScratchPool`] of walk buffers, the column
-//!   cache, and lazily built [`YBoundTable`]s keyed by
-//!   `(params, d, engine, P)`.
+//!   `&mut` internally: a [`ScratchPool`] of walk buffers, a column store
+//!   (private [`ColumnCache`] or a handle to a [`SharedColumnCache`]), and
+//!   lazily built [`YBoundTable`]s keyed by `(params, d, engine, P)`.
 //!
 //! Columns are deterministic functions of their key (every walk engine is
 //! input-deterministic), so replaying a cached column is bit-identical to
 //! recomputing it: joins answered through a warm context return exactly the
-//! pairs a cold one produces.  `tests/session_cache_parity_proptest.rs`
-//! pins this.
+//! pairs a cold one produces — regardless of which session computed the
+//! column first, at any thread count, under any eviction schedule.
+//! `tests/session_cache_parity_proptest.rs` and
+//! `tests/concurrent_sessions_proptest.rs` pin this.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use dht_graph::{Graph, NodeId, NodeSet};
 
@@ -63,7 +73,7 @@ pub fn dht_column_sig(params: &DhtParams, d: usize, engine: WalkEngine) -> u64 {
 
 /// Builds a column signature from a tag string and a list of 64-bit words
 /// (typically parameter bit patterns) — the hook measures outside this
-/// crate use to share the [`ColumnCache`] (see
+/// crate use to share the column caches (see
 /// `dht-measures`' `ProximityMeasure::column_signature`).
 pub fn custom_column_sig(tag: &str, words: &[u64]) -> u64 {
     let mut h = fnv1a(FNV_OFFSET, tag.as_bytes());
@@ -91,7 +101,18 @@ pub fn node_set_sig(set: &NodeSet) -> u64 {
     h
 }
 
-/// Hit / miss / eviction counters of a [`ColumnCache`] (cumulative since
+/// Fixed per-entry bookkeeping charge (key, stamps, map/queue slots and the
+/// `Arc` header) added to every cached column's accounted size.
+const ENTRY_OVERHEAD_BYTES: usize = 64;
+
+/// The accounted size in bytes of a cached column of `len` scores: the
+/// payload floats plus a fixed per-entry bookkeeping charge, so even empty
+/// columns have nonzero cost and budgets bound entry counts too.
+pub fn column_bytes(len: usize) -> usize {
+    len * std::mem::size_of::<f64>() + ENTRY_OVERHEAD_BYTES
+}
+
+/// Hit / miss / eviction counters of a column cache (cumulative since
 /// construction).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -113,6 +134,15 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Component-wise sum (used to aggregate per-shard counters).
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -120,19 +150,25 @@ struct CacheSlot {
     /// LRU stamp of the slot's most recent touch; stale queue entries whose
     /// stamp no longer matches are skipped during eviction.
     stamp: u64,
+    /// Accounted size of this entry ([`column_bytes`] at insertion).
+    bytes: usize,
     column: Arc<[f64]>,
 }
 
-/// A bounded LRU cache of score columns keyed by `(signature, target)`.
+/// A byte-budgeted LRU cache of score columns keyed by `(signature, target)`.
 ///
+/// Capacity is accounted in bytes ([`column_bytes`] per entry), so the
+/// memory held by the cache is bounded regardless of graph size — a dense
+/// column on a 10M-node graph costs what it costs, not "one slot".
 /// Eviction is strict LRU via touch stamps with a lazily compacted queue:
-/// `get` and `insert` are `O(1)` amortised.  A capacity of `0` disables the
+/// `get` and `insert` are `O(1)` amortised.  A budget of `0` disables the
 /// cache entirely (every lookup misses, nothing is stored) — that is what
 /// the one-shot join wrappers use, so their behaviour and allocation profile
 /// match the pre-session code paths.
 #[derive(Debug, Default)]
 pub struct ColumnCache {
-    capacity: usize,
+    byte_budget: usize,
+    bytes_used: usize,
     slots: HashMap<(u64, u32), CacheSlot>,
     /// `(stamp, key)` pairs in touch order; entries are stale when the
     /// slot's current stamp differs.
@@ -142,28 +178,33 @@ pub struct ColumnCache {
 }
 
 impl ColumnCache {
-    /// A cache holding at most `capacity` columns.
-    pub fn new(capacity: usize) -> Self {
+    /// A cache holding at most `byte_budget` accounted bytes of columns.
+    pub fn with_byte_budget(byte_budget: usize) -> Self {
         ColumnCache {
-            capacity,
+            byte_budget,
             ..ColumnCache::default()
         }
     }
 
-    /// A disabled cache (capacity 0): every lookup misses, inserts are
+    /// A disabled cache (budget 0): every lookup misses, inserts are
     /// dropped.
     pub fn disabled() -> Self {
-        ColumnCache::new(0)
+        ColumnCache::with_byte_budget(0)
     }
 
-    /// The configured capacity in columns.
-    pub fn capacity(&self) -> usize {
-        self.capacity
+    /// The configured capacity in bytes.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Accounted bytes currently held.
+    pub fn bytes_used(&self) -> usize {
+        self.bytes_used
     }
 
     /// Whether the cache stores anything at all.
     pub fn is_enabled(&self) -> bool {
-        self.capacity > 0
+        self.byte_budget > 0
     }
 
     /// Number of columns currently cached.
@@ -184,7 +225,7 @@ impl ColumnCache {
     /// Looks up the column for `(sig, target)`, refreshing its LRU position
     /// on a hit.
     pub fn get(&mut self, sig: u64, target: u32) -> Option<Arc<[f64]>> {
-        if self.capacity == 0 {
+        if self.byte_budget == 0 {
             self.stats.misses += 1;
             return None;
         }
@@ -206,22 +247,30 @@ impl ColumnCache {
         }
     }
 
-    /// Inserts (or refreshes) the column for `(sig, target)`, evicting the
-    /// least recently used entry when full.
+    /// Inserts (or refreshes) the column for `(sig, target)`, evicting least
+    /// recently used entries until the byte budget holds again.  A column
+    /// whose own accounted size exceeds the whole budget is not retained.
     pub fn insert(&mut self, sig: u64, target: u32, column: Arc<[f64]>) {
-        if self.capacity == 0 {
+        if self.byte_budget == 0 {
             return;
         }
         let key = (sig, target);
+        let bytes = column_bytes(column.len());
         self.tick += 1;
         let stamp = self.tick;
         self.order.push_back((stamp, key));
-        if self
-            .slots
-            .insert(key, CacheSlot { stamp, column })
-            .is_none()
-            && self.slots.len() > self.capacity
-        {
+        if let Some(old) = self.slots.insert(
+            key,
+            CacheSlot {
+                stamp,
+                bytes,
+                column,
+            },
+        ) {
+            self.bytes_used -= old.bytes;
+        }
+        self.bytes_used += bytes;
+        while self.bytes_used > self.byte_budget && !self.slots.is_empty() {
             self.evict_one();
         }
         self.compact();
@@ -231,53 +280,267 @@ impl ColumnCache {
     pub fn clear(&mut self) {
         self.slots.clear();
         self.order.clear();
+        self.bytes_used = 0;
     }
 
     fn evict_one(&mut self) {
         while let Some((stamp, key)) = self.order.pop_front() {
             let live = self.slots.get(&key).is_some_and(|slot| slot.stamp == stamp);
             if live {
-                self.slots.remove(&key);
+                if let Some(slot) = self.slots.remove(&key) {
+                    self.bytes_used -= slot.bytes;
+                }
                 self.stats.evictions += 1;
                 return;
             }
         }
     }
 
-    /// Keeps the lazily invalidated queue from growing without bound: stale
-    /// prefix entries are dropped whenever the queue is more than twice the
-    /// live set.
+    /// Keeps the lazily invalidated queue from growing without bound:
+    /// whenever it exceeds twice the live set, every stale entry is dropped
+    /// (not just a stale prefix — a live entry stuck at the front must not
+    /// shield stale ones behind it, or a stream of hits on one hot key
+    /// would grow the queue forever).  The rebuild is `O(len)` and only
+    /// runs after `len/2` pushes, so the amortised cost stays `O(1)`.
     fn compact(&mut self) {
-        while self.order.len() > 2 * self.slots.len().max(1) {
-            let Some(&(stamp, key)) = self.order.front() else {
-                return;
-            };
-            let live = self.slots.get(&key).is_some_and(|slot| slot.stamp == stamp);
-            if live {
-                return;
+        if self.order.len() <= 2 * self.slots.len().max(1) {
+            return;
+        }
+        let slots = &self.slots;
+        self.order
+            .retain(|&(stamp, key)| slots.get(&key).is_some_and(|slot| slot.stamp == stamp));
+    }
+}
+
+/// Default number of lock stripes of a [`SharedColumnCache`].
+const DEFAULT_SHARDS: usize = 16;
+
+/// Budgets smaller than this per shard collapse the stripe count, so tiny
+/// test budgets still cache a few columns instead of splitting into sixteen
+/// useless slivers.
+const MIN_SHARD_BYTES: usize = 16 * 1024;
+
+/// A thread-safe, lock-striped column cache shared by every session of one
+/// graph's engine.
+///
+/// The key space is split over power-of-two many [`ColumnCache`] shards,
+/// each behind its own `Mutex`, so concurrent sessions contend only when
+/// they touch the same stripe.  Each shard runs an independent byte-budget
+/// LRU over its slice of the total budget — eviction never needs a global
+/// lock.  Because every cached column is a pure function of its key,
+/// concurrent sessions may race to compute the same column; whoever inserts
+/// last wins, and both results are bit-identical, so answers never depend on
+/// the interleaving.
+#[derive(Debug)]
+pub struct SharedColumnCache {
+    shards: Box<[Mutex<ColumnCache>]>,
+    byte_budget: usize,
+}
+
+impl SharedColumnCache {
+    /// A shared cache with `byte_budget` total capacity across
+    /// [`DEFAULT_SHARDS`] lock stripes (fewer when the budget is too small
+    /// to split usefully).
+    pub fn new(byte_budget: usize) -> Self {
+        SharedColumnCache::with_shards(byte_budget, DEFAULT_SHARDS)
+    }
+
+    /// A shared cache sized for columns of `column_len` scores: the stripe
+    /// count is collapsed until every stripe's slice of the budget holds at
+    /// least two such columns, so large-graph columns are never silently
+    /// uncacheable while the total budget would hold several (each shard
+    /// rejects entries bigger than its own slice).  This is what
+    /// `dht-engine` uses, with `column_len = |V_G|`.
+    pub fn for_columns(byte_budget: usize, column_len: usize) -> Self {
+        let max_by_column = (byte_budget / (2 * column_bytes(column_len))).max(1);
+        SharedColumnCache::with_shards(byte_budget, DEFAULT_SHARDS.min(max_by_column))
+    }
+
+    /// A shared cache with an explicit stripe count (rounded down to a
+    /// power of two, collapsed further when `byte_budget / shards` would
+    /// fall below a useful minimum).
+    pub fn with_shards(byte_budget: usize, shards: usize) -> Self {
+        let max_useful = (byte_budget / MIN_SHARD_BYTES).max(1);
+        let shards = shards.clamp(1, max_useful);
+        // Round down to a power of two so stripe selection is a mask.
+        let shards = 1usize << (usize::BITS - 1 - shards.leading_zeros());
+        let per_shard = byte_budget / shards;
+        let shards: Vec<Mutex<ColumnCache>> = (0..shards)
+            .map(|_| Mutex::new(ColumnCache::with_byte_budget(per_shard)))
+            .collect();
+        SharedColumnCache {
+            shards: shards.into_boxed_slice(),
+            byte_budget,
+        }
+    }
+
+    /// A disabled shared cache (budget 0).
+    pub fn disabled() -> Self {
+        SharedColumnCache::new(0)
+    }
+
+    /// The total configured capacity in bytes.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Whether the cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.byte_budget > 0
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, sig: u64, target: u32) -> &Mutex<ColumnCache> {
+        let mut h = fnv1a(FNV_OFFSET, b"shard");
+        h = fnv1a(h, &sig.to_le_bytes());
+        h = fnv1a(h, &target.to_le_bytes());
+        &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks up the column for `(sig, target)` in its stripe.
+    pub fn get(&self, sig: u64, target: u32) -> Option<Arc<[f64]>> {
+        self.shard(sig, target)
+            .lock()
+            .expect("shard lock poisoned")
+            .get(sig, target)
+    }
+
+    /// Inserts (or refreshes) the column for `(sig, target)` in its stripe,
+    /// evicting within that stripe until its slice of the budget holds.
+    pub fn insert(&self, sig: u64, target: u32, column: Arc<[f64]>) {
+        self.shard(sig, target)
+            .lock()
+            .expect("shard lock poisoned")
+            .insert(sig, target, column);
+    }
+
+    /// Cumulative counters summed over every stripe.
+    pub fn stats(&self) -> CacheStats {
+        self.shards
+            .iter()
+            .fold(CacheStats::default(), |acc, shard| {
+                acc.merged(shard.lock().expect("shard lock poisoned").stats())
+            })
+    }
+
+    /// Accounted bytes currently held, summed over every stripe.
+    pub fn bytes_used(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard lock poisoned").bytes_used())
+            .sum()
+    }
+
+    /// Number of columns currently cached, summed over every stripe.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Whether no stripe currently holds any column.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached column in every stripe (counters are kept).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("shard lock poisoned").clear();
+        }
+    }
+}
+
+/// The column store behind a [`QueryCtx`]: either a session-private
+/// [`ColumnCache`] or a handle to a cross-session [`SharedColumnCache`].
+#[derive(Debug)]
+enum ColumnStore {
+    Private(ColumnCache),
+    Shared {
+        cache: Arc<SharedColumnCache>,
+        /// This session's own hit/miss view (the shared counters aggregate
+        /// every session).
+        local: CacheStats,
+    },
+}
+
+impl Default for ColumnStore {
+    fn default() -> Self {
+        ColumnStore::Private(ColumnCache::default())
+    }
+}
+
+impl ColumnStore {
+    fn get(&mut self, sig: u64, target: u32) -> Option<Arc<[f64]>> {
+        match self {
+            ColumnStore::Private(cache) => cache.get(sig, target),
+            ColumnStore::Shared { cache, local } => {
+                let column = cache.get(sig, target);
+                if column.is_some() {
+                    local.hits += 1;
+                } else {
+                    local.misses += 1;
+                }
+                column
             }
-            self.order.pop_front();
+        }
+    }
+
+    fn insert(&mut self, sig: u64, target: u32, column: Arc<[f64]>) {
+        match self {
+            ColumnStore::Private(cache) => cache.insert(sig, target, column),
+            ColumnStore::Shared { cache, .. } => cache.insert(sig, target, column),
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        match self {
+            ColumnStore::Private(cache) => cache.is_enabled(),
+            ColumnStore::Shared { cache, .. } => cache.is_enabled(),
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            ColumnStore::Private(cache) => cache.stats(),
+            ColumnStore::Shared { local, .. } => *local,
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            ColumnStore::Private(cache) => cache.clear(),
+            ColumnStore::Shared { cache, .. } => cache.clear(),
         }
     }
 }
 
 /// Per-session query state threaded through every join layer: pooled walk
-/// scratches, the backward-column LRU and lazily built Y-bound tables.
+/// scratches, the backward-column store and lazily built Y-bound tables.
 ///
 /// A context built with [`QueryCtx::one_shot`] (what the free-function join
 /// wrappers use) disables the caches, reproducing the stateless behaviour;
-/// a context built with [`QueryCtx::with_capacity`] keeps columns and
-/// Y-tables warm across queries, which is what makes repeated-target query
-/// streams cheap.  Answers are bit-identical either way.
+/// a context built with [`QueryCtx::with_byte_budget`] keeps columns and
+/// Y-tables warm across queries on a session-private cache; a context built
+/// with [`QueryCtx::shared`] reads and writes a cross-session
+/// [`SharedColumnCache`], so concurrent sessions over the same graph warm
+/// each other.  Answers are bit-identical in every mode.
 #[derive(Debug, Default)]
 pub struct QueryCtx {
     /// Pool of reusable walk scratches shared by the worker threads of the
     /// joins running through this context.
     pub pool: ScratchPool,
-    columns: ColumnCache,
+    columns: ColumnStore,
     /// Cached Y-bound tables with their LRU touch stamps; bounded by
     /// [`Y_TABLE_CAPACITY`] so long-lived sessions answering B-IDJ-Y
     /// queries over many distinct `P` sets cannot grow without limit.
+    /// Always session-private (tables are few and heavy; sharing them
+    /// would serialise every B-IDJ-Y query on one lock).
     y_tables: HashMap<(u64, u64), (u64, Arc<YBoundTable>)>,
     y_tick: u64,
     y_hits: u64,
@@ -290,10 +553,11 @@ pub struct QueryCtx {
 const Y_TABLE_CAPACITY: usize = 16;
 
 impl QueryCtx {
-    /// A context whose column cache holds up to `capacity` columns.
-    pub fn with_capacity(capacity: usize) -> Self {
+    /// A context with a session-private column cache of up to `byte_budget`
+    /// accounted bytes.
+    pub fn with_byte_budget(byte_budget: usize) -> Self {
         QueryCtx {
-            columns: ColumnCache::new(capacity),
+            columns: ColumnStore::Private(ColumnCache::with_byte_budget(byte_budget)),
             ..QueryCtx::default()
         }
     }
@@ -302,15 +566,47 @@ impl QueryCtx {
     /// wrappers use this, so a one-shot call behaves exactly like the
     /// stateless implementation it replaced.
     pub fn one_shot() -> Self {
-        QueryCtx::with_capacity(0)
+        QueryCtx::with_byte_budget(0)
     }
 
-    /// The backward-column cache (for stats inspection).
-    pub fn column_cache(&self) -> &ColumnCache {
-        &self.columns
+    /// A context whose columns are read from and written to a
+    /// cross-session [`SharedColumnCache`] — what `dht-engine` sessions use
+    /// so concurrent clients warm each other.
+    pub fn shared(cache: Arc<SharedColumnCache>) -> Self {
+        QueryCtx {
+            columns: ColumnStore::Shared {
+                cache,
+                local: CacheStats::default(),
+            },
+            ..QueryCtx::default()
+        }
     }
 
-    /// Cumulative column-cache counters.
+    /// A fresh context for a helper worker of this session: shares the
+    /// [`SharedColumnCache`] when this context has one, and is a plain
+    /// one-shot context otherwise (a private cache cannot be split across
+    /// threads).  The concurrent per-edge paths of AP and the generic
+    /// measure n-way join fork one context per worker, so even their
+    /// scoped-thread stages read and fill the cross-session cache.
+    pub fn fork(&self) -> QueryCtx {
+        match &self.columns {
+            ColumnStore::Shared { cache, .. } => QueryCtx::shared(cache.clone()),
+            ColumnStore::Private(_) => QueryCtx::one_shot(),
+        }
+    }
+
+    /// The cross-session cache behind this context, when it has one.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedColumnCache>> {
+        match &self.columns {
+            ColumnStore::Shared { cache, .. } => Some(cache),
+            ColumnStore::Private(_) => None,
+        }
+    }
+
+    /// Cumulative column-cache counters **as seen by this context**: for a
+    /// private store these are the cache's own counters; for a shared store
+    /// they count this session's lookups only (evictions are global and
+    /// reported by [`SharedColumnCache::stats`]).
     pub fn column_stats(&self) -> CacheStats {
         self.columns.stats()
     }
@@ -321,14 +617,15 @@ impl QueryCtx {
     }
 
     /// Drops all cached columns and tables, keeping allocations and
-    /// counters.
+    /// counters.  On a shared store this clears the **cross-session** cache
+    /// (every session of the engine sees the drop).
     pub fn clear(&mut self) {
         self.columns.clear();
         self.y_tables.clear();
     }
 
     /// The truncated backward DHT column `h_d(·, target)` for every source,
-    /// served from the cache when possible.
+    /// served from the column store when possible.
     pub fn backward_column(
         &mut self,
         graph: &Graph,
@@ -520,6 +817,12 @@ mod tests {
         b.build().unwrap()
     }
 
+    /// Byte budget that fits exactly `columns` cached columns of `len`
+    /// scores each.
+    fn budget_for(columns: usize, len: usize) -> usize {
+        columns * column_bytes(len)
+    }
+
     #[test]
     fn signatures_separate_params_depth_and_engine() {
         let a = DhtParams::paper_default();
@@ -551,7 +854,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_least_recently_used_column() {
-        let mut cache = ColumnCache::new(2);
+        let mut cache = ColumnCache::with_byte_budget(budget_for(2, 1));
         let col = |x: f64| -> Arc<[f64]> { vec![x].into() };
         cache.insert(1, 10, col(1.0));
         cache.insert(1, 20, col(2.0));
@@ -562,6 +865,47 @@ mod tests {
         assert!(cache.get(1, 10).is_some());
         assert!(cache.get(1, 30).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_replacements_and_evictions() {
+        let mut cache = ColumnCache::with_byte_budget(budget_for(4, 8));
+        cache.insert(1, 1, vec![0.0; 8].into());
+        assert_eq!(cache.bytes_used(), column_bytes(8));
+        // Replacing a key swaps its accounted size instead of leaking it.
+        cache.insert(1, 1, vec![0.0; 4].into());
+        assert_eq!(cache.bytes_used(), column_bytes(4));
+        assert_eq!(cache.len(), 1);
+        // A big column displaces as many small ones as the budget demands.
+        cache.insert(1, 2, vec![0.0; 8].into());
+        cache.insert(1, 3, vec![0.0; 8].into());
+        cache.insert(1, 4, vec![0.0; 16].into());
+        assert!(cache.bytes_used() <= cache.byte_budget());
+        assert!(cache.get(1, 4).is_some(), "newest entry survives");
+    }
+
+    #[test]
+    fn dense_columns_cannot_blow_past_the_budget() {
+        // Eight columns of 1000 floats into a budget that fits two.
+        let mut cache = ColumnCache::with_byte_budget(budget_for(2, 1000));
+        for t in 0..8u32 {
+            cache.insert(7, t, vec![f64::from(t); 1000].into());
+            assert!(
+                cache.bytes_used() <= cache.byte_budget(),
+                "budget violated after insert {t}: {} > {}",
+                cache.bytes_used(),
+                cache.byte_budget()
+            );
+        }
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn oversized_single_column_is_not_retained() {
+        let mut cache = ColumnCache::with_byte_budget(column_bytes(4));
+        cache.insert(1, 1, vec![0.0; 64].into());
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes_used(), 0);
     }
 
     #[test]
@@ -577,7 +921,7 @@ mod tests {
 
     #[test]
     fn hit_rate_tracks_lookups() {
-        let mut cache = ColumnCache::new(4);
+        let mut cache = ColumnCache::with_byte_budget(budget_for(4, 1));
         assert_eq!(cache.stats().hit_rate(), 0.0);
         cache.insert(1, 1, vec![1.0].into());
         assert!(cache.get(1, 1).is_some());
@@ -587,7 +931,7 @@ mod tests {
 
     #[test]
     fn queue_compaction_bounds_memory_under_repeated_hits() {
-        let mut cache = ColumnCache::new(2);
+        let mut cache = ColumnCache::with_byte_budget(budget_for(2, 1));
         cache.insert(1, 1, vec![1.0].into());
         cache.insert(1, 2, vec![2.0].into());
         for _ in 0..10_000 {
@@ -602,10 +946,128 @@ mod tests {
     }
 
     #[test]
+    fn queue_compaction_survives_a_single_hot_key() {
+        // Key 1 sits live at the queue front while key 2 is hit over and
+        // over: compaction must still trim the stale entries behind it.
+        let mut cache = ColumnCache::with_byte_budget(budget_for(2, 1));
+        cache.insert(1, 1, vec![1.0].into());
+        cache.insert(1, 2, vec![2.0].into());
+        for _ in 0..10_000 {
+            cache.get(1, 2);
+        }
+        assert!(
+            cache.order.len() <= 2 * cache.slots.len().max(1) + 2,
+            "a hot key must not shield stale queue entries, got {}",
+            cache.order.len()
+        );
+    }
+
+    #[test]
+    fn shared_cache_serves_and_stripes_concurrent_sessions() {
+        let cache = SharedColumnCache::with_shards(1 << 20, 8);
+        assert!(cache.shard_count().is_power_of_two());
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for round in 0..32u32 {
+                        let target = (worker * 32 + round) % 16;
+                        let expected: Arc<[f64]> = vec![f64::from(target); 8].into();
+                        match cache.get(9, target) {
+                            Some(column) => assert_eq!(&column[..], &expected[..]),
+                            None => cache.insert(9, target, expected),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 16);
+        assert!(cache.bytes_used() <= cache.byte_budget());
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 32);
+    }
+
+    #[test]
+    fn for_columns_keeps_large_columns_cacheable() {
+        // A budget worth 8 columns of a "large" graph: naive 16-way
+        // striping would make every stripe too small to hold even one
+        // column; for_columns must collapse stripes until they fit.
+        let len = 50_000;
+        let cache = SharedColumnCache::for_columns(8 * column_bytes(len), len);
+        cache.insert(1, 1, vec![0.0; len].into());
+        assert!(
+            cache.get(1, 1).is_some(),
+            "a column the total budget holds 8 of must be cacheable \
+             (shards={})",
+            cache.shard_count()
+        );
+        assert!(cache.shard_count() <= 4);
+    }
+
+    #[test]
+    fn shared_cache_collapses_stripes_for_tiny_budgets() {
+        let tiny = SharedColumnCache::new(2 * column_bytes(16));
+        assert_eq!(tiny.shard_count(), 1, "tiny budgets must not be slivered");
+        let disabled = SharedColumnCache::disabled();
+        assert!(!disabled.is_enabled());
+        disabled.insert(1, 1, vec![1.0].into());
+        assert!(disabled.get(1, 1).is_none());
+        assert!(disabled.is_empty());
+    }
+
+    #[test]
+    fn shared_cache_evicts_within_its_stripes() {
+        let cache = SharedColumnCache::with_shards(4 * column_bytes(64), 1);
+        for t in 0..32u32 {
+            cache.insert(3, t, vec![0.5; 64].into());
+        }
+        assert!(cache.bytes_used() <= cache.byte_budget());
+        assert!(cache.len() <= 4);
+        assert!(cache.stats().evictions >= 28);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes_used(), 0);
+    }
+
+    #[test]
+    fn shared_contexts_warm_each_other() {
+        let g = ring(16);
+        let params = DhtParams::paper_default();
+        let shared = Arc::new(SharedColumnCache::new(1 << 20));
+        let mut first = QueryCtx::shared(shared.clone());
+        let column = first.backward_column(&g, &params, NodeId(3), 8, WalkEngine::Sparse);
+        // A different session over the same shared cache hits immediately.
+        let mut second = QueryCtx::shared(shared.clone());
+        let again = second.backward_column(&g, &params, NodeId(3), 8, WalkEngine::Sparse);
+        assert!(Arc::ptr_eq(&column, &again), "second session must hit");
+        assert_eq!(second.column_stats().hits, 1);
+        assert_eq!(second.column_stats().misses, 0);
+        assert_eq!(shared.stats().misses, 1);
+        assert_eq!(shared.stats().hits, 1);
+    }
+
+    #[test]
+    fn fork_shares_the_shared_store_and_isolates_private_ones() {
+        let shared = Arc::new(SharedColumnCache::new(1 << 20));
+        let ctx = QueryCtx::shared(shared.clone());
+        let fork = ctx.fork();
+        assert!(Arc::ptr_eq(
+            fork.shared_cache().expect("fork keeps the shared cache"),
+            &shared
+        ));
+        let private = QueryCtx::with_byte_budget(1 << 20);
+        assert!(private.fork().shared_cache().is_none());
+        assert!(
+            !private.fork().columns.is_enabled(),
+            "fork of private = one-shot"
+        );
+    }
+
+    #[test]
     fn cached_backward_columns_are_bit_identical_to_fresh_ones() {
         let g = ring(16);
         let params = DhtParams::paper_default();
-        let mut ctx = QueryCtx::with_capacity(8);
+        let mut ctx = QueryCtx::with_byte_budget(1 << 20);
         for &t in &[3u32, 7, 3, 7, 3] {
             let column = ctx.backward_column(&g, &params, NodeId(t), 8, WalkEngine::Sparse);
             let fresh = backward_dht_all_sources(&g, &params, NodeId(t), 8);
@@ -635,13 +1097,21 @@ mod tests {
             seen
         };
         let reference = collect(&mut QueryCtx::one_shot(), 1);
-        for threads in [1usize, 4] {
-            let mut warm = QueryCtx::with_capacity(3); // forces eviction
-            let first = collect(&mut warm, threads);
-            let second = collect(&mut warm, threads);
-            assert_eq!(first, reference, "threads={threads} cold pass");
-            assert_eq!(second, reference, "threads={threads} warm pass");
-            assert!(warm.column_stats().hits > 0, "repeats must hit");
+        let pressured: &[fn() -> QueryCtx] = &[
+            // Private cache sized for ~3 columns of 24 floats: forces
+            // eviction, parity must hold anyway.
+            || QueryCtx::with_byte_budget(3 * column_bytes(24)),
+            || QueryCtx::shared(Arc::new(SharedColumnCache::new(3 * column_bytes(24)))),
+        ];
+        for make in pressured {
+            for threads in [1usize, 4] {
+                let mut warm = make();
+                let first = collect(&mut warm, threads);
+                let second = collect(&mut warm, threads);
+                assert_eq!(first, reference, "threads={threads} cold pass");
+                assert_eq!(second, reference, "threads={threads} warm pass");
+                assert!(warm.column_stats().hits > 0, "repeats must hit");
+            }
         }
     }
 
@@ -658,7 +1128,7 @@ mod tests {
             b.build().unwrap()
         };
         let params = DhtParams::paper_default();
-        let mut ctx = QueryCtx::with_capacity(8);
+        let mut ctx = QueryCtx::with_byte_budget(1 << 20);
         for graph in [&g1, &g2, &g1, &g2] {
             let column = ctx.backward_column(graph, &params, NodeId(3), 6, WalkEngine::Sparse);
             let fresh = backward_dht_all_sources(graph, &params, NodeId(3), 6);
@@ -676,7 +1146,7 @@ mod tests {
     fn y_table_cache_is_bounded() {
         let g = ring(10);
         let params = DhtParams::paper_default();
-        let mut ctx = QueryCtx::with_capacity(8);
+        let mut ctx = QueryCtx::with_byte_budget(1 << 20);
         // One more distinct P set than the capacity: the oldest entry must
         // be evicted, not accumulated.
         for i in 0..=Y_TABLE_CAPACITY as u32 {
@@ -698,7 +1168,7 @@ mod tests {
         let params = DhtParams::paper_default();
         let p1 = NodeSet::new("P1", [NodeId(0), NodeId(1)]);
         let p2 = NodeSet::new("P2", [NodeId(4), NodeId(5)]);
-        let mut ctx = QueryCtx::with_capacity(8);
+        let mut ctx = QueryCtx::with_byte_budget(1 << 20);
         let a = ctx.y_bound_table(&g, &params, &p1, 6, WalkEngine::Sparse, 1);
         let b = ctx.y_bound_table(&g, &params, &p1, 6, WalkEngine::Sparse, 1);
         assert!(Arc::ptr_eq(&a, &b), "same key must share the table");

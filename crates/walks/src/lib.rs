@@ -36,9 +36,11 @@
 //!   dense reference engine, the sparse one, and the per-graph calibrated
 //!   `Auto` mode;
 //! * [`cache`] — graph-lifetime query state: the [`QueryCtx`] session
-//!   context with its pooled scratches, LRU cache of backward DHT columns
-//!   and lazily built Y-bound tables, which the join layers of `dht-core` /
-//!   `dht-measures` and the `dht-engine` sessions run through.
+//!   context with its pooled scratches, byte-budgeted LRU caches of backward
+//!   DHT columns (session-private [`ColumnCache`] or the cross-session,
+//!   lock-striped [`SharedColumnCache`]) and lazily built Y-bound tables,
+//!   which the join layers of `dht-core` / `dht-measures` and the
+//!   `dht-engine` sessions run through.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -53,7 +55,7 @@ pub mod params;
 
 pub use backward::BackwardWalk;
 pub use bounds::{x_upper_bound, YBoundTable};
-pub use cache::{CacheStats, ColumnCache, QueryCtx};
+pub use cache::{column_bytes, CacheStats, ColumnCache, QueryCtx, SharedColumnCache};
 pub use forward::AbsorbingWalk;
 pub use frontier::{ScratchPool, WalkEngine, WalkScratch};
 pub use params::{DhtParams, ParamsError};

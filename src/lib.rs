@@ -74,6 +74,7 @@ pub use dht_engine as engine;
 pub use dht_eval as eval;
 pub use dht_graph as graph;
 pub use dht_measures as measures;
+pub use dht_par as par;
 pub use dht_rankjoin as rankjoin;
 pub use dht_walks as walks;
 

@@ -1,0 +1,171 @@
+//! Concurrent-session stress test: N threads hammer one [`Engine`] with
+//! overlapping two-way and n-way queries through the cross-session
+//! `SharedColumnCache`, under a byte budget tiny enough to keep every
+//! stripe evicting, and every answer must be **bitwise identical** to the
+//! one-shot free-function answer.
+//!
+//! This is the contract that makes the shared cache safe: no interleaving
+//! of sessions — racing to compute the same column, evicting each other's
+//! entries, hitting columns another thread inserted a microsecond ago —
+//! may ever change what any query answers.
+
+use proptest::prelude::*;
+
+use dht_nway::core::multiway::{NWayAlgorithm, NWayConfig};
+use dht_nway::core::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use dht_nway::engine::{Engine, EngineConfig, EngineQuery, NWayQuery, TwoWayQuery};
+use dht_nway::prelude::*;
+
+/// Strategy: a random directed weighted graph as an edge list over `n`
+/// nodes.
+fn er_graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (9usize..21).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.25f64..4.0), 1..(n * 4));
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: a stream of query descriptors `(two_way_algo, set pair, k,
+/// every 4th one n-way)` over three overlapping node sets — overlap is the
+/// point: different sessions keep needing each other's targets.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u32, u32, usize)>> {
+    proptest::collection::vec((0u32..5, 0u32..3, 1usize..6), 4..10)
+}
+
+fn build_graph(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut builder = GraphBuilder::with_nodes(n);
+    for &(u, v, w) in edges {
+        if u != v {
+            builder
+                .add_edge(NodeId(u), NodeId(v), w)
+                .expect("valid endpoints");
+        }
+    }
+    builder.build().expect("generated graph is valid")
+}
+
+/// Three deliberately overlapping node sets (every pair shares nodes, so
+/// concurrent sessions request the same backward columns).
+fn overlapping_sets(n: usize) -> Vec<NodeSet> {
+    let n = n as u32;
+    let third = (n / 3).max(1);
+    vec![
+        NodeSet::new("A", (0..2 * third).map(NodeId)),
+        NodeSet::new("B", (third..n).map(NodeId)),
+        NodeSet::new("C", (0..n).step_by(2).map(NodeId)),
+    ]
+}
+
+/// Builds the mixed query stream from the random descriptors.
+fn build_stream(descriptors: &[(u32, u32, usize)], sets: &[NodeSet]) -> Vec<EngineQuery> {
+    descriptors
+        .iter()
+        .enumerate()
+        .map(|(i, &(algo, pair, k))| {
+            let (left, right) = match pair {
+                0 => (0usize, 1usize),
+                1 => (1, 2),
+                _ => (2, 0),
+            };
+            if i % 4 == 3 {
+                EngineQuery::NWay(NWayQuery {
+                    algorithm: NWayAlgorithm::AllPairs,
+                    query: QueryGraph::chain(3),
+                    sets: sets.to_vec(),
+                    aggregate: Aggregate::Min,
+                    k,
+                })
+            } else {
+                EngineQuery::TwoWay(TwoWayQuery {
+                    algorithm: TwoWayAlgorithm::ALL[algo as usize],
+                    p: sets[left].clone(),
+                    q: sets[right].clone(),
+                    k,
+                })
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// N sessions on N threads, one shared cache under heavy eviction
+    /// pressure: every answer equals its one-shot reference, bitwise.
+    #[test]
+    fn hammered_shared_engine_matches_one_shot_answers(
+        (n, edges) in er_graph_strategy(),
+        descriptors in stream_strategy(),
+    ) {
+        let graph = build_graph(n, &edges);
+        let sets = overlapping_sets(n);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let stream = build_stream(&descriptors, &sets);
+
+        // One-shot references, computed without any engine.
+        let two_way_config = TwoWayConfig::paper_default();
+        let n_way_config = NWayConfig::paper_default();
+        let references: Vec<EngineQuery> = stream.clone();
+
+        // A budget worth ~2 columns of the largest generated graph: every
+        // session keeps evicting what the others just inserted.
+        let engine = Engine::with_config(
+            graph.clone(),
+            EngineConfig::paper_default()
+                .with_cache_bytes(2 * dht_nway::walks::column_bytes(21)),
+        );
+        prop_assert!(engine.shared_cache().is_some());
+
+        for sessions in dht_nway::par::test_thread_counts(&[2, 4]) {
+            let sessions = sessions.max(2); // the point is concurrency
+            let outputs = engine
+                .batch_sessions(&stream, sessions)
+                .expect("stream is valid");
+            prop_assert_eq!(outputs.len(), references.len());
+            for (index, (query, output)) in references.iter().zip(outputs.iter()).enumerate() {
+                match (query, output) {
+                    (
+                        EngineQuery::TwoWay(q),
+                        dht_nway::engine::EngineOutput::TwoWay(out),
+                    ) => {
+                        let cold =
+                            q.algorithm.top_k(&graph, &two_way_config, &q.p, &q.q, q.k);
+                        prop_assert_eq!(out.pairs.len(), cold.pairs.len(),
+                            "query {} sessions={}", index, sessions);
+                        for (a, b) in out.pairs.iter().zip(cold.pairs.iter()) {
+                            prop_assert_eq!((a.left, a.right), (b.left, b.right),
+                                "query {} sessions={}", index, sessions);
+                            prop_assert!(a.score == b.score,
+                                "query {} sessions={}: {} != {}",
+                                index, sessions, a.score, b.score);
+                        }
+                        prop_assert_eq!(&out.stats, &cold.stats,
+                            "stats diverged for query {} sessions={}", index, sessions);
+                    }
+                    (
+                        EngineQuery::NWay(q),
+                        dht_nway::engine::EngineOutput::NWay(out),
+                    ) => {
+                        let config = n_way_config
+                            .with_aggregate(q.aggregate)
+                            .with_k(q.k);
+                        let cold = q
+                            .algorithm
+                            .run(&graph, &config, &q.query, &q.sets)
+                            .expect("valid query");
+                        prop_assert_eq!(out.answers.len(), cold.answers.len(),
+                            "query {} sessions={}", index, sessions);
+                        for (a, b) in out.answers.iter().zip(cold.answers.iter()) {
+                            prop_assert_eq!(&a.nodes, &b.nodes,
+                                "query {} sessions={}", index, sessions);
+                            prop_assert!(a.score == b.score,
+                                "query {} sessions={}: {} != {}",
+                                index, sessions, a.score, b.score);
+                        }
+                    }
+                    _ => prop_assert!(false, "output kind changed for query {}", index),
+                }
+            }
+        }
+    }
+}

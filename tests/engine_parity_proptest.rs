@@ -41,6 +41,21 @@ fn split_sets(n: usize) -> (NodeSet, NodeSet) {
     )
 }
 
+/// Thread counts for the parallel-vs-serial parity tests, honouring the CI
+/// matrix (`DHT_TEST_THREADS`) but never degenerating: comparing a serial
+/// run against itself asserts nothing, so `1` is dropped and the all-cores
+/// path (`0`) is always exercised.
+fn parallel_thread_counts(default: &[usize]) -> Vec<usize> {
+    let mut counts: Vec<usize> = dht_nway::par::test_thread_counts(default)
+        .into_iter()
+        .filter(|&threads| threads != 1)
+        .collect();
+    if !counts.contains(&0) {
+        counts.push(0);
+    }
+    counts
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -127,7 +142,7 @@ proptest! {
         let serial = TwoWayConfig::paper_default();
         let k = 6;
         let reference = TwoWayAlgorithm::ForwardBasic.top_k(&graph, &serial, &p, &q, k);
-        for threads in [2usize, 4, 0] {
+        for threads in parallel_thread_counts(&[2, 4, 0]) {
             let parallel = serial.with_threads(threads);
             let out = TwoWayAlgorithm::ForwardBasic.top_k(&graph, &parallel, &p, &q, k);
             prop_assert_eq!(reference.pairs.len(), out.pairs.len());
@@ -155,7 +170,7 @@ proptest! {
         ] {
             let serial = TwoWayConfig::paper_default();
             let reference = algorithm.top_k(&graph, &serial, &p, &q, k);
-            for threads in [3usize, 0] {
+            for threads in parallel_thread_counts(&[3, 0]) {
                 let out = algorithm.top_k(&graph, &serial.with_threads(threads), &p, &q, k);
                 prop_assert_eq!(reference.pairs.len(), out.pairs.len(),
                     "{} threads={}", algorithm.name(), threads);

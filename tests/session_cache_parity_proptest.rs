@@ -1,7 +1,9 @@
 //! Property-based parity tests for the query-session engine: a randomized
 //! query stream answered through a warm [`Session`] (column cache on, with
-//! eviction pressure from a tiny capacity) must be **bit-identical** to
-//! answering every query one-shot (cache off), at 1 and 4 worker threads.
+//! eviction pressure from a tiny byte budget) must be **bit-identical** to
+//! answering every query one-shot (cache off), at every tested thread
+//! count (`DHT_TEST_THREADS`, default 1 and 4), both with the engine's
+//! cross-session shared cache and with session-private caches.
 //!
 //! This is the contract that makes the cache safe to ship: caching may only
 //! change how often walks run, never what any query answers.
@@ -49,15 +51,23 @@ fn split_sets(n: usize) -> (NodeSet, NodeSet) {
     )
 }
 
-/// A session whose tiny column cache (3 columns) is constantly evicting —
-/// parity must survive any eviction schedule.
-fn pressured_engine(graph: &Graph, threads: usize) -> Engine {
+/// A session whose tiny column cache (a byte budget worth ~3 columns of the
+/// largest generated graph) is constantly evicting — parity must survive
+/// any eviction schedule, with the cross-session cache and with private
+/// ones.
+fn pressured_engine(graph: &Graph, threads: usize, shared: bool) -> Engine {
     Engine::with_config(
         graph.clone(),
         EngineConfig::paper_default()
             .with_threads(threads)
-            .with_column_cache_capacity(3),
+            .with_cache_bytes(3 * dht_nway::walks::column_bytes(24))
+            .with_shared_cache(shared),
     )
+}
+
+/// Thread counts under test (CI matrix sets `DHT_TEST_THREADS`).
+fn thread_counts() -> Vec<usize> {
+    dht_nway::par::test_thread_counts(&[1, 4])
 }
 
 proptest! {
@@ -73,29 +83,31 @@ proptest! {
         let graph = build_graph(n, &edges);
         let (p, q) = split_sets(n);
         prop_assume!(!p.is_empty() && !q.is_empty());
-        for threads in [1usize, 4] {
-            let engine = pressured_engine(&graph, threads);
-            let mut session = engine.session();
-            let one_shot_config = TwoWayConfig::paper_default().with_threads(threads);
-            for &(algo, swap, k) in &stream {
-                let algorithm = TwoWayAlgorithm::ALL[algo as usize];
-                let (left, right) = if swap == 1 { (&q, &p) } else { (&p, &q) };
-                let warm = session.two_way(algorithm, left, right, k);
-                let cold = algorithm.top_k(&graph, &one_shot_config, left, right, k);
-                prop_assert_eq!(warm.pairs.len(), cold.pairs.len(),
-                    "{} threads={} k={}", algorithm.name(), threads, k);
-                for (a, b) in warm.pairs.iter().zip(cold.pairs.iter()) {
-                    prop_assert_eq!((a.left, a.right), (b.left, b.right),
-                        "{} threads={}", algorithm.name(), threads);
-                    prop_assert!(
-                        a.score == b.score,
-                        "{} threads={}: cached score {} != one-shot {}",
-                        algorithm.name(), threads, a.score, b.score
-                    );
+        for threads in thread_counts() {
+            for shared in [true, false] {
+                let engine = pressured_engine(&graph, threads, shared);
+                let mut session = engine.session();
+                let one_shot_config = TwoWayConfig::paper_default().with_threads(threads);
+                for &(algo, swap, k) in &stream {
+                    let algorithm = TwoWayAlgorithm::ALL[algo as usize];
+                    let (left, right) = if swap == 1 { (&q, &p) } else { (&p, &q) };
+                    let warm = session.two_way(algorithm, left, right, k);
+                    let cold = algorithm.top_k(&graph, &one_shot_config, left, right, k);
+                    prop_assert_eq!(warm.pairs.len(), cold.pairs.len(),
+                        "{} threads={} shared={} k={}", algorithm.name(), threads, shared, k);
+                    for (a, b) in warm.pairs.iter().zip(cold.pairs.iter()) {
+                        prop_assert_eq!((a.left, a.right), (b.left, b.right),
+                            "{} threads={} shared={}", algorithm.name(), threads, shared);
+                        prop_assert!(
+                            a.score == b.score,
+                            "{} threads={} shared={}: cached score {} != one-shot {}",
+                            algorithm.name(), threads, shared, a.score, b.score
+                        );
+                    }
+                    // The stats describe the algorithm's logical work, so
+                    // they must not depend on cache temperature either.
+                    prop_assert_eq!(&warm.stats, &cold.stats);
                 }
-                // The stats describe the algorithm's logical work, so they
-                // must not depend on cache temperature either.
-                prop_assert_eq!(&warm.stats, &cold.stats);
             }
         }
     }
@@ -117,32 +129,37 @@ proptest! {
         ];
         prop_assume!(sets.iter().all(|s| !s.is_empty()));
         let query = QueryGraph::chain(3);
-        for threads in [1usize, 4] {
-            let engine = pressured_engine(&graph, threads);
-            let mut session = engine.session();
-            let config = NWayConfig::paper_default().with_k(k).with_threads(threads);
-            for algorithm in [
-                NWayAlgorithm::AllPairs,
-                NWayAlgorithm::PartialJoin { m },
-                NWayAlgorithm::IncrementalPartialJoin { m },
-            ] {
-                // Run each n-way query twice on the same session: the second
-                // run rides entirely on whatever the first one cached.
-                for pass in 0..2 {
-                    let warm = session
-                        .n_way(algorithm, &query, &sets, Aggregate::Min, k)
-                        .expect("valid query");
-                    let cold = algorithm
-                        .run(&graph, &config, &query, &sets)
-                        .expect("valid query");
-                    prop_assert_eq!(warm.answers.len(), cold.answers.len(),
-                        "{} threads={} pass={}", algorithm.name(), threads, pass);
-                    for (a, b) in warm.answers.iter().zip(cold.answers.iter()) {
-                        prop_assert_eq!(&a.nodes, &b.nodes,
-                            "{} threads={} pass={}", algorithm.name(), threads, pass);
-                        prop_assert!(a.score == b.score,
-                            "{} threads={} pass={}: {} != {}",
-                            algorithm.name(), threads, pass, a.score, b.score);
+        for threads in thread_counts() {
+            for shared in [true, false] {
+                let engine = pressured_engine(&graph, threads, shared);
+                let mut session = engine.session();
+                let config = NWayConfig::paper_default().with_k(k).with_threads(threads);
+                for algorithm in [
+                    NWayAlgorithm::AllPairs,
+                    NWayAlgorithm::PartialJoin { m },
+                    NWayAlgorithm::IncrementalPartialJoin { m },
+                ] {
+                    // Run each n-way query twice on the same session: the
+                    // second run rides entirely on whatever the first one
+                    // cached.
+                    for pass in 0..2 {
+                        let warm = session
+                            .n_way(algorithm, &query, &sets, Aggregate::Min, k)
+                            .expect("valid query");
+                        let cold = algorithm
+                            .run(&graph, &config, &query, &sets)
+                            .expect("valid query");
+                        prop_assert_eq!(warm.answers.len(), cold.answers.len(),
+                            "{} threads={} shared={} pass={}",
+                            algorithm.name(), threads, shared, pass);
+                        for (a, b) in warm.answers.iter().zip(cold.answers.iter()) {
+                            prop_assert_eq!(&a.nodes, &b.nodes,
+                                "{} threads={} shared={} pass={}",
+                                algorithm.name(), threads, shared, pass);
+                            prop_assert!(a.score == b.score,
+                                "{} threads={} shared={} pass={}: {} != {}",
+                                algorithm.name(), threads, shared, pass, a.score, b.score);
+                        }
                     }
                 }
             }

@@ -42,16 +42,16 @@ fn bench_query_stream(c: &mut Criterion) {
     );
     let warm_engine = Engine::with_config(dataset.graph.clone(), EngineConfig::paper_default());
     let mut warm_session = warm_engine.session();
-    warm_session.two_way_batch(&queries); // fill the cache once
+    warm_session.two_way_batch(&queries).unwrap(); // fill the cache once
 
     let mut group = c.benchmark_group("query_stream_yeast");
     group.sample_size(5);
     group.measurement_time(Duration::from_secs(4));
     group.bench_function("cold_cache_off", |b| {
-        b.iter(|| cold_engine.session().two_way_batch(&queries))
+        b.iter(|| cold_engine.session().two_way_batch(&queries).unwrap())
     });
     group.bench_function("warm_session", |b| {
-        b.iter(|| warm_session.two_way_batch(&queries))
+        b.iter(|| warm_session.two_way_batch(&queries).unwrap())
     });
     group.finish();
 }

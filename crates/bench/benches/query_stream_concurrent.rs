@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use dht_bench::workloads;
 use dht_core::twoway::TwoWayAlgorithm;
+use dht_core::QuerySpec;
 use dht_datasets::Scale;
 use dht_engine::{Engine, EngineConfig, EngineQuery, TwoWayQuery};
 
@@ -35,6 +36,7 @@ fn bench_query_stream_concurrent(c: &mut Criterion) {
             }
         }
     }
+    let queries: Vec<QuerySpec> = queries.iter().map(QuerySpec::from).collect();
 
     let mut group = c.benchmark_group("query_stream_concurrent_yeast");
     group.sample_size(5);

@@ -14,13 +14,15 @@
 //! The JSON report contains a `host` block (so timings from heterogeneous
 //! runners stay interpretable), the wall-clock seconds of each experiment,
 //! the warm/cold `query_stream` engine-session rows, the
-//! `query_stream_concurrent` shared-vs-private multi-session rows (each
-//! with a `"parity"` flag the `bench_check` CI gate enforces), and a
-//! walk-engine ablation (dense-serial seed path vs sparse-serial vs sparse
-//! multi-threaded) on the Figure 9 two-way Yeast workload.
+//! `query_stream_concurrent` shared-vs-private multi-session rows, the
+//! `planner` Auto-vs-best-fixed rows (each block with a `"parity"` flag
+//! the `bench_check` CI gate enforces), and a walk-engine ablation
+//! (dense-serial seed path vs sparse-serial vs sparse multi-threaded) on
+//! the Figure 9 two-way Yeast workload.
 
 use std::fmt::Write as _;
 
+use dht_bench::experiments::planner::{self, PlannerResult};
 use dht_bench::experiments::query_stream::{self, QueryStreamResult};
 use dht_bench::experiments::query_stream_concurrent::{self, QueryStreamConcurrentResult};
 use dht_bench::{timing, workloads};
@@ -101,8 +103,20 @@ fn main() {
     }
     timings.push(("query_stream_concurrent".to_string(), elapsed.as_secs_f64()));
 
+    let (planner, elapsed) = timing::time(|| planner::measure(scale));
+    eprintln!(
+        "planner: {} queries, auto {:.4} s vs best fixed {} {:.4} s ({:.2}x); plans: {}",
+        planner.queries,
+        planner.auto_seconds,
+        planner.best_fixed().algorithm.name(),
+        planner.best_fixed().seconds,
+        planner.auto_vs_best(),
+        planner.chosen.join(", ")
+    );
+    timings.push(("planner".to_string(), elapsed.as_secs_f64()));
+
     let ablation = engine_ablation(scale);
-    let json = render_json(scale, &timings, &stream, &concurrent, &ablation);
+    let json = render_json(scale, &timings, &stream, &concurrent, &planner, &ablation);
     let path = "BENCH_results.json";
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("wrote {path}"),
@@ -165,6 +179,7 @@ fn render_json(
     timings: &[(String, f64)],
     stream: &QueryStreamResult,
     concurrent: &QueryStreamConcurrentResult,
+    planner: &PlannerResult,
     ablation: &[AblationRow],
 ) -> String {
     let mut out = String::from("{\n");
@@ -215,6 +230,36 @@ fn render_json(
         );
     }
     out.push_str("    ]\n  },\n");
+    out.push_str("  \"planner\": {\n");
+    out.push_str("    \"workload\": \"yeast_repeated_target_twoway_auto\",\n");
+    let _ = writeln!(out, "    \"queries\": {},", planner.queries);
+    let _ = writeln!(out, "    \"auto_seconds\": {:.6},", planner.auto_seconds);
+    let _ = writeln!(
+        out,
+        "    \"best_fixed\": \"{}\",",
+        planner.best_fixed().algorithm.name()
+    );
+    let _ = writeln!(
+        out,
+        "    \"best_fixed_seconds\": {:.6},",
+        planner.best_fixed().seconds
+    );
+    let _ = writeln!(out, "    \"auto_vs_best\": {:.3},", planner.auto_vs_best());
+    out.push_str("    \"fixed\": [\n");
+    for (i, row) in planner.fixed.iter().enumerate() {
+        let comma = if i + 1 < planner.fixed.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"algorithm\": \"{}\", \"seconds\": {:.6}}}{comma}",
+            row.algorithm.name(),
+            row.seconds
+        );
+    }
+    out.push_str("    ],\n");
+    // `measure` asserts Auto ≡ its chosen algorithms bitwise, so reaching
+    // this line means the parity contract held for this run.
+    let _ = writeln!(out, "    \"parity\": {}", planner.parity);
+    out.push_str("  },\n");
     out.push_str("  \"engine_ablation\": {\n");
     out.push_str("    \"workload\": \"fig9_twoway_yeast_k50\",\n");
     out.push_str("    \"rows\": [\n");

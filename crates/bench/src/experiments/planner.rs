@@ -1,0 +1,249 @@
+//! `planner` — `Auto` algorithm selection vs every fixed backward
+//! algorithm on the repeated-target Yeast query stream.
+//!
+//! This experiment tracks the repository's cost-based planner
+//! (`dht_engine::plan`): the same two-way query stream is answered on a
+//! fresh warm engine four times — once with every spec left on
+//! `AlgorithmChoice::Auto`, and once pinned to each fixed backward
+//! algorithm (B-BJ, B-IDJ-X, B-IDJ-Y; the forward joins are never
+//! competitive on this workload and would dominate the run time).  The
+//! planner sees the session's cache warm up as the stream progresses, so
+//! it typically opens with B-IDJ-Y (pruning wins cold) and shifts to B-BJ
+//! once the targets' columns are resident.
+//!
+//! **Parity** is asserted bitwise against the strongest possible
+//! reference: for every query, the Auto answer must equal a one-shot run
+//! of the exact algorithm the planner chose for it.  (Cross-algorithm
+//! score agreement is pinned separately, to 1e-9, by the
+//! algorithms-agree integration tests — different walk directions sum in
+//! different orders, so *bitwise* equality is only guaranteed within one
+//! algorithm.)
+//!
+//! `repro_all` records `auto_seconds` next to the best fixed time, so the
+//! planner's overhead (probing + estimating) and its wins are both
+//! tracked across commits in `BENCH_results.json`.
+
+use dht_core::spec::{QuerySpec, TwoWaySpec};
+use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
+use dht_datasets::Scale;
+use dht_engine::{Engine, EngineConfig, EngineOutput};
+use dht_eval::report;
+
+use crate::{timing, workloads};
+
+/// The fixed algorithms Auto is raced against.
+pub const FIXED: [TwoWayAlgorithm; 3] = [
+    TwoWayAlgorithm::BackwardBasic,
+    TwoWayAlgorithm::BackwardIdjX,
+    TwoWayAlgorithm::BackwardIdjY,
+];
+
+/// One fixed-algorithm timing row.
+pub struct FixedRow {
+    /// The pinned algorithm.
+    pub algorithm: TwoWayAlgorithm,
+    /// Seconds for the stream with every query pinned to it.
+    pub seconds: f64,
+}
+
+/// Measured outcome of the experiment.
+pub struct PlannerResult {
+    /// Queries answered per configuration.
+    pub queries: usize,
+    /// Seconds for the stream with `Auto` specs.
+    pub auto_seconds: f64,
+    /// One row per entry of [`FIXED`].
+    pub fixed: Vec<FixedRow>,
+    /// Distinct algorithms the planner actually chose across the stream.
+    pub chosen: Vec<String>,
+    /// Whether every Auto answer was bit-identical to a one-shot run of
+    /// the algorithm the planner chose for it (always asserted; recorded
+    /// for the CI gate).
+    pub parity: bool,
+}
+
+impl PlannerResult {
+    /// The fastest fixed row.
+    pub fn best_fixed(&self) -> &FixedRow {
+        self.fixed
+            .iter()
+            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .expect("FIXED is non-empty")
+    }
+
+    /// `auto / best_fixed` — 1.0 means the planner matches the best
+    /// hand-picked algorithm; values slightly above 1.0 are its overhead.
+    pub fn auto_vs_best(&self) -> f64 {
+        self.auto_seconds / self.best_fixed().seconds.max(1e-12)
+    }
+}
+
+/// The repeated-target stream: every ordered pair of the three largest
+/// node sets, several rounds — the same shape as `query_stream`, but with
+/// the algorithm left open.
+fn build_specs(sets: &[dht_graph::NodeSet], k: usize, rounds: usize) -> Vec<TwoWaySpec> {
+    let mut specs = Vec::new();
+    for _ in 0..rounds {
+        for i in 0..3usize {
+            for j in 0..3usize {
+                if i != j {
+                    specs.push(TwoWaySpec::new(sets[i].clone(), sets[j].clone(), k));
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Runs the measurement once and returns the timings.
+///
+/// # Panics
+/// Panics if any Auto answer differs bitwise from a one-shot run of the
+/// algorithm the planner chose for it.
+pub fn measure(scale: Scale) -> PlannerResult {
+    let dataset = workloads::yeast(scale);
+    let (cap, k, rounds) = match scale {
+        Scale::Tiny => (20, 10, 2),
+        _ => (50, 50, 3),
+    };
+    let sets = workloads::yeast_query_sets(&dataset, 3, cap);
+    let specs = build_specs(&sets, k, rounds);
+
+    // Auto pass: fresh engine, one session, plans recorded per query.
+    let auto_engine = Engine::with_config(dataset.graph.clone(), EngineConfig::paper_default());
+    let mut auto_session = auto_engine.session();
+    let (auto_outcome, auto_elapsed) = timing::time(|| {
+        specs
+            .iter()
+            .map(|spec| {
+                auto_session
+                    .run_with_plan(&QuerySpec::TwoWay(spec.clone()))
+                    .expect("specs are valid")
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // Bitwise parity: each Auto answer vs a one-shot run of its chosen
+    // algorithm.
+    let config = TwoWayConfig::paper_default();
+    let mut chosen: Vec<String> = Vec::new();
+    let mut parity = true;
+    for (spec, (plan, output)) in specs.iter().zip(auto_outcome.iter()) {
+        let label = plan.chosen.label();
+        if !chosen.contains(&label) {
+            chosen.push(label);
+        }
+        let algorithm = plan.chosen.two_way().expect("two-way stream");
+        let reference = algorithm.top_k(&dataset.graph, &config, &spec.p, &spec.q, spec.k);
+        let EngineOutput::TwoWay(out) = output else {
+            unreachable!("two-way stream");
+        };
+        parity &= out.pairs == reference.pairs;
+    }
+    assert!(parity, "Auto diverged from its chosen algorithm's answers");
+
+    // Fixed passes: fresh engine per algorithm so each starts cold.
+    let fixed = FIXED
+        .map(|algorithm| {
+            let engine = Engine::with_config(dataset.graph.clone(), EngineConfig::paper_default());
+            let mut session = engine.session();
+            let pinned: Vec<QuerySpec> = specs
+                .iter()
+                .map(|spec| QuerySpec::TwoWay(spec.clone().with_fixed(algorithm)))
+                .collect();
+            let (_, elapsed) = timing::time(|| {
+                pinned
+                    .iter()
+                    .map(|spec| session.run(spec).expect("specs are valid"))
+                    .collect::<Vec<_>>()
+            });
+            FixedRow {
+                algorithm,
+                seconds: elapsed.as_secs_f64(),
+            }
+        })
+        .into_iter()
+        .collect();
+
+    PlannerResult {
+        queries: specs.len(),
+        auto_seconds: auto_elapsed.as_secs_f64(),
+        fixed,
+        chosen,
+        parity,
+    }
+}
+
+/// Runs the experiment and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let result = measure(scale);
+    let mut out = String::new();
+    out.push_str(&report::heading(
+        "planner — Auto algorithm selection vs fixed algorithms (Yeast)",
+    ));
+    out.push_str(&format!(
+        "{} repeated-target two-way queries, algorithms chosen per query\n\n",
+        result.queries
+    ));
+    let mut rows = vec![vec![
+        "Auto".to_string(),
+        format!("{:.4}", result.auto_seconds),
+        format!(
+            "{:.1}",
+            result.queries as f64 / result.auto_seconds.max(1e-12)
+        ),
+    ]];
+    for row in &result.fixed {
+        rows.push(vec![
+            row.algorithm.name().to_string(),
+            format!("{:.4}", row.seconds),
+            format!("{:.1}", result.queries as f64 / row.seconds.max(1e-12)),
+        ]);
+    }
+    out.push_str(&report::format_table(
+        &["algorithm", "time (s)", "queries/s"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nAuto = {:.2}x the best fixed ({}); plans used: {}; answers \
+         bit-identical to each chosen algorithm\n",
+        result.auto_vs_best(),
+        result.best_fixed().algorithm.name(),
+        result.chosen.join(", "),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_planner_stream_keeps_parity_and_adapts_to_warmth() {
+        let result = measure(Scale::Tiny);
+        assert!(result.parity);
+        assert_eq!(result.queries, 12);
+        assert!(
+            !result.chosen.is_empty(),
+            "the planner must record its choices"
+        );
+        // Auto must not be catastrophically worse than the best fixed
+        // algorithm (generous bound: tiny-scale timings are noisy).
+        assert!(
+            result.auto_vs_best() < 10.0,
+            "auto {:.4}s vs best fixed {:.4}s",
+            result.auto_seconds,
+            result.best_fixed().seconds
+        );
+    }
+
+    #[test]
+    fn report_lists_auto_and_every_fixed_algorithm() {
+        let report = run(Scale::Tiny);
+        assert!(report.contains("Auto"));
+        for algorithm in FIXED {
+            assert!(report.contains(algorithm.name()), "{report}");
+        }
+        assert!(report.contains("bit-identical"));
+    }
+}

@@ -90,12 +90,22 @@ pub fn measure(scale: Scale) -> QueryStreamResult {
         EngineConfig::paper_default().with_cache_bytes(0),
     );
     let mut cold_session = cold_engine.session();
-    let (cold_outputs, cold_elapsed) = timing::time(|| cold_session.two_way_batch(&queries));
+    let (cold_outputs, cold_elapsed) = timing::time(|| {
+        cold_session
+            .two_way_batch(&queries)
+            .expect("stream is valid")
+    });
 
     let warm_engine = Engine::with_config(dataset.graph.clone(), EngineConfig::paper_default());
     let mut warm_session = warm_engine.session();
-    let warming_outputs = warm_session.two_way_batch(&queries);
-    let (warm_outputs, warm_elapsed) = timing::time(|| warm_session.two_way_batch(&queries));
+    let warming_outputs = warm_session
+        .two_way_batch(&queries)
+        .expect("stream is valid");
+    let (warm_outputs, warm_elapsed) = timing::time(|| {
+        warm_session
+            .two_way_batch(&queries)
+            .expect("stream is valid")
+    });
 
     for (pass, outputs) in [("warming", &warming_outputs), ("warm", &warm_outputs)] {
         assert_eq!(outputs.len(), cold_outputs.len());

@@ -20,6 +20,7 @@
 //! `bench_check` CI gate watches them across commits.
 
 use dht_core::twoway::TwoWayAlgorithm;
+use dht_core::QuerySpec;
 use dht_core::{Aggregate, QueryGraph};
 use dht_datasets::Scale;
 use dht_engine::{Engine, EngineConfig, EngineOutput, EngineQuery, NWayQuery, TwoWayQuery};
@@ -65,7 +66,7 @@ pub struct QueryStreamConcurrentResult {
 /// B-BJ and B-IDJ-Y, plus a 3-chain AP n-way query per round — targets
 /// repeat heavily both within a session's slice and across sessions, which
 /// is exactly what cross-session sharing exists for.
-fn build_stream(sets: &[dht_graph::NodeSet], k: usize, rounds: usize) -> Vec<EngineQuery> {
+fn build_stream(sets: &[dht_graph::NodeSet], k: usize, rounds: usize) -> Vec<QuerySpec> {
     let mut queries = Vec::new();
     for _ in 0..rounds {
         for algorithm in [
@@ -94,7 +95,7 @@ fn build_stream(sets: &[dht_graph::NodeSet], k: usize, rounds: usize) -> Vec<Eng
             k,
         }));
     }
-    queries
+    queries.iter().map(QuerySpec::from).collect()
 }
 
 /// Bitwise equality of two outputs (pairs/tuples and scores).

@@ -7,6 +7,7 @@ pub mod querystream;
 pub mod stats;
 pub mod twoway;
 
+use dht_core::spec::AlgorithmChoice;
 use dht_core::twoway::TwoWayAlgorithm;
 use dht_core::Aggregate;
 use dht_graph::Graph;
@@ -73,6 +74,16 @@ pub(crate) fn parse_two_way_algorithm(name: &str) -> Result<TwoWayAlgorithm> {
         }
     };
     Ok(algo)
+}
+
+/// Parses an algorithm token into a two-way [`AlgorithmChoice`]: `auto`
+/// selects planner-driven selection, anything else must name one of the
+/// five fixed algorithms.
+pub(crate) fn parse_two_way_choice(name: &str) -> Result<AlgorithmChoice<TwoWayAlgorithm>> {
+    if name.eq_ignore_ascii_case("auto") {
+        return Ok(AlgorithmChoice::Auto);
+    }
+    parse_two_way_algorithm(name).map(AlgorithmChoice::Fixed)
 }
 
 /// Parses `--aggregate` into a monotone aggregate.
@@ -154,6 +165,17 @@ mod tests {
             TwoWayAlgorithm::ForwardBasic
         );
         assert!(parse_two_way_algorithm("quantum").is_err());
+    }
+
+    #[test]
+    fn algorithm_choices_accept_auto_and_fixed_names() {
+        assert_eq!(parse_two_way_choice("auto").unwrap(), AlgorithmChoice::Auto);
+        assert_eq!(parse_two_way_choice("AUTO").unwrap(), AlgorithmChoice::Auto);
+        assert_eq!(
+            parse_two_way_choice("b-bj").unwrap(),
+            AlgorithmChoice::Fixed(TwoWayAlgorithm::BackwardBasic)
+        );
+        assert!(parse_two_way_choice("quantum").is_err());
     }
 
     #[test]

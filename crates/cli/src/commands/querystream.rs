@@ -4,17 +4,25 @@
 //!
 //! This is the service-shaped entry point: where `dht two-way` pays full
 //! price for its single query, `querystream` builds one [`dht_engine::Engine`]
-//! over the graph and streams every query through warm sessions.  With
-//! `--sessions N` the stream is answered by `N` concurrent sessions (query
-//! `i` goes to session `i % N`), all reading and filling the engine's
-//! cross-session `SharedColumnCache`, so clients warm each other; with
-//! `--shared 0` each session falls back to a private cache of the same byte
-//! budget.  Answers are bit-identical in every configuration.
+//! over the graph and streams every query through warm sessions.  Query
+//! lines parse into declarative [`QuerySpec`]s: the algorithm field may be
+//! any fixed name **or `auto`**, in which case the engine's cost-based
+//! planner picks per query from graph statistics and the session's live
+//! cache state.  `--explain 1` prints the reified plan of every query of
+//! the first pass (chosen algorithm, cost estimates, cache residency).
+//!
+//! With `--sessions N` the stream is answered by `N` concurrent sessions
+//! (query `i` goes to session `i % N`), all reading and filling the
+//! engine's cross-session `SharedColumnCache`, so clients warm each other;
+//! with `--shared 0` each session falls back to a private cache of the same
+//! byte budget.  Answers are bit-identical in every configuration — the
+//! planner only moves latency.
 
 use std::time::Instant;
 
+use dht_core::spec::{AlgorithmChoice, NWaySpec, QuerySpec, TwoWaySpec};
 use dht_core::twoway::TwoWayAlgorithm;
-use dht_engine::{Engine, EngineConfig, EngineQuery, NWayQuery, TwoWayQuery};
+use dht_engine::{Engine, EngineConfig};
 use dht_graph::NodeSet;
 
 use crate::{setsfile, ArgMap, CliError, Result};
@@ -29,11 +37,17 @@ OPTIONS:
                               LEFT RIGHT [k] [ALGORITHM]          (two-way)
                               nway SHAPE S1 S2 ... [k] [ALGO] [AGG]  (n-way)
                             SHAPE: chain | cycle | triangle | star;
-                            n-way ALGO: nl | ap | pj | pj-i;
+                            two-way ALGORITHM: f-bj | f-idj | b-bj |
+                              b-idj-x | b-idj-y | auto;
+                            n-way ALGO: nl | ap | pj | pj-i | auto;
                             AGG: min | max | sum | mean; `#` starts a comment
     --k <n>                 default k for queries that omit it   [default: 10]
-    --algorithm <name>      default two-way algorithm            [default: B-IDJ-Y]
+    --algorithm <name>      default two-way algorithm (a fixed
+                            name or `auto`)                      [default: B-IDJ-Y]
     --m <n>                 PJ / PJ-i initial 2-way join size    [default: 50]
+    --explain <0|1>         1: print each first-pass query's plan
+                            (chosen algorithm, cost estimates,
+                            cache residency)                     [default: 0]
     --sessions <n>          concurrent sessions answering the
                             stream (round-robin)                 [default: 1]
     --cache <bytes>         column-cache byte budget
@@ -55,6 +69,7 @@ const KNOWN: &[&str] = &[
     "k",
     "algorithm",
     "m",
+    "explain",
     "sessions",
     "cache",
     "shared",
@@ -68,11 +83,20 @@ const KNOWN: &[&str] = &[
 
 /// One parsed query line.
 struct StreamQuery {
-    query: EngineQuery,
+    spec: QuerySpec,
     line_no: usize,
 }
 
-/// Looks a set name up in `sets`, with a line-numbered error.
+/// Wraps a token-level parse error with the line number and the offending
+/// token, so malformed query files point at exactly what to fix.
+fn token_error(line_no: usize, token: &str, error: CliError) -> CliError {
+    CliError::Parse(format!(
+        "query line {line_no}: bad token '{token}': {error}"
+    ))
+}
+
+/// Looks a set name up in `sets`, with a line-numbered error naming the
+/// offending token.
 fn set_index(sets: &[NodeSet], name: &str, line_no: usize) -> Result<usize> {
     sets.iter().position(|s| s.name() == name).ok_or_else(|| {
         CliError::Parse(format!(
@@ -86,14 +110,14 @@ fn set_index(sets: &[NodeSet], name: &str, line_no: usize) -> Result<usize> {
 }
 
 /// Parses one n-way query line (the fields after the leading `nway`):
-/// `SHAPE S1 S2 ... Sn [k] [ALGO] [AGG]`.
+/// `SHAPE S1 S2 ... Sn [k] [ALGO] [AGG]`, where `ALGO` may be `auto`.
 fn parse_nway_line(
     fields: &[&str],
     sets: &[NodeSet],
     default_k: usize,
     m: usize,
     line_no: usize,
-) -> Result<EngineQuery> {
+) -> Result<QuerySpec> {
     let Some((&shape, rest)) = fields.split_first() else {
         return Err(CliError::Parse(format!(
             "query line {line_no}: `nway` needs a query shape and node sets"
@@ -107,57 +131,63 @@ fn parse_nway_line(
         .count();
     if n_sets < 2 {
         return Err(CliError::Parse(format!(
-            "query line {line_no}: an n-way query needs at least two node sets"
+            "query line {line_no}: an n-way query needs at least two node sets, \
+             got '{}' (is a set name misspelled?)",
+            fields.join(" ")
         )));
     }
     let chosen: Vec<NodeSet> = rest[..n_sets]
         .iter()
         .map(|name| set_index(sets, name, line_no).map(|i| sets[i].clone()))
         .collect::<Result<_>>()?;
-    let query = super::nway::build_query(shape, chosen.len())?;
+    let query = super::nway::build_query(shape, chosen.len())
+        .map_err(|error| token_error(line_no, shape, error))?;
     let mut k = None;
-    let mut algorithm = None;
+    let mut algorithm: Option<AlgorithmChoice<dht_core::multiway::NWayAlgorithm>> = None;
     let mut aggregate = None;
+    let duplicate = |what: &str, field: &str| {
+        CliError::Parse(format!(
+            "query line {line_no}: duplicate {what} field '{field}'"
+        ))
+    };
     for &field in &rest[n_sets..] {
         if let Ok(parsed) = field.parse::<usize>() {
             if k.replace(parsed).is_some() {
-                return Err(CliError::Parse(format!(
-                    "query line {line_no}: duplicate k field '{field}'"
-                )));
+                return Err(duplicate("k", field));
+            }
+        } else if field.eq_ignore_ascii_case("auto") {
+            if algorithm.replace(AlgorithmChoice::Auto).is_some() {
+                return Err(duplicate("algorithm", field));
             }
         } else if let Ok(parsed) = super::parse_aggregate(field) {
             if aggregate.replace(parsed).is_some() {
-                return Err(CliError::Parse(format!(
-                    "query line {line_no}: duplicate aggregate field '{field}'"
-                )));
+                return Err(duplicate("aggregate", field));
             }
-        } else if algorithm
-            .replace(super::nway::parse_nway_algorithm(field, m)?)
-            .is_some()
-        {
-            return Err(CliError::Parse(format!(
-                "query line {line_no}: duplicate algorithm field '{field}'"
-            )));
+        } else {
+            let parsed = super::nway::parse_nway_algorithm(field, m)
+                .map_err(|error| token_error(line_no, field, error))?;
+            if algorithm.replace(AlgorithmChoice::Fixed(parsed)).is_some() {
+                return Err(duplicate("algorithm", field));
+            }
         }
     }
-    Ok(EngineQuery::NWay(NWayQuery {
-        algorithm: algorithm
-            .unwrap_or(dht_core::multiway::NWayAlgorithm::IncrementalPartialJoin { m }),
-        query,
-        sets: chosen,
-        aggregate: aggregate.unwrap_or(dht_core::Aggregate::Min),
-        k: k.unwrap_or(default_k),
-    }))
+    let spec = NWaySpec::new(query, chosen, k.unwrap_or(default_k))
+        .with_aggregate(aggregate.unwrap_or(dht_core::Aggregate::Min))
+        .with_algorithm(algorithm.unwrap_or(AlgorithmChoice::Fixed(
+            dht_core::multiway::NWayAlgorithm::IncrementalPartialJoin { m },
+        )));
+    Ok(QuerySpec::NWay(spec))
 }
 
-/// Parses one two-way query line: `LEFT RIGHT [k] [ALGORITHM]`.
+/// Parses one two-way query line: `LEFT RIGHT [k] [ALGORITHM]`, where
+/// `ALGORITHM` may be `auto`.
 fn parse_two_way_line(
     fields: &[&str],
     sets: &[NodeSet],
     default_k: usize,
-    default_algorithm: TwoWayAlgorithm,
+    default_algorithm: AlgorithmChoice<TwoWayAlgorithm>,
     line_no: usize,
-) -> Result<EngineQuery> {
+) -> Result<QuerySpec> {
     if fields.len() < 2 || fields.len() > 4 {
         return Err(CliError::Parse(format!(
             "query line {line_no}: expected `LEFT RIGHT [k] [ALGORITHM]` or \
@@ -176,31 +206,35 @@ fn parse_two_way_line(
                     "query line {line_no}: duplicate k field '{field}'"
                 )));
             }
-        } else if algorithm
-            .replace(super::parse_two_way_algorithm(field)?)
-            .is_some()
-        {
-            return Err(CliError::Parse(format!(
-                "query line {line_no}: duplicate algorithm field '{field}'"
-            )));
+        } else {
+            let parsed = super::parse_two_way_choice(field)
+                .map_err(|error| token_error(line_no, field, error))?;
+            if algorithm.replace(parsed).is_some() {
+                return Err(CliError::Parse(format!(
+                    "query line {line_no}: duplicate algorithm field '{field}'"
+                )));
+            }
         }
     }
-    Ok(EngineQuery::TwoWay(TwoWayQuery {
-        algorithm: algorithm.unwrap_or(default_algorithm),
-        p: sets[left].clone(),
-        q: sets[right].clone(),
-        k: k.unwrap_or(default_k),
-    }))
+    let spec = TwoWaySpec::new(
+        sets[left].clone(),
+        sets[right].clone(),
+        k.unwrap_or(default_k),
+    )
+    .with_algorithm(algorithm.unwrap_or(default_algorithm));
+    Ok(QuerySpec::TwoWay(spec))
 }
 
 /// Parses the query file: one query per line (`#` comments, blank lines
 /// ignored) — `LEFT RIGHT [k] [ALGORITHM]` for two-way joins, `nway SHAPE
-/// S1 S2 ... [k] [ALGO] [AGG]` for n-way joins.
+/// S1 S2 ... [k] [ALGO] [AGG]` for n-way joins.  Every parsed spec is
+/// validated eagerly, so malformed queries fail here with their line
+/// number instead of mid-stream.
 fn parse_queries(
     text: &str,
     sets: &[NodeSet],
     default_k: usize,
-    default_algorithm: TwoWayAlgorithm,
+    default_algorithm: AlgorithmChoice<TwoWayAlgorithm>,
     m: usize,
 ) -> Result<Vec<StreamQuery>> {
     let mut queries = Vec::new();
@@ -211,12 +245,14 @@ fn parse_queries(
         }
         let line_no = line_no + 1;
         let fields: Vec<&str> = line.split_whitespace().collect();
-        let query = if fields[0].eq_ignore_ascii_case("nway") {
+        let spec = if fields[0].eq_ignore_ascii_case("nway") {
             parse_nway_line(&fields[1..], sets, default_k, m, line_no)?
         } else {
             parse_two_way_line(&fields, sets, default_k, default_algorithm, line_no)?
         };
-        queries.push(StreamQuery { query, line_no });
+        spec.validate()
+            .map_err(|error| CliError::Parse(format!("query line {line_no}: {error}")))?;
+        queries.push(StreamQuery { spec, line_no });
     }
     if queries.is_empty() {
         return Err(CliError::Parse("query file contains no queries".into()));
@@ -244,6 +280,9 @@ struct WorkerReport {
     error: Option<(usize, String)>,
     /// Line numbers of queries that returned no answers.
     empty_lines: Vec<usize>,
+    /// `--explain 1`: `(query index, line number, plan line)` of every
+    /// first-pass query this worker answered.
+    plans: Vec<(usize, usize, String)>,
 }
 
 /// Answers the indices of `stream` owned by `worker` (round-robin over
@@ -254,6 +293,7 @@ fn run_worker(
     worker: usize,
     sessions: usize,
     repeat: usize,
+    explain: bool,
 ) -> WorkerReport {
     let mut session = engine.session();
     let mut report = WorkerReport {
@@ -263,15 +303,23 @@ fn run_worker(
         y_tables: (0, 0),
         error: None,
         empty_lines: Vec::new(),
+        plans: Vec::new(),
     };
-    for _ in 0..repeat {
+    for pass in 0..repeat {
         for (index, item) in stream
             .iter()
             .enumerate()
             .filter(|(index, _)| index % sessions == worker)
         {
             let start = Instant::now();
-            let output = session.answer(&item.query);
+            let output = if explain && pass == 0 {
+                session.run_with_plan(&item.spec).map(|(plan, output)| {
+                    report.plans.push((index, item.line_no, plan.to_string()));
+                    output
+                })
+            } else {
+                session.run(&item.spec)
+            };
             report
                 .latencies_ms
                 .push(start.elapsed().as_secs_f64() * 1e3);
@@ -312,8 +360,9 @@ pub fn run(args: &ArgMap) -> Result<String> {
 
     let default_k: usize = args.get_parsed_or("k", 10)?;
     let default_algorithm =
-        super::parse_two_way_algorithm(args.get("algorithm").unwrap_or("b-idj-y"))?;
+        super::parse_two_way_choice(args.get("algorithm").unwrap_or("b-idj-y"))?;
     let m: usize = args.get_parsed_or("m", 50)?;
+    let explain = args.get_parsed_or("explain", 0u8)? == 1;
     let sessions: usize = args.get_parsed_or("sessions", 1)?.max(1);
     let cache: usize = args.get_parsed_or("cache", dht_engine::DEFAULT_CACHE_BYTES)?;
     let shared = args.get_parsed_or("shared", 1u8)? == 1;
@@ -333,14 +382,16 @@ pub fn run(args: &ArgMap) -> Result<String> {
 
     let stream_start = Instant::now();
     let mut reports: Vec<WorkerReport> = if sessions == 1 {
-        vec![run_worker(&engine, &stream, 0, 1, repeat)]
+        vec![run_worker(&engine, &stream, 0, 1, repeat, explain)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..sessions)
                 .map(|worker| {
                     let engine = &engine;
                     let stream = &stream;
-                    scope.spawn(move || run_worker(engine, stream, worker, sessions, repeat))
+                    scope.spawn(move || {
+                        run_worker(engine, stream, worker, sessions, repeat, explain)
+                    })
                 })
                 .collect();
             handles
@@ -365,6 +416,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
     let mut cache_stats = dht_walks::CacheStats::default();
     let (mut y_hits, mut y_misses) = (0u64, 0u64);
     let mut empty_lines: Vec<usize> = Vec::new();
+    let mut plans: Vec<(usize, usize, String)> = Vec::new();
     for report in reports.drain(..) {
         latencies_ms.extend(report.latencies_ms);
         answers_returned += report.answers_returned;
@@ -372,6 +424,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
         y_hits += report.y_tables.0;
         y_misses += report.y_tables.1;
         empty_lines.extend(report.empty_lines);
+        plans.extend(report.plans);
     }
     empty_lines.sort_unstable();
     empty_lines.dedup();
@@ -385,6 +438,13 @@ pub fn run(args: &ArgMap) -> Result<String> {
     let answered = latencies_ms.len();
 
     let mut out = String::new();
+    if explain {
+        plans.sort_unstable_by_key(|&(index, _, _)| index);
+        out.push_str("query plans (first pass, in stream order):\n");
+        for (_, line_no, plan) in &plans {
+            out.push_str(&format!("  plan line {line_no}: {plan}\n"));
+        }
+    }
     out.push_str(&format!(
         "query stream: {answered} quer{} answered ({} unique lines × {repeat} pass{}), \
          {answers_returned} answers returned\n",
@@ -494,11 +554,13 @@ mod tests {
     }
 
     #[test]
-    fn help_mentions_both_query_line_formats() {
+    fn help_mentions_both_query_line_formats_and_auto() {
         let out = run(&argmap(&["--help"])).unwrap();
         assert!(out.contains("LEFT RIGHT"));
         assert!(out.contains("nway SHAPE"));
         assert!(out.contains("--sessions"));
+        assert!(out.contains("auto"));
+        assert!(out.contains("--explain"));
     }
 
     #[test]
@@ -527,6 +589,53 @@ mod tests {
             .and_then(|n| n.parse().ok())
             .unwrap();
         assert!(hits > 0, "repeated queries must hit the cache: {out}");
+        cleanup(&[&g, &s, &q]);
+    }
+
+    #[test]
+    fn auto_queries_are_planned_and_explained() {
+        let (g, s, q) = fixture("auto");
+        std::fs::write(
+            &q,
+            "P Q 3 auto\n\
+             P Q 3 auto      # second pass over warm columns\n\
+             nway chain P Q 2 auto min\n",
+        )
+        .unwrap();
+        let out = run(&argmap(&[
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+            "--explain",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 queries answered"), "got: {out}");
+        assert!(out.contains("plan line 1:"), "got: {out}");
+        assert!(out.contains("plan line 3:"), "got: {out}");
+        assert!(out.contains("(auto"), "got: {out}");
+        assert!(out.contains("warm "), "got: {out}");
+        cleanup(&[&g, &s, &q]);
+    }
+
+    #[test]
+    fn default_algorithm_option_accepts_auto() {
+        let (g, s, q) = fixture("defauto");
+        let out = run(&argmap(&[
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+            "--algorithm",
+            "auto",
+        ]))
+        .unwrap();
+        assert!(out.contains("4 queries answered"), "got: {out}");
         cleanup(&[&g, &s, &q]);
     }
 
@@ -595,7 +704,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_query_files_are_rejected_with_line_numbers() {
+    fn malformed_query_files_are_rejected_with_line_numbers_and_tokens() {
         let (g, s, q) = fixture("badfile");
         let base = |q: &std::path::Path| {
             argmap(&[
@@ -614,12 +723,25 @@ mod tests {
         std::fs::write(&q, "P Z\n").unwrap();
         let err = run(&base(&q)).unwrap_err();
         assert!(err.to_string().contains("unknown node set"), "{err}");
+        assert!(err.to_string().contains("'Z'"), "{err}");
 
         // Two numeric fields (e.g. a typo for one k) must not silently let
         // the second overwrite the first.
         std::fs::write(&q, "P Q 3 4\n").unwrap();
         let err = run(&base(&q)).unwrap_err();
         assert!(err.to_string().contains("duplicate k"), "{err}");
+
+        // A bad algorithm token is reported with its line and spelling.
+        std::fs::write(&q, "P Q\nP Q 3 b-idj-z\n").unwrap();
+        let err = run(&base(&q)).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("'b-idj-z'"), "{err}");
+
+        // k = 0 is rejected at parse time with the line number.
+        std::fs::write(&q, "P Q 0\n").unwrap();
+        let err = run(&base(&q)).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert!(err.to_string().contains("k = 0"), "{err}");
 
         // n-way lines need at least two known sets and a valid shape.
         std::fs::write(&q, "nway chain P 3\n").unwrap();
@@ -628,10 +750,17 @@ mod tests {
         std::fs::write(&q, "nway blob P Q\n").unwrap();
         let err = run(&base(&q)).unwrap_err();
         assert!(err.to_string().contains("unknown query shape"), "{err}");
-        // A triangle needs exactly three sets.
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert!(err.to_string().contains("'blob'"), "{err}");
+        // A triangle needs exactly three sets; the error names the token.
         std::fs::write(&q, "nway triangle P Q\n").unwrap();
         let err = run(&base(&q)).unwrap_err();
         assert!(err.to_string().contains("exactly 3"), "{err}");
+        assert!(err.to_string().contains("'triangle'"), "{err}");
+        // A bad n-way algorithm token is named too.
+        std::fs::write(&q, "nway chain P Q zz\n").unwrap();
+        let err = run(&base(&q)).unwrap_err();
+        assert!(err.to_string().contains("'zz'"), "{err}");
         cleanup(&[&g, &s, &q]);
     }
 

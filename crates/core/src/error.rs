@@ -31,6 +31,32 @@ pub enum CoreError {
     DisconnectedQueryGraph,
     /// One of the supplied node sets is empty.
     EmptyNodeSet(String),
+    /// A query asked for zero answers (`k = 0`), which can never return
+    /// anything; [`crate::spec::QuerySpec::validate`] rejects it up front.
+    ZeroResultSize,
+    /// An error attributed to one query of a batch: `index` is the
+    /// zero-based position of the offending query in the submitted slice.
+    AtQuery {
+        /// Zero-based index of the offending query in the batch.
+        index: usize,
+        /// The underlying error.
+        source: Box<CoreError>,
+    },
+}
+
+impl CoreError {
+    /// Wraps `source` as the error of batch query `index` (idempotent: an
+    /// error already attributed to a query keeps its original index, so
+    /// nested batch layers never re-attribute it).
+    pub fn at_query(index: usize, source: CoreError) -> CoreError {
+        match source {
+            already @ CoreError::AtQuery { .. } => already,
+            other => CoreError::AtQuery {
+                index,
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -59,6 +85,12 @@ impl fmt::Display for CoreError {
                 write!(f, "query graph must be weakly connected for partial joins")
             }
             CoreError::EmptyNodeSet(name) => write!(f, "node set '{name}' is empty"),
+            CoreError::ZeroResultSize => {
+                write!(f, "k = 0 requests no answers; ask for at least one")
+            }
+            CoreError::AtQuery { index, source } => {
+                write!(f, "query #{index}: {source}")
+            }
         }
     }
 }
@@ -92,5 +124,18 @@ mod tests {
             .contains("DB"));
         assert!(!CoreError::EmptyQueryGraph.to_string().is_empty());
         assert!(!CoreError::DisconnectedQueryGraph.to_string().is_empty());
+        assert!(!CoreError::ZeroResultSize.to_string().is_empty());
+    }
+
+    #[test]
+    fn at_query_carries_the_index_and_never_nests() {
+        let inner = CoreError::EmptyNodeSet("P".into());
+        let wrapped = CoreError::at_query(3, inner.clone());
+        let text = wrapped.to_string();
+        assert!(text.contains("query #3"), "{text}");
+        assert!(text.contains("'P'"), "{text}");
+        // Re-wrapping keeps the original attribution.
+        let rewrapped = CoreError::at_query(7, wrapped.clone());
+        assert_eq!(rewrapped, wrapped);
     }
 }

@@ -41,6 +41,7 @@ pub mod answer;
 pub mod error;
 pub mod multiway;
 pub mod query;
+pub mod spec;
 pub mod stats;
 pub mod twoway;
 
@@ -48,6 +49,7 @@ pub use aggregate::Aggregate;
 pub use answer::Answer;
 pub use error::CoreError;
 pub use query::QueryGraph;
+pub use spec::{AlgorithmChoice, NWaySpec, QuerySpec, TwoWaySpec};
 pub use stats::{NWayStats, TwoWayStats};
 // The session context every join can run through (re-exported so callers of
 // the `*_with_ctx` entry points need not depend on `dht-walks` directly).

@@ -8,7 +8,7 @@
 //! The per-pair walks are independent, so this is the most embarrassingly
 //! parallel join in the workspace: with `config.threads > 1` the pair
 //! domain is fanned out over worker threads (each reusing one
-//! [`WalkScratch`]), and scores are merged back into the top-k buffer in
+//! [`WalkScratch`](dht_walks::WalkScratch)), and scores are merged back into the top-k buffer in
 //! pair order — bit-identical to the serial run.
 
 use dht_graph::{Graph, NodeId, NodeSet};

@@ -34,6 +34,24 @@
 //! cache-parity and concurrent-session proptests pin this): caching never
 //! changes results, only how often walks actually run.
 //!
+//! ## Declarative queries and the planner
+//!
+//! Callers can hand-pick algorithms ([`Session::two_way`] /
+//! [`Session::n_way`]), but the primary surface is declarative: a
+//! [`QuerySpec`] says *what* to answer (node sets, query shape, aggregate,
+//! `k`) and an [`AlgorithmChoice`] says whether the algorithm is `Fixed`
+//! or `Auto`.  [`Session::run`] validates the spec eagerly, and for `Auto`
+//! asks the cost-based planner ([`plan`]) to pick the cheapest algorithm
+//! from the engine's [`GraphStats`] and the session's **live cache
+//! state** — a warm backward target column is a pointer clone, so the same
+//! query can plan as B-IDJ-Y on a cold session and B-BJ on a warm one.
+//! [`Session::explain`] returns the reified [`QueryPlan`] (chosen
+//! algorithm, per-candidate cost estimates, cache residency) without
+//! running anything.  `Auto` selects within the bitwise-identical
+//! backward family only (see [`plan`]), so planning — like caching —
+//! never changes answers at any session count
+//! (`tests/planner_parity_proptest.rs`).
+//!
 //! ```
 //! use dht_engine::{Engine, TwoWayQuery};
 //! use dht_core::twoway::TwoWayAlgorithm;
@@ -59,13 +77,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod plan;
+
 use std::sync::Arc;
 
 use dht_core::multiway::{NWayAlgorithm, NWayConfig, NWayOutput};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig, TwoWayOutput};
-use dht_core::{Aggregate, QueryGraph};
+use dht_core::{Aggregate, CoreError, QueryGraph};
 use dht_graph::{Graph, NodeSet};
 use dht_walks::{CacheStats, DhtParams, QueryCtx, SharedColumnCache, WalkEngine};
+
+// The declarative query surface, re-exported so engine callers need not
+// depend on `dht-core` directly.
+pub use dht_core::spec::{AlgorithmChoice, NWaySpec, QuerySpec, TwoWaySpec};
+pub use plan::{CostEstimate, GraphStats, PlannedAlgorithm, QueryPlan};
 
 /// Construction-time knobs of an [`Engine`].
 #[derive(Debug, Clone, Copy)]
@@ -152,6 +177,10 @@ impl Default for EngineConfig {
 
 /// One two-way query of a batch: the `k` best pairs of `p ⋈ q` under
 /// `algorithm`.
+///
+/// Legacy fixed-algorithm struct, kept as a thin conversion into
+/// [`QuerySpec`] — new code should build a [`TwoWaySpec`] (which can also
+/// say [`AlgorithmChoice::Auto`]) and go through [`Session::run`].
 #[derive(Debug, Clone)]
 pub struct TwoWayQuery {
     /// Join algorithm to answer the query with.
@@ -165,6 +194,9 @@ pub struct TwoWayQuery {
 }
 
 /// One n-way query of a batch.
+///
+/// Legacy fixed-algorithm struct, kept as a thin conversion into
+/// [`QuerySpec`] — new code should build an [`NWaySpec`].
 #[derive(Debug, Clone)]
 pub struct NWayQuery {
     /// Join algorithm to answer the query with.
@@ -179,15 +211,58 @@ pub struct NWayQuery {
     pub k: usize,
 }
 
-/// One query of a mixed stream: two-way or n-way — what
-/// `dht querystream` files parse into and [`Engine::batch_sessions`]
-/// consumes.
+/// One query of a mixed stream: two-way or n-way.
+///
+/// Legacy wrapper, kept as a thin conversion into [`QuerySpec`] — the
+/// batch APIs ([`Engine::batch`], [`Engine::batch_sessions`]) now consume
+/// specs directly; convert with `QuerySpec::from(&engine_query)`.
 #[derive(Debug, Clone)]
 pub enum EngineQuery {
     /// A two-way join query.
     TwoWay(TwoWayQuery),
     /// An n-way join query.
     NWay(NWayQuery),
+}
+
+impl From<&TwoWayQuery> for TwoWaySpec {
+    fn from(query: &TwoWayQuery) -> Self {
+        TwoWaySpec::new(query.p.clone(), query.q.clone(), query.k).with_fixed(query.algorithm)
+    }
+}
+
+impl From<&NWayQuery> for NWaySpec {
+    fn from(query: &NWayQuery) -> Self {
+        NWaySpec::new(query.query.clone(), query.sets.clone(), query.k)
+            .with_aggregate(query.aggregate)
+            .with_fixed(query.algorithm)
+    }
+}
+
+impl From<&EngineQuery> for QuerySpec {
+    fn from(query: &EngineQuery) -> Self {
+        match query {
+            EngineQuery::TwoWay(q) => QuerySpec::TwoWay(TwoWaySpec::from(q)),
+            EngineQuery::NWay(q) => QuerySpec::NWay(NWaySpec::from(q)),
+        }
+    }
+}
+
+impl From<TwoWayQuery> for QuerySpec {
+    fn from(query: TwoWayQuery) -> Self {
+        QuerySpec::TwoWay(TwoWaySpec::from(&query))
+    }
+}
+
+impl From<NWayQuery> for QuerySpec {
+    fn from(query: NWayQuery) -> Self {
+        QuerySpec::NWay(NWaySpec::from(&query))
+    }
+}
+
+impl From<EngineQuery> for QuerySpec {
+    fn from(query: EngineQuery) -> Self {
+        QuerySpec::from(&query)
+    }
 }
 
 /// The answer to one [`EngineQuery`].
@@ -221,6 +296,7 @@ pub struct Engine {
     graph: Graph,
     config: EngineConfig,
     shared: Option<Arc<SharedColumnCache>>,
+    stats: GraphStats,
 }
 
 impl Engine {
@@ -240,16 +316,23 @@ impl Engine {
                 graph.node_count(),
             ))
         });
+        let stats = GraphStats::measure(&graph);
         Engine {
             graph,
             config,
             shared,
+            stats,
         }
     }
 
     /// The graph this engine answers queries over.
     pub fn graph(&self) -> &Graph {
         &self.graph
+    }
+
+    /// The sampled graph statistics the planner prices walks from.
+    pub fn graph_stats(&self) -> &GraphStats {
+        &self.stats
     }
 
     /// The engine's configuration.
@@ -296,66 +379,92 @@ impl Engine {
     /// Answers a whole stream of two-way queries on one internal session, so
     /// later queries reuse the columns earlier ones computed.  Results are
     /// in query order and bit-identical to answering each query one-shot.
-    pub fn two_way_batch(&self, queries: &[TwoWayQuery]) -> Vec<TwoWayOutput> {
+    ///
+    /// # Errors
+    /// Fails when a query is malformed (empty node set, `k = 0`); the
+    /// error carries the offending query's index
+    /// ([`CoreError::AtQuery`]).
+    pub fn two_way_batch(&self, queries: &[TwoWayQuery]) -> dht_core::Result<Vec<TwoWayOutput>> {
         self.session().two_way_batch(queries)
     }
 
     /// Answers a stream of n-way queries on one internal session.
     ///
     /// # Errors
-    /// Fails on the first query whose query graph and node sets are
-    /// inconsistent (see [`NWayAlgorithm::run`]).
+    /// Fails when a query's graph and node sets are inconsistent; the
+    /// error carries the offending query's index
+    /// ([`CoreError::AtQuery`]).
     pub fn n_way_batch(&self, queries: &[NWayQuery]) -> dht_core::Result<Vec<NWayOutput>> {
         self.session().n_way_batch(queries)
     }
 
-    /// Answers a mixed two-way / n-way query stream on one internal
-    /// session, in query order.
+    /// Answers a mixed two-way / n-way spec stream on one internal
+    /// session, in query order.  Specs left on `Auto` are planned per
+    /// query as the session warms.
     ///
     /// # Errors
-    /// Fails on the first inconsistent n-way query.
-    pub fn batch(&self, queries: &[EngineQuery]) -> dht_core::Result<Vec<EngineOutput>> {
+    /// Fails with the smallest-indexed malformed spec's validation error
+    /// (wrapped in [`CoreError::AtQuery`]); the whole batch is validated
+    /// before anything runs.
+    pub fn batch(&self, specs: &[QuerySpec]) -> dht_core::Result<Vec<EngineOutput>> {
+        validate_specs(specs)?;
         let mut session = self.session();
-        queries.iter().map(|query| session.answer(query)).collect()
+        specs
+            .iter()
+            .enumerate()
+            .map(|(index, spec)| {
+                session
+                    .run_validated(spec)
+                    .map_err(|error| CoreError::at_query(index, error))
+            })
+            .collect()
     }
 
-    /// Answers a mixed query stream on `sessions` concurrent sessions —
+    /// Answers a mixed spec stream on `sessions` concurrent sessions —
     /// the service shape: query `i` goes to session `i % sessions`, every
     /// session runs on its own scoped thread, and all of them share the
     /// engine's cross-session cache (when enabled), warming each other.
     ///
     /// Results come back in query order and are **bit-identical** to
     /// [`Engine::batch`] at any session count: each query is answered
-    /// independently and caching never changes answers.
+    /// independently and neither caching nor planning changes answers
+    /// (every candidate algorithm is exact).
     ///
     /// # Errors
-    /// Fails with the error of the smallest-indexed inconsistent query
-    /// (deterministic regardless of scheduling).
+    /// Fails with the smallest-indexed malformed spec's validation error
+    /// (deterministic regardless of scheduling: the whole batch is
+    /// validated before any session starts).
     pub fn batch_sessions(
         &self,
-        queries: &[EngineQuery],
+        specs: &[QuerySpec],
         sessions: usize,
     ) -> dht_core::Result<Vec<EngineOutput>> {
-        let sessions = sessions.clamp(1, queries.len().max(1));
+        validate_specs(specs)?;
+        let sessions = sessions.clamp(1, specs.len().max(1));
         if sessions == 1 {
-            return self.batch(queries);
+            return self.batch(specs);
         }
         let slots: Vec<Option<dht_core::Result<EngineOutput>>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..sessions)
                 .map(|worker| {
                     scope.spawn(move || {
                         let mut session = self.session();
-                        queries
+                        specs
                             .iter()
                             .enumerate()
                             .filter(|(index, _)| index % sessions == worker)
-                            .map(|(index, query)| (index, session.answer(query)))
+                            .map(|(index, spec)| {
+                                let output = session
+                                    .run_validated(spec)
+                                    .map_err(|error| CoreError::at_query(index, error));
+                                (index, output)
+                            })
                             .collect::<Vec<_>>()
                     })
                 })
                 .collect();
             let mut slots: Vec<Option<dht_core::Result<EngineOutput>>> =
-                (0..queries.len()).map(|_| None).collect();
+                (0..specs.len()).map(|_| None).collect();
             for handle in handles {
                 for (index, output) in handle.join().expect("engine session worker panicked") {
                     slots[index] = Some(output);
@@ -368,6 +477,16 @@ impl Engine {
             .map(|slot| slot.expect("every query answered exactly once"))
             .collect()
     }
+}
+
+/// Validates every spec of a batch up front, attributing the first failure
+/// to its query index.
+fn validate_specs(specs: &[QuerySpec]) -> dht_core::Result<()> {
+    for (index, spec) in specs.iter().enumerate() {
+        spec.validate()
+            .map_err(|error| CoreError::at_query(index, error))?;
+    }
+    Ok(())
 }
 
 /// A query session against one [`Engine`]: owns the per-client walk state
@@ -418,7 +537,170 @@ impl Session<'_> {
         algorithm.run_with_ctx(&self.engine.graph, &config, query, sets, &mut self.ctx)
     }
 
+    /// The planner's view of this engine and session.
+    fn plan_inputs(&self) -> plan::PlanInputs<'_> {
+        plan::PlanInputs {
+            graph: &self.engine.graph,
+            stats: &self.engine.stats,
+            params: &self.engine.config.params,
+            d: self.engine.config.d,
+            engine: self.engine.config.engine,
+        }
+    }
+
+    /// Plans `spec` against this session's **current** cache state and
+    /// returns the reified [`QueryPlan`] without running anything: the
+    /// chosen algorithm, every candidate's cost estimate, and the cache
+    /// residency the decision was based on.
+    ///
+    /// Plans are session-dependent on purpose — the same spec explains
+    /// differently on a cold session and on one whose target columns are
+    /// already cached (a warm backward target is a pointer clone, which
+    /// flips the backward-IDJ-vs-basic tradeoff).
+    ///
+    /// # Errors
+    /// Fails when the spec is malformed (see
+    /// [`QuerySpec::validate`]).
+    ///
+    /// ```
+    /// use dht_core::QuerySpec;
+    /// use dht_engine::Engine;
+    /// use dht_graph::{GraphBuilder, NodeId, NodeSet};
+    ///
+    /// let mut b = GraphBuilder::with_nodes(4);
+    /// b.add_undirected_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+    /// b.add_undirected_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+    /// b.add_undirected_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+    /// let engine = Engine::new(b.build().unwrap());
+    /// let session = engine.session();
+    /// let spec = QuerySpec::two_way(
+    ///     NodeSet::new("P", [NodeId(0), NodeId(1)]),
+    ///     NodeSet::new("Q", [NodeId(2), NodeId(3)]),
+    ///     2,
+    /// );
+    /// let plan = session.explain(&spec).unwrap();
+    /// assert!(plan.auto);
+    /// assert_eq!(plan.resident_columns, 0, "cold session");
+    /// println!("{plan}"); // "choose …, warm 0/2 target columns, …"
+    /// ```
+    pub fn explain(&self, spec: &QuerySpec) -> dht_core::Result<QueryPlan> {
+        spec.validate()?;
+        let inputs = self.plan_inputs();
+        Ok(match spec {
+            QuerySpec::TwoWay(s) => plan::plan_two_way(&inputs, &self.ctx, s),
+            QuerySpec::NWay(s) => plan::plan_n_way(&inputs, &self.ctx, s),
+        })
+    }
+
+    /// Validates and answers one declarative query: `Fixed` specs run the
+    /// pinned algorithm, `Auto` specs run whatever [`Session::explain`]
+    /// would currently choose.  Every candidate algorithm is exact, so the
+    /// choice never affects the answer — only the latency.
+    ///
+    /// # Errors
+    /// Fails when the spec is malformed (see [`QuerySpec::validate`]).
+    ///
+    /// ```
+    /// use dht_core::QuerySpec;
+    /// use dht_engine::{Engine, EngineOutput};
+    /// use dht_graph::{GraphBuilder, NodeId, NodeSet};
+    ///
+    /// let mut b = GraphBuilder::with_nodes(4);
+    /// b.add_undirected_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+    /// b.add_undirected_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+    /// b.add_undirected_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+    /// let engine = Engine::new(b.build().unwrap());
+    /// let mut session = engine.session();
+    /// let spec = QuerySpec::two_way(
+    ///     NodeSet::new("P", [NodeId(0), NodeId(1)]),
+    ///     NodeSet::new("Q", [NodeId(2), NodeId(3)]),
+    ///     2,
+    /// );
+    /// let EngineOutput::TwoWay(out) = session.run(&spec).unwrap() else {
+    ///     unreachable!("two-way spec");
+    /// };
+    /// assert_eq!(out.pairs.len(), 2);
+    /// ```
+    pub fn run(&mut self, spec: &QuerySpec) -> dht_core::Result<EngineOutput> {
+        spec.validate()?;
+        self.run_validated(spec)
+    }
+
+    /// Executes an already-validated spec; the single dispatch point the
+    /// batch APIs reuse after their up-front `validate_specs` pass, so
+    /// nothing is validated twice.  Fixed specs dispatch directly — no
+    /// residency probes, no candidate costing; that keeps pinned-algorithm
+    /// batch streams exactly as cheap as the pre-spec `answer` path.  Only
+    /// `Auto` pays planning.
+    fn run_validated(&mut self, spec: &QuerySpec) -> dht_core::Result<EngineOutput> {
+        match spec {
+            QuerySpec::TwoWay(s) => {
+                let algorithm = match s.algorithm {
+                    AlgorithmChoice::Fixed(algorithm) => algorithm,
+                    AlgorithmChoice::Auto => {
+                        let inputs = self.plan_inputs();
+                        plan::plan_two_way(&inputs, &self.ctx, s)
+                            .chosen
+                            .two_way()
+                            .expect("two-way plans choose two-way algorithms")
+                    }
+                };
+                Ok(EngineOutput::TwoWay(
+                    self.two_way(algorithm, &s.p, &s.q, s.k),
+                ))
+            }
+            QuerySpec::NWay(s) => {
+                let algorithm = match s.algorithm {
+                    AlgorithmChoice::Fixed(algorithm) => algorithm,
+                    AlgorithmChoice::Auto => {
+                        let inputs = self.plan_inputs();
+                        plan::plan_n_way(&inputs, &self.ctx, s)
+                            .chosen
+                            .n_way()
+                            .expect("n-way plans choose n-way algorithms")
+                    }
+                };
+                Ok(EngineOutput::NWay(self.n_way(
+                    algorithm,
+                    &s.query,
+                    &s.sets,
+                    s.aggregate,
+                    s.k,
+                )?))
+            }
+        }
+    }
+
+    /// Like [`Session::run`], but also returns the full [`QueryPlan`] the
+    /// execution followed — including, for `Fixed` specs, the cost
+    /// estimates and cache residency of every candidate (with
+    /// `auto: false`).  This is what `dht querystream --explain 1` prints.
+    /// Unlike [`Session::run`], pinned specs pay the planning cost too, so
+    /// prefer `run` on hot paths that don't need the report.
+    ///
+    /// # Errors
+    /// Fails when the spec is malformed.
+    pub fn run_with_plan(
+        &mut self,
+        spec: &QuerySpec,
+    ) -> dht_core::Result<(QueryPlan, EngineOutput)> {
+        let plan = self.explain(spec)?;
+        let output = match (spec, &plan.chosen) {
+            (QuerySpec::TwoWay(s), PlannedAlgorithm::TwoWay(algorithm)) => {
+                EngineOutput::TwoWay(self.two_way(*algorithm, &s.p, &s.q, s.k))
+            }
+            (QuerySpec::NWay(s), PlannedAlgorithm::NWay(algorithm)) => {
+                EngineOutput::NWay(self.n_way(*algorithm, &s.query, &s.sets, s.aggregate, s.k)?)
+            }
+            _ => unreachable!("the planner never changes a query's arity"),
+        };
+        Ok((plan, output))
+    }
+
     /// Answers one query of a mixed stream.
+    ///
+    /// Legacy entry point for [`EngineQuery`]; prefer [`Session::run`]
+    /// with a [`QuerySpec`].
     ///
     /// # Errors
     /// Fails when an n-way query's graph and node sets are inconsistent.
@@ -442,22 +724,46 @@ impl Session<'_> {
 
     /// Answers a stream of two-way queries in order on this session's warm
     /// state.
-    pub fn two_way_batch(&mut self, queries: &[TwoWayQuery]) -> Vec<TwoWayOutput> {
-        queries
+    ///
+    /// # Errors
+    /// Fails when a query is malformed (empty node set, `k = 0`); the
+    /// error names the offending query's index ([`CoreError::AtQuery`]),
+    /// and the whole batch is validated before anything runs.
+    pub fn two_way_batch(
+        &mut self,
+        queries: &[TwoWayQuery],
+    ) -> dht_core::Result<Vec<TwoWayOutput>> {
+        for (index, query) in queries.iter().enumerate() {
+            dht_core::spec::validate_two_way_inputs(&query.p, &query.q, query.k)
+                .map_err(|error| CoreError::at_query(index, error))?;
+        }
+        Ok(queries
             .iter()
             .map(|query| self.two_way(query.algorithm, &query.p, &query.q, query.k))
-            .collect()
+            .collect())
     }
 
     /// Answers a stream of n-way queries in order on this session's warm
     /// state.
     ///
     /// # Errors
-    /// Fails on the first inconsistent query.
+    /// Fails when a query's graph and node sets are inconsistent; the
+    /// error names the offending query's index ([`CoreError::AtQuery`]),
+    /// and the whole batch is validated before anything runs.
     pub fn n_way_batch(&mut self, queries: &[NWayQuery]) -> dht_core::Result<Vec<NWayOutput>> {
+        for (index, query) in queries.iter().enumerate() {
+            dht_core::spec::validate_n_way_inputs(
+                &query.query,
+                &query.sets,
+                query.k,
+                &AlgorithmChoice::Fixed(query.algorithm),
+            )
+            .map_err(|error| CoreError::at_query(index, error))?;
+        }
         queries
             .iter()
-            .map(|query| {
+            .enumerate()
+            .map(|(index, query)| {
                 self.n_way(
                     query.algorithm,
                     &query.query,
@@ -465,6 +771,7 @@ impl Session<'_> {
                     query.aggregate,
                     query.k,
                 )
+                .map_err(|error| CoreError::at_query(index, error))
             })
             .collect()
     }
@@ -605,7 +912,7 @@ mod tests {
             })
             .collect();
         let mut session = engine.session();
-        let outputs = session.two_way_batch(&queries);
+        let outputs = session.two_way_batch(&queries).unwrap();
         assert_eq!(outputs.len(), queries.len());
         let stats = session.cache_stats();
         // |Q| misses on the first query, hits from then on.
@@ -613,10 +920,49 @@ mod tests {
         assert_eq!(stats.hits, 5 * sets[2].len() as u64);
         // engine-level batch produces the same outputs (served from the
         // now-warm shared cache)
-        let again = engine.two_way_batch(&queries);
+        let again = engine.two_way_batch(&queries).unwrap();
         for (a, b) in outputs.iter().zip(again.iter()) {
             assert_eq!(a.pairs, b.pairs);
         }
+    }
+
+    #[test]
+    fn batch_validation_errors_carry_the_query_index() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let queries = vec![
+            TwoWayQuery {
+                algorithm: TwoWayAlgorithm::BackwardBasic,
+                p: sets[0].clone(),
+                q: sets[1].clone(),
+                k: 3,
+            },
+            TwoWayQuery {
+                algorithm: TwoWayAlgorithm::BackwardBasic,
+                p: NodeSet::empty("P"),
+                q: sets[1].clone(),
+                k: 3,
+            },
+        ];
+        let error = engine.two_way_batch(&queries).unwrap_err();
+        assert!(
+            matches!(error, CoreError::AtQuery { index: 1, .. }),
+            "{error}"
+        );
+        assert!(error.to_string().contains("query #1"), "{error}");
+
+        let n_way = vec![NWayQuery {
+            algorithm: NWayAlgorithm::AllPairs,
+            query: QueryGraph::chain(4),
+            sets: sets.clone(),
+            aggregate: Aggregate::Min,
+            k: 3,
+        }];
+        let error = engine.n_way_batch(&n_way).unwrap_err();
+        assert!(
+            matches!(error, CoreError::AtQuery { index: 0, .. }),
+            "{error}"
+        );
     }
 
     #[test]
@@ -645,6 +991,9 @@ mod tests {
                 k: 4,
             }));
         }
+        // Mix in an Auto spec so the planner runs under concurrency too.
+        let mut queries: Vec<QuerySpec> = queries.iter().map(QuerySpec::from).collect();
+        queries.push(QuerySpec::two_way(sets[0].clone(), sets[2].clone(), 5));
         for shared in [true, false] {
             let engine = Engine::with_config(
                 graph.clone(),
@@ -675,23 +1024,121 @@ mod tests {
         let engine = Engine::new(graph);
         // Query 1 is malformed (three sets on a 4-vertex query graph).
         let queries = vec![
-            EngineQuery::TwoWay(TwoWayQuery {
+            QuerySpec::from(EngineQuery::TwoWay(TwoWayQuery {
                 algorithm: TwoWayAlgorithm::BackwardBasic,
                 p: sets[0].clone(),
                 q: sets[1].clone(),
                 k: 3,
-            }),
-            EngineQuery::NWay(NWayQuery {
+            })),
+            QuerySpec::from(EngineQuery::NWay(NWayQuery {
                 algorithm: NWayAlgorithm::AllPairs,
                 query: QueryGraph::chain(4),
                 sets: sets.clone(),
                 aggregate: Aggregate::Min,
                 k: 3,
-            }),
+            })),
         ];
         for sessions in [1usize, 2] {
-            assert!(engine.batch_sessions(&queries, sessions).is_err());
+            let error = engine.batch_sessions(&queries, sessions).unwrap_err();
+            assert!(
+                matches!(error, CoreError::AtQuery { index: 1, .. }),
+                "sessions={sessions}: {error}"
+            );
         }
+    }
+
+    #[test]
+    fn explain_flips_from_idj_to_basic_as_target_columns_warm() {
+        // The documented warmth scenario: on a cold session the planner
+        // picks B-IDJ-Y (pruning saves most of the per-target walk work);
+        // once the targets' backward columns are resident, the bound
+        // machinery is pure overhead and the same spec plans as B-BJ.
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let mut session = engine.session();
+        let spec = QuerySpec::two_way(sets[0].clone(), sets[1].clone(), 5);
+
+        let cold = session.explain(&spec).unwrap();
+        assert!(cold.auto);
+        assert_eq!(cold.resident_columns, 0);
+        assert_eq!(cold.probed_columns, sets[1].len());
+        assert_eq!(
+            cold.chosen,
+            PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardIdjY),
+            "cold plan: {cold}"
+        );
+
+        // Warm every target column at full depth, then re-explain.
+        session.two_way(TwoWayAlgorithm::BackwardBasic, &sets[0], &sets[1], 5);
+        let warm = session.explain(&spec).unwrap();
+        assert_eq!(warm.resident_columns, sets[1].len(), "warm plan: {warm}");
+        assert_eq!(
+            warm.chosen,
+            PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardBasic),
+            "warm plan: {warm}"
+        );
+        assert!(warm.expected_cache_hits() > 0);
+        assert!(warm.estimated_cost() < cold.estimated_cost());
+
+        // And the answers are identical either way (the planner only moves
+        // latency, never results).
+        let auto_out = session.run(&spec).unwrap();
+        let fixed_out = session.run(&QuerySpec::TwoWay(
+            TwoWaySpec::new(sets[0].clone(), sets[1].clone(), 5)
+                .with_fixed(TwoWayAlgorithm::BackwardIdjY),
+        ));
+        match (auto_out, fixed_out.unwrap()) {
+            (EngineOutput::TwoWay(a), EngineOutput::TwoWay(b)) => {
+                assert_eq!(a.pairs, b.pairs);
+            }
+            _ => unreachable!("two-way specs"),
+        }
+    }
+
+    #[test]
+    fn auto_n_way_specs_plan_and_run() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let mut session = engine.session();
+        let spec = QuerySpec::n_way(QueryGraph::chain(3), sets.clone(), 4);
+        let (plan, output) = session.run_with_plan(&spec).unwrap();
+        assert!(plan.auto);
+        let chosen = plan.chosen.n_way().expect("n-way plan");
+        // The planner must prefer an incremental partial join over the NL
+        // baseline on a non-trivial product.
+        assert!(
+            matches!(chosen, NWayAlgorithm::IncrementalPartialJoin { .. }),
+            "{plan}"
+        );
+        // Bit-identical to the pinned run of the same algorithm.
+        let fixed = session
+            .n_way(chosen, &QueryGraph::chain(3), &sets, Aggregate::Min, 4)
+            .unwrap();
+        match output {
+            EngineOutput::NWay(out) => assert_eq!(out.answers, fixed.answers),
+            EngineOutput::TwoWay(_) => unreachable!("n-way spec"),
+        }
+    }
+
+    #[test]
+    fn run_rejects_malformed_specs_before_touching_the_graph() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph);
+        let mut session = engine.session();
+        let empty = QuerySpec::two_way(NodeSet::empty("P"), sets[0].clone(), 3);
+        assert!(matches!(
+            session.run(&empty).unwrap_err(),
+            CoreError::EmptyNodeSet(_)
+        ));
+        assert!(matches!(
+            session.explain(&empty).unwrap_err(),
+            CoreError::EmptyNodeSet(_)
+        ));
+        let zero_k = QuerySpec::two_way(sets[0].clone(), sets[1].clone(), 0);
+        assert!(matches!(
+            session.run(&zero_k).unwrap_err(),
+            CoreError::ZeroResultSize
+        ));
     }
 
     #[test]

@@ -1,0 +1,620 @@
+//! Cost-based query planning: choose a join algorithm for a
+//! [`QuerySpec`](dht_core::spec::QuerySpec) from graph statistics and live cache
+//! state, and reify the decision as an inspectable [`QueryPlan`].
+//!
+//! Every algorithm in the paper's family is **exact** — they all return the
+//! same answers — so planning is purely a performance decision and can
+//! never change results (`tests/planner_parity_proptest.rs` pins this).
+//! The model is deliberately coarse: unit costs are "edge traversals", a
+//! cold walk is priced from the calibrated average out-degree (frontier
+//! growth capped by the dense sweep), and a **resident** backward column —
+//! probed through the session's [`QueryCtx`] without
+//! disturbing LRU order — costs nothing but its scan.  That last term is
+//! what makes plans *session-dependent*: on a cold session the
+//! iterative-deepening joins win (they prune most of the per-target walk
+//! work), while on a session whose target columns are already cached the
+//! plain B-BJ scan wins because the bound machinery of B-IDJ would be pure
+//! overhead.
+//!
+//! Two-way candidates are the paper's five join algorithms; n-way
+//! candidates are NL / AP / PJ / PJ-i, with PJ-i's initial list size `m`
+//! chosen as `max(k, 4)` for `Auto` plans.
+//!
+//! **`Auto` selects within the backward family only** (B-BJ / B-IDJ-X /
+//! B-IDJ-Y two-way; PJ / PJ-i n-way).  All backward algorithms read the
+//! same deterministic backward columns, so they answer bit-identically to
+//! each other — which makes warmth-dependent plan flips invisible in the
+//! results at any session count.  Forward algorithms (F-BJ, F-IDJ, and
+//! the forward-joining AP / NL) agree only to ~1e-9 (different
+//! floating-point summation order), so auto-selecting them would let
+//! cache warmth — which varies with scheduling — leak into the last bits
+//! of answers.  Their cost estimates are still computed and reported, so
+//! `explain` shows the whole tradeoff; pinning them with
+//! `AlgorithmChoice::Fixed` remains available and deterministic.
+
+use std::fmt;
+
+use dht_core::multiway::NWayAlgorithm;
+use dht_core::spec::{NWaySpec, TwoWaySpec};
+use dht_core::twoway::TwoWayAlgorithm;
+use dht_graph::{Graph, NodeSet};
+use dht_walks::frontier::calibrated_switch_factor;
+use dht_walks::{DhtParams, QueryCtx, WalkEngine};
+
+/// Graph-level statistics the cost model prices walks from; computed once
+/// per [`Engine`](crate::Engine) at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphStats {
+    /// `|V_G|`.
+    pub nodes: usize,
+    /// `|E_G|` (directed edges).
+    pub edges: usize,
+    /// Calibrated average out-degree `ḡ` (sampled, deterministic — the
+    /// same estimate `WalkEngine::Auto` switches its kernel on).
+    pub avg_out_degree: f64,
+}
+
+impl GraphStats {
+    /// Samples the statistics of `graph` (cheap: `O(1)`-ish, deterministic).
+    pub fn measure(graph: &Graph) -> Self {
+        GraphStats {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            avg_out_degree: calibrated_switch_factor(graph) as f64,
+        }
+    }
+
+    /// Estimated edge traversals of one cold truncated walk of depth `d`:
+    /// a frontier growing by `ḡ` per step, each step capped by the dense
+    /// sweep cost `2·|E_G|`, the frontier capped by `|V_G|`.
+    pub fn cold_walk_cost(&self, d: usize) -> f64 {
+        let g = self.avg_out_degree.max(1.0);
+        let dense_step = 2.0 * (self.edges.max(1) as f64);
+        let mut frontier = 1.0f64;
+        let mut cost = 0.0f64;
+        for _ in 0..d.max(1) {
+            cost += (frontier * g).min(dense_step);
+            frontier = (frontier * g).min(self.nodes.max(1) as f64);
+        }
+        cost.max(1.0)
+    }
+}
+
+/// The algorithm a plan resolved to (with concrete parameters, e.g. PJ-i's
+/// initial list size `m`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannedAlgorithm {
+    /// A two-way join algorithm.
+    TwoWay(TwoWayAlgorithm),
+    /// An n-way join algorithm.
+    NWay(NWayAlgorithm),
+}
+
+impl PlannedAlgorithm {
+    /// Human-readable name (PJ / PJ-i include their `m`).
+    pub fn label(&self) -> String {
+        match self {
+            PlannedAlgorithm::TwoWay(a) => a.name().to_string(),
+            PlannedAlgorithm::NWay(NWayAlgorithm::PartialJoin { m }) => format!("PJ(m={m})"),
+            PlannedAlgorithm::NWay(NWayAlgorithm::IncrementalPartialJoin { m }) => {
+                format!("PJ-i(m={m})")
+            }
+            PlannedAlgorithm::NWay(a) => a.name().to_string(),
+        }
+    }
+
+    /// The two-way algorithm, when this is a two-way plan.
+    pub fn two_way(&self) -> Option<TwoWayAlgorithm> {
+        match self {
+            PlannedAlgorithm::TwoWay(a) => Some(*a),
+            PlannedAlgorithm::NWay(_) => None,
+        }
+    }
+
+    /// The n-way algorithm, when this is an n-way plan.
+    pub fn n_way(&self) -> Option<NWayAlgorithm> {
+        match self {
+            PlannedAlgorithm::NWay(a) => Some(*a),
+            PlannedAlgorithm::TwoWay(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for PlannedAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One candidate's cost estimate (unit: estimated edge traversals).
+#[derive(Debug, Clone)]
+pub struct CostEstimate {
+    /// The candidate algorithm.
+    pub algorithm: PlannedAlgorithm,
+    /// Estimated cost in edge traversals.
+    pub cost: f64,
+}
+
+/// A reified planning decision: what will run, why, and what the cache
+/// looked like when the decision was made.
+///
+/// Returned by `Session::explain` and `Session::run_with_plan`; rendered
+/// by `dht querystream --explain 1` as one line per query.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The algorithm the query will run with.
+    pub chosen: PlannedAlgorithm,
+    /// `true` when the planner chose (spec said `Auto`); `false` when the
+    /// spec pinned the algorithm.
+    pub auto: bool,
+    /// Every candidate with its cost estimate, in preference order
+    /// (ties resolve to the earlier entry).
+    pub candidates: Vec<CostEstimate>,
+    /// Backward target columns (at full depth `d`) already resident in the
+    /// session's column cache when the plan was made.
+    pub resident_columns: usize,
+    /// Target columns probed (`|Q|` for two-way; `Σ |R_j|` over query
+    /// edges for n-way).
+    pub probed_columns: usize,
+    /// Whether the `Y_l⁺` bound table(s) the backward IDJ candidates need
+    /// were already cached.
+    pub y_tables_resident: bool,
+}
+
+impl QueryPlan {
+    /// The chosen candidate's cost estimate.
+    pub fn estimated_cost(&self) -> f64 {
+        self.candidates
+            .iter()
+            .find(|c| c.algorithm == self.chosen)
+            .map_or(0.0, |c| c.cost)
+    }
+
+    /// Expected column-cache hits of the chosen plan (the resident target
+    /// columns a backward algorithm will clone instead of walking; `0` for
+    /// forward-walking algorithms — F-BJ, F-IDJ, NL, and AP (whose
+    /// complete per-edge joins run F-BJ) — which never read the cache).
+    pub fn expected_cache_hits(&self) -> usize {
+        let backward = match self.chosen {
+            PlannedAlgorithm::TwoWay(a) => !matches!(
+                a,
+                TwoWayAlgorithm::ForwardBasic | TwoWayAlgorithm::ForwardIdj
+            ),
+            PlannedAlgorithm::NWay(a) => {
+                !matches!(a, NWayAlgorithm::NestedLoop | NWayAlgorithm::AllPairs)
+            }
+        };
+        if backward {
+            self.resident_columns
+        } else {
+            0
+        }
+    }
+}
+
+/// Compact cost rendering for plan lines (`1234`, `5.67e8`).
+fn format_cost(cost: f64) -> String {
+    if cost >= 1e6 {
+        format!("{cost:.2e}")
+    } else {
+        format!("{cost:.0}")
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "choose {} ({}; est {}, warm {}/{} target columns, Y-table {})",
+            self.chosen.label(),
+            if self.auto { "auto" } else { "fixed" },
+            format_cost(self.estimated_cost()),
+            self.resident_columns,
+            self.probed_columns,
+            if self.y_tables_resident {
+                "warm"
+            } else {
+                "cold"
+            },
+        )?;
+        let runners_up: Vec<String> = self
+            .candidates
+            .iter()
+            .filter(|c| c.algorithm != self.chosen)
+            .map(|c| format!("{} {}", c.algorithm.label(), format_cost(c.cost)))
+            .collect();
+        if !runners_up.is_empty() {
+            write!(f, "; rejected: {}", runners_up.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything the planner needs from the engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PlanInputs<'a> {
+    pub graph: &'a Graph,
+    pub stats: &'a GraphStats,
+    pub params: &'a DhtParams,
+    pub d: usize,
+    pub engine: WalkEngine,
+}
+
+/// Counts how many of `targets`' backward columns (full depth) are
+/// resident in `ctx`, probing without disturbing the cache.
+fn resident_targets(inputs: &PlanInputs<'_>, ctx: &QueryCtx, targets: &NodeSet) -> usize {
+    targets
+        .iter()
+        .filter(|&t| {
+            ctx.backward_column_resident(inputs.graph, inputs.params, t, inputs.d, inputs.engine)
+        })
+        .count()
+}
+
+/// IDJ pruning discounts: the fraction of per-target walk work an
+/// iterative-deepening join is expected to pay, interpolating between
+/// aggressive pruning at `k ≪ |P|·|Q|` and no pruning at `k = |P|·|Q|`.
+fn idj_discounts(k: usize, pairs: f64) -> (f64, f64) {
+    let frac = (k as f64 / pairs.max(1.0)).min(1.0);
+    let x = 0.55 + 0.45 * frac; // X_l⁺: parameter-only bound, prunes less
+    let y = 0.30 + 0.70 * frac; // Y_l⁺: reachability-aware, prunes more
+    (x, y)
+}
+
+/// Shallow-deepening overhead factor of the IDJ joins: the `l = 1, 2, 4…`
+/// rounds walk every still-alive target regardless of whether its *full
+/// depth* column is cached (shallow columns rarely are).
+const IDJ_DEEPENING_FACTOR: f64 = 0.2;
+
+/// Per-pair constant of rank-join candidate management (AP / PJ / PJ-i).
+const RANK_JOIN_PAIR_COST: f64 = 8.0;
+
+/// F-IDJ's pruning discount relative to F-BJ.
+const FIDJ_DISCOUNT: f64 = 0.6;
+
+/// PJ's restart penalty relative to PJ-i (`getNextNodePair` re-runs a
+/// deeper join from scratch whenever a list is exhausted).
+const PJ_RESTART_FACTOR: f64 = 1.5;
+
+/// Cost of one two-way backward-IDJ-Y edge evaluation; shared by the
+/// two-way planner and the per-edge terms of PJ / PJ-i.
+#[allow(clippy::too_many_arguments)]
+fn bidj_y_cost(
+    inputs: &PlanInputs<'_>,
+    walk: f64,
+    p_len: usize,
+    q_len: usize,
+    k: usize,
+    warm: usize,
+    y_resident: bool,
+) -> f64 {
+    let p = p_len as f64;
+    let q = q_len as f64;
+    let cold = q_len.saturating_sub(warm) as f64;
+    let (_, dy) = idj_discounts(k, p * q);
+    let y_cost = if y_resident {
+        0.0
+    } else {
+        // One d-step forward sweep seeded with all of P builds the table.
+        walk + (inputs.d as f64) * (inputs.stats.nodes as f64)
+    };
+    IDJ_DEEPENING_FACTOR * q * walk + dy * cold * walk + p * q + y_cost
+}
+
+/// Plans a two-way spec against the session's cache state.
+pub(crate) fn plan_two_way(
+    inputs: &PlanInputs<'_>,
+    ctx: &QueryCtx,
+    spec: &TwoWaySpec,
+) -> QueryPlan {
+    let walk = inputs.stats.cold_walk_cost(inputs.d);
+    let p = spec.p.len() as f64;
+    let q = spec.q.len() as f64;
+    let warm = resident_targets(inputs, ctx, &spec.q);
+    let cold = spec.q.len().saturating_sub(warm) as f64;
+    let y_resident = ctx.y_table_resident(
+        inputs.graph,
+        inputs.params,
+        &spec.p,
+        inputs.d,
+        inputs.engine,
+    );
+    let (dx, _) = idj_discounts(spec.k, p * q);
+    let scan = p * q;
+    let deepen = IDJ_DEEPENING_FACTOR * q * walk;
+
+    // Preference order doubles as the tie-break: the simplest algorithm
+    // that reaches the minimum wins.  Only the first AUTO_SELECTABLE
+    // entries — the backward family — are eligible for `Auto`; the forward
+    // estimates are reported for transparency only (see `finish_plan`).
+    let candidates = vec![
+        CostEstimate {
+            algorithm: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardBasic),
+            cost: cold * walk + scan,
+        },
+        CostEstimate {
+            algorithm: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardIdjY),
+            cost: bidj_y_cost(
+                inputs,
+                walk,
+                spec.p.len(),
+                spec.q.len(),
+                spec.k,
+                warm,
+                y_resident,
+            ),
+        },
+        CostEstimate {
+            algorithm: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardIdjX),
+            cost: deepen + dx * cold * walk + scan,
+        },
+        CostEstimate {
+            algorithm: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::ForwardIdj),
+            cost: FIDJ_DISCOUNT * p * q * walk + scan,
+        },
+        CostEstimate {
+            algorithm: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::ForwardBasic),
+            cost: p * q * walk + scan,
+        },
+    ];
+
+    finish_plan(
+        candidates,
+        TWO_WAY_AUTO_SELECTABLE,
+        spec.algorithm.fixed().map(|&a| PlannedAlgorithm::TwoWay(a)),
+        warm,
+        spec.q.len(),
+        y_resident,
+    )
+}
+
+/// How many leading two-way candidates `Auto` may select: the backward
+/// family (B-BJ, B-IDJ-Y, B-IDJ-X).  See [`finish_plan`].
+const TWO_WAY_AUTO_SELECTABLE: usize = 3;
+
+/// How many leading n-way candidates `Auto` may select: the partial-join
+/// family (PJ-i, PJ), whose per-edge scores come from the same backward
+/// columns.  See [`finish_plan`].
+const N_WAY_AUTO_SELECTABLE: usize = 2;
+
+/// Plans an n-way spec against the session's cache state.
+pub(crate) fn plan_n_way(inputs: &PlanInputs<'_>, ctx: &QueryCtx, spec: &NWaySpec) -> QueryPlan {
+    let walk = inputs.stats.cold_walk_cost(inputs.d);
+    // PJ / PJ-i initial list size: the caller's when pinned, else a small
+    // multiple of k (deep enough to usually avoid refinement, shallow
+    // enough to keep the initial joins cheap).
+    let m = match spec.algorithm.fixed() {
+        Some(NWayAlgorithm::PartialJoin { m } | NWayAlgorithm::IncrementalPartialJoin { m }) => *m,
+        _ => spec.k.max(4),
+    };
+
+    let mut warm_total = 0usize;
+    let mut probed_total = 0usize;
+    let mut all_y_resident = true;
+    let mut ap_cost = 0.0f64;
+    let mut pji_cost = 0.0f64;
+    let mut product = 1.0f64;
+    for set in &spec.sets {
+        product = (product * set.len() as f64).min(1e15);
+    }
+    for &(i, j) in spec.query.edges() {
+        let from = &spec.sets[i];
+        let to = &spec.sets[j];
+        let warm = resident_targets(inputs, ctx, to);
+        let y_resident =
+            ctx.y_table_resident(inputs.graph, inputs.params, from, inputs.d, inputs.engine);
+        all_y_resident &= y_resident;
+        warm_total += warm;
+        probed_total += to.len();
+        let pairs = from.len() as f64 * to.len() as f64;
+        // AP's complete per-edge join is forward (F-BJ) and never cached.
+        ap_cost += pairs * walk + pairs * RANK_JOIN_PAIR_COST;
+        pji_cost += bidj_y_cost(inputs, walk, from.len(), to.len(), m, warm, y_resident)
+            + pairs.min(m as f64 * to.len() as f64) * RANK_JOIN_PAIR_COST;
+    }
+    let edge_count = spec.query.edge_count() as f64;
+    let nl_cost = product * edge_count * walk;
+
+    // As in `plan_two_way`: only the leading partial-join family is
+    // `Auto`-selectable; AP and NL are estimated for transparency only.
+    let candidates = vec![
+        CostEstimate {
+            algorithm: PlannedAlgorithm::NWay(NWayAlgorithm::IncrementalPartialJoin { m }),
+            cost: pji_cost,
+        },
+        CostEstimate {
+            algorithm: PlannedAlgorithm::NWay(NWayAlgorithm::PartialJoin { m }),
+            cost: pji_cost * PJ_RESTART_FACTOR,
+        },
+        CostEstimate {
+            algorithm: PlannedAlgorithm::NWay(NWayAlgorithm::AllPairs),
+            cost: ap_cost,
+        },
+        CostEstimate {
+            algorithm: PlannedAlgorithm::NWay(NWayAlgorithm::NestedLoop),
+            cost: nl_cost,
+        },
+    ];
+
+    finish_plan(
+        candidates,
+        N_WAY_AUTO_SELECTABLE,
+        spec.algorithm.fixed().map(|&a| PlannedAlgorithm::NWay(a)),
+        warm_total,
+        probed_total,
+        all_y_resident,
+    )
+}
+
+/// Resolves the chosen candidate (cheapest among the first `selectable`
+/// candidates for `Auto`, the pinned one otherwise) and assembles the
+/// [`QueryPlan`].
+///
+/// `Auto` only ever selects within the **backward family** (the first
+/// `selectable` entries): forward and backward walks accumulate the same
+/// series in different floating-point orders, so cross-family answers
+/// agree to ~1e-9 but not bitwise — and an `Auto` choice depends on cache
+/// warmth, which varies with session count and scheduling.  Selecting
+/// within one bitwise-identical family keeps the engine's contract exact:
+/// planning (like caching) moves latency, never answers, at any session
+/// count.  The forward/NL/AP estimates are still computed and reported so
+/// `explain` shows the whole tradeoff.
+fn finish_plan(
+    candidates: Vec<CostEstimate>,
+    selectable: usize,
+    fixed: Option<PlannedAlgorithm>,
+    resident_columns: usize,
+    probed_columns: usize,
+    y_tables_resident: bool,
+) -> QueryPlan {
+    let chosen = match fixed {
+        Some(algorithm) => algorithm,
+        None => {
+            let eligible = &candidates[..selectable.min(candidates.len())];
+            let mut best = &eligible[0];
+            for candidate in &eligible[1..] {
+                if candidate.cost < best.cost {
+                    best = candidate;
+                }
+            }
+            best.algorithm
+        }
+    };
+    QueryPlan {
+        chosen,
+        auto: fixed.is_none(),
+        candidates,
+        resident_columns,
+        probed_columns,
+        y_tables_resident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> GraphStats {
+        GraphStats {
+            nodes: 2_000,
+            edges: 12_000,
+            avg_out_degree: 6.0,
+        }
+    }
+
+    #[test]
+    fn cold_walk_cost_grows_with_depth_and_caps_at_the_dense_sweep() {
+        let s = stats();
+        let shallow = s.cold_walk_cost(2);
+        let deep = s.cold_walk_cost(8);
+        assert!(deep > shallow);
+        // Every step is capped by the dense sweep, so the total is too.
+        assert!(deep <= 8.0 * 2.0 * s.edges as f64);
+        // A degenerate graph still prices a positive walk.
+        let empty = GraphStats {
+            nodes: 0,
+            edges: 0,
+            avg_out_degree: 0.0,
+        };
+        assert!(empty.cold_walk_cost(4) >= 1.0);
+    }
+
+    #[test]
+    fn idj_discounts_tighten_with_small_k_and_y_is_never_looser() {
+        let (x_small, y_small) = idj_discounts(1, 10_000.0);
+        let (x_full, y_full) = idj_discounts(10_000, 10_000.0);
+        assert!(x_small < x_full);
+        assert!(y_small < y_full);
+        assert!(y_small < x_small, "Y prunes more than X");
+        assert!((x_full - 1.0).abs() < 1e-12);
+        assert!((y_full - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_display_lists_chosen_and_rejected_candidates() {
+        let plan = QueryPlan {
+            chosen: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardBasic),
+            auto: true,
+            candidates: vec![
+                CostEstimate {
+                    algorithm: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardBasic),
+                    cost: 400.0,
+                },
+                CostEstimate {
+                    algorithm: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardIdjY),
+                    cost: 40_400.0,
+                },
+            ],
+            resident_columns: 20,
+            probed_columns: 20,
+            y_tables_resident: true,
+        };
+        let line = plan.to_string();
+        assert!(line.contains("choose B-BJ (auto"), "{line}");
+        assert!(line.contains("warm 20/20"), "{line}");
+        assert!(line.contains("rejected: B-IDJ-Y"), "{line}");
+        assert_eq!(plan.estimated_cost(), 400.0);
+        assert_eq!(plan.expected_cache_hits(), 20);
+    }
+
+    #[test]
+    fn forward_plans_expect_no_cache_hits() {
+        let plan = QueryPlan {
+            chosen: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::ForwardBasic),
+            auto: false,
+            candidates: vec![CostEstimate {
+                algorithm: PlannedAlgorithm::TwoWay(TwoWayAlgorithm::ForwardBasic),
+                cost: 1e7,
+            }],
+            resident_columns: 5,
+            probed_columns: 9,
+            y_tables_resident: false,
+        };
+        assert_eq!(plan.expected_cache_hits(), 0);
+        assert!(plan.to_string().contains("fixed"));
+        assert!(plan.to_string().contains("1.00e7"));
+    }
+
+    #[test]
+    fn all_pairs_plans_expect_no_cache_hits_either() {
+        // AP's complete per-edge joins run F-BJ (forward), so resident
+        // backward columns never help it — unlike PJ / PJ-i.
+        let base = QueryPlan {
+            chosen: PlannedAlgorithm::NWay(NWayAlgorithm::AllPairs),
+            auto: true,
+            candidates: vec![CostEstimate {
+                algorithm: PlannedAlgorithm::NWay(NWayAlgorithm::AllPairs),
+                cost: 1.0,
+            }],
+            resident_columns: 7,
+            probed_columns: 9,
+            y_tables_resident: false,
+        };
+        assert_eq!(base.expected_cache_hits(), 0);
+        let pji = QueryPlan {
+            chosen: PlannedAlgorithm::NWay(NWayAlgorithm::IncrementalPartialJoin { m: 4 }),
+            ..base
+        };
+        assert_eq!(pji.expected_cache_hits(), 7);
+    }
+
+    #[test]
+    fn planned_algorithm_labels_include_m() {
+        assert_eq!(
+            PlannedAlgorithm::NWay(NWayAlgorithm::IncrementalPartialJoin { m: 12 }).label(),
+            "PJ-i(m=12)"
+        );
+        assert_eq!(
+            PlannedAlgorithm::NWay(NWayAlgorithm::PartialJoin { m: 3 }).label(),
+            "PJ(m=3)"
+        );
+        assert_eq!(
+            PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardIdjY).label(),
+            "B-IDJ-Y"
+        );
+        assert_eq!(
+            PlannedAlgorithm::NWay(NWayAlgorithm::NestedLoop).label(),
+            "NL"
+        );
+    }
+}

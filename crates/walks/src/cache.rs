@@ -222,6 +222,15 @@ impl ColumnCache {
         self.stats
     }
 
+    /// Residency probe: whether the column for `(sig, target)` is currently
+    /// cached — **without** refreshing its LRU position, cloning it or
+    /// touching the hit/miss counters.  This is what cost-based planners use
+    /// to ask "would this lookup hit?" while deciding *whether* to look up
+    /// at all: probing must never change what a later eviction does.
+    pub fn contains(&self, sig: u64, target: u32) -> bool {
+        self.byte_budget > 0 && self.slots.contains_key(&(sig, target))
+    }
+
     /// Looks up the column for `(sig, target)`, refreshing its LRU position
     /// on a hit.
     pub fn get(&mut self, sig: u64, target: u32) -> Option<Arc<[f64]>> {
@@ -339,7 +348,7 @@ pub struct SharedColumnCache {
 
 impl SharedColumnCache {
     /// A shared cache with `byte_budget` total capacity across
-    /// [`DEFAULT_SHARDS`] lock stripes (fewer when the budget is too small
+    /// `DEFAULT_SHARDS` (16) lock stripes (fewer when the budget is too small
     /// to split usefully).
     pub fn new(byte_budget: usize) -> Self {
         SharedColumnCache::with_shards(byte_budget, DEFAULT_SHARDS)
@@ -399,6 +408,17 @@ impl SharedColumnCache {
         h = fnv1a(h, &sig.to_le_bytes());
         h = fnv1a(h, &target.to_le_bytes());
         &self.shards[(h as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Residency probe: whether the column for `(sig, target)` is currently
+    /// cached in its stripe — no LRU touch, no clone, no counter update
+    /// (see [`ColumnCache::contains`]).  The stripe lock is held only for
+    /// the map lookup.
+    pub fn contains(&self, sig: u64, target: u32) -> bool {
+        self.shard(sig, target)
+            .lock()
+            .expect("shard lock poisoned")
+            .contains(sig, target)
     }
 
     /// Looks up the column for `(sig, target)` in its stripe.
@@ -495,6 +515,13 @@ impl ColumnStore {
         match self {
             ColumnStore::Private(cache) => cache.insert(sig, target, column),
             ColumnStore::Shared { cache, .. } => cache.insert(sig, target, column),
+        }
+    }
+
+    fn contains(&self, sig: u64, target: u32) -> bool {
+        match self {
+            ColumnStore::Private(cache) => cache.contains(sig, target),
+            ColumnStore::Shared { cache, .. } => cache.contains(sig, target),
         }
     }
 
@@ -622,6 +649,51 @@ impl QueryCtx {
     pub fn clear(&mut self) {
         self.columns.clear();
         self.y_tables.clear();
+    }
+
+    /// Residency probe: whether the backward DHT column of `target` (at
+    /// walk depth `d` under `params` / `engine`) is currently resident in
+    /// this context's column store — without touching LRU order, counters
+    /// or the column itself.  Planners use this to cost "warm" vs "cold"
+    /// targets before choosing an algorithm; probing never changes what a
+    /// later lookup or eviction does.
+    pub fn backward_column_resident(
+        &self,
+        graph: &Graph,
+        params: &DhtParams,
+        target: NodeId,
+        d: usize,
+        engine: WalkEngine,
+    ) -> bool {
+        let sig = graph_scoped_sig(graph, dht_column_sig(params, d, engine));
+        self.columns.contains(sig, target.0)
+    }
+
+    /// Residency probe for a custom column signature (the
+    /// [`QueryCtx::for_each_column_cached`] key space); like
+    /// [`QueryCtx::backward_column_resident`], it never touches LRU order
+    /// or counters.
+    pub fn column_resident(&self, graph: &Graph, sig: u64, target: NodeId) -> bool {
+        self.columns
+            .contains(graph_scoped_sig(graph, sig), target.0)
+    }
+
+    /// Residency probe: whether the `Y_l⁺` bound table for `(params, d,
+    /// engine, p)` is cached in this context.  Read-only: no LRU stamp
+    /// refresh, no counter update.
+    pub fn y_table_resident(
+        &self,
+        graph: &Graph,
+        params: &DhtParams,
+        p: &NodeSet,
+        d: usize,
+        engine: WalkEngine,
+    ) -> bool {
+        let key = (
+            graph_scoped_sig(graph, dht_column_sig(params, d, engine)),
+            node_set_sig(p),
+        );
+        self.columns.is_enabled() && self.y_tables.contains_key(&key)
     }
 
     /// The truncated backward DHT column `h_d(·, target)` for every source,
@@ -865,6 +937,88 @@ mod tests {
         assert!(cache.get(1, 10).is_some());
         assert!(cache.get(1, 30).is_some());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn contains_probes_never_touch_lru_order_or_counters() {
+        // Two entries in a two-entry budget; key 10 is the LRU.  Probing it
+        // thousands of times must not refresh it: the next insert still
+        // evicts 10, exactly as if no probe had happened.
+        let mut cache = ColumnCache::with_byte_budget(budget_for(2, 1));
+        let col = |x: f64| -> Arc<[f64]> { vec![x].into() };
+        cache.insert(1, 10, col(1.0));
+        cache.insert(1, 20, col(2.0));
+        let stats_before = cache.stats();
+        let queue_before = cache.order.len();
+        for _ in 0..10_000 {
+            assert!(cache.contains(1, 10));
+            assert!(cache.contains(1, 20));
+            assert!(!cache.contains(1, 30));
+            assert!(!cache.contains(2, 10));
+        }
+        assert_eq!(cache.stats(), stats_before, "probes must not count");
+        assert_eq!(
+            cache.order.len(),
+            queue_before,
+            "probes must not touch the queue"
+        );
+        cache.insert(1, 30, col(3.0));
+        assert!(!cache.contains(1, 10), "10 stayed LRU despite the probes");
+        assert!(cache.contains(1, 20));
+        assert!(cache.contains(1, 30));
+        assert_eq!(cache.stats().evictions, 1);
+        // A disabled cache reports nothing resident.
+        let disabled = ColumnCache::disabled();
+        assert!(!disabled.contains(1, 20));
+    }
+
+    #[test]
+    fn shared_contains_probe_is_side_effect_free() {
+        let cache = SharedColumnCache::with_shards(budget_for(2, 1), 1);
+        cache.insert(1, 10, vec![1.0].into());
+        cache.insert(1, 20, vec![2.0].into());
+        let stats_before = cache.stats();
+        for _ in 0..1_000 {
+            assert!(cache.contains(1, 10));
+            assert!(!cache.contains(1, 99));
+        }
+        assert_eq!(cache.stats(), stats_before);
+        cache.insert(1, 30, vec![3.0].into());
+        assert!(!cache.contains(1, 10), "probes must not refresh LRU order");
+        assert!(cache.contains(1, 20));
+        assert!(cache.contains(1, 30));
+    }
+
+    #[test]
+    fn ctx_residency_probes_report_columns_and_y_tables() {
+        let g = ring(12);
+        let params = DhtParams::paper_default();
+        let mut ctx = QueryCtx::with_byte_budget(1 << 20);
+        assert!(!ctx.backward_column_resident(&g, &params, NodeId(3), 6, WalkEngine::Sparse));
+        ctx.backward_column(&g, &params, NodeId(3), 6, WalkEngine::Sparse);
+        let stats_before = ctx.column_stats();
+        assert!(ctx.backward_column_resident(&g, &params, NodeId(3), 6, WalkEngine::Sparse));
+        // Different depth / engine / target / graph → not resident.
+        assert!(!ctx.backward_column_resident(&g, &params, NodeId(3), 5, WalkEngine::Sparse));
+        assert!(!ctx.backward_column_resident(&g, &params, NodeId(3), 6, WalkEngine::Dense));
+        assert!(!ctx.backward_column_resident(&g, &params, NodeId(4), 6, WalkEngine::Sparse));
+        let other = ring(13);
+        assert!(!ctx.backward_column_resident(&other, &params, NodeId(3), 6, WalkEngine::Sparse));
+        assert_eq!(ctx.column_stats(), stats_before, "probes must not count");
+
+        let p = NodeSet::new("P", [NodeId(0), NodeId(1)]);
+        assert!(!ctx.y_table_resident(&g, &params, &p, 6, WalkEngine::Sparse));
+        ctx.y_bound_table(&g, &params, &p, 6, WalkEngine::Sparse, 1);
+        let y_before = ctx.y_table_stats();
+        assert!(ctx.y_table_resident(&g, &params, &p, 6, WalkEngine::Sparse));
+        let p2 = NodeSet::new("P2", [NodeId(2)]);
+        assert!(!ctx.y_table_resident(&g, &params, &p2, 6, WalkEngine::Sparse));
+        assert_eq!(ctx.y_table_stats(), y_before, "probes must not count");
+
+        // One-shot contexts never report residency.
+        let cold = QueryCtx::one_shot();
+        assert!(!cold.backward_column_resident(&g, &params, NodeId(3), 6, WalkEngine::Sparse));
+        assert!(!cold.y_table_resident(&g, &params, &p, 6, WalkEngine::Sparse));
     }
 
     #[test]

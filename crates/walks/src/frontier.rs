@@ -109,7 +109,7 @@ const CALIBRATION_SAMPLES: usize = 64;
 /// unchanged.
 ///
 /// Degrees are sampled at a fixed stride over at most
-/// [`CALIBRATION_SAMPLES`] nodes, so calibration is `O(1)`-ish per walk and
+/// `CALIBRATION_SAMPLES` nodes, so calibration is `O(1)`-ish per walk and
 /// fully deterministic.
 pub fn calibrated_switch_factor(graph: &Graph) -> usize {
     let n = graph.node_count();

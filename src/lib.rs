@@ -6,16 +6,21 @@
 //!
 //! This facade crate re-exports the public API of the workspace crates:
 //!
-//! * [`graph`] — the graph substrate ([`Graph`], [`GraphBuilder`],
-//!   [`NodeSet`], generators, I/O);
-//! * [`walks`] — DHT measures and walk engines ([`DhtParams`], forward /
-//!   backward walks, bounds);
-//! * [`core`] — the join algorithms themselves ([`QueryGraph`],
-//!   [`Aggregate`], the 2-way algorithms F-BJ … B-IDJ-Y and the n-way
-//!   algorithms NL / AP / PJ / PJ-i);
+//! * [`graph`] — the graph substrate ([`Graph`](graph::Graph),
+//!   [`GraphBuilder`](graph::GraphBuilder), [`NodeSet`](graph::NodeSet),
+//!   generators, I/O);
+//! * [`walks`] — DHT measures and walk engines
+//!   ([`DhtParams`](walks::DhtParams), forward / backward walks, bounds);
+//! * [`core`] — the join algorithms themselves
+//!   ([`QueryGraph`](core::QueryGraph), [`Aggregate`](core::Aggregate), the
+//!   2-way algorithms F-BJ … B-IDJ-Y and the n-way algorithms NL / AP /
+//!   PJ / PJ-i);
 //! * [`engine`] — the query-session engine: an [`Engine`] per graph hands
 //!   out [`Session`]s whose warm backward-column caches answer repeated
-//!   query streams without recomputing walks;
+//!   query streams without recomputing walks; sessions consume declarative
+//!   [`core::QuerySpec`]s — `Session::run` plans `Auto` specs with a cost
+//!   model over graph statistics and live cache state, and
+//!   `Session::explain` reifies the decision as a `QueryPlan`;
 //! * [`datasets`] — synthetic analogues of the paper's datasets;
 //! * [`eval`] — ROC / AUC, link- and 3-clique-prediction experiments;
 //! * [`measures`] — the extension sketched in the paper's conclusion:
@@ -84,9 +89,12 @@ pub use dht_engine::{Engine, Session};
 /// The most commonly used types, re-exported for `use dht_nway::prelude::*`.
 pub mod prelude {
     pub use dht_core::multiway::{NWayAlgorithm, NWayConfig, NWayOutput};
+    pub use dht_core::spec::{AlgorithmChoice, NWaySpec, QuerySpec, TwoWaySpec};
     pub use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig, TwoWayOutput};
     pub use dht_core::{Aggregate, Answer, QueryGraph};
-    pub use dht_engine::{Engine, EngineConfig, NWayQuery, Session, TwoWayQuery};
+    pub use dht_engine::{
+        Engine, EngineConfig, EngineOutput, NWayQuery, QueryPlan, Session, TwoWayQuery,
+    };
     pub use dht_graph::generators::PlantedPartitionConfig;
     pub use dht_graph::{Graph, GraphBuilder, NodeId, NodeSet};
     pub use dht_measures::{IterativeMeasure, ProximityMeasure};

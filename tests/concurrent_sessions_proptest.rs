@@ -106,6 +106,7 @@ proptest! {
         let two_way_config = TwoWayConfig::paper_default();
         let n_way_config = NWayConfig::paper_default();
         let references: Vec<EngineQuery> = stream.clone();
+        let specs: Vec<QuerySpec> = stream.iter().map(QuerySpec::from).collect();
 
         // A budget worth ~2 columns of the largest generated graph: every
         // session keeps evicting what the others just inserted.
@@ -119,7 +120,7 @@ proptest! {
         for sessions in dht_nway::par::test_thread_counts(&[2, 4]) {
             let sessions = sessions.max(2); // the point is concurrency
             let outputs = engine
-                .batch_sessions(&stream, sessions)
+                .batch_sessions(&specs, sessions)
                 .expect("stream is valid");
             prop_assert_eq!(outputs.len(), references.len());
             for (index, (query, output)) in references.iter().zip(outputs.iter()).enumerate() {

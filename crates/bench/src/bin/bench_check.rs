@@ -17,14 +17,28 @@
 //!
 //! * `BENCH_CHECK_SKIP=1` demotes failures to warnings (exit 0) — the
 //!   escape hatch for a PR that knowingly trades speed for something else;
-//! * `--update` copies the fresh report over the baseline and exits —
-//!   commit the result to ratify a new performance baseline:
+//! * `--update` writes the fresh report over the baseline — **stamping the
+//!   recording host into its `host` block** (`stamped_by`, the recording
+//!   machine's logical core count) so every committed baseline says where
+//!   its numbers came from — and exits; commit the result to ratify a new
+//!   performance baseline:
 //!   `cargo run -p dht-bench --release --bin repro_all -- --scale tiny &&
 //!    cargo run -p dht-bench --release --bin bench_check -- --update`.
 //!
+//! **Re-baselining from a CI artifact** (the recommended path — dev
+//! containers and CI runners time differently, and the gate compares
+//! like-for-like only when the baseline was recorded on a CI runner):
+//! download `BENCH_results.json` from a green CI run's `BENCH_results`
+//! artifact, place it in the repository root, run
+//! `bench_check --update --stamp-host ci`, and commit the refreshed
+//! `BENCH_baseline.json`.  At check time a baseline whose stamped core
+//! count differs from the measuring host's prints a warning (not a
+//! failure) so drift is visible in the log.
+//!
 //! ```text
 //! Usage: bench_check [--baseline PATH] [--fresh PATH]
-//!                    [--max-slowdown X] [--floor SECONDS] [--update]
+//!                    [--max-slowdown X] [--floor SECONDS]
+//!                    [--update] [--stamp-host NAME]
 //! ```
 
 use std::process::ExitCode;
@@ -43,6 +57,7 @@ struct Options {
     max_slowdown: f64,
     floor: f64,
     update: bool,
+    stamp_host: Option<String>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -52,6 +67,7 @@ fn parse_options() -> Result<Options, String> {
         max_slowdown: DEFAULT_MAX_SLOWDOWN,
         floor: DEFAULT_FLOOR_SECONDS,
         update: false,
+        stamp_host: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
@@ -75,6 +91,7 @@ fn parse_options() -> Result<Options, String> {
                     .map_err(|e| format!("invalid --floor: {e}"))?
             }
             "--update" => options.update = true,
+            "--stamp-host" => options.stamp_host = Some(value("--stamp-host")?),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -116,22 +133,88 @@ fn load(path: &str) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The logical core count of the machine running this process.
+fn this_host_cores() -> f64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get()) as f64
+}
+
+/// `host.<key>` of a report, when present.
+fn host_number(report: &Json, key: &str) -> Option<f64> {
+    report.get("host")?.get(key)?.as_f64()
+}
+
+/// Rewrites the baseline from the fresh report, stamping provenance into
+/// its `host` block: who stamped it, on how many cores, and the label
+/// given with `--stamp-host` (e.g. `ci` when re-baselining from a CI
+/// artifact, the documented procedure).
+fn refresh_baseline(options: &Options) -> Result<(), String> {
+    let mut fresh = load(&options.fresh)?;
+    let mut host = fresh.get("host").cloned().unwrap_or(Json::Obj(Vec::new()));
+    host.set("stamped_by", Json::Str("bench_check --update".to_string()));
+    host.set("stamped_cores", Json::Num(this_host_cores()));
+    host.set(
+        "stamped_host",
+        Json::Str(
+            options
+                .stamp_host
+                .clone()
+                .unwrap_or_else(|| "local".to_string()),
+        ),
+    );
+    fresh.set("host", host);
+    std::fs::write(&options.baseline, fresh.render())
+        .map_err(|e| format!("could not refresh baseline: {e}"))?;
+    println!(
+        "bench_check: refreshed {} from {} (host stamp: {} on {} core(s)) — \
+         commit it to ratify the new baseline",
+        options.baseline,
+        options.fresh,
+        options.stamp_host.as_deref().unwrap_or("local"),
+        this_host_cores()
+    );
+    Ok(())
+}
+
 fn run() -> Result<Vec<String>, String> {
     let options = parse_options()?;
 
     if options.update {
-        std::fs::copy(&options.fresh, &options.baseline)
-            .map_err(|e| format!("could not refresh baseline: {e}"))?;
-        println!(
-            "bench_check: refreshed {} from {} — commit it to ratify the new baseline",
-            options.baseline, options.fresh
-        );
+        refresh_baseline(&options)?;
         return Ok(Vec::new());
     }
 
     let baseline = load(&options.baseline)?;
     let fresh = load(&options.fresh)?;
     let mut failures: Vec<String> = Vec::new();
+
+    // 0. Host drift: a baseline recorded on a different core budget is
+    //    comparable only thanks to the slack margins — warn, don't fail,
+    //    and point at the re-baseline procedure.
+    let baseline_cores =
+        host_number(&baseline, "stamped_cores").or_else(|| host_number(&baseline, "logical_cores"));
+    match baseline_cores {
+        Some(cores) if cores != this_host_cores() => {
+            println!(
+                "bench_check: WARNING: baseline was recorded on {cores} core(s) \
+                 ({}), this host has {} — timings compare only via the \
+                 {:.1}x + {:.2} s margins; re-baseline from a CI artifact \
+                 (`bench_check --update --stamp-host ci`) when possible",
+                baseline
+                    .get("host")
+                    .and_then(|h| h.get("stamped_host"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("unstamped"),
+                this_host_cores(),
+                options.max_slowdown,
+                options.floor
+            );
+        }
+        Some(_) => {}
+        None => println!(
+            "bench_check: WARNING: baseline carries no host block; re-stamp it \
+             with `bench_check --update`"
+        ),
+    }
 
     // 1. Parity flags: any false (or malformed) flag in the fresh report
     //    fails the gate outright.

@@ -15,16 +15,18 @@
 //! runners stay interpretable), the wall-clock seconds of each experiment,
 //! the warm/cold `query_stream` engine-session rows, the
 //! `query_stream_concurrent` shared-vs-private multi-session rows, the
-//! `planner` Auto-vs-best-fixed rows (each block with a `"parity"` flag
-//! the `bench_check` CI gate enforces), and a walk-engine ablation
-//! (dense-serial seed path vs sparse-serial vs sparse multi-threaded) on
-//! the Figure 9 two-way Yeast workload.
+//! `planner` Auto-vs-best-fixed rows, the `server_throughput` loopback-TCP
+//! serving rows (each block with a `"parity"` flag the `bench_check` CI
+//! gate enforces), and a walk-engine ablation (dense-serial seed path vs
+//! sparse-serial vs sparse multi-threaded) on the Figure 9 two-way Yeast
+//! workload.
 
 use std::fmt::Write as _;
 
 use dht_bench::experiments::planner::{self, PlannerResult};
 use dht_bench::experiments::query_stream::{self, QueryStreamResult};
 use dht_bench::experiments::query_stream_concurrent::{self, QueryStreamConcurrentResult};
+use dht_bench::experiments::server_throughput::{self, ServerThroughputResult};
 use dht_bench::{timing, workloads};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
 use dht_datasets::Scale;
@@ -115,8 +117,31 @@ fn main() {
     );
     timings.push(("planner".to_string(), elapsed.as_secs_f64()));
 
+    let (serving, elapsed) = timing::time(|| server_throughput::measure(scale));
+    eprintln!(
+        "server_throughput: {} conns x {} reqs on {} workers, {:.4} s \
+         ({:.1} req/s, p99 {:.4} ms, {} busy, parity {})",
+        serving.connections,
+        serving.requests_per_connection,
+        serving.workers,
+        serving.seconds,
+        serving.throughput(),
+        serving.p99_ms,
+        serving.busy_rejections,
+        serving.parity
+    );
+    timings.push(("server_throughput".to_string(), elapsed.as_secs_f64()));
+
     let ablation = engine_ablation(scale);
-    let json = render_json(scale, &timings, &stream, &concurrent, &planner, &ablation);
+    let json = render_json(
+        scale,
+        &timings,
+        &stream,
+        &concurrent,
+        &planner,
+        &serving,
+        &ablation,
+    );
     let path = "BENCH_results.json";
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("wrote {path}"),
@@ -174,12 +199,14 @@ fn engine_ablation(scale: Scale) -> Vec<AblationRow> {
 /// Hand-rolled JSON rendering (the workspace is dependency-free); all
 /// strings written here are plain ASCII identifiers, so no escaping is
 /// needed.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: Scale,
     timings: &[(String, f64)],
     stream: &QueryStreamResult,
     concurrent: &QueryStreamConcurrentResult,
     planner: &PlannerResult,
+    serving: &ServerThroughputResult,
     ablation: &[AblationRow],
 ) -> String {
     let mut out = String::from("{\n");
@@ -259,6 +286,24 @@ fn render_json(
     // `measure` asserts Auto ≡ its chosen algorithms bitwise, so reaching
     // this line means the parity contract held for this run.
     let _ = writeln!(out, "    \"parity\": {}", planner.parity);
+    out.push_str("  },\n");
+    out.push_str("  \"server_throughput\": {\n");
+    out.push_str("    \"workload\": \"yeast_loopback_tcp_closed_loop\",\n");
+    let _ = writeln!(out, "    \"connections\": {},", serving.connections);
+    let _ = writeln!(
+        out,
+        "    \"requests_per_connection\": {},",
+        serving.requests_per_connection
+    );
+    let _ = writeln!(out, "    \"workers\": {},", serving.workers);
+    let _ = writeln!(out, "    \"seconds\": {:.6},", serving.seconds);
+    let _ = writeln!(out, "    \"throughput_rps\": {:.3},", serving.throughput());
+    let _ = writeln!(out, "    \"p50_ms\": {:.4},", serving.p50_ms);
+    let _ = writeln!(out, "    \"p99_ms\": {:.4},", serving.p99_ms);
+    let _ = writeln!(out, "    \"busy_rejections\": {},", serving.busy_rejections);
+    // `measure` compares every wire response against the in-process
+    // answer; the flag is enforced by bench_check like the others.
+    let _ = writeln!(out, "    \"parity\": {}", serving.parity);
     out.push_str("  },\n");
     out.push_str("  \"engine_ablation\": {\n");
     out.push_str("    \"workload\": \"fig9_twoway_yeast_k50\",\n");

@@ -1,0 +1,219 @@
+//! `server_throughput` — end-to-end serving throughput of `dht-server`
+//! over loopback TCP, with wire-level parity against in-process sessions.
+//!
+//! Not a paper artefact: this tracks the repository's own serving layer.
+//! A `dht-server` is started in-process on an ephemeral loopback port over
+//! the Yeast analogue, and the load generator replays a repeated-target
+//! query stream (two-way B-BJ / B-IDJ-Y / `auto` plus an n-way line) on
+//! several closed-loop connections.  Every wire response is compared
+//! **as a string** against the in-process `Session::run` answer encoded the
+//! same way — scores travel as exact `f64` bit patterns, so string equality
+//! is bit parity.  The `"parity"` flag lands in `BENCH_results.json`, where
+//! the `bench_check` CI gate enforces it, and the wall-clock seconds join
+//! the gated experiment rows.
+
+use dht_core::queryline::{self, ParseOptions};
+use dht_datasets::Scale;
+use dht_engine::Engine;
+use dht_eval::report;
+use dht_server::loadgen::{self, LoadGenConfig, LoadMode};
+use dht_server::metrics::percentile;
+use dht_server::{wire, Server, ServerConfig};
+
+use crate::workloads;
+
+/// Measured outcome of the experiment.
+pub struct ServerThroughputResult {
+    /// Requests each connection sends (unique lines × passes).
+    pub requests_per_connection: usize,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Server worker sessions.
+    pub workers: usize,
+    /// Total responses collected.
+    pub answered: usize,
+    /// Wall-clock seconds of the replay.
+    pub seconds: f64,
+    /// `ERR BUSY` rejections observed (re-sent by the generator).
+    pub busy_rejections: u64,
+    /// Median per-request latency in ms.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency in ms.
+    pub p99_ms: f64,
+    /// Whether every wire response was bit-identical to the in-process
+    /// answer.
+    pub parity: bool,
+}
+
+impl ServerThroughputResult {
+    /// Requests answered per second over the wire.
+    pub fn throughput(&self) -> f64 {
+        self.answered as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// The replayed stream: repeated-target two-way queries under fixed and
+/// `auto` algorithms, plus one n-way line, over the first three Yeast sets.
+fn stream_lines(set_names: &[String], k: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for algorithm in ["b-bj", "b-idj-y", "auto"] {
+        for i in 0..3usize {
+            for j in 0..3usize {
+                if i != j {
+                    lines.push(format!("{} {} {k} {algorithm}", set_names[i], set_names[j]));
+                }
+            }
+        }
+    }
+    lines.push(format!(
+        "nway chain {} {} {} {k} ap min",
+        set_names[0], set_names[1], set_names[2]
+    ));
+    lines
+}
+
+/// Runs the measurement once and returns the timings.
+///
+/// # Panics
+/// Panics if the server cannot bind loopback or a connection fails — CI
+/// treats that as the smoke test failing.
+pub fn measure(scale: Scale) -> ServerThroughputResult {
+    let dataset = workloads::yeast(scale);
+    let (cap, k, connections, repeat) = match scale {
+        Scale::Tiny => (16, 5, 2, 1),
+        _ => (40, 25, 4, 2),
+    };
+    let sets = workloads::yeast_query_sets(&dataset, 3, cap);
+    let set_names: Vec<String> = sets.iter().map(|s| s.name().to_string()).collect();
+    let lines = stream_lines(&set_names, k);
+
+    // In-process expected answers, one warm session in stream order.
+    let options = ParseOptions::default();
+    let reference = Engine::new(dataset.graph.clone());
+    let mut session = reference.session();
+    let expected: Vec<String> = lines
+        .iter()
+        .enumerate()
+        .map(|(index, line)| {
+            let parsed = queryline::parse_query_line(line, &sets, &options, index + 1)
+                .expect("experiment stream is well-formed")
+                .expect("no blank lines");
+            let output = session
+                .run(&parsed.spec)
+                .expect("experiment stream is valid");
+            format!("OK {}", wire::encode_output(&output))
+        })
+        .collect();
+
+    let workers = 2usize;
+    let server = Server::start(
+        Engine::new(dataset.graph.clone()),
+        sets,
+        options,
+        ServerConfig::default().with_workers(workers),
+    )
+    .expect("bind loopback");
+    let report = loadgen::run(
+        server.local_addr(),
+        &lines,
+        &LoadGenConfig {
+            connections,
+            repeat,
+            mode: LoadMode::Closed,
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("loopback replay succeeds");
+    server.shutdown();
+
+    let parity = report.responses.iter().all(|finals| {
+        finals
+            .iter()
+            .enumerate()
+            .all(|(index, response)| response == &expected[index % expected.len()])
+    });
+    let mut sorted = report.latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    ServerThroughputResult {
+        requests_per_connection: report.requests_per_connection,
+        connections: report.connections,
+        workers,
+        answered: report.answered,
+        seconds: report.elapsed.as_secs_f64(),
+        busy_rejections: report.busy_rejections,
+        p50_ms: percentile(&sorted, 0.50),
+        p99_ms: percentile(&sorted, 0.99),
+        parity,
+    }
+}
+
+/// Runs the experiment and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let result = measure(scale);
+    let mut out = String::new();
+    out.push_str(&report::heading(
+        "server_throughput — dht-server over loopback TCP (Yeast)",
+    ));
+    out.push_str(&format!(
+        "{} connections × {} closed-loop requests on {} workers\n\n",
+        result.connections, result.requests_per_connection, result.workers
+    ));
+    out.push_str(&report::format_table(
+        &["metric", "value"],
+        &[
+            vec![
+                "total time (s)".to_string(),
+                format!("{:.4}", result.seconds),
+            ],
+            vec![
+                "throughput (req/s)".to_string(),
+                format!("{:.1}", result.throughput()),
+            ],
+            vec![
+                "p50 latency (ms)".to_string(),
+                format!("{:.4}", result.p50_ms),
+            ],
+            vec![
+                "p99 latency (ms)".to_string(),
+                format!("{:.4}", result.p99_ms),
+            ],
+            vec![
+                "busy rejections".to_string(),
+                result.busy_rejections.to_string(),
+            ],
+        ],
+    ));
+    out.push_str(&format!(
+        "\nwire parity vs in-process sessions: {}\n",
+        if result.parity {
+            "ok (bit-identical)"
+        } else {
+            "FAILED"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_serving_run_is_bit_identical_over_the_wire() {
+        let result = measure(Scale::Tiny);
+        assert!(result.parity, "wire answers must match in-process answers");
+        assert_eq!(
+            result.answered,
+            result.connections * result.requests_per_connection
+        );
+        assert!(result.throughput() > 0.0);
+    }
+
+    #[test]
+    fn report_contains_throughput_and_parity() {
+        let report = run(Scale::Tiny);
+        assert!(report.contains("throughput"));
+        assert!(report.contains("parity"));
+        assert!(report.contains("ok (bit-identical)"));
+    }
+}

@@ -98,6 +98,88 @@ impl Json {
         }
     }
 
+    /// Sets (or replaces) member `key` on an object; no-op on other kinds.
+    /// Used by `bench_check --update` to stamp host metadata into the
+    /// baseline it writes.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(members) = self {
+            match members.iter_mut().find(|(name, _)| name == key) {
+                Some((_, slot)) => *slot = value,
+                None => members.push((key.to_string(), value)),
+            }
+        }
+    }
+
+    /// Renders the value back to pretty-printed JSON (2-space indent) —
+    /// the writer matching this reader, used when `bench_check --update`
+    /// rewrites the baseline.  Numbers print via `f64`'s shortest
+    /// round-trip representation, so re-parsing yields identical values.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.render_into(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in members.iter().enumerate() {
+                    out.push_str(&pad);
+                    out.push_str(&format!("\"{key}\": "));
+                    value.render_into(out, depth + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+        }
+    }
+
     /// Depth-first walk over every `(key, value)` member of this value and
     /// its descendants — what the parity-flag scan uses.
     pub fn walk_members(&self, visit: &mut impl FnMut(&str, &Json)) {
@@ -350,6 +432,38 @@ mod tests {
             }
         });
         assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn render_round_trips_the_report_shape() {
+        let text = r#"{
+            "scale": "tiny",
+            "host": {"logical_cores": 1},
+            "experiments": [
+                {"name": "fig9", "seconds": 0.123456},
+                {"name": "fig10", "seconds": 1.5e-2}
+            ],
+            "query_stream": {"parity": true, "speedup": 30.5},
+            "empty_arr": [], "empty_obj": {}, "nothing": null
+        }"#;
+        let json = Json::parse(text).unwrap();
+        let rendered = json.render();
+        assert_eq!(Json::parse(&rendered).unwrap(), json, "lossless round-trip");
+        assert!(rendered.contains("\"logical_cores\": 1"), "{rendered}");
+        assert!(rendered.ends_with("}\n"));
+    }
+
+    #[test]
+    fn set_replaces_and_appends_object_members() {
+        let mut json = Json::parse(r#"{"a": 1}"#).unwrap();
+        json.set("a", Json::Num(2.0));
+        json.set("b", Json::Str("x".to_string()));
+        assert_eq!(json.get("a").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(json.get("b").and_then(Json::as_str), Some("x"));
+        // No-op on non-objects.
+        let mut arr = Json::Arr(vec![]);
+        arr.set("a", Json::Null);
+        assert_eq!(arr, Json::Arr(vec![]));
     }
 
     #[test]

@@ -2,8 +2,10 @@
 
 pub mod generate;
 pub mod linkpred;
+pub mod loadgen;
 pub mod nway;
 pub mod querystream;
+pub mod serve;
 pub mod stats;
 pub mod twoway;
 
@@ -58,45 +60,22 @@ pub(crate) fn engine_options(args: &crate::ArgMap) -> Result<(WalkEngine, usize)
     Ok((engine, threads))
 }
 
-/// Parses `--algorithm` into one of the five 2-way join algorithms.
+/// Parses `--algorithm` into one of the five 2-way join algorithms
+/// (delegates to the shared `dht_core::queryline` token parser).
 pub(crate) fn parse_two_way_algorithm(name: &str) -> Result<TwoWayAlgorithm> {
-    let normalized = name.to_ascii_lowercase();
-    let algo = match normalized.as_str() {
-        "f-bj" | "fbj" => TwoWayAlgorithm::ForwardBasic,
-        "f-idj" | "fidj" => TwoWayAlgorithm::ForwardIdj,
-        "b-bj" | "bbj" => TwoWayAlgorithm::BackwardBasic,
-        "b-idj-x" | "bidjx" => TwoWayAlgorithm::BackwardIdjX,
-        "b-idj-y" | "bidjy" => TwoWayAlgorithm::BackwardIdjY,
-        _ => {
-            return Err(CliError::Parse(format!(
-                "unknown 2-way algorithm '{name}' (expected F-BJ, F-IDJ, B-BJ, B-IDJ-X or B-IDJ-Y)"
-            )))
-        }
-    };
-    Ok(algo)
+    dht_core::queryline::parse_two_way_algorithm(name).map_err(CliError::Parse)
 }
 
 /// Parses an algorithm token into a two-way [`AlgorithmChoice`]: `auto`
 /// selects planner-driven selection, anything else must name one of the
 /// five fixed algorithms.
 pub(crate) fn parse_two_way_choice(name: &str) -> Result<AlgorithmChoice<TwoWayAlgorithm>> {
-    if name.eq_ignore_ascii_case("auto") {
-        return Ok(AlgorithmChoice::Auto);
-    }
-    parse_two_way_algorithm(name).map(AlgorithmChoice::Fixed)
+    dht_core::queryline::parse_two_way_choice(name).map_err(CliError::Parse)
 }
 
 /// Parses `--aggregate` into a monotone aggregate.
 pub(crate) fn parse_aggregate(name: &str) -> Result<Aggregate> {
-    match name.to_ascii_lowercase().as_str() {
-        "min" => Ok(Aggregate::Min),
-        "max" => Ok(Aggregate::Max),
-        "sum" => Ok(Aggregate::Sum),
-        "mean" | "avg" => Ok(Aggregate::Mean),
-        _ => Err(CliError::Parse(format!(
-            "unknown aggregate '{name}' (expected min, max, sum or mean)"
-        ))),
-    }
+    dht_core::queryline::parse_aggregate(name).map_err(CliError::Parse)
 }
 
 /// Renders a two-column-ish ranking table used by both join commands.

@@ -142,38 +142,16 @@ pub fn run(args: &ArgMap) -> Result<String> {
     Ok(format!("{header}\n{table}"))
 }
 
-/// Builds a query graph of `shape` over `n` node sets (shared with
-/// `querystream`'s n-way query lines).
+/// Builds a query graph of `shape` over `n` node sets (delegates to the
+/// shared `dht_core::queryline` parser, so `dht nway`, `dht querystream`
+/// and `dht-server` all accept the same shapes).
 pub(crate) fn build_query(shape: &str, n: usize) -> Result<QueryGraph> {
-    match shape.to_ascii_lowercase().as_str() {
-        "chain" => Ok(QueryGraph::chain(n)),
-        "cycle" => Ok(QueryGraph::cycle(n)),
-        "star" => Ok(QueryGraph::star(n)),
-        "triangle" => {
-            if n != 3 {
-                return Err(CliError::Usage(format!(
-                    "a triangle query graph needs exactly 3 node sets, got {n}"
-                )));
-            }
-            Ok(QueryGraph::triangle())
-        }
-        other => Err(CliError::Parse(format!(
-            "unknown query shape '{other}' (expected chain, cycle, triangle or star)"
-        ))),
-    }
+    dht_core::queryline::build_query_shape(shape, n).map_err(CliError::Parse)
 }
 
-/// Parses an n-way algorithm name (shared with `querystream`).
+/// Parses an n-way algorithm name (delegates to `dht_core::queryline`).
 pub(crate) fn parse_nway_algorithm(name: &str, m: usize) -> Result<NWayAlgorithm> {
-    match name.to_ascii_lowercase().as_str() {
-        "nl" => Ok(NWayAlgorithm::NestedLoop),
-        "ap" => Ok(NWayAlgorithm::AllPairs),
-        "pj" => Ok(NWayAlgorithm::PartialJoin { m }),
-        "pj-i" | "pji" => Ok(NWayAlgorithm::IncrementalPartialJoin { m }),
-        _ => Err(CliError::Parse(format!(
-            "unknown n-way algorithm '{name}' (expected NL, AP, PJ or PJ-i)"
-        ))),
-    }
+    dht_core::queryline::parse_n_way_algorithm(name, m).map_err(CliError::Parse)
 }
 
 fn answer_label(graph: &Graph, answer: &Answer, with_labels: bool) -> String {

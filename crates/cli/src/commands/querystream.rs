@@ -5,7 +5,7 @@
 //! This is the service-shaped entry point: where `dht two-way` pays full
 //! price for its single query, `querystream` builds one [`dht_engine::Engine`]
 //! over the graph and streams every query through warm sessions.  Query
-//! lines parse into declarative [`QuerySpec`]s: the algorithm field may be
+//! lines parse into declarative [`dht_core::QuerySpec`]s: the algorithm field may be
 //! any fixed name **or `auto`**, in which case the engine's cost-based
 //! planner picks per query from graph statistics and the session's live
 //! cache state.  `--explain 1` prints the reified plan of every query of
@@ -20,10 +20,14 @@
 
 use std::time::Instant;
 
-use dht_core::spec::{AlgorithmChoice, NWaySpec, QuerySpec, TwoWaySpec};
+use dht_core::queryline::{self, ParseOptions, ParsedQuery};
+use dht_core::spec::AlgorithmChoice;
 use dht_core::twoway::TwoWayAlgorithm;
 use dht_engine::{Engine, EngineConfig};
 use dht_graph::NodeSet;
+// The latency-percentile convention is shared with the server's `STATS`
+// report and `dht loadgen`, so all three surfaces agree by construction.
+use dht_server::metrics::percentile;
 
 use crate::{setsfile, ArgMap, CliError, Result};
 
@@ -81,192 +85,28 @@ const KNOWN: &[&str] = &[
     "threads",
 ];
 
-/// One parsed query line.
-struct StreamQuery {
-    spec: QuerySpec,
-    line_no: usize,
-}
-
-/// Wraps a token-level parse error with the line number and the offending
-/// token, so malformed query files point at exactly what to fix.
-fn token_error(line_no: usize, token: &str, error: CliError) -> CliError {
-    CliError::Parse(format!(
-        "query line {line_no}: bad token '{token}': {error}"
-    ))
-}
-
-/// Looks a set name up in `sets`, with a line-numbered error naming the
-/// offending token.
-fn set_index(sets: &[NodeSet], name: &str, line_no: usize) -> Result<usize> {
-    sets.iter().position(|s| s.name() == name).ok_or_else(|| {
-        CliError::Parse(format!(
-            "query line {line_no}: unknown node set '{name}' (available sets: {})",
-            sets.iter()
-                .map(NodeSet::name)
-                .collect::<Vec<_>>()
-                .join(", ")
-        ))
-    })
-}
-
-/// Parses one n-way query line (the fields after the leading `nway`):
-/// `SHAPE S1 S2 ... Sn [k] [ALGO] [AGG]`, where `ALGO` may be `auto`.
-fn parse_nway_line(
-    fields: &[&str],
-    sets: &[NodeSet],
-    default_k: usize,
-    m: usize,
-    line_no: usize,
-) -> Result<QuerySpec> {
-    let Some((&shape, rest)) = fields.split_first() else {
-        return Err(CliError::Parse(format!(
-            "query line {line_no}: `nway` needs a query shape and node sets"
-        )));
-    };
-    // Leading fields that name known sets are the query's node sets; the
-    // remainder are the optional k / algorithm / aggregate, in any order.
-    let n_sets = rest
-        .iter()
-        .take_while(|name| sets.iter().any(|s| s.name() == **name))
-        .count();
-    if n_sets < 2 {
-        return Err(CliError::Parse(format!(
-            "query line {line_no}: an n-way query needs at least two node sets, \
-             got '{}' (is a set name misspelled?)",
-            fields.join(" ")
-        )));
-    }
-    let chosen: Vec<NodeSet> = rest[..n_sets]
-        .iter()
-        .map(|name| set_index(sets, name, line_no).map(|i| sets[i].clone()))
-        .collect::<Result<_>>()?;
-    let query = super::nway::build_query(shape, chosen.len())
-        .map_err(|error| token_error(line_no, shape, error))?;
-    let mut k = None;
-    let mut algorithm: Option<AlgorithmChoice<dht_core::multiway::NWayAlgorithm>> = None;
-    let mut aggregate = None;
-    let duplicate = |what: &str, field: &str| {
-        CliError::Parse(format!(
-            "query line {line_no}: duplicate {what} field '{field}'"
-        ))
-    };
-    for &field in &rest[n_sets..] {
-        if let Ok(parsed) = field.parse::<usize>() {
-            if k.replace(parsed).is_some() {
-                return Err(duplicate("k", field));
-            }
-        } else if field.eq_ignore_ascii_case("auto") {
-            if algorithm.replace(AlgorithmChoice::Auto).is_some() {
-                return Err(duplicate("algorithm", field));
-            }
-        } else if let Ok(parsed) = super::parse_aggregate(field) {
-            if aggregate.replace(parsed).is_some() {
-                return Err(duplicate("aggregate", field));
-            }
-        } else {
-            let parsed = super::nway::parse_nway_algorithm(field, m)
-                .map_err(|error| token_error(line_no, field, error))?;
-            if algorithm.replace(AlgorithmChoice::Fixed(parsed)).is_some() {
-                return Err(duplicate("algorithm", field));
-            }
-        }
-    }
-    let spec = NWaySpec::new(query, chosen, k.unwrap_or(default_k))
-        .with_aggregate(aggregate.unwrap_or(dht_core::Aggregate::Min))
-        .with_algorithm(algorithm.unwrap_or(AlgorithmChoice::Fixed(
-            dht_core::multiway::NWayAlgorithm::IncrementalPartialJoin { m },
-        )));
-    Ok(QuerySpec::NWay(spec))
-}
-
-/// Parses one two-way query line: `LEFT RIGHT [k] [ALGORITHM]`, where
-/// `ALGORITHM` may be `auto`.
-fn parse_two_way_line(
-    fields: &[&str],
-    sets: &[NodeSet],
-    default_k: usize,
-    default_algorithm: AlgorithmChoice<TwoWayAlgorithm>,
-    line_no: usize,
-) -> Result<QuerySpec> {
-    if fields.len() < 2 || fields.len() > 4 {
-        return Err(CliError::Parse(format!(
-            "query line {line_no}: expected `LEFT RIGHT [k] [ALGORITHM]` or \
-             `nway SHAPE S1 S2 ... [k] [ALGO] [AGG]`, got '{}'",
-            fields.join(" ")
-        )));
-    }
-    let left = set_index(sets, fields[0], line_no)?;
-    let right = set_index(sets, fields[1], line_no)?;
-    let mut k = None;
-    let mut algorithm = None;
-    for &field in &fields[2..] {
-        if let Ok(parsed) = field.parse::<usize>() {
-            if k.replace(parsed).is_some() {
-                return Err(CliError::Parse(format!(
-                    "query line {line_no}: duplicate k field '{field}'"
-                )));
-            }
-        } else {
-            let parsed = super::parse_two_way_choice(field)
-                .map_err(|error| token_error(line_no, field, error))?;
-            if algorithm.replace(parsed).is_some() {
-                return Err(CliError::Parse(format!(
-                    "query line {line_no}: duplicate algorithm field '{field}'"
-                )));
-            }
-        }
-    }
-    let spec = TwoWaySpec::new(
-        sets[left].clone(),
-        sets[right].clone(),
-        k.unwrap_or(default_k),
-    )
-    .with_algorithm(algorithm.unwrap_or(default_algorithm));
-    Ok(QuerySpec::TwoWay(spec))
-}
-
-/// Parses the query file: one query per line (`#` comments, blank lines
-/// ignored) — `LEFT RIGHT [k] [ALGORITHM]` for two-way joins, `nway SHAPE
-/// S1 S2 ... [k] [ALGO] [AGG]` for n-way joins.  Every parsed spec is
-/// validated eagerly, so malformed queries fail here with their line
-/// number instead of mid-stream.
+/// Parses the query file through the shared `dht_core::queryline` parser
+/// (one query per line, `#` comments, eager validation with line-numbered
+/// errors) — the **same** parser `dht-server` runs on its wire protocol,
+/// so CLI files and served streams can never drift apart.
 fn parse_queries(
     text: &str,
     sets: &[NodeSet],
     default_k: usize,
     default_algorithm: AlgorithmChoice<TwoWayAlgorithm>,
     m: usize,
-) -> Result<Vec<StreamQuery>> {
-    let mut queries = Vec::new();
-    for (line_no, raw) in text.lines().enumerate() {
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
-            continue;
-        }
-        let line_no = line_no + 1;
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        let spec = if fields[0].eq_ignore_ascii_case("nway") {
-            parse_nway_line(&fields[1..], sets, default_k, m, line_no)?
-        } else {
-            parse_two_way_line(&fields, sets, default_k, default_algorithm, line_no)?
-        };
-        spec.validate()
-            .map_err(|error| CliError::Parse(format!("query line {line_no}: {error}")))?;
-        queries.push(StreamQuery { spec, line_no });
-    }
+) -> Result<Vec<ParsedQuery>> {
+    let options = ParseOptions {
+        default_k,
+        default_two_way: default_algorithm,
+        m,
+    };
+    let queries = queryline::parse_query_file(text, sets, &options)
+        .map_err(|error| CliError::Parse(error.to_string()))?;
     if queries.is_empty() {
         return Err(CliError::Parse("query file contains no queries".into()));
     }
     Ok(queries)
-}
-
-/// `p`-th percentile (0 ≤ p ≤ 1) of an ascending-sorted sample.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[index.min(sorted.len() - 1)]
 }
 
 /// What one session worker measured: per-query latencies (with global query
@@ -289,7 +129,7 @@ struct WorkerReport {
 /// `sessions`) on one fresh session, `repeat` passes.
 fn run_worker(
     engine: &Engine,
-    stream: &[StreamQuery],
+    stream: &[ParsedQuery],
     worker: usize,
     sessions: usize,
     repeat: usize,

@@ -1,0 +1,176 @@
+//! `dht serve` — run the TCP query server over one graph.
+//!
+//! Builds a [`dht_engine::Engine`] (shared cross-session column cache and
+//! Y-table store by default), binds `127.0.0.1:<port>` and serves the
+//! querystream line protocol until a client sends `SHUTDOWN` (or the
+//! process is killed).  The listening address is printed — and flushed —
+//! **before** serving starts, so scripts can scrape the ephemeral port:
+//!
+//! ```text
+//! $ dht serve --graph g.tsv --sets s.tsv --port 0 --workers 4 &
+//! dht-server listening on 127.0.0.1:40931 (4 workers, queue 128, batch 8)
+//! ```
+
+use std::io::Write as _;
+
+use dht_core::queryline::ParseOptions;
+use dht_engine::{Engine, EngineConfig};
+use dht_server::{Server, ServerConfig};
+
+use crate::{setsfile, ArgMap, CliError, Result};
+
+const HELP: &str = "\
+dht serve — serve querystream queries over TCP from one warm engine
+
+The line protocol is the querystream query language plus PING / STATS /
+EXPLAIN <query> / SHUTDOWN.  Responses are bit-identical to in-process
+sessions; scores travel as exact f64 bit patterns.
+
+OPTIONS:
+    --graph <path>          edge-list graph file (required)
+    --sets <path>           node-set file (required)
+    --port <n>              TCP port on 127.0.0.1 (0 = ephemeral) [default: 7411]
+    --workers <n>           worker sessions                       [default: 2]
+    --queue <n>             bounded request-queue capacity; when
+                            full, requests get `ERR BUSY`         [default: 128]
+    --batch <n>             max requests per worker micro-batch   [default: 8]
+    --k <n>                 default k for queries that omit it    [default: 10]
+    --algorithm <name>      default two-way algorithm (fixed
+                            name or `auto`)                       [default: B-IDJ-Y]
+    --m <n>                 PJ / PJ-i initial 2-way join size     [default: 50]
+    --cache <bytes>         column-cache byte budget (0 = off)    [default: 67108864]
+    --shared <0|1>          1: cross-session cache + Y-table
+                            store; 0: private per worker          [default: 1]
+    --variant <lambda|e>    DHT variant                           [default: lambda]
+    --lambda <x>            DHT_λ decay factor                    [default: 0.2]
+    --epsilon <x>           truncation error bound                [default: 1e-6]
+    --engine <name>         walk engine: dense | sparse | auto    [default: auto]
+    --threads <n>           worker threads per query (0 = all)    [default: 1]
+";
+
+const KNOWN: &[&str] = &[
+    "graph",
+    "sets",
+    "port",
+    "workers",
+    "queue",
+    "batch",
+    "k",
+    "algorithm",
+    "m",
+    "cache",
+    "shared",
+    "variant",
+    "lambda",
+    "epsilon",
+    "engine",
+    "threads",
+];
+
+/// Default serving port (loopback only).
+pub const DEFAULT_PORT: u16 = 7411;
+
+/// Builds the engine and parse options shared by `serve` (and by
+/// `loadgen`'s parity verification, which must mirror the server exactly).
+pub(crate) fn engine_from_args(args: &ArgMap) -> Result<(Engine, Vec<dht_graph::NodeSet>)> {
+    let graph = super::load_graph(args)?;
+    let sets = setsfile::read_node_sets_file(args.require("sets")?)?;
+    let cache: usize = args.get_parsed_or("cache", dht_engine::DEFAULT_CACHE_BYTES)?;
+    let shared = args.get_parsed_or("shared", 1u8)? == 1;
+    let (params, depth) = super::dht_options(args)?;
+    let (walk_engine, threads) = super::engine_options(args)?;
+    let config = EngineConfig::paper_default()
+        .with_params(params, depth)
+        .with_engine(walk_engine)
+        .with_threads(threads)
+        .with_cache_bytes(cache)
+        .with_shared_cache(shared);
+    Ok((Engine::with_config(graph, config), sets))
+}
+
+/// Parses the stream defaults (`--k`, `--algorithm`, `--m`) into the shared
+/// parser's options.
+pub(crate) fn parse_options_from_args(args: &ArgMap) -> Result<ParseOptions> {
+    Ok(ParseOptions {
+        default_k: args.get_parsed_or("k", 10)?,
+        default_two_way: super::parse_two_way_choice(args.get("algorithm").unwrap_or("b-idj-y"))?,
+        m: args.get_parsed_or("m", 50)?,
+    })
+}
+
+/// Runs the command (blocks until a client sends `SHUTDOWN`).
+pub fn run(args: &ArgMap) -> Result<String> {
+    if args.wants_help() {
+        return Ok(HELP.to_string());
+    }
+    args.reject_unknown(KNOWN)?;
+    let (engine, sets) = engine_from_args(args)?;
+    let parse = parse_options_from_args(args)?;
+    let config = ServerConfig::default()
+        .with_port(args.get_parsed_or("port", DEFAULT_PORT)?)
+        .with_workers(args.get_parsed_or("workers", 2)?)
+        .with_queue_capacity(args.get_parsed_or("queue", 128)?)
+        .with_batch(args.get_parsed_or("batch", 8)?);
+    let server = Server::start(engine, sets, parse, config).map_err(CliError::Io)?;
+    // Scripts scrape this line for the (possibly ephemeral) port, so it
+    // must hit stdout before the blocking join.
+    println!(
+        "dht-server listening on {} ({} workers, queue {}, batch {})",
+        server.local_addr(),
+        config.workers,
+        config.queue_capacity,
+        config.batch
+    );
+    std::io::stdout().flush().ok();
+    let stats = server.join();
+    Ok(format!(
+        "dht-server shut down cleanly: {} served, {} rejected, \
+         p50 {:.4} ms, p99 {:.4} ms, column hit rate {:.1}%\n",
+        stats.served,
+        stats.rejected,
+        stats.p50_ms,
+        stats.p99_ms,
+        100.0 * stats.column_hit_rate()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argmap(parts: &[&str]) -> ArgMap {
+        ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn help_documents_the_protocol_knobs() {
+        let out = run(&argmap(&["--help"])).unwrap();
+        assert!(out.contains("--port"));
+        assert!(out.contains("--workers"));
+        assert!(out.contains("--queue"));
+        assert!(out.contains("ERR BUSY"));
+        assert!(out.contains("SHUTDOWN"));
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let err = run(&argmap(&["--graph", "g", "--sets", "s", "--prot", "9"])).unwrap_err();
+        assert!(err.to_string().contains("--prot"), "{err}");
+    }
+
+    #[test]
+    fn parse_options_mirror_querystream_defaults() {
+        let options = parse_options_from_args(&argmap(&[])).unwrap();
+        assert_eq!(options.default_k, 10);
+        assert_eq!(options.m, 50);
+        let options =
+            parse_options_from_args(&argmap(&["--k", "3", "--algorithm", "auto", "--m", "7"]))
+                .unwrap();
+        assert_eq!(options.default_k, 3);
+        assert_eq!(options.m, 7);
+        assert!(matches!(
+            options.default_two_way,
+            dht_core::spec::AlgorithmChoice::Auto
+        ));
+    }
+}

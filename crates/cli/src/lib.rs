@@ -41,6 +41,8 @@ COMMANDS:
     two-way      Run a top-k 2-way join between two named node sets
     nway         Run a top-k n-way join over a query graph of node sets
     querystream  Answer a file of 2-way queries on a warm engine session
+    serve        Serve querystream queries over TCP from one warm engine
+    loadgen      Replay a query file against a running serve instance
     linkpred     Hold-out link-prediction evaluation between two node sets
     help         Show this message
 
@@ -59,6 +61,8 @@ pub fn run(args: &[String]) -> Result<String> {
         "two-way" | "twoway" => commands::twoway::run(&ArgMap::parse(rest)?),
         "nway" | "n-way" => commands::nway::run(&ArgMap::parse(rest)?),
         "querystream" | "query-stream" => commands::querystream::run(&ArgMap::parse(rest)?),
+        "serve" | "server" => commands::serve::run(&ArgMap::parse(rest)?),
+        "loadgen" | "load-gen" => commands::loadgen::run(&ArgMap::parse(rest)?),
         "linkpred" | "link-prediction" => commands::linkpred::run(&ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(

@@ -1,0 +1,203 @@
+//! CLI ↔ server parse equivalence on the shared fixture file.
+//!
+//! `dht querystream` (file front end) and `dht-server` (wire front end)
+//! both parse the query language through `dht_core::queryline`; this test
+//! replays the **same fixture file** (`tests/fixtures/` at the repository
+//! root) through all three layers and checks they accept exactly the same
+//! queries — and reject malformed lines with the same diagnostics.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use dht_core::queryline::{self, ParseOptions};
+use dht_engine::Engine;
+use dht_graph::{GraphBuilder, NodeId, NodeSet};
+use dht_server::{Server, ServerConfig};
+
+/// The fixture file shared with the repository-level tests.
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/queryline_fixture.queries"
+);
+
+fn fixture_graph() -> (dht_graph::Graph, Vec<NodeSet>) {
+    let mut b = GraphBuilder::with_nodes(10);
+    for (u, v) in [
+        (0u32, 1u32),
+        (1, 2),
+        (2, 3),
+        (3, 4),
+        (0, 4),
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (5, 9),
+        (4, 5),
+    ] {
+        b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+    }
+    let sets = vec![
+        NodeSet::new("P", (0..5).map(NodeId)),
+        NodeSet::new("Q", (5..10).map(NodeId)),
+    ];
+    (b.build().unwrap(), sets)
+}
+
+fn cli_args(
+    graph: &std::path::Path,
+    sets: &std::path::Path,
+    queries: &std::path::Path,
+) -> Vec<String> {
+    [
+        "--graph",
+        graph.to_str().unwrap(),
+        "--sets",
+        sets.to_str().unwrap(),
+        "--queries",
+        queries.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn cli_and_server_accept_exactly_the_fixture_queries() {
+    let text = std::fs::read_to_string(FIXTURE).expect("shared fixture exists");
+    let (graph, sets) = fixture_graph();
+
+    // Ground truth: the shared parser.
+    let parsed = queryline::parse_query_file(&text, &sets, &ParseOptions::default())
+        .expect("fixture parses");
+    assert_eq!(parsed.len(), 8, "fixture shape changed?");
+
+    // CLI: `dht querystream` over the same file answers exactly that many.
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let graph_path = dir.join(format!("dht-eq-{pid}.tsv"));
+    let sets_path = dir.join(format!("dht-eq-{pid}.sets"));
+    dht_graph::io::write_edge_list_file(&graph, &graph_path).unwrap();
+    dht_cli::setsfile::write_node_sets_file(&sets, &sets_path).unwrap();
+    let fixture_path = std::path::PathBuf::from(FIXTURE);
+    let out = dht_cli::commands::querystream::run(
+        &dht_cli::ArgMap::parse(&cli_args(&graph_path, &sets_path, &fixture_path)).unwrap(),
+    )
+    .expect("CLI accepts the fixture");
+    assert!(
+        out.contains(&format!("{} queries answered", parsed.len())),
+        "CLI answered a different number of queries than the shared parser \
+         accepted: {out}"
+    );
+
+    // Server: every fixture line sent over the wire is either skipped
+    // (comment / blank — no response) or accepted (OK ...), and the number
+    // of responses equals the shared parser's query count.
+    let server = Server::start(
+        Engine::new(graph),
+        sets,
+        ParseOptions::default(),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = BufWriter::new(stream.try_clone().unwrap());
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    for raw in text.lines() {
+        writeln!(writer, "{raw}").unwrap();
+        writer.flush().unwrap();
+        if dht_server::wire::strip_line(raw).is_some() {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            responses.push(response.trim_end().to_string());
+        }
+    }
+    server.shutdown();
+    assert_eq!(
+        responses.len(),
+        parsed.len(),
+        "server answered a different number of fixture lines"
+    );
+    for (index, response) in responses.iter().enumerate() {
+        assert!(
+            response.starts_with("OK TWOWAY") || response.starts_with("OK NWAY"),
+            "fixture line {} (query line {}) rejected over the wire: {response}",
+            index + 1,
+            parsed[index].line_no
+        );
+    }
+    std::fs::remove_file(&graph_path).ok();
+    std::fs::remove_file(&sets_path).ok();
+}
+
+#[test]
+fn cli_and_server_reject_malformed_lines_with_the_same_diagnostics() {
+    let (graph, sets) = fixture_graph();
+    // Malformed verbs / tokens / arities; the shared parser's message is
+    // the ground truth both front ends must surface.
+    let malformed = [
+        "P Z 3",
+        "P Q 0",
+        "P Q 3 b-idj-z",
+        "nway blob P Q",
+        "nway triangle P Q",
+        "nway chain P 3",
+        "P Q 3 4",
+        "P",
+    ];
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let graph_path = dir.join(format!("dht-eq-bad-{pid}.tsv"));
+    let sets_path = dir.join(format!("dht-eq-bad-{pid}.sets"));
+    let queries_path = dir.join(format!("dht-eq-bad-{pid}.queries"));
+    dht_graph::io::write_edge_list_file(&graph, &graph_path).unwrap();
+    dht_cli::setsfile::write_node_sets_file(&sets, &sets_path).unwrap();
+
+    let server = Server::start(
+        Engine::new(graph),
+        sets.clone(),
+        ParseOptions::default(),
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut writer = BufWriter::new(stream.try_clone().unwrap());
+    let mut reader = BufReader::new(stream);
+
+    for line in malformed {
+        let shared_error = queryline::parse_query_line(line, &sets, &ParseOptions::default(), 1)
+            .expect_err(&format!("'{line}' must be malformed"));
+
+        // CLI: the file front end fails with the shared parser's message.
+        std::fs::write(&queries_path, format!("{line}\n")).unwrap();
+        let cli_error = dht_cli::commands::querystream::run(
+            &dht_cli::ArgMap::parse(&cli_args(&graph_path, &sets_path, &queries_path)).unwrap(),
+        )
+        .expect_err(&format!("CLI must reject '{line}'"));
+        assert_eq!(
+            cli_error.to_string(),
+            shared_error.to_string(),
+            "CLI diagnostic drifted from the shared parser for '{line}'"
+        );
+
+        // Server: the wire front end reports ERR PARSE with the same
+        // message (line number = request ordinal; here both are 1 because
+        // we check the first-request message shape only once below).
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        let response = response.trim_end();
+        assert!(response.starts_with("ERR PARSE"), "'{line}' -> {response}");
+        assert!(
+            response.contains(&shared_error.message),
+            "server diagnostic drifted from the shared parser for '{line}': \
+             {response} vs {shared_error}"
+        );
+    }
+    server.shutdown();
+    for path in [&graph_path, &sets_path, &queries_path] {
+        std::fs::remove_file(path).ok();
+    }
+}

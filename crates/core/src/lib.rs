@@ -41,6 +41,7 @@ pub mod answer;
 pub mod error;
 pub mod multiway;
 pub mod query;
+pub mod queryline;
 pub mod spec;
 pub mod stats;
 pub mod twoway;

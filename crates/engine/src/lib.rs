@@ -85,7 +85,9 @@ use dht_core::multiway::{NWayAlgorithm, NWayConfig, NWayOutput};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig, TwoWayOutput};
 use dht_core::{Aggregate, CoreError, QueryGraph};
 use dht_graph::{Graph, NodeSet};
-use dht_walks::{CacheStats, DhtParams, QueryCtx, SharedColumnCache, WalkEngine};
+use dht_walks::{
+    CacheStats, DhtParams, QueryCtx, SharedColumnCache, SharedYTableStore, WalkEngine,
+};
 
 // The declarative query surface, re-exported so engine callers need not
 // depend on `dht-core` directly.
@@ -109,15 +111,24 @@ pub struct EngineConfig {
     /// entirely.
     pub cache_bytes: usize,
     /// `true` (the default): the engine owns one cross-session
-    /// [`SharedColumnCache`] of `cache_bytes` and every session reads and
-    /// writes through it, so concurrent clients warm each other.  `false`:
-    /// each session gets its own private cache of `cache_bytes`.
+    /// [`SharedColumnCache`] of `cache_bytes` **and** one cross-session
+    /// [`SharedYTableStore`], and every session reads and writes through
+    /// them, so concurrent clients warm each other.  `false`: each session
+    /// gets its own private caches of the same budgets.
     pub shared_cache: bool,
+    /// Capacity (in tables) of the cross-session Y-bound-table store when
+    /// `shared_cache` is on.  Tables are few and heavy (`O(d·|V_G|)`
+    /// floats each), so the default of 16 matches the private per-session
+    /// bound.
+    pub y_table_capacity: usize,
 }
 
 /// Default column-cache byte budget: 64 MiB — thousands of columns on the
 /// paper's graphs, a bounded sliver of memory on big ones.
 pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Default capacity (in tables) of the cross-session Y-bound-table store.
+pub const DEFAULT_Y_TABLE_CAPACITY: usize = 16;
 
 impl EngineConfig {
     /// The paper's experimental defaults (`DHT_λ`, `λ = 0.2`, `ε = 10⁻⁶` →
@@ -132,6 +143,7 @@ impl EngineConfig {
             threads: 1,
             cache_bytes: DEFAULT_CACHE_BYTES,
             shared_cache: true,
+            y_table_capacity: DEFAULT_Y_TABLE_CAPACITY,
         }
     }
 
@@ -165,6 +177,13 @@ impl EngineConfig {
     /// fully session-private caches (`false`).
     pub fn with_shared_cache(mut self, shared: bool) -> Self {
         self.shared_cache = shared;
+        self
+    }
+
+    /// Returns a copy with a different cross-session Y-bound-table store
+    /// capacity (minimum 1; only meaningful with `shared_cache: true`).
+    pub fn with_y_table_capacity(mut self, capacity: usize) -> Self {
+        self.y_table_capacity = capacity.max(1);
         self
     }
 }
@@ -296,6 +315,7 @@ pub struct Engine {
     graph: Graph,
     config: EngineConfig,
     shared: Option<Arc<SharedColumnCache>>,
+    shared_y: Option<Arc<SharedYTableStore>>,
     stats: GraphStats,
 }
 
@@ -316,11 +336,17 @@ impl Engine {
                 graph.node_count(),
             ))
         });
+        // Y-bound tables ride along with the column cache: shared-cache
+        // engines share both, private-cache engines share neither.
+        let shared_y = shared
+            .is_some()
+            .then(|| Arc::new(SharedYTableStore::with_capacity(config.y_table_capacity)));
         let stats = GraphStats::measure(&graph);
         Engine {
             graph,
             config,
             shared,
+            shared_y,
             stats,
         }
     }
@@ -351,6 +377,18 @@ impl Engine {
         self.shared.as_ref().map(|cache| cache.stats())
     }
 
+    /// The cross-session Y-bound-table store, when the engine runs with
+    /// one (shared-cache engines only).
+    pub fn shared_y_tables(&self) -> Option<&Arc<SharedYTableStore>> {
+        self.shared_y.as_ref()
+    }
+
+    /// Cumulative `(hits, misses)` of the cross-session Y-table store (all
+    /// sessions combined), when the engine runs with one.
+    pub fn shared_y_table_stats(&self) -> Option<(u64, u64)> {
+        self.shared_y.as_ref().map(|store| store.stats())
+    }
+
     /// The two-way join configuration sessions run with.
     pub fn two_way_config(&self) -> TwoWayConfig {
         TwoWayConfig::new(self.config.params, self.config.d)
@@ -369,10 +407,13 @@ impl Engine {
     /// shared cache (when enabled), so it starts as warm as the engine is;
     /// with `shared_cache: false` it starts cold with a private cache.
     pub fn session(&self) -> Session<'_> {
-        let ctx = match &self.shared {
+        let mut ctx = match &self.shared {
             Some(cache) => QueryCtx::shared(cache.clone()),
             None => QueryCtx::with_byte_budget(self.config.cache_bytes),
         };
+        if let Some(store) = &self.shared_y {
+            ctx = ctx.with_shared_y_tables(store.clone());
+        }
         Session { engine: self, ctx }
     }
 
@@ -1155,6 +1196,48 @@ mod tests {
     }
 
     #[test]
+    fn y_tables_are_shared_across_sessions_on_a_shared_cache_engine() {
+        let (graph, sets) = fixture();
+        let engine = Engine::new(graph.clone());
+        // The first session pays for the table...
+        let first = engine
+            .session()
+            .two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 4);
+        assert_eq!(engine.shared_y_table_stats(), Some((0, 1)));
+        // ...and concurrent later sessions hit it, answering identically.
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let engine = &engine;
+                let sets = &sets;
+                let first = &first;
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    let again =
+                        session.two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 4);
+                    assert_eq!(again.pairs, first.pairs);
+                    assert_eq!(session.y_table_stats(), (1, 0), "table came from the store");
+                });
+            }
+        });
+        assert_eq!(engine.shared_y_table_stats(), Some((3, 1)));
+
+        // A private-cache engine keeps Y tables session-private: the second
+        // session rebuilds (answers still identical).
+        let private = Engine::with_config(
+            graph,
+            EngineConfig::paper_default().with_shared_cache(false),
+        );
+        assert!(private.shared_y_tables().is_none());
+        private
+            .session()
+            .two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 4);
+        let mut second = private.session();
+        let again = second.two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 4);
+        assert_eq!(again.pairs, first.pairs);
+        assert_eq!(second.y_table_stats(), (0, 1), "private sessions rebuild");
+    }
+
+    #[test]
     fn disabled_cache_still_answers_correctly() {
         let (graph, sets) = fixture();
         let config = EngineConfig::paper_default().with_cache_bytes(0);
@@ -1186,12 +1269,14 @@ mod tests {
             .with_engine(WalkEngine::Dense)
             .with_threads(4)
             .with_cache_bytes(1 << 16)
-            .with_shared_cache(false);
+            .with_shared_cache(false)
+            .with_y_table_capacity(0);
         assert_eq!(config.d, 6);
         assert_eq!(config.engine, WalkEngine::Dense);
         assert_eq!(config.threads, 4);
         assert_eq!(config.cache_bytes, 1 << 16);
         assert!(!config.shared_cache);
+        assert_eq!(config.y_table_capacity, 1, "clamped to at least one");
         let mut b = dht_graph::GraphBuilder::with_nodes(2);
         b.add_unit_edge(NodeId(0), NodeId(1)).unwrap();
         let engine = Engine::with_config(b.build().unwrap(), config);

@@ -1,0 +1,763 @@
+//! # dht-server
+//!
+//! A hermetic TCP front end for the query engine: one long-lived
+//! [`dht_engine::Engine`] per served graph, a pool of warm
+//! [`dht_engine::Session`]s answering for any number of concurrent
+//! clients, and a line protocol that is exactly the `dht querystream`
+//! query language plus three control verbs.  Everything is `std::net` +
+//! `std::thread` — no async runtime, no registry dependencies — matching
+//! the workspace's hermetic-build rule.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──TCP──▶ acceptor ──▶ per-connection reader ──▶ bounded queue
+//!                                        │ PING/STATS          │ try_push
+//!                                        ▼ (answered inline)   ▼ pop_batch
+//!                               per-connection writer ◀── worker pool
+//!                               (reorders by sequence)   (one Session each,
+//!                                                         shared engine cache)
+//! ```
+//!
+//! * **Acceptor thread** — accepts loopback connections and spawns one
+//!   reader thread per connection.
+//! * **Bounded request queue** — the backpressure point:
+//!   readers never block; when the queue is full the request is rejected
+//!   *immediately* with a typed `ERR BUSY` line, so overload degrades into
+//!   fast rejections instead of unbounded memory growth.  Clients re-send
+//!   rejected queries (the load generator does this automatically), and
+//!   answers are unaffected — re-running a query is always bit-identical.
+//! * **Worker pool** — `workers` threads, each owning one warm `Session`
+//!   over the shared engine, so concurrent clients warm each other's
+//!   backward columns and Y-bound tables exactly as in-process sessions
+//!   do.  Workers pop **micro-batches** (up to `batch` requests per
+//!   dequeue), amortising queue synchronisation across several answers
+//!   from one warm session.
+//! * **Per-connection writer** — responses arrive from whichever worker
+//!   answered, tagged with the request's per-connection sequence number,
+//!   and are written back **in request order** (a small reorder buffer),
+//!   so a pipelining client matches responses to requests positionally.
+//! * **Graceful shutdown** — a shutdown flag (raised by the `SHUTDOWN`
+//!   verb or [`Server::shutdown`]) stops the acceptor, lets workers drain
+//!   the queue, flushes every connection and joins all threads.
+//!
+//! ## Protocol
+//!
+//! One request per line; every request gets exactly one response line
+//! (blank lines and `#` comments are ignored).  Requests:
+//!
+//! ```text
+//! PING                     → OK PONG
+//! STATS                    → OK STATS served=… p50_ms=… (see StatsSnapshot::wire_line)
+//! SHUTDOWN                 → OK BYE (then graceful drain)
+//! EXPLAIN <query line>     → OK PLAN <plan>     (planned, not executed)
+//! <query line>             → OK TWOWAY …  |  OK NWAY …   (see wire)
+//! ```
+//!
+//! where `<query line>` is the shared `dht_core::queryline` language
+//! (`LEFT RIGHT [k] [ALGORITHM]` / `nway SHAPE S1 … [k] [ALGO] [AGG]`).
+//! Error responses are typed: `ERR BUSY …` (queue full), `ERR PARSE …`
+//! (malformed line, with the offending token), `ERR EXEC …` (execution
+//! failure).  Scores travel as exact `f64` bit patterns ([`wire`]), so
+//! responses are **bit-identical** to in-process [`dht_engine::Session`]
+//! answers at any worker count, cache mode and rejection schedule — the
+//! repository's loopback parity proptest pins this.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod loadgen;
+pub mod metrics;
+pub mod wire;
+
+mod queue;
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dht_core::queryline::{self, ParseOptions};
+use dht_core::QuerySpec;
+use dht_engine::Engine;
+use dht_graph::NodeSet;
+
+pub use metrics::StatsSnapshot;
+
+use metrics::Metrics;
+use queue::RequestQueue;
+
+/// Construction-time knobs of a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// TCP port to bind on `127.0.0.1` (`0` picks an ephemeral port; read
+    /// it back with [`Server::local_addr`]).
+    pub port: u16,
+    /// Worker sessions answering queries (≥ 1).
+    pub workers: usize,
+    /// Bounded request-queue capacity; pushes beyond it are rejected with
+    /// `ERR BUSY` (≥ 1).
+    pub queue_capacity: usize,
+    /// Maximum requests a worker dequeues per batch (≥ 1).
+    pub batch: usize,
+}
+
+impl Default for ServerConfig {
+    /// Ephemeral port, 2 workers, a 128-deep queue, micro-batches of 8.
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            workers: 2,
+            queue_capacity: 128,
+            batch: 8,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Returns a copy with a different port.
+    pub fn with_port(mut self, port: u16) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Returns a copy with a different worker count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Returns a copy with a different queue capacity (minimum 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Returns a copy with a different micro-batch bound (minimum 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+}
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// One queued query request.
+struct Request {
+    /// Per-connection sequence number (response-ordering key).
+    seq: u64,
+    spec: QuerySpec,
+    /// `EXPLAIN` requests are planned, not executed.
+    explain: bool,
+    /// When the reader received the line (latency includes queue wait).
+    received: Instant,
+    reply: mpsc::Sender<(u64, String)>,
+}
+
+/// State shared by the acceptor, readers, workers and [`Server`] handle.
+struct ServerShared {
+    engine: Engine,
+    sets: Vec<NodeSet>,
+    parse: ParseOptions,
+    config: ServerConfig,
+    queue: RequestQueue<Request>,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    connections: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServerShared {
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Closing the queue (flag inside the queue lock) makes admission
+        // race-free against worker exit: a request either got in before
+        // the close — and a worker will drain it — or its push refuses.
+        self.queue.close();
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.metrics
+            .snapshot(self.queue.depth(), self.queue.capacity())
+    }
+}
+
+/// A running query server bound to a loopback address.
+///
+/// The handle is the shutdown path: [`Server::shutdown`] (or a client's
+/// `SHUTDOWN` verb followed by [`Server::join`]) drains the queue, joins
+/// every thread and returns the final [`StatsSnapshot`].
+///
+/// ```no_run
+/// use dht_engine::Engine;
+/// use dht_graph::{GraphBuilder, NodeId, NodeSet};
+/// use dht_server::{Server, ServerConfig};
+///
+/// let mut b = GraphBuilder::with_nodes(4);
+/// b.add_undirected_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+/// b.add_undirected_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+/// b.add_undirected_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+/// let engine = Engine::new(b.build().unwrap());
+/// let sets = vec![
+///     NodeSet::new("P", [NodeId(0), NodeId(1)]),
+///     NodeSet::new("Q", [NodeId(2), NodeId(3)]),
+/// ];
+/// let server = Server::start(engine, sets, Default::default(), ServerConfig::default()).unwrap();
+/// println!("listening on {}", server.local_addr());
+/// let report = server.shutdown();
+/// assert_eq!(report.served, 0);
+/// ```
+pub struct Server {
+    shared: Arc<ServerShared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `127.0.0.1:port` and starts the acceptor and worker threads.
+    /// `sets` are the node sets query lines may name; `parse` carries the
+    /// stream defaults (`k`, default algorithm, `m`) — use
+    /// `ParseOptions::default()` for the `dht querystream` defaults.
+    ///
+    /// # Errors
+    /// Fails when the port cannot be bound.
+    pub fn start(
+        engine: Engine,
+        sets: Vec<NodeSet>,
+        parse: ParseOptions,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let config = ServerConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            batch: config.batch.max(1),
+            ..config
+        };
+        let shared = Arc::new(ServerShared {
+            engine,
+            sets,
+            parse,
+            config,
+            queue: RequestQueue::new(config.queue_capacity),
+            metrics: Metrics::new(config.workers),
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared, index))
+            })
+            .collect();
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&shared, listener))
+        };
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound loopback address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time view of the serving counters (what `STATS` reports).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats()
+    }
+
+    /// Whether shutdown has been requested (by [`Server::shutdown`] or a
+    /// client's `SHUTDOWN` verb).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down()
+    }
+
+    /// Raises the shutdown flag without waiting (SIGTERM-equivalent); pair
+    /// with [`Server::join`].
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until shutdown is requested — by [`Server::begin_shutdown`]
+    /// or a client's `SHUTDOWN` verb — then drains the queue, joins every
+    /// thread and returns the final counters.
+    pub fn join(mut self) -> StatsSnapshot {
+        while !self.shared.shutting_down() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor thread panicked");
+        }
+        // Workers drain the queue (pop_batch returns empty only once the
+        // shutdown flag is up AND the queue is empty), answering every
+        // admitted request before exiting.
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread panicked");
+        }
+        let connections = std::mem::take(
+            &mut *self
+                .shared
+                .connections
+                .lock()
+                .expect("connection registry poisoned"),
+        );
+        for connection in connections {
+            connection.join().expect("connection thread panicked");
+        }
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: raise the flag, drain, join, report.
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.shared.begin_shutdown();
+        self.join()
+    }
+}
+
+/// Accepts connections until shutdown, spawning one reader per client.
+fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
+    while !shared.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared_conn = shared.clone();
+                let handle = std::thread::spawn(move || handle_connection(&shared_conn, stream));
+                let mut connections = shared
+                    .connections
+                    .lock()
+                    .expect("connection registry poisoned");
+                // Sweep handles of connections that already hung up, so a
+                // long-lived server under connection churn doesn't grow
+                // the registry without bound (dropping a finished handle
+                // just detaches the already-exited thread).
+                connections.retain(|connection| !connection.is_finished());
+                connections.push(handle);
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Writes responses back to one client **in request order**: workers finish
+/// out of order, so responses park in a reorder buffer keyed by sequence
+/// number until their turn comes.  Exits when every sender (reader +
+/// in-flight requests) has dropped.
+fn writer_loop(stream: TcpStream, responses: &mpsc::Receiver<(u64, String)>) {
+    let mut writer = BufWriter::new(stream);
+    let mut next_seq = 0u64;
+    let mut parked: BTreeMap<u64, String> = BTreeMap::new();
+    while let Ok((seq, line)) = responses.recv() {
+        parked.insert(seq, line);
+        while let Some(line) = parked.remove(&next_seq) {
+            if writeln!(writer, "{line}").is_err() {
+                return; // client gone; drain silently
+            }
+            next_seq += 1;
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// Reads one client's request lines, answering control verbs inline and
+/// queueing query lines for the worker pool.
+fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL_INTERVAL)).ok();
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (reply, responses) = mpsc::channel::<(u64, String)>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, &responses));
+    let mut reader = BufReader::new(stream);
+    let mut raw = String::new();
+    let mut seq = 0u64;
+    loop {
+        raw.clear();
+        match reader.read_line(&mut raw) {
+            Ok(0) => break, // client closed
+            Ok(_) => {}
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutting_down() {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        }
+        let Some(line) = wire::strip_line(&raw) else {
+            continue; // comments / blank lines get no response
+        };
+        let this_seq = seq;
+        seq += 1;
+        let response = dispatch_line(shared, line, this_seq, &reply);
+        if let Some(line) = response {
+            if reply.send((this_seq, line)).is_err() {
+                break;
+            }
+        }
+    }
+    drop(reply);
+    writer.join().expect("connection writer panicked");
+}
+
+/// Handles one request line: control verbs answer inline (returning the
+/// response), query lines enqueue (returning `None` unless rejected or
+/// malformed).
+fn dispatch_line(
+    shared: &Arc<ServerShared>,
+    line: &str,
+    seq: u64,
+    reply: &mpsc::Sender<(u64, String)>,
+) -> Option<String> {
+    let received = Instant::now();
+    let verb = line.split_whitespace().next().unwrap_or("");
+    if verb.eq_ignore_ascii_case("ping") {
+        return Some("OK PONG".to_string());
+    }
+    if verb.eq_ignore_ascii_case("stats") {
+        return Some(format!("OK {}", shared.stats().wire_line()));
+    }
+    if verb.eq_ignore_ascii_case("shutdown") {
+        shared.begin_shutdown();
+        return Some("OK BYE".to_string());
+    }
+    let (explain, query_line) = match verb.eq_ignore_ascii_case("explain") {
+        true => (true, line[verb.len()..].trim_start()),
+        false => (false, line),
+    };
+    // Line numbers over the wire are the connection's 1-based request
+    // ordinal, so `ERR PARSE query line 3: …` points at the third request.
+    let line_no = seq as usize + 1;
+    let spec = match queryline::parse_query_line(query_line, &shared.sets, &shared.parse, line_no) {
+        Ok(Some(parsed)) => parsed.spec,
+        Ok(None) => {
+            return Some(format!(
+                "ERR PARSE query line {line_no}: EXPLAIN needs a query line"
+            ))
+        }
+        Err(error) => return Some(format!("ERR PARSE {error}")),
+    };
+    let request = Request {
+        seq,
+        spec,
+        explain,
+        received,
+        reply: reply.clone(),
+    };
+    match shared.queue.try_push(request) {
+        Ok(()) => None, // a worker will reply
+        Err(queue::PushRefused::Full(_)) => {
+            shared.metrics.record_rejected();
+            Some(format!(
+                "ERR BUSY queue full ({} queued, capacity {}); re-send later",
+                shared.queue.depth(),
+                shared.queue.capacity()
+            ))
+        }
+        // The queue closed for shutdown: no worker will ever pop again,
+        // so the request must be refused here instead of admitted and
+        // orphaned (which would hang this connection's writer forever).
+        Err(queue::PushRefused::Closed(_)) => {
+            shared.metrics.record_rejected();
+            Some("ERR BUSY server shutting down; connection closing".to_string())
+        }
+    }
+}
+
+/// One worker: a warm session answering micro-batches until the queue
+/// drains after shutdown.
+fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
+    let mut session = shared.engine.session();
+    loop {
+        let batch = shared.queue.pop_batch(shared.config.batch);
+        if batch.is_empty() {
+            return; // queue closed + drained
+        }
+        for request in batch {
+            let response = if request.explain {
+                match session.explain(&request.spec) {
+                    Ok(plan) => format!("OK PLAN {plan}"),
+                    Err(error) => format!("ERR EXEC {error}"),
+                }
+            } else {
+                match session.run(&request.spec) {
+                    Ok(output) => format!("OK {}", wire::encode_output(&output)),
+                    Err(error) => format!("ERR EXEC {error}"),
+                }
+            };
+            shared.metrics.record_served(request.received.elapsed());
+            // The connection may be gone; in-flight answers are best-effort.
+            let _ = request.reply.send((request.seq, response));
+        }
+        shared
+            .metrics
+            .store_worker_caches(index, session.cache_stats(), session.y_table_stats());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::{GraphBuilder, NodeId};
+
+    fn fixture() -> (Engine, Vec<NodeSet>) {
+        let mut b = GraphBuilder::with_nodes(10);
+        for (u, v) in [
+            (0u32, 1u32),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (0, 4),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (5, 9),
+            (4, 5),
+        ] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let engine = Engine::new(b.build().unwrap());
+        let sets = vec![
+            NodeSet::new("P", (0..5).map(NodeId)),
+            NodeSet::new("Q", (5..10).map(NodeId)),
+        ];
+        (engine, sets)
+    }
+
+    fn start_fixture(config: ServerConfig) -> Server {
+        let (engine, sets) = fixture();
+        Server::start(engine, sets, ParseOptions::default(), config).expect("bind loopback")
+    }
+
+    /// Sends `lines` on one connection and reads one response per line.
+    fn roundtrip(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let mut responses = Vec::new();
+        for line in lines {
+            writeln!(writer, "{line}").expect("send");
+            writer.flush().expect("flush");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("receive");
+            responses.push(response.trim_end().to_string());
+        }
+        responses
+    }
+
+    #[test]
+    fn control_verbs_answer_inline() {
+        let server = start_fixture(ServerConfig::default());
+        let addr = server.local_addr();
+        let responses = roundtrip(addr, &["PING", "ping", "STATS"]);
+        assert_eq!(responses[0], "OK PONG");
+        assert_eq!(responses[1], "OK PONG", "verbs are case-insensitive");
+        assert!(
+            responses[2].starts_with("OK STATS served=0"),
+            "{responses:?}"
+        );
+        assert!(responses[2].contains("workers=2"), "{responses:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn queries_answer_bit_identically_to_in_process_sessions() {
+        let server = start_fixture(ServerConfig::default().with_workers(3));
+        let addr = server.local_addr();
+        let lines = ["P Q 3", "Q P 2 b-bj", "P Q 3", "nway chain P Q 2 ap min"];
+        let responses = roundtrip(addr, &lines);
+
+        let (engine, sets) = fixture();
+        let options = ParseOptions::default();
+        for (index, (line, response)) in lines.iter().zip(&responses).enumerate() {
+            let spec = queryline::parse_query_line(line, &sets, &options, index + 1)
+                .unwrap()
+                .unwrap()
+                .spec;
+            let expected = engine.session().run(&spec).unwrap();
+            assert_eq!(
+                response,
+                &format!("OK {}", wire::encode_output(&expected)),
+                "request {index}"
+            );
+        }
+        // Pipelined responses keep request order on a second connection.
+        assert_eq!(roundtrip(addr, &lines), responses);
+        let report = server.shutdown();
+        assert_eq!(report.served, 2 * lines.len() as u64);
+        assert_eq!(report.rejected, 0);
+        assert!(report.column_hits > 0, "repeats must hit the shared cache");
+    }
+
+    #[test]
+    fn explain_returns_a_plan_without_executing() {
+        let server = start_fixture(ServerConfig::default());
+        let responses = roundtrip(
+            server.local_addr(),
+            &["EXPLAIN P Q 3 auto", "EXPLAIN", "explain nway chain P Q 2"],
+        );
+        assert!(responses[0].starts_with("OK PLAN choose "), "{responses:?}");
+        assert!(responses[0].contains("auto"), "{responses:?}");
+        assert!(
+            responses[1].starts_with("ERR PARSE"),
+            "bare EXPLAIN is malformed: {responses:?}"
+        );
+        assert!(responses[2].starts_with("OK PLAN "), "{responses:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_parse_errors_with_request_ordinals() {
+        let server = start_fixture(ServerConfig::default());
+        let responses = roundtrip(
+            server.local_addr(),
+            &["P Z 3", "P Q 0", "P Q 3 b-idj-z", "P Q 3   # still fine"],
+        );
+        assert!(
+            responses[0].starts_with("ERR PARSE query line 1:"),
+            "{responses:?}"
+        );
+        assert!(
+            responses[0].contains("unknown node set 'Z'"),
+            "{responses:?}"
+        );
+        assert!(responses[1].contains("query line 2"), "{responses:?}");
+        assert!(responses[2].contains("'b-idj-z'"), "{responses:?}");
+        assert!(
+            responses[3].starts_with("OK TWOWAY"),
+            "a parse error must not poison the connection: {responses:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy_and_resends_succeed() {
+        // Worker count 1, queue capacity 1, batch 1: a pipelined burst must
+        // overflow and the rejected lines re-send cleanly.
+        let server = start_fixture(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_batch(1),
+        );
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let burst = 16usize;
+        for _ in 0..burst {
+            writeln!(writer, "P Q 3").unwrap();
+        }
+        writer.flush().unwrap();
+        let mut ok = Vec::new();
+        let mut busy = 0usize;
+        for _ in 0..burst {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let response = response.trim_end().to_string();
+            if response.starts_with("ERR BUSY") {
+                busy += 1;
+            } else {
+                assert!(response.starts_with("OK TWOWAY"), "{response}");
+                ok.push(response);
+            }
+        }
+        assert!(
+            busy > 0,
+            "a 16-deep pipelined burst must overflow capacity 1"
+        );
+        // Re-send every rejected query: all succeed with identical answers.
+        for _ in 0..busy {
+            loop {
+                writeln!(writer, "P Q 3").unwrap();
+                writer.flush().unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                let response = response.trim_end().to_string();
+                if response.starts_with("ERR BUSY") {
+                    continue;
+                }
+                assert_eq!(response, ok[0], "re-sent answers are bit-identical");
+                break;
+            }
+        }
+        drop(writer);
+        let report = server.shutdown();
+        assert_eq!(report.served + report.rejected, report.served + busy as u64);
+        assert_eq!(report.served as usize, burst, "every unique query answered");
+    }
+
+    #[test]
+    fn late_queries_racing_shutdown_are_answered_or_refused_never_orphaned() {
+        // Regression: queries pipelined right behind SHUTDOWN must either
+        // be admitted before the queue closes (a worker then drains them)
+        // or be refused with a typed line — never admitted-and-orphaned,
+        // which would hang the connection writer and Server::join forever.
+        let server = start_fixture(ServerConfig::default().with_workers(1));
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "SHUTDOWN").unwrap();
+        let late = 8usize;
+        for _ in 0..late {
+            writeln!(writer, "P Q 3").unwrap();
+        }
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert_eq!(response.trim_end(), "OK BYE");
+        for index in 0..late {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let response = response.trim_end();
+            assert!(
+                response.starts_with("OK TWOWAY") || response.starts_with("ERR BUSY"),
+                "late query {index} got: {response}"
+            );
+        }
+        // The join must complete (this is where the pre-fix server hung).
+        let report = server.join();
+        assert_eq!(report.queue_depth, 0);
+    }
+
+    #[test]
+    fn shutdown_verb_drains_and_exits_cleanly() {
+        let server = start_fixture(ServerConfig::default());
+        let addr = server.local_addr();
+        let responses = roundtrip(addr, &["P Q 2", "SHUTDOWN"]);
+        assert!(responses[0].starts_with("OK TWOWAY"), "{responses:?}");
+        assert_eq!(responses[1], "OK BYE");
+        assert!(server.is_shutting_down());
+        let report = server.join();
+        assert_eq!(report.served, 1);
+        assert_eq!(report.queue_depth, 0, "queue drained before exit");
+        // The listener is gone after shutdown.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

@@ -1,0 +1,470 @@
+//! The load-generator client: M concurrent connections replaying a query
+//! stream against a running [`crate::Server`], measuring throughput and
+//! per-request latency.
+//!
+//! Two loop disciplines:
+//!
+//! * **closed-loop** — each connection sends one request, waits for its
+//!   response, then sends the next: per-request latency is meaningful and
+//!   reported as percentiles;
+//! * **open-loop** — each connection pipelines the whole stream, then
+//!   reads the responses back (they arrive in request order): this is the
+//!   throughput / overload probe, and the mode that actually exercises the
+//!   server's `ERR BUSY` backpressure.
+//!
+//! In both modes `ERR BUSY` rejections are (optionally) **re-sent** until
+//! answered — re-running a query is always bit-identical, so retries never
+//! change results, only timing.  The final response per stream position is
+//! collected, which is what parity checks compare against in-process
+//! answers.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Loop discipline of a load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// One outstanding request per connection; latency percentiles are
+    /// meaningful.
+    Closed,
+    /// The whole stream pipelined at once per round; exercises
+    /// backpressure.
+    Open,
+}
+
+impl LoadMode {
+    /// Parses `closed` / `open`, case-insensitively.
+    pub fn parse(name: &str) -> Option<LoadMode> {
+        match name.to_ascii_lowercase().as_str() {
+            "closed" => Some(LoadMode::Closed),
+            "open" => Some(LoadMode::Open),
+            _ => None,
+        }
+    }
+
+    /// The mode's canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadMode::Closed => "closed",
+            LoadMode::Open => "open",
+        }
+    }
+}
+
+/// Knobs of a load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Concurrent connections (≥ 1), each replaying the full stream.
+    pub connections: usize,
+    /// Passes over the stream per connection (≥ 1).
+    pub repeat: usize,
+    /// Loop discipline.
+    pub mode: LoadMode,
+    /// Whether `ERR BUSY` rejections are re-sent until answered.
+    pub retry_busy: bool,
+    /// Open-loop retry-round bound (guards against a server that never
+    /// frees capacity).
+    pub max_rounds: usize,
+}
+
+impl Default for LoadGenConfig {
+    /// One connection, one pass, closed-loop, busy retries on.
+    fn default() -> Self {
+        LoadGenConfig {
+            connections: 1,
+            repeat: 1,
+            mode: LoadMode::Closed,
+            retry_busy: true,
+            max_rounds: 512,
+        }
+    }
+}
+
+/// What a load-generation run measured.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Requests per connection (`unique lines × repeat`).
+    pub requests_per_connection: usize,
+    /// Final responses collected over all connections.
+    pub answered: usize,
+    /// `ERR BUSY` rejections observed (each was re-sent when retries are
+    /// on).
+    pub busy_rejections: u64,
+    /// Wall-clock of the whole run (all connections).
+    pub elapsed: Duration,
+    /// Per-request latencies in ms (closed-loop only; empty in open-loop).
+    pub latencies_ms: Vec<f64>,
+    /// Final response line per `[connection][stream position]` — what
+    /// parity checks compare.
+    pub responses: Vec<Vec<String>>,
+}
+
+impl LoadReport {
+    /// Requests answered per second.
+    pub fn throughput(&self) -> f64 {
+        self.answered as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Whether a response line is the server's typed queue-full rejection.
+fn is_busy(response: &str) -> bool {
+    response.starts_with("ERR BUSY")
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-stream",
+        ));
+    }
+    Ok(line.trim_end().to_string())
+}
+
+/// One connection's outcome: `(final responses, latencies in ms, busy
+/// rejections)`.
+type ConnectionOutcome = (Vec<String>, Vec<f64>, u64);
+
+/// One connection's replay.
+fn drive_connection(
+    addr: SocketAddr,
+    stream_lines: &[String],
+    config: &LoadGenConfig,
+) -> std::io::Result<ConnectionOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let total = stream_lines.len() * config.repeat;
+    let line_at = |index: usize| &stream_lines[index % stream_lines.len()];
+    let mut finals: Vec<Option<String>> = vec![None; total];
+    let mut latencies = Vec::new();
+    let mut busy = 0u64;
+    match config.mode {
+        LoadMode::Closed => {
+            for (index, slot) in finals.iter_mut().enumerate() {
+                loop {
+                    let start = Instant::now();
+                    writeln!(writer, "{}", line_at(index))?;
+                    writer.flush()?;
+                    let response = read_response(&mut reader)?;
+                    if is_busy(&response) && config.retry_busy {
+                        busy += 1;
+                        // Give the queue a beat to drain before re-sending.
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    }
+                    latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                    *slot = Some(response);
+                    break;
+                }
+            }
+        }
+        LoadMode::Open => {
+            let mut pending: Vec<usize> = (0..total).collect();
+            let mut rounds = 0usize;
+            while !pending.is_empty() {
+                rounds += 1;
+                if rounds > 1 {
+                    // Linear backoff between retry rounds: against a tiny
+                    // queue, competing connections otherwise spin faster
+                    // than workers can drain.
+                    std::thread::sleep(Duration::from_micros(500 * rounds.min(20) as u64));
+                }
+                if rounds > config.max_rounds {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!(
+                            "{} request(s) still BUSY after {} open-loop rounds",
+                            pending.len(),
+                            config.max_rounds
+                        ),
+                    ));
+                }
+                for &index in &pending {
+                    writeln!(writer, "{}", line_at(index))?;
+                }
+                writer.flush()?;
+                // Responses come back in request order, so this zip maps
+                // each response to the request it answers.
+                let mut still_pending = Vec::new();
+                for &index in &pending {
+                    let response = read_response(&mut reader)?;
+                    if is_busy(&response) && config.retry_busy {
+                        busy += 1;
+                        still_pending.push(index);
+                    } else {
+                        finals[index] = Some(response);
+                    }
+                }
+                pending = still_pending;
+            }
+        }
+    }
+    let finals = finals
+        .into_iter()
+        .map(|slot| slot.expect("every request answered"))
+        .collect();
+    Ok((finals, latencies, busy))
+}
+
+/// Replays `lines` (raw query-language lines; comments and blanks are
+/// stripped here, matching the file parser) against the server at `addr`
+/// on `config.connections` concurrent connections.
+///
+/// # Errors
+/// Fails on connection errors, a server that closes mid-stream, an empty
+/// stream, or open-loop starvation beyond `max_rounds`.
+pub fn run(
+    addr: SocketAddr,
+    lines: &[String],
+    config: &LoadGenConfig,
+) -> std::io::Result<LoadReport> {
+    let stream_lines: Vec<String> = lines
+        .iter()
+        .filter_map(|raw| crate::wire::strip_line(raw).map(str::to_string))
+        .collect();
+    if stream_lines.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "query stream contains no queries",
+        ));
+    }
+    let connections = config.connections.max(1);
+    let started = Instant::now();
+    let outcomes: Vec<std::io::Result<ConnectionOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let stream_lines = &stream_lines;
+                scope.spawn(move || drive_connection(addr, stream_lines, config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("loadgen connection panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut responses = Vec::new();
+    let mut latencies_ms = Vec::new();
+    let mut busy_rejections = 0u64;
+    let mut answered = 0usize;
+    for outcome in outcomes {
+        let (finals, latencies, busy) = outcome?;
+        answered += finals.len();
+        responses.push(finals);
+        latencies_ms.extend(latencies);
+        busy_rejections += busy;
+    }
+    Ok(LoadReport {
+        connections,
+        requests_per_connection: stream_lines.len() * config.repeat.max(1),
+        answered,
+        busy_rejections,
+        elapsed,
+        latencies_ms,
+        responses,
+    })
+}
+
+/// Sends the `SHUTDOWN` verb on a fresh connection and returns the
+/// server's acknowledgement (normally `OK BYE`).
+///
+/// # Errors
+/// Fails when the server is unreachable or closes before acknowledging.
+pub fn send_shutdown(addr: SocketAddr) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "SHUTDOWN")?;
+    writer.flush()?;
+    read_response(&mut reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Server, ServerConfig};
+    use dht_core::queryline::{self, ParseOptions};
+    use dht_engine::Engine;
+    use dht_graph::{GraphBuilder, NodeId, NodeSet};
+
+    fn fixture() -> (Engine, Vec<NodeSet>) {
+        let mut b = GraphBuilder::with_nodes(10);
+        for (u, v) in [
+            (0u32, 1u32),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (0, 4),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (4, 5),
+        ] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let engine = Engine::new(b.build().unwrap());
+        let sets = vec![
+            NodeSet::new("P", (0..5).map(NodeId)),
+            NodeSet::new("Q", (5..10).map(NodeId)),
+        ];
+        (engine, sets)
+    }
+
+    fn stream() -> Vec<String> {
+        [
+            "# repeated-target stream",
+            "P Q 3",
+            "Q P 2 b-bj",
+            "",
+            "P Q 3   # cache hit",
+            "nway chain P Q 2 ap min",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    /// Expected final responses for one pass of the stream, computed
+    /// in-process.
+    fn expected_responses(lines: &[String]) -> Vec<String> {
+        let (engine, sets) = fixture();
+        let options = ParseOptions::default();
+        let mut session = engine.session();
+        lines
+            .iter()
+            .filter_map(|raw| crate::wire::strip_line(raw))
+            .enumerate()
+            .map(|(index, line)| {
+                let parsed = queryline::parse_query_line(line, &sets, &options, index + 1)
+                    .unwrap()
+                    .unwrap();
+                let output = session.run(&parsed.spec).unwrap();
+                format!("OK {}", crate::wire::encode_output(&output))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn closed_loop_measures_latency_and_matches_in_process_answers() {
+        let (engine, sets) = fixture();
+        let server = Server::start(
+            engine,
+            sets,
+            ParseOptions::default(),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let report = run(
+            server.local_addr(),
+            &stream(),
+            &LoadGenConfig {
+                connections: 3,
+                repeat: 2,
+                ..LoadGenConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.connections, 3);
+        assert_eq!(report.requests_per_connection, 8);
+        assert_eq!(report.answered, 24);
+        assert_eq!(report.latencies_ms.len(), 24, "closed loop measures each");
+        assert!(report.throughput() > 0.0);
+        let expected = expected_responses(&stream());
+        for (connection, finals) in report.responses.iter().enumerate() {
+            for (index, response) in finals.iter().enumerate() {
+                assert_eq!(
+                    response,
+                    &expected[index % expected.len()],
+                    "connection {connection} request {index}"
+                );
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_retries_busy_rejections_to_the_same_answers() {
+        let (engine, sets) = fixture();
+        // A deliberately starved server: 1 worker, queue of 1.
+        let server = Server::start(
+            engine,
+            sets,
+            ParseOptions::default(),
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_batch(1),
+        )
+        .unwrap();
+        let report = run(
+            server.local_addr(),
+            &stream(),
+            &LoadGenConfig {
+                connections: 2,
+                repeat: 3,
+                mode: LoadMode::Open,
+                ..LoadGenConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.answered, 2 * 4 * 3);
+        assert!(
+            report.latencies_ms.is_empty(),
+            "open loop has no per-request latency"
+        );
+        let expected = expected_responses(&stream());
+        for finals in &report.responses {
+            for (index, response) in finals.iter().enumerate() {
+                assert_eq!(response, &expected[index % expected.len()]);
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.rejected, report.busy_rejections,
+            "client and server agree on the rejection count"
+        );
+        server_drained(&stats);
+    }
+
+    fn server_drained(stats: &crate::StatsSnapshot) {
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn shutdown_helper_stops_the_server() {
+        let (engine, sets) = fixture();
+        let server = Server::start(
+            engine,
+            sets,
+            ParseOptions::default(),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        assert_eq!(send_shutdown(addr).unwrap(), "OK BYE");
+        server.join();
+        assert!(TcpStream::connect(addr).is_err());
+    }
+
+    #[test]
+    fn empty_streams_and_mode_names_are_rejected_and_parsed() {
+        let err = run(
+            "127.0.0.1:1".parse().unwrap(),
+            &["# nothing".to_string()],
+            &LoadGenConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert_eq!(LoadMode::parse("OPEN"), Some(LoadMode::Open));
+        assert_eq!(LoadMode::parse("closed"), Some(LoadMode::Closed));
+        assert_eq!(LoadMode::parse("burst"), None);
+        assert_eq!(LoadMode::Open.name(), "open");
+    }
+}

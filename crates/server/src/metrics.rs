@@ -1,0 +1,256 @@
+//! Per-request latency tracking and serving counters, surfaced over the
+//! wire by the `STATS` verb.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dht_walks::CacheStats;
+
+/// Ring capacity of the latency reservoir: enough to make p99 meaningful
+/// under sustained load while bounding memory to ~512 KiB of samples.
+const RESERVOIR_CAPACITY: usize = 1 << 16;
+
+/// `p`-th percentile (0 ≤ p ≤ 1) of an ascending-sorted sample, `0.0` when
+/// empty — the same convention `dht querystream` reports.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+/// Bounded latency reservoir: keeps the most recent
+/// [`RESERVOIR_CAPACITY`] samples in a ring.
+#[derive(Debug, Default)]
+struct Reservoir {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl Reservoir {
+    fn record(&mut self, latency_ms: f64) {
+        if self.samples.len() < RESERVOIR_CAPACITY {
+            self.samples.push(latency_ms);
+        } else {
+            self.samples[self.next] = latency_ms;
+            self.next = (self.next + 1) % RESERVOIR_CAPACITY;
+        }
+    }
+}
+
+/// What the server measures while running; shared by every worker and
+/// connection thread.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    latencies: Mutex<Reservoir>,
+    /// Per-worker `(column cache, (y hits, y misses))` snapshots, refreshed
+    /// by each worker after every batch — so `STATS` can report cache hit
+    /// rates without reaching into live sessions (meaningful for private
+    /// caches too, where the engine has no global counters).
+    worker_caches: Mutex<Vec<(CacheStats, (u64, u64))>>,
+}
+
+impl Metrics {
+    pub(crate) fn new(workers: usize) -> Self {
+        Metrics {
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latencies: Mutex::new(Reservoir::default()),
+            worker_caches: Mutex::new(vec![Default::default(); workers]),
+        }
+    }
+
+    pub(crate) fn record_served(&self, latency: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .record(latency.as_secs_f64() * 1e3);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn store_worker_caches(
+        &self,
+        worker: usize,
+        columns: CacheStats,
+        y_tables: (u64, u64),
+    ) {
+        let mut caches = self.worker_caches.lock().expect("metrics lock poisoned");
+        if let Some(slot) = caches.get_mut(worker) {
+            *slot = (columns, y_tables);
+        }
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, queue_capacity: usize) -> StatsSnapshot {
+        let mut sorted = self
+            .latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .samples
+            .clone();
+        sorted.sort_by(f64::total_cmp);
+        let caches = self.worker_caches.lock().expect("metrics lock poisoned");
+        let mut columns = CacheStats::default();
+        let (mut y_hits, mut y_misses) = (0u64, 0u64);
+        for (cache, (hits, misses)) in caches.iter() {
+            columns = columns.merged(*cache);
+            y_hits += hits;
+            y_misses += misses;
+        }
+        StatsSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth,
+            queue_capacity,
+            workers: caches.len(),
+            p50_ms: percentile(&sorted, 0.50),
+            p90_ms: percentile(&sorted, 0.90),
+            p99_ms: percentile(&sorted, 0.99),
+            max_ms: sorted.last().copied().unwrap_or(0.0),
+            column_hits: columns.hits,
+            column_misses: columns.misses,
+            y_hits,
+            y_misses,
+        }
+    }
+}
+
+/// A point-in-time view of the server's counters — what `STATS` serialises
+/// and [`crate::Server::shutdown`] returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Query requests answered (successfully or with an `EXEC` error).
+    pub served: u64,
+    /// Query requests rejected with `BUSY` because the queue was full.
+    pub rejected: u64,
+    /// Requests queued at snapshot time.
+    pub queue_depth: usize,
+    /// Configured queue capacity.
+    pub queue_capacity: usize,
+    /// Worker (session) count.
+    pub workers: usize,
+    /// Median per-request latency, receive → response ready, in ms.
+    pub p50_ms: f64,
+    /// 90th-percentile latency in ms.
+    pub p90_ms: f64,
+    /// 99th-percentile latency in ms.
+    pub p99_ms: f64,
+    /// Worst latency in the reservoir, in ms.
+    pub max_ms: f64,
+    /// Backward-column cache hits summed over the worker sessions.
+    pub column_hits: u64,
+    /// Backward-column cache misses summed over the worker sessions.
+    pub column_misses: u64,
+    /// Y-bound-table hits summed over the worker sessions.
+    pub y_hits: u64,
+    /// Y-bound-table misses summed over the worker sessions.
+    pub y_misses: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of column lookups served from cache (0 when none).
+    pub fn column_hit_rate(&self) -> f64 {
+        let total = self.column_hits + self.column_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.column_hits as f64 / total as f64
+        }
+    }
+
+    /// The single-line `STATS` payload (without the leading `OK `).
+    pub fn wire_line(&self) -> String {
+        format!(
+            "STATS served={} rejected={} queue_depth={} queue_capacity={} workers={} \
+             p50_ms={:.4} p90_ms={:.4} p99_ms={:.4} max_ms={:.4} \
+             column_hits={} column_misses={} column_hit_rate={:.4} y_hits={} y_misses={}",
+            self.served,
+            self.rejected,
+            self.queue_depth,
+            self.queue_capacity,
+            self.workers,
+            self.p50_ms,
+            self.p90_ms,
+            self.p99_ms,
+            self.max_ms,
+            self.column_hits,
+            self.column_misses,
+            self.column_hit_rate(),
+            self.y_hits,
+            self.y_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_percentiles_and_counters() {
+        let metrics = Metrics::new(2);
+        for ms in [1.0f64, 2.0, 3.0, 4.0] {
+            metrics.record_served(Duration::from_secs_f64(ms / 1e3));
+        }
+        metrics.record_rejected();
+        metrics.store_worker_caches(
+            0,
+            CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+            },
+            (2, 1),
+        );
+        metrics.store_worker_caches(
+            1,
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+            },
+            (0, 1),
+        );
+        let snap = metrics.snapshot(5, 16);
+        assert_eq!(snap.served, 4);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.queue_depth, 5);
+        assert_eq!(snap.workers, 2);
+        assert!((snap.p50_ms - 3.0).abs() < 0.5, "{}", snap.p50_ms);
+        assert!((snap.max_ms - 4.0).abs() < 0.5, "{}", snap.max_ms);
+        assert_eq!((snap.column_hits, snap.column_misses), (4, 2));
+        assert_eq!((snap.y_hits, snap.y_misses), (2, 2));
+        assert!((snap.column_hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+        let line = snap.wire_line();
+        assert!(line.starts_with("STATS served=4 rejected=1"), "{line}");
+        assert!(line.contains("p99_ms="), "{line}");
+        assert!(line.contains("column_hit_rate=0.6667"), "{line}");
+    }
+
+    #[test]
+    fn reservoir_overwrites_oldest_beyond_capacity() {
+        let mut reservoir = Reservoir::default();
+        for i in 0..(RESERVOIR_CAPACITY + 10) {
+            reservoir.record(i as f64);
+        }
+        assert_eq!(reservoir.samples.len(), RESERVOIR_CAPACITY);
+        assert_eq!(reservoir.samples[0], RESERVOIR_CAPACITY as f64);
+        assert_eq!(reservoir.samples[10], 10.0, "later slots untouched");
+    }
+
+    #[test]
+    fn percentiles_match_the_querystream_convention() {
+        let sample = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&sample, 0.0), 1.0);
+        assert_eq!(percentile(&sample, 0.5), 3.0);
+        assert_eq!(percentile(&sample, 1.0), 5.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The bounded request queue between connection readers and session
+//! workers — the server's backpressure point.
+//!
+//! Readers `try_push` and **never block**: when the queue is at capacity
+//! the push fails and the reader answers the client with a typed
+//! `ERR BUSY` line immediately, instead of letting an overload grow an
+//! unbounded backlog (admission control).  Workers `pop_batch` up to a
+//! micro-batch of requests at a time, so one dequeue under the lock feeds
+//! several answers from one warm session.
+//!
+//! Shutdown is a queue-level `closed` flag kept **inside the mutex**, so
+//! admission and worker exit cannot race: a request either gets in before
+//! the queue closes (and a worker is then guaranteed to drain it) or its
+//! push fails — there is no window where a request is admitted after the
+//! last worker decided to exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a [`RequestQueue::try_push`] was refused; carries the request back.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushRefused<T> {
+    /// The queue is at capacity — the caller should answer `ERR BUSY` and
+    /// let the client re-send.
+    Full(T),
+    /// The queue has been closed for shutdown — no worker will ever pop
+    /// again.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with non-blocking producers and batch-popping
+/// consumers that drain fully before observing close.
+#[derive(Debug)]
+pub(crate) struct RequestQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> RequestQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        RequestQueue {
+            inner: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of requests currently queued.
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Enqueues without blocking; refuses (returning the request) when the
+    /// queue is full or already closed for shutdown.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), PushRefused<T>> {
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(PushRefused::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushRefused::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one request is available, then drains up to
+    /// `max` of them.  Returns an **empty** batch only when the queue has
+    /// been closed **and** fully drained — the worker's signal to exit
+    /// after finishing in-flight work (graceful drain).  Because `closed`
+    /// lives under the same lock as the items, nothing can be admitted
+    /// after the empty-and-closed observation.
+    pub(crate) fn pop_batch(&self, max: usize) -> Vec<T> {
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if !state.items.is_empty() {
+                let take = state.items.len().min(max.max(1));
+                let batch: Vec<T> = state.items.drain(..take).collect();
+                return batch;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            // Bounded wait so a close raised with a racing notify is still
+            // observed promptly.
+            let (guard, _) = self
+                .available
+                .wait_timeout(state, Duration::from_millis(25))
+                .expect("queue lock poisoned");
+            state = guard;
+        }
+    }
+
+    /// Closes the queue for shutdown: future pushes refuse with
+    /// [`PushRefused::Closed`], and consumers exit once the remaining
+    /// items drain.  Wakes every blocked consumer.
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue lock poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pushes_fail_at_capacity_and_batches_drain_in_order() {
+        let queue = RequestQueue::new(3);
+        assert_eq!(queue.capacity(), 3);
+        for i in 0..3 {
+            assert!(queue.try_push(i).is_ok());
+        }
+        assert_eq!(queue.try_push(99), Err(PushRefused::Full(99)));
+        assert_eq!(queue.depth(), 3);
+        assert_eq!(queue.pop_batch(2), vec![0, 1], "FIFO micro-batch");
+        assert_eq!(queue.pop_batch(8), vec![2]);
+        assert!(queue.try_push(4).is_ok(), "space freed");
+    }
+
+    #[test]
+    fn close_drains_before_releasing_workers_and_refuses_late_pushes() {
+        let queue = RequestQueue::new(8);
+        queue.try_push(1).unwrap();
+        queue.try_push(2).unwrap();
+        queue.close();
+        // A push after close must fail even though there is capacity —
+        // no worker is guaranteed to pop it (the shutdown-race fix).
+        assert_eq!(queue.try_push(3), Err(PushRefused::Closed(3)));
+        // In-flight work still comes out...
+        assert_eq!(queue.pop_batch(1), vec![1]);
+        assert_eq!(queue.pop_batch(4), vec![2]);
+        // ...and only the empty queue signals exit.
+        assert!(queue.pop_batch(4).is_empty());
+    }
+
+    #[test]
+    fn blocked_consumers_observe_late_close() {
+        let queue: Arc<RequestQueue<u32>> = Arc::new(RequestQueue::new(4));
+        let handle = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop_batch(4))
+        };
+        std::thread::sleep(Duration::from_millis(40));
+        queue.close();
+        assert!(handle.join().unwrap().is_empty());
+    }
+}

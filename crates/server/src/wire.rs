@@ -1,0 +1,106 @@
+//! The wire encoding of answers: one line per response, **bit-exact**.
+//!
+//! Scores travel as the 16-hex-digit IEEE-754 bit pattern of their `f64`
+//! (`f64::to_bits`), not as a decimal rendering — so a response line is a
+//! lossless function of the in-process [`EngineOutput`], and "the server
+//! answers bit-identically to `Session::run`" is checkable by comparing
+//! **strings**.  That is exactly what the loopback parity proptest and
+//! `dht loadgen --graph/--sets` verification do.
+//!
+//! ```text
+//! TWOWAY 2 4:17:3fe5a00000000000 9:17:3fe0000000000000
+//! NWAY 1 3,9,12:3fd5550000000000
+//! ```
+
+use dht_engine::EngineOutput;
+
+/// Encodes an answer as its single-line wire payload (without the leading
+/// `OK `): `TWOWAY n left:right:bits ...` or `NWAY n a,b,..:bits ...`.
+pub fn encode_output(output: &EngineOutput) -> String {
+    match output {
+        EngineOutput::TwoWay(out) => {
+            let mut line = format!("TWOWAY {}", out.pairs.len());
+            for pair in &out.pairs {
+                line.push_str(&format!(
+                    " {}:{}:{:016x}",
+                    pair.left.0,
+                    pair.right.0,
+                    pair.score.to_bits()
+                ));
+            }
+            line
+        }
+        EngineOutput::NWay(out) => {
+            let mut line = format!("NWAY {}", out.answers.len());
+            for answer in &out.answers {
+                let nodes: Vec<String> =
+                    answer.nodes.iter().map(|node| node.0.to_string()).collect();
+                line.push_str(&format!(
+                    " {}:{:016x}",
+                    nodes.join(","),
+                    answer.score.to_bits()
+                ));
+            }
+            line
+        }
+    }
+}
+
+/// Strips the `#`-comment and surrounding whitespace from a protocol /
+/// query-file line; `None` when nothing remains.  Shared by the server's
+/// connection reader and the load generator, so both skip exactly the
+/// lines the query-file parser skips.
+pub fn strip_line(raw: &str) -> Option<&str> {
+    let line = raw.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_core::twoway::TwoWayAlgorithm;
+    use dht_engine::Engine;
+    use dht_graph::{GraphBuilder, NodeId, NodeSet};
+
+    #[test]
+    fn encoding_is_bit_exact_and_stable() {
+        let mut b = GraphBuilder::with_nodes(6);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 5)] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), 1.0).unwrap();
+        }
+        let engine = Engine::new(b.build().unwrap());
+        let p = NodeSet::new("P", [NodeId(0), NodeId(1)]);
+        let q = NodeSet::new("Q", [NodeId(3), NodeId(4)]);
+        let out = engine
+            .session()
+            .two_way(TwoWayAlgorithm::BackwardBasic, &p, &q, 2);
+        let line = encode_output(&dht_engine::EngineOutput::TwoWay(out.clone()));
+        assert!(line.starts_with("TWOWAY 2 "), "{line}");
+        // Round-trip the bit patterns: the encoding loses nothing.
+        for (field, pair) in line.split(' ').skip(2).zip(out.pairs.iter()) {
+            let bits = field.rsplit(':').next().unwrap();
+            let score = f64::from_bits(u64::from_str_radix(bits, 16).unwrap());
+            assert!(score == pair.score, "bit-exact score survives the wire");
+        }
+        // Identical runs encode identically (the string is the parity key).
+        let again = engine
+            .session()
+            .two_way(TwoWayAlgorithm::BackwardBasic, &p, &q, 2);
+        assert_eq!(
+            line,
+            encode_output(&dht_engine::EngineOutput::TwoWay(again))
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_strip_like_the_query_file_parser() {
+        assert_eq!(strip_line("P Q 3 # hot pair"), Some("P Q 3"));
+        assert_eq!(strip_line("   \t"), None);
+        assert_eq!(strip_line("# all comment"), None);
+        assert_eq!(strip_line("nway chain P Q"), Some("nway chain P Q"));
+    }
+}

@@ -35,7 +35,8 @@
 //! `tests/concurrent_sessions_proptest.rs` pin this.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use dht_graph::{Graph, NodeId, NodeSet};
 
@@ -476,6 +477,144 @@ impl SharedColumnCache {
     }
 }
 
+/// A cross-session store of `Y_l⁺` bound tables, shared (via `Arc`) by
+/// every session of one graph's engine.
+///
+/// Y-bound tables are the opposite shape from backward columns: **few and
+/// heavy** (each is `O(d·|V_G|)` floats, and a service answers most
+/// B-IDJ-Y streams from a handful of distinct `P` sets).  A mutex around
+/// them would serialise every concurrent B-IDJ-Y session on one lock for
+/// the whole lookup, so the store is read-mostly by construction:
+///
+/// * lookups take the `RwLock` **read** lock only — any number of sessions
+///   hit concurrently; LRU touch stamps are per-entry atomics, so a hit
+///   never needs the write lock;
+/// * a miss releases the lock entirely while the table is **built outside
+///   it** (the expensive part), then takes the write lock just long enough
+///   to insert; sessions racing to build the same table each insert a
+///   bit-identical result (tables are pure functions of their key), so the
+///   interleaving can never change answers.
+///
+/// Capacity is a fixed entry count with LRU eviction under the write lock.
+#[derive(Debug)]
+pub struct SharedYTableStore {
+    tables: RwLock<HashMap<(u64, u64), YSlot>>,
+    tick: AtomicU64,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct YSlot {
+    /// LRU touch stamp, updated under the **read** lock on every hit.
+    stamp: AtomicU64,
+    table: Arc<YBoundTable>,
+}
+
+impl Default for SharedYTableStore {
+    fn default() -> Self {
+        SharedYTableStore::new()
+    }
+}
+
+impl SharedYTableStore {
+    /// A store holding up to 16 tables (the same bound a private
+    /// session's `Y_TABLE_CAPACITY` applies).
+    pub fn new() -> Self {
+        SharedYTableStore::with_capacity(Y_TABLE_CAPACITY)
+    }
+
+    /// A store holding up to `capacity` tables (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedYTableStore {
+            tables: RwLock::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity in tables.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of tables currently stored.
+    pub fn len(&self) -> usize {
+        self.tables.read().expect("y-table lock poisoned").len()
+    }
+
+    /// Whether the store currently holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative `(hits, misses)` over every session.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Residency probe: no stamp refresh, no counter update.
+    fn contains(&self, key: (u64, u64)) -> bool {
+        self.tables
+            .read()
+            .expect("y-table lock poisoned")
+            .contains_key(&key)
+    }
+
+    /// Looks the table up under the read lock, refreshing its atomic LRU
+    /// stamp on a hit.
+    fn get(&self, key: (u64, u64)) -> Option<Arc<YBoundTable>> {
+        let tables = self.tables.read().expect("y-table lock poisoned");
+        match tables.get(&key) {
+            Some(slot) => {
+                let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                slot.stamp.store(stamp, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(slot.table.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly built table (write lock held only for the map
+    /// update), evicting least-recently-touched entries over capacity.
+    fn insert(&self, key: (u64, u64), table: Arc<YBoundTable>) {
+        let mut tables = self.tables.write().expect("y-table lock poisoned");
+        let stamp = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        tables.insert(
+            key,
+            YSlot {
+                stamp: AtomicU64::new(stamp),
+                table,
+            },
+        );
+        while tables.len() > self.capacity {
+            let Some(&oldest) = tables
+                .iter()
+                .min_by_key(|(_, slot)| slot.stamp.load(Ordering::Relaxed))
+                .map(|(key, _)| key)
+            else {
+                break;
+            };
+            tables.remove(&oldest);
+        }
+    }
+
+    /// Drops every stored table (counters are kept).
+    pub fn clear(&self) {
+        self.tables.write().expect("y-table lock poisoned").clear();
+    }
+}
+
 /// The column store behind a [`QueryCtx`]: either a session-private
 /// [`ColumnCache`] or a handle to a cross-session [`SharedColumnCache`].
 #[derive(Debug)]
@@ -563,12 +702,16 @@ pub struct QueryCtx {
     /// joins running through this context.
     pub pool: ScratchPool,
     columns: ColumnStore,
-    /// Cached Y-bound tables with their LRU touch stamps; bounded by
-    /// [`Y_TABLE_CAPACITY`] so long-lived sessions answering B-IDJ-Y
-    /// queries over many distinct `P` sets cannot grow without limit.
-    /// Always session-private (tables are few and heavy; sharing them
-    /// would serialise every B-IDJ-Y query on one lock).
+    /// Session-private cached Y-bound tables with their LRU touch stamps;
+    /// bounded by [`Y_TABLE_CAPACITY`] so long-lived sessions answering
+    /// B-IDJ-Y queries over many distinct `P` sets cannot grow without
+    /// limit.  Unused when [`QueryCtx::shared_y`] is set.
     y_tables: HashMap<(u64, u64), (u64, Arc<YBoundTable>)>,
+    /// Cross-session Y-bound-table store, when this context belongs to a
+    /// shared-cache engine.  Read-mostly ([`SharedYTableStore`]): hits take
+    /// a read lock, builds happen outside any lock, so concurrent B-IDJ-Y
+    /// sessions do not serialise on it.
+    shared_y: Option<Arc<SharedYTableStore>>,
     y_tick: u64,
     y_hits: u64,
     y_misses: u64,
@@ -609,15 +752,37 @@ impl QueryCtx {
         }
     }
 
+    /// Attaches a cross-session [`SharedYTableStore`]: Y-bound tables are
+    /// then read from and written to the shared store instead of the
+    /// session-private map, so concurrent B-IDJ-Y sessions over one graph
+    /// warm each other.  What `dht-engine` sets on every session of a
+    /// shared-cache engine.
+    pub fn with_shared_y_tables(mut self, store: Arc<SharedYTableStore>) -> Self {
+        self.shared_y = Some(store);
+        self
+    }
+
+    /// The cross-session Y-table store behind this context, when set.
+    pub fn shared_y_store(&self) -> Option<&Arc<SharedYTableStore>> {
+        self.shared_y.as_ref()
+    }
+
     /// A fresh context for a helper worker of this session: shares the
-    /// [`SharedColumnCache`] when this context has one, and is a plain
-    /// one-shot context otherwise (a private cache cannot be split across
-    /// threads).  The concurrent per-edge paths of AP and the generic
-    /// measure n-way join fork one context per worker, so even their
-    /// scoped-thread stages read and fill the cross-session cache.
+    /// [`SharedColumnCache`] (and the [`SharedYTableStore`], when present)
+    /// when this context has one, and is a plain one-shot context otherwise
+    /// (a private cache cannot be split across threads).  The concurrent
+    /// per-edge paths of AP and the generic measure n-way join fork one
+    /// context per worker, so even their scoped-thread stages read and fill
+    /// the cross-session caches.
     pub fn fork(&self) -> QueryCtx {
         match &self.columns {
-            ColumnStore::Shared { cache, .. } => QueryCtx::shared(cache.clone()),
+            ColumnStore::Shared { cache, .. } => {
+                let ctx = QueryCtx::shared(cache.clone());
+                match &self.shared_y {
+                    Some(store) => ctx.with_shared_y_tables(store.clone()),
+                    None => ctx,
+                }
+            }
             ColumnStore::Private(_) => QueryCtx::one_shot(),
         }
     }
@@ -649,6 +814,9 @@ impl QueryCtx {
     pub fn clear(&mut self) {
         self.columns.clear();
         self.y_tables.clear();
+        if let Some(store) = &self.shared_y {
+            store.clear();
+        }
     }
 
     /// Residency probe: whether the backward DHT column of `target` (at
@@ -693,7 +861,11 @@ impl QueryCtx {
             graph_scoped_sig(graph, dht_column_sig(params, d, engine)),
             node_set_sig(p),
         );
-        self.columns.is_enabled() && self.y_tables.contains_key(&key)
+        self.columns.is_enabled()
+            && match &self.shared_y {
+                Some(store) => store.contains(key),
+                None => self.y_tables.contains_key(&key),
+            }
     }
 
     /// The truncated backward DHT column `h_d(·, target)` for every source,
@@ -835,8 +1007,14 @@ impl QueryCtx {
             graph_scoped_sig(graph, dht_column_sig(params, d, engine)),
             node_set_sig(p),
         );
-        if self.columns.is_enabled() {
-            if let Some((stamp, table)) = self.y_tables.get_mut(&key) {
+        let caching = self.columns.is_enabled();
+        if caching {
+            if let Some(store) = &self.shared_y {
+                if let Some(table) = store.get(key) {
+                    self.y_hits += 1;
+                    return table;
+                }
+            } else if let Some((stamp, table)) = self.y_tables.get_mut(&key) {
                 self.y_tick += 1;
                 *stamp = self.y_tick;
                 self.y_hits += 1;
@@ -844,6 +1022,8 @@ impl QueryCtx {
             }
         }
         self.y_misses += 1;
+        // Built outside any lock: on the shared store, racing sessions may
+        // each build the (bit-identical) table, but none blocks another.
         let mut scratch = self.pool.acquire();
         let table = Arc::new(YBoundTable::new_with(
             graph,
@@ -854,19 +1034,23 @@ impl QueryCtx {
             threads,
             &mut scratch,
         ));
-        if self.columns.is_enabled() {
-            self.y_tick += 1;
-            self.y_tables.insert(key, (self.y_tick, table.clone()));
-            if self.y_tables.len() > Y_TABLE_CAPACITY {
-                // Tiny map (≤ 17 entries): a linear scan for the oldest
-                // stamp is cheaper than any auxiliary structure.
-                if let Some(&oldest) = self
-                    .y_tables
-                    .iter()
-                    .min_by_key(|(_, &(stamp, _))| stamp)
-                    .map(|(key, _)| key)
-                {
-                    self.y_tables.remove(&oldest);
+        if caching {
+            if let Some(store) = &self.shared_y {
+                store.insert(key, table.clone());
+            } else {
+                self.y_tick += 1;
+                self.y_tables.insert(key, (self.y_tick, table.clone()));
+                if self.y_tables.len() > Y_TABLE_CAPACITY {
+                    // Tiny map (≤ 17 entries): a linear scan for the oldest
+                    // stamp is cheaper than any auxiliary structure.
+                    if let Some(&oldest) = self
+                        .y_tables
+                        .iter()
+                        .min_by_key(|(_, &(stamp, _))| stamp)
+                        .map(|(key, _)| key)
+                    {
+                        self.y_tables.remove(&oldest);
+                    }
                 }
             }
         }
@@ -1314,6 +1498,104 @@ mod tests {
         let (_, misses_before) = ctx.y_table_stats();
         ctx.y_bound_table(&g, &params, &first, 4, WalkEngine::Sparse, 1);
         assert_eq!(ctx.y_table_stats().1, misses_before + 1);
+    }
+
+    #[test]
+    fn shared_y_store_serves_concurrent_sessions_and_bounds_capacity() {
+        let g = ring(12);
+        let params = DhtParams::paper_default();
+        let store = Arc::new(SharedYTableStore::with_capacity(2));
+        // Two sessions sharing the store: the second hits what the first
+        // built, and the tables agree with a private rebuild bit-for-bit.
+        let mut first = QueryCtx::with_byte_budget(1 << 20).with_shared_y_tables(store.clone());
+        let mut second = QueryCtx::with_byte_budget(1 << 20).with_shared_y_tables(store.clone());
+        let p = NodeSet::new("P", [NodeId(0), NodeId(1)]);
+        let a = first.y_bound_table(&g, &params, &p, 5, WalkEngine::Sparse, 1);
+        let b = second.y_bound_table(&g, &params, &p, 5, WalkEngine::Sparse, 1);
+        assert!(Arc::ptr_eq(&a, &b), "second session must hit the store");
+        assert_eq!(first.y_table_stats(), (0, 1));
+        assert_eq!(second.y_table_stats(), (1, 0));
+        assert_eq!(store.stats(), (1, 1));
+        assert!(first.y_table_resident(&g, &params, &p, 5, WalkEngine::Sparse));
+
+        // Capacity 2: a third distinct P evicts the least recently touched.
+        let p2 = NodeSet::new("P2", [NodeId(4)]);
+        let p3 = NodeSet::new("P3", [NodeId(7)]);
+        first.y_bound_table(&g, &params, &p2, 5, WalkEngine::Sparse, 1);
+        // Touch p (now p2 is LRU), then insert p3.
+        first.y_bound_table(&g, &params, &p, 5, WalkEngine::Sparse, 1);
+        first.y_bound_table(&g, &params, &p3, 5, WalkEngine::Sparse, 1);
+        assert_eq!(store.len(), 2);
+        assert!(first.y_table_resident(&g, &params, &p, 5, WalkEngine::Sparse));
+        assert!(!first.y_table_resident(&g, &params, &p2, 5, WalkEngine::Sparse));
+        assert!(first.y_table_resident(&g, &params, &p3, 5, WalkEngine::Sparse));
+
+        // clear() through any sharing context clears the store.
+        first.clear();
+        assert!(store.is_empty());
+        assert!(!second.y_table_resident(&g, &params, &p, 5, WalkEngine::Sparse));
+    }
+
+    #[test]
+    fn shared_y_store_survives_concurrent_hammering_under_capacity_one() {
+        // Many threads race get/build/insert/evict on a capacity-1 store;
+        // every returned table must equal the private rebuild bit-for-bit.
+        let g = ring(10);
+        let params = DhtParams::paper_default();
+        let store = Arc::new(SharedYTableStore::with_capacity(1));
+        let references: Vec<Arc<YBoundTable>> = (0..3u32)
+            .map(|i| {
+                QueryCtx::one_shot().y_bound_table(
+                    &g,
+                    &params,
+                    &NodeSet::new("P", [NodeId(i), NodeId(i + 3)]),
+                    4,
+                    WalkEngine::Sparse,
+                    1,
+                )
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for worker in 0..4u32 {
+                let store = store.clone();
+                let g = &g;
+                let params = &params;
+                let references = &references;
+                scope.spawn(move || {
+                    let mut ctx = QueryCtx::with_byte_budget(1 << 20).with_shared_y_tables(store);
+                    for round in 0..12u32 {
+                        let i = (worker + round) % 3;
+                        let p = NodeSet::new("P", [NodeId(i), NodeId(i + 3)]);
+                        let table = ctx.y_bound_table(g, params, &p, 4, WalkEngine::Sparse, 1);
+                        let reference = &references[i as usize];
+                        for q in g.nodes() {
+                            for l in 0..=4 {
+                                assert!(
+                                    table.bound(l, q) == reference.bound(l, q),
+                                    "worker {worker} round {round} diverged"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 1, "capacity must hold under races");
+    }
+
+    #[test]
+    fn forked_contexts_share_the_y_store() {
+        let shared = Arc::new(SharedColumnCache::new(1 << 20));
+        let store = Arc::new(SharedYTableStore::new());
+        let ctx = QueryCtx::shared(shared).with_shared_y_tables(store.clone());
+        let fork = ctx.fork();
+        assert!(Arc::ptr_eq(
+            fork.shared_y_store().expect("fork keeps the y store"),
+            &store
+        ));
+        // A shared-column context without a Y store forks without one too.
+        let bare = QueryCtx::shared(Arc::new(SharedColumnCache::new(1 << 20)));
+        assert!(bare.fork().shared_y_store().is_none());
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod params;
 
 pub use backward::BackwardWalk;
 pub use bounds::{x_upper_bound, YBoundTable};
-pub use cache::{column_bytes, CacheStats, ColumnCache, QueryCtx, SharedColumnCache};
+pub use cache::{
+    column_bytes, CacheStats, ColumnCache, QueryCtx, SharedColumnCache, SharedYTableStore,
+};
 pub use forward::AbsorbingWalk;
 pub use frontier::{ScratchPool, WalkEngine, WalkScratch};
 pub use params::{DhtParams, ParamsError};

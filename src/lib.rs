@@ -21,6 +21,11 @@
 //!   [`core::QuerySpec`]s — `Session::run` plans `Auto` specs with a cost
 //!   model over graph statistics and live cache state, and
 //!   `Session::explain` reifies the decision as a `QueryPlan`;
+//! * [`server`] — the TCP serving layer: a hermetic `std::net` server
+//!   multiplexing any number of clients onto a pool of warm engine
+//!   sessions (bounded queue with `BUSY` backpressure, micro-batching,
+//!   `STATS`/`EXPLAIN`/`PING` verbs) plus the matching load-generator
+//!   client; wire answers are bit-identical to in-process sessions;
 //! * [`datasets`] — synthetic analogues of the paper's datasets;
 //! * [`eval`] — ROC / AUC, link- and 3-clique-prediction experiments;
 //! * [`measures`] — the extension sketched in the paper's conclusion:
@@ -81,6 +86,7 @@ pub use dht_graph as graph;
 pub use dht_measures as measures;
 pub use dht_par as par;
 pub use dht_rankjoin as rankjoin;
+pub use dht_server as server;
 pub use dht_walks as walks;
 
 #[doc(inline)]

@@ -1,13 +1,15 @@
 //! Concurrent-session stress test: N threads hammer one [`Engine`] with
 //! overlapping two-way and n-way queries through the cross-session
-//! `SharedColumnCache`, under a byte budget tiny enough to keep every
-//! stripe evicting, and every answer must be **bitwise identical** to the
-//! one-shot free-function answer.
+//! `SharedColumnCache` **and** the read-mostly `SharedYTableStore`, both
+//! under budgets tiny enough to keep them evicting (a ~2-column byte
+//! budget; a **one-table** Y store, so concurrent B-IDJ-Y sessions race
+//! get/build/insert/evict on every query), and every answer must be
+//! **bitwise identical** to the one-shot free-function answer.
 //!
-//! This is the contract that makes the shared cache safe: no interleaving
-//! of sessions — racing to compute the same column, evicting each other's
-//! entries, hitting columns another thread inserted a microsecond ago —
-//! may ever change what any query answers.
+//! This is the contract that makes the shared caches safe: no interleaving
+//! of sessions — racing to compute the same column or Y-bound table,
+//! evicting each other's entries, hitting state another thread inserted a
+//! microsecond ago — may ever change what any query answers.
 
 use proptest::prelude::*;
 
@@ -108,14 +110,17 @@ proptest! {
         let references: Vec<EngineQuery> = stream.clone();
         let specs: Vec<QuerySpec> = stream.iter().map(QuerySpec::from).collect();
 
-        // A budget worth ~2 columns of the largest generated graph: every
-        // session keeps evicting what the others just inserted.
+        // A budget worth ~2 columns of the largest generated graph, and a
+        // Y-table store holding exactly one table: every session keeps
+        // evicting what the others just inserted, in both caches.
         let engine = Engine::with_config(
             graph.clone(),
             EngineConfig::paper_default()
-                .with_cache_bytes(2 * dht_nway::walks::column_bytes(21)),
+                .with_cache_bytes(2 * dht_nway::walks::column_bytes(21))
+                .with_y_table_capacity(1),
         );
         prop_assert!(engine.shared_cache().is_some());
+        prop_assert!(engine.shared_y_tables().is_some());
 
         for sessions in dht_nway::par::test_thread_counts(&[2, 4]) {
             let sessions = sessions.max(2); // the point is concurrency

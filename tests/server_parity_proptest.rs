@@ -1,0 +1,213 @@
+//! Loopback parity: answers served by `dht-server` over TCP are
+//! **bit-identical** to in-process `Session::run` answers for the same
+//! query stream — at 1 and 4 workers, with the shared and the private
+//! cache, and under forced queue-full rejections with rejected queries
+//! re-sent.
+//!
+//! Scores travel as exact `f64` bit patterns (`dht_server::wire`), so the
+//! comparison is string equality between each wire response and the
+//! encoding of the in-process answer.  Combined with the engine's own
+//! parity pins (caching, concurrency, planning never change answers),
+//! this closes the chain: CLI, in-process engine and network server all
+//! answer every stream identically.
+
+use proptest::prelude::*;
+
+use dht_nway::core::queryline::{self, ParseOptions};
+use dht_nway::engine::{Engine, EngineConfig};
+use dht_nway::prelude::*;
+use dht_nway::server::loadgen::{self, LoadGenConfig, LoadMode};
+use dht_nway::server::{wire, Server, ServerConfig};
+
+/// Strategy: a random directed weighted graph as an edge list over `n`
+/// nodes.
+fn er_graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (9usize..18).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.25f64..4.0), 1..(n * 3));
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: descriptors for a stream of query lines — `(algorithm index,
+/// set-pair index, k)`, every 5th line n-way, every 4th `auto`.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u32, u32, usize)>> {
+    proptest::collection::vec((0u32..5, 0u32..3, 1usize..5), 3..8)
+}
+
+fn build_graph(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut builder = GraphBuilder::with_nodes(n);
+    for &(u, v, w) in edges {
+        if u != v {
+            builder
+                .add_edge(NodeId(u), NodeId(v), w)
+                .expect("valid endpoints");
+        }
+    }
+    builder.build().expect("generated graph is valid")
+}
+
+/// Three overlapping node sets named A / B / C.
+fn overlapping_sets(n: usize) -> Vec<NodeSet> {
+    let n = n as u32;
+    let third = (n / 3).max(1);
+    vec![
+        NodeSet::new("A", (0..2 * third).map(NodeId)),
+        NodeSet::new("B", (third..n).map(NodeId)),
+        NodeSet::new("C", (0..n).step_by(2).map(NodeId)),
+    ]
+}
+
+/// Renders the descriptors as query-language lines (what travels over the
+/// wire and through the parser — the same text both ends see).
+fn build_lines(descriptors: &[(u32, u32, usize)]) -> Vec<String> {
+    const ALGORITHMS: [&str; 5] = ["f-bj", "f-idj", "b-bj", "b-idj-x", "b-idj-y"];
+    descriptors
+        .iter()
+        .enumerate()
+        .map(|(i, &(algo, pair, k))| {
+            let (left, right) = match pair {
+                0 => ("A", "B"),
+                1 => ("B", "C"),
+                _ => ("C", "A"),
+            };
+            if i % 5 == 4 {
+                format!("nway chain {left} {right} {k} ap min")
+            } else if i % 4 == 3 {
+                format!("{left} {right} {k} auto")
+            } else {
+                format!("{left} {right} {k} {}", ALGORITHMS[algo as usize])
+            }
+        })
+        .collect()
+}
+
+/// In-process reference: parse the same lines, answer them on one warm
+/// session, and encode each answer exactly as the server does.
+fn expected_responses(engine: &Engine, sets: &[NodeSet], lines: &[String]) -> Vec<String> {
+    let options = ParseOptions::default();
+    let mut session = engine.session();
+    lines
+        .iter()
+        .enumerate()
+        .map(|(index, line)| {
+            let parsed = queryline::parse_query_line(line, sets, &options, index + 1)
+                .expect("generated lines are well-formed")
+                .expect("no blank lines generated");
+            let output = session
+                .run(&parsed.spec)
+                .expect("generated queries are valid");
+            format!("OK {}", wire::encode_output(&output))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random streams served over loopback TCP at 1 and 4 workers, shared
+    /// and private cache: every response equals the in-process answer,
+    /// byte for byte.
+    #[test]
+    fn served_answers_match_in_process_sessions_bitwise(
+        (n, edges) in er_graph_strategy(),
+        descriptors in stream_strategy(),
+    ) {
+        let graph = build_graph(n, &edges);
+        let sets = overlapping_sets(n);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let lines = build_lines(&descriptors);
+
+        for shared in [true, false] {
+            let config = EngineConfig::paper_default().with_shared_cache(shared);
+            let reference = Engine::with_config(graph.clone(), config);
+            let expected = expected_responses(&reference, &sets, &lines);
+
+            for workers in [1usize, 4] {
+                let server = Server::start(
+                    Engine::with_config(graph.clone(), config),
+                    sets.clone(),
+                    ParseOptions::default(),
+                    ServerConfig::default().with_workers(workers),
+                )
+                .expect("bind loopback");
+                let report = loadgen::run(
+                    server.local_addr(),
+                    &lines,
+                    &LoadGenConfig {
+                        connections: 2,
+                        repeat: 2,
+                        mode: LoadMode::Closed,
+                        ..LoadGenConfig::default()
+                    },
+                )
+                .expect("loopback replay succeeds");
+                let stats = server.shutdown();
+                prop_assert_eq!(stats.queue_depth, 0, "drained on shutdown");
+                for (connection, finals) in report.responses.iter().enumerate() {
+                    prop_assert_eq!(finals.len(), 2 * lines.len());
+                    for (index, response) in finals.iter().enumerate() {
+                        prop_assert_eq!(
+                            response,
+                            &expected[index % expected.len()],
+                            "workers={} shared={} connection={} request={}",
+                            workers, shared, connection, index
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A starved server (1 worker, queue capacity 1) under an open-loop
+    /// pipelined burst: rejections happen, rejected queries are re-sent,
+    /// and the final answers are still bit-identical to in-process ones.
+    #[test]
+    fn rejected_and_resent_queries_answer_bitwise_identically(
+        (n, edges) in er_graph_strategy(),
+        descriptors in stream_strategy(),
+    ) {
+        let graph = build_graph(n, &edges);
+        let sets = overlapping_sets(n);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let lines = build_lines(&descriptors);
+
+        let config = EngineConfig::paper_default();
+        let reference = Engine::with_config(graph.clone(), config);
+        let expected = expected_responses(&reference, &sets, &lines);
+
+        let server = Server::start(
+            Engine::with_config(graph.clone(), config),
+            sets.clone(),
+            ParseOptions::default(),
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_batch(1),
+        )
+        .expect("bind loopback");
+        let report = loadgen::run(
+            server.local_addr(),
+            &lines,
+            &LoadGenConfig {
+                connections: 3,
+                repeat: 2,
+                mode: LoadMode::Open,
+                ..LoadGenConfig::default()
+            },
+        )
+        .expect("open-loop replay succeeds");
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.rejected, report.busy_rejections,
+            "server and client agree on the rejection count");
+        for finals in &report.responses {
+            for (index, response) in finals.iter().enumerate() {
+                prop_assert_eq!(
+                    response,
+                    &expected[index % expected.len()],
+                    "rejection/re-send schedule changed an answer at request {}",
+                    index
+                );
+            }
+        }
+    }
+}

@@ -149,9 +149,15 @@ fn host_number(report: &Json, key: &str) -> Option<f64> {
 /// artifact, the documented procedure).
 fn refresh_baseline(options: &Options) -> Result<(), String> {
     let mut fresh = load(&options.fresh)?;
+    // The core count comes from the report's own host block, so
+    // re-baselining locally from a downloaded CI artifact stamps the CI
+    // machine's cores (the ones the timings were measured on), not the
+    // laptop running `--update`.  Only a report with no host block falls
+    // back to this machine.
+    let stamped_cores = host_number(&fresh, "logical_cores").unwrap_or_else(this_host_cores);
     let mut host = fresh.get("host").cloned().unwrap_or(Json::Obj(Vec::new()));
     host.set("stamped_by", Json::Str("bench_check --update".to_string()));
-    host.set("stamped_cores", Json::Num(this_host_cores()));
+    host.set("stamped_cores", Json::Num(stamped_cores));
     host.set(
         "stamped_host",
         Json::Str(
@@ -170,7 +176,7 @@ fn refresh_baseline(options: &Options) -> Result<(), String> {
         options.baseline,
         options.fresh,
         options.stamp_host.as_deref().unwrap_or("local"),
-        this_host_cores()
+        stamped_cores
     );
     Ok(())
 }
@@ -187,16 +193,27 @@ fn run() -> Result<Vec<String>, String> {
     let fresh = load(&options.fresh)?;
     let mut failures: Vec<String> = Vec::new();
 
-    // 0. Host drift: a baseline recorded on a different core budget is
-    //    comparable only thanks to the slack margins — warn, don't fail,
-    //    and point at the re-baseline procedure.
+    // 0. Host drift: a baseline recorded on a different core budget than
+    //    the fresh report is comparable only thanks to the slack margins —
+    //    warn, don't fail, and point at the re-baseline procedure.  Both
+    //    sides come from the reports themselves (the machines that ran the
+    //    timings), so checking two CI artifacts on a laptop stays quiet and
+    //    a genuine CI-vs-baseline mismatch warns regardless of where the
+    //    check runs.
     let baseline_cores =
         host_number(&baseline, "stamped_cores").or_else(|| host_number(&baseline, "logical_cores"));
+    let (fresh_cores, fresh_label) = match host_number(&fresh, "logical_cores") {
+        Some(cores) => (cores, "the fresh report on"),
+        None => (
+            this_host_cores(),
+            "the fresh report is unstamped; this host has",
+        ),
+    };
     match baseline_cores {
-        Some(cores) if cores != this_host_cores() => {
+        Some(cores) if cores != fresh_cores => {
             println!(
                 "bench_check: WARNING: baseline was recorded on {cores} core(s) \
-                 ({}), this host has {} — timings compare only via the \
+                 ({}), {fresh_label} {} — timings compare only via the \
                  {:.1}x + {:.2} s margins; re-baseline from a CI artifact \
                  (`bench_check --update --stamp-host ci`) when possible",
                 baseline
@@ -204,7 +221,7 @@ fn run() -> Result<Vec<String>, String> {
                     .and_then(|h| h.get("stamped_host"))
                     .and_then(Json::as_str)
                     .unwrap_or("unstamped"),
-                this_host_cores(),
+                fresh_cores,
                 options.max_slowdown,
                 options.floor
             );

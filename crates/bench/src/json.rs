@@ -112,8 +112,9 @@ impl Json {
 
     /// Renders the value back to pretty-printed JSON (2-space indent) —
     /// the writer matching this reader, used when `bench_check --update`
-    /// rewrites the baseline.  Numbers print via `f64`'s shortest
-    /// round-trip representation, so re-parsing yields identical values.
+    /// rewrites the baseline.  Finite numbers print via `f64`'s shortest
+    /// round-trip representation, so re-parsing yields identical values;
+    /// non-finite numbers (which JSON cannot represent) render as `null`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         self.render_into(&mut out, 0);
@@ -127,27 +128,17 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 1e15 {
+                if !x.is_finite() {
+                    // JSON has no NaN/Infinity literal; render as null so
+                    // the output always re-parses.
+                    out.push_str("null");
+                } else if x.fract() == 0.0 && x.abs() < 1e15 {
                     out.push_str(&format!("{}", *x as i64));
                 } else {
                     out.push_str(&format!("{x}"));
                 }
             }
-            Json::Str(s) => {
-                out.push('"');
-                for ch in s.chars() {
-                    match ch {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
+            Json::Str(s) => escape_into(out, s),
             Json::Arr(items) => {
                 if items.is_empty() {
                     out.push_str("[]");
@@ -170,7 +161,8 @@ impl Json {
                 out.push_str("{\n");
                 for (i, (key, value)) in members.iter().enumerate() {
                     out.push_str(&pad);
-                    out.push_str(&format!("\"{key}\": "));
+                    escape_into(out, key);
+                    out.push_str(": ");
                     value.render_into(out, depth + 1);
                     out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
                 }
@@ -198,6 +190,25 @@ impl Json {
             _ => {}
         }
     }
+}
+
+/// Appends `s` as a quoted JSON string, escaping quotes, backslashes, and
+/// control characters — used for both string values and object keys, so a
+/// key containing a quote still renders as valid JSON.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure with its byte offset.
@@ -451,6 +462,18 @@ mod tests {
         assert_eq!(Json::parse(&rendered).unwrap(), json, "lossless round-trip");
         assert!(rendered.contains("\"logical_cores\": 1"), "{rendered}");
         assert!(rendered.ends_with("}\n"));
+    }
+
+    #[test]
+    fn rendered_keys_escape_and_non_finite_numbers_render_as_null() {
+        let json = Json::Obj(vec![
+            ("quote\"key\\".to_string(), Json::Num(f64::NAN)),
+            ("inf".to_string(), Json::Num(f64::INFINITY)),
+        ]);
+        let rendered = json.render();
+        let back = Json::parse(&rendered).expect("output must stay parseable");
+        assert_eq!(back.get("quote\"key\\"), Some(&Json::Null));
+        assert_eq!(back.get("inf"), Some(&Json::Null));
     }
 
     #[test]

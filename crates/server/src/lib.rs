@@ -58,7 +58,9 @@
 //! (`LEFT RIGHT [k] [ALGORITHM]` / `nway SHAPE S1 … [k] [ALGO] [AGG]`).
 //! Error responses are typed: `ERR BUSY …` (queue full), `ERR PARSE …`
 //! (malformed line, with the offending token), `ERR EXEC …` (execution
-//! failure).  Scores travel as exact `f64` bit patterns ([`wire`]), so
+//! failure).  A request line that is not valid UTF-8 answers `ERR PARSE`;
+//! one still unterminated past 64 KiB gets one `ERR PARSE` and the
+//! connection is dropped.  Scores travel as exact `f64` bit patterns ([`wire`]), so
 //! responses are **bit-identical** to in-process [`dht_engine::Session`]
 //! answers at any worker count, cache mode and rejection schedule — the
 //! repository's loopback parity proptest pins this.
@@ -73,7 +75,7 @@ pub mod wire;
 mod queue;
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -145,6 +147,17 @@ impl ServerConfig {
 
 /// How often blocked loops re-check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Longest request line (terminator excluded) the connection reader will
+/// buffer.  A line still unterminated past this is a protocol violation
+/// (or a runaway sender): the reader answers with a typed `ERR PARSE` and
+/// drops the connection rather than growing the buffer without bound.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// The one response an oversized line gets before its connection closes.
+fn oversized_line_error() -> String {
+    format!("ERR PARSE line exceeds {MAX_LINE_BYTES} bytes")
+}
 
 /// One queued query request.
 struct Request {
@@ -389,13 +402,27 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
     let (reply, responses) = mpsc::channel::<(u64, String)>();
     let writer = std::thread::spawn(move || writer_loop(write_half, &responses));
     let mut reader = BufReader::new(stream);
-    let mut raw = String::new();
+    let mut raw = Vec::new();
     let mut seq = 0u64;
+    let mut overflowed = false;
     loop {
-        raw.clear();
-        match reader.read_line(&mut raw) {
-            Ok(0) => break, // client closed
-            Ok(_) => {}
+        // A timed-out read has already appended the bytes it consumed to
+        // `raw`, so the buffer is cleared only after a completed line is
+        // dispatched — never on the timeout path, or a sender delivering
+        // a line across a >POLL_INTERVAL gap would have the line's prefix
+        // silently dropped.  (`read_line` would not do: its UTF-8 guard
+        // rolls back every byte of a call that errors mid-character, so a
+        // timeout splitting a multi-byte character loses consumed bytes;
+        // raw bytes have no such rollback.)  The `take` bounds how much
+        // one line can buffer even against a sender that drips newline-
+        // less bytes fast enough to never hit the read timeout: once the
+        // cap is exceeded the read returns and the length check below
+        // answers once and drops the connection.
+        let budget = (MAX_LINE_BYTES + 1 - raw.len()) as u64;
+        let at_eof = match (&mut reader).take(budget).read_until(b'\n', &mut raw) {
+            Ok(0) if raw.is_empty() => break, // client closed
+            Ok(0) => true,                    // EOF right after a partial line
+            Ok(_) => !raw.ends_with(b"\n"),   // EOF (or cap hit, checked below)
             Err(error)
                 if matches!(
                     error.kind(),
@@ -408,21 +435,76 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
                 continue;
             }
             Err(_) => break,
-        }
-        let Some(line) = wire::strip_line(&raw) else {
-            continue; // comments / blank lines get no response
         };
-        let this_seq = seq;
-        seq += 1;
-        let response = dispatch_line(shared, line, this_seq, &reply);
-        if let Some(line) = response {
-            if reply.send((this_seq, line)).is_err() {
-                break;
+        // The cap is on line *content* — the terminator doesn't count, so
+        // a newline-terminated line of exactly MAX_LINE_BYTES is served.
+        let line_len = raw.len() - usize::from(raw.ends_with(b"\n"));
+        if line_len > MAX_LINE_BYTES {
+            let _ = reply.send((seq, oversized_line_error()));
+            overflowed = true;
+            break;
+        }
+        // Comments / blank lines get no response (and no sequence
+        // number); every other line — including one that is not valid
+        // UTF-8 — consumes one.
+        match std::str::from_utf8(&raw) {
+            Ok(text) => {
+                if let Some(line) = wire::strip_line(text) {
+                    let this_seq = seq;
+                    seq += 1;
+                    let response = dispatch_line(shared, line, this_seq, &reply);
+                    if let Some(line) = response {
+                        if reply.send((this_seq, line)).is_err() {
+                            break;
+                        }
+                    }
+                }
             }
+            Err(_) => {
+                let this_seq = seq;
+                seq += 1;
+                let error = "ERR PARSE request line is not valid UTF-8".to_string();
+                if reply.send((this_seq, error)).is_err() {
+                    break;
+                }
+            }
+        }
+        raw.clear();
+        if at_eof {
+            break;
         }
     }
     drop(reply);
     writer.join().expect("connection writer panicked");
+    if overflowed {
+        discard_pending_input(&mut reader);
+    }
+}
+
+/// Best-effort grace period after an oversized-line error: the client may
+/// still be mid-flood, and closing a socket with unread bytes in the
+/// kernel receive buffer sends RST — which can discard the error line
+/// before the client reads it.  Briefly discard pending input (bounded by
+/// a deadline) so the close is clean in the common case.
+fn discard_pending_input(reader: &mut BufReader<TcpStream>) {
+    let deadline = Instant::now() + 8 * POLL_INTERVAL;
+    let mut scratch = [0u8; 4096];
+    while Instant::now() < deadline {
+        match reader.get_mut().read(&mut scratch) {
+            Ok(0) => break, // client closed its sending half
+            Ok(_) => {}
+            // Receive buffer drained (read timeout): safe to close now.
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break;
+            }
+            Err(_) => break,
+        }
+    }
 }
 
 /// Handles one request line: control verbs answer inline (returning the
@@ -613,6 +695,119 @@ mod tests {
         assert_eq!(report.served, 2 * lines.len() as u64);
         assert_eq!(report.rejected, 0);
         assert!(report.column_hits > 0, "repeats must hit the shared cache");
+    }
+
+    #[test]
+    fn slow_senders_keep_partial_lines_across_read_timeouts() {
+        let server = start_fixture(ServerConfig::default());
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        // One request delivered in chunks with pauses well past the
+        // reader's poll interval: the prefix consumed by a timed-out read
+        // must survive until the newline arrives.  The second request
+        // splits a multi-byte UTF-8 character ('é' in a trailing comment)
+        // across the stall, which `read_line` would roll back entirely.
+        let chunked: [&[&[u8]]; 2] = [&[b"P ", b"Q ", b"3\n"], &[b"P Q 3 # caf\xC3", b"\xA9\n"]];
+        for chunks in chunked {
+            for chunk in chunks {
+                writer.write_all(chunk).expect("send chunk");
+                writer.flush().expect("flush");
+                std::thread::sleep(3 * POLL_INTERVAL);
+            }
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("receive");
+            assert!(response.starts_with("OK TWOWAY"), "{response:?}");
+        }
+        // A final request with no trailing newline is still served at EOF.
+        writer.write_all(b"PING").expect("send final");
+        writer.flush().expect("flush");
+        std::thread::sleep(3 * POLL_INTERVAL);
+        writer
+            .shutdown(std::net::Shutdown::Write)
+            .expect("half-close");
+        let mut last = String::new();
+        reader.read_line(&mut last).expect("receive final");
+        assert_eq!(last.trim_end(), "OK PONG");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_unterminated_lines_get_one_error_then_disconnect() {
+        let server = start_fixture(ServerConfig::default());
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        // The cap is on content, terminator excluded: a terminated line of
+        // exactly MAX_LINE_BYTES (padded with stripped whitespace) serves.
+        let mut boundary = b"PING".to_vec();
+        boundary.resize(MAX_LINE_BYTES, b' ');
+        boundary.push(b'\n');
+        writer.write_all(&boundary).expect("send boundary line");
+        writer.flush().expect("flush");
+        let mut pong = String::new();
+        reader.read_line(&mut pong).expect("receive pong");
+        assert_eq!(pong.trim_end(), "OK PONG");
+        // A newline-less flood past MAX_LINE_BYTES must not buffer
+        // forever: the server answers once and closes the connection.
+        writer
+            .write_all(&vec![b'a'; MAX_LINE_BYTES + 1024])
+            .expect("send flood");
+        writer.flush().expect("flush");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("receive");
+        assert_eq!(response.trim_end(), oversized_line_error());
+        let closed = reader.read_line(&mut response).expect("read at EOF");
+        assert_eq!(closed, 0, "connection must be dropped after the error");
+        server.shutdown();
+    }
+
+    #[test]
+    fn newline_less_drip_feed_is_capped_not_buffered_forever() {
+        let server = start_fixture(ServerConfig::default());
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        // Chunks arriving faster than the read timeout keep `read` from
+        // ever timing out; the `take` budget must still cap the line.
+        let chunk = vec![b'a'; 16 * 1024];
+        let error = std::thread::spawn(move || {
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("receive");
+            response
+        });
+        for _ in 0..8 {
+            if writer.write_all(&chunk).is_err() {
+                break; // server already dropped us — that's the point
+            }
+            let _ = writer.flush();
+            std::thread::sleep(POLL_INTERVAL / 4);
+        }
+        let response = error.join().expect("reader thread");
+        assert_eq!(response.trim_end(), oversized_line_error());
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_utf8_lines_get_a_typed_parse_error() {
+        let server = start_fixture(ServerConfig::default());
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        // A stray invalid byte (not a timeout-split multi-byte character)
+        // answers a typed error and the connection keeps serving.
+        writer.write_all(b"P\xFF Q 3\nPING\n").expect("send");
+        writer.flush().expect("flush");
+        let mut first = String::new();
+        reader.read_line(&mut first).expect("receive error");
+        assert_eq!(
+            first.trim_end(),
+            "ERR PARSE request line is not valid UTF-8"
+        );
+        let mut second = String::new();
+        reader.read_line(&mut second).expect("receive pong");
+        assert_eq!(second.trim_end(), "OK PONG");
+        server.shutdown();
     }
 
     #[test]

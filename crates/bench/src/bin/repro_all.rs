@@ -16,8 +16,9 @@
 //! the warm/cold `query_stream` engine-session rows, the
 //! `query_stream_concurrent` shared-vs-private multi-session rows, the
 //! `planner` Auto-vs-best-fixed rows, the `server_throughput` loopback-TCP
-//! serving rows (each block with a `"parity"` flag the `bench_check` CI
-//! gate enforces), and a walk-engine ablation (dense-serial seed path vs
+//! serving rows, the `server_overload` hostile-mix isolation rows (each
+//! block with a `"parity"` flag the `bench_check` CI gate enforces), and a
+//! walk-engine ablation (dense-serial seed path vs
 //! sparse-serial vs sparse multi-threaded) on the Figure 9 two-way Yeast
 //! workload.
 
@@ -26,6 +27,7 @@ use std::fmt::Write as _;
 use dht_bench::experiments::planner::{self, PlannerResult};
 use dht_bench::experiments::query_stream::{self, QueryStreamResult};
 use dht_bench::experiments::query_stream_concurrent::{self, QueryStreamConcurrentResult};
+use dht_bench::experiments::server_overload::{self, ServerOverloadResult};
 use dht_bench::experiments::server_throughput::{self, ServerThroughputResult};
 use dht_bench::{timing, workloads};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
@@ -132,6 +134,22 @@ fn main() {
     );
     timings.push(("server_throughput".to_string(), elapsed.as_secs_f64()));
 
+    let (overload, elapsed) = timing::time(|| server_overload::measure(scale));
+    eprintln!(
+        "server_overload: {} conns x {} reqs vs {} hostile on {} workers, {:.4} s \
+         (well-behaved p99 {:.4} ms, {} hostile quota refusals, isolated {}, throttled {})",
+        overload.connections,
+        overload.requests_per_connection,
+        overload.hostile_connections,
+        overload.workers,
+        overload.seconds,
+        overload.p99_ms,
+        overload.hostile_quota,
+        overload.isolated(),
+        overload.throttled()
+    );
+    timings.push(("server_overload".to_string(), elapsed.as_secs_f64()));
+
     let ablation = engine_ablation(scale);
     let json = render_json(
         scale,
@@ -140,6 +158,7 @@ fn main() {
         &concurrent,
         &planner,
         &serving,
+        &overload,
         &ablation,
     );
     let path = "BENCH_results.json";
@@ -207,6 +226,7 @@ fn render_json(
     concurrent: &QueryStreamConcurrentResult,
     planner: &PlannerResult,
     serving: &ServerThroughputResult,
+    overload: &ServerOverloadResult,
     ablation: &[AblationRow],
 ) -> String {
     let mut out = String::from("{\n");
@@ -304,6 +324,46 @@ fn render_json(
     // `measure` compares every wire response against the in-process
     // answer; the flag is enforced by bench_check like the others.
     let _ = writeln!(out, "    \"parity\": {}", serving.parity);
+    out.push_str("  },\n");
+    out.push_str("  \"server_overload\": {\n");
+    out.push_str("    \"workload\": \"yeast_loopback_tcp_hostile_mix\",\n");
+    let _ = writeln!(out, "    \"connections\": {},", overload.connections);
+    let _ = writeln!(
+        out,
+        "    \"requests_per_connection\": {},",
+        overload.requests_per_connection
+    );
+    let _ = writeln!(
+        out,
+        "    \"hostile_connections\": {},",
+        overload.hostile_connections
+    );
+    let _ = writeln!(out, "    \"workers\": {},", overload.workers);
+    let _ = writeln!(out, "    \"seconds\": {:.6},", overload.seconds);
+    let _ = writeln!(out, "    \"throughput_rps\": {:.3},", overload.throughput());
+    let _ = writeln!(out, "    \"p50_ms\": {:.4},", overload.p50_ms);
+    let _ = writeln!(out, "    \"p99_ms\": {:.4},", overload.p99_ms);
+    let _ = writeln!(out, "    \"hostile_sent\": {},", overload.hostile_sent);
+    let _ = writeln!(
+        out,
+        "    \"hostile_quota_rejections\": {},",
+        overload.hostile_quota
+    );
+    let _ = writeln!(
+        out,
+        "    \"hostile_busy_rejections\": {},",
+        overload.hostile_busy
+    );
+    let _ = writeln!(
+        out,
+        "    \"hostile_disconnects\": {},",
+        overload.hostile_disconnects
+    );
+    // Throttling evidence is reported but not gated (load-dependent);
+    // the gated flag below is the isolation contract: bit-exact answers
+    // AND zero well-behaved quota/deadline errors under attack.
+    let _ = writeln!(out, "    \"throttled\": {},", overload.throttled());
+    let _ = writeln!(out, "    \"parity\": {}", overload.isolated());
     out.push_str("  },\n");
     out.push_str("  \"engine_ablation\": {\n");
     out.push_str("    \"workload\": \"fig9_twoway_yeast_k50\",\n");

@@ -14,6 +14,7 @@ pub mod fig9;
 pub mod planner;
 pub mod query_stream;
 pub mod query_stream_concurrent;
+pub mod server_overload;
 pub mod server_throughput;
 pub mod table3;
 pub mod table4;

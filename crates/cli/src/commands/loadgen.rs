@@ -30,7 +30,14 @@ OPTIONS:
     --connections <n>       concurrent connections               [default: 2]
     --repeat <n>            passes over the file per connection  [default: 1]
     --mode <closed|open>    loop discipline                      [default: closed]
-    --retry-busy <0|1>      re-send ERR BUSY rejections          [default: 1]
+    --retry-busy <0|1>      re-send ERR BUSY / ERR QUOTA
+                            rejections (capped exponential
+                            backoff, honouring quota hints)      [default: 1]
+    --hostile <n>           fault injection: run n hostile
+                            connections alongside (flood,
+                            never-read, disconnect-mid-flight,
+                            drip-feed — round-robin); parity
+                            applies to well-behaved ones only    [default: 0]
     --shutdown <0|1>        send SHUTDOWN when done              [default: 0]
     --graph <path>          with --sets: verify every response
     --sets <path>           bit-for-bit against in-process
@@ -56,6 +63,7 @@ const KNOWN: &[&str] = &[
     "repeat",
     "mode",
     "retry-busy",
+    "hostile",
     "shutdown",
     "graph",
     "sets",
@@ -123,6 +131,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
         repeat: args.get_parsed_or("repeat", 1usize)?.max(1),
         mode,
         retry_busy: args.get_parsed_or("retry-busy", 1u8)? == 1,
+        hostile: args.get_parsed_or("hostile", 0usize)?,
         ..LoadGenConfig::default()
     };
     let report = loadgen::run(addr, &lines, &config).map_err(CliError::Io)?;
@@ -135,11 +144,28 @@ pub fn run(args: &ArgMap) -> Result<String> {
         config.mode.name()
     ));
     out.push_str(&format!(
-        "total {:.4} s, throughput {:.1} requests/s, {} busy rejection(s)\n",
+        "total {:.4} s, throughput {:.1} requests/s, {} busy rejection(s), \
+         {} quota rejection(s), {} deadline miss(es)\n",
         report.elapsed.as_secs_f64(),
         report.throughput(),
-        report.busy_rejections
+        report.busy_rejections,
+        report.quota_rejections,
+        report.deadline_misses
     ));
+    if config.hostile > 0 {
+        let hostile = &report.hostile;
+        out.push_str(&format!(
+            "hostile: {} connection(s) sent {} line(s), read {} response(s): \
+             {} quota, {} busy, {} deadline; {} disconnect(s)\n",
+            hostile.connections,
+            hostile.sent,
+            hostile.answered,
+            hostile.quota_rejections,
+            hostile.busy_rejections,
+            hostile.deadline_misses,
+            hostile.disconnects
+        ));
+    }
     if !report.latencies_ms.is_empty() {
         let mut sorted = report.latencies_ms.clone();
         sorted.sort_by(f64::total_cmp);
@@ -197,6 +223,7 @@ mod tests {
     /// the same graph, returning the paths and the server handle.
     fn fixture(
         tag: &str,
+        config: ServerConfig,
     ) -> (
         std::path::PathBuf,
         std::path::PathBuf,
@@ -235,13 +262,8 @@ mod tests {
             "P Q 3\nQ P 2 b-bj\nP Q 3 # repeat\nnway chain P Q 2 ap min\n",
         )
         .unwrap();
-        let server = Server::start(
-            Engine::new(graph),
-            sets,
-            ParseOptions::default(),
-            ServerConfig::default(),
-        )
-        .unwrap();
+        let server =
+            Server::start(Engine::new(graph), sets, ParseOptions::default(), config).unwrap();
         (graph_path, sets_path, queries_path, server)
     }
 
@@ -261,7 +283,7 @@ mod tests {
 
     #[test]
     fn replays_verify_parity_and_shut_the_server_down() {
-        let (graph, sets, queries, server) = fixture("parity");
+        let (graph, sets, queries, server) = fixture("parity", ServerConfig::default());
         let port = server.local_addr().port().to_string();
         let out = run(&argmap(&[
             "--port",
@@ -286,6 +308,43 @@ mod tests {
         assert!(out.contains("shutdown acknowledged: OK BYE"), "got: {out}");
         let stats = server.join();
         assert_eq!(stats.served, 16);
+        for path in [&graph, &sets, &queries] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn hostile_mix_keeps_parity_for_well_behaved_connections() {
+        let (graph, sets, queries, server) = fixture(
+            "hostile",
+            ServerConfig::default()
+                .with_rate(100)
+                .with_burst(24)
+                .with_batch_queue_capacity(16),
+        );
+        let port = server.local_addr().port().to_string();
+        let out = run(&argmap(&[
+            "--port",
+            &port,
+            "--queries",
+            queries.to_str().unwrap(),
+            "--connections",
+            "1",
+            "--hostile",
+            "4",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--sets",
+            sets.to_str().unwrap(),
+            "--shutdown",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("parity: ok (4 responses"), "got: {out}");
+        assert!(out.contains("0 quota rejection(s)"), "got: {out}");
+        assert!(out.contains("hostile: 4 connection(s)"), "got: {out}");
+        let stats = server.join();
+        assert!(stats.quota_rejected > 0, "the flood must be throttled");
         for path in [&graph, &sets, &queries] {
             std::fs::remove_file(path).ok();
         }

@@ -23,17 +23,24 @@ const HELP: &str = "\
 dht serve — serve querystream queries over TCP from one warm engine
 
 The line protocol is the querystream query language plus PING / STATS /
-EXPLAIN <query> / SHUTDOWN.  Responses are bit-identical to in-process
-sessions; scores travel as exact f64 bit patterns.
+EXPLAIN <query> / SHUTDOWN, with optional per-line QoS prefixes
+(DEADLINE <ms>, PRIO <interactive|batch>).  Responses are bit-identical
+to in-process sessions; scores travel as exact f64 bit patterns.
 
 OPTIONS:
     --graph <path>          edge-list graph file (required)
     --sets <path>           node-set file (required)
     --port <n>              TCP port on 127.0.0.1 (0 = ephemeral) [default: 7411]
     --workers <n>           worker sessions                       [default: 2]
-    --queue <n>             bounded request-queue capacity; when
-                            full, requests get `ERR BUSY`         [default: 128]
+    --queue <n>             interactive-class queue capacity;
+                            when full, requests get `ERR BUSY`    [default: 128]
+    --batch-queue <n>       batch-class (`PRIO batch`) queue
+                            capacity, independent of --queue      [default: 128]
     --batch <n>             max requests per worker micro-batch   [default: 8]
+    --rate <n>              per-connection rate limit in query
+                            lines/s; excess gets `ERR QUOTA` with
+                            a retry-after hint (0 = unlimited)    [default: 0]
+    --burst <n>             token-bucket burst per connection     [default: 32]
     --k <n>                 default k for queries that omit it    [default: 10]
     --algorithm <name>      default two-way algorithm (fixed
                             name or `auto`)                       [default: B-IDJ-Y]
@@ -54,7 +61,10 @@ const KNOWN: &[&str] = &[
     "port",
     "workers",
     "queue",
+    "batch-queue",
     "batch",
+    "rate",
+    "burst",
     "k",
     "algorithm",
     "m",
@@ -110,26 +120,39 @@ pub fn run(args: &ArgMap) -> Result<String> {
         .with_port(args.get_parsed_or("port", DEFAULT_PORT)?)
         .with_workers(args.get_parsed_or("workers", 2)?)
         .with_queue_capacity(args.get_parsed_or("queue", 128)?)
-        .with_batch(args.get_parsed_or("batch", 8)?);
+        .with_batch_queue_capacity(args.get_parsed_or("batch-queue", 128)?)
+        .with_batch(args.get_parsed_or("batch", 8)?)
+        .with_rate(args.get_parsed_or("rate", 0)?)
+        .with_burst(args.get_parsed_or("burst", 32)?);
     let server = Server::start(engine, sets, parse, config).map_err(CliError::Io)?;
     // Scripts scrape this line for the (possibly ephemeral) port, so it
     // must hit stdout before the blocking join.
     println!(
-        "dht-server listening on {} ({} workers, queue {}, batch {})",
+        "dht-server listening on {} ({} workers, queue {}+{}, batch {}, rate {}/s burst {})",
         server.local_addr(),
         config.workers,
         config.queue_capacity,
-        config.batch
+        config.batch_queue_capacity,
+        config.batch,
+        config.rate,
+        config.burst
     );
     std::io::stdout().flush().ok();
     let stats = server.join();
     Ok(format!(
-        "dht-server shut down cleanly: {} served, {} rejected, \
-         p50 {:.4} ms, p99 {:.4} ms, column hit rate {:.1}%\n",
+        "dht-server shut down cleanly: {} served ({} interactive, {} batch), \
+         {} rejected, {} quota, {} expired, {} dropped, \
+         p50 {:.4} ms, p99 {:.4} ms (interactive p99 {:.4} ms), column hit rate {:.1}%\n",
         stats.served,
+        stats.interactive_served,
+        stats.batch_served,
         stats.rejected,
+        stats.quota_rejected,
+        stats.expired,
+        stats.dropped,
         stats.p50_ms,
         stats.p99_ms,
+        stats.interactive_p99_ms,
         100.0 * stats.column_hit_rate()
     ))
 }
@@ -148,7 +171,12 @@ mod tests {
         assert!(out.contains("--port"));
         assert!(out.contains("--workers"));
         assert!(out.contains("--queue"));
+        assert!(out.contains("--batch-queue"));
+        assert!(out.contains("--rate"));
+        assert!(out.contains("--burst"));
         assert!(out.contains("ERR BUSY"));
+        assert!(out.contains("ERR QUOTA"));
+        assert!(out.contains("DEADLINE"));
         assert!(out.contains("SHUTDOWN"));
     }
 

@@ -70,7 +70,16 @@ fn cli_and_server_accept_exactly_the_fixture_queries() {
     // Ground truth: the shared parser.
     let parsed = queryline::parse_query_file(&text, &sets, &ParseOptions::default())
         .expect("fixture parses");
-    assert_eq!(parsed.len(), 8, "fixture shape changed?");
+    assert_eq!(parsed.len(), 12, "fixture shape changed?");
+    // The QoS-prefixed fixture lines carry their prefixes through the
+    // shared parser (scheduling metadata only — spec-identical to the
+    // bare forms, which the server parity suites pin separately).
+    assert_eq!(parsed[8].deadline_ms, Some(200));
+    assert_eq!(parsed[9].priority.name(), "batch");
+    assert_eq!(parsed[10].deadline_ms, Some(150));
+    assert_eq!(parsed[10].priority.name(), "interactive");
+    assert_eq!(parsed[11].deadline_ms, Some(99));
+    assert_eq!(parsed[11].priority.name(), "batch");
 
     // CLI: `dht querystream` over the same file answers exactly that many.
     let dir = std::env::temp_dir();
@@ -145,6 +154,13 @@ fn cli_and_server_reject_malformed_lines_with_the_same_diagnostics() {
         "nway chain P 3",
         "P Q 3 4",
         "P",
+        // Malformed QoS prefixes: both front ends surface the shared
+        // parser's prefix diagnostics too.
+        "DEADLINE P Q",
+        "DEADLINE 0 P Q",
+        "PRIO urgent P Q",
+        "DEADLINE 5 DEADLINE 6 P Q",
+        "PRIO batch",
     ];
     let dir = std::env::temp_dir();
     let pid = std::process::id();

@@ -5,8 +5,8 @@
 //! One query per line; `#` starts a comment, blank lines are skipped:
 //!
 //! ```text
-//! LEFT RIGHT [k] [ALGORITHM]                 # two-way join
-//! nway SHAPE S1 S2 ... Sn [k] [ALGO] [AGG]   # n-way join
+//! [DEADLINE <ms>] [PRIO <class>] LEFT RIGHT [k] [ALGORITHM]               # two-way join
+//! [DEADLINE <ms>] [PRIO <class>] nway SHAPE S1 S2 ... Sn [k] [ALGO] [AGG] # n-way join
 //! ```
 //!
 //! `LEFT`/`RIGHT`/`S1..Sn` name node sets; `SHAPE` is `chain`, `cycle`,
@@ -14,6 +14,17 @@
 //! `b-bj`, `b-idj-x`, `b-idj-y` or `auto`; the n-way `ALGO` is `nl`, `ap`,
 //! `pj`, `pj-i` or `auto`; `AGG` is `min`, `max`, `sum` or `mean`.  The
 //! optional trailing fields may appear in any order (each at most once).
+//!
+//! The optional **QoS prefixes** (any order, each at most once) carry
+//! serving metadata: `DEADLINE <ms>` gives the request a millisecond
+//! budget — a server answers it with a typed `ERR DEADLINE` instead of
+//! executing it once the budget is spent in queue — and `PRIO <class>`
+//! assigns it to a scheduling class ([`Priority::Interactive`], the
+//! default, or [`Priority::Batch`]).  `DEADLINE` and `PRIO` are therefore
+//! reserved words: a node set cannot be named either.  In-process front
+//! ends (`dht querystream`) parse and validate the prefixes but answer
+//! every query regardless — the prefixes only change *scheduling*, never
+//! answers.
 //!
 //! Living in `dht-core`, this module is the **single** parser for the
 //! language: the CLI and the server cannot drift apart, because both call
@@ -65,6 +76,41 @@ impl fmt::Display for LineError {
 
 impl std::error::Error for LineError {}
 
+/// Scheduling class a query line assigns itself with the `PRIO` prefix.
+///
+/// Priority is serving metadata: a two-level server queue admits and
+/// schedules the classes separately (interactive ahead of batch), but the
+/// *answer* of a query never depends on its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic; scheduled ahead of batch (the default
+    /// for lines without a `PRIO` prefix).
+    #[default]
+    Interactive,
+    /// Throughput traffic; admitted into its own bounded queue and served
+    /// only when no interactive request is waiting.
+    Batch,
+}
+
+impl Priority {
+    /// Parses `interactive` / `batch`, case-insensitively.
+    pub fn parse(name: &str) -> Option<Priority> {
+        match name.to_ascii_lowercase().as_str() {
+            "interactive" => Some(Priority::Interactive),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+
+    /// The class's canonical lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
 /// Defaults applied to query lines that omit optional fields.
 #[derive(Debug, Clone, Copy)]
 pub struct ParseOptions {
@@ -95,6 +141,12 @@ pub struct ParsedQuery {
     pub spec: QuerySpec,
     /// 1-based line number in the source text.
     pub line_no: usize,
+    /// Millisecond budget from a `DEADLINE <ms>` prefix (`None` when the
+    /// line had none — the request never expires).
+    pub deadline_ms: Option<u64>,
+    /// Scheduling class from a `PRIO <class>` prefix
+    /// ([`Priority::Interactive`] when the line had none).
+    pub priority: Priority,
 }
 
 /// Parses a two-way algorithm name (`f-bj`, `fidj`, `B-IDJ-Y`, …),
@@ -325,6 +377,67 @@ fn parse_two_way_fields(
     Ok(QuerySpec::TwoWay(spec))
 }
 
+/// Consumes the optional `DEADLINE <ms>` / `PRIO <class>` QoS prefixes
+/// (any order, each at most once) from the front of `fields`, returning
+/// the parsed metadata and the remaining query fields.
+fn parse_qos_prefixes<'f>(
+    mut fields: &'f [&'f str],
+    line_no: usize,
+) -> Result<(Option<u64>, Priority, &'f [&'f str]), LineError> {
+    let mut deadline_ms: Option<u64> = None;
+    let mut priority: Option<Priority> = None;
+    loop {
+        match fields.first() {
+            Some(head) if head.eq_ignore_ascii_case("deadline") => {
+                if deadline_ms.is_some() {
+                    return Err(LineError::new(line_no, "duplicate DEADLINE prefix"));
+                }
+                let Some(value) = fields.get(1) else {
+                    return Err(LineError::new(
+                        line_no,
+                        "DEADLINE needs a millisecond budget (`DEADLINE <ms>`)",
+                    ));
+                };
+                let ms = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|ms| *ms > 0)
+                    .ok_or_else(|| {
+                        LineError::bad_token(
+                            line_no,
+                            value,
+                            "DEADLINE budget must be a positive integer (milliseconds)",
+                        )
+                    })?;
+                deadline_ms = Some(ms);
+                fields = &fields[2..];
+            }
+            Some(head) if head.eq_ignore_ascii_case("prio") => {
+                if priority.is_some() {
+                    return Err(LineError::new(line_no, "duplicate PRIO prefix"));
+                }
+                let Some(value) = fields.get(1) else {
+                    return Err(LineError::new(
+                        line_no,
+                        "PRIO needs a class (`PRIO interactive` or `PRIO batch`)",
+                    ));
+                };
+                let class = Priority::parse(value).ok_or_else(|| {
+                    LineError::bad_token(
+                        line_no,
+                        value,
+                        "unknown priority class (expected interactive or batch)",
+                    )
+                })?;
+                priority = Some(class);
+                fields = &fields[2..];
+            }
+            _ => break,
+        }
+    }
+    Ok((deadline_ms, priority.unwrap_or_default(), fields))
+}
+
 /// Parses a single line of the query language, attributing failures to
 /// `line_no`.  Returns `Ok(None)` for blank lines and comments.
 ///
@@ -344,14 +457,27 @@ pub fn parse_query_line(
         return Ok(None);
     }
     let fields: Vec<&str> = line.split_whitespace().collect();
-    let spec = if fields[0].eq_ignore_ascii_case("nway") {
-        parse_nway_fields(&fields[1..], sets, options, line_no)?
-    } else {
-        parse_two_way_fields(&fields, sets, options, line_no)?
+    let (deadline_ms, priority, fields) = parse_qos_prefixes(&fields, line_no)?;
+    let spec = match fields.first() {
+        None => {
+            return Err(LineError::new(
+                line_no,
+                "a QoS prefix must be followed by a query line",
+            ))
+        }
+        Some(head) if head.eq_ignore_ascii_case("nway") => {
+            parse_nway_fields(&fields[1..], sets, options, line_no)?
+        }
+        Some(_) => parse_two_way_fields(fields, sets, options, line_no)?,
     };
     spec.validate()
         .map_err(|error| LineError::new(line_no, error.to_string()))?;
-    Ok(Some(ParsedQuery { spec, line_no }))
+    Ok(Some(ParsedQuery {
+        spec,
+        line_no,
+        deadline_ms,
+        priority,
+    }))
 }
 
 /// Parses a whole query file: one query per line, `#` comments and blank
@@ -494,6 +620,68 @@ mod tests {
         let err = parse("P Q 0\n").unwrap_err();
         assert_eq!(err.line_no, 1);
         assert!(err.to_string().contains("k = 0"), "{err}");
+    }
+
+    #[test]
+    fn qos_prefixes_parse_in_any_order_and_default_off() {
+        let queries = parse(
+            "P Q 3\n\
+             DEADLINE 250 P Q 3\n\
+             PRIO batch Q P\n\
+             DEADLINE 40 PRIO interactive nway chain P Q 2 ap min\n\
+             prio batch deadline 99 P Q auto\n",
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 5);
+        assert_eq!(queries[0].deadline_ms, None);
+        assert_eq!(queries[0].priority, Priority::Interactive, "default class");
+        assert_eq!(queries[1].deadline_ms, Some(250));
+        assert_eq!(queries[1].priority, Priority::Interactive);
+        assert_eq!(queries[2].deadline_ms, None);
+        assert_eq!(queries[2].priority, Priority::Batch);
+        assert_eq!(queries[3].deadline_ms, Some(40));
+        assert_eq!(queries[3].priority, Priority::Interactive);
+        assert!(matches!(queries[3].spec, QuerySpec::NWay(_)));
+        // Prefixes compose in either order, case-insensitively, and leave
+        // the query itself identical to its unprefixed spelling.
+        assert_eq!(queries[4].deadline_ms, Some(99));
+        assert_eq!(queries[4].priority, Priority::Batch);
+        assert_eq!(
+            format!("{:?}", queries[4].spec),
+            format!("{:?}", parse("P Q auto\n").unwrap()[0].spec),
+            "prefixes never change the parsed query"
+        );
+    }
+
+    #[test]
+    fn qos_prefix_errors_carry_lines_and_tokens() {
+        let err = parse("DEADLINE P Q\n").unwrap_err();
+        assert!(err.to_string().contains("bad token 'P'"), "{err}");
+        let err = parse("DEADLINE\n").unwrap_err();
+        assert!(err.to_string().contains("millisecond budget"), "{err}");
+        let err = parse("DEADLINE 0 P Q\n").unwrap_err();
+        assert!(err.to_string().contains("bad token '0'"), "{err}");
+        assert!(err.to_string().contains("positive integer"), "{err}");
+        let err = parse("DEADLINE -5 P Q\n").unwrap_err();
+        assert!(err.to_string().contains("bad token '-5'"), "{err}");
+        let err = parse("DEADLINE 5 DEADLINE 6 P Q\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate DEADLINE"), "{err}");
+        let err = parse("PRIO urgent P Q\n").unwrap_err();
+        assert!(err.to_string().contains("bad token 'urgent'"), "{err}");
+        assert!(err.to_string().contains("interactive or batch"), "{err}");
+        let err = parse("PRIO batch PRIO batch P Q\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate PRIO"), "{err}");
+        let err = parse("PRIO\n").unwrap_err();
+        assert!(err.to_string().contains("needs a class"), "{err}");
+        let err = parse("DEADLINE 10 PRIO batch\n").unwrap_err();
+        assert!(
+            err.to_string().contains("followed by a query line"),
+            "{err}"
+        );
+        assert_eq!(Priority::parse("BATCH"), Some(Priority::Batch));
+        assert_eq!(Priority::parse("Interactive"), Some(Priority::Interactive));
+        assert_eq!(Priority::parse("bulk"), None);
+        assert_eq!(Priority::Batch.name(), "batch");
     }
 
     #[test]

@@ -21,12 +21,28 @@
 //!
 //! * **Acceptor thread** — accepts loopback connections and spawns one
 //!   reader thread per connection.
-//! * **Bounded request queue** — the backpressure point:
-//!   readers never block; when the queue is full the request is rejected
-//!   *immediately* with a typed `ERR BUSY` line, so overload degrades into
-//!   fast rejections instead of unbounded memory growth.  Clients re-send
-//!   rejected queries (the load generator does this automatically), and
-//!   answers are unaffected — re-running a query is always bit-identical.
+//! * **Bounded two-level request queue** — the backpressure and
+//!   scheduling point: readers never block; when the request's priority
+//!   class (*interactive* by default, *batch* via the `PRIO batch` line
+//!   prefix) is at capacity the request is rejected *immediately* with a
+//!   typed `ERR BUSY` line, so overload degrades into fast rejections
+//!   instead of unbounded memory growth.  Each class has its own
+//!   capacity and workers drain in strict priority order, so a batch
+//!   flood can never exhaust interactive admission nor delay interactive
+//!   requests behind queued batch work.  Clients re-send rejected queries
+//!   (the load generator does this automatically), and answers are
+//!   unaffected — re-running a query is always bit-identical.
+//! * **Per-connection rate limiting** — with `--rate` on, each connection
+//!   owns a token bucket ([`ServerConfig::rate`] tokens/s, burst
+//!   [`ServerConfig::burst`]); a query line arriving to an empty bucket
+//!   is refused `ERR QUOTA` with a deterministic retry-after hint, before
+//!   it is even parsed.  Control verbs are exempt, so throttled clients
+//!   can still probe the server.
+//! * **Request deadlines** — a `DEADLINE <ms>` line prefix bounds how
+//!   long the request may wait; the deadline is enforced **at dequeue
+//!   time**, so an expired request answers `ERR DEADLINE` without ever
+//!   burning a worker session on an answer the client stopped waiting
+//!   for.
 //! * **Worker pool** — `workers` threads, each owning one warm `Session`
 //!   over the shared engine, so concurrent clients warm each other's
 //!   backward columns and Y-bound tables exactly as in-process sessions
@@ -37,6 +53,10 @@
 //!   answered, tagged with the request's per-connection sequence number,
 //!   and are written back **in request order** (a small reorder buffer),
 //!   so a pipelining client matches responses to requests positionally.
+//!   A client that disconnects (or stops reading for longer than the
+//!   write-stall limit) has its connection marked dead: pending responses
+//!   are dropped (counted in `STATS dropped=`) and workers skip its still-
+//!   queued requests instead of blocking on a connection nobody reads.
 //! * **Graceful shutdown** — a shutdown flag (raised by the `SHUTDOWN`
 //!   verb or [`Server::shutdown`]) stops the acceptor, lets workers drain
 //!   the queue, flushes every connection and joins all threads.
@@ -55,10 +75,20 @@
 //! ```
 //!
 //! where `<query line>` is the shared `dht_core::queryline` language
-//! (`LEFT RIGHT [k] [ALGORITHM]` / `nway SHAPE S1 … [k] [ALGO] [AGG]`).
-//! Error responses are typed: `ERR BUSY …` (queue full), `ERR PARSE …`
-//! (malformed line, with the offending token), `ERR EXEC …` (execution
-//! failure).  A request line that is not valid UTF-8 answers `ERR PARSE`;
+//! (`LEFT RIGHT [k] [ALGORITHM]` / `nway SHAPE S1 … [k] [ALGO] [AGG]`),
+//! optionally prefixed with QoS directives in either order:
+//!
+//! ```text
+//! DEADLINE 250 P Q 3           — answer within 250 ms or ERR DEADLINE
+//! PRIO batch P Q 3             — schedule in the batch (low) class
+//! DEADLINE 40 PRIO batch P Q   — both
+//! ```
+//!
+//! Error responses are typed: `ERR BUSY …` (the request's class is full),
+//! `ERR QUOTA …` (rate limit, with a `retry after <ms> ms` hint),
+//! `ERR DEADLINE …` (budget exhausted while queued; never executed),
+//! `ERR PARSE …` (malformed line, with the offending token), `ERR EXEC …`
+//! (execution failure).  A request line that is not valid UTF-8 answers `ERR PARSE`;
 //! one still unterminated past 64 KiB gets one `ERR PARSE` and the
 //! connection is dropped.  Scores travel as exact `f64` bit patterns ([`wire`]), so
 //! responses are **bit-identical** to in-process [`dht_engine::Session`]
@@ -72,17 +102,18 @@ pub mod loadgen;
 pub mod metrics;
 pub mod wire;
 
+mod qos;
 mod queue;
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dht_core::queryline::{self, ParseOptions};
+use dht_core::queryline::{self, ParseOptions, Priority};
 use dht_core::QuerySpec;
 use dht_engine::Engine;
 use dht_graph::NodeSet;
@@ -90,6 +121,7 @@ use dht_graph::NodeSet;
 pub use metrics::StatsSnapshot;
 
 use metrics::Metrics;
+use qos::TokenBucket;
 use queue::RequestQueue;
 
 /// Construction-time knobs of a [`Server`].
@@ -100,21 +132,36 @@ pub struct ServerConfig {
     pub port: u16,
     /// Worker sessions answering queries (≥ 1).
     pub workers: usize,
-    /// Bounded request-queue capacity; pushes beyond it are rejected with
-    /// `ERR BUSY` (≥ 1).
+    /// Bounded **interactive-class** queue capacity; interactive pushes
+    /// beyond it are rejected with `ERR BUSY` (≥ 1).
     pub queue_capacity: usize,
+    /// Bounded **batch-class** queue capacity (`PRIO batch` requests);
+    /// independent of the interactive capacity, so batch floods cannot
+    /// exhaust interactive admission (≥ 1).
+    pub batch_queue_capacity: usize,
     /// Maximum requests a worker dequeues per batch (≥ 1).
     pub batch: usize,
+    /// Per-connection rate limit in query lines per second; `0` disables
+    /// rate limiting (the default).
+    pub rate: u32,
+    /// Token-bucket burst capacity per connection (clamped to ≥ 1 when
+    /// `rate` is on): a connection may send this many lines back-to-back
+    /// before the rate applies.
+    pub burst: u32,
 }
 
 impl Default for ServerConfig {
-    /// Ephemeral port, 2 workers, a 128-deep queue, micro-batches of 8.
+    /// Ephemeral port, 2 workers, 128-deep queues per class, micro-batches
+    /// of 8, no rate limit.
     fn default() -> Self {
         ServerConfig {
             port: 0,
             workers: 2,
             queue_capacity: 128,
+            batch_queue_capacity: 128,
             batch: 8,
+            rate: 0,
+            burst: 32,
         }
     }
 }
@@ -138,9 +185,28 @@ impl ServerConfig {
         self
     }
 
+    /// Returns a copy with a different batch-class queue capacity
+    /// (minimum 1).
+    pub fn with_batch_queue_capacity(mut self, capacity: usize) -> Self {
+        self.batch_queue_capacity = capacity.max(1);
+        self
+    }
+
     /// Returns a copy with a different micro-batch bound (minimum 1).
     pub fn with_batch(mut self, batch: usize) -> Self {
         self.batch = batch.max(1);
+        self
+    }
+
+    /// Returns a copy with a per-connection rate limit (`0` disables).
+    pub fn with_rate(mut self, rate: u32) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Returns a copy with a different token-bucket burst capacity.
+    pub fn with_burst(mut self, burst: u32) -> Self {
+        self.burst = burst;
         self
     }
 }
@@ -159,6 +225,38 @@ fn oversized_line_error() -> String {
     format!("ERR PARSE line exceeds {MAX_LINE_BYTES} bytes")
 }
 
+/// How long a connection writer tolerates a *continuous* write stall (a
+/// client that stopped reading while the kernel send buffer is full)
+/// before declaring the connection dead and dropping its responses.  Long
+/// enough that a merely-slow reader on loopback never trips it; short
+/// enough that a never-reading hostile client cannot hold a writer (and
+/// therefore [`Server::join`]) hostage.
+const WRITE_STALL_LIMIT: Duration = Duration::from_millis(750);
+
+/// Liveness flag shared by one connection's reader, writer and queued
+/// requests.  The writer flips it off when the client is gone (write
+/// error) or has stalled past [`WRITE_STALL_LIMIT`]; the reader then stops
+/// admitting lines and workers skip the connection's queued requests.
+struct ConnectionState {
+    alive: AtomicBool,
+}
+
+impl ConnectionState {
+    fn new() -> Arc<ConnectionState> {
+        Arc::new(ConnectionState {
+            alive: AtomicBool::new(true),
+        })
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    fn mark_dead(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
 /// One queued query request.
 struct Request {
     /// Per-connection sequence number (response-ordering key).
@@ -168,6 +266,12 @@ struct Request {
     explain: bool,
     /// When the reader received the line (latency includes queue wait).
     received: Instant,
+    /// Wait budget from the `DEADLINE <ms>` prefix, checked at dequeue.
+    deadline: Option<Duration>,
+    /// Scheduling class from the `PRIO <class>` prefix.
+    class: Priority,
+    /// The owning connection's liveness flag.
+    conn: Arc<ConnectionState>,
     reply: mpsc::Sender<(u64, String)>,
 }
 
@@ -197,8 +301,11 @@ impl ServerShared {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        self.metrics
-            .snapshot(self.queue.depth(), self.queue.capacity())
+        self.metrics.snapshot(
+            self.queue.total_depth(),
+            self.queue.capacity(Priority::Interactive),
+            self.queue.capacity(Priority::Batch),
+        )
     }
 }
 
@@ -254,6 +361,7 @@ impl Server {
         let config = ServerConfig {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
+            batch_queue_capacity: config.batch_queue_capacity.max(1),
             batch: config.batch.max(1),
             ..config
         };
@@ -262,7 +370,7 @@ impl Server {
             sets,
             parse,
             config,
-            queue: RequestQueue::new(config.queue_capacity),
+            queue: RequestQueue::new(config.queue_capacity, config.batch_queue_capacity),
             metrics: Metrics::new(config.workers),
             shutdown: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
@@ -372,23 +480,73 @@ fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
 /// Writes responses back to one client **in request order**: workers finish
 /// out of order, so responses park in a reorder buffer keyed by sequence
 /// number until their turn comes.  Exits when every sender (reader +
-/// in-flight requests) has dropped.
-fn writer_loop(stream: TcpStream, responses: &mpsc::Receiver<(u64, String)>) {
-    let mut writer = BufWriter::new(stream);
+/// in-flight requests) has dropped, or — the disconnect-cleanup path —
+/// when the client is gone or has stalled past [`WRITE_STALL_LIMIT`]: the
+/// connection is then marked dead and every undeliverable response is
+/// counted in `STATS dropped=` instead of blocking a worker handoff.
+fn writer_loop(
+    mut stream: TcpStream,
+    responses: &mpsc::Receiver<(u64, String)>,
+    conn: &ConnectionState,
+    metrics: &Metrics,
+) {
+    stream.set_write_timeout(Some(POLL_INTERVAL)).ok();
     let mut next_seq = 0u64;
     let mut parked: BTreeMap<u64, String> = BTreeMap::new();
+    let mut buffer = Vec::new();
     while let Ok((seq, line)) = responses.recv() {
         parked.insert(seq, line);
+        buffer.clear();
+        let mut lines_in_buffer = 0u64;
         while let Some(line) = parked.remove(&next_seq) {
-            if writeln!(writer, "{line}").is_err() {
-                return; // client gone; drain silently
-            }
+            buffer.extend_from_slice(line.as_bytes());
+            buffer.push(b'\n');
+            lines_in_buffer += 1;
             next_seq += 1;
         }
-        if writer.flush().is_err() {
+        if !buffer.is_empty() && !write_patiently(&mut stream, &buffer) {
+            conn.mark_dead();
+            // Drain remaining responses (the channel closes once the
+            // reader and every in-flight request drop their senders),
+            // counting each undelivered line.
+            let mut dropped = lines_in_buffer + parked.len() as u64;
+            while responses.recv().is_ok() {
+                dropped += 1;
+            }
+            metrics.record_dropped(dropped);
             return;
         }
     }
+}
+
+/// Writes the whole buffer, tolerating short write timeouts (a slow
+/// reader) up to a *continuous* stall of [`WRITE_STALL_LIMIT`].  Returns
+/// `false` when the client is gone or stalled past the limit.
+fn write_patiently(stream: &mut TcpStream, mut buf: &[u8]) -> bool {
+    let mut stall_started: Option<Instant> = None;
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return false,
+            Ok(written) => {
+                buf = &buf[written..];
+                stall_started = None;
+            }
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let started = *stall_started.get_or_insert_with(Instant::now);
+                if started.elapsed() >= WRITE_STALL_LIMIT {
+                    return false;
+                }
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
 }
 
 /// Reads one client's request lines, answering control verbs inline and
@@ -399,8 +557,14 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let conn = ConnectionState::new();
     let (reply, responses) = mpsc::channel::<(u64, String)>();
-    let writer = std::thread::spawn(move || writer_loop(write_half, &responses));
+    let writer = {
+        let conn = conn.clone();
+        let shared = shared.clone();
+        std::thread::spawn(move || writer_loop(write_half, &responses, &conn, &shared.metrics))
+    };
+    let mut bucket = TokenBucket::new(shared.config.rate, shared.config.burst, Instant::now());
     let mut reader = BufReader::new(stream);
     let mut raw = Vec::new();
     let mut seq = 0u64;
@@ -447,12 +611,18 @@ fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
         // Comments / blank lines get no response (and no sequence
         // number); every other line — including one that is not valid
         // UTF-8 — consumes one.
+        // A dead connection (writer hit a gone / stalled client) stops
+        // reading: nothing it sends can be answered any more.
+        if !conn.is_alive() {
+            break;
+        }
         match std::str::from_utf8(&raw) {
             Ok(text) => {
                 if let Some(line) = wire::strip_line(text) {
                     let this_seq = seq;
                     seq += 1;
-                    let response = dispatch_line(shared, line, this_seq, &reply);
+                    let response =
+                        dispatch_line(shared, line, this_seq, &reply, &conn, &mut bucket);
                     if let Some(line) = response {
                         if reply.send((this_seq, line)).is_err() {
                             break;
@@ -508,13 +678,15 @@ fn discard_pending_input(reader: &mut BufReader<TcpStream>) {
 }
 
 /// Handles one request line: control verbs answer inline (returning the
-/// response), query lines enqueue (returning `None` unless rejected or
-/// malformed).
+/// response), query lines pass the rate limiter, parse, and enqueue into
+/// their priority class (returning `None` unless refused or malformed).
 fn dispatch_line(
     shared: &Arc<ServerShared>,
     line: &str,
     seq: u64,
     reply: &mpsc::Sender<(u64, String)>,
+    conn: &Arc<ConnectionState>,
+    bucket: &mut Option<TokenBucket>,
 ) -> Option<String> {
     let received = Instant::now();
     let verb = line.split_whitespace().next().unwrap_or("");
@@ -528,6 +700,20 @@ fn dispatch_line(
         shared.begin_shutdown();
         return Some("OK BYE".to_string());
     }
+    // Rate limiting sits before the parse: refusing a flood must stay
+    // cheaper than parsing it.  Control verbs above are exempt, so a
+    // throttled client can still PING / STATS / SHUTDOWN.
+    if let Some(bucket) = bucket.as_mut() {
+        if let Err(retry_after_ms) = bucket.try_acquire_at(received) {
+            shared.metrics.record_quota_rejected();
+            return Some(format!(
+                "ERR QUOTA rate limit exceeded ({}/s, burst {}); retry after {} ms",
+                shared.config.rate,
+                shared.config.burst.max(1),
+                retry_after_ms
+            ));
+        }
+    }
     let (explain, query_line) = match verb.eq_ignore_ascii_case("explain") {
         true => (true, line[verb.len()..].trim_start()),
         false => (false, line),
@@ -535,8 +721,9 @@ fn dispatch_line(
     // Line numbers over the wire are the connection's 1-based request
     // ordinal, so `ERR PARSE query line 3: …` points at the third request.
     let line_no = seq as usize + 1;
-    let spec = match queryline::parse_query_line(query_line, &shared.sets, &shared.parse, line_no) {
-        Ok(Some(parsed)) => parsed.spec,
+    let parsed = match queryline::parse_query_line(query_line, &shared.sets, &shared.parse, line_no)
+    {
+        Ok(Some(parsed)) => parsed,
         Ok(None) => {
             return Some(format!(
                 "ERR PARSE query line {line_no}: EXPLAIN needs a query line"
@@ -544,21 +731,26 @@ fn dispatch_line(
         }
         Err(error) => return Some(format!("ERR PARSE {error}")),
     };
+    let class = parsed.priority;
     let request = Request {
         seq,
-        spec,
+        spec: parsed.spec,
         explain,
         received,
+        deadline: parsed.deadline_ms.map(Duration::from_millis),
+        class,
+        conn: conn.clone(),
         reply: reply.clone(),
     };
-    match shared.queue.try_push(request) {
+    match shared.queue.try_push(request, class) {
         Ok(()) => None, // a worker will reply
         Err(queue::PushRefused::Full(_)) => {
             shared.metrics.record_rejected();
             Some(format!(
-                "ERR BUSY queue full ({} queued, capacity {}); re-send later",
-                shared.queue.depth(),
-                shared.queue.capacity()
+                "ERR BUSY {} queue full ({} queued, capacity {}); re-send later",
+                class.name(),
+                shared.queue.depth(class),
+                shared.queue.capacity(class)
             ))
         }
         // The queue closed for shutdown: no worker will ever pop again,
@@ -581,6 +773,28 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
             return; // queue closed + drained
         }
         for request in batch {
+            // A dead connection's requests are skipped, not executed:
+            // nobody will ever read the answer.
+            if !request.conn.is_alive() {
+                shared.metrics.record_dropped(1);
+                continue;
+            }
+            // Deadlines are enforced at dequeue: a request whose wait
+            // budget ran out in the queue answers a typed line without
+            // burning this session on an answer the client gave up on.
+            let waited = request.received.elapsed();
+            if let Some(deadline) = request.deadline {
+                if waited > deadline {
+                    shared.metrics.record_expired();
+                    let expired = format!(
+                        "ERR DEADLINE budget of {} ms exhausted ({} ms queued); not executed",
+                        deadline.as_millis(),
+                        waited.as_millis()
+                    );
+                    let _ = request.reply.send((request.seq, expired));
+                    continue;
+                }
+            }
             let response = if request.explain {
                 match session.explain(&request.spec) {
                     Ok(plan) => format!("OK PLAN {plan}"),
@@ -592,7 +806,9 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
                     Err(error) => format!("ERR EXEC {error}"),
                 }
             };
-            shared.metrics.record_served(request.received.elapsed());
+            shared
+                .metrics
+                .record_served(request.received.elapsed(), request.class);
             // The connection may be gone; in-flight answers are best-effort.
             let _ = request.reply.send((request.seq, response));
         }
@@ -606,6 +822,7 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
 mod tests {
     use super::*;
     use dht_graph::{GraphBuilder, NodeId};
+    use std::io::BufWriter;
 
     fn fixture() -> (Engine, Vec<NodeSet>) {
         let mut b = GraphBuilder::with_nodes(10);
@@ -939,6 +1156,291 @@ mod tests {
         // The join must complete (this is where the pre-fix server hung).
         let report = server.join();
         assert_eq!(report.queue_depth, 0);
+    }
+
+    #[test]
+    fn qos_prefixes_never_change_answers() {
+        let server = start_fixture(ServerConfig::default());
+        let responses = roundtrip(
+            server.local_addr(),
+            &[
+                "P Q 3",
+                "DEADLINE 60000 P Q 3",
+                "PRIO batch P Q 3",
+                "deadline 60000 prio interactive P Q 3",
+                "PRIO urgent P Q 3",
+            ],
+        );
+        assert!(responses[0].starts_with("OK TWOWAY"), "{responses:?}");
+        for qos in &responses[1..4] {
+            assert_eq!(
+                qos, &responses[0],
+                "a QoS prefix must not change the answer"
+            );
+        }
+        assert!(responses[4].contains("bad token 'urgent'"), "{responses:?}");
+        let report = server.shutdown();
+        assert_eq!(report.interactive_served, 3);
+        assert_eq!(report.batch_served, 1);
+    }
+
+    #[test]
+    fn rate_limited_connections_get_typed_quota_with_honest_hints() {
+        let server = start_fixture(ServerConfig::default().with_rate(10).with_burst(2));
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let burst = 10usize;
+        for _ in 0..burst {
+            writeln!(writer, "P Q 3").unwrap();
+        }
+        // Control verbs are exempt: a throttled client can still probe.
+        writeln!(writer, "PING").unwrap();
+        writer.flush().unwrap();
+        let mut served = 0usize;
+        let mut quota = 0usize;
+        for _ in 0..burst {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let response = response.trim_end();
+            if wire::is_quota(response) {
+                quota += 1;
+                let hint = wire::retry_after_ms(response).expect("hint parses");
+                assert!((1..=1000).contains(&hint), "10/s refills within 100 ms");
+            } else {
+                assert!(response.starts_with("OK TWOWAY"), "{response}");
+                served += 1;
+            }
+        }
+        let mut pong = String::new();
+        reader.read_line(&mut pong).unwrap();
+        assert_eq!(pong.trim_end(), "OK PONG");
+        assert!(quota > 0, "a 10-deep burst must overrun burst capacity 2");
+        assert_eq!(served + quota, burst);
+        // Honouring the hint succeeds: one more token accrues in ≤ 100 ms.
+        std::thread::sleep(Duration::from_millis(120));
+        writeln!(writer, "P Q 3").unwrap();
+        writer.flush().unwrap();
+        let mut retry = String::new();
+        reader.read_line(&mut retry).unwrap();
+        assert!(retry.starts_with("OK TWOWAY"), "{retry}");
+        let report = server.shutdown();
+        assert_eq!(report.quota_rejected, quota as u64);
+        assert_eq!(report.rejected, 0, "quota refusals are not BUSY refusals");
+    }
+
+    #[test]
+    fn expired_deadlines_answer_typed_lines_without_execution() {
+        // One worker and a deep pipelined burst of 1 ms budgets: the tail
+        // of the queue must wait longer than its budget and expire.  (The
+        // queue is sized to admit the whole burst, so every line gets
+        // either an answer or a deadline expiry — never a BUSY.)
+        let server = start_fixture(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(512),
+        );
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let burst = 512usize;
+        for _ in 0..burst {
+            writeln!(writer, "DEADLINE 1 nway chain P Q 3 ap min").unwrap();
+        }
+        writer.flush().unwrap();
+        let mut served = Vec::new();
+        let mut expired = 0usize;
+        for _ in 0..burst {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let response = response.trim_end().to_string();
+            if wire::is_deadline(&response) {
+                assert!(response.contains("budget of 1 ms"), "{response}");
+                assert!(response.contains("not executed"), "{response}");
+                expired += 1;
+            } else {
+                assert!(response.starts_with("OK NWAY"), "{response}");
+                served.push(response);
+            }
+        }
+        assert!(
+            expired > 0,
+            "a 64-deep queue on one worker must expire 1 ms budgets"
+        );
+        assert!(
+            !served.is_empty(),
+            "the queue head is served before its budget runs out"
+        );
+        // A comfortable budget on the now-idle server always serves.
+        writeln!(writer, "DEADLINE 60000 P Q 3").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.starts_with("OK TWOWAY"), "{response}");
+        let report = server.shutdown();
+        assert_eq!(report.expired, expired as u64);
+        assert_eq!(report.served, served.len() as u64 + 1);
+    }
+
+    #[test]
+    fn batch_floods_cannot_exhaust_interactive_admission() {
+        // Batch class: capacity 1.  Interactive: default 128.  A pipelined
+        // batch flood must hit `ERR BUSY batch` while interactive requests
+        // sail through unrejected on the same connection.
+        let server = start_fixture(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_batch_queue_capacity(1)
+                .with_batch(1),
+        );
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let burst = 24usize;
+        for _ in 0..burst {
+            writeln!(writer, "PRIO batch P Q 3").unwrap();
+        }
+        for _ in 0..4 {
+            writeln!(writer, "P Q 3").unwrap();
+        }
+        writer.flush().unwrap();
+        let mut batch_busy = 0usize;
+        for index in 0..burst {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let response = response.trim_end();
+            if response.starts_with("ERR BUSY batch") {
+                batch_busy += 1;
+            } else {
+                assert!(
+                    response.starts_with("OK TWOWAY"),
+                    "batch {index}: {response}"
+                );
+            }
+        }
+        assert!(
+            batch_busy > 0,
+            "a 24-deep batch burst must overflow capacity 1"
+        );
+        for index in 0..4 {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            assert!(
+                response.starts_with("OK TWOWAY"),
+                "interactive {index} must never be rejected: {}",
+                response.trim_end()
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.rejected, batch_busy as u64);
+        assert_eq!(report.interactive_served, 4);
+    }
+
+    #[test]
+    fn disconnected_clients_have_pending_responses_dropped_not_blocking() {
+        // A client bursts queries and slams the connection shut without
+        // reading: workers must not block handing results to the dead
+        // connection, drops must be counted, and shutdown must not hang.
+        let server = start_fixture(ServerConfig::default().with_workers(1).with_batch(1));
+        let addr = server.local_addr();
+        {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+            for _ in 0..64 {
+                writeln!(writer, "nway chain P Q 3 ap min").unwrap();
+            }
+            writer.flush().unwrap();
+            // Dropping both halves closes with every response unread; the
+            // server's next write gets a connection-reset error.
+        }
+        // A well-behaved connection keeps working while the dead one is
+        // cleaned up, and shutdown drains everything without hanging.
+        let responses = roundtrip(addr, &["P Q 3"]);
+        assert!(responses[0].starts_with("OK TWOWAY"), "{responses:?}");
+        let report = server.shutdown();
+        assert_eq!(report.queue_depth, 0, "drained despite the dead client");
+        assert!(
+            report.dropped > 0,
+            "dropped responses must be counted: {report:?}"
+        );
+        assert!(
+            report.served >= 1,
+            "the live connection was served: {report:?}"
+        );
+    }
+
+    #[test]
+    fn shutdown_during_overload_answers_or_refuses_every_request_and_joins() {
+        // SHUTDOWN while the queue is full and hostile clients are
+        // attached: every queued request drains or is refused with a
+        // typed line, and join() returns without leaking threads.
+        let server = start_fixture(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(4)
+                .with_batch_queue_capacity(2)
+                .with_batch(1),
+        );
+        let addr = server.local_addr();
+        // Hostile 1: a never-read client with a pipelined backlog.
+        let never_read = TcpStream::connect(addr).expect("connect");
+        let mut never_read_writer = BufWriter::new(never_read.try_clone().expect("clone"));
+        for _ in 0..32 {
+            writeln!(never_read_writer, "PRIO batch P Q 3").unwrap();
+        }
+        never_read_writer.flush().unwrap();
+        // Hostile 2: a disconnect-mid-flight client.
+        {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+            for _ in 0..16 {
+                writeln!(writer, "nway chain P Q 3 ap min").unwrap();
+            }
+            writer.flush().unwrap();
+        }
+        // The well-behaved client pipelines queries behind a SHUTDOWN and
+        // must get one typed line per request.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let late = 12usize;
+        for _ in 0..(late / 2) {
+            writeln!(writer, "P Q 3").unwrap();
+        }
+        writeln!(writer, "SHUTDOWN").unwrap();
+        for _ in 0..(late / 2) {
+            writeln!(writer, "DEADLINE 1000 P Q 3").unwrap();
+        }
+        writer.flush().unwrap();
+        let mut bye = 0usize;
+        for index in 0..=late {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let response = response.trim_end();
+            if response == "OK BYE" {
+                bye += 1;
+                continue;
+            }
+            assert!(
+                response.starts_with("OK TWOWAY")
+                    || response.starts_with("ERR BUSY")
+                    || response.starts_with("ERR DEADLINE"),
+                "request {index} must get a typed line, got: {response}"
+            );
+        }
+        assert_eq!(bye, 1, "exactly one SHUTDOWN acknowledgement");
+        // No RST'd responses: EOF arrives only after every line above.
+        let mut eof_probe = String::new();
+        assert_eq!(reader.read_line(&mut eof_probe).unwrap(), 0, "clean close");
+        drop(never_read_writer);
+        drop(never_read);
+        // The join is the satellite's point: it must return despite the
+        // full queue, the dead client and the never-read backlog.
+        let report = server.join();
+        assert_eq!(report.queue_depth, 0, "nothing left queued: {report:?}");
     }
 
     #[test]

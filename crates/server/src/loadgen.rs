@@ -1,8 +1,9 @@
 //! The load-generator client: M concurrent connections replaying a query
 //! stream against a running [`crate::Server`], measuring throughput and
-//! per-request latency.
+//! per-request latency — plus an optional **hostile-client fault-injection
+//! mode** for proving overload isolation.
 //!
-//! Two loop disciplines:
+//! Two loop disciplines for well-behaved connections:
 //!
 //! * **closed-loop** — each connection sends one request, waits for its
 //!   response, then sends the next: per-request latency is meaningful and
@@ -12,15 +13,41 @@
 //!   throughput / overload probe, and the mode that actually exercises the
 //!   server's `ERR BUSY` backpressure.
 //!
-//! In both modes `ERR BUSY` rejections are (optionally) **re-sent** until
-//! answered — re-running a query is always bit-identical, so retries never
-//! change results, only timing.  The final response per stream position is
-//! collected, which is what parity checks compare against in-process
-//! answers.
+//! In both modes `ERR BUSY` and `ERR QUOTA` rejections are (optionally)
+//! **re-sent** until answered, spaced by a deterministic
+//! capped-exponential [`busy_backoff`] schedule (quota retries also honour
+//! the server's retry-after hint) — re-running a query is always
+//! bit-identical, so retries never change results, only timing.  The
+//! final response per stream position is collected, which is what parity
+//! checks compare against in-process answers.
+//!
+//! ## Hostile clients
+//!
+//! With [`LoadGenConfig::hostile`] `> 0`, that many **hostile**
+//! connections run alongside the well-behaved ones, cycling through four
+//! deterministic misbehaviour profiles (by connection index modulo 4):
+//!
+//! 1. **flood** — pipelines `PRIO batch` chunks as fast as responses come
+//!    back, for as long as the well-behaved connections are running;
+//! 2. **never-read** — pipelines a burst and never reads a single
+//!    response, then disconnects with the responses unread;
+//! 3. **disconnect** — bursts and slams the connection shut mid-flight,
+//!    reconnecting in a loop;
+//! 4. **drip** — feeds a request byte… by… byte, far slower than the
+//!    server's read timeout.
+//!
+//! Hostile traffic is all batch-class, so a server running the two-level
+//! queue keeps interactive requests isolated; the aggregated
+//! [`HostileReport`] shows how hard the server throttled them.  No RNG
+//! anywhere: profiles, chunk sizes and iteration floors are fixed, so a
+//! given configuration misbehaves identically on every run.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+use crate::wire;
 
 /// Loop discipline of a load-generation run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,21 +82,27 @@ impl LoadMode {
 /// Knobs of a load-generation run.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadGenConfig {
-    /// Concurrent connections (≥ 1), each replaying the full stream.
+    /// Concurrent well-behaved connections (≥ 1), each replaying the full
+    /// stream.
     pub connections: usize,
     /// Passes over the stream per connection (≥ 1).
     pub repeat: usize,
     /// Loop discipline.
     pub mode: LoadMode,
-    /// Whether `ERR BUSY` rejections are re-sent until answered.
+    /// Whether `ERR BUSY` / `ERR QUOTA` rejections are re-sent until
+    /// answered.
     pub retry_busy: bool,
     /// Open-loop retry-round bound (guards against a server that never
     /// frees capacity).
     pub max_rounds: usize,
+    /// Hostile connections to run alongside the well-behaved ones
+    /// (fault injection; `0` disables).
+    pub hostile: usize,
 }
 
 impl Default for LoadGenConfig {
-    /// One connection, one pass, closed-loop, busy retries on.
+    /// One connection, one pass, closed-loop, busy retries on, no hostile
+    /// clients.
     fn default() -> Self {
         LoadGenConfig {
             connections: 1,
@@ -77,6 +110,57 @@ impl Default for LoadGenConfig {
             mode: LoadMode::Closed,
             retry_busy: true,
             max_rounds: 512,
+            hostile: 0,
+        }
+    }
+}
+
+/// Deterministic capped-exponential backoff before retry `attempt`
+/// (0-based): 200 µs doubling per attempt, capped at 50 ms — so a retry
+/// storm against a saturated server decays geometrically instead of
+/// hammering at a fixed (or growing-only-linearly) pace.  No RNG: every
+/// run backs off identically.
+pub fn busy_backoff(attempt: u32) -> Duration {
+    Duration::from_micros((200u64 << attempt.min(8)).min(50_000))
+}
+
+/// What the hostile connections of a run did and received, aggregated.
+#[derive(Debug, Default, Clone)]
+pub struct HostileReport {
+    /// Hostile connections driven.
+    pub connections: usize,
+    /// Request lines written by hostile connections.
+    pub sent: u64,
+    /// Response lines hostile connections actually read back.
+    pub answered: u64,
+    /// `ERR BUSY` lines among them.
+    pub busy_rejections: u64,
+    /// `ERR QUOTA` lines among them — the throttling evidence.
+    pub quota_rejections: u64,
+    /// `ERR DEADLINE` lines among them.
+    pub deadline_misses: u64,
+    /// Deliberate mid-flight disconnects performed.
+    pub disconnects: u64,
+}
+
+impl HostileReport {
+    fn absorb(&mut self, other: &HostileReport) {
+        self.sent += other.sent;
+        self.answered += other.answered;
+        self.busy_rejections += other.busy_rejections;
+        self.quota_rejections += other.quota_rejections;
+        self.deadline_misses += other.deadline_misses;
+        self.disconnects += other.disconnects;
+    }
+
+    fn count_response(&mut self, response: &str) {
+        self.answered += 1;
+        if wire::is_quota(response) {
+            self.quota_rejections += 1;
+        } else if wire::is_busy(response) {
+            self.busy_rejections += 1;
+        } else if wire::is_deadline(response) {
+            self.deadline_misses += 1;
         }
     }
 }
@@ -84,15 +168,21 @@ impl Default for LoadGenConfig {
 /// What a load-generation run measured.
 #[derive(Debug)]
 pub struct LoadReport {
-    /// Connections driven.
+    /// Well-behaved connections driven.
     pub connections: usize,
-    /// Requests per connection (`unique lines × repeat`).
+    /// Requests per well-behaved connection (`unique lines × repeat`).
     pub requests_per_connection: usize,
-    /// Final responses collected over all connections.
+    /// Final responses collected over all well-behaved connections.
     pub answered: usize,
-    /// `ERR BUSY` rejections observed (each was re-sent when retries are
-    /// on).
+    /// `ERR BUSY` rejections observed by well-behaved connections (each
+    /// was re-sent when retries are on).
     pub busy_rejections: u64,
+    /// `ERR QUOTA` rejections observed by well-behaved connections (each
+    /// was re-sent, honouring the hint, when retries are on).
+    pub quota_rejections: u64,
+    /// `ERR DEADLINE` final responses observed by well-behaved
+    /// connections (deadlines are not retried: the budget is spent).
+    pub deadline_misses: u64,
     /// Wall-clock of the whole run (all connections).
     pub elapsed: Duration,
     /// Per-request latencies in ms (closed-loop only; empty in open-loop).
@@ -100,6 +190,9 @@ pub struct LoadReport {
     /// Final response line per `[connection][stream position]` — what
     /// parity checks compare.
     pub responses: Vec<Vec<String>>,
+    /// Aggregated hostile-connection activity (all zeros when
+    /// [`LoadGenConfig::hostile`] is 0).
+    pub hostile: HostileReport,
 }
 
 impl LoadReport {
@@ -107,11 +200,6 @@ impl LoadReport {
     pub fn throughput(&self) -> f64 {
         self.answered as f64 / self.elapsed.as_secs_f64().max(1e-12)
     }
-}
-
-/// Whether a response line is the server's typed queue-full rejection.
-fn is_busy(response: &str) -> bool {
-    response.starts_with("ERR BUSY")
 }
 
 fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
@@ -125,11 +213,17 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
     Ok(line.trim_end().to_string())
 }
 
-/// One connection's outcome: `(final responses, latencies in ms, busy
-/// rejections)`.
-type ConnectionOutcome = (Vec<String>, Vec<f64>, u64);
+/// One well-behaved connection's outcome.
+#[derive(Debug, Default)]
+struct ConnectionOutcome {
+    finals: Vec<String>,
+    latencies: Vec<f64>,
+    busy: u64,
+    quota: u64,
+    deadline_misses: u64,
+}
 
-/// One connection's replay.
+/// One well-behaved connection's replay.
 fn drive_connection(
     addr: SocketAddr,
     stream_lines: &[String],
@@ -142,23 +236,37 @@ fn drive_connection(
     let total = stream_lines.len() * config.repeat;
     let line_at = |index: usize| &stream_lines[index % stream_lines.len()];
     let mut finals: Vec<Option<String>> = vec![None; total];
-    let mut latencies = Vec::new();
-    let mut busy = 0u64;
+    let mut outcome = ConnectionOutcome::default();
     match config.mode {
         LoadMode::Closed => {
             for (index, slot) in finals.iter_mut().enumerate() {
+                let mut attempt = 0u32;
                 loop {
                     let start = Instant::now();
                     writeln!(writer, "{}", line_at(index))?;
                     writer.flush()?;
                     let response = read_response(&mut reader)?;
-                    if is_busy(&response) && config.retry_busy {
-                        busy += 1;
-                        // Give the queue a beat to drain before re-sending.
-                        std::thread::sleep(Duration::from_micros(200));
+                    if config.retry_busy && wire::is_busy(&response) {
+                        outcome.busy += 1;
+                        // Capped exponential: give the queue geometrically
+                        // more time to drain on each refusal.
+                        std::thread::sleep(busy_backoff(attempt));
+                        attempt += 1;
                         continue;
                     }
-                    latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                    if config.retry_busy && wire::is_quota(&response) {
+                        outcome.quota += 1;
+                        // The hint is exact (one token's refill time), but
+                        // never back off less than the busy schedule would.
+                        let hint = wire::retry_after_ms(&response).unwrap_or(1);
+                        std::thread::sleep(busy_backoff(attempt).max(Duration::from_millis(hint)));
+                        attempt += 1;
+                        continue;
+                    }
+                    if wire::is_deadline(&response) {
+                        outcome.deadline_misses += 1;
+                    }
+                    outcome.latencies.push(start.elapsed().as_secs_f64() * 1e3);
                     *slot = Some(response);
                     break;
                 }
@@ -167,19 +275,22 @@ fn drive_connection(
         LoadMode::Open => {
             let mut pending: Vec<usize> = (0..total).collect();
             let mut rounds = 0usize;
+            let mut hint_ms = 0u64;
             while !pending.is_empty() {
                 rounds += 1;
                 if rounds > 1 {
-                    // Linear backoff between retry rounds: against a tiny
-                    // queue, competing connections otherwise spin faster
-                    // than workers can drain.
-                    std::thread::sleep(Duration::from_micros(500 * rounds.min(20) as u64));
+                    // Capped exponential backoff between retry rounds
+                    // (honouring the largest quota hint from the previous
+                    // round): against a tiny queue, competing connections
+                    // otherwise spin faster than workers can drain.
+                    let backoff = busy_backoff(rounds as u32 - 2);
+                    std::thread::sleep(backoff.max(Duration::from_millis(hint_ms)));
                 }
                 if rounds > config.max_rounds {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::TimedOut,
                         format!(
-                            "{} request(s) still BUSY after {} open-loop rounds",
+                            "{} request(s) still refused after {} open-loop rounds",
                             pending.len(),
                             config.max_rounds
                         ),
@@ -192,12 +303,20 @@ fn drive_connection(
                 // Responses come back in request order, so this zip maps
                 // each response to the request it answers.
                 let mut still_pending = Vec::new();
+                hint_ms = 0;
                 for &index in &pending {
                     let response = read_response(&mut reader)?;
-                    if is_busy(&response) && config.retry_busy {
-                        busy += 1;
+                    if config.retry_busy && wire::is_busy(&response) {
+                        outcome.busy += 1;
+                        still_pending.push(index);
+                    } else if config.retry_busy && wire::is_quota(&response) {
+                        outcome.quota += 1;
+                        hint_ms = hint_ms.max(wire::retry_after_ms(&response).unwrap_or(1));
                         still_pending.push(index);
                     } else {
+                        if wire::is_deadline(&response) {
+                            outcome.deadline_misses += 1;
+                        }
                         finals[index] = Some(response);
                     }
                 }
@@ -205,20 +324,188 @@ fn drive_connection(
             }
         }
     }
-    let finals = finals
+    outcome.finals = finals
         .into_iter()
         .map(|slot| slot.expect("every request answered"))
         .collect();
-    Ok((finals, latencies, busy))
+    Ok(outcome)
+}
+
+/// The four deterministic misbehaviour profiles, assigned round-robin by
+/// hostile connection index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HostileProfile {
+    Flood,
+    NeverRead,
+    Disconnect,
+    Drip,
+}
+
+impl HostileProfile {
+    fn for_index(index: usize) -> HostileProfile {
+        match index % 4 {
+            0 => HostileProfile::Flood,
+            1 => HostileProfile::NeverRead,
+            2 => HostileProfile::Disconnect,
+            _ => HostileProfile::Drip,
+        }
+    }
+}
+
+/// Prefixes a query line into the batch class, unless it already carries
+/// an explicit `PRIO` (a duplicate prefix would be a parse error).
+fn batchify(line: &str) -> String {
+    let lowered = line.to_ascii_lowercase();
+    if lowered.starts_with("prio ") || lowered.contains(" prio ") {
+        line.to_string()
+    } else {
+        format!("PRIO batch {line}")
+    }
+}
+
+/// Lines a flood sends per pipelined chunk.
+const FLOOD_CHUNK: u64 = 64;
+/// Chunks a flood always completes, `stop` or not — enough volume that a
+/// rate-limited server deterministically refuses some of it.
+const FLOOD_MIN_CHUNKS: u64 = 4;
+
+/// One hostile connection's run.  I/O errors end the run silently — being
+/// cut off is an expected outcome for a misbehaving client.
+fn drive_hostile(
+    addr: SocketAddr,
+    profile: HostileProfile,
+    lines: &[String],
+    stop: &AtomicBool,
+) -> HostileReport {
+    let mut report = HostileReport {
+        connections: 1,
+        ..HostileReport::default()
+    };
+    let line_at = |index: u64| batchify(&lines[(index % lines.len() as u64) as usize]);
+    match profile {
+        HostileProfile::Flood => {
+            let Ok(stream) = TcpStream::connect(addr) else {
+                return report;
+            };
+            stream.set_nodelay(true).ok();
+            let Ok(write_half) = stream.try_clone() else {
+                return report;
+            };
+            let mut writer = BufWriter::new(write_half);
+            let mut reader = BufReader::new(stream);
+            let mut chunks = 0u64;
+            while chunks < FLOOD_MIN_CHUNKS || !stop.load(Ordering::Relaxed) {
+                for index in 0..FLOOD_CHUNK {
+                    if writeln!(writer, "{}", line_at(chunks * FLOOD_CHUNK + index)).is_err() {
+                        return report;
+                    }
+                }
+                if writer.flush().is_err() {
+                    return report;
+                }
+                report.sent += FLOOD_CHUNK;
+                for _ in 0..FLOOD_CHUNK {
+                    match read_response(&mut reader) {
+                        Ok(response) => report.count_response(&response),
+                        Err(_) => return report,
+                    }
+                }
+                chunks += 1;
+            }
+        }
+        HostileProfile::NeverRead => {
+            let Ok(stream) = TcpStream::connect(addr) else {
+                return report;
+            };
+            stream.set_nodelay(true).ok();
+            let mut writer = BufWriter::new(stream);
+            // Pipeline a solid burst and then *never read*: the responses
+            // rot in socket buffers until the close below discards them
+            // (an RST on the server's write path, or a write stall if the
+            // buffers fill first) — the server must drop, not block.
+            for index in 0..256u64 {
+                if writeln!(writer, "{}", line_at(index)).is_err() {
+                    return report;
+                }
+                report.sent += 1;
+            }
+            if writer.flush().is_err() {
+                return report;
+            }
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            report.disconnects += 1; // the close discards every response
+        }
+        HostileProfile::Disconnect => {
+            let mut bursts = 0u64;
+            while bursts < 2 || !stop.load(Ordering::Relaxed) {
+                bursts += 1;
+                let Ok(stream) = TcpStream::connect(addr) else {
+                    return report;
+                };
+                stream.set_nodelay(true).ok();
+                let mut writer = BufWriter::new(stream);
+                for index in 0..32u64 {
+                    if writeln!(writer, "{}", line_at(bursts * 32 + index)).is_err() {
+                        break;
+                    }
+                    report.sent += 1;
+                }
+                let _ = writer.flush();
+                // Dropping both halves here closes the socket with every
+                // response unread — a mid-flight disconnect.
+                drop(writer);
+                report.disconnects += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        HostileProfile::Drip => {
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                return report;
+            };
+            stream.set_nodelay(true).ok();
+            let Ok(read_half) = stream.try_clone() else {
+                return report;
+            };
+            let mut reader = BufReader::new(read_half);
+            let mut drips = 0u64;
+            while drips < 2 || !stop.load(Ordering::Relaxed) {
+                drips += 1;
+                let line = format!("{}\n", line_at(drips));
+                // One byte at a time, slower than the server's poll
+                // interval: exercises partial-line buffering across read
+                // timeouts without tripping the oversized-line cap.
+                for byte in line.as_bytes() {
+                    if stream.write_all(std::slice::from_ref(byte)).is_err() {
+                        return report;
+                    }
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                report.sent += 1;
+                match read_response(&mut reader) {
+                    Ok(response) => report.count_response(&response),
+                    Err(_) => return report,
+                }
+            }
+        }
+    }
+    report
 }
 
 /// Replays `lines` (raw query-language lines; comments and blanks are
 /// stripped here, matching the file parser) against the server at `addr`
-/// on `config.connections` concurrent connections.
+/// on `config.connections` concurrent well-behaved connections, plus
+/// `config.hostile` hostile ones.  Hostile connections start first, run
+/// for as long as the well-behaved ones (with per-profile iteration
+/// floors, so they misbehave deterministically even against a fast
+/// server), and are stopped and joined before the report is assembled.
 ///
 /// # Errors
-/// Fails on connection errors, a server that closes mid-stream, an empty
-/// stream, or open-loop starvation beyond `max_rounds`.
+/// Fails on well-behaved connection errors, a server that closes one
+/// mid-stream, an empty stream, or open-loop starvation beyond
+/// `max_rounds`.  Hostile connection errors are *not* failures — being
+/// cut off is an expected outcome for a misbehaving client.
 pub fn run(
     addr: SocketAddr,
     lines: &[String],
@@ -235,40 +522,64 @@ pub fn run(
         ));
     }
     let connections = config.connections.max(1);
+    let stop = AtomicBool::new(false);
     let started = Instant::now();
-    let outcomes: Vec<std::io::Result<ConnectionOutcome>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..connections)
-            .map(|_| {
-                let stream_lines = &stream_lines;
-                scope.spawn(move || drive_connection(addr, stream_lines, config))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("loadgen connection panicked"))
-            .collect()
-    });
+    let (outcomes, hostile_reports): (Vec<std::io::Result<ConnectionOutcome>>, Vec<HostileReport>) =
+        std::thread::scope(|scope| {
+            let hostile_handles: Vec<_> = (0..config.hostile)
+                .map(|index| {
+                    let stream_lines = &stream_lines;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        drive_hostile(addr, HostileProfile::for_index(index), stream_lines, stop)
+                    })
+                })
+                .collect();
+            let handles: Vec<_> = (0..connections)
+                .map(|_| {
+                    let stream_lines = &stream_lines;
+                    scope.spawn(move || drive_connection(addr, stream_lines, config))
+                })
+                .collect();
+            let outcomes = handles
+                .into_iter()
+                .map(|handle| handle.join().expect("loadgen connection panicked"))
+                .collect();
+            stop.store(true, Ordering::Relaxed);
+            let hostile_reports = hostile_handles
+                .into_iter()
+                .map(|handle| handle.join().expect("hostile connection panicked"))
+                .collect();
+            (outcomes, hostile_reports)
+        });
     let elapsed = started.elapsed();
-    let mut responses = Vec::new();
-    let mut latencies_ms = Vec::new();
-    let mut busy_rejections = 0u64;
-    let mut answered = 0usize;
-    for outcome in outcomes {
-        let (finals, latencies, busy) = outcome?;
-        answered += finals.len();
-        responses.push(finals);
-        latencies_ms.extend(latencies);
-        busy_rejections += busy;
+    let mut hostile = HostileReport::default();
+    for report in &hostile_reports {
+        hostile.connections += report.connections;
+        hostile.absorb(report);
     }
-    Ok(LoadReport {
+    let mut report = LoadReport {
         connections,
         requests_per_connection: stream_lines.len() * config.repeat.max(1),
-        answered,
-        busy_rejections,
+        answered: 0,
+        busy_rejections: 0,
+        quota_rejections: 0,
+        deadline_misses: 0,
         elapsed,
-        latencies_ms,
-        responses,
-    })
+        latencies_ms: Vec::new(),
+        responses: Vec::new(),
+        hostile,
+    };
+    for outcome in outcomes {
+        let outcome = outcome?;
+        report.answered += outcome.finals.len();
+        report.responses.push(outcome.finals);
+        report.latencies_ms.extend(outcome.latencies);
+        report.busy_rejections += outcome.busy;
+        report.quota_rejections += outcome.quota;
+        report.deadline_misses += outcome.deadline_misses;
+    }
+    Ok(report)
 }
 
 /// Sends the `SHUTDOWN` verb on a fresh connection and returns the
@@ -376,6 +687,7 @@ mod tests {
         assert_eq!(report.answered, 24);
         assert_eq!(report.latencies_ms.len(), 24, "closed loop measures each");
         assert!(report.throughput() > 0.0);
+        assert_eq!(report.hostile.connections, 0, "no hostile clients asked");
         let expected = expected_responses(&stream());
         for (connection, finals) in report.responses.iter().enumerate() {
             for (index, response) in finals.iter().enumerate() {
@@ -435,6 +747,83 @@ mod tests {
 
     fn server_drained(stats: &crate::StatsSnapshot) {
         assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_exponential_and_capped() {
+        assert_eq!(busy_backoff(0), Duration::from_micros(200));
+        assert_eq!(busy_backoff(1), Duration::from_micros(400));
+        assert_eq!(busy_backoff(2), busy_backoff(1) * 2, "doubles per attempt");
+        assert_eq!(busy_backoff(8), Duration::from_micros(50_000), "cap");
+        assert_eq!(
+            busy_backoff(8),
+            busy_backoff(31),
+            "cap holds for any attempt"
+        );
+        assert_eq!(busy_backoff(u32::MAX), Duration::from_micros(50_000));
+    }
+
+    #[test]
+    fn batchify_adds_the_prefix_exactly_once() {
+        assert_eq!(batchify("P Q 3"), "PRIO batch P Q 3");
+        assert_eq!(batchify("PRIO batch P Q 3"), "PRIO batch P Q 3");
+        assert_eq!(
+            batchify("DEADLINE 5 PRIO interactive P Q"),
+            "DEADLINE 5 PRIO interactive P Q",
+            "an explicit class is never overridden"
+        );
+        assert_eq!(batchify("DEADLINE 5 P Q"), "PRIO batch DEADLINE 5 P Q");
+    }
+
+    #[test]
+    fn hostile_mix_throttles_hostiles_and_leaves_well_behaved_answers_intact() {
+        let (engine, sets) = fixture();
+        let server = Server::start(
+            engine,
+            sets,
+            ParseOptions::default(),
+            ServerConfig::default()
+                .with_workers(2)
+                .with_rate(100)
+                .with_burst(24)
+                .with_batch_queue_capacity(16),
+        )
+        .unwrap();
+        let report = run(
+            server.local_addr(),
+            &stream(),
+            &LoadGenConfig {
+                connections: 2,
+                repeat: 2,
+                hostile: 4, // one of each profile
+                ..LoadGenConfig::default()
+            },
+        )
+        .unwrap();
+        // Well-behaved connections (8 requests each, burst 24) never hit
+        // the rate limit and keep bit-exact answers.
+        assert_eq!(report.quota_rejections, 0, "{report:?}");
+        assert_eq!(report.deadline_misses, 0, "{report:?}");
+        assert_eq!(report.answered, 16);
+        let expected = expected_responses(&stream());
+        for finals in &report.responses {
+            for (index, response) in finals.iter().enumerate() {
+                assert_eq!(response, &expected[index % expected.len()]);
+            }
+        }
+        // The flood (4+ chunks of 64 against burst 24) was throttled.
+        assert_eq!(report.hostile.connections, 4);
+        assert!(report.hostile.sent >= 4 * 64 + 256 + 2 * 32 + 2);
+        assert!(
+            report.hostile.quota_rejections > 0,
+            "flood must trip the rate limit: {:?}",
+            report.hostile
+        );
+        assert!(report.hostile.disconnects >= 3, "{:?}", report.hostile);
+        // The server must survive all of it and drain cleanly.
+        let stats = server.shutdown();
+        assert!(stats.quota_rejected >= report.hostile.quota_rejections);
+        server_drained(&stats);
     }
 
     #[test]

@@ -1,10 +1,17 @@
 //! Per-request latency tracking and serving counters, surfaced over the
 //! wire by the `STATS` verb.
+//!
+//! Latencies are tracked in **three** reservoirs: one global (the
+//! `p50/p90/p99/max` fields, unchanged from before the QoS layer) and one
+//! per priority class — so `STATS` can show that interactive p99 stays
+//! bounded while batch p99 balloons under a flood, which is the whole
+//! point of the two-level queue.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use dht_core::queryline::Priority;
 use dht_walks::CacheStats;
 
 /// Ring capacity of the latency reservoir: enough to make p99 meaningful
@@ -38,6 +45,12 @@ impl Reservoir {
             self.next = (self.next + 1) % RESERVOIR_CAPACITY;
         }
     }
+
+    fn sorted(&self) -> Vec<f64> {
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted
+    }
 }
 
 /// What the server measures while running; shared by every worker and
@@ -46,7 +59,14 @@ impl Reservoir {
 pub(crate) struct Metrics {
     served: AtomicU64,
     rejected: AtomicU64,
+    quota_rejected: AtomicU64,
+    expired: AtomicU64,
+    dropped: AtomicU64,
+    interactive_served: AtomicU64,
+    batch_served: AtomicU64,
     latencies: Mutex<Reservoir>,
+    interactive_latencies: Mutex<Reservoir>,
+    batch_latencies: Mutex<Reservoir>,
     /// Per-worker `(column cache, (y hits, y misses))` snapshots, refreshed
     /// by each worker after every batch — so `STATS` can report cache hit
     /// rates without reaching into live sessions (meaningful for private
@@ -59,21 +79,50 @@ impl Metrics {
         Metrics {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            interactive_served: AtomicU64::new(0),
+            batch_served: AtomicU64::new(0),
             latencies: Mutex::new(Reservoir::default()),
+            interactive_latencies: Mutex::new(Reservoir::default()),
+            batch_latencies: Mutex::new(Reservoir::default()),
             worker_caches: Mutex::new(vec![Default::default(); workers]),
         }
     }
 
-    pub(crate) fn record_served(&self, latency: Duration) {
+    pub(crate) fn record_served(&self, latency: Duration, class: Priority) {
         self.served.fetch_add(1, Ordering::Relaxed);
+        let latency_ms = latency.as_secs_f64() * 1e3;
         self.latencies
             .lock()
             .expect("metrics lock poisoned")
-            .record(latency.as_secs_f64() * 1e3);
+            .record(latency_ms);
+        let (counter, reservoir) = match class {
+            Priority::Interactive => (&self.interactive_served, &self.interactive_latencies),
+            Priority::Batch => (&self.batch_served, &self.batch_latencies),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        reservoir
+            .lock()
+            .expect("metrics lock poisoned")
+            .record(latency_ms);
     }
 
     pub(crate) fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_quota_rejected(&self) {
+        self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dropped(&self, count: u64) {
+        self.dropped.fetch_add(count, Ordering::Relaxed);
     }
 
     pub(crate) fn store_worker_caches(
@@ -88,14 +137,27 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize, queue_capacity: usize) -> StatsSnapshot {
-        let mut sorted = self
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        batch_queue_capacity: usize,
+    ) -> StatsSnapshot {
+        let sorted = self
             .latencies
             .lock()
             .expect("metrics lock poisoned")
-            .samples
-            .clone();
-        sorted.sort_by(f64::total_cmp);
+            .sorted();
+        let interactive = self
+            .interactive_latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .sorted();
+        let batch = self
+            .batch_latencies
+            .lock()
+            .expect("metrics lock poisoned")
+            .sorted();
         let caches = self.worker_caches.lock().expect("metrics lock poisoned");
         let mut columns = CacheStats::default();
         let (mut y_hits, mut y_misses) = (0u64, 0u64);
@@ -107,13 +169,21 @@ impl Metrics {
         StatsSnapshot {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            interactive_served: self.interactive_served.load(Ordering::Relaxed),
+            batch_served: self.batch_served.load(Ordering::Relaxed),
             queue_depth,
             queue_capacity,
+            batch_queue_capacity,
             workers: caches.len(),
             p50_ms: percentile(&sorted, 0.50),
             p90_ms: percentile(&sorted, 0.90),
             p99_ms: percentile(&sorted, 0.99),
             max_ms: sorted.last().copied().unwrap_or(0.0),
+            interactive_p99_ms: percentile(&interactive, 0.99),
+            batch_p99_ms: percentile(&batch, 0.99),
             column_hits: columns.hits,
             column_misses: columns.misses,
             y_hits,
@@ -128,12 +198,27 @@ impl Metrics {
 pub struct StatsSnapshot {
     /// Query requests answered (successfully or with an `EXEC` error).
     pub served: u64,
-    /// Query requests rejected with `BUSY` because the queue was full.
+    /// Query requests rejected with `BUSY` because their class was full.
     pub rejected: u64,
-    /// Requests queued at snapshot time.
+    /// Query requests refused with `ERR QUOTA` by per-connection rate
+    /// limiting.
+    pub quota_rejected: u64,
+    /// Requests answered `ERR DEADLINE` because their budget ran out in
+    /// the queue (never executed).
+    pub expired: u64,
+    /// Response lines dropped because the client had disconnected (plus
+    /// queued requests skipped for dead connections).
+    pub dropped: u64,
+    /// Served requests in the interactive class.
+    pub interactive_served: u64,
+    /// Served requests in the batch class.
+    pub batch_served: u64,
+    /// Requests queued at snapshot time, both classes combined.
     pub queue_depth: usize,
-    /// Configured queue capacity.
+    /// Configured interactive-class queue capacity.
     pub queue_capacity: usize,
+    /// Configured batch-class queue capacity.
+    pub batch_queue_capacity: usize,
     /// Worker (session) count.
     pub workers: usize,
     /// Median per-request latency, receive → response ready, in ms.
@@ -144,6 +229,10 @@ pub struct StatsSnapshot {
     pub p99_ms: f64,
     /// Worst latency in the reservoir, in ms.
     pub max_ms: f64,
+    /// 99th-percentile latency of interactive-class requests, in ms.
+    pub interactive_p99_ms: f64,
+    /// 99th-percentile latency of batch-class requests, in ms.
+    pub batch_p99_ms: f64,
     /// Backward-column cache hits summed over the worker sessions.
     pub column_hits: u64,
     /// Backward-column cache misses summed over the worker sessions.
@@ -170,7 +259,10 @@ impl StatsSnapshot {
         format!(
             "STATS served={} rejected={} queue_depth={} queue_capacity={} workers={} \
              p50_ms={:.4} p90_ms={:.4} p99_ms={:.4} max_ms={:.4} \
-             column_hits={} column_misses={} column_hit_rate={:.4} y_hits={} y_misses={}",
+             column_hits={} column_misses={} column_hit_rate={:.4} y_hits={} y_misses={} \
+             quota_rejected={} expired={} dropped={} \
+             interactive_served={} batch_served={} \
+             interactive_p99_ms={:.4} batch_p99_ms={:.4} batch_queue_capacity={}",
             self.served,
             self.rejected,
             self.queue_depth,
@@ -185,6 +277,14 @@ impl StatsSnapshot {
             self.column_hit_rate(),
             self.y_hits,
             self.y_misses,
+            self.quota_rejected,
+            self.expired,
+            self.dropped,
+            self.interactive_served,
+            self.batch_served,
+            self.interactive_p99_ms,
+            self.batch_p99_ms,
+            self.batch_queue_capacity,
         )
     }
 }
@@ -197,7 +297,7 @@ mod tests {
     fn snapshot_reports_percentiles_and_counters() {
         let metrics = Metrics::new(2);
         for ms in [1.0f64, 2.0, 3.0, 4.0] {
-            metrics.record_served(Duration::from_secs_f64(ms / 1e3));
+            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Interactive);
         }
         metrics.record_rejected();
         metrics.store_worker_caches(
@@ -218,7 +318,7 @@ mod tests {
             },
             (0, 1),
         );
-        let snap = metrics.snapshot(5, 16);
+        let snap = metrics.snapshot(5, 16, 16);
         assert_eq!(snap.served, 4);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.queue_depth, 5);
@@ -232,6 +332,43 @@ mod tests {
         assert!(line.starts_with("STATS served=4 rejected=1"), "{line}");
         assert!(line.contains("p99_ms="), "{line}");
         assert!(line.contains("column_hit_rate=0.6667"), "{line}");
+    }
+
+    #[test]
+    fn per_class_counters_and_percentiles_are_split() {
+        let metrics = Metrics::new(1);
+        for ms in [1.0f64, 2.0] {
+            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Interactive);
+        }
+        for ms in [50.0f64, 60.0, 70.0] {
+            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Batch);
+        }
+        metrics.record_quota_rejected();
+        metrics.record_quota_rejected();
+        metrics.record_expired();
+        metrics.record_dropped(3);
+        let snap = metrics.snapshot(0, 8, 4);
+        assert_eq!(snap.served, 5, "global count spans both classes");
+        assert_eq!(snap.interactive_served, 2);
+        assert_eq!(snap.batch_served, 3);
+        assert_eq!(snap.quota_rejected, 2);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.dropped, 3);
+        assert_eq!(snap.batch_queue_capacity, 4);
+        assert!(
+            snap.interactive_p99_ms < 3.0 && snap.batch_p99_ms > 60.0,
+            "class percentiles must not mix: interactive {} batch {}",
+            snap.interactive_p99_ms,
+            snap.batch_p99_ms
+        );
+        let line = snap.wire_line();
+        assert!(line.contains("quota_rejected=2"), "{line}");
+        assert!(line.contains("expired=1"), "{line}");
+        assert!(line.contains("dropped=3"), "{line}");
+        assert!(line.contains("interactive_served=2"), "{line}");
+        assert!(line.contains("batch_served=3"), "{line}");
+        assert!(line.contains("interactive_p99_ms="), "{line}");
+        assert!(line.contains("batch_p99_ms="), "{line}");
     }
 
     #[test]

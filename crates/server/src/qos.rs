@@ -1,0 +1,117 @@
+//! Per-connection rate limiting: a deterministic token bucket.
+//!
+//! Each connection reader owns one [`TokenBucket`] (when `--rate` is on):
+//! query lines spend one token each, tokens refill continuously at `rate`
+//! per second up to a `burst` capacity, and a line arriving to an empty
+//! bucket is refused with a **deterministic retry-after hint** — the exact
+//! number of milliseconds until one full token has accrued, so a client
+//! honouring the hint succeeds on its next attempt instead of guessing.
+//!
+//! Control verbs (`PING` / `STATS` / `SHUTDOWN`) are exempt: a throttled
+//! client can always probe the server and read its counters.
+//!
+//! The bucket starts **full**, so a well-behaved connection that sends at
+//! most `burst` requests in any short window never sees `ERR QUOTA` — the
+//! guarantee the isolation proptest pins.
+
+use std::time::Instant;
+
+/// A continuous-refill token bucket over wall-clock [`Instant`]s.
+#[derive(Debug)]
+pub(crate) struct TokenBucket {
+    /// Refill rate in tokens per second (> 0).
+    rate: f64,
+    /// Capacity in tokens (≥ 1); also the initial fill.
+    burst: f64,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` tokens/s with `burst` capacity,
+    /// starting full at `now`.  `rate == 0` means *unlimited* and returns
+    /// `None` (no bucket, no quota checks); `burst` is clamped to ≥ 1.
+    pub(crate) fn new(rate: u32, burst: u32, now: Instant) -> Option<TokenBucket> {
+        if rate == 0 {
+            return None;
+        }
+        let burst = burst.max(1) as f64;
+        Some(TokenBucket {
+            rate: rate as f64,
+            burst,
+            tokens: burst,
+            last_refill: now,
+        })
+    }
+
+    /// Spends one token at `now`, or refuses with the number of
+    /// milliseconds until a full token will have accrued (≥ 1, rounded
+    /// up — sleeping that long then retrying always succeeds absent
+    /// competing spenders).
+    pub(crate) fn try_acquire_at(&mut self, now: Instant) -> Result<(), u64> {
+        let elapsed = now.saturating_duration_since(self.last_refill);
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed.as_secs_f64() * self.rate).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return Ok(());
+        }
+        let deficit = 1.0 - self.tokens;
+        let retry_after_ms = (deficit / self.rate * 1e3).ceil() as u64;
+        Err(retry_after_ms.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn rate_zero_is_unlimited() {
+        assert!(TokenBucket::new(0, 8, Instant::now()).is_none());
+    }
+
+    #[test]
+    fn burst_spends_down_then_refuses_with_exact_hint() {
+        let start = Instant::now();
+        let mut bucket = TokenBucket::new(10, 3, start).expect("rate > 0");
+        // The bucket starts full: exactly `burst` immediate acquisitions.
+        for _ in 0..3 {
+            assert_eq!(bucket.try_acquire_at(start), Ok(()));
+        }
+        // Empty now; at 10 tokens/s a full token takes 100 ms.
+        assert_eq!(bucket.try_acquire_at(start), Err(100));
+        // Sleeping the hinted time makes the next attempt succeed.
+        let later = start + Duration::from_millis(100);
+        assert_eq!(bucket.try_acquire_at(later), Ok(()));
+        // ... and only that one token accrued.
+        assert_eq!(bucket.try_acquire_at(later), Err(100));
+    }
+
+    #[test]
+    fn refill_is_continuous_and_capped_at_burst() {
+        let start = Instant::now();
+        let mut bucket = TokenBucket::new(1000, 2, start).expect("rate > 0");
+        assert_eq!(bucket.try_acquire_at(start), Ok(()));
+        assert_eq!(bucket.try_acquire_at(start), Ok(()));
+        // Half a token after 0.5 ms: still refused, hint rounds up to 1 ms.
+        let half = start + Duration::from_micros(500);
+        assert_eq!(bucket.try_acquire_at(half), Err(1));
+        // A long idle period refills to burst, not beyond: exactly two
+        // immediate acquisitions again.
+        let much_later = start + Duration::from_secs(60);
+        assert_eq!(bucket.try_acquire_at(much_later), Ok(()));
+        assert_eq!(bucket.try_acquire_at(much_later), Ok(()));
+        assert!(bucket.try_acquire_at(much_later).is_err());
+    }
+
+    #[test]
+    fn burst_is_clamped_to_at_least_one() {
+        let start = Instant::now();
+        let mut bucket = TokenBucket::new(5, 0, start).expect("rate > 0");
+        assert_eq!(bucket.try_acquire_at(start), Ok(()));
+        // 1 token at 5/s: 200 ms to the next.
+        assert_eq!(bucket.try_acquire_at(start), Err(200));
+    }
+}

@@ -1,8 +1,16 @@
-//! The bounded request queue between connection readers and session
-//! workers — the server's backpressure point.
+//! The bounded **two-level priority queue** between connection readers and
+//! session workers — the server's backpressure and scheduling point.
 //!
-//! Readers `try_push` and **never block**: when the queue is at capacity
-//! the push fails and the reader answers the client with a typed
+//! Requests are admitted into one of two classes ([`Priority`]):
+//! *interactive* (the default) and *batch* (`PRIO batch` lines).  Each
+//! class has its **own capacity**, so a batch flood can exhaust only the
+//! batch class — interactive admission is untouched, which is what keeps
+//! well-behaved clients isolated from hostile floods.  Workers drain in
+//! **strict priority order**: a batch request is popped only when the
+//! interactive queue is empty.
+//!
+//! Readers `try_push` and **never block**: when the request's class is at
+//! capacity the push fails and the reader answers the client with a typed
 //! `ERR BUSY` line immediately, instead of letting an overload grow an
 //! unbounded backlog (admission control).  Workers `pop_batch` up to a
 //! micro-batch of requests at a time, so one dequeue under the lock feeds
@@ -18,11 +26,13 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use dht_core::queryline::Priority;
+
 /// Why a [`RequestQueue::try_push`] was refused; carries the request back.
 #[derive(Debug, PartialEq, Eq)]
 pub(crate) enum PushRefused<T> {
-    /// The queue is at capacity — the caller should answer `ERR BUSY` and
-    /// let the client re-send.
+    /// The request's class is at capacity — the caller should answer
+    /// `ERR BUSY` and let the client re-send.
     Full(T),
     /// The queue has been closed for shutdown — no worker will ever pop
     /// again.
@@ -31,69 +41,109 @@ pub(crate) enum PushRefused<T> {
 
 #[derive(Debug)]
 struct QueueState<T> {
-    items: VecDeque<T>,
+    interactive: VecDeque<T>,
+    batch: VecDeque<T>,
     closed: bool,
 }
 
-/// A bounded MPMC queue with non-blocking producers and batch-popping
-/// consumers that drain fully before observing close.
+impl<T> QueueState<T> {
+    fn class(&mut self, class: Priority) -> &mut VecDeque<T> {
+        match class {
+            Priority::Interactive => &mut self.interactive,
+            Priority::Batch => &mut self.batch,
+        }
+    }
+}
+
+/// A bounded two-class MPMC queue with non-blocking producers and strict-
+/// priority batch-popping consumers that drain fully before observing
+/// close.
 #[derive(Debug)]
 pub(crate) struct RequestQueue<T> {
     inner: Mutex<QueueState<T>>,
     available: Condvar,
-    capacity: usize,
+    interactive_capacity: usize,
+    batch_capacity: usize,
 }
 
 impl<T> RequestQueue<T> {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(interactive_capacity: usize, batch_capacity: usize) -> Self {
         RequestQueue {
             inner: Mutex::new(QueueState {
-                items: VecDeque::new(),
+                interactive: VecDeque::new(),
+                batch: VecDeque::new(),
                 closed: false,
             }),
             available: Condvar::new(),
-            capacity: capacity.max(1),
+            interactive_capacity: interactive_capacity.max(1),
+            batch_capacity: batch_capacity.max(1),
         }
     }
 
-    /// The configured capacity.
-    pub(crate) fn capacity(&self) -> usize {
-        self.capacity
+    /// The configured capacity of one class.
+    pub(crate) fn capacity(&self, class: Priority) -> usize {
+        match class {
+            Priority::Interactive => self.interactive_capacity,
+            Priority::Batch => self.batch_capacity,
+        }
     }
 
-    /// Number of requests currently queued.
-    pub(crate) fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").items.len()
+    /// Number of requests currently queued in one class.
+    pub(crate) fn depth(&self, class: Priority) -> usize {
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        state.class(class).len()
     }
 
-    /// Enqueues without blocking; refuses (returning the request) when the
-    /// queue is full or already closed for shutdown.
-    pub(crate) fn try_push(&self, item: T) -> Result<(), PushRefused<T>> {
+    /// Total queued requests across both classes.
+    pub(crate) fn total_depth(&self) -> usize {
+        let state = self.inner.lock().expect("queue lock poisoned");
+        state.interactive.len() + state.batch.len()
+    }
+
+    /// Enqueues into `class` without blocking; refuses (returning the
+    /// request) when that class is at capacity or the queue is already
+    /// closed for shutdown.  A full batch class never affects interactive
+    /// admission, and vice versa.
+    pub(crate) fn try_push(&self, item: T, class: Priority) -> Result<(), PushRefused<T>> {
+        let capacity = self.capacity(class);
         let mut state = self.inner.lock().expect("queue lock poisoned");
         if state.closed {
             return Err(PushRefused::Closed(item));
         }
-        if state.items.len() >= self.capacity {
+        let items = state.class(class);
+        if items.len() >= capacity {
             return Err(PushRefused::Full(item));
         }
-        state.items.push_back(item);
+        items.push_back(item);
         drop(state);
         self.available.notify_one();
         Ok(())
     }
 
     /// Blocks until at least one request is available, then drains up to
-    /// `max` of them.  Returns an **empty** batch only when the queue has
-    /// been closed **and** fully drained — the worker's signal to exit
-    /// after finishing in-flight work (graceful drain).  Because `closed`
-    /// lives under the same lock as the items, nothing can be admitted
-    /// after the empty-and-closed observation.
+    /// `max` of them in **strict priority order**: every queued
+    /// interactive request comes out before any batch request — batch
+    /// work proceeds only when the interactive class is empty, within a
+    /// single micro-batch too.  Returns an **empty** batch only when the
+    /// queue has been closed **and** fully drained — the worker's signal
+    /// to exit after finishing in-flight work (graceful drain).  Because
+    /// `closed` lives under the same lock as the items, nothing can be
+    /// admitted after the empty-and-closed observation.
     pub(crate) fn pop_batch(&self, max: usize) -> Vec<T> {
         let mut state = self.inner.lock().expect("queue lock poisoned");
         loop {
-            if !state.items.is_empty() {
-                let take = state.items.len().min(max.max(1));
-                let batch: Vec<T> = state.items.drain(..take).collect();
+            if !state.interactive.is_empty() || !state.batch.is_empty() {
+                let max = max.max(1);
+                let mut batch = Vec::with_capacity(max.min(8));
+                while batch.len() < max {
+                    if let Some(item) = state.interactive.pop_front() {
+                        batch.push(item);
+                    } else if let Some(item) = state.batch.pop_front() {
+                        batch.push(item);
+                    } else {
+                        break;
+                    }
+                }
                 return batch;
             }
             if state.closed {
@@ -123,30 +173,64 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    const I: Priority = Priority::Interactive;
+    const B: Priority = Priority::Batch;
+
     #[test]
     fn pushes_fail_at_capacity_and_batches_drain_in_order() {
-        let queue = RequestQueue::new(3);
-        assert_eq!(queue.capacity(), 3);
+        let queue = RequestQueue::new(3, 3);
+        assert_eq!(queue.capacity(I), 3);
         for i in 0..3 {
-            assert!(queue.try_push(i).is_ok());
+            assert!(queue.try_push(i, I).is_ok());
         }
-        assert_eq!(queue.try_push(99), Err(PushRefused::Full(99)));
-        assert_eq!(queue.depth(), 3);
+        assert_eq!(queue.try_push(99, I), Err(PushRefused::Full(99)));
+        assert_eq!(queue.depth(I), 3);
         assert_eq!(queue.pop_batch(2), vec![0, 1], "FIFO micro-batch");
         assert_eq!(queue.pop_batch(8), vec![2]);
-        assert!(queue.try_push(4).is_ok(), "space freed");
+        assert!(queue.try_push(4, I).is_ok(), "space freed");
+    }
+
+    #[test]
+    fn interactive_always_pops_before_batch() {
+        let queue = RequestQueue::new(8, 8);
+        queue.try_push(10, B).unwrap();
+        queue.try_push(1, I).unwrap();
+        queue.try_push(11, B).unwrap();
+        queue.try_push(2, I).unwrap();
+        // Strict priority inside one micro-batch: both interactive items
+        // first (in FIFO order), then batch items (in FIFO order).
+        assert_eq!(queue.pop_batch(3), vec![1, 2, 10]);
+        queue.try_push(3, I).unwrap();
+        // A later interactive arrival still beats an older batch item.
+        assert_eq!(queue.pop_batch(8), vec![3, 11]);
+    }
+
+    #[test]
+    fn per_class_capacity_isolates_admission() {
+        let queue = RequestQueue::new(2, 1);
+        // Fill the batch class to its (smaller) capacity...
+        queue.try_push(100, B).unwrap();
+        assert_eq!(queue.try_push(101, B), Err(PushRefused::Full(101)));
+        // ...interactive admission is unaffected, and vice versa.
+        queue.try_push(1, I).unwrap();
+        queue.try_push(2, I).unwrap();
+        assert_eq!(queue.try_push(3, I), Err(PushRefused::Full(3)));
+        assert_eq!(queue.depth(I), 2);
+        assert_eq!(queue.depth(B), 1);
+        assert_eq!(queue.total_depth(), 3);
     }
 
     #[test]
     fn close_drains_before_releasing_workers_and_refuses_late_pushes() {
-        let queue = RequestQueue::new(8);
-        queue.try_push(1).unwrap();
-        queue.try_push(2).unwrap();
+        let queue = RequestQueue::new(8, 8);
+        queue.try_push(1, I).unwrap();
+        queue.try_push(2, B).unwrap();
         queue.close();
         // A push after close must fail even though there is capacity —
         // no worker is guaranteed to pop it (the shutdown-race fix).
-        assert_eq!(queue.try_push(3), Err(PushRefused::Closed(3)));
-        // In-flight work still comes out...
+        assert_eq!(queue.try_push(3, I), Err(PushRefused::Closed(3)));
+        assert_eq!(queue.try_push(3, B), Err(PushRefused::Closed(3)));
+        // In-flight work still comes out, interactive first...
         assert_eq!(queue.pop_batch(1), vec![1]);
         assert_eq!(queue.pop_batch(4), vec![2]);
         // ...and only the empty queue signals exit.
@@ -155,7 +239,7 @@ mod tests {
 
     #[test]
     fn blocked_consumers_observe_late_close() {
-        let queue: Arc<RequestQueue<u32>> = Arc::new(RequestQueue::new(4));
+        let queue: Arc<RequestQueue<u32>> = Arc::new(RequestQueue::new(4, 4));
         let handle = {
             let queue = queue.clone();
             std::thread::spawn(move || queue.pop_batch(4))

@@ -46,6 +46,34 @@ pub fn encode_output(output: &EngineOutput) -> String {
     }
 }
 
+/// Whether a response line is the server's typed queue-full rejection
+/// (`ERR BUSY …`) — re-sendable after a backoff.
+pub fn is_busy(response: &str) -> bool {
+    response.starts_with("ERR BUSY")
+}
+
+/// Whether a response line is the server's typed rate-limit rejection
+/// (`ERR QUOTA …`) — re-sendable after the hinted retry-after delay.
+pub fn is_quota(response: &str) -> bool {
+    response.starts_with("ERR QUOTA")
+}
+
+/// Whether a response line reports an expired request deadline
+/// (`ERR DEADLINE …`) — the query was never executed.
+pub fn is_deadline(response: &str) -> bool {
+    response.starts_with("ERR DEADLINE")
+}
+
+/// Extracts the deterministic retry-after hint from an `ERR QUOTA` line
+/// (`… retry after <ms> ms`); `None` on any other line.
+pub fn retry_after_ms(response: &str) -> Option<u64> {
+    if !is_quota(response) {
+        return None;
+    }
+    let (_, tail) = response.split_once("retry after ")?;
+    tail.split_whitespace().next()?.parse().ok()
+}
+
 /// Strips the `#`-comment and surrounding whitespace from a protocol /
 /// query-file line; `None` when nothing remains.  Shared by the server's
 /// connection reader and the load generator, so both skip exactly the
@@ -94,6 +122,25 @@ mod tests {
             line,
             encode_output(&dht_engine::EngineOutput::TwoWay(again))
         );
+    }
+
+    #[test]
+    fn typed_rejections_classify_and_quota_hints_parse() {
+        assert!(is_busy(
+            "ERR BUSY interactive queue full (4 queued, capacity 4); re-send later"
+        ));
+        assert!(!is_busy("ERR QUOTA rate limit exceeded"));
+        assert!(is_quota(
+            "ERR QUOTA rate limit exceeded (50/s, burst 8); retry after 17 ms"
+        ));
+        assert!(is_deadline("ERR DEADLINE budget of 5 ms exhausted"));
+        assert!(!is_deadline("OK TWOWAY 0"));
+        assert_eq!(
+            retry_after_ms("ERR QUOTA rate limit exceeded (50/s, burst 8); retry after 17 ms"),
+            Some(17)
+        );
+        assert_eq!(retry_after_ms("ERR BUSY queue full; re-send later"), None);
+        assert_eq!(retry_after_ms("ERR QUOTA malformed hint"), None);
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! the warm/cold `query_stream` engine-session rows, the
 //! `query_stream_concurrent` shared-vs-private multi-session rows, the
 //! `planner` Auto-vs-best-fixed rows, the `server_throughput` loopback-TCP
-//! serving rows, the `server_overload` hostile-mix isolation rows (each
+//! serving rows, the `server_overload` hostile-mix isolation rows, the
+//! `graph_load` binary-container-vs-text-parse rows (each
 //! block with a `"parity"` flag the `bench_check` CI gate enforces), and a
 //! walk-engine ablation (dense-serial seed path vs
 //! sparse-serial vs sparse multi-threaded) on the Figure 9 two-way Yeast
@@ -24,6 +25,7 @@
 
 use std::fmt::Write as _;
 
+use dht_bench::experiments::graph_load::{self, GraphLoadResult};
 use dht_bench::experiments::planner::{self, PlannerResult};
 use dht_bench::experiments::query_stream::{self, QueryStreamResult};
 use dht_bench::experiments::query_stream_concurrent::{self, QueryStreamConcurrentResult};
@@ -150,6 +152,20 @@ fn main() {
     );
     timings.push(("server_overload".to_string(), elapsed.as_secs_f64()));
 
+    let (load, elapsed) = timing::time(|| graph_load::measure(scale));
+    eprintln!(
+        "graph_load: {} nodes, {} edges, text {:.4} s vs binary {:.4} s \
+         ({:.1}x), cold sweep {:.3e} edge-traversals/s, parity {}",
+        load.nodes,
+        load.edges,
+        load.text_load_seconds,
+        load.binary_load_seconds,
+        load.load_speedup(),
+        load.sweep_edge_rate,
+        load.parity
+    );
+    timings.push(("graph_load".to_string(), elapsed.as_secs_f64()));
+
     let ablation = engine_ablation(scale);
     let json = render_json(
         scale,
@@ -159,6 +175,7 @@ fn main() {
         &planner,
         &serving,
         &overload,
+        &load,
         &ablation,
     );
     let path = "BENCH_results.json";
@@ -227,6 +244,7 @@ fn render_json(
     planner: &PlannerResult,
     serving: &ServerThroughputResult,
     overload: &ServerOverloadResult,
+    load: &GraphLoadResult,
     ablation: &[AblationRow],
 ) -> String {
     let mut out = String::from("{\n");
@@ -364,6 +382,34 @@ fn render_json(
     // AND zero well-behaved quota/deadline errors under attack.
     let _ = writeln!(out, "    \"throttled\": {},", overload.throttled());
     let _ = writeln!(out, "    \"parity\": {}", overload.isolated());
+    out.push_str("  },\n");
+    out.push_str("  \"graph_load\": {\n");
+    out.push_str("    \"workload\": \"barabasi_albert_binary_vs_text\",\n");
+    let _ = writeln!(out, "    \"nodes\": {},", load.nodes);
+    let _ = writeln!(out, "    \"edges\": {},", load.edges);
+    let _ = writeln!(out, "    \"text_bytes\": {},", load.text_bytes);
+    let _ = writeln!(out, "    \"binary_bytes\": {},", load.binary_bytes);
+    let _ = writeln!(
+        out,
+        "    \"text_load_seconds\": {:.6},",
+        load.text_load_seconds
+    );
+    let _ = writeln!(
+        out,
+        "    \"binary_load_seconds\": {:.6},",
+        load.binary_load_seconds
+    );
+    let _ = writeln!(out, "    \"load_speedup\": {:.3},", load.load_speedup());
+    let _ = writeln!(out, "    \"sweep_columns\": {},", load.sweep_columns);
+    let _ = writeln!(out, "    \"sweep_seconds\": {:.6},", load.sweep_seconds);
+    let _ = writeln!(
+        out,
+        "    \"sweep_edge_rate\": {:.3e},",
+        load.sweep_edge_rate
+    );
+    // Bit-identical CSR arrays AND bit-identical query/walk answers on
+    // both load paths; enforced by bench_check like the other flags.
+    let _ = writeln!(out, "    \"parity\": {}", load.parity);
     out.push_str("  },\n");
     out.push_str("  \"engine_ablation\": {\n");
     out.push_str("    \"workload\": \"fig9_twoway_yeast_k50\",\n");

@@ -1,0 +1,324 @@
+//! `graph_load` — the zero-copy data plane experiment: binary container
+//! load vs text parse, plus cold dense-sweep throughput, on a seeded
+//! scale-free graph.
+//!
+//! Not a paper artefact: it tracks the repository's own data plane.  A
+//! Barabási–Albert graph is generated once per run and written in both
+//! on-disk formats; the experiment then measures
+//!
+//! * **text load** — full text edge-list parse (tokenise, validate,
+//!   rebuild both CSR indexes, re-derive transition probabilities);
+//! * **binary load** — one bulk read of the `.dht` container plus bounds
+//!   validation (the acceptance criterion is ≥ 5× faster than text);
+//! * **cold sweep** — forced-dense backward DHT columns from zipfian-drawn
+//!   hub targets on the freshly loaded graph, reported as edge-traversals
+//!   per second (tracks the flat walk kernels).
+//!
+//! Parity is strict: the binary-loaded graph must be bit-identical to the
+//! text-loaded one (every CSR array compared by `f64::to_bits`), and a
+//! zipfian two-way query mix answered on both graphs through engine
+//! sessions must return identical rankings.  The `"parity"` flag in
+//! `BENCH_results.json` is enforced by the `bench_check` CI gate.
+
+use dht_core::queryline::{self, ParseOptions};
+use dht_datasets::Scale;
+use dht_engine::{Engine, EngineConfig, EngineOutput};
+use dht_eval::report;
+use dht_graph::generators::barabasi_albert;
+use dht_graph::{binfmt, io, Graph, NodeId, NodeSet};
+use dht_walks::backward::backward_dht_into;
+use dht_walks::{DhtParams, WalkEngine, WalkScratch};
+
+use crate::timing;
+use crate::workloads::{zipfian_query_mix, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generator seed; fixed so every run measures the same graph.
+const SEED: u64 = 2014;
+
+/// Measured outcome of the experiment.
+pub struct GraphLoadResult {
+    /// Nodes of the generated scale-free graph.
+    pub nodes: usize,
+    /// Directed edges after symmetrisation.
+    pub edges: usize,
+    /// On-disk size of the text edge list in bytes.
+    pub text_bytes: u64,
+    /// On-disk size of the binary container in bytes.
+    pub binary_bytes: u64,
+    /// Seconds to parse the text edge list into a `Graph`.
+    pub text_load_seconds: f64,
+    /// Seconds to load the binary container into a `Graph`.
+    pub binary_load_seconds: f64,
+    /// Backward DHT columns computed in the cold-sweep measurement.
+    pub sweep_columns: usize,
+    /// Seconds for the cold forced-dense sweep phase.
+    pub sweep_seconds: f64,
+    /// Edge traversals per second of the cold sweep (depth × edges ×
+    /// columns / seconds).
+    pub sweep_edge_rate: f64,
+    /// Whether the binary-loaded graph was bit-identical to the text-loaded
+    /// one AND the zipfian query mix answered identically on both.
+    pub parity: bool,
+}
+
+impl GraphLoadResult {
+    /// `text / binary` load-time ratio — the headline number.
+    pub fn load_speedup(&self) -> f64 {
+        self.text_load_seconds / self.binary_load_seconds.max(1e-12)
+    }
+}
+
+/// Bitwise comparison of two graphs' CSR arrays and labels ( `==` on `f64`
+/// would accept `-0.0 == 0.0`; the container must preserve exact bits).
+fn graphs_bit_identical(a: &Graph, b: &Graph) -> bool {
+    let csr_eq = |x: &dht_graph::csr::Csr, y: &dht_graph::csr::Csr| {
+        x.raw_offsets() == y.raw_offsets()
+            && x.raw_targets() == y.raw_targets()
+            && x.raw_weights().len() == y.raw_weights().len()
+            && x.raw_weights()
+                .iter()
+                .zip(y.raw_weights())
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+            && x.raw_probs()
+                .iter()
+                .zip(y.raw_probs())
+                .all(|(p, q)| p.to_bits() == q.to_bits())
+    };
+    a.node_count() == b.node_count()
+        && a.edge_count() == b.edge_count()
+        && csr_eq(a.forward_csr(), b.forward_csr())
+        && csr_eq(a.reverse_csr(), b.reverse_csr())
+        && a.labels() == b.labels()
+}
+
+/// Degree-band node sets (set 0 = hubs), mirroring `dht gen --sets-out`.
+fn degree_band_sets(graph: &Graph, count: usize, size: usize) -> Vec<NodeSet> {
+    let mut ranking: Vec<u32> = (0..graph.node_count() as u32).collect();
+    ranking.sort_by_key(|&u| (std::cmp::Reverse(graph.out_degree(NodeId(u))), u));
+    (0..count)
+        .map(|i| {
+            NodeSet::new(
+                format!("S{i}"),
+                ranking[i * size..(i + 1) * size].iter().map(|&u| NodeId(u)),
+            )
+        })
+        .collect()
+}
+
+/// Answers the zipfian query mix on both graphs through engine sessions and
+/// reports whether every answer matched exactly.
+fn query_mix_parity(
+    text_graph: &Graph,
+    binary_graph: &Graph,
+    sets: &[NodeSet],
+    count: usize,
+) -> bool {
+    let lines = zipfian_query_mix(sets, count, 1.0, 5, SEED ^ 0x5eed);
+    let options = ParseOptions::default();
+    let queries = queryline::parse_query_file(&lines.join("\n"), sets, &options)
+        .expect("generated mix parses");
+    let text_engine = Engine::with_config(text_graph.clone(), EngineConfig::paper_default());
+    let binary_engine = Engine::with_config(binary_graph.clone(), EngineConfig::paper_default());
+    let mut text_session = text_engine.session();
+    let mut binary_session = binary_engine.session();
+    queries.iter().all(|query| {
+        let a = text_session.run(&query.spec).expect("mix query runs");
+        let b = binary_session.run(&query.spec).expect("mix query runs");
+        match (a, b) {
+            (EngineOutput::TwoWay(x), EngineOutput::TwoWay(y)) => x.pairs == y.pairs,
+            (EngineOutput::NWay(x), EngineOutput::NWay(y)) => x.answers == y.answers,
+            _ => false,
+        }
+    })
+}
+
+/// Runs the measurement once and returns the timings.
+pub fn measure(scale: Scale) -> GraphLoadResult {
+    let (nodes, attach, columns, mix_queries) = match scale {
+        Scale::Tiny => (20_000, 4, 6, 8),
+        Scale::Bench => (200_000, 8, 8, 8),
+        Scale::Full => (1_000_000, 8, 8, 4),
+    };
+    let graph = barabasi_albert(nodes, attach, SEED);
+
+    let dir = std::env::temp_dir().join(format!(
+        "dht-graph-load-{}-{}",
+        std::process::id(),
+        scale.name()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir creates");
+    let text_path = dir.join("graph.tsv");
+    let binary_path = dir.join("graph.dht");
+    io::write_edge_list_file(&graph, &text_path).expect("text write succeeds");
+    binfmt::write_graph_file(&graph, &binary_path).expect("binary write succeeds");
+    let text_bytes = std::fs::metadata(&text_path).map(|m| m.len()).unwrap_or(0);
+    let binary_bytes = std::fs::metadata(&binary_path)
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    let (text_graph, text_elapsed) =
+        timing::time(|| io::read_edge_list_file(&text_path).expect("text load succeeds"));
+    let (binary_graph, binary_elapsed) =
+        timing::time(|| binfmt::read_graph_file(&binary_path).expect("binary load succeeds"));
+
+    let mut parity = graphs_bit_identical(&text_graph, &binary_graph)
+        && graphs_bit_identical(&graph, &binary_graph);
+
+    // Zipfian two-way mix over degree-band sets, answered on both loads.
+    let set_size = 8.min(nodes / 8).max(1);
+    let sets = degree_band_sets(&binary_graph, 6, set_size);
+    parity = parity && query_mix_parity(&text_graph, &binary_graph, &sets, mix_queries);
+
+    // Cold forced-dense sweep: backward DHT columns from zipfian-ranked
+    // targets (rank 0 = biggest hub) on the freshly loaded graph.
+    let params = DhtParams::paper_default();
+    let depth = 8;
+    let mut ranking: Vec<u32> = (0..binary_graph.node_count() as u32).collect();
+    ranking.sort_by_key(|&u| (std::cmp::Reverse(binary_graph.out_degree(NodeId(u))), u));
+    let sampler = ZipfSampler::new(ranking.len().min(1024), 1.0);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let targets: Vec<NodeId> = (0..columns)
+        .map(|_| NodeId(ranking[sampler.sample(&mut rng)]))
+        .collect();
+
+    let mut scratch = WalkScratch::new();
+    let mut scores = Vec::new();
+    let mut reference = Vec::new();
+    let (_, sweep_elapsed) = timing::time(|| {
+        for &target in &targets {
+            backward_dht_into(
+                &binary_graph,
+                &params,
+                target,
+                depth,
+                WalkEngine::Dense,
+                &mut scratch,
+                &mut scores,
+            );
+            reference.push(scores.clone());
+        }
+    });
+    // The same columns on the text-loaded graph must be bit-identical.
+    for (i, &target) in targets.iter().enumerate() {
+        backward_dht_into(
+            &text_graph,
+            &params,
+            target,
+            depth,
+            WalkEngine::Dense,
+            &mut scratch,
+            &mut scores,
+        );
+        parity = parity
+            && scores.len() == reference[i].len()
+            && scores
+                .iter()
+                .zip(reference[i].iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+
+    let sweep_seconds = sweep_elapsed.as_secs_f64();
+    let traversals = (depth * binary_graph.edge_count() * targets.len()) as f64;
+    GraphLoadResult {
+        nodes: binary_graph.node_count(),
+        edges: binary_graph.edge_count(),
+        text_bytes,
+        binary_bytes,
+        text_load_seconds: text_elapsed.as_secs_f64(),
+        binary_load_seconds: binary_elapsed.as_secs_f64(),
+        sweep_columns: targets.len(),
+        sweep_seconds,
+        sweep_edge_rate: traversals / sweep_seconds.max(1e-12),
+        parity,
+    }
+}
+
+/// Runs the experiment and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let result = measure(scale);
+    let mut out = String::new();
+    out.push_str(&report::heading(
+        "graph_load — binary container vs text parse (scale-free graph)",
+    ));
+    out.push_str(&format!(
+        "barabasi-albert graph: {} nodes, {} edges (seed {SEED})\n\n",
+        result.nodes, result.edges
+    ));
+    out.push_str(&report::format_table(
+        &["format", "bytes", "load (s)", "edges/s"],
+        &[
+            vec![
+                "text edge list".to_string(),
+                result.text_bytes.to_string(),
+                format!("{:.4}", result.text_load_seconds),
+                format!(
+                    "{:.3e}",
+                    result.edges as f64 / result.text_load_seconds.max(1e-12)
+                ),
+            ],
+            vec![
+                "binary .dht".to_string(),
+                result.binary_bytes.to_string(),
+                format!("{:.4}", result.binary_load_seconds),
+                format!(
+                    "{:.3e}",
+                    result.edges as f64 / result.binary_load_seconds.max(1e-12)
+                ),
+            ],
+        ],
+    ));
+    out.push_str(&format!(
+        "\nbinary load {:.1}x faster; cold dense sweep: {} columns in {:.4} s \
+         ({:.3e} edge-traversals/s); parity {}\n",
+        result.load_speedup(),
+        result.sweep_columns,
+        result.sweep_seconds,
+        result.sweep_edge_rate,
+        result.parity
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_measurement_has_parity_and_load_speedup() {
+        let result = measure(Scale::Tiny);
+        assert!(result.parity, "binary load must be bit-identical");
+        assert!(result.nodes == 20_000);
+        assert!(result.edges > 0);
+        assert!(
+            result.load_speedup() >= 5.0,
+            "binary load must be >= 5x faster than text parse, got {:.1}x \
+             (text {:.4} s, binary {:.4} s)",
+            result.load_speedup(),
+            result.text_load_seconds,
+            result.binary_load_seconds
+        );
+    }
+
+    #[test]
+    fn report_contains_both_formats() {
+        let report = run(Scale::Tiny);
+        assert!(report.contains("text edge list"));
+        assert!(report.contains("binary .dht"));
+        assert!(report.contains("parity true"));
+    }
+
+    #[test]
+    fn degree_band_sets_are_disjoint_hub_bands() {
+        let graph = barabasi_albert(200, 3, 5);
+        let sets = degree_band_sets(&graph, 4, 10);
+        assert_eq!(sets.len(), 4);
+        let mut all: Vec<_> = sets.iter().flat_map(|s| s.iter()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 40, "bands must not overlap");
+    }
+}

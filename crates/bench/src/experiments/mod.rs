@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod graph_load;
 pub mod planner;
 pub mod query_stream;
 pub mod query_stream_concurrent;

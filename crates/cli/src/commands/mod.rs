@@ -1,9 +1,11 @@
 //! Sub-command implementations and the option-parsing helpers they share.
 
+pub mod gen;
 pub mod generate;
 pub mod linkpred;
 pub mod loadgen;
 pub mod nway;
+pub mod pack;
 pub mod querystream;
 pub mod serve;
 pub mod stats;
@@ -17,10 +19,15 @@ use dht_walks::{DhtParams, WalkEngine};
 
 use crate::{CliError, Result};
 
-/// Loads a graph from `--graph <path>`.
+/// Loads a graph from `--graph <path>`, accepting either on-disk format:
+/// binary `.dht` containers are detected by their magic bytes and take the
+/// bulk load path, everything else parses as a text edge list.  Every
+/// sub-command with a `--graph` flag (stats, the joins, querystream, serve
+/// and therefore loadgen) funnels through here, so the detection is
+/// transparent across the CLI.
 pub(crate) fn load_graph(args: &crate::ArgMap) -> Result<Graph> {
     let path = args.require("graph")?;
-    dht_graph::io::read_edge_list_file(path).map_err(CliError::from)
+    dht_graph::io::read_graph_file_auto(path).map_err(CliError::from)
 }
 
 /// Parses the shared DHT options `--variant`, `--lambda` and `--epsilon`

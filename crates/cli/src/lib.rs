@@ -37,6 +37,8 @@ USAGE:
 
 COMMANDS:
     generate     Generate a synthetic dataset (graph + node sets) to files
+    gen          Generate a seeded scale-free graph as a binary .dht container
+    pack         Pack a graph into the versioned binary .dht container
     stats        Print structural statistics of an edge-list graph
     two-way      Run a top-k 2-way join between two named node sets
     nway         Run a top-k n-way join over a query graph of node sets
@@ -57,6 +59,8 @@ pub fn run(args: &[String]) -> Result<String> {
     };
     match command.as_str() {
         "generate" => commands::generate::run(&ArgMap::parse(rest)?),
+        "gen" => commands::gen::run(&ArgMap::parse(rest)?),
+        "pack" => commands::pack::run(&ArgMap::parse(rest)?),
         "stats" => commands::stats::run(&ArgMap::parse(rest)?),
         "two-way" | "twoway" => commands::twoway::run(&ArgMap::parse(rest)?),
         "nway" | "n-way" => commands::nway::run(&ArgMap::parse(rest)?),
@@ -96,6 +100,63 @@ mod tests {
         let err = run(&argv(&["frobnicate"])).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn binary_container_is_accepted_wherever_text_is() {
+        let dir = std::env::temp_dir().join(format!("dht-cli-dht-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.tsv");
+        let sets_path = dir.join("s.tsv");
+        let packed_path = dir.join("g.dht");
+
+        run(&argv(&[
+            "generate",
+            "--dataset",
+            "yeast",
+            "--scale",
+            "tiny",
+            "--graph-out",
+            graph_path.to_str().unwrap(),
+            "--sets-out",
+            sets_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "pack",
+            "--graph",
+            graph_path.to_str().unwrap(),
+            "--out",
+            packed_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Same stats from both formats, and a bit-identical join answer.
+        let stats_text = run(&argv(&["stats", "--graph", graph_path.to_str().unwrap()])).unwrap();
+        let stats_packed =
+            run(&argv(&["stats", "--graph", packed_path.to_str().unwrap()])).unwrap();
+        assert_eq!(stats_text, stats_packed);
+
+        let sets = setsfile::read_node_sets_file(&sets_path).unwrap();
+        let (left, right) = (sets[0].name().to_string(), sets[1].name().to_string());
+        let join = |graph: &std::path::Path| {
+            run(&argv(&[
+                "two-way",
+                "--graph",
+                graph.to_str().unwrap(),
+                "--sets",
+                sets_path.to_str().unwrap(),
+                "--left",
+                &left,
+                "--right",
+                &right,
+                "--k",
+                "5",
+            ]))
+            .unwrap()
+        };
+        assert_eq!(join(&graph_path), join(&packed_path));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

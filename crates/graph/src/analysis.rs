@@ -130,6 +130,10 @@ pub type Clique3 = (NodeId, NodeId, NodeId);
 /// edge from each such clique to form the test graph.
 pub fn cliques_across_sets(graph: &Graph, p: &NodeSet, q: &NodeSet, r: &NodeSet) -> Vec<Clique3> {
     let q_bitmap = q.membership_bitmap(graph.node_count());
+    // Seen-bitmap for the per-p dedup below: allocated once and cleared via
+    // the collected list, so dedup is O(deg(p)) instead of the former
+    // O(deg(p)²) `Vec::contains` scan per neighbour.
+    let mut seen = vec![false; graph.node_count()];
     let mut cliques = Vec::new();
     for pn in p.iter() {
         // neighbours of p that belong to Q (either direction)
@@ -139,12 +143,13 @@ pub fn cliques_across_sets(graph: &Graph, p: &NodeSet, q: &NodeSet, r: &NodeSet)
             .iter()
             .chain(graph.in_sources(pn).iter())
         {
-            if q_bitmap[v as usize] {
-                let v = NodeId(v);
-                if !q_neighbors.contains(&v) {
-                    q_neighbors.push(v);
-                }
+            if q_bitmap[v as usize] && !seen[v as usize] {
+                seen[v as usize] = true;
+                q_neighbors.push(NodeId(v));
             }
+        }
+        for &qn in &q_neighbors {
+            seen[qn.index()] = false;
         }
         for &qn in &q_neighbors {
             for rn in r.iter() {

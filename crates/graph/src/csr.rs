@@ -51,6 +51,56 @@ impl Csr {
         }
     }
 
+    /// Rebuilds a CSR index from its four flat arrays, as produced by
+    /// [`Csr::raw_offsets`] & friends (the binary container load path).
+    ///
+    /// The caller (the `binfmt` decoder) guarantees the structural
+    /// invariants: `offsets` is monotone non-decreasing, starts at 0, ends
+    /// at `targets.len()`, and the three edge arrays have equal length.
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        weights: Vec<f64>,
+        probs: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        debug_assert_eq!(targets.len(), weights.len());
+        debug_assert_eq!(targets.len(), probs.len());
+        Csr {
+            offsets,
+            targets,
+            weights,
+            probs,
+        }
+    }
+
+    /// The flat offsets array (`node_count + 1` entries); node `u`'s edge
+    /// slots are `raw_offsets()[u] .. raw_offsets()[u + 1]`.
+    #[inline]
+    pub fn raw_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat neighbour-id array, indexed by [`Csr::raw_offsets`].
+    #[inline]
+    pub fn raw_targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The flat edge-weight array, parallel to [`Csr::raw_targets`].
+    #[inline]
+    pub fn raw_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The flat transition-probability array, parallel to
+    /// [`Csr::raw_targets`].
+    #[inline]
+    pub fn raw_probs(&self) -> &[f64] {
+        &self.probs
+    }
+
     /// Number of nodes covered by this index.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -195,6 +245,20 @@ mod tests {
         let csr = Csr::from_adjacency(&[]);
         assert_eq!(csr.node_count(), 0);
         assert_eq!(csr.edge_count(), 0);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let csr = sample();
+        let rebuilt = Csr::from_raw_parts(
+            csr.raw_offsets().to_vec(),
+            csr.raw_targets().to_vec(),
+            csr.raw_weights().to_vec(),
+            csr.raw_probs().to_vec(),
+        );
+        assert_eq!(rebuilt, csr);
+        assert_eq!(rebuilt.raw_offsets(), &[0, 2, 2, 3]);
+        assert_eq!(rebuilt.raw_targets(), &[1, 2, 0]);
     }
 
     #[test]

@@ -30,6 +30,27 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A binary graph file ended before the declared payload was complete.
+    Truncated {
+        /// Bytes the header (or magic/version prelude) promised.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// A binary graph file failed structural validation: bad magic,
+    /// checksum mismatch, non-monotone offsets, out-of-range neighbour ids,
+    /// or an inconsistent labels blob.
+    Corrupt {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
+    /// A binary graph file was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
     /// Underlying I/O failure while reading or writing a graph file.
     Io(io::Error),
 }
@@ -48,6 +69,21 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated binary graph file: expected {expected} bytes, found {actual}"
+                )
+            }
+            GraphError::Corrupt { message } => {
+                write!(f, "corrupt binary graph file: {message}")
+            }
+            GraphError::VersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "binary graph format version {found} is not supported (this build reads version {supported})"
+                )
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -94,6 +130,24 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 4"));
+
+        let e = GraphError::Truncated {
+            expected: 128,
+            actual: 64,
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(e.to_string().contains("64"));
+
+        let e = GraphError::Corrupt {
+            message: "offsets not monotone".into(),
+        };
+        assert!(e.to_string().contains("offsets not monotone"));
+
+        let e = GraphError::VersionMismatch {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
     }
 
     #[test]

@@ -96,6 +96,73 @@ impl Graph {
         })
     }
 
+    /// Assembles a graph directly from prebuilt forward and reverse CSR
+    /// indexes — the binary container load path, which must not re-derive
+    /// transition probabilities or re-sort adjacency lists.
+    ///
+    /// The caller (the `binfmt` decoder) has already validated the
+    /// structural invariants; a fresh [`Graph::uid`] is assigned because
+    /// this is a new in-process graph identity.
+    pub(crate) fn from_csr_parts(
+        node_count: usize,
+        forward: Csr,
+        reverse: Csr,
+        labels: Vec<Option<String>>,
+    ) -> Graph {
+        let edge_count = forward.edge_count();
+        Graph {
+            node_count,
+            edge_count,
+            forward,
+            reverse,
+            labels,
+            uid: NEXT_GRAPH_UID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// The forward CSR index itself (binary container serialisation path).
+    #[inline]
+    pub fn forward_csr(&self) -> &Csr {
+        &self.forward
+    }
+
+    /// The reverse CSR index itself (binary container serialisation path).
+    #[inline]
+    pub fn reverse_csr(&self) -> &Csr {
+        &self.reverse
+    }
+
+    /// All node labels, indexed by node id (binary container path).
+    #[inline]
+    pub fn labels(&self) -> &[Option<String>] {
+        &self.labels
+    }
+
+    /// The forward index as flat `(offsets, targets, probs)` slices — the
+    /// shape the dense walk kernels iterate: node `u`'s out-edges occupy
+    /// `targets[offsets[u] as usize .. offsets[u + 1] as usize]` with the
+    /// transition probabilities parallel in `probs`.
+    #[inline]
+    pub fn forward_flat(&self) -> (&[u32], &[u32], &[f64]) {
+        (
+            self.forward.raw_offsets(),
+            self.forward.raw_targets(),
+            self.forward.raw_probs(),
+        )
+    }
+
+    /// The reverse index as flat `(offsets, sources, probs)` slices, where
+    /// `probs` holds the probability `p_uv` of each *original* edge
+    /// `u -> v` (what backward pull kernels multiply by).
+    #[inline]
+    pub fn reverse_flat(&self) -> (&[u32], &[u32], &[f64]) {
+        (
+            self.reverse.raw_offsets(),
+            self.reverse.raw_targets(),
+            self.reverse.raw_probs(),
+        )
+    }
+
     /// Process-unique identity of this graph's contents: every
     /// [`crate::GraphBuilder::build`] gets a fresh uid, and clones keep it
     /// (their contents are identical).  Equal uids therefore imply equal

@@ -106,6 +106,21 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<Graph> {
     read_edge_list(file)
 }
 
+/// Reads a graph from a file in either supported on-disk format, sniffing
+/// the first bytes: files that start with the [`crate::binfmt::MAGIC`]
+/// container magic take the bulk binary load path, everything else is
+/// parsed as a text edge list.  This is what every `--graph` flag funnels
+/// through, so `.dht` containers are accepted transparently wherever a
+/// text graph is.
+pub fn read_graph_file_auto(path: impl AsRef<Path>) -> Result<Graph> {
+    let path = path.as_ref();
+    if crate::binfmt::is_binary_graph_file(path) {
+        crate::binfmt::read_graph_file(path)
+    } else {
+        read_edge_list_file(path)
+    }
+}
+
 /// Serialises a graph to edge-list text.
 pub fn to_edge_list(graph: &Graph) -> String {
     let mut out = String::new();
@@ -190,6 +205,27 @@ mod tests {
         assert_eq!(g2.node_count(), g.node_count());
         assert_eq!(g2.edge_count(), g.edge_count());
         assert_eq!(g2.edge_weight(NodeId(2), NodeId(0)), Some(1.5));
+    }
+
+    #[test]
+    fn auto_reader_dispatches_on_magic() {
+        let dir = std::env::temp_dir().join(format!("dht-io-auto-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut b = GraphBuilder::with_nodes(3);
+        b.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let g = b.build().unwrap();
+
+        let text_path = dir.join("g.tsv");
+        write_edge_list_file(&g, &text_path).unwrap();
+        let binary_path = dir.join("g.dht");
+        crate::binfmt::write_graph_file(&g, &binary_path).unwrap();
+
+        let from_text = read_graph_file_auto(&text_path).unwrap();
+        let from_binary = read_graph_file_auto(&binary_path).unwrap();
+        assert_eq!(from_text.edge_count(), from_binary.edge_count());
+        assert_eq!(from_text.forward_csr(), from_binary.forward_csr());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

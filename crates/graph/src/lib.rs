@@ -21,6 +21,9 @@
 //! * [`analysis`] — structural helpers (degrees, connected components,
 //!   triangle / 3-clique enumeration) used by the evaluation harness.
 //! * [`io`] — a plain-text edge-list format for persisting graphs.
+//! * [`binfmt`] — a versioned little-endian binary container that stores
+//!   both CSR indexes verbatim, so loading is a bulk read plus bounds
+//!   validation instead of per-edge text parsing.
 //! * [`subgraph`] — edge-removal helpers used to derive "test graphs" for the
 //!   link-prediction experiments.
 //!
@@ -32,6 +35,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod binfmt;
 pub mod builder;
 pub mod csr;
 pub mod error;

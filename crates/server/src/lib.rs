@@ -301,8 +301,10 @@ impl ServerShared {
     }
 
     fn stats(&self) -> StatsSnapshot {
+        let (interactive_depth, batch_depth) = self.queue.depths();
         self.metrics.snapshot(
-            self.queue.total_depth(),
+            interactive_depth,
+            batch_depth,
             self.queue.capacity(Priority::Interactive),
             self.queue.capacity(Priority::Batch),
         )

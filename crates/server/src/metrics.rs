@@ -139,7 +139,8 @@ impl Metrics {
 
     pub(crate) fn snapshot(
         &self,
-        queue_depth: usize,
+        interactive_depth: usize,
+        batch_depth: usize,
         queue_capacity: usize,
         batch_queue_capacity: usize,
     ) -> StatsSnapshot {
@@ -174,7 +175,9 @@ impl Metrics {
             dropped: self.dropped.load(Ordering::Relaxed),
             interactive_served: self.interactive_served.load(Ordering::Relaxed),
             batch_served: self.batch_served.load(Ordering::Relaxed),
-            queue_depth,
+            queue_depth: interactive_depth + batch_depth,
+            interactive_depth,
+            batch_depth,
             queue_capacity,
             batch_queue_capacity,
             workers: caches.len(),
@@ -215,6 +218,10 @@ pub struct StatsSnapshot {
     pub batch_served: u64,
     /// Requests queued at snapshot time, both classes combined.
     pub queue_depth: usize,
+    /// Requests queued in the interactive class at snapshot time.
+    pub interactive_depth: usize,
+    /// Requests queued in the batch class at snapshot time.
+    pub batch_depth: usize,
     /// Configured interactive-class queue capacity.
     pub queue_capacity: usize,
     /// Configured batch-class queue capacity.
@@ -262,7 +269,8 @@ impl StatsSnapshot {
              column_hits={} column_misses={} column_hit_rate={:.4} y_hits={} y_misses={} \
              quota_rejected={} expired={} dropped={} \
              interactive_served={} batch_served={} \
-             interactive_p99_ms={:.4} batch_p99_ms={:.4} batch_queue_capacity={}",
+             interactive_p99_ms={:.4} batch_p99_ms={:.4} batch_queue_capacity={} \
+             interactive_depth={} batch_depth={}",
             self.served,
             self.rejected,
             self.queue_depth,
@@ -285,6 +293,8 @@ impl StatsSnapshot {
             self.interactive_p99_ms,
             self.batch_p99_ms,
             self.batch_queue_capacity,
+            self.interactive_depth,
+            self.batch_depth,
         )
     }
 }
@@ -318,10 +328,12 @@ mod tests {
             },
             (0, 1),
         );
-        let snap = metrics.snapshot(5, 16, 16);
+        let snap = metrics.snapshot(3, 2, 16, 16);
         assert_eq!(snap.served, 4);
         assert_eq!(snap.rejected, 1);
-        assert_eq!(snap.queue_depth, 5);
+        assert_eq!(snap.queue_depth, 5, "combined depth is the class sum");
+        assert_eq!(snap.interactive_depth, 3);
+        assert_eq!(snap.batch_depth, 2);
         assert_eq!(snap.workers, 2);
         assert!((snap.p50_ms - 3.0).abs() < 0.5, "{}", snap.p50_ms);
         assert!((snap.max_ms - 4.0).abs() < 0.5, "{}", snap.max_ms);
@@ -347,7 +359,7 @@ mod tests {
         metrics.record_quota_rejected();
         metrics.record_expired();
         metrics.record_dropped(3);
-        let snap = metrics.snapshot(0, 8, 4);
+        let snap = metrics.snapshot(0, 0, 8, 4);
         assert_eq!(snap.served, 5, "global count spans both classes");
         assert_eq!(snap.interactive_served, 2);
         assert_eq!(snap.batch_served, 3);
@@ -369,6 +381,8 @@ mod tests {
         assert!(line.contains("batch_served=3"), "{line}");
         assert!(line.contains("interactive_p99_ms="), "{line}");
         assert!(line.contains("batch_p99_ms="), "{line}");
+        assert!(line.contains("interactive_depth=0"), "{line}");
+        assert!(line.contains("batch_depth=0"), "{line}");
     }
 
     #[test]

@@ -94,10 +94,12 @@ impl<T> RequestQueue<T> {
         state.class(class).len()
     }
 
-    /// Total queued requests across both classes.
-    pub(crate) fn total_depth(&self) -> usize {
+    /// Queued requests per class as `(interactive, batch)`, read under one
+    /// lock so the pair is a consistent point-in-time view (the `STATS`
+    /// snapshot reports both alongside their sum).
+    pub(crate) fn depths(&self) -> (usize, usize) {
         let state = self.inner.lock().expect("queue lock poisoned");
-        state.interactive.len() + state.batch.len()
+        (state.interactive.len(), state.batch.len())
     }
 
     /// Enqueues into `class` without blocking; refuses (returning the
@@ -217,7 +219,7 @@ mod tests {
         assert_eq!(queue.try_push(3, I), Err(PushRefused::Full(3)));
         assert_eq!(queue.depth(I), 2);
         assert_eq!(queue.depth(B), 1);
-        assert_eq!(queue.total_depth(), 3);
+        assert_eq!(queue.depths(), (2, 1));
     }
 
     #[test]

@@ -309,14 +309,21 @@ impl WalkScratch {
     /// for plain reach sweeps) and the absorbed mass is returned.
     fn dense_forward(&mut self, graph: &Graph, absorb: usize) -> f64 {
         let n = graph.node_count();
+        // Flat CSR iteration: one offsets lookup per node instead of a
+        // per-node accessor call, with targets/probs read as fused slices
+        // of the same `lo..hi` range.  The scatter order over `u` and over
+        // each adjacency list is exactly the seed's, so every f64 is
+        // produced by the same sequence of operations — bit-identical.
+        let (offsets, targets, probs) = graph.forward_flat();
         self.next.iter_mut().for_each(|x| *x = 0.0);
         for u in 0..n {
             let mass = self.current[u];
             if mass == 0.0 || u == absorb {
                 continue;
             }
-            let (targets, probs) = graph.out_targets_probs(NodeId(u as u32));
-            for (&v, &p) in targets.iter().zip(probs.iter()) {
+            let lo = offsets[u] as usize;
+            let hi = offsets[u + 1] as usize;
+            for (&v, &p) in targets[lo..hi].iter().zip(probs[lo..hi].iter()) {
                 self.next[v as usize] += mass * p;
             }
         }
@@ -359,15 +366,27 @@ impl WalkScratch {
 
     fn dense_backward(&mut self, graph: &Graph, target: NodeId, exclude_target: bool) {
         let n = graph.node_count();
-        let t = target.index();
+        // Flat pull sweep over the forward CSR with branchless target
+        // exclusion: `excluded` is a sentinel no node id reaches when the
+        // target is not excluded, and the per-edge compare folds into a
+        // 0.0/1.0 multiplier instead of a branch.  Bit-identity with the
+        // seed's `continue` is guaranteed because every contribution
+        // `p * current[v]` is >= +0.0 (probabilities and masses are
+        // non-negative): the masked term adds literal +0.0 to an
+        // accumulator that is never -0.0, which cannot change its bits.
+        let (offsets, targets, probs) = graph.forward_flat();
+        let excluded = if exclude_target {
+            target.index()
+        } else {
+            usize::MAX
+        };
         for u in 0..n {
-            let (targets, probs) = graph.out_targets_probs(NodeId(u as u32));
+            let lo = offsets[u] as usize;
+            let hi = offsets[u + 1] as usize;
             let mut acc = 0.0;
-            for (&v, &p) in targets.iter().zip(probs.iter()) {
-                if exclude_target && v as usize == t {
-                    continue;
-                }
-                acc += p * self.current[v as usize];
+            for (&v, &p) in targets[lo..hi].iter().zip(probs[lo..hi].iter()) {
+                let keep = (v as usize != excluded) as u64 as f64;
+                acc += keep * p * self.current[v as usize];
             }
             self.next[u] = acc;
         }

@@ -17,6 +17,7 @@
 //! `query_stream_concurrent` shared-vs-private multi-session rows, the
 //! `planner` Auto-vs-best-fixed rows, the `server_throughput` loopback-TCP
 //! serving rows, the `server_overload` hostile-mix isolation rows, the
+//! `server_soak` open-loop 1k-connection event-loop soak rows, the
 //! `graph_load` binary-container-vs-text-parse rows (each
 //! block with a `"parity"` flag the `bench_check` CI gate enforces), and a
 //! walk-engine ablation (dense-serial seed path vs
@@ -30,6 +31,7 @@ use dht_bench::experiments::planner::{self, PlannerResult};
 use dht_bench::experiments::query_stream::{self, QueryStreamResult};
 use dht_bench::experiments::query_stream_concurrent::{self, QueryStreamConcurrentResult};
 use dht_bench::experiments::server_overload::{self, ServerOverloadResult};
+use dht_bench::experiments::server_soak::{self, ServerSoakResult};
 use dht_bench::experiments::server_throughput::{self, ServerThroughputResult};
 use dht_bench::{timing, workloads};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
@@ -152,6 +154,22 @@ fn main() {
     );
     timings.push(("server_overload".to_string(), elapsed.as_secs_f64()));
 
+    let (soak, elapsed) = timing::time(|| server_soak::measure(scale));
+    eprintln!(
+        "server_soak: {} conns soaking {:.1} s (window {}) on {} workers, {:.4} s \
+         ({:.1} req/s sustained, p99 {:.4} ms, {} busy, parity {})",
+        soak.connections,
+        soak.duration_seconds,
+        soak.window,
+        soak.workers,
+        soak.seconds,
+        soak.throughput(),
+        soak.p99_ms,
+        soak.busy_rejections,
+        soak.parity
+    );
+    timings.push(("server_soak".to_string(), elapsed.as_secs_f64()));
+
     let (load, elapsed) = timing::time(|| graph_load::measure(scale));
     eprintln!(
         "graph_load: {} nodes, {} edges, text {:.4} s vs binary {:.4} s \
@@ -175,6 +193,7 @@ fn main() {
         &planner,
         &serving,
         &overload,
+        &soak,
         &load,
         &ablation,
     );
@@ -244,6 +263,7 @@ fn render_json(
     planner: &PlannerResult,
     serving: &ServerThroughputResult,
     overload: &ServerOverloadResult,
+    soak: &ServerSoakResult,
     load: &GraphLoadResult,
     ablation: &[AblationRow],
 ) -> String {
@@ -382,6 +402,28 @@ fn render_json(
     // AND zero well-behaved quota/deadline errors under attack.
     let _ = writeln!(out, "    \"throttled\": {},", overload.throttled());
     let _ = writeln!(out, "    \"parity\": {}", overload.isolated());
+    out.push_str("  },\n");
+    out.push_str("  \"server_soak\": {\n");
+    out.push_str("    \"workload\": \"yeast_loopback_tcp_open_loop_soak\",\n");
+    let _ = writeln!(out, "    \"connections\": {},", soak.connections);
+    let _ = writeln!(out, "    \"window\": {},", soak.window);
+    let _ = writeln!(out, "    \"workers\": {},", soak.workers);
+    let _ = writeln!(
+        out,
+        "    \"duration_seconds\": {:.3},",
+        soak.duration_seconds
+    );
+    let _ = writeln!(out, "    \"seconds\": {:.6},", soak.seconds);
+    let _ = writeln!(out, "    \"answered\": {},", soak.answered);
+    let _ = writeln!(out, "    \"throughput_rps\": {:.3},", soak.throughput());
+    let _ = writeln!(out, "    \"p50_ms\": {:.4},", soak.p50_ms);
+    let _ = writeln!(out, "    \"p99_ms\": {:.4},", soak.p99_ms);
+    let _ = writeln!(out, "    \"busy_rejections\": {},", soak.busy_rejections);
+    let _ = writeln!(out, "    \"quota_rejections\": {},", soak.quota_rejections);
+    let _ = writeln!(out, "    \"deadline_misses\": {},", soak.deadline_misses);
+    // Streaming parity at 1k+ event-loop connections AND zero
+    // well-behaved quota/deadline errors; gated by bench_check.
+    let _ = writeln!(out, "    \"parity\": {}", soak.parity);
     out.push_str("  },\n");
     out.push_str("  \"graph_load\": {\n");
     out.push_str("    \"workload\": \"barabasi_albert_binary_vs_text\",\n");

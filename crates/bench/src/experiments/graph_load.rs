@@ -289,6 +289,7 @@ mod tests {
 
     #[test]
     fn tiny_measurement_has_parity_and_load_speedup() {
+        let _cores = crate::experiments::timing_test_lock();
         let result = measure(Scale::Tiny);
         assert!(result.parity, "binary load must be bit-identical");
         assert!(result.nodes == 20_000);

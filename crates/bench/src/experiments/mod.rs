@@ -16,6 +16,7 @@ pub mod planner;
 pub mod query_stream;
 pub mod query_stream_concurrent;
 pub mod server_overload;
+pub mod server_soak;
 pub mod server_throughput;
 pub mod table3;
 pub mod table4;
@@ -26,6 +27,17 @@ use dht_datasets::Dataset;
 use dht_graph::NodeSet;
 
 use crate::timing;
+
+/// Serialises timing-sensitive tests within this test binary: the
+/// `graph_load` ≥5× load-speedup assertion and the 1000-connection
+/// `server_soak` run each need the container's cores to themselves, so
+/// their tests take this lock instead of skewing each other's clocks.
+#[cfg(test)]
+pub(crate) fn timing_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Times one n-way join run and returns `(seconds, answers returned)`.
 pub(crate) fn time_nway(

@@ -1,0 +1,228 @@
+//! `server_soak` — sustained open-loop serving at a thousand-plus
+//! connections, with streaming wire-level parity.
+//!
+//! Not a paper artefact: this tracks the repository's own serving layer,
+//! specifically the event-driven front end (one poll thread multiplexing
+//! every connection).  A `dht-server` is started in-process on an
+//! ephemeral loopback port over the Yeast analogue, and the load
+//! generator's **soak** discipline keeps a bounded window of requests in
+//! flight on ≥ 1k concurrent connections for a fixed wall-clock duration,
+//! cycling a cache-hot repeated-target two-way stream.  Every final
+//! response is parity-checked against the in-process answer as it streams
+//! back; the `"parity"` flag lands in `BENCH_results.json`, where the
+//! `bench_check` CI gate enforces it, and the wall-clock seconds join the
+//! gated experiment rows.
+//!
+//! The stream is deliberately cheap (two cache-hot `b-bj` lines) so the
+//! row measures the *front end* — accept fan-in, per-connection state
+//! machines, readiness-driven writes — rather than query compute.
+
+use std::time::Duration;
+
+use dht_core::queryline::{self, ParseOptions};
+use dht_datasets::Scale;
+use dht_engine::Engine;
+use dht_eval::report;
+use dht_server::loadgen::{self, SoakConfig};
+use dht_server::{wire, Server, ServerConfig};
+
+use crate::workloads;
+
+/// Measured outcome of the experiment.
+pub struct ServerSoakResult {
+    /// Concurrent soak connections (the design point is ≥ 1000).
+    pub connections: usize,
+    /// Server worker sessions.
+    pub workers: usize,
+    /// Max in-flight requests per connection.
+    pub window: usize,
+    /// Wall-clock seconds each connection kept its window full.
+    pub duration_seconds: f64,
+    /// Final responses received over all connections.
+    pub answered: u64,
+    /// Wall-clock seconds of the whole run (soak + drain).
+    pub seconds: f64,
+    /// `ERR BUSY` rejections observed (re-sent by the generator).
+    pub busy_rejections: u64,
+    /// `ERR QUOTA` rejections observed (must be 0: no rate limit is set).
+    pub quota_rejections: u64,
+    /// `ERR DEADLINE` misses observed (must be 0: no deadlines are sent).
+    pub deadline_misses: u64,
+    /// Median sampled per-request latency in ms.
+    pub p50_ms: f64,
+    /// 99th-percentile sampled per-request latency in ms.
+    pub p99_ms: f64,
+    /// Whether every parity-checked response was bit-identical to the
+    /// in-process answer AND no well-behaved quota/deadline errors
+    /// appeared.
+    pub parity: bool,
+}
+
+impl ServerSoakResult {
+    /// Final responses per second, sustained over the whole run.
+    pub fn throughput(&self) -> f64 {
+        self.answered as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// Runs the measurement once and returns the timings.
+///
+/// # Panics
+/// Panics if the server cannot bind loopback or a connection fails — CI
+/// treats that as the soak gate failing.
+pub fn measure(scale: Scale) -> ServerSoakResult {
+    let dataset = workloads::yeast(scale);
+    let (cap, k, connections, duration_ms) = match scale {
+        Scale::Tiny => (16, 5, 1000, 1500u64),
+        _ => (40, 25, 2000, 4000u64),
+    };
+    let sets = workloads::yeast_query_sets(&dataset, 2, cap);
+    let set_names: Vec<String> = sets.iter().map(|s| s.name().to_string()).collect();
+    // Cache-hot two-way lines: cheap enough that the event-driven front
+    // end, not query compute, is what the row times.
+    let lines = vec![
+        format!("{} {} {k} b-bj", set_names[0], set_names[1]),
+        format!("{} {} {k} b-bj", set_names[1], set_names[0]),
+    ];
+
+    // In-process expected answers, one warm session in stream order.
+    let options = ParseOptions::default();
+    let reference = Engine::new(dataset.graph.clone());
+    let mut session = reference.session();
+    let expected: Vec<String> = lines
+        .iter()
+        .enumerate()
+        .map(|(index, line)| {
+            let parsed = queryline::parse_query_line(line, &sets, &options, index + 1)
+                .expect("experiment stream is well-formed")
+                .expect("no blank lines");
+            let output = session
+                .run(&parsed.spec)
+                .expect("experiment stream is valid");
+            format!("OK {}", wire::encode_output(&output))
+        })
+        .collect();
+
+    let workers = 4usize;
+    let server = Server::start(
+        Engine::new(dataset.graph.clone()),
+        sets,
+        options,
+        // A deep interactive queue: at 1k+ connections the bounded soak
+        // window is the pacing mechanism, and the row should measure
+        // sustained service, not admission-control churn.
+        ServerConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(8192)
+            .with_batch(32),
+    )
+    .expect("bind loopback");
+    let config = SoakConfig {
+        connections,
+        duration: Duration::from_millis(duration_ms),
+        window: 1,
+        retry_busy: true,
+    };
+    let soaked = loadgen::soak(server.local_addr(), &lines, &expected, &config)
+        .expect("loopback soak succeeds");
+    server.shutdown();
+
+    let parity = soaked.parity_failures == 0
+        && soaked.parity_checked > 0
+        && soaked.quota_rejections == 0
+        && soaked.deadline_misses == 0;
+    ServerSoakResult {
+        connections: soaked.connections,
+        workers,
+        window: config.window,
+        duration_seconds: config.duration.as_secs_f64(),
+        answered: soaked.answered,
+        seconds: soaked.elapsed.as_secs_f64(),
+        busy_rejections: soaked.busy_rejections,
+        quota_rejections: soaked.quota_rejections,
+        deadline_misses: soaked.deadline_misses,
+        p50_ms: soaked.latency_percentile_ms(0.50),
+        p99_ms: soaked.latency_percentile_ms(0.99),
+        parity,
+    }
+}
+
+/// Runs the experiment and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let result = measure(scale);
+    let mut out = String::new();
+    out.push_str(&report::heading(
+        "server_soak — sustained open-loop serving at 1k+ connections (Yeast)",
+    ));
+    out.push_str(&format!(
+        "{} connections, window {}, {:.1} s soak on {} workers\n\n",
+        result.connections, result.window, result.duration_seconds, result.workers
+    ));
+    out.push_str(&report::format_table(
+        &["metric", "value"],
+        &[
+            vec![
+                "total time (s)".to_string(),
+                format!("{:.4}", result.seconds),
+            ],
+            vec![
+                "sustained throughput (req/s)".to_string(),
+                format!("{:.1}", result.throughput()),
+            ],
+            vec![
+                "p50 latency (ms)".to_string(),
+                format!("{:.4}", result.p50_ms),
+            ],
+            vec![
+                "p99 latency (ms)".to_string(),
+                format!("{:.4}", result.p99_ms),
+            ],
+            vec![
+                "busy rejections".to_string(),
+                result.busy_rejections.to_string(),
+            ],
+            vec![
+                "quota rejections".to_string(),
+                result.quota_rejections.to_string(),
+            ],
+            vec![
+                "deadline misses".to_string(),
+                result.deadline_misses.to_string(),
+            ],
+        ],
+    ));
+    out.push_str(&format!(
+        "\nstreaming wire parity vs in-process sessions: {}\n",
+        if result.parity {
+            "ok (bit-identical, zero quota/deadline errors)"
+        } else {
+            "FAILED"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_soak_is_parity_clean_at_a_thousand_connections() {
+        let _cores = crate::experiments::timing_test_lock();
+        let result = measure(Scale::Tiny);
+        assert!(result.parity, "soak parity must hold");
+        assert!(result.connections >= 1000, "the row's point is ≥1k fan-in");
+        assert!(result.answered > 0);
+        assert!(result.throughput() > 0.0);
+        assert!(result.p99_ms >= result.p50_ms);
+    }
+
+    #[test]
+    fn report_contains_throughput_and_parity() {
+        let _cores = crate::experiments::timing_test_lock();
+        let report = run(Scale::Tiny);
+        assert!(report.contains("sustained throughput"));
+        assert!(report.contains("1000 connections"));
+        assert!(report.contains("ok (bit-identical"));
+    }
+}

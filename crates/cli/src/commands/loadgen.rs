@@ -8,7 +8,7 @@
 //! runs.
 
 use dht_core::queryline;
-use dht_server::loadgen::{self, LoadGenConfig, LoadMode};
+use dht_server::loadgen::{self, LoadGenConfig, LoadMode, SoakConfig};
 use dht_server::metrics::percentile;
 use dht_server::wire;
 
@@ -20,7 +20,9 @@ dht loadgen — replay a query file against a running dht serve instance
 Closed-loop (default): one outstanding request per connection, per-request
 latency percentiles.  Open-loop: the whole stream is pipelined per pass,
 exercising the server's ERR BUSY backpressure; rejected queries are
-re-sent (--retry-busy 1) and must answer identically.
+re-sent (--retry-busy 1) and must answer identically.  Soak: a windowed
+open loop sustained for --duration-ms, built for --connections in the
+thousands, with streaming parity (needs --graph/--sets).
 
 OPTIONS:
     --host <addr>           server host                          [default: 127.0.0.1]
@@ -29,7 +31,9 @@ OPTIONS:
                             same format as `dht querystream`
     --connections <n>       concurrent connections               [default: 2]
     --repeat <n>            passes over the file per connection  [default: 1]
-    --mode <closed|open>    loop discipline                      [default: closed]
+    --mode <closed|open|soak>  loop discipline                   [default: closed]
+    --duration-ms <n>       soak: wall-clock per connection      [default: 2000]
+    --window <n>            soak: max in-flight per connection   [default: 4]
     --retry-busy <0|1>      re-send ERR BUSY / ERR QUOTA
                             rejections (capped exponential
                             backoff, honouring quota hints)      [default: 1]
@@ -62,6 +66,8 @@ const KNOWN: &[&str] = &[
     "connections",
     "repeat",
     "mode",
+    "duration-ms",
+    "window",
     "retry-busy",
     "hostile",
     "shutdown",
@@ -124,8 +130,12 @@ pub fn run(args: &ArgMap) -> Result<String> {
     let lines: Vec<String> = text.lines().map(str::to_string).collect();
 
     let mode = args.get("mode").unwrap_or("closed");
-    let mode = LoadMode::parse(mode)
-        .ok_or_else(|| CliError::Parse(format!("unknown --mode '{mode}' (closed or open)")))?;
+    if mode.eq_ignore_ascii_case("soak") {
+        return run_soak(args, addr, &lines);
+    }
+    let mode = LoadMode::parse(mode).ok_or_else(|| {
+        CliError::Parse(format!("unknown --mode '{mode}' (closed, open or soak)"))
+    })?;
     let config = LoadGenConfig {
         connections: args.get_parsed_or("connections", 2usize)?.max(1),
         repeat: args.get_parsed_or("repeat", 1usize)?.max(1),
@@ -200,6 +210,74 @@ pub fn run(args: &ArgMap) -> Result<String> {
         ));
     }
 
+    if args.get_parsed_or("shutdown", 0u8)? == 1 {
+        let ack = loadgen::send_shutdown(addr).map_err(CliError::Io)?;
+        out.push_str(&format!("shutdown acknowledged: {ack}\n"));
+    }
+    Ok(out)
+}
+
+/// The `--mode soak` path: a sustained windowed open loop with streaming
+/// parity, sized for thousands of connections.
+fn run_soak(args: &ArgMap, addr: std::net::SocketAddr, lines: &[String]) -> Result<String> {
+    let config = SoakConfig {
+        connections: args.get_parsed_or("connections", 2usize)?.max(1),
+        duration: std::time::Duration::from_millis(
+            args.get_parsed_or("duration-ms", 2000u64)?.max(1),
+        ),
+        window: args.get_parsed_or("window", 4usize)?.max(1),
+        retry_busy: args.get_parsed_or("retry-busy", 1u8)? == 1,
+    };
+    if args.get("graph").is_none() || args.get("sets").is_none() {
+        return Err(CliError::Usage(
+            "--mode soak checks parity while streaming, so --graph and --sets are required"
+                .to_string(),
+        ));
+    }
+    let expected = expected_responses(args, lines)?;
+    let report = loadgen::soak(addr, lines, &expected, &config).map_err(CliError::Io)?;
+    if report.parity_failures > 0 {
+        return Err(CliError::Parse(format!(
+            "PARITY FAILURE: {} soak response(s) diverged; first: {}",
+            report.parity_failures,
+            report
+                .first_mismatch
+                .as_deref()
+                .unwrap_or("(mismatch detail lost)")
+        )));
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "loadgen: {} connections soaking {:.1} s (window {}, soak mode) against {addr}\n",
+        report.connections,
+        config.duration.as_secs_f64(),
+        config.window
+    ));
+    out.push_str(&format!(
+        "total {:.4} s, throughput {:.1} requests/s, {} busy rejection(s), \
+         {} quota rejection(s), {} deadline miss(es)\n",
+        report.elapsed.as_secs_f64(),
+        report.throughput(),
+        report.busy_rejections,
+        report.quota_rejections,
+        report.deadline_misses
+    ));
+    if !report.latencies_ms.is_empty() {
+        out.push_str(&format!(
+            "latency (ms per request, {} soak samples)\n",
+            report.latencies_ms.len()
+        ));
+        for (label, p) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+            out.push_str(&format!(
+                "  {label}  {:>10.4}\n",
+                report.latency_percentile_ms(p)
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "parity: ok ({} responses bit-identical to in-process answers)\n",
+        report.parity_checked
+    ));
     if args.get_parsed_or("shutdown", 0u8)? == 1 {
         let ack = loadgen::send_shutdown(addr).map_err(CliError::Io)?;
         out.push_str(&format!("shutdown acknowledged: {ack}\n"));
@@ -311,6 +389,58 @@ mod tests {
         for path in [&graph, &sets, &queries] {
             std::fs::remove_file(path).ok();
         }
+    }
+
+    #[test]
+    fn soak_mode_sustains_parity_and_reports_percentiles() {
+        let (graph, sets, queries, server) = fixture("soak", ServerConfig::default());
+        let port = server.local_addr().port().to_string();
+        let out = run(&argmap(&[
+            "--port",
+            &port,
+            "--queries",
+            queries.to_str().unwrap(),
+            "--mode",
+            "soak",
+            "--connections",
+            "16",
+            "--duration-ms",
+            "300",
+            "--window",
+            "2",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--sets",
+            sets.to_str().unwrap(),
+            "--shutdown",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("16 connections soaking"), "got: {out}");
+        assert!(out.contains("parity: ok ("), "got: {out}");
+        assert!(out.contains("0 quota rejection(s)"), "got: {out}");
+        assert!(out.contains("0 deadline miss(es)"), "got: {out}");
+        assert!(out.contains("p99"), "got: {out}");
+        assert!(out.contains("shutdown acknowledged: OK BYE"), "got: {out}");
+        let stats = server.join();
+        assert!(stats.served > 0);
+        for path in [&graph, &sets, &queries] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn soak_mode_without_parity_inputs_is_a_usage_error() {
+        let err = run(&argmap(&[
+            "--port",
+            "1",
+            "--queries",
+            "/dev/null",
+            "--mode",
+            "soak",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--graph"), "{err}");
     }
 
     #[test]

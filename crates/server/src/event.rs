@@ -1,0 +1,599 @@
+//! The event-driven connection front end: one poll thread multiplexing
+//! every client socket, so an idle connection costs a buffer rather than
+//! two OS threads.
+//!
+//! ## Shape
+//!
+//! A single **event thread** owns the listener, a self-wake token and a
+//! [`Conn`] state machine per registered connection, and drives them all
+//! with level-triggered [`dht_poll::poll`]:
+//!
+//! * **readable** — nonblocking reads append to the connection's raw line
+//!   buffer; complete lines run the same pipeline the thread-per-connection
+//!   reader did (64 KiB content cap, UTF-8 check, comment stripping,
+//!   token-bucket quota before parse, control verbs inline, queries into
+//!   the bounded queue);
+//! * **writable** — responses park in a per-connection reorder buffer
+//!   keyed by request sequence number; in-order lines append to an output
+//!   buffer that is flushed as far as the socket accepts, with the partial
+//!   remainder retried on the next writable event.  A *continuous* stall
+//!   past [`WRITE_STALL_LIMIT`] marks the connection dead, exactly like
+//!   the old dedicated writer did;
+//! * **wake token** — workers finish requests on their own threads and
+//!   hand `(connection, seq, line)` completions over a channel; a write to
+//!   the wake token's socket pair interrupts the poll so responses flush
+//!   immediately instead of at the next 20 ms tick.
+//!
+//! The worker pool, queue, QoS and wire grammar are untouched: this module
+//! replaces only who *transports* bytes, never what they say.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use dht_poll::{poll, PollFd, POLLIN, POLLOUT};
+
+use crate::qos::TokenBucket;
+use crate::{
+    dispatch_line, oversized_line_error, wire, ConnectionState, ServerShared, MAX_LINE_BYTES,
+    POLL_INTERVAL, WRITE_STALL_LIMIT,
+};
+
+/// After shutdown is observed, how long a connection's read side stays
+/// open with no new bytes before it is considered drained.  This is the
+/// event-loop analogue of the old blocking reader's read-timeout-then-exit
+/// behaviour: lines already in flight behind a `SHUTDOWN` verb still get
+/// their typed responses, idle connections close promptly.
+const SHUTDOWN_READ_GRACE: Duration = Duration::from_millis(40);
+
+/// Connections accepted per readable-listener event before yielding back
+/// to the loop (level-triggered poll re-reports a non-empty backlog, so
+/// this bounds latency under an accept storm without losing anyone).
+const ACCEPT_BURST: usize = 256;
+
+/// Scratch read size, and how many reads one readable event may issue
+/// before yielding — fairness against a connection that floods faster
+/// than the loop can drain.
+const READ_CHUNK: usize = 16 * 1024;
+const READS_PER_EVENT: usize = 4;
+
+#[cfg(unix)]
+fn raw_fd(stream: &TcpStream) -> i32 {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(unix)]
+fn raw_listener_fd(listener: &TcpListener) -> i32 {
+    use std::os::fd::AsRawFd;
+    listener.as_raw_fd()
+}
+
+// On non-Unix targets `poll` reports `Unsupported` and the loop degrades
+// to timed ticks that optimistically try every socket (nonblocking I/O
+// makes the spurious attempts harmless), so descriptors are never used.
+#[cfg(not(unix))]
+fn raw_fd(_stream: &TcpStream) -> i32 {
+    -1
+}
+
+#[cfg(not(unix))]
+fn raw_listener_fd(_listener: &TcpListener) -> i32 {
+    -1
+}
+
+/// Self-wake token: a connected loopback socket pair whose read end sits
+/// in the poll set.  Workers (and [`ServerShared::begin_shutdown`]) call
+/// [`Waker::wake`] to interrupt a sleeping poll; the flag collapses wake
+/// storms into one pending byte.
+pub(crate) struct Waker {
+    pending: AtomicBool,
+    tx: TcpStream,
+}
+
+impl Waker {
+    /// Builds the pair, returning the waker and the read end to poll.
+    pub(crate) fn new() -> std::io::Result<(Arc<Waker>, TcpStream)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let ours = tx.local_addr()?;
+        // Accept until our own connect arrives: a foreign connect racing
+        // for the ephemeral port must not become the wake channel.
+        let rx = loop {
+            let (stream, peer) = listener.accept()?;
+            if peer == ours {
+                break stream;
+            }
+        };
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        tx.set_nodelay(true).ok();
+        Ok((
+            Arc::new(Waker {
+                pending: AtomicBool::new(false),
+                tx,
+            }),
+            rx,
+        ))
+    }
+
+    /// Interrupts the poll (idempotent until the loop clears the flag).
+    pub(crate) fn wake(&self) {
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+
+    fn clear(&self) {
+        self.pending.store(false, Ordering::Release);
+    }
+}
+
+/// One finished request: which connection, which sequence slot, what line.
+pub(crate) struct Completion {
+    conn: u64,
+    seq: u64,
+    line: String,
+}
+
+/// What a queued [`crate::Request`] holds to deliver its answer: workers
+/// call [`ReplyHandle::send`] and the event thread routes the completion
+/// into the connection's reorder buffer.
+#[derive(Clone)]
+pub(crate) struct ReplyHandle {
+    conn: u64,
+    completions: mpsc::Sender<Completion>,
+    waker: Arc<Waker>,
+}
+
+impl ReplyHandle {
+    /// Hands a finished response line to the event thread (best-effort:
+    /// after the loop exits, completions for dead connections vanish).
+    pub(crate) fn send(&self, seq: u64, line: String) {
+        if self
+            .completions
+            .send(Completion {
+                conn: self.conn,
+                seq,
+                line,
+            })
+            .is_ok()
+        {
+            self.waker.wake();
+        }
+    }
+}
+
+/// Per-connection state machine — the entire per-client cost of an idle
+/// connection (the two dedicated stacks of the old design are gone).
+struct Conn {
+    stream: TcpStream,
+    /// Liveness flag shared with queued requests (workers skip dead ones).
+    state: Arc<ConnectionState>,
+    /// Prototype reply handle, cloned into each queued request.
+    reply: ReplyHandle,
+    bucket: Option<TokenBucket>,
+    /// Bytes of the current (incomplete) request line.
+    raw: Vec<u8>,
+    /// Next request ordinal (sequence numbers key response reordering).
+    seq: u64,
+    /// Requests handed to workers whose completions are still pending.
+    inflight: usize,
+    /// Out-of-order responses waiting for their turn.
+    parked: BTreeMap<u64, String>,
+    /// The sequence number the next written response must carry.
+    next_write_seq: u64,
+    /// In-order response bytes not yet accepted by the socket.
+    outbuf: Vec<u8>,
+    /// How far into `outbuf` the socket has accepted.
+    out_pos: usize,
+    /// Complete lines in `outbuf` (drop accounting when the peer dies).
+    outbuf_lines: u64,
+    /// Start of the current *continuous* write stall, if any.
+    stall_since: Option<Instant>,
+    /// No more request bytes will be read (EOF, read error, oversize
+    /// discard finished, or post-shutdown grace expired).
+    read_done: bool,
+    /// An oversized line was answered: remaining input is drained and
+    /// discarded so the close does not RST the error line away.
+    discard_input: bool,
+    /// Hard deadline for the discard drain.
+    discard_deadline: Instant,
+    /// The last read attempt hit `WouldBlock` (receive buffer empty).
+    drained: bool,
+    /// When bytes last arrived (drives the post-shutdown read grace).
+    last_read: Instant,
+}
+
+impl Conn {
+    fn out_pending(&self) -> bool {
+        self.out_pos < self.outbuf.len()
+    }
+
+    /// Parks a response and moves every now-in-order line to the output
+    /// buffer.
+    fn deliver(&mut self, seq: u64, line: String) {
+        self.parked.insert(seq, line);
+        while let Some(line) = self.parked.remove(&self.next_write_seq) {
+            self.outbuf.extend_from_slice(line.as_bytes());
+            self.outbuf.push(b'\n');
+            self.outbuf_lines += 1;
+            self.next_write_seq += 1;
+        }
+    }
+
+    /// Writes as much buffered output as the socket accepts.  Returns
+    /// `false` when the peer is gone (write error / zero-length write).
+    fn try_flush(&mut self) -> bool {
+        while self.out_pending() {
+            match self.stream.write(&self.outbuf[self.out_pos..]) {
+                Ok(0) => return false,
+                Ok(written) => {
+                    self.out_pos += written;
+                    self.stall_since = None;
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.stall_since.get_or_insert_with(Instant::now);
+                    return true;
+                }
+                Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        self.outbuf.clear();
+        self.out_pos = 0;
+        self.outbuf_lines = 0;
+        self.stall_since = None;
+        true
+    }
+
+    /// Undelivered response lines at death, for `STATS dropped=`.
+    fn undelivered(&self) -> u64 {
+        self.outbuf_lines + self.parked.len() as u64
+    }
+
+    /// Whether every admitted request has been answered and flushed, so
+    /// the connection can close once reading is over.
+    fn settled(&self) -> bool {
+        self.inflight == 0 && self.parked.is_empty() && !self.out_pending()
+    }
+}
+
+/// Runs the front end until shutdown completes: accept, read, dispatch,
+/// reorder, flush — all on this thread; only query execution happens
+/// elsewhere (the worker pool).
+pub(crate) fn event_loop(
+    shared: Arc<ServerShared>,
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    completions_tx: mpsc::Sender<Completion>,
+    completions: mpsc::Receiver<Completion>,
+) {
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut ids: Vec<u64> = Vec::new();
+    let mut to_close: Vec<(u64, bool)> = Vec::new();
+    let wake_fd = raw_fd(&wake_rx);
+    let mut wake_rx = wake_rx;
+    loop {
+        let shutting_down = shared.shutting_down();
+        if shutting_down {
+            // Dropping the listener refuses new connections immediately.
+            listener = None;
+        }
+        // Assemble the level-triggered interest set.
+        let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len() + 2);
+        fds.push(PollFd::new(wake_fd, POLLIN));
+        let listener_slot = listener.as_ref().map(|l| {
+            fds.push(PollFd::new(raw_listener_fd(l), POLLIN));
+            fds.len() - 1
+        });
+        let base = fds.len();
+        ids.clear();
+        for (&id, conn) in &conns {
+            let mut events = 0i16;
+            if !conn.read_done {
+                events |= POLLIN;
+            }
+            if conn.out_pending() {
+                events |= POLLOUT;
+            }
+            if events != 0 {
+                ids.push(id);
+                fds.push(PollFd::new(raw_fd(&conn.stream), events));
+            }
+        }
+        match poll(&mut fds, POLL_INTERVAL.as_millis() as i32) {
+            Ok(_) => {}
+            Err(_) => {
+                // No working poll (non-Unix, or a transient failure):
+                // degrade to timed ticks that optimistically try every
+                // socket — nonblocking I/O makes spurious tries harmless.
+                std::thread::sleep(POLL_INTERVAL / 4);
+                for fd in fds.iter_mut() {
+                    fd.revents = fd.events;
+                }
+            }
+        }
+        let now = Instant::now();
+        to_close.clear();
+        // 1. Wake token: clear the flag *before* draining, so a wake
+        //    racing this tick writes a fresh byte for the next poll.
+        if fds[0].ready(POLLIN) {
+            shared.waker.clear();
+            let mut sink = [0u8; 64];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        // 2. Worker completions (drained every tick; try_iter is cheap).
+        for completion in completions.try_iter() {
+            match conns.get_mut(&completion.conn) {
+                Some(conn) => {
+                    conn.inflight = conn.inflight.saturating_sub(1);
+                    conn.deliver(completion.seq, completion.line);
+                    if !conn.try_flush() {
+                        to_close.push((completion.conn, true));
+                    }
+                }
+                // The connection died before its answer was ready.
+                None => shared.metrics.record_dropped(1),
+            }
+        }
+        // 3. New connections.
+        if let (Some(slot), Some(l)) = (listener_slot, listener.as_ref()) {
+            if fds[slot].ready(POLLIN) {
+                for _ in 0..ACCEPT_BURST {
+                    match l.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_err() {
+                                continue;
+                            }
+                            stream.set_nodelay(true).ok();
+                            let id = next_id;
+                            next_id += 1;
+                            conns.insert(
+                                id,
+                                Conn {
+                                    stream,
+                                    state: ConnectionState::new(),
+                                    reply: ReplyHandle {
+                                        conn: id,
+                                        completions: completions_tx.clone(),
+                                        waker: shared.waker.clone(),
+                                    },
+                                    bucket: TokenBucket::new(
+                                        shared.config.rate,
+                                        shared.config.burst,
+                                        now,
+                                    ),
+                                    raw: Vec::new(),
+                                    seq: 0,
+                                    inflight: 0,
+                                    parked: BTreeMap::new(),
+                                    next_write_seq: 0,
+                                    outbuf: Vec::new(),
+                                    out_pos: 0,
+                                    outbuf_lines: 0,
+                                    stall_since: None,
+                                    read_done: false,
+                                    discard_input: false,
+                                    discard_deadline: now,
+                                    drained: false,
+                                    last_read: now,
+                                },
+                            );
+                            shared
+                                .live_connections
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        // 4. Per-connection readiness.
+        for (slot, &id) in fds[base..].iter().zip(&ids) {
+            if slot.revents == 0 {
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            let mut ok = true;
+            if slot.ready(POLLOUT) && conn.out_pending() {
+                ok = conn.try_flush();
+            }
+            if ok && slot.ready(POLLIN) && !conn.read_done {
+                handle_readable(&shared, conn, &mut scratch);
+                // Responses produced inline (control verbs, typed
+                // refusals) should not wait for the next writable event.
+                ok = conn.try_flush();
+            }
+            if !ok {
+                to_close.push((id, true));
+            }
+        }
+        // 5. Sweep: write stalls, shutdown read grace, close eligibility.
+        for (&id, conn) in conns.iter_mut() {
+            if conn.out_pending() {
+                if let Some(since) = conn.stall_since {
+                    if now.duration_since(since) >= WRITE_STALL_LIMIT {
+                        to_close.push((id, true));
+                        continue;
+                    }
+                }
+            }
+            if shutting_down && !conn.read_done && !conn.discard_input {
+                // The grace mirrors the old reader's timeout-then-exit:
+                // bytes already in flight are still served, after which
+                // the read side is considered closed (a partial line at
+                // the cut is discarded, as before).
+                if now.duration_since(conn.last_read) >= SHUTDOWN_READ_GRACE {
+                    conn.read_done = true;
+                    conn.raw.clear();
+                }
+            }
+            if conn.discard_input {
+                if conn.settled() && (conn.drained || now >= conn.discard_deadline) {
+                    to_close.push((id, false));
+                }
+            } else if conn.read_done && conn.settled() {
+                to_close.push((id, false));
+            }
+        }
+        // 6. Closures (deduplicated: a connection may be flagged twice).
+        to_close.sort_unstable();
+        to_close.dedup();
+        for &(id, dead) in &to_close {
+            let Some(conn) = conns.remove(&id) else {
+                continue;
+            };
+            if dead {
+                // Workers skip requests of dead connections (counting
+                // each), and completions already in flight fall into the
+                // unknown-connection arm above — so only the responses
+                // this loop was still holding are counted here.
+                conn.state.mark_dead();
+                let undelivered = conn.undelivered();
+                if undelivered > 0 {
+                    shared.metrics.record_dropped(undelivered);
+                }
+            }
+            shared
+                .live_connections
+                .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        if shutting_down && conns.is_empty() {
+            // Workers may still be draining dead connections' requests;
+            // their completions find no connection and are counted by the
+            // worker-side skip path.  Nothing left to transport.
+            return;
+        }
+    }
+}
+
+/// Consumes whatever the socket has: appends to the raw line buffer,
+/// completes lines through the dispatch pipeline, and handles EOF, the
+/// 64 KiB content cap and the oversize discard mode.
+fn handle_readable(shared: &Arc<ServerShared>, conn: &mut Conn, scratch: &mut [u8]) {
+    for _ in 0..READS_PER_EVENT {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                // EOF: a final unterminated line is still served, exactly
+                // like the blocking reader's `Ok(0)` path did.
+                if !conn.discard_input && !conn.raw.is_empty() {
+                    let line = std::mem::take(&mut conn.raw);
+                    process_line(shared, conn, &line);
+                }
+                conn.raw.clear();
+                conn.read_done = true;
+                return;
+            }
+            Ok(count) => {
+                conn.last_read = Instant::now();
+                conn.drained = false;
+                if !conn.discard_input {
+                    ingest(shared, conn, &scratch[..count]);
+                }
+                // In discard mode the bytes are dropped on the floor; the
+                // loop keeps reading so the close below does not RST the
+                // already-buffered error line away.
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
+                conn.drained = true;
+                return;
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                // A read error ends the request stream; responses already
+                // in flight still deliver (the write path decides death).
+                conn.raw.clear();
+                conn.read_done = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Splits an arriving chunk into lines against the connection's partial
+/// buffer, enforcing the content cap ([`MAX_LINE_BYTES`], terminator
+/// excluded — a terminated line of exactly the cap is served).
+fn ingest(shared: &Arc<ServerShared>, conn: &mut Conn, mut chunk: &[u8]) {
+    while !chunk.is_empty() {
+        match chunk.iter().position(|&byte| byte == b'\n') {
+            Some(newline) => {
+                if conn.raw.len() + newline > MAX_LINE_BYTES {
+                    oversize(conn);
+                    return;
+                }
+                conn.raw.extend_from_slice(&chunk[..newline]);
+                let line = std::mem::take(&mut conn.raw);
+                process_line(shared, conn, &line);
+                // Reuse the allocation for the next partial line.
+                conn.raw = line;
+                conn.raw.clear();
+                chunk = &chunk[newline + 1..];
+            }
+            None => {
+                if conn.raw.len() + chunk.len() > MAX_LINE_BYTES {
+                    oversize(conn);
+                    return;
+                }
+                conn.raw.extend_from_slice(chunk);
+                return;
+            }
+        }
+    }
+}
+
+/// Answers the one oversized-line error and switches the connection to
+/// drain-and-discard: input is swallowed (briefly, bounded by a deadline)
+/// so closing does not RST the error line out of the peer's hands.
+fn oversize(conn: &mut Conn) {
+    // The error takes the next sequence slot, so it is written after
+    // every already-admitted response — and nothing follows it.
+    conn.deliver(conn.seq, oversized_line_error());
+    conn.discard_input = true;
+    conn.discard_deadline = Instant::now() + 8 * POLL_INTERVAL;
+    conn.drained = false;
+    conn.raw = Vec::new();
+}
+
+/// Runs one complete request line through the protocol pipeline.
+fn process_line(shared: &Arc<ServerShared>, conn: &mut Conn, bytes: &[u8]) {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => {
+            // Comments and blank lines get no response and no sequence
+            // number; every other line consumes one.
+            if let Some(line) = wire::strip_line(text) {
+                let this_seq = conn.seq;
+                conn.seq += 1;
+                let response = dispatch_line(
+                    shared,
+                    line,
+                    this_seq,
+                    &conn.reply,
+                    &conn.state,
+                    &mut conn.bucket,
+                );
+                match response {
+                    Some(line) => conn.deliver(this_seq, line),
+                    None => conn.inflight += 1, // a worker will reply
+                }
+            }
+        }
+        Err(_) => {
+            let this_seq = conn.seq;
+            conn.seq += 1;
+            conn.deliver(
+                this_seq,
+                "ERR PARSE request line is not valid UTF-8".to_string(),
+            );
+        }
+    }
+}

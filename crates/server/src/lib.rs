@@ -11,16 +11,23 @@
 //! ## Architecture
 //!
 //! ```text
-//!  clients ──TCP──▶ acceptor ──▶ per-connection reader ──▶ bounded queue
-//!                                        │ PING/STATS          │ try_push
-//!                                        ▼ (answered inline)   ▼ pop_batch
-//!                               per-connection writer ◀── worker pool
-//!                               (reorders by sequence)   (one Session each,
-//!                                                         shared engine cache)
+//!  clients ──TCP──▶ event thread ──────────────▶ bounded queue
+//!                   (poll(2) readiness loop:         │ try_push
+//!                    accept, per-connection          ▼ pop_batch
+//!                    line reader + reorder       worker pool
+//!                    buffer + partial-write      (one Session each,
+//!                    flush)  ◀── wake token ◀──  shared engine cache)
 //! ```
 //!
-//! * **Acceptor thread** — accepts loopback connections and spawns one
-//!   reader thread per connection.
+//! * **Event thread** — one thread multiplexes the listener and *every*
+//!   connection with level-triggered `poll(2)` (via the hermetic
+//!   [`dht_poll`] shim): nonblocking sockets, a per-connection state
+//!   machine for line assembly and response reordering, and a self-wake
+//!   socket pair that lets workers interrupt the poll the moment an
+//!   answer is ready.  An idle connection costs one buffer, not two OS
+//!   thread stacks, so thousands of concurrent clients are practical
+//!   (`event.rs` holds the loop; live fan-in shows as `STATS
+//!   connections=`).
 //! * **Bounded two-level request queue** — the backpressure and
 //!   scheduling point: readers never block; when the request's priority
 //!   class (*interactive* by default, *batch* via the `PRIO batch` line
@@ -49,17 +56,20 @@
 //!   do.  Workers pop **micro-batches** (up to `batch` requests per
 //!   dequeue), amortising queue synchronisation across several answers
 //!   from one warm session.
-//! * **Per-connection writer** — responses arrive from whichever worker
-//!   answered, tagged with the request's per-connection sequence number,
-//!   and are written back **in request order** (a small reorder buffer),
-//!   so a pipelining client matches responses to requests positionally.
-//!   A client that disconnects (or stops reading for longer than the
-//!   write-stall limit) has its connection marked dead: pending responses
-//!   are dropped (counted in `STATS dropped=`) and workers skip its still-
-//!   queued requests instead of blocking on a connection nobody reads.
+//! * **Ordered, readiness-driven writes** — responses arrive from
+//!   whichever worker answered, tagged with the request's per-connection
+//!   sequence number, and park in a reorder buffer until their turn; in-
+//!   order lines move to a per-connection output buffer that is flushed
+//!   as far as the socket accepts, with the partial remainder retried on
+//!   the next writable event.  A client that disconnects (or stops
+//!   reading for longer than the write-stall limit) has its connection
+//!   marked dead: pending responses are dropped (counted in
+//!   `STATS dropped=`) and workers skip its still-queued requests instead
+//!   of executing answers nobody reads.
 //! * **Graceful shutdown** — a shutdown flag (raised by the `SHUTDOWN`
-//!   verb or [`Server::shutdown`]) stops the acceptor, lets workers drain
-//!   the queue, flushes every connection and joins all threads.
+//!   verb or [`Server::shutdown`]) closes the listener, lets workers
+//!   drain the queue, flushes and closes every connection (idle ones
+//!   after a short read grace) and joins all threads.
 //!
 //! ## Protocol
 //!
@@ -102,14 +112,13 @@ pub mod loadgen;
 pub mod metrics;
 pub mod wire;
 
+mod event;
 mod qos;
 mod queue;
 
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -225,18 +234,18 @@ fn oversized_line_error() -> String {
     format!("ERR PARSE line exceeds {MAX_LINE_BYTES} bytes")
 }
 
-/// How long a connection writer tolerates a *continuous* write stall (a
-/// client that stopped reading while the kernel send buffer is full)
-/// before declaring the connection dead and dropping its responses.  Long
-/// enough that a merely-slow reader on loopback never trips it; short
-/// enough that a never-reading hostile client cannot hold a writer (and
-/// therefore [`Server::join`]) hostage.
+/// How long the event loop tolerates a *continuous* write stall on one
+/// connection (a client that stopped reading while the kernel send buffer
+/// is full) before declaring the connection dead and dropping its
+/// responses.  Long enough that a merely-slow reader on loopback never
+/// trips it; short enough that a never-reading hostile client cannot hold
+/// the flush path (and therefore [`Server::join`]) hostage.
 const WRITE_STALL_LIMIT: Duration = Duration::from_millis(750);
 
-/// Liveness flag shared by one connection's reader, writer and queued
-/// requests.  The writer flips it off when the client is gone (write
-/// error) or has stalled past [`WRITE_STALL_LIMIT`]; the reader then stops
-/// admitting lines and workers skip the connection's queued requests.
+/// Liveness flag shared by one connection's event-loop state machine and
+/// its queued requests.  The event loop flips it off when the client is
+/// gone (write error) or has stalled past [`WRITE_STALL_LIMIT`]; workers
+/// then skip the connection's queued requests.
 struct ConnectionState {
     alive: AtomicBool,
 }
@@ -272,10 +281,10 @@ struct Request {
     class: Priority,
     /// The owning connection's liveness flag.
     conn: Arc<ConnectionState>,
-    reply: mpsc::Sender<(u64, String)>,
+    reply: event::ReplyHandle,
 }
 
-/// State shared by the acceptor, readers, workers and [`Server`] handle.
+/// State shared by the event thread, workers and [`Server`] handle.
 struct ServerShared {
     engine: Engine,
     sets: Vec<NodeSet>,
@@ -284,7 +293,11 @@ struct ServerShared {
     queue: RequestQueue<Request>,
     metrics: Metrics,
     shutdown: AtomicBool,
-    connections: Mutex<Vec<JoinHandle<()>>>,
+    /// Connections currently registered with the event loop (what
+    /// `STATS connections=` reports).
+    live_connections: AtomicUsize,
+    /// Interrupts the event loop's poll (worker completions, shutdown).
+    waker: Arc<event::Waker>,
 }
 
 impl ServerShared {
@@ -294,6 +307,8 @@ impl ServerShared {
         // race-free against worker exit: a request either got in before
         // the close — and a worker will drain it — or its push refuses.
         self.queue.close();
+        // A sleeping poll must notice the flag now, not a tick later.
+        self.waker.wake();
     }
 
     fn shutting_down(&self) -> bool {
@@ -307,6 +322,7 @@ impl ServerShared {
             batch_depth,
             self.queue.capacity(Priority::Interactive),
             self.queue.capacity(Priority::Batch),
+            self.live_connections.load(Ordering::Relaxed),
         )
     }
 }
@@ -339,24 +355,30 @@ impl ServerShared {
 pub struct Server {
     shared: Arc<ServerShared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `127.0.0.1:port` and starts the acceptor and worker threads.
+    /// Binds `127.0.0.1:port` and starts the event and worker threads.
     /// `sets` are the node sets query lines may name; `parse` carries the
     /// stream defaults (`k`, default algorithm, `m`) — use
     /// `ParseOptions::default()` for the `dht querystream` defaults.
     ///
     /// # Errors
-    /// Fails when the port cannot be bound.
+    /// Fails when the port cannot be bound or the event loop's self-wake
+    /// socket pair cannot be set up.
     pub fn start(
         engine: Engine,
         sets: Vec<NodeSet>,
         parse: ParseOptions,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        // Serving thousands of connections needs more descriptors than the
+        // common 1024 soft limit; lift it best-effort (a refusal just means
+        // accepts start failing at the old limit, which the event loop
+        // tolerates).
+        let _ = dht_poll::raise_nofile_limit(16 * 1024);
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -367,6 +389,8 @@ impl Server {
             batch: config.batch.max(1),
             ..config
         };
+        let (waker, wake_rx) = event::Waker::new()?;
+        let (completions_tx, completions_rx) = mpsc::channel();
         let shared = Arc::new(ServerShared {
             engine,
             sets,
@@ -375,7 +399,8 @@ impl Server {
             queue: RequestQueue::new(config.queue_capacity, config.batch_queue_capacity),
             metrics: Metrics::new(config.workers),
             shutdown: AtomicBool::new(false),
-            connections: Mutex::new(Vec::new()),
+            live_connections: AtomicUsize::new(0),
+            waker,
         });
         let workers = (0..config.workers)
             .map(|index| {
@@ -383,14 +408,16 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared, index))
             })
             .collect();
-        let acceptor = {
+        let event = {
             let shared = shared.clone();
-            std::thread::spawn(move || accept_loop(&shared, listener))
+            std::thread::spawn(move || {
+                event::event_loop(shared, listener, wake_rx, completions_tx, completions_rx)
+            })
         };
         Ok(Server {
             shared,
             addr,
-            acceptor: Some(acceptor),
+            event: Some(event),
             workers,
         })
     }
@@ -424,24 +451,15 @@ impl Server {
         while !self.shared.shutting_down() {
             std::thread::sleep(POLL_INTERVAL);
         }
-        if let Some(acceptor) = self.acceptor.take() {
-            acceptor.join().expect("acceptor thread panicked");
+        // The event thread exits once every connection has been flushed
+        // and closed (which needs workers to finish in-flight requests —
+        // they keep running regardless of join order); workers exit once
+        // the closed queue is drained, answering every admitted request.
+        if let Some(event) = self.event.take() {
+            event.join().expect("event thread panicked");
         }
-        // Workers drain the queue (pop_batch returns empty only once the
-        // shutdown flag is up AND the queue is empty), answering every
-        // admitted request before exiting.
         for worker in self.workers.drain(..) {
             worker.join().expect("worker thread panicked");
-        }
-        let connections = std::mem::take(
-            &mut *self
-                .shared
-                .connections
-                .lock()
-                .expect("connection registry poisoned"),
-        );
-        for connection in connections {
-            connection.join().expect("connection thread panicked");
         }
         self.shared.stats()
     }
@@ -453,240 +471,16 @@ impl Server {
     }
 }
 
-/// Accepts connections until shutdown, spawning one reader per client.
-fn accept_loop(shared: &Arc<ServerShared>, listener: TcpListener) {
-    while !shared.shutting_down() {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let shared_conn = shared.clone();
-                let handle = std::thread::spawn(move || handle_connection(&shared_conn, stream));
-                let mut connections = shared
-                    .connections
-                    .lock()
-                    .expect("connection registry poisoned");
-                // Sweep handles of connections that already hung up, so a
-                // long-lived server under connection churn doesn't grow
-                // the registry without bound (dropping a finished handle
-                // just detaches the already-exited thread).
-                connections.retain(|connection| !connection.is_finished());
-                connections.push(handle);
-            }
-            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-            Err(_) => break,
-        }
-    }
-}
-
-/// Writes responses back to one client **in request order**: workers finish
-/// out of order, so responses park in a reorder buffer keyed by sequence
-/// number until their turn comes.  Exits when every sender (reader +
-/// in-flight requests) has dropped, or — the disconnect-cleanup path —
-/// when the client is gone or has stalled past [`WRITE_STALL_LIMIT`]: the
-/// connection is then marked dead and every undeliverable response is
-/// counted in `STATS dropped=` instead of blocking a worker handoff.
-fn writer_loop(
-    mut stream: TcpStream,
-    responses: &mpsc::Receiver<(u64, String)>,
-    conn: &ConnectionState,
-    metrics: &Metrics,
-) {
-    stream.set_write_timeout(Some(POLL_INTERVAL)).ok();
-    let mut next_seq = 0u64;
-    let mut parked: BTreeMap<u64, String> = BTreeMap::new();
-    let mut buffer = Vec::new();
-    while let Ok((seq, line)) = responses.recv() {
-        parked.insert(seq, line);
-        buffer.clear();
-        let mut lines_in_buffer = 0u64;
-        while let Some(line) = parked.remove(&next_seq) {
-            buffer.extend_from_slice(line.as_bytes());
-            buffer.push(b'\n');
-            lines_in_buffer += 1;
-            next_seq += 1;
-        }
-        if !buffer.is_empty() && !write_patiently(&mut stream, &buffer) {
-            conn.mark_dead();
-            // Drain remaining responses (the channel closes once the
-            // reader and every in-flight request drop their senders),
-            // counting each undelivered line.
-            let mut dropped = lines_in_buffer + parked.len() as u64;
-            while responses.recv().is_ok() {
-                dropped += 1;
-            }
-            metrics.record_dropped(dropped);
-            return;
-        }
-    }
-}
-
-/// Writes the whole buffer, tolerating short write timeouts (a slow
-/// reader) up to a *continuous* stall of [`WRITE_STALL_LIMIT`].  Returns
-/// `false` when the client is gone or stalled past the limit.
-fn write_patiently(stream: &mut TcpStream, mut buf: &[u8]) -> bool {
-    let mut stall_started: Option<Instant> = None;
-    while !buf.is_empty() {
-        match stream.write(buf) {
-            Ok(0) => return false,
-            Ok(written) => {
-                buf = &buf[written..];
-                stall_started = None;
-            }
-            Err(error)
-                if matches!(
-                    error.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                let started = *stall_started.get_or_insert_with(Instant::now);
-                if started.elapsed() >= WRITE_STALL_LIMIT {
-                    return false;
-                }
-            }
-            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => return false,
-        }
-    }
-    true
-}
-
-/// Reads one client's request lines, answering control verbs inline and
-/// queueing query lines for the worker pool.
-fn handle_connection(shared: &Arc<ServerShared>, stream: TcpStream) {
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(POLL_INTERVAL)).ok();
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let conn = ConnectionState::new();
-    let (reply, responses) = mpsc::channel::<(u64, String)>();
-    let writer = {
-        let conn = conn.clone();
-        let shared = shared.clone();
-        std::thread::spawn(move || writer_loop(write_half, &responses, &conn, &shared.metrics))
-    };
-    let mut bucket = TokenBucket::new(shared.config.rate, shared.config.burst, Instant::now());
-    let mut reader = BufReader::new(stream);
-    let mut raw = Vec::new();
-    let mut seq = 0u64;
-    let mut overflowed = false;
-    loop {
-        // A timed-out read has already appended the bytes it consumed to
-        // `raw`, so the buffer is cleared only after a completed line is
-        // dispatched — never on the timeout path, or a sender delivering
-        // a line across a >POLL_INTERVAL gap would have the line's prefix
-        // silently dropped.  (`read_line` would not do: its UTF-8 guard
-        // rolls back every byte of a call that errors mid-character, so a
-        // timeout splitting a multi-byte character loses consumed bytes;
-        // raw bytes have no such rollback.)  The `take` bounds how much
-        // one line can buffer even against a sender that drips newline-
-        // less bytes fast enough to never hit the read timeout: once the
-        // cap is exceeded the read returns and the length check below
-        // answers once and drops the connection.
-        let budget = (MAX_LINE_BYTES + 1 - raw.len()) as u64;
-        let at_eof = match (&mut reader).take(budget).read_until(b'\n', &mut raw) {
-            Ok(0) if raw.is_empty() => break, // client closed
-            Ok(0) => true,                    // EOF right after a partial line
-            Ok(_) => !raw.ends_with(b"\n"),   // EOF (or cap hit, checked below)
-            Err(error)
-                if matches!(
-                    error.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                if shared.shutting_down() {
-                    break;
-                }
-                continue;
-            }
-            Err(_) => break,
-        };
-        // The cap is on line *content* — the terminator doesn't count, so
-        // a newline-terminated line of exactly MAX_LINE_BYTES is served.
-        let line_len = raw.len() - usize::from(raw.ends_with(b"\n"));
-        if line_len > MAX_LINE_BYTES {
-            let _ = reply.send((seq, oversized_line_error()));
-            overflowed = true;
-            break;
-        }
-        // Comments / blank lines get no response (and no sequence
-        // number); every other line — including one that is not valid
-        // UTF-8 — consumes one.
-        // A dead connection (writer hit a gone / stalled client) stops
-        // reading: nothing it sends can be answered any more.
-        if !conn.is_alive() {
-            break;
-        }
-        match std::str::from_utf8(&raw) {
-            Ok(text) => {
-                if let Some(line) = wire::strip_line(text) {
-                    let this_seq = seq;
-                    seq += 1;
-                    let response =
-                        dispatch_line(shared, line, this_seq, &reply, &conn, &mut bucket);
-                    if let Some(line) = response {
-                        if reply.send((this_seq, line)).is_err() {
-                            break;
-                        }
-                    }
-                }
-            }
-            Err(_) => {
-                let this_seq = seq;
-                seq += 1;
-                let error = "ERR PARSE request line is not valid UTF-8".to_string();
-                if reply.send((this_seq, error)).is_err() {
-                    break;
-                }
-            }
-        }
-        raw.clear();
-        if at_eof {
-            break;
-        }
-    }
-    drop(reply);
-    writer.join().expect("connection writer panicked");
-    if overflowed {
-        discard_pending_input(&mut reader);
-    }
-}
-
-/// Best-effort grace period after an oversized-line error: the client may
-/// still be mid-flood, and closing a socket with unread bytes in the
-/// kernel receive buffer sends RST — which can discard the error line
-/// before the client reads it.  Briefly discard pending input (bounded by
-/// a deadline) so the close is clean in the common case.
-fn discard_pending_input(reader: &mut BufReader<TcpStream>) {
-    let deadline = Instant::now() + 8 * POLL_INTERVAL;
-    let mut scratch = [0u8; 4096];
-    while Instant::now() < deadline {
-        match reader.get_mut().read(&mut scratch) {
-            Ok(0) => break, // client closed its sending half
-            Ok(_) => {}
-            // Receive buffer drained (read timeout): safe to close now.
-            Err(error)
-                if matches!(
-                    error.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                break;
-            }
-            Err(_) => break,
-        }
-    }
-}
-
 /// Handles one request line: control verbs answer inline (returning the
 /// response), query lines pass the rate limiter, parse, and enqueue into
 /// their priority class (returning `None` unless refused or malformed).
+/// Called by the event thread; `reply` is the connection's completion
+/// route, cloned into the queued request.
 fn dispatch_line(
     shared: &Arc<ServerShared>,
     line: &str,
     seq: u64,
-    reply: &mpsc::Sender<(u64, String)>,
+    reply: &event::ReplyHandle,
     conn: &Arc<ConnectionState>,
     bucket: &mut Option<TokenBucket>,
 ) -> Option<String> {
@@ -793,7 +587,7 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
                         deadline.as_millis(),
                         waited.as_millis()
                     );
-                    let _ = request.reply.send((request.seq, expired));
+                    request.reply.send(request.seq, expired);
                     continue;
                 }
             }
@@ -812,7 +606,7 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
                 .metrics
                 .record_served(request.received.elapsed(), request.class);
             // The connection may be gone; in-flight answers are best-effort.
-            let _ = request.reply.send((request.seq, response));
+            request.reply.send(request.seq, response);
         }
         shared
             .metrics
@@ -824,7 +618,8 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
 mod tests {
     use super::*;
     use dht_graph::{GraphBuilder, NodeId};
-    use std::io::BufWriter;
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
 
     fn fixture() -> (Engine, Vec<NodeSet>) {
         let mut b = GraphBuilder::with_nodes(10);
@@ -885,6 +680,29 @@ mod tests {
         );
         assert!(responses[2].contains("workers=2"), "{responses:?}");
         server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_live_connections_from_the_event_loop() {
+        let server = start_fixture(ServerConfig::default());
+        let addr = server.local_addr();
+        // The querying connection counts itself.
+        let first = roundtrip(addr, &["STATS"]);
+        assert!(first[0].contains(" connections=1"), "{first:?}");
+        // Wait out the close of the first connection so the next count is
+        // deterministic.
+        while server.stats().connections != 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // A parked idle connection is visible to a later querying one.
+        let parked = TcpStream::connect(addr).expect("connect");
+        let second = roundtrip(addr, &["STATS"]);
+        assert!(second[0].contains(" connections=2"), "{second:?}");
+        drop(parked);
+        assert!(server.stats().connections >= 1, "handle-side view works");
+        // After shutdown every connection has been closed and deregistered.
+        let report = server.shutdown();
+        assert_eq!(report.connections, 0, "{report:?}");
     }
 
     #[test]
@@ -1443,6 +1261,97 @@ mod tests {
         // full queue, the dead client and the never-read backlog.
         let report = server.join();
         assert_eq!(report.queue_depth, 0, "nothing left queued: {report:?}");
+    }
+
+    #[test]
+    fn partial_writes_resume_until_every_response_is_delivered_in_order() {
+        // Readiness-loop edge case: the client pipelines enough STATS
+        // requests that the responses (~400 bytes each) overrun the
+        // kernel's loopback buffering while it is not reading, forcing the
+        // event loop through the partial-write path (outbuf flushed as far
+        // as the socket accepts, remainder retried on POLLOUT).  Every
+        // response must still arrive intact and in request order.
+        let server = start_fixture(ServerConfig::default());
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let burst = 30_000usize;
+        for _ in 0..burst {
+            writeln!(writer, "STATS").unwrap();
+        }
+        writer.flush().unwrap();
+        // Let the server stuff the socket until it blocks (well under the
+        // write-stall limit, so the connection must not be marked dead).
+        std::thread::sleep(WRITE_STALL_LIMIT / 4);
+        let mut response = String::new();
+        for index in 0..burst {
+            response.clear();
+            reader.read_line(&mut response).expect("receive");
+            assert!(
+                response.starts_with("OK STATS served=0"),
+                "response {index} arrived corrupt or out of order: {response:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn request_line_split_across_many_tiny_reads_is_reassembled() {
+        // Readiness-loop edge case: one request line delivered in dozens
+        // of fragments, each landing in its own readable event (every
+        // fragment is followed by a WouldBlock read).  The per-connection
+        // raw buffer must reassemble the line — including a multi-byte
+        // UTF-8 character split across fragments — exactly once.
+        let server = start_fixture(ServerConfig::default());
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let line = "P Q 3   # caf\u{e9} caf\u{e9} caf\u{e9}\n".as_bytes();
+        for chunk in line.chunks(1) {
+            writer.write_all(chunk).expect("send byte");
+            writer.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("receive");
+        assert!(response.starts_with("OK TWOWAY"), "{response:?}");
+        // The fragments formed one request, not several.
+        let responses = roundtrip(server.local_addr(), &["STATS"]);
+        assert!(responses[0].contains(" served=1 "), "{responses:?}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn hundreds_of_idle_connections_close_cleanly_on_shutdown() {
+        // Readiness-loop edge case: graceful SHUTDOWN with hundreds of
+        // idle registered connections.  The old thread-per-connection
+        // design parked two stacks on each; the event loop holds one
+        // buffer per connection and must flush-and-close all of them
+        // (EOF, not RST) without stalling the join.
+        let server = start_fixture(ServerConfig::default());
+        let addr = server.local_addr();
+        let idle: Vec<TcpStream> = (0..300)
+            .map(|index| {
+                TcpStream::connect(addr).unwrap_or_else(|error| panic!("connect {index}: {error}"))
+            })
+            .collect();
+        // Wait until the event loop has registered every connection.
+        while server.stats().connections < idle.len() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let responses = roundtrip(addr, &["SHUTDOWN"]);
+        assert_eq!(responses[0], "OK BYE");
+        let report = server.join();
+        assert_eq!(report.connections, 0, "{report:?}");
+        // Every idle connection was closed cleanly: EOF, no reset error.
+        for (index, stream) in idle.into_iter().enumerate() {
+            let mut probe = String::new();
+            let mut reader = BufReader::new(stream);
+            let read = reader
+                .read_line(&mut probe)
+                .unwrap_or_else(|error| panic!("idle connection {index}: {error}"));
+            assert_eq!(read, 0, "idle connection {index} got bytes: {probe:?}");
+        }
     }
 
     #[test]

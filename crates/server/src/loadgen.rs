@@ -13,6 +13,14 @@
 //!   throughput / overload probe, and the mode that actually exercises the
 //!   server's `ERR BUSY` backpressure.
 //!
+//! A third discipline, [`soak`], is a separate entry point: a **windowed
+//! open-loop** that sustains a bounded number of in-flight requests per
+//! connection for a wall-clock duration, checking parity against expected
+//! responses as they stream back.  It is built for *thousands* of
+//! connections (small client thread stacks, bounded latency reservoirs)
+//! and is what `dht loadgen --mode soak` and the `server_soak` bench row
+//! drive.
+//!
 //! In both modes `ERR BUSY` and `ERR QUOTA` rejections are (optionally)
 //! **re-sent** until answered, spaced by a deterministic
 //! capped-exponential [`busy_backoff`] schedule (quota retries also honour
@@ -530,15 +538,26 @@ pub fn run(
                 .map(|index| {
                     let stream_lines = &stream_lines;
                     let stop = &stop;
-                    scope.spawn(move || {
-                        drive_hostile(addr, HostileProfile::for_index(index), stream_lines, stop)
-                    })
+                    std::thread::Builder::new()
+                        .stack_size(CLIENT_STACK_BYTES)
+                        .spawn_scoped(scope, move || {
+                            drive_hostile(
+                                addr,
+                                HostileProfile::for_index(index),
+                                stream_lines,
+                                stop,
+                            )
+                        })
+                        .expect("spawn hostile connection")
                 })
                 .collect();
             let handles: Vec<_> = (0..connections)
                 .map(|_| {
                     let stream_lines = &stream_lines;
-                    scope.spawn(move || drive_connection(addr, stream_lines, config))
+                    std::thread::Builder::new()
+                        .stack_size(CLIENT_STACK_BYTES)
+                        .spawn_scoped(scope, move || drive_connection(addr, stream_lines, config))
+                        .expect("spawn loadgen connection")
                 })
                 .collect();
             let outcomes = handles
@@ -578,6 +597,247 @@ pub fn run(
         report.busy_rejections += outcome.busy;
         report.quota_rejections += outcome.quota;
         report.deadline_misses += outcome.deadline_misses;
+    }
+    Ok(report)
+}
+
+/// Client threads are cheap stacks, not defaults: a soak drives thousands
+/// of connections, and the 8 MiB default stack would reserve gigabytes.
+const CLIENT_STACK_BYTES: usize = 256 * 1024;
+
+/// Most recent latency samples each soak connection keeps (a ring):
+/// bounds soak memory to `connections × RING × 8` bytes while keeping
+/// aggregate percentiles meaningful.
+const SOAK_LATENCY_RING: usize = 512;
+
+/// Knobs of a [`soak`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Concurrent connections (≥ 1; thousands are the design point).
+    pub connections: usize,
+    /// Wall-clock duration each connection keeps its window full.
+    pub duration: Duration,
+    /// Maximum in-flight (sent, unanswered) requests per connection.
+    pub window: usize,
+    /// Whether `ERR BUSY` / `ERR QUOTA` responses are re-sent (within the
+    /// duration) instead of counted as final.
+    pub retry_busy: bool,
+}
+
+impl Default for SoakConfig {
+    /// 1000 connections, 2 s, window 4, retries on.
+    fn default() -> Self {
+        SoakConfig {
+            connections: 1000,
+            duration: Duration::from_secs(2),
+            window: 4,
+            retry_busy: true,
+        }
+    }
+}
+
+/// What a [`soak`] run measured, aggregated over all connections.
+#[derive(Debug, Default)]
+pub struct SoakReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Final responses received (busy/quota retries excluded).
+    pub answered: u64,
+    /// `ERR BUSY` responses observed (re-sent when retries are on).
+    pub busy_rejections: u64,
+    /// `ERR QUOTA` responses observed (re-sent when retries are on).
+    pub quota_rejections: u64,
+    /// `ERR DEADLINE` final responses (not retried, not parity-checked).
+    pub deadline_misses: u64,
+    /// Final responses compared against an expected answer (everything
+    /// except typed busy/quota/deadline lines).
+    pub parity_checked: u64,
+    /// Final responses that did not match the expected answer for their
+    /// stream position.
+    pub parity_failures: u64,
+    /// The first mismatch, as `expected … got …` (parity debugging aid).
+    pub first_mismatch: Option<String>,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Sampled per-request latencies in ms (the most recent
+    /// `SOAK_LATENCY_RING` per connection), unsorted.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl SoakReport {
+    /// Final responses per second, sustained over the whole run.
+    pub fn throughput(&self) -> f64 {
+        self.answered as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 1) of the sampled latencies, ms.
+    pub fn latency_percentile_ms(&self, p: f64) -> f64 {
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        crate::metrics::percentile(&sorted, p)
+    }
+}
+
+/// One soak connection's tally, merged into the [`SoakReport`].
+#[derive(Debug, Default)]
+struct SoakOutcome {
+    answered: u64,
+    busy: u64,
+    quota: u64,
+    deadline_misses: u64,
+    parity_checked: u64,
+    parity_failures: u64,
+    first_mismatch: Option<String>,
+    latencies: Vec<f64>,
+    latency_next: usize,
+}
+
+impl SoakOutcome {
+    fn record_latency(&mut self, ms: f64) {
+        if self.latencies.len() < SOAK_LATENCY_RING {
+            self.latencies.push(ms);
+        } else {
+            self.latencies[self.latency_next] = ms;
+            self.latency_next = (self.latency_next + 1) % SOAK_LATENCY_RING;
+        }
+    }
+}
+
+/// One soak connection: keep up to `window` requests in flight until the
+/// deadline, then drain.  Responses arrive in request order, so the
+/// in-flight queue maps each response to the stream position (and send
+/// time) it answers.
+fn drive_soak_connection(
+    addr: SocketAddr,
+    stream_lines: &[String],
+    expected: &[String],
+    config: &SoakConfig,
+    deadline: Instant,
+) -> std::io::Result<SoakOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let line_at = |position: u64| &stream_lines[(position % stream_lines.len() as u64) as usize];
+    let mut outcome = SoakOutcome::default();
+    // In-flight requests, oldest first: (stream position, send time).
+    let mut inflight: std::collections::VecDeque<(u64, Instant)> =
+        std::collections::VecDeque::new();
+    let mut next_position = 0u64;
+    loop {
+        let open = Instant::now() < deadline;
+        while open && inflight.len() < config.window.max(1) {
+            writeln!(writer, "{}", line_at(next_position))?;
+            inflight.push_back((next_position, Instant::now()));
+            next_position += 1;
+        }
+        writer.flush()?;
+        let Some((position, sent)) = inflight.pop_front() else {
+            break; // window empty past the deadline: done
+        };
+        let response = read_response(&mut reader)?;
+        if config.retry_busy && open && (wire::is_busy(&response) || wire::is_quota(&response)) {
+            if wire::is_busy(&response) {
+                outcome.busy += 1;
+            } else {
+                outcome.quota += 1;
+            }
+            // Re-send the same stream position at the window's tail; the
+            // bounded window paces retries at roughly one round-trip, so
+            // no extra backoff is needed.
+            writeln!(writer, "{}", line_at(position))?;
+            inflight.push_back((position, Instant::now()));
+            continue;
+        }
+        outcome.answered += 1;
+        outcome.record_latency(sent.elapsed().as_secs_f64() * 1e3);
+        if wire::is_busy(&response) {
+            outcome.busy += 1;
+        } else if wire::is_quota(&response) {
+            outcome.quota += 1;
+        } else if wire::is_deadline(&response) {
+            outcome.deadline_misses += 1;
+        } else {
+            outcome.parity_checked += 1;
+            let want = &expected[(position % expected.len() as u64) as usize];
+            if &response != want {
+                outcome.parity_failures += 1;
+                outcome.first_mismatch.get_or_insert_with(|| {
+                    format!("position {position}: expected {want:?} got {response:?}")
+                });
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Sustained windowed-open-loop soak: `config.connections` connections
+/// each keep up to `config.window` requests in flight for
+/// `config.duration`, cycling over `lines`; every final response is
+/// parity-checked against `expected` (the in-process answer per stream
+/// position, see [`run`]'s parity convention).  `ERR DEADLINE` responses
+/// count as misses, not parity failures; `ERR BUSY` / `ERR QUOTA` are
+/// re-sent while the window is open when `retry_busy` is set.
+///
+/// # Errors
+/// Fails on connection errors, a server that closes a connection
+/// mid-stream, an empty stream, or `expected` being empty.
+pub fn soak(
+    addr: SocketAddr,
+    lines: &[String],
+    expected: &[String],
+    config: &SoakConfig,
+) -> std::io::Result<SoakReport> {
+    let stream_lines: Vec<String> = lines
+        .iter()
+        .filter_map(|raw| crate::wire::strip_line(raw).map(str::to_string))
+        .collect();
+    if stream_lines.is_empty() || expected.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "soak needs a non-empty query stream and expected answers",
+        ));
+    }
+    let connections = config.connections.max(1);
+    // Thousands of client sockets overrun the common 1024-descriptor soft
+    // limit; lift it best-effort (headroom for stdio and the test harness).
+    let _ = dht_poll::raise_nofile_limit(connections as u64 + 256);
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let outcomes: Vec<std::io::Result<SoakOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let stream_lines = &stream_lines;
+                std::thread::Builder::new()
+                    .stack_size(CLIENT_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        drive_soak_connection(addr, stream_lines, expected, config, deadline)
+                    })
+                    .expect("spawn soak connection")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("soak connection panicked"))
+            .collect()
+    });
+    let mut report = SoakReport {
+        connections,
+        elapsed: started.elapsed(),
+        ..SoakReport::default()
+    };
+    for outcome in outcomes {
+        let outcome = outcome?;
+        report.answered += outcome.answered;
+        report.busy_rejections += outcome.busy;
+        report.quota_rejections += outcome.quota;
+        report.deadline_misses += outcome.deadline_misses;
+        report.parity_checked += outcome.parity_checked;
+        report.parity_failures += outcome.parity_failures;
+        if report.first_mismatch.is_none() {
+            report.first_mismatch = outcome.first_mismatch;
+        }
+        report.latencies_ms.extend(outcome.latencies);
     }
     Ok(report)
 }
@@ -824,6 +1084,52 @@ mod tests {
         let stats = server.shutdown();
         assert!(stats.quota_rejected >= report.hostile.quota_rejections);
         server_drained(&stats);
+    }
+
+    #[test]
+    fn soak_sustains_parity_clean_windowed_traffic() {
+        let (engine, sets) = fixture();
+        let server = Server::start(
+            engine,
+            sets,
+            ParseOptions::default(),
+            ServerConfig::default().with_workers(2),
+        )
+        .unwrap();
+        let lines = stream();
+        let expected = expected_responses(&lines);
+        let report = soak(
+            server.local_addr(),
+            &lines,
+            &expected,
+            &SoakConfig {
+                connections: 32,
+                duration: Duration::from_millis(300),
+                window: 2,
+                retry_busy: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.connections, 32);
+        assert!(report.answered > 0, "{report:?}");
+        assert_eq!(report.parity_failures, 0, "{:?}", report.first_mismatch);
+        assert_eq!(report.deadline_misses, 0, "{report:?}");
+        assert!(report.throughput() > 0.0);
+        assert!(!report.latencies_ms.is_empty());
+        assert!(report.latency_percentile_ms(0.99) > 0.0);
+        let stats = server.shutdown();
+        assert_eq!(stats.connections, 0);
+        server_drained(&stats);
+    }
+
+    #[test]
+    fn soak_refuses_empty_streams_and_missing_expectations() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let config = SoakConfig::default();
+        let none = soak(addr, &["# nothing".to_string()], &[], &config).unwrap_err();
+        assert_eq!(none.kind(), std::io::ErrorKind::InvalidInput);
+        let no_expected = soak(addr, &["P Q 3".to_string()], &[], &config).unwrap_err();
+        assert_eq!(no_expected.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

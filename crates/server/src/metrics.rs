@@ -143,6 +143,7 @@ impl Metrics {
         batch_depth: usize,
         queue_capacity: usize,
         batch_queue_capacity: usize,
+        connections: usize,
     ) -> StatsSnapshot {
         let sorted = self
             .latencies
@@ -181,6 +182,7 @@ impl Metrics {
             queue_capacity,
             batch_queue_capacity,
             workers: caches.len(),
+            connections,
             p50_ms: percentile(&sorted, 0.50),
             p90_ms: percentile(&sorted, 0.90),
             p99_ms: percentile(&sorted, 0.99),
@@ -228,6 +230,9 @@ pub struct StatsSnapshot {
     pub batch_queue_capacity: usize,
     /// Worker (session) count.
     pub workers: usize,
+    /// Connections currently registered with the event loop at snapshot
+    /// time (accepted and not yet closed).
+    pub connections: usize,
     /// Median per-request latency, receive → response ready, in ms.
     pub p50_ms: f64,
     /// 90th-percentile latency in ms.
@@ -270,7 +275,7 @@ impl StatsSnapshot {
              quota_rejected={} expired={} dropped={} \
              interactive_served={} batch_served={} \
              interactive_p99_ms={:.4} batch_p99_ms={:.4} batch_queue_capacity={} \
-             interactive_depth={} batch_depth={}",
+             interactive_depth={} batch_depth={} connections={}",
             self.served,
             self.rejected,
             self.queue_depth,
@@ -295,6 +300,7 @@ impl StatsSnapshot {
             self.batch_queue_capacity,
             self.interactive_depth,
             self.batch_depth,
+            self.connections,
         )
     }
 }
@@ -328,7 +334,7 @@ mod tests {
             },
             (0, 1),
         );
-        let snap = metrics.snapshot(3, 2, 16, 16);
+        let snap = metrics.snapshot(3, 2, 16, 16, 7);
         assert_eq!(snap.served, 4);
         assert_eq!(snap.rejected, 1);
         assert_eq!(snap.queue_depth, 5, "combined depth is the class sum");
@@ -340,10 +346,12 @@ mod tests {
         assert_eq!((snap.column_hits, snap.column_misses), (4, 2));
         assert_eq!((snap.y_hits, snap.y_misses), (2, 2));
         assert!((snap.column_hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(snap.connections, 7);
         let line = snap.wire_line();
         assert!(line.starts_with("STATS served=4 rejected=1"), "{line}");
         assert!(line.contains("p99_ms="), "{line}");
         assert!(line.contains("column_hit_rate=0.6667"), "{line}");
+        assert!(line.contains("connections=7"), "{line}");
     }
 
     #[test]
@@ -359,7 +367,7 @@ mod tests {
         metrics.record_quota_rejected();
         metrics.record_expired();
         metrics.record_dropped(3);
-        let snap = metrics.snapshot(0, 0, 8, 4);
+        let snap = metrics.snapshot(0, 0, 8, 4, 0);
         assert_eq!(snap.served, 5, "global count spans both classes");
         assert_eq!(snap.interactive_served, 2);
         assert_eq!(snap.batch_served, 3);

@@ -1,0 +1,259 @@
+//! Thin platform shim over `poll(2)` for readiness-based I/O, plus the
+//! `RLIMIT_NOFILE` helper a many-connection process needs.
+//!
+//! The workspace's hermetic rule forbids registry dependencies, but `std`
+//! already links the platform C library on Unix, so declaring the two
+//! syscall entry points directly costs nothing extra.  The surface is the
+//! minimum the server's event loop needs:
+//!
+//! * [`poll`] — level-triggered readiness over a borrowed slice of
+//!   [`PollFd`] entries, with `EINTR` retried internally;
+//! * [`raise_nofile_limit`] — lift the soft file-descriptor limit toward
+//!   the hard one, so "thousands of sockets" does not die at the common
+//!   1024-descriptor default.
+//!
+//! On non-Unix targets both entry points compile but return
+//! `ErrorKind::Unsupported`: the event loop degrades to a start-up error
+//! instead of the whole workspace failing to build.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::io;
+
+/// The descriptor wants to read (there is input, or EOF, to consume).
+pub const POLLIN: i16 = 0x001;
+/// The descriptor can be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a [`poll`] set, layout-compatible with `struct pollfd`.
+///
+/// `fd` and `events` are inputs; the kernel writes `revents`.  The event
+/// constants ([`POLLIN`], [`POLLOUT`], …) share values across the Unix
+/// platforms this workspace targets, so no per-OS translation is needed.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative value makes the kernel
+    /// skip the entry — the standard "deregistered slot" idiom).
+    pub fd: i32,
+    /// Requested events (`POLLIN | POLLOUT`).
+    pub events: i16,
+    /// Returned events, written by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch on `fd` for `events`, with `revents` cleared.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the kernel reported any of `mask` (or an error/hang-up
+    /// condition, which is always reportable regardless of `events`).
+    pub fn ready(&self, mask: i16) -> bool {
+        self.revents & (mask | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+    use std::io;
+    use std::os::raw::{c_int, c_ulong};
+
+    // `nfds_t` is `unsigned long` on Linux and `unsigned int` on the BSDs
+    // and macOS; `c_ulong` is only passed after a checked narrowing below,
+    // so use the wider type and convert.
+    #[cfg(target_os = "linux")]
+    type NfdsT = c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+    }
+
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: c_int = 8;
+
+    /// `struct rlimit`: `rlim_t` is 64-bit on every Unix this workspace
+    /// targets (Linux and macOS both define it as an unsigned 64-bit
+    /// integer on 64-bit builds).
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let error = io::Error::last_os_error();
+            if error.kind() != io::ErrorKind::Interrupted {
+                return Err(error);
+            }
+            // EINTR: retry with the full timeout.  The caller's loops
+            // re-check their own deadlines, so over-waiting a little on a
+            // signal-heavy system is harmless; returning spuriously with
+            // zero events would be too.
+        }
+    }
+
+    pub fn raise_nofile_limit_impl(want: u64) -> io::Result<u64> {
+        let mut limit = RLimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut limit) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if limit.cur >= want {
+            return Ok(limit.cur);
+        }
+        let target = want.min(limit.max);
+        let raised = RLimit {
+            cur: target,
+            max: limit.max,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(target)
+    }
+}
+
+/// Level-triggered readiness wait over `fds`, blocking up to `timeout_ms`
+/// milliseconds (`-1` blocks indefinitely, `0` polls).  Returns how many
+/// entries have non-zero `revents`; `EINTR` is retried internally, so a
+/// `0` return really means the timeout elapsed.
+///
+/// # Errors
+/// Any `poll(2)` failure other than `EINTR` (and `Unsupported` on
+/// non-Unix targets).
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    #[cfg(unix)]
+    {
+        sys::poll_impl(fds, timeout_ms)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (fds, timeout_ms);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "poll(2) shim is only implemented for Unix targets",
+        ))
+    }
+}
+
+/// Raises the soft `RLIMIT_NOFILE` toward `want` (clamped to the hard
+/// limit) and returns the resulting soft limit.  Already-high limits are
+/// left untouched, so calling this is idempotent and never lowers the
+/// limit.
+///
+/// # Errors
+/// When the limit cannot be read or raised (and `Unsupported` on
+/// non-Unix targets).
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    #[cfg(unix)]
+    {
+        sys::raise_nofile_limit_impl(want)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = want;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "rlimit shim is only implemented for Unix targets",
+        ))
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    /// A connected loopback socket pair (the portable stand-in for
+    /// `socketpair(2)` that needs no extra FFI).
+    fn tcp_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let a = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (b, _) = listener.accept().expect("accept");
+        (a, b)
+    }
+
+    #[test]
+    fn timeout_elapses_with_no_events() {
+        let (_a, b) = tcp_pair();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let started = Instant::now();
+        let ready = poll(&mut fds, 30).expect("poll");
+        assert_eq!(ready, 0, "nothing was written, so nothing is readable");
+        assert!(started.elapsed().as_millis() >= 25, "the timeout must hold");
+    }
+
+    #[test]
+    fn written_bytes_make_the_peer_readable_and_sockets_are_writable() {
+        let (mut a, b) = tcp_pair();
+        a.write_all(b"x").expect("write");
+        let mut fds = [
+            PollFd::new(b.as_raw_fd(), POLLIN),
+            PollFd::new(a.as_raw_fd(), POLLOUT),
+        ];
+        let ready = poll(&mut fds, 1000).expect("poll");
+        assert_eq!(ready, 2);
+        assert!(fds[0].ready(POLLIN), "{:?}", fds[0]);
+        assert!(!fds[0].ready(POLLOUT), "only requested events report");
+        assert!(fds[1].ready(POLLOUT), "{:?}", fds[1]);
+    }
+
+    #[test]
+    fn peer_close_reports_readable_for_eof() {
+        let (a, b) = tcp_pair();
+        drop(a);
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        let ready = poll(&mut fds, 1000).expect("poll");
+        assert_eq!(ready, 1, "EOF must wake a reader");
+        assert!(fds[0].ready(POLLIN));
+    }
+
+    #[test]
+    fn negative_descriptors_are_skipped() {
+        let (mut a, b) = tcp_pair();
+        a.write_all(b"x").expect("write");
+        let mut fds = [PollFd::new(-1, POLLIN), PollFd::new(b.as_raw_fd(), POLLIN)];
+        let ready = poll(&mut fds, 1000).expect("poll");
+        assert_eq!(ready, 1);
+        assert_eq!(fds[0].revents, 0, "negative fds never report");
+        assert!(fds[1].ready(POLLIN));
+    }
+
+    #[test]
+    fn nofile_limit_can_be_raised_idempotently() {
+        let first = raise_nofile_limit(2048).expect("raise");
+        assert!(first > 0, "soft limit is sane: {first}");
+        let second = raise_nofile_limit(2048).expect("raise again");
+        assert!(
+            second >= first.min(2048),
+            "re-raising never lowers the limit: {first} then {second}"
+        );
+    }
+}

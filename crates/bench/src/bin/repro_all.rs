@@ -18,6 +18,7 @@
 //! `planner` Auto-vs-best-fixed rows, the `server_throughput` loopback-TCP
 //! serving rows, the `server_overload` hostile-mix isolation rows, the
 //! `server_soak` open-loop 1k-connection event-loop soak rows, the
+//! `router_throughput` sharded-fleet merge rows, the
 //! `graph_load` binary-container-vs-text-parse rows (each
 //! block with a `"parity"` flag the `bench_check` CI gate enforces), and a
 //! walk-engine ablation (dense-serial seed path vs
@@ -30,6 +31,7 @@ use dht_bench::experiments::graph_load::{self, GraphLoadResult};
 use dht_bench::experiments::planner::{self, PlannerResult};
 use dht_bench::experiments::query_stream::{self, QueryStreamResult};
 use dht_bench::experiments::query_stream_concurrent::{self, QueryStreamConcurrentResult};
+use dht_bench::experiments::router_throughput::{self, RouterThroughputResult};
 use dht_bench::experiments::server_overload::{self, ServerOverloadResult};
 use dht_bench::experiments::server_soak::{self, ServerSoakResult};
 use dht_bench::experiments::server_throughput::{self, ServerThroughputResult};
@@ -170,6 +172,22 @@ fn main() {
     );
     timings.push(("server_soak".to_string(), elapsed.as_secs_f64()));
 
+    let (router, elapsed) = timing::time(|| router_throughput::measure(scale));
+    eprintln!(
+        "router_throughput: {} conns x {} reqs through {} backends, {:.4} s \
+         ({:.1} req/s, p99 {:.4} ms, {} fanned out, {} whole, parity {})",
+        router.connections,
+        router.requests_per_connection,
+        router.backends,
+        router.seconds,
+        router.throughput(),
+        router.p99_ms,
+        router.fanned_out,
+        router.whole_routed,
+        router.parity
+    );
+    timings.push(("router_throughput".to_string(), elapsed.as_secs_f64()));
+
     let (load, elapsed) = timing::time(|| graph_load::measure(scale));
     eprintln!(
         "graph_load: {} nodes, {} edges, text {:.4} s vs binary {:.4} s \
@@ -194,6 +212,7 @@ fn main() {
         &serving,
         &overload,
         &soak,
+        &router,
         &load,
         &ablation,
     );
@@ -264,6 +283,7 @@ fn render_json(
     serving: &ServerThroughputResult,
     overload: &ServerOverloadResult,
     soak: &ServerSoakResult,
+    router: &RouterThroughputResult,
     load: &GraphLoadResult,
     ablation: &[AblationRow],
 ) -> String {
@@ -424,6 +444,25 @@ fn render_json(
     // Streaming parity at 1k+ event-loop connections AND zero
     // well-behaved quota/deadline errors; gated by bench_check.
     let _ = writeln!(out, "    \"parity\": {}", soak.parity);
+    out.push_str("  },\n");
+    out.push_str("  \"router_throughput\": {\n");
+    out.push_str("    \"workload\": \"yeast_sharded_fleet_closed_loop\",\n");
+    let _ = writeln!(out, "    \"connections\": {},", router.connections);
+    let _ = writeln!(
+        out,
+        "    \"requests_per_connection\": {},",
+        router.requests_per_connection
+    );
+    let _ = writeln!(out, "    \"backends\": {},", router.backends);
+    let _ = writeln!(out, "    \"seconds\": {:.6},", router.seconds);
+    let _ = writeln!(out, "    \"throughput_rps\": {:.3},", router.throughput());
+    let _ = writeln!(out, "    \"p50_ms\": {:.4},", router.p50_ms);
+    let _ = writeln!(out, "    \"p99_ms\": {:.4},", router.p99_ms);
+    let _ = writeln!(out, "    \"fanned_out\": {},", router.fanned_out);
+    let _ = writeln!(out, "    \"whole_routed\": {},", router.whole_routed);
+    // `measure` compares every merged wire response against the
+    // in-process single-server union answer; gated by bench_check.
+    let _ = writeln!(out, "    \"parity\": {}", router.parity);
     out.push_str("  },\n");
     out.push_str("  \"graph_load\": {\n");
     out.push_str("    \"workload\": \"barabasi_albert_binary_vs_text\",\n");

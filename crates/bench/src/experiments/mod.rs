@@ -15,6 +15,7 @@ pub mod graph_load;
 pub mod planner;
 pub mod query_stream;
 pub mod query_stream_concurrent;
+pub mod router_throughput;
 pub mod server_overload;
 pub mod server_soak;
 pub mod server_throughput;

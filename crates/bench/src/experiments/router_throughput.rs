@@ -1,0 +1,241 @@
+//! `router_throughput` — end-to-end throughput of the sharded `dht-router`
+//! fleet, with wire-level parity against in-process sessions.
+//!
+//! Not a paper artefact: this tracks the repository's own fleet-serving
+//! layer.  Two `dht-server` backends are started in-process over the Yeast
+//! analogue — each hosting the full union graph, the base sets and its
+//! shard's alias sets — with a `dht-router` in front, and the load
+//! generator replays a backward-family query stream (plus whole-routed
+//! n-way lines) through the router on closed-loop connections.  Every
+//! merged wire response is compared **as a string** against the in-process
+//! `Session::run` answer of a single union run — scores travel as exact
+//! `f64` bit patterns, so string equality is bit parity across the
+//! shard-merge path.  The `"parity"` flag lands in `BENCH_results.json`,
+//! where the `bench_check` CI gate enforces it, and the wall-clock seconds
+//! join the gated experiment rows.
+
+use dht_core::queryline::{self, ParseOptions};
+use dht_datasets::Scale;
+use dht_engine::Engine;
+use dht_eval::report;
+use dht_router::{shard_node_sets, Router, RouterConfig};
+use dht_server::loadgen::{self, LoadGenConfig, LoadMode};
+use dht_server::metrics::percentile;
+use dht_server::{wire, Server, ServerConfig};
+
+use crate::workloads;
+
+/// Measured outcome of the experiment.
+pub struct RouterThroughputResult {
+    /// Requests each connection sends (unique lines × passes).
+    pub requests_per_connection: usize,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Backends in the fleet.
+    pub backends: usize,
+    /// Lines the router answered by sharded fan-out + merge.
+    pub fanned_out: u64,
+    /// Lines the router routed whole to one backend.
+    pub whole_routed: u64,
+    /// Total responses collected.
+    pub answered: usize,
+    /// Wall-clock seconds of the replay.
+    pub seconds: f64,
+    /// Median per-request latency in ms.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency in ms.
+    pub p99_ms: f64,
+    /// Whether every merged wire response was bit-identical to the
+    /// in-process single-server union answer.
+    pub parity: bool,
+}
+
+impl RouterThroughputResult {
+    /// Requests answered per second through the router.
+    pub fn throughput(&self) -> f64 {
+        self.answered as f64 / self.seconds.max(1e-12)
+    }
+}
+
+/// The replayed stream: repeated-target backward-family two-way queries
+/// (fanned out) plus an n-way line (whole-routed) over the first three
+/// Yeast sets.
+fn stream_lines(set_names: &[String], k: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    for algorithm in ["b-bj", "b-idj-y", "auto"] {
+        for i in 0..3usize {
+            for j in 0..3usize {
+                if i != j {
+                    lines.push(format!("{} {} {k} {algorithm}", set_names[i], set_names[j]));
+                }
+            }
+        }
+    }
+    lines.push(format!(
+        "nway chain {} {} {} {k} ap min",
+        set_names[0], set_names[1], set_names[2]
+    ));
+    lines
+}
+
+/// Runs the measurement once and returns the timings.
+///
+/// # Panics
+/// Panics if a server or the router cannot bind loopback or a connection
+/// fails — CI treats that as the smoke test failing.
+pub fn measure(scale: Scale) -> RouterThroughputResult {
+    let dataset = workloads::yeast(scale);
+    let (cap, k, connections, repeat) = match scale {
+        Scale::Tiny => (16, 5, 2, 1),
+        _ => (40, 25, 4, 2),
+    };
+    let sets = workloads::yeast_query_sets(&dataset, 3, cap);
+    let set_names: Vec<String> = sets.iter().map(|s| s.name().to_string()).collect();
+    let lines = stream_lines(&set_names, k);
+
+    // In-process expected answers: one warm session over the union graph.
+    let options = ParseOptions::default();
+    let reference = Engine::new(dataset.graph.clone());
+    let mut session = reference.session();
+    let expected: Vec<String> = lines
+        .iter()
+        .enumerate()
+        .map(|(index, line)| {
+            let parsed = queryline::parse_query_line(line, &sets, &options, index + 1)
+                .expect("experiment stream is well-formed")
+                .expect("no blank lines");
+            let output = session
+                .run(&parsed.spec)
+                .expect("experiment stream is valid");
+            format!("OK {}", wire::encode_output(&output))
+        })
+        .collect();
+
+    // Two backends, each with the union graph + base sets + its aliases.
+    let backends = 2usize;
+    let aliases = shard_node_sets(&sets, backends);
+    let fleet: Vec<Server> = (0..backends)
+        .map(|index| {
+            let mut backend_sets = sets.clone();
+            backend_sets.extend(aliases[index].iter().cloned());
+            Server::start(
+                Engine::new(dataset.graph.clone()),
+                backend_sets,
+                options,
+                ServerConfig::default().with_workers(2),
+            )
+            .expect("bind loopback backend")
+        })
+        .collect();
+    let addrs: Vec<_> = fleet.iter().map(Server::local_addr).collect();
+    let router =
+        Router::start(&addrs, RouterConfig::default().with_k(k)).expect("router binds loopback");
+
+    let report = loadgen::run(
+        router.local_addr(),
+        &lines,
+        &LoadGenConfig {
+            connections,
+            repeat,
+            mode: LoadMode::Closed,
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("replay through the router succeeds");
+    let stats = router.shutdown();
+    for server in fleet {
+        server.shutdown();
+    }
+
+    let parity = report.responses.iter().all(|finals| {
+        finals
+            .iter()
+            .enumerate()
+            .all(|(index, response)| response == &expected[index % expected.len()])
+    });
+    let mut sorted = report.latencies_ms.clone();
+    sorted.sort_by(f64::total_cmp);
+    RouterThroughputResult {
+        requests_per_connection: report.requests_per_connection,
+        connections: report.connections,
+        backends,
+        fanned_out: stats.fanned_out,
+        whole_routed: stats.whole_routed,
+        answered: report.answered,
+        seconds: report.elapsed.as_secs_f64(),
+        p50_ms: percentile(&sorted, 0.50),
+        p99_ms: percentile(&sorted, 0.99),
+        parity,
+    }
+}
+
+/// Runs the experiment and returns the formatted report.
+pub fn run(scale: Scale) -> String {
+    let result = measure(scale);
+    let mut out = String::new();
+    out.push_str(&report::heading(
+        "router_throughput — dht-router over a 2-shard fleet (Yeast)",
+    ));
+    out.push_str(&format!(
+        "{} connections × {} closed-loop requests through {} backends\n\n",
+        result.connections, result.requests_per_connection, result.backends
+    ));
+    out.push_str(&report::format_table(
+        &["metric", "value"],
+        &[
+            vec![
+                "total time (s)".to_string(),
+                format!("{:.4}", result.seconds),
+            ],
+            vec![
+                "throughput (req/s)".to_string(),
+                format!("{:.1}", result.throughput()),
+            ],
+            vec![
+                "p50 latency (ms)".to_string(),
+                format!("{:.4}", result.p50_ms),
+            ],
+            vec![
+                "p99 latency (ms)".to_string(),
+                format!("{:.4}", result.p99_ms),
+            ],
+            vec!["fanned out".to_string(), result.fanned_out.to_string()],
+            vec!["whole routed".to_string(), result.whole_routed.to_string()],
+        ],
+    ));
+    out.push_str(&format!(
+        "\nwire parity vs single-server union run: {}\n",
+        if result.parity {
+            "ok (bit-identical)"
+        } else {
+            "FAILED"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fleet_run_is_bit_identical_through_the_merge() {
+        let result = measure(Scale::Tiny);
+        assert!(result.parity, "merged answers must match the union run");
+        assert_eq!(
+            result.answered,
+            result.connections * result.requests_per_connection
+        );
+        assert!(result.fanned_out > 0, "backward lines must fan out");
+        assert!(result.whole_routed > 0, "the n-way line routes whole");
+        assert!(result.throughput() > 0.0);
+    }
+
+    #[test]
+    fn report_contains_throughput_and_parity() {
+        let report = run(Scale::Tiny);
+        assert!(report.contains("throughput"));
+        assert!(report.contains("parity"));
+        assert!(report.contains("ok (bit-identical)"));
+    }
+}

@@ -43,6 +43,11 @@ OPTIONS:
                             drip-feed — round-robin); parity
                             applies to well-behaved ones only    [default: 0]
     --shutdown <0|1>        send SHUTDOWN when done              [default: 0]
+    --via-router <0|1>      the target is a `dht route` front
+                            door: label the report accordingly
+                            and tolerate typed ERR SHARD
+                            responses in the parity check
+                            (counted, not failed)                [default: 0]
     --graph <path>          with --sets: verify every response
     --sets <path>           bit-for-bit against in-process
                             answers (engine options must match
@@ -71,6 +76,7 @@ const KNOWN: &[&str] = &[
     "retry-busy",
     "hostile",
     "shutdown",
+    "via-router",
     "graph",
     "sets",
     "k",
@@ -144,14 +150,16 @@ pub fn run(args: &ArgMap) -> Result<String> {
         hostile: args.get_parsed_or("hostile", 0usize)?,
         ..LoadGenConfig::default()
     };
+    let via_router = args.get_parsed_or("via-router", 0u8)? == 1;
     let report = loadgen::run(addr, &lines, &config).map_err(CliError::Io)?;
 
     let mut out = String::new();
     out.push_str(&format!(
-        "loadgen: {} connections × {} requests ({} mode) against {addr}\n",
+        "loadgen: {} connections × {} requests ({} mode) against {addr}{}\n",
         report.connections,
         report.requests_per_connection,
-        config.mode.name()
+        config.mode.name(),
+        if via_router { " via router" } else { "" }
     ));
     out.push_str(&format!(
         "total {:.4} s, throughput {:.1} requests/s, {} busy rejection(s), \
@@ -193,8 +201,16 @@ pub fn run(args: &ArgMap) -> Result<String> {
     if args.get("graph").is_some() || args.get("sets").is_some() {
         let expected = expected_responses(args, &lines)?;
         let mut compared = 0usize;
+        let mut shard_errors = 0usize;
         for (connection, finals) in report.responses.iter().enumerate() {
             for (index, response) in finals.iter().enumerate() {
+                // A router fleet with a dead backend answers typed
+                // `ERR SHARD` lines; those are expected operational
+                // outcomes, not parity violations.
+                if via_router && wire::is_shard(response) {
+                    shard_errors += 1;
+                    continue;
+                }
                 let want = &expected[index % expected.len()];
                 if response != want {
                     return Err(CliError::Parse(format!(
@@ -208,6 +224,11 @@ pub fn run(args: &ArgMap) -> Result<String> {
         out.push_str(&format!(
             "parity: ok ({compared} responses bit-identical to in-process answers)\n"
         ));
+        if via_router {
+            out.push_str(&format!(
+                "router: {shard_errors} ERR SHARD response(s) tolerated\n"
+            ));
+        }
     }
 
     if args.get_parsed_or("shutdown", 0u8)? == 1 {
@@ -386,6 +407,42 @@ mod tests {
         assert!(out.contains("shutdown acknowledged: OK BYE"), "got: {out}");
         let stats = server.join();
         assert_eq!(stats.served, 16);
+        for path in [&graph, &sets, &queries] {
+            std::fs::remove_file(path).ok();
+        }
+    }
+
+    #[test]
+    fn via_router_replays_keep_parity_through_the_front_door() {
+        let (graph, sets, queries, server) = fixture("via-router", ServerConfig::default());
+        let backend = server.local_addr();
+        let router =
+            dht_router::Router::start(&[backend], dht_router::RouterConfig::default()).unwrap();
+        let port = router.local_addr().port().to_string();
+        let out = run(&argmap(&[
+            "--port",
+            &port,
+            "--queries",
+            queries.to_str().unwrap(),
+            "--connections",
+            "2",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--sets",
+            sets.to_str().unwrap(),
+            "--via-router",
+            "1",
+            "--shutdown",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("via router"), "got: {out}");
+        assert!(out.contains("parity: ok (8 responses"), "got: {out}");
+        assert!(out.contains("router: 0 ERR SHARD"), "got: {out}");
+        assert!(out.contains("shutdown acknowledged: OK BYE"), "got: {out}");
+        router.join();
+        loadgen::send_shutdown(backend).unwrap();
+        server.join();
         for path in [&graph, &sets, &queries] {
             std::fs::remove_file(path).ok();
         }

@@ -7,7 +7,9 @@ pub mod loadgen;
 pub mod nway;
 pub mod pack;
 pub mod querystream;
+pub mod route;
 pub mod serve;
+pub mod shardsets;
 pub mod stats;
 pub mod twoway;
 

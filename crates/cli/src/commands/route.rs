@@ -1,0 +1,146 @@
+//! `dht route` — run the sharded top-k router in front of `dht-server`
+//! backends.
+//!
+//! Probes every `--backend`, binds `127.0.0.1:<port>`, prints a scrapeable
+//! `dht-router listening on …` line and serves until a client sends
+//! `SHUTDOWN`.  Backward-family two-way queries fan out across the shard
+//! aliases (`{set}%{i}of{n}`, see `dht shard-sets`) hosted by the backends
+//! and the per-shard answers merge into a globally bit-exact top-k;
+//! everything else routes whole to one backend.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use dht_router::{Router, RouterConfig};
+
+use crate::{ArgMap, CliError, Result};
+
+const HELP: &str = "\
+dht route — shard backward-walk targets across a fleet of dht-servers
+
+Speaks the same line protocol as `dht serve` on the client side and plain
+dht-server wire protocol downstream, so `dht loadgen --via-router` and any
+querystream client work unchanged.  Merged top-k answers are bit-identical
+to a single server hosting the union graph; when a backend stays down past
+the retry budget its lines answer a typed `ERR SHARD <name> unavailable`.
+
+OPTIONS:
+    --backend <host:port>   a dht-server backend (repeat once per shard;
+                            at least one required)
+    --port <n>              TCP port on 127.0.0.1 (0 = ephemeral) [default: 7412]
+    --k <n>                 merge-time default k for queries that
+                            omit it (must match the backends'
+                            default)                              [default: 10]
+    --timeout-ms <n>        per-backend reply timeout             [default: 2000]
+    --retries <n>           reconnect attempts per backend before
+                            a line answers ERR SHARD              [default: 3]
+    --own-backends <0|1>    1: SHUTDOWN also drains and shuts
+                            down every backend                    [default: 0]
+";
+
+const KNOWN: &[&str] = &[
+    "backend",
+    "port",
+    "k",
+    "timeout-ms",
+    "retries",
+    "own-backends",
+];
+
+/// Default router port (loopback only; one above `dht serve`).
+pub const DEFAULT_PORT: u16 = 7412;
+
+fn resolve_backend(value: &str) -> Result<SocketAddr> {
+    value
+        .to_socket_addrs()
+        .map_err(|e| CliError::Parse(format!("--backend '{value}': {e}")))?
+        .next()
+        .ok_or_else(|| CliError::Parse(format!("--backend '{value}' resolved to no address")))
+}
+
+/// Runs the command (blocks until a client sends `SHUTDOWN`).
+pub fn run(args: &ArgMap) -> Result<String> {
+    if args.wants_help() {
+        return Ok(HELP.to_string());
+    }
+    args.reject_unknown(KNOWN)?;
+    let backend_values = args.get_all("backend");
+    if backend_values.is_empty() {
+        return Err(CliError::Usage(
+            "missing required option '--backend' (repeat once per shard)".to_string(),
+        ));
+    }
+    let backends = backend_values
+        .iter()
+        .map(|value| resolve_backend(value))
+        .collect::<Result<Vec<_>>>()?;
+    let config = RouterConfig::default()
+        .with_port(args.get_parsed_or("port", DEFAULT_PORT)?)
+        .with_k(args.get_parsed_or("k", 10)?)
+        .with_timeout_ms(args.get_parsed_or("timeout-ms", 2_000)?)
+        .with_retries(args.get_parsed_or("retries", 3)?)
+        .with_own_backends(args.get_parsed_or("own-backends", 0u8)? == 1);
+    let router = Router::start(&backends, config).map_err(CliError::Io)?;
+    for backend in router.backends() {
+        println!(
+            "backend {} at {} ({} sets): {}",
+            backend.name,
+            backend.addr,
+            backend.sets.len(),
+            backend.health
+        );
+    }
+    // Scripts scrape this line for the (possibly ephemeral) port, so it
+    // must hit stdout before the blocking join.
+    println!(
+        "dht-router listening on {} ({} backends, k {}, timeout {} ms, retries {})",
+        router.local_addr(),
+        router.backends().len(),
+        config.k,
+        config.timeout_ms,
+        config.retries
+    );
+    std::io::stdout().flush().ok();
+    let stats = router.join();
+    Ok(format!(
+        "dht-router shut down cleanly: {} served ({} fanned out, {} whole), \
+         {} shard error(s), up {} ms\n",
+        stats.served, stats.fanned_out, stats.whole_routed, stats.shard_errors, stats.uptime_ms
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argmap(parts: &[&str]) -> ArgMap {
+        ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn help_documents_the_fleet_knobs() {
+        let out = run(&argmap(&["--help"])).unwrap();
+        assert!(out.contains("--backend"));
+        assert!(out.contains("--own-backends"));
+        assert!(out.contains("ERR SHARD"));
+        assert!(out.contains("bit-identical"));
+    }
+
+    #[test]
+    fn at_least_one_backend_is_required() {
+        let err = run(&argmap(&[])).unwrap_err();
+        assert!(err.to_string().contains("--backend"), "{err}");
+    }
+
+    #[test]
+    fn unresolvable_backends_are_rejected() {
+        let err = run(&argmap(&["--backend", "not an address"])).unwrap_err();
+        assert!(err.to_string().contains("not an address"), "{err}");
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let err = run(&argmap(&["--backend", "127.0.0.1:1", "--shards", "2"])).unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+    }
+}

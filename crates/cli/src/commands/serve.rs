@@ -1,4 +1,5 @@
-//! `dht serve` — run the TCP query server over one graph.
+//! `dht serve` — run the TCP query server over one graph or a registry of
+//! named graphs.
 //!
 //! Builds a [`dht_engine::Engine`] (shared cross-session column cache and
 //! Y-table store by default), binds `127.0.0.1:<port>` and serves the
@@ -8,13 +9,20 @@
 //!
 //! ```text
 //! $ dht serve --graph g.tsv --sets s.tsv --port 0 --workers 4 &
-//! dht-server listening on 127.0.0.1:40931 (4 workers, queue 128, batch 8)
+//! dht-server listening on 127.0.0.1:40931 (4 workers, queue 128+128, batch 8, ...)
 //! ```
+//!
+//! With repeated `--graph NAME=PATH` / `--sets NAME=PATH` pairs the server
+//! hosts a **multi-graph registry** behind the same port: the `--cache`
+//! budget is split across the graphs proportionally to their node counts,
+//! connections pick a graph with `USE <name>` or the `@<name>` line
+//! prefix, and `STATS` reports per-graph blocks.
 
 use std::io::Write as _;
 
 use dht_core::queryline::ParseOptions;
-use dht_engine::{Engine, EngineConfig};
+use dht_engine::{Engine, EngineConfig, GraphRegistry};
+use dht_graph::NodeSet;
 use dht_server::{Server, ServerConfig};
 
 use crate::{setsfile, ArgMap, CliError, Result};
@@ -23,13 +31,17 @@ const HELP: &str = "\
 dht serve — serve querystream queries over TCP from one warm engine
 
 The line protocol is the querystream query language plus PING / STATS /
-EXPLAIN <query> / SHUTDOWN, with optional per-line QoS prefixes
-(DEADLINE <ms>, PRIO <interactive|batch>).  Responses are bit-identical
-to in-process sessions; scores travel as exact f64 bit patterns.
+SETS / USE <graph> / EXPLAIN <query> / SHUTDOWN, with optional per-line
+prefixes (DEADLINE <ms>, PRIO <interactive|batch>, @<graph>).  Responses
+are bit-identical to in-process sessions; scores travel as exact f64 bit
+patterns.
 
 OPTIONS:
-    --graph <path>          edge-list graph file (required)
-    --sets <path>           node-set file (required)
+    --graph <path>          edge-list graph file (required); repeat as
+                            --graph NAME=PATH to serve several named
+                            graphs behind one port (a graph registry)
+    --sets <path>           node-set file (required); with a registry,
+                            repeat as --sets NAME=PATH (one per graph)
     --port <n>              TCP port on 127.0.0.1 (0 = ephemeral) [default: 7411]
     --workers <n>           worker sessions                       [default: 2]
     --queue <n>             interactive-class queue capacity;
@@ -37,6 +49,16 @@ OPTIONS:
     --batch-queue <n>       batch-class (`PRIO batch`) queue
                             capacity, independent of --queue      [default: 128]
     --batch <n>             max requests per worker micro-batch   [default: 8]
+    --batch-weight <n>      weighted dequeue: interactive pops
+                            per waiting batch pop (≥ 1), so batch
+                            work cannot starve under sustained
+                            interactive load                      [default: 7]
+    --default-deadline-interactive <ms>
+                            server-side deadline for interactive
+                            lines without a DEADLINE prefix
+                            (0 = none)                            [default: 0]
+    --default-deadline-batch <ms>
+                            same, for `PRIO batch` lines          [default: 0]
     --rate <n>              per-connection rate limit in query
                             lines/s; excess gets `ERR QUOTA` with
                             a retry-after hint (0 = unlimited)    [default: 0]
@@ -45,7 +67,9 @@ OPTIONS:
     --algorithm <name>      default two-way algorithm (fixed
                             name or `auto`)                       [default: B-IDJ-Y]
     --m <n>                 PJ / PJ-i initial 2-way join size     [default: 50]
-    --cache <bytes>         column-cache byte budget (0 = off)    [default: 67108864]
+    --cache <bytes>         column-cache byte budget (0 = off);
+                            with a registry this is the GLOBAL
+                            budget, split by node count           [default: 67108864]
     --shared <0|1>          1: cross-session cache + Y-table
                             store; 0: private per worker          [default: 1]
     --variant <lambda|e>    DHT variant                           [default: lambda]
@@ -63,6 +87,9 @@ const KNOWN: &[&str] = &[
     "queue",
     "batch-queue",
     "batch",
+    "batch-weight",
+    "default-deadline-interactive",
+    "default-deadline-batch",
     "rate",
     "burst",
     "k",
@@ -80,22 +107,89 @@ const KNOWN: &[&str] = &[
 /// Default serving port (loopback only).
 pub const DEFAULT_PORT: u16 = 7411;
 
-/// Builds the engine and parse options shared by `serve` (and by
-/// `loadgen`'s parity verification, which must mirror the server exactly).
-pub(crate) fn engine_from_args(args: &ArgMap) -> Result<(Engine, Vec<dht_graph::NodeSet>)> {
-    let graph = super::load_graph(args)?;
-    let sets = setsfile::read_node_sets_file(args.require("sets")?)?;
+/// Parses the shared engine knobs (`--cache`, `--shared`, DHT and walk
+/// options) into an [`EngineConfig`].
+pub(crate) fn engine_config_from_args(args: &ArgMap) -> Result<EngineConfig> {
     let cache: usize = args.get_parsed_or("cache", dht_engine::DEFAULT_CACHE_BYTES)?;
     let shared = args.get_parsed_or("shared", 1u8)? == 1;
     let (params, depth) = super::dht_options(args)?;
     let (walk_engine, threads) = super::engine_options(args)?;
-    let config = EngineConfig::paper_default()
+    Ok(EngineConfig::paper_default()
         .with_params(params, depth)
         .with_engine(walk_engine)
         .with_threads(threads)
         .with_cache_bytes(cache)
-        .with_shared_cache(shared);
+        .with_shared_cache(shared))
+}
+
+/// Builds the engine and parse options shared by `serve` (and by
+/// `loadgen`'s parity verification, which must mirror the server exactly).
+pub(crate) fn engine_from_args(args: &ArgMap) -> Result<(Engine, Vec<NodeSet>)> {
+    let graph = super::load_graph(args)?;
+    let sets = setsfile::read_node_sets_file(args.require("sets")?)?;
+    let config = engine_config_from_args(args)?;
     Ok((Engine::with_config(graph, config), sets))
+}
+
+/// Splits a repeated `NAME=PATH` option value.
+fn split_named(option: &str, value: &str) -> Result<(String, String)> {
+    let Some((name, path)) = value.split_once('=') else {
+        return Err(CliError::Usage(format!(
+            "multi-graph serving needs '--{option} NAME=PATH' (got '{value}')"
+        )));
+    };
+    if name.is_empty() || path.is_empty() {
+        return Err(CliError::Usage(format!(
+            "'--{option} {value}': both NAME and PATH must be non-empty"
+        )));
+    }
+    Ok((name.to_string(), path.to_string()))
+}
+
+/// Builds the graph registry + per-graph set catalogues from the argument
+/// map, accepting both the single-graph form (`--graph PATH --sets PATH`,
+/// registered as graph `default`) and the registry form (repeated
+/// `--graph NAME=PATH` / `--sets NAME=PATH`).
+pub(crate) fn registry_from_args(args: &ArgMap) -> Result<(GraphRegistry, Vec<Vec<NodeSet>>)> {
+    let graph_values = args.get_all("graph");
+    if graph_values.is_empty() {
+        return Err(CliError::Usage(
+            "missing required option '--graph'".to_string(),
+        ));
+    }
+    let named = graph_values.len() > 1 || graph_values[0].contains('=');
+    if !named {
+        let (engine, sets) = engine_from_args(args)?;
+        let registry = GraphRegistry::from_engines(vec![("default".to_string(), engine)]);
+        return Ok((registry, vec![sets]));
+    }
+    let config = engine_config_from_args(args)?;
+    let mut graphs = Vec::with_capacity(graph_values.len());
+    for value in &graph_values {
+        let (name, path) = split_named("graph", value)?;
+        let graph = dht_graph::io::read_graph_file_auto(&path).map_err(CliError::from)?;
+        graphs.push((name, graph));
+    }
+    let mut sets_by_name = Vec::new();
+    for value in &args.get_all("sets") {
+        let (name, path) = split_named("sets", value)?;
+        sets_by_name.push((name, setsfile::read_node_sets_file(&path)?));
+    }
+    let sets = graphs
+        .iter()
+        .map(|(name, _)| {
+            sets_by_name
+                .iter()
+                .find(|(set_name, _)| set_name == name)
+                .map(|(_, sets)| sets.clone())
+                .ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "graph '{name}' has no matching '--sets {name}=PATH'"
+                    ))
+                })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((GraphRegistry::with_shared_budget(graphs, config), sets))
 }
 
 /// Parses the stream defaults (`--k`, `--algorithm`, `--m`) into the shared
@@ -114,7 +208,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
         return Ok(HELP.to_string());
     }
     args.reject_unknown(KNOWN)?;
-    let (engine, sets) = engine_from_args(args)?;
+    let (registry, sets) = registry_from_args(args)?;
     let parse = parse_options_from_args(args)?;
     let config = ServerConfig::default()
         .with_port(args.get_parsed_or("port", DEFAULT_PORT)?)
@@ -122,20 +216,26 @@ pub fn run(args: &ArgMap) -> Result<String> {
         .with_queue_capacity(args.get_parsed_or("queue", 128)?)
         .with_batch_queue_capacity(args.get_parsed_or("batch-queue", 128)?)
         .with_batch(args.get_parsed_or("batch", 8)?)
+        .with_batch_weight(args.get_parsed_or("batch-weight", dht_server::DEFAULT_BATCH_WEIGHT)?)
+        .with_default_deadline_interactive(args.get_parsed_or("default-deadline-interactive", 0)?)
+        .with_default_deadline_batch(args.get_parsed_or("default-deadline-batch", 0)?)
         .with_rate(args.get_parsed_or("rate", 0)?)
         .with_burst(args.get_parsed_or("burst", 32)?);
-    let server = Server::start(engine, sets, parse, config).map_err(CliError::Io)?;
+    let graphs = registry.len();
+    let server = Server::start_registry(registry, sets, parse, config).map_err(CliError::Io)?;
     // Scripts scrape this line for the (possibly ephemeral) port, so it
     // must hit stdout before the blocking join.
     println!(
-        "dht-server listening on {} ({} workers, queue {}+{}, batch {}, rate {}/s burst {})",
+        "dht-server listening on {} ({} workers, queue {}+{}, batch {}, rate {}/s burst {}, \
+         {} graph(s))",
         server.local_addr(),
         config.workers,
         config.queue_capacity,
         config.batch_queue_capacity,
         config.batch,
         config.rate,
-        config.burst
+        config.burst,
+        graphs
     );
     std::io::stdout().flush().ok();
     let stats = server.join();
@@ -160,6 +260,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dht_graph::{GraphBuilder, NodeId};
 
     fn argmap(parts: &[&str]) -> ArgMap {
         ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
@@ -172,12 +273,16 @@ mod tests {
         assert!(out.contains("--workers"));
         assert!(out.contains("--queue"));
         assert!(out.contains("--batch-queue"));
+        assert!(out.contains("--batch-weight"));
+        assert!(out.contains("--default-deadline-interactive"));
         assert!(out.contains("--rate"));
         assert!(out.contains("--burst"));
         assert!(out.contains("ERR BUSY"));
         assert!(out.contains("ERR QUOTA"));
         assert!(out.contains("DEADLINE"));
         assert!(out.contains("SHUTDOWN"));
+        assert!(out.contains("NAME=PATH"));
+        assert!(out.contains("USE <graph>"));
     }
 
     #[test]
@@ -200,5 +305,78 @@ mod tests {
             options.default_two_way,
             dht_core::spec::AlgorithmChoice::Auto
         ));
+    }
+
+    #[test]
+    fn registry_form_loads_named_graphs_and_splits_the_budget() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let mut paths = Vec::new();
+        for (tag, nodes) in [("a", 6usize), ("b", 12)] {
+            let mut b = GraphBuilder::with_nodes(nodes);
+            for u in 0..nodes as u32 - 1 {
+                b.add_undirected_edge(NodeId(u), NodeId(u + 1), 1.0)
+                    .unwrap();
+            }
+            let graph_path = dir.join(format!("dht-serve-reg-{tag}-{pid}.tsv"));
+            let sets_path = dir.join(format!("dht-serve-reg-{tag}-{pid}.sets"));
+            dht_graph::io::write_edge_list_file(&b.build().unwrap(), &graph_path).unwrap();
+            crate::setsfile::write_node_sets_file(
+                &[
+                    dht_graph::NodeSet::new("P", (0..2).map(NodeId)),
+                    dht_graph::NodeSet::new("Q", (2..4).map(NodeId)),
+                ],
+                &sets_path,
+            )
+            .unwrap();
+            paths.push((graph_path, sets_path));
+        }
+        let budget = 1usize << 20;
+        let (registry, sets) = registry_from_args(&argmap(&[
+            "--graph",
+            &format!("small={}", paths[0].0.display()),
+            "--graph",
+            &format!("large={}", paths[1].0.display()),
+            "--sets",
+            &format!("large={}", paths[1].1.display()),
+            "--sets",
+            &format!("small={}", paths[0].1.display()),
+            "--cache",
+            &budget.to_string(),
+        ]))
+        .unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.index_of("small"), Some(0));
+        assert_eq!(registry.index_of("large"), Some(1));
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0][0].name(), "P");
+        let shares: Vec<usize> = registry
+            .iter()
+            .map(|(_, engine)| engine.config().cache_bytes)
+            .collect();
+        assert_eq!(shares.iter().sum::<usize>(), budget);
+        assert!(shares[1] > shares[0], "larger graph, larger quota");
+        // A graph without matching sets is an error, as is a bare path mixed
+        // into the registry form.
+        let err = registry_from_args(&argmap(&[
+            "--graph",
+            &format!("solo={}", paths[0].0.display()),
+            "--sets",
+            &format!("other={}", paths[0].1.display()),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("solo"), "{err}");
+        let err = registry_from_args(&argmap(&[
+            "--graph",
+            &format!("a={}", paths[0].0.display()),
+            "--graph",
+            paths[1].0.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("NAME=PATH"), "{err}");
+        for (graph_path, sets_path) in paths {
+            std::fs::remove_file(graph_path).ok();
+            std::fs::remove_file(sets_path).ok();
+        }
     }
 }

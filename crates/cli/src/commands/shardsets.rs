@@ -1,0 +1,140 @@
+//! `dht shard-sets` — split a node-set file into per-backend shard files.
+//!
+//! Each output file holds the **base sets unchanged** plus that shard's
+//! alias sets named `{base}%{index}of{count}` (only the non-empty ones),
+//! produced by the router's deterministic node hash.  Serving shard `i`'s
+//! file on backend `i` of a `dht route` fleet gives the router everything
+//! it needs: it discovers the aliases via `SETS` and fans backward-family
+//! queries out across them, while whole-routed lines still resolve the
+//! base names on any backend.
+
+use dht_router::shard_node_sets;
+
+use crate::{setsfile, ArgMap, CliError, Result};
+
+const HELP: &str = "\
+dht shard-sets — partition a node-set file for a sharded dht-route fleet
+
+Writes one sets file per shard: the base sets verbatim plus the shard's
+alias sets ({base}%{index}of{count}), partitioned by the router's
+deterministic node hash so every fleet (and the router itself) agrees on
+the assignment without coordination.
+
+OPTIONS:
+    --sets <path>           node-set file to partition (required)
+    --shards <n>            number of shards / backends (required, >= 1)
+    --out-prefix <prefix>   output path prefix; shard i is written to
+                            <prefix><i>.sets (required)
+";
+
+const KNOWN: &[&str] = &["sets", "shards", "out-prefix"];
+
+/// Runs the command.
+pub fn run(args: &ArgMap) -> Result<String> {
+    if args.wants_help() {
+        return Ok(HELP.to_string());
+    }
+    args.reject_unknown(KNOWN)?;
+    let shards: usize = args.get_parsed_or("shards", 0)?;
+    if shards == 0 {
+        return Err(CliError::Usage(
+            "missing or zero '--shards' (need the backend count, >= 1)".to_string(),
+        ));
+    }
+    let prefix = args.require("out-prefix")?;
+    let sets = setsfile::read_node_sets_file(args.require("sets")?)?;
+    let aliases = shard_node_sets(&sets, shards);
+    let mut out = String::new();
+    for (index, shard_aliases) in aliases.iter().enumerate() {
+        let path = format!("{prefix}{index}.sets");
+        let mut combined = sets.clone();
+        combined.extend(shard_aliases.iter().cloned());
+        setsfile::write_node_sets_file(&combined, &path)?;
+        let members: usize = shard_aliases.iter().map(|s| s.len()).sum();
+        out.push_str(&format!(
+            "shard {index}: {path} ({} base + {} alias sets, {members} alias members)\n",
+            sets.len(),
+            shard_aliases.len(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dht_graph::{NodeId, NodeSet};
+
+    fn argmap(parts: &[&str]) -> ArgMap {
+        ArgMap::parse(&parts.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn help_documents_the_alias_scheme() {
+        let out = run(&argmap(&["--help"])).unwrap();
+        assert!(out.contains("--shards"));
+        assert!(out.contains("--out-prefix"));
+        assert!(out.contains("%"));
+    }
+
+    #[test]
+    fn shard_files_hold_base_sets_plus_disjoint_aliases() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let sets_path = dir.join(format!("dht-shardsets-in-{pid}.sets"));
+        let prefix = dir.join(format!("dht-shardsets-out-{pid}-"));
+        setsfile::write_node_sets_file(
+            &[
+                NodeSet::new("P", (0..9).map(NodeId)),
+                NodeSet::new("Q", (9..14).map(NodeId)),
+            ],
+            &sets_path,
+        )
+        .unwrap();
+        let report = run(&argmap(&[
+            "--sets",
+            sets_path.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--out-prefix",
+            prefix.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(report.contains("shard 0:"), "{report}");
+        assert!(report.contains("shard 1:"), "{report}");
+        let mut alias_members = 0usize;
+        for index in 0..2 {
+            let shard =
+                setsfile::read_node_sets_file(format!("{}{index}.sets", prefix.display())).unwrap();
+            assert_eq!(shard[0].name(), "P");
+            assert_eq!(shard[0].len(), 9, "base sets travel unchanged");
+            assert_eq!(shard[1].name(), "Q");
+            for alias in &shard[2..] {
+                assert!(
+                    alias.name().contains(&format!("%{index}of2")),
+                    "{}",
+                    alias.name()
+                );
+                assert!(!alias.is_empty());
+                alias_members += alias.len();
+            }
+            std::fs::remove_file(format!("{}{index}.sets", prefix.display())).ok();
+        }
+        assert_eq!(alias_members, 14, "aliases partition the base members");
+        std::fs::remove_file(sets_path).ok();
+    }
+
+    #[test]
+    fn zero_shards_is_a_usage_error() {
+        let err = run(&argmap(&[
+            "--sets",
+            "x.sets",
+            "--shards",
+            "0",
+            "--out-prefix",
+            "y",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+    }
+}

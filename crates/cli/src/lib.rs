@@ -44,6 +44,9 @@ COMMANDS:
     nway         Run a top-k n-way join over a query graph of node sets
     querystream  Answer a file of 2-way queries on a warm engine session
     serve        Serve querystream queries over TCP from one warm engine
+                 (or a registry of named graphs: --graph NAME=PATH …)
+    route        Shard backward-walk targets across a fleet of dht-servers
+    shard-sets   Partition a node-set file into per-backend shard files
     loadgen      Replay a query file against a running serve instance
     linkpred     Hold-out link-prediction evaluation between two node sets
     help         Show this message
@@ -66,6 +69,8 @@ pub fn run(args: &[String]) -> Result<String> {
         "nway" | "n-way" => commands::nway::run(&ArgMap::parse(rest)?),
         "querystream" | "query-stream" => commands::querystream::run(&ArgMap::parse(rest)?),
         "serve" | "server" => commands::serve::run(&ArgMap::parse(rest)?),
+        "route" | "router" => commands::route::run(&ArgMap::parse(rest)?),
+        "shard-sets" | "shardsets" => commands::shardsets::run(&ArgMap::parse(rest)?),
         "loadgen" | "load-gen" => commands::loadgen::run(&ArgMap::parse(rest)?),
         "linkpred" | "link-prediction" => commands::linkpred::run(&ArgMap::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

@@ -5,8 +5,8 @@
 //! One query per line; `#` starts a comment, blank lines are skipped:
 //!
 //! ```text
-//! [DEADLINE <ms>] [PRIO <class>] LEFT RIGHT [k] [ALGORITHM]               # two-way join
-//! [DEADLINE <ms>] [PRIO <class>] nway SHAPE S1 S2 ... Sn [k] [ALGO] [AGG] # n-way join
+//! [DEADLINE <ms>] [PRIO <class>] [@<graph>] LEFT RIGHT [k] [ALGORITHM]    # two-way join
+//! [DEADLINE <ms>] [PRIO <class>] [@<graph>] nway SHAPE S1 ... Sn [k] [ALGO] [AGG]
 //! ```
 //!
 //! `LEFT`/`RIGHT`/`S1..Sn` name node sets; `SHAPE` is `chain`, `cycle`,
@@ -18,13 +18,16 @@
 //! The optional **QoS prefixes** (any order, each at most once) carry
 //! serving metadata: `DEADLINE <ms>` gives the request a millisecond
 //! budget — a server answers it with a typed `ERR DEADLINE` instead of
-//! executing it once the budget is spent in queue — and `PRIO <class>`
+//! executing it once the budget is spent in queue — `PRIO <class>`
 //! assigns it to a scheduling class ([`Priority::Interactive`], the
-//! default, or [`Priority::Batch`]).  `DEADLINE` and `PRIO` are therefore
-//! reserved words: a node set cannot be named either.  In-process front
-//! ends (`dht querystream`) parse and validate the prefixes but answer
-//! every query regardless — the prefixes only change *scheduling*, never
-//! answers.
+//! default, or [`Priority::Batch`]) — and `@<graph>` names the graph a
+//! multi-graph server should answer the line against (overriding the
+//! session's `USE` selection for that one line).  `DEADLINE` and `PRIO`
+//! are therefore reserved words (a node set cannot be named either) and
+//! a set name cannot start with `@`.  In-process front ends
+//! (`dht querystream`) parse and validate the prefixes but answer every
+//! query regardless — the prefixes only change *scheduling and routing*,
+//! never answers.
 //!
 //! Living in `dht-core`, this module is the **single** parser for the
 //! language: the CLI and the server cannot drift apart, because both call
@@ -147,6 +150,46 @@ pub struct ParsedQuery {
     /// Scheduling class from a `PRIO <class>` prefix
     /// ([`Priority::Interactive`] when the line had none).
     pub priority: Priority,
+    /// Graph namespace from an `@<graph>` prefix (`None` when the line
+    /// had none — a multi-graph server then uses the session's `USE`
+    /// selection).  Routing metadata only: single-graph front ends parse
+    /// and ignore it.
+    pub graph: Option<String>,
+}
+
+/// The QoS / namespace metadata split off the front of one query line.
+///
+/// Returned by [`split_query_line`] so routing front ends (`dht-router`)
+/// can understand scheduling metadata with exactly the server's grammar
+/// while forwarding the query body untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinePrefixes {
+    /// Millisecond budget from a `DEADLINE <ms>` prefix.
+    pub deadline_ms: Option<u64>,
+    /// Scheduling class from a `PRIO <class>` prefix.
+    pub priority: Priority,
+    /// Graph namespace from an `@<graph>` prefix.
+    pub graph: Option<String>,
+}
+
+impl LinePrefixes {
+    /// Renders the prefixes back into their canonical leading tokens
+    /// (`DEADLINE <ms> PRIO <class> @<graph> `), ending with a trailing
+    /// space when non-empty, so `format!("{}{}", prefixes.render(), body)`
+    /// round-trips a split line into one the parser reads identically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(ms) = self.deadline_ms {
+            out.push_str(&format!("DEADLINE {ms} "));
+        }
+        if self.priority != Priority::Interactive {
+            out.push_str(&format!("PRIO {} ", self.priority.name()));
+        }
+        if let Some(graph) = &self.graph {
+            out.push_str(&format!("@{graph} "));
+        }
+        out
+    }
 }
 
 /// Parses a two-way algorithm name (`f-bj`, `fidj`, `B-IDJ-Y`, …),
@@ -377,17 +420,45 @@ fn parse_two_way_fields(
     Ok(QuerySpec::TwoWay(spec))
 }
 
-/// Consumes the optional `DEADLINE <ms>` / `PRIO <class>` QoS prefixes
-/// (any order, each at most once) from the front of `fields`, returning
-/// the parsed metadata and the remaining query fields.
+/// Whether `name` is a legal graph name: non-empty, ASCII alphanumerics
+/// plus `_`, `.` and `-` only.  Shared by the `@<graph>` prefix parser and
+/// the server's `--graph NAME=PATH` registration so the two cannot drift.
+pub fn is_valid_graph_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+/// Consumes the optional `DEADLINE <ms>` / `PRIO <class>` / `@<graph>`
+/// QoS prefixes (any order, each at most once) from the front of
+/// `fields`, returning the parsed metadata and the remaining query
+/// fields.
 fn parse_qos_prefixes<'f>(
     mut fields: &'f [&'f str],
     line_no: usize,
-) -> Result<(Option<u64>, Priority, &'f [&'f str]), LineError> {
+) -> Result<(LinePrefixes, &'f [&'f str]), LineError> {
     let mut deadline_ms: Option<u64> = None;
     let mut priority: Option<Priority> = None;
+    let mut graph: Option<String> = None;
     loop {
         match fields.first() {
+            Some(head) if head.starts_with('@') => {
+                if graph.is_some() {
+                    return Err(LineError::new(line_no, "duplicate @<graph> prefix"));
+                }
+                let name = &head[1..];
+                if !is_valid_graph_name(name) {
+                    return Err(LineError::bad_token(
+                        line_no,
+                        head,
+                        "graph namespace must be `@<name>` with a name of \
+                         ASCII letters, digits, '_', '.' or '-'",
+                    ));
+                }
+                graph = Some(name.to_string());
+                fields = &fields[1..];
+            }
             Some(head) if head.eq_ignore_ascii_case("deadline") => {
                 if deadline_ms.is_some() {
                     return Err(LineError::new(line_no, "duplicate DEADLINE prefix"));
@@ -435,7 +506,40 @@ fn parse_qos_prefixes<'f>(
             _ => break,
         }
     }
-    Ok((deadline_ms, priority.unwrap_or_default(), fields))
+    Ok((
+        LinePrefixes {
+            deadline_ms,
+            priority: priority.unwrap_or_default(),
+            graph,
+        },
+        fields,
+    ))
+}
+
+/// Splits one raw line into its QoS / namespace prefixes and the
+/// remaining query fields **without** resolving set names against a
+/// catalogue.  Routing front ends (`dht-router`) use this to read the
+/// scheduling metadata with exactly the grammar the server applies while
+/// leaving the query body untouched.  Returns `Ok(None)` for blank lines
+/// and comments.
+///
+/// # Errors
+/// Fails (with `line_no` and the offending token) only on malformed
+/// *prefixes*; the body fields are not validated here.
+pub fn split_query_line(
+    raw: &str,
+    line_no: usize,
+) -> Result<Option<(LinePrefixes, Vec<String>)>, LineError> {
+    let line = raw.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let (prefixes, rest) = parse_qos_prefixes(&fields, line_no)?;
+    Ok(Some((
+        prefixes,
+        rest.iter().map(|field| field.to_string()).collect(),
+    )))
 }
 
 /// Parses a single line of the query language, attributing failures to
@@ -457,7 +561,7 @@ pub fn parse_query_line(
         return Ok(None);
     }
     let fields: Vec<&str> = line.split_whitespace().collect();
-    let (deadline_ms, priority, fields) = parse_qos_prefixes(&fields, line_no)?;
+    let (prefixes, fields) = parse_qos_prefixes(&fields, line_no)?;
     let spec = match fields.first() {
         None => {
             return Err(LineError::new(
@@ -475,8 +579,9 @@ pub fn parse_query_line(
     Ok(Some(ParsedQuery {
         spec,
         line_no,
-        deadline_ms,
-        priority,
+        deadline_ms: prefixes.deadline_ms,
+        priority: prefixes.priority,
+        graph: prefixes.graph,
     }))
 }
 
@@ -651,6 +756,77 @@ mod tests {
             format!("{:?}", parse("P Q auto\n").unwrap()[0].spec),
             "prefixes never change the parsed query"
         );
+    }
+
+    #[test]
+    fn graph_prefix_parses_and_never_changes_the_query() {
+        let queries = parse(
+            "P Q 3\n\
+             @yeast P Q 3\n\
+             DEADLINE 250 @web-2014 PRIO batch P Q 3\n\
+             @g.1 nway chain P Q 2 ap min\n",
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 4);
+        assert_eq!(queries[0].graph, None, "default: no namespace");
+        assert_eq!(queries[1].graph.as_deref(), Some("yeast"));
+        assert_eq!(queries[2].graph.as_deref(), Some("web-2014"));
+        assert_eq!(queries[2].deadline_ms, Some(250));
+        assert_eq!(queries[2].priority, Priority::Batch);
+        assert_eq!(queries[3].graph.as_deref(), Some("g.1"));
+        assert!(matches!(queries[3].spec, QuerySpec::NWay(_)));
+        assert_eq!(
+            format!("{:?}", queries[1].spec),
+            format!("{:?}", queries[0].spec),
+            "@<graph> never changes the parsed query"
+        );
+
+        let err = parse("@ P Q\n").unwrap_err();
+        assert!(err.to_string().contains("bad token '@'"), "{err}");
+        let err = parse("@two graphs P Q\n").unwrap_err();
+        assert!(err.to_string().contains("unknown node set"), "{err}");
+        let err = parse("@a @b P Q\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate @<graph>"), "{err}");
+        let err = parse("@bad!name P Q\n").unwrap_err();
+        assert!(err.to_string().contains("bad token '@bad!name'"), "{err}");
+
+        assert!(is_valid_graph_name("yeast_2.0-a"));
+        assert!(!is_valid_graph_name(""));
+        assert!(!is_valid_graph_name("a b"));
+        assert!(!is_valid_graph_name("a=b"));
+    }
+
+    #[test]
+    fn split_query_line_matches_the_parser_and_round_trips() {
+        // Splitting consumes exactly the prefixes the parser consumes and
+        // leaves the body fields verbatim.
+        let (prefixes, body) = split_query_line("  DEADLINE 99 @g PRIO batch P Q 3 auto # c", 1)
+            .unwrap()
+            .expect("non-empty line");
+        assert_eq!(prefixes.deadline_ms, Some(99));
+        assert_eq!(prefixes.priority, Priority::Batch);
+        assert_eq!(prefixes.graph.as_deref(), Some("g"));
+        assert_eq!(body, ["P", "Q", "3", "auto"]);
+        // render() round-trips into a line the parser reads identically.
+        let rebuilt = format!("{}{}", prefixes.render(), body.join(" "));
+        let reparsed = parse_query_line(&rebuilt, &sets(), &ParseOptions::default(), 1)
+            .unwrap()
+            .expect("non-empty line");
+        assert_eq!(reparsed.deadline_ms, Some(99));
+        assert_eq!(reparsed.priority, Priority::Batch);
+        assert_eq!(reparsed.graph.as_deref(), Some("g"));
+        assert_eq!(
+            format!("{:?}", reparsed.spec),
+            format!("{:?}", parse("P Q 3 auto\n").unwrap()[0].spec)
+        );
+        // Blank lines and comments split to None; prefix errors surface.
+        assert!(split_query_line("# only a comment", 7).unwrap().is_none());
+        assert!(split_query_line("   ", 7).unwrap().is_none());
+        let err = split_query_line("DEADLINE zero P Q", 7).unwrap_err();
+        assert_eq!(err.line_no, 7);
+        assert!(err.to_string().contains("bad token 'zero'"), "{err}");
+        // The empty-prefix render is empty, so unprefixed lines pass through.
+        assert_eq!(LinePrefixes::default().render(), "");
     }
 
     #[test]

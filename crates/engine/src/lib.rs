@@ -530,6 +530,105 @@ fn validate_specs(specs: &[QuerySpec]) -> dht_core::Result<()> {
     Ok(())
 }
 
+/// A named fleet of [`Engine`]s behind one front end: the **graph
+/// registry**.
+///
+/// A multi-graph `dht-server` hosts N named graphs behind one port; the
+/// registry owns one engine per graph and arbitrates one **global** cache
+/// byte budget across them: [`GraphRegistry::with_shared_budget`] splits
+/// the configured budget into per-engine quotas proportional to graph
+/// size (node count), so a small side graph cannot evict a production
+/// graph's working set, and every byte of the global budget is accounted
+/// for (the quotas sum exactly to it).  Each quota then behaves exactly
+/// like a single-graph engine's `--cache` budget — shared across that
+/// graph's sessions, striped for its column size.
+///
+/// Graph names are registration-ordered and looked up by exact match;
+/// index `0` is the front end's default graph (the one unprefixed
+/// sessions query).
+#[derive(Debug)]
+pub struct GraphRegistry {
+    entries: Vec<(String, Engine)>,
+}
+
+impl GraphRegistry {
+    /// Builds a registry over `graphs`, splitting `config.cache_bytes` as
+    /// a **global** budget: engine `i` gets
+    /// `cache_bytes · nodes_i / Σ nodes` (floor), with the remainder bytes
+    /// going to the largest graph (first among ties), so the per-engine
+    /// quotas sum exactly to the configured budget.  All other
+    /// configuration knobs are shared by every engine verbatim.  A share
+    /// that rounds to `0` disables that engine's shared cache — caching
+    /// never changes answers, only speed.
+    pub fn with_shared_budget(graphs: Vec<(String, Graph)>, config: EngineConfig) -> Self {
+        let weights: Vec<u128> = graphs
+            .iter()
+            .map(|(_, graph)| graph.node_count().max(1) as u128)
+            .collect();
+        let total_weight: u128 = weights.iter().sum::<u128>().max(1);
+        let mut shares: Vec<usize> = weights
+            .iter()
+            .map(|weight| ((config.cache_bytes as u128 * weight) / total_weight) as usize)
+            .collect();
+        let remainder = config.cache_bytes - shares.iter().sum::<usize>();
+        if let Some(largest) = weights
+            .iter()
+            .enumerate()
+            .max_by(|(ai, aw), (bi, bw)| aw.cmp(bw).then(bi.cmp(ai)))
+            .map(|(index, _)| index)
+        {
+            shares[largest] += remainder;
+        }
+        let entries = graphs
+            .into_iter()
+            .zip(shares)
+            .map(|((name, graph), share)| {
+                let engine = Engine::with_config(graph, config.with_cache_bytes(share));
+                (name, engine)
+            })
+            .collect();
+        GraphRegistry { entries }
+    }
+
+    /// Builds a registry from already-constructed engines (no budget
+    /// arbitration — each engine keeps the budget it was built with).
+    pub fn from_engines(entries: Vec<(String, Engine)>) -> Self {
+        GraphRegistry { entries }
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registration index of the graph named `name`, if any.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|(n, _)| n == name)
+    }
+
+    /// The name of the graph at registration index `index`.
+    pub fn name(&self, index: usize) -> &str {
+        &self.entries[index].0
+    }
+
+    /// The engine of the graph at registration index `index`.
+    pub fn engine(&self, index: usize) -> &Engine {
+        &self.entries[index].1
+    }
+
+    /// Iterates `(name, engine)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Engine)> {
+        self.entries
+            .iter()
+            .map(|(name, engine)| (name.as_str(), engine))
+    }
+}
+
 /// A query session against one [`Engine`]: owns the per-client walk state
 /// (scratch pool, Y-bound tables and either a handle to the engine's
 /// shared column cache or a private one) and answers queries through it.
@@ -867,6 +966,77 @@ mod tests {
     fn engine_is_sync_and_send() {
         fn assert_sync_send<T: Sync + Send>() {}
         assert_sync_send::<Engine>();
+        assert_sync_send::<GraphRegistry>();
+    }
+
+    #[test]
+    fn registry_splits_the_global_cache_budget_proportionally() {
+        let (big, _) = fixture(); // 48 nodes
+        let cg = planted_partition(&PlantedPartitionConfig {
+            communities: 2,
+            community_size: 8,
+            avg_internal_degree: 3.0,
+            avg_external_degree: 1.0,
+            weighted: true,
+            seed: 7,
+        });
+        let small = cg.graph; // 16 nodes
+        let budget = 1 << 20;
+        let config = EngineConfig::paper_default().with_cache_bytes(budget);
+        let registry = GraphRegistry::with_shared_budget(
+            vec![("big".into(), big), ("small".into(), small)],
+            config,
+        );
+        assert_eq!(registry.len(), 2);
+        assert!(!registry.is_empty());
+        assert_eq!(registry.index_of("big"), Some(0));
+        assert_eq!(registry.index_of("small"), Some(1));
+        assert_eq!(registry.index_of("absent"), None);
+        assert_eq!(registry.name(1), "small");
+        let shares: Vec<usize> = registry
+            .iter()
+            .map(|(_, engine)| engine.config().cache_bytes)
+            .collect();
+        assert_eq!(
+            shares.iter().sum::<usize>(),
+            budget,
+            "quotas account for every byte of the global budget"
+        );
+        assert!(
+            shares[0] > shares[1],
+            "the larger graph gets the larger quota: {shares:?}"
+        );
+        // 48:16 nodes → a 3:1 split, up to the remainder byte.
+        assert_eq!(shares[1], budget / 4);
+        // Every engine still runs a shared cache of its own quota.
+        assert!(registry.engine(0).shared_cache().is_some());
+        assert!(registry.engine(1).shared_cache().is_some());
+        // Non-budget knobs are shared verbatim.
+        assert_eq!(registry.engine(1).config().d, config.d);
+    }
+
+    #[test]
+    fn registry_from_engines_keeps_budgets_and_answers_by_name() {
+        let (graph, sets) = fixture();
+        let single = Engine::new(graph);
+        let expected =
+            single
+                .session()
+                .two_way(TwoWayAlgorithm::BackwardIdjY, &sets[0], &sets[1], 5);
+        let registry = GraphRegistry::from_engines(vec![("default".into(), single)]);
+        assert_eq!(
+            registry.engine(0).config().cache_bytes,
+            DEFAULT_CACHE_BYTES,
+            "from_engines does not re-arbitrate budgets"
+        );
+        let index = registry.index_of("default").unwrap();
+        let again = registry.engine(index).session().two_way(
+            TwoWayAlgorithm::BackwardIdjY,
+            &sets[0],
+            &sets[1],
+            5,
+        );
+        assert_eq!(expected.pairs, again.pairs);
     }
 
     #[test]

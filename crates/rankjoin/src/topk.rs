@@ -3,57 +3,62 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Internal heap entry; the heap is a *min*-heap on score so that the lowest
-/// retained score is always at the top and can be evicted in `O(log k)`.
+/// Internal heap entry; the heap is a *min*-heap under the retention order
+/// (score descending, then item ascending) so that the worst retained
+/// entry is always at the top and can be evicted in `O(log k)`.
 #[derive(Debug, Clone)]
 struct Entry<T> {
     score: f64,
-    seq: u64,
     item: T,
 }
 
-impl<T> PartialEq for Entry<T> {
+impl<T: Ord> PartialEq for Entry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score && self.seq == other.seq
+        self.score.total_cmp(&other.score) == Ordering::Equal && self.item == other.item
     }
 }
-impl<T> Eq for Entry<T> {}
+impl<T: Ord> Eq for Entry<T> {}
 
-impl<T> PartialOrd for Entry<T> {
+impl<T: Ord> PartialOrd for Entry<T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<T> Ord for Entry<T> {
+impl<T: Ord> Ord for Entry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse on score => min-heap by score.  Ties broken by insertion
-        // order (later insertions evicted first) to keep results stable.
+        // Reverse on score, forward on item => the heap's maximum is the
+        // entry ranking LAST under (score desc, item asc) — the one to
+        // evict when something better arrives.
         other
             .score
             .total_cmp(&self.score)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| self.item.cmp(&other.item))
     }
 }
 
-/// A buffer that retains the `k` highest-scored items inserted into it.
+/// A buffer that retains the `k` best items under the **total order**
+/// (score descending, item ascending).
 ///
 /// This is the output buffer `O` of Algorithm 1 (and the buffer `B` of
-/// Algorithm 2): a priority queue of size `k` storing candidate answers with
-/// the `k` highest aggregate scores.
+/// Algorithm 2): a priority queue of size `k` storing candidate answers
+/// with the `k` highest aggregate scores.  Score ties at the `k`-th place
+/// are broken by the item's own `Ord` (for pair answers: ascending node
+/// ids), which makes the retained set a pure function of the candidate
+/// multiset — independent of insertion order.  That property is what lets
+/// a sharded fleet merge per-shard top-k lists into exactly the answer a
+/// single union run produces.
 #[derive(Debug, Clone)]
 pub struct TopKBuffer<T> {
     k: usize,
-    seq: u64,
     heap: BinaryHeap<Entry<T>>,
 }
 
-impl<T> TopKBuffer<T> {
+impl<T: Ord> TopKBuffer<T> {
     /// Creates a buffer retaining at most `k` items.
     pub fn new(k: usize) -> Self {
         TopKBuffer {
             k,
-            seq: 0,
             heap: BinaryHeap::with_capacity(k + 1),
         }
     }
@@ -97,24 +102,25 @@ impl<T> TopKBuffer<T> {
     }
 
     /// Inserts an item.  Returns `true` if the item was retained (it may
-    /// still be evicted by later, higher-scoring insertions).
+    /// still be evicted by later insertions ranking above it).
     pub fn insert(&mut self, score: f64, item: T) -> bool {
         if self.k == 0 {
             return false;
         }
-        let entry = Entry {
-            score,
-            seq: self.seq,
-            item,
-        };
-        self.seq += 1;
+        let entry = Entry { score, item };
         if self.heap.len() < self.k {
             self.heap.push(entry);
             return true;
         }
-        // Buffer full: replace the minimum if the new score is strictly higher.
-        let current_min = self.heap.peek().expect("non-empty full heap").score;
-        if score > current_min {
+        // Buffer full: replace the worst retained entry iff the new one
+        // ranks strictly above it under (score desc, item asc).
+        let worst = self.heap.peek().expect("non-empty full heap");
+        let better = entry
+            .score
+            .total_cmp(&worst.score)
+            .then_with(|| worst.item.cmp(&entry.item))
+            == Ordering::Greater;
+        if better {
             self.heap.pop();
             self.heap.push(entry);
             true
@@ -123,11 +129,15 @@ impl<T> TopKBuffer<T> {
         }
     }
 
-    /// Consumes the buffer and returns its items sorted by descending score
-    /// (ties in first-inserted order).
+    /// Consumes the buffer and returns its `(score, item)` pairs sorted by
+    /// the retention order: descending score, ties in ascending item order.
     pub fn into_sorted_desc(self) -> Vec<(f64, T)> {
         let mut items: Vec<Entry<T>> = self.heap.into_vec();
-        items.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.seq.cmp(&b.seq)));
+        items.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.item.cmp(&b.item))
+        });
         items.into_iter().map(|e| (e.score, e.item)).collect()
     }
 
@@ -156,11 +166,11 @@ mod tests {
     fn kth_score_only_defined_when_full() {
         let mut buf = TopKBuffer::new(2);
         assert_eq!(buf.kth_score(), None);
-        buf.insert(4.0, ());
+        buf.insert(4.0, 0);
         assert_eq!(buf.kth_score(), None);
-        buf.insert(7.0, ());
+        buf.insert(7.0, 1);
         assert_eq!(buf.kth_score(), Some(4.0));
-        buf.insert(5.0, ());
+        buf.insert(5.0, 2);
         assert_eq!(buf.kth_score(), Some(5.0));
     }
 
@@ -175,17 +185,31 @@ mod tests {
     }
 
     #[test]
-    fn equal_scores_keep_earliest_insertions() {
-        let mut buf = TopKBuffer::new(2);
-        buf.insert(1.0, "first");
-        buf.insert(1.0, "second");
-        assert!(
-            !buf.insert(1.0, "third"),
-            "ties do not evict earlier entries"
-        );
-        let out = buf.into_sorted_desc();
-        assert_eq!(out[0].1, "first");
-        assert_eq!(out[1].1, "second");
+    fn equal_scores_keep_the_smallest_items() {
+        // The retained set is a pure function of the candidate multiset:
+        // smaller items win score ties at the boundary, regardless of the
+        // order they arrive in.
+        for order in [[1, 2, 3], [3, 2, 1], [2, 3, 1]] {
+            let mut buf = TopKBuffer::new(2);
+            for item in order {
+                buf.insert(1.0, item);
+            }
+            let items: Vec<i32> = buf.into_sorted_desc().into_iter().map(|(_, v)| v).collect();
+            assert_eq!(items, vec![1, 2], "insertion order {order:?}");
+        }
+    }
+
+    #[test]
+    fn tie_selection_is_insertion_order_independent() {
+        // A higher score arriving after a full buffer of ties evicts the
+        // LARGEST tied item, matching what any re-ordering would retain.
+        let mut buf = TopKBuffer::new(3);
+        buf.insert(1.0, 30);
+        buf.insert(1.0, 10);
+        buf.insert(1.0, 20);
+        buf.insert(2.0, 40);
+        let items: Vec<i32> = buf.into_sorted_desc().into_iter().map(|(_, v)| v).collect();
+        assert_eq!(items, vec![40, 10, 20]);
     }
 
     #[test]
@@ -218,6 +242,36 @@ mod tests {
         assert_eq!(got.len(), 25);
         for (g, e) in got.iter().zip(expected.iter()) {
             assert!((g - e).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sharded_merges_reproduce_the_union_selection() {
+        // Partition a candidate stream with boundary ties arbitrarily,
+        // run a per-shard buffer over each part, merge the shard outputs
+        // through a fresh buffer: always identical to one union run.
+        let candidates: Vec<(f64, u32)> = (0..40)
+            .map(|i| (f64::from(i % 5) * 0.5, 97 * i % 41))
+            .collect();
+        let mut union_buf = TopKBuffer::new(7);
+        for &(s, v) in &candidates {
+            union_buf.insert(s, v);
+        }
+        let union_out = union_buf.into_sorted_desc();
+        for shards in [2usize, 3] {
+            let mut merged = TopKBuffer::new(7);
+            for shard in 0..shards {
+                let mut local = TopKBuffer::new(7);
+                for (i, &(s, v)) in candidates.iter().enumerate() {
+                    if i % shards == shard {
+                        local.insert(s, v);
+                    }
+                }
+                for (s, v) in local.into_sorted_desc() {
+                    merged.insert(s, v);
+                }
+            }
+            assert_eq!(merged.into_sorted_desc(), union_out, "{shards} shards");
         }
     }
 

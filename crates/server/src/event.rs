@@ -176,6 +176,9 @@ struct Conn {
     /// Prototype reply handle, cloned into each queued request.
     reply: ReplyHandle,
     bucket: Option<TokenBucket>,
+    /// This connection's current graph index (`USE` reassigns it; every
+    /// connection starts on graph 0, the first registered).
+    graph: usize,
     /// Bytes of the current (incomplete) request line.
     raw: Vec<u8>,
     /// Next request ordinal (sequence numbers key response reordering).
@@ -370,6 +373,7 @@ pub(crate) fn event_loop(
                                         shared.config.burst,
                                         now,
                                     ),
+                                    graph: 0,
                                     raw: Vec::new(),
                                     seq: 0,
                                     inflight: 0,
@@ -580,6 +584,7 @@ fn process_line(shared: &Arc<ServerShared>, conn: &mut Conn, bytes: &[u8]) {
                     &conn.reply,
                     &conn.state,
                     &mut conn.bucket,
+                    &mut conn.graph,
                 );
                 match response {
                     Some(line) => conn.deliver(this_seq, line),

@@ -79,6 +79,8 @@
 //! ```text
 //! PING                     → OK PONG
 //! STATS                    → OK STATS served=… p50_ms=… (see StatsSnapshot::wire_line)
+//! USE <graph>              → OK USE <graph>  (select this connection's graph)
+//! SETS                     → OK SETS <name…> (the current graph's set names)
 //! SHUTDOWN                 → OK BYE (then graceful drain)
 //! EXPLAIN <query line>     → OK PLAN <plan>     (planned, not executed)
 //! <query line>             → OK TWOWAY …  |  OK NWAY …   (see wire)
@@ -86,13 +88,27 @@
 //!
 //! where `<query line>` is the shared `dht_core::queryline` language
 //! (`LEFT RIGHT [k] [ALGORITHM]` / `nway SHAPE S1 … [k] [ALGO] [AGG]`),
-//! optionally prefixed with QoS directives in either order:
+//! optionally prefixed with QoS / namespace directives in any order:
 //!
 //! ```text
 //! DEADLINE 250 P Q 3           — answer within 250 ms or ERR DEADLINE
 //! PRIO batch P Q 3             — schedule in the batch (low) class
 //! DEADLINE 40 PRIO batch P Q   — both
+//! @yeast P Q 3                 — answer against graph `yeast` (this line only)
 //! ```
+//!
+//! ## Multi-graph serving
+//!
+//! A server started with [`Server::start_registry`] hosts **N named
+//! graphs behind one port**: a [`dht_engine::GraphRegistry`] arbitrates
+//! one global cache budget across per-graph engines, each worker holds
+//! one warm session *per graph*, and connections pick their graph with
+//! the `USE <graph>` verb (sticky) or the `@<graph>` line prefix (that
+//! line only).  Graph selection is pure routing: the same query line
+//! answers bit-identically whether the graph was reached by `USE`, by
+//! `@<graph>`, or by being the only graph of a single-graph server.
+//! `STATS` reports per-graph blocks (`graph.<name>.served=` …) next to
+//! the global counters.
 //!
 //! Error responses are typed: `ERR BUSY …` (the request's class is full),
 //! `ERR QUOTA …` (rate limit, with a `retry after <ms> ms` hint),
@@ -124,7 +140,7 @@ use std::time::{Duration, Instant};
 
 use dht_core::queryline::{self, ParseOptions, Priority};
 use dht_core::QuerySpec;
-use dht_engine::Engine;
+use dht_engine::{Engine, GraphRegistry};
 use dht_graph::NodeSet;
 
 pub use metrics::StatsSnapshot;
@@ -132,6 +148,10 @@ pub use metrics::StatsSnapshot;
 use metrics::Metrics;
 use qos::TokenBucket;
 use queue::RequestQueue;
+
+/// Default weighted-dequeue ratio: interactive pops served per waiting
+/// batch pop (see [`ServerConfig::batch_weight`]).
+pub const DEFAULT_BATCH_WEIGHT: u32 = queue::DEFAULT_BATCH_WEIGHT;
 
 /// Construction-time knobs of a [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -157,11 +177,23 @@ pub struct ServerConfig {
     /// `rate` is on): a connection may send this many lines back-to-back
     /// before the rate applies.
     pub burst: u32,
+    /// Weighted-dequeue ratio: interactive requests popped per waiting
+    /// batch request (clamped to ≥ 1).  `7` means sustained interactive
+    /// load still lets one batch request through every 7 pops instead of
+    /// starving the class forever.
+    pub batch_weight: u32,
+    /// Server-side default deadline (ms) applied to **interactive** lines
+    /// that carry no `DEADLINE` prefix; `0` (the default) applies none.
+    pub default_deadline_interactive_ms: u64,
+    /// Server-side default deadline (ms) applied to **batch** lines that
+    /// carry no `DEADLINE` prefix; `0` (the default) applies none.
+    pub default_deadline_batch_ms: u64,
 }
 
 impl Default for ServerConfig {
     /// Ephemeral port, 2 workers, 128-deep queues per class, micro-batches
-    /// of 8, no rate limit.
+    /// of 8, no rate limit, 7:1 interactive:batch dequeue, no default
+    /// deadlines.
     fn default() -> Self {
         ServerConfig {
             port: 0,
@@ -171,6 +203,9 @@ impl Default for ServerConfig {
             batch: 8,
             rate: 0,
             burst: 32,
+            batch_weight: DEFAULT_BATCH_WEIGHT,
+            default_deadline_interactive_ms: 0,
+            default_deadline_batch_ms: 0,
         }
     }
 }
@@ -217,6 +252,35 @@ impl ServerConfig {
     pub fn with_burst(mut self, burst: u32) -> Self {
         self.burst = burst;
         self
+    }
+
+    /// Returns a copy with a different weighted-dequeue ratio (minimum 1).
+    pub fn with_batch_weight(mut self, weight: u32) -> Self {
+        self.batch_weight = weight.max(1);
+        self
+    }
+
+    /// Returns a copy with a server-side default deadline for interactive
+    /// lines without a `DEADLINE` prefix (`0` applies none).
+    pub fn with_default_deadline_interactive(mut self, ms: u64) -> Self {
+        self.default_deadline_interactive_ms = ms;
+        self
+    }
+
+    /// Returns a copy with a server-side default deadline for batch lines
+    /// without a `DEADLINE` prefix (`0` applies none).
+    pub fn with_default_deadline_batch(mut self, ms: u64) -> Self {
+        self.default_deadline_batch_ms = ms;
+        self
+    }
+
+    /// The configured default deadline for `class`, if any.
+    fn default_deadline(&self, class: Priority) -> Option<Duration> {
+        let ms = match class {
+            Priority::Interactive => self.default_deadline_interactive_ms,
+            Priority::Batch => self.default_deadline_batch_ms,
+        };
+        (ms > 0).then(|| Duration::from_millis(ms))
     }
 }
 
@@ -271,11 +335,14 @@ struct Request {
     /// Per-connection sequence number (response-ordering key).
     seq: u64,
     spec: QuerySpec,
+    /// Registry index of the graph the request runs against.
+    graph: usize,
     /// `EXPLAIN` requests are planned, not executed.
     explain: bool,
     /// When the reader received the line (latency includes queue wait).
     received: Instant,
-    /// Wait budget from the `DEADLINE <ms>` prefix, checked at dequeue.
+    /// Wait budget from the `DEADLINE <ms>` prefix (or the class's
+    /// server-side default), checked at dequeue.
     deadline: Option<Duration>,
     /// Scheduling class from the `PRIO <class>` prefix.
     class: Priority,
@@ -286,8 +353,9 @@ struct Request {
 
 /// State shared by the event thread, workers and [`Server`] handle.
 struct ServerShared {
-    engine: Engine,
-    sets: Vec<NodeSet>,
+    registry: GraphRegistry,
+    /// Node sets per registered graph (parallel to the registry).
+    sets: Vec<Vec<NodeSet>>,
     parse: ParseOptions,
     config: ServerConfig,
     queue: RequestQueue<Request>,
@@ -325,6 +393,42 @@ impl ServerShared {
             self.live_connections.load(Ordering::Relaxed),
         )
     }
+
+    /// The registered graph names, for error messages.
+    fn graph_names(&self) -> String {
+        self.registry
+            .iter()
+            .map(|(name, _)| name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The full `STATS` payload: the snapshot's wire line plus the
+    /// serving-policy fields and one block per registered graph — all
+    /// **appended** after the snapshot fields, so existing consumers keep
+    /// parsing by prefix.
+    fn stats_line(&self) -> String {
+        let snapshot = self.stats();
+        let mut line = snapshot.wire_line();
+        line.push_str(&format!(
+            " default_deadline_interactive={} default_deadline_batch={} graphs={}",
+            self.config.default_deadline_interactive_ms,
+            self.config.default_deadline_batch_ms,
+            self.registry.len(),
+        ));
+        for (index, (name, engine)) in self.registry.iter().enumerate() {
+            let served = snapshot.graph_served.get(index).copied().unwrap_or(0);
+            let cache = engine.shared_cache_stats().unwrap_or_default();
+            line.push_str(&format!(
+                " graph.{name}.served={served} graph.{name}.cache_hits={} \
+                 graph.{name}.cache_misses={} graph.{name}.cache_bytes={}",
+                cache.hits,
+                cache.misses,
+                engine.config().cache_bytes,
+            ));
+        }
+        line
+    }
 }
 
 /// A running query server bound to a loopback address.
@@ -360,10 +464,12 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `127.0.0.1:port` and starts the event and worker threads.
-    /// `sets` are the node sets query lines may name; `parse` carries the
-    /// stream defaults (`k`, default algorithm, `m`) — use
-    /// `ParseOptions::default()` for the `dht querystream` defaults.
+    /// Binds `127.0.0.1:port` and starts the event and worker threads
+    /// serving a **single graph** named `default`.  `sets` are the node
+    /// sets query lines may name; `parse` carries the stream defaults
+    /// (`k`, default algorithm, `m`) — use `ParseOptions::default()` for
+    /// the `dht querystream` defaults.  Sugar over
+    /// [`Server::start_registry`].
     ///
     /// # Errors
     /// Fails when the port cannot be bound or the event loop's self-wake
@@ -374,6 +480,50 @@ impl Server {
         parse: ParseOptions,
         config: ServerConfig,
     ) -> std::io::Result<Server> {
+        Server::start_registry(
+            GraphRegistry::from_engines(vec![("default".to_string(), engine)]),
+            vec![sets],
+            parse,
+            config,
+        )
+    }
+
+    /// Binds `127.0.0.1:port` and starts the event and worker threads
+    /// serving **every graph of `registry`** behind one port.  `sets[i]`
+    /// are the node sets queryable against graph `i`; connections start
+    /// on graph `0` and switch with `USE <graph>` or a per-line
+    /// `@<graph>` prefix.
+    ///
+    /// # Errors
+    /// Fails when the registry is empty, `sets` is not parallel to it, a
+    /// graph name is malformed or duplicated, the port cannot be bound,
+    /// or the event loop's self-wake socket pair cannot be set up.
+    pub fn start_registry(
+        registry: GraphRegistry,
+        sets: Vec<Vec<NodeSet>>,
+        parse: ParseOptions,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let invalid =
+            |message: String| std::io::Error::new(std::io::ErrorKind::InvalidInput, message);
+        if registry.is_empty() {
+            return Err(invalid("a server needs at least one graph".to_string()));
+        }
+        if sets.len() != registry.len() {
+            return Err(invalid(format!(
+                "got node sets for {} graphs but the registry holds {}",
+                sets.len(),
+                registry.len()
+            )));
+        }
+        for (index, (name, _)) in registry.iter().enumerate() {
+            if !queryline::is_valid_graph_name(name) {
+                return Err(invalid(format!("invalid graph name '{name}'")));
+            }
+            if registry.index_of(name) != Some(index) {
+                return Err(invalid(format!("duplicate graph name '{name}'")));
+            }
+        }
         // Serving thousands of connections needs more descriptors than the
         // common 1024 soft limit; lift it best-effort (a refusal just means
         // accepts start failing at the old limit, which the event loop
@@ -387,17 +537,20 @@ impl Server {
             queue_capacity: config.queue_capacity.max(1),
             batch_queue_capacity: config.batch_queue_capacity.max(1),
             batch: config.batch.max(1),
+            batch_weight: config.batch_weight.max(1),
             ..config
         };
         let (waker, wake_rx) = event::Waker::new()?;
         let (completions_tx, completions_rx) = mpsc::channel();
+        let graphs = registry.len();
         let shared = Arc::new(ServerShared {
-            engine,
+            registry,
             sets,
             parse,
             config,
-            queue: RequestQueue::new(config.queue_capacity, config.batch_queue_capacity),
-            metrics: Metrics::new(config.workers),
+            queue: RequestQueue::new(config.queue_capacity, config.batch_queue_capacity)
+                .with_batch_weight(config.batch_weight),
+            metrics: Metrics::new(config.workers, graphs),
             shutdown: AtomicBool::new(false),
             live_connections: AtomicUsize::new(0),
             waker,
@@ -475,7 +628,9 @@ impl Server {
 /// response), query lines pass the rate limiter, parse, and enqueue into
 /// their priority class (returning `None` unless refused or malformed).
 /// Called by the event thread; `reply` is the connection's completion
-/// route, cloned into the queued request.
+/// route, cloned into the queued request; `graph` is the connection's
+/// sticky current-graph index (`USE` reassigns it, `@<graph>` overrides
+/// it for one line).
 fn dispatch_line(
     shared: &Arc<ServerShared>,
     line: &str,
@@ -483,6 +638,7 @@ fn dispatch_line(
     reply: &event::ReplyHandle,
     conn: &Arc<ConnectionState>,
     bucket: &mut Option<TokenBucket>,
+    graph: &mut usize,
 ) -> Option<String> {
     let received = Instant::now();
     let verb = line.split_whitespace().next().unwrap_or("");
@@ -490,7 +646,36 @@ fn dispatch_line(
         return Some("OK PONG".to_string());
     }
     if verb.eq_ignore_ascii_case("stats") {
-        return Some(format!("OK {}", shared.stats().wire_line()));
+        return Some(format!("OK {}", shared.stats_line()));
+    }
+    if verb.eq_ignore_ascii_case("use") {
+        // Graph selection is a control verb (quota-exempt, answered
+        // inline): switching namespaces must work on a throttled
+        // connection too.
+        let name = line[verb.len()..].trim();
+        return Some(match shared.registry.index_of(name) {
+            Some(index) => {
+                *graph = index;
+                format!("OK USE {name}")
+            }
+            None if name.is_empty() => {
+                "ERR PARSE USE needs a graph name (`USE <graph>`)".to_string()
+            }
+            None => format!(
+                "ERR PARSE unknown graph '{name}' (available graphs: {})",
+                shared.graph_names()
+            ),
+        });
+    }
+    if verb.eq_ignore_ascii_case("sets") {
+        // The current graph's queryable set names, in catalogue order —
+        // how a router learns which shard aliases a backend holds.
+        let names = shared.sets[*graph]
+            .iter()
+            .map(NodeSet::name)
+            .collect::<Vec<_>>()
+            .join(" ");
+        return Some(format!("OK SETS {names}").trim_end().to_string());
     }
     if verb.eq_ignore_ascii_case("shutdown") {
         shared.begin_shutdown();
@@ -517,8 +702,33 @@ fn dispatch_line(
     // Line numbers over the wire are the connection's 1-based request
     // ordinal, so `ERR PARSE query line 3: …` points at the third request.
     let line_no = seq as usize + 1;
-    let parsed = match queryline::parse_query_line(query_line, &shared.sets, &shared.parse, line_no)
-    {
+    // The `@<graph>` prefix is resolved BEFORE the full parse: set names
+    // only mean something against a specific graph's catalogue, so the
+    // namespace must be known first.
+    let effective_graph = match queryline::split_query_line(query_line, line_no) {
+        Ok(Some((prefixes, _))) => match prefixes.graph {
+            Some(name) => match shared.registry.index_of(&name) {
+                Some(index) => index,
+                None => {
+                    return Some(format!(
+                        "ERR PARSE query line {line_no}: unknown graph '{name}' \
+                         (available graphs: {})",
+                        shared.graph_names()
+                    ))
+                }
+            },
+            None => *graph,
+        },
+        // Empty line / parse error: fall through so `parse_query_line`
+        // produces its canonical diagnostic below.
+        _ => *graph,
+    };
+    let parsed = match queryline::parse_query_line(
+        query_line,
+        &shared.sets[effective_graph],
+        &shared.parse,
+        line_no,
+    ) {
         Ok(Some(parsed)) => parsed,
         Ok(None) => {
             return Some(format!(
@@ -528,13 +738,20 @@ fn dispatch_line(
         Err(error) => return Some(format!("ERR PARSE {error}")),
     };
     let class = parsed.priority;
+    // Lines carrying no DEADLINE prefix inherit the server's per-class
+    // default (0 = none); an explicit prefix always wins.
+    let deadline = parsed
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or_else(|| shared.config.default_deadline(class));
     let request = Request {
         seq,
         spec: parsed.spec,
         explain,
         received,
-        deadline: parsed.deadline_ms.map(Duration::from_millis),
+        deadline,
         class,
+        graph: effective_graph,
         conn: conn.clone(),
         reply: reply.clone(),
     };
@@ -559,10 +776,14 @@ fn dispatch_line(
     }
 }
 
-/// One worker: a warm session answering micro-batches until the queue
-/// drains after shutdown.
+/// One worker: one warm session **per registered graph**, answering
+/// micro-batches until the queue drains after shutdown.  Requests carry
+/// their graph index, so a worker serves the whole registry without
+/// tearing sessions down between graphs.
 fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
-    let mut session = shared.engine.session();
+    let mut sessions: Vec<_> = (0..shared.registry.len())
+        .map(|graph| shared.registry.engine(graph).session())
+        .collect();
     loop {
         let batch = shared.queue.pop_batch(shared.config.batch);
         if batch.is_empty() {
@@ -591,6 +812,7 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
                     continue;
                 }
             }
+            let session = &mut sessions[request.graph];
             let response = if request.explain {
                 match session.explain(&request.spec) {
                     Ok(plan) => format!("OK PLAN {plan}"),
@@ -604,13 +826,23 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
             };
             shared
                 .metrics
-                .record_served(request.received.elapsed(), request.class);
+                .record_served(request.received.elapsed(), request.class, request.graph);
             // The connection may be gone; in-flight answers are best-effort.
             request.reply.send(request.seq, response);
         }
-        shared
-            .metrics
-            .store_worker_caches(index, session.cache_stats(), session.y_table_stats());
+        // Worker-level cache telemetry aggregates across every graph's
+        // session: the per-worker row answers "is this worker's cache
+        // warm", not "which graph warmed it" (STATS per-graph blocks
+        // answer that from the shared caches).
+        let mut cache = dht_walks::CacheStats::default();
+        let mut y_tables = (0u64, 0u64);
+        for session in &sessions {
+            cache = cache.merged(session.cache_stats());
+            let (y_hits, y_misses) = session.y_table_stats();
+            y_tables.0 += y_hits;
+            y_tables.1 += y_misses;
+        }
+        shared.metrics.store_worker_caches(index, cache, y_tables);
     }
 }
 
@@ -1352,6 +1584,247 @@ mod tests {
                 .unwrap_or_else(|error| panic!("idle connection {index}: {error}"));
             assert_eq!(read, 0, "idle connection {index} got bytes: {probe:?}");
         }
+    }
+
+    /// Two named graphs with deliberately different structure but the
+    /// same set names, so `P Q 3` answers differently per graph and any
+    /// routing mistake shows up as a wrong (still well-formed) answer.
+    fn registry_fixture() -> (GraphRegistry, Vec<Vec<NodeSet>>) {
+        let (ring_engine, ring_sets) = fixture();
+        let mut b = GraphBuilder::with_nodes(8);
+        for (u, v, w) in [
+            (0u32, 1u32, 1.0),
+            (1, 2, 2.0),
+            (2, 3, 1.0),
+            (3, 4, 2.0),
+            (4, 5, 1.0),
+            (5, 6, 2.0),
+            (6, 7, 1.0),
+        ] {
+            b.add_undirected_edge(NodeId(u), NodeId(v), w).unwrap();
+        }
+        let path_engine = Engine::new(b.build().unwrap());
+        let path_sets = vec![
+            NodeSet::new("P", (0..3).map(NodeId)),
+            NodeSet::new("Q", (5..8).map(NodeId)),
+            NodeSet::new("MID", [NodeId(3), NodeId(4)]),
+        ];
+        let registry = GraphRegistry::from_engines(vec![
+            ("ring".to_string(), ring_engine),
+            ("path".to_string(), path_engine),
+        ]);
+        (registry, vec![ring_sets, path_sets])
+    }
+
+    /// The bit-exact in-process answer for `line` against registry graph
+    /// `graph` of [`registry_fixture`].
+    fn registry_expected(graph: usize, line: &str) -> String {
+        let (registry, sets) = registry_fixture();
+        let spec = queryline::parse_query_line(line, &sets[graph], &ParseOptions::default(), 1)
+            .unwrap()
+            .unwrap()
+            .spec;
+        let output = registry.engine(graph).session().run(&spec).unwrap();
+        format!("OK {}", wire::encode_output(&output))
+    }
+
+    #[test]
+    fn use_and_graph_prefix_select_graphs_without_changing_answers() {
+        let (registry, sets) = registry_fixture();
+        let server = Server::start_registry(
+            registry,
+            sets,
+            ParseOptions::default(),
+            ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+        let ring = registry_expected(0, "P Q 3");
+        let path = registry_expected(1, "P Q 3");
+        assert_ne!(ring, path, "the fixture graphs must answer differently");
+        let responses = roundtrip(
+            addr,
+            &[
+                "P Q 3",       // connections start on graph 0
+                "USE path",    // sticky switch
+                "P Q 3",       // now answered by `path`
+                "@ring P Q 3", // one-line override, answers like graph 0
+                "P Q 3",       // the override was not sticky
+                "@path P Q 3", // explicit prefix for the current graph
+                "USE ring",    // switch back
+                "P Q 3",
+            ],
+        );
+        assert_eq!(responses[0], ring);
+        assert_eq!(responses[1], "OK USE path");
+        assert_eq!(responses[2], path);
+        assert_eq!(responses[3], ring, "@ring overrides USE for one line");
+        assert_eq!(responses[4], path, "@<graph> must not be sticky");
+        assert_eq!(responses[5], path);
+        assert_eq!(responses[6], "OK USE ring");
+        assert_eq!(responses[7], ring);
+        // A fresh connection starts on graph 0 regardless of other
+        // connections' USE state.
+        assert_eq!(roundtrip(addr, &["P Q 3"]), vec![ring.clone()]);
+        // Unknown graphs answer typed errors listing what is available.
+        let errors = roundtrip(addr, &["USE nope", "@nope P Q 3", "USE", "P Q 3"]);
+        assert_eq!(
+            errors[0],
+            "ERR PARSE unknown graph 'nope' (available graphs: ring, path)"
+        );
+        assert!(
+            errors[1].starts_with("ERR PARSE query line 2: unknown graph 'nope'"),
+            "{errors:?}"
+        );
+        assert!(
+            errors[1].contains("available graphs: ring, path"),
+            "{errors:?}"
+        );
+        assert_eq!(
+            errors[2],
+            "ERR PARSE USE needs a graph name (`USE <graph>`)"
+        );
+        assert_eq!(errors[3], ring, "errors leave the selection untouched");
+        // SETS lists the *current* graph's catalogue.
+        let catalogues = roundtrip(addr, &["SETS", "USE path", "SETS"]);
+        assert_eq!(catalogues[0], "OK SETS P Q");
+        assert_eq!(catalogues[2], "OK SETS P Q MID");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_per_graph_blocks_and_build_info() {
+        let (registry, sets) = registry_fixture();
+        let server = Server::start_registry(
+            registry,
+            sets,
+            ParseOptions::default(),
+            ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+        let responses = roundtrip(addr, &["P Q 3", "P Q 2", "@path P Q 3", "STATS"]);
+        let stats = &responses[3];
+        assert!(stats.contains(" graphs=2"), "{stats}");
+        assert!(stats.contains(" graph.ring.served=2"), "{stats}");
+        assert!(stats.contains(" graph.path.served=1"), "{stats}");
+        assert!(stats.contains(" graph.ring.cache_bytes="), "{stats}");
+        assert!(stats.contains(" graph.path.cache_hits="), "{stats}");
+        assert!(stats.contains(" uptime_ms="), "{stats}");
+        assert!(
+            stats.contains(&format!(" build={}", metrics::BUILD_ID)),
+            "{stats}"
+        );
+        assert!(
+            stats.contains(" default_deadline_interactive=0 default_deadline_batch=0"),
+            "{stats}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn single_graph_servers_register_as_default() {
+        // `Server::start` is registry sugar: one graph named `default`,
+        // reachable explicitly by name and listed in STATS.
+        let server = start_fixture(ServerConfig::default());
+        let addr = server.local_addr();
+        let responses = roundtrip(
+            addr,
+            &["USE default", "@default P Q 3", "P Q 3", "SETS", "STATS"],
+        );
+        assert_eq!(responses[0], "OK USE default");
+        assert!(responses[1].starts_with("OK TWOWAY"), "{responses:?}");
+        assert_eq!(responses[1], responses[2]);
+        assert_eq!(responses[3], "OK SETS P Q");
+        assert!(responses[4].contains(" graphs=1"), "{responses:?}");
+        assert!(
+            responses[4].contains(" graph.default.served=2"),
+            "{responses:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn default_deadlines_apply_only_to_unprefixed_lines() {
+        // A 1 ms server-side default on one worker with a deep pipelined
+        // burst: plain lines inherit the default and the queue tail
+        // expires, while lines carrying an explicit comfortable DEADLINE
+        // prefix override the default and always serve.
+        let server = start_fixture(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(512)
+                .with_default_deadline_interactive(1),
+        );
+        let addr = server.local_addr();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        let burst = 256usize;
+        for index in 0..burst {
+            if index % 2 == 0 {
+                writeln!(writer, "nway chain P Q 3 ap min").unwrap();
+            } else {
+                writeln!(writer, "DEADLINE 60000 nway chain P Q 3 ap min").unwrap();
+            }
+        }
+        writer.flush().unwrap();
+        let mut expired = 0usize;
+        for index in 0..burst {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let response = response.trim_end();
+            if index % 2 == 1 {
+                assert!(
+                    response.starts_with("OK NWAY"),
+                    "explicit DEADLINE overrides the default: {response}"
+                );
+            } else if wire::is_deadline(response) {
+                assert!(response.contains("budget of 1 ms"), "{response}");
+                expired += 1;
+            } else {
+                assert!(response.starts_with("OK NWAY"), "{response}");
+            }
+        }
+        assert!(
+            expired > 0,
+            "a deep queue on one worker must expire inherited 1 ms budgets"
+        );
+        // The configured defaults are visible in STATS.
+        let stats = roundtrip(addr, &["STATS"]);
+        assert!(
+            stats[0].contains(" default_deadline_interactive=1 default_deadline_batch=0"),
+            "{stats:?}"
+        );
+        let report = server.shutdown();
+        assert_eq!(report.expired, expired as u64);
+    }
+
+    #[test]
+    fn start_registry_rejects_malformed_registries() {
+        let bad_name = GraphRegistry::from_engines(vec![("no spaces".to_string(), {
+            let mut b = GraphBuilder::with_nodes(2);
+            b.add_undirected_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+            Engine::new(b.build().unwrap())
+        })]);
+        assert!(Server::start_registry(
+            bad_name,
+            vec![Vec::new()],
+            ParseOptions::default(),
+            ServerConfig::default(),
+        )
+        .is_err());
+        let (registry, _) = registry_fixture();
+        assert!(
+            Server::start_registry(
+                registry,
+                vec![Vec::new()], // one catalogue for two graphs
+                ParseOptions::default(),
+                ServerConfig::default(),
+            )
+            .is_err(),
+            "sets must be per-graph"
+        );
     }
 
     #[test]

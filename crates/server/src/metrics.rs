@@ -9,10 +9,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dht_core::queryline::Priority;
 use dht_walks::CacheStats;
+
+/// Build identification reported by `STATS` (`build=`): the crate version,
+/// which the workspace pins to the same value `dht --version` prints — so
+/// fleet operators (and the router's backend health lines) can tell
+/// mixed-version backends apart.
+pub const BUILD_ID: &str = env!("CARGO_PKG_VERSION");
 
 /// Ring capacity of the latency reservoir: enough to make p99 meaningful
 /// under sustained load while bounding memory to ~512 KiB of samples.
@@ -72,10 +78,15 @@ pub(crate) struct Metrics {
     /// rates without reaching into live sessions (meaningful for private
     /// caches too, where the engine has no global counters).
     worker_caches: Mutex<Vec<(CacheStats, (u64, u64))>>,
+    /// Served requests per registered graph (registration order) — the
+    /// multi-graph server's `STATS` per-graph blocks read these.
+    graph_served: Vec<AtomicU64>,
+    /// When the server started, for the `uptime_ms=` field.
+    started: Instant,
 }
 
 impl Metrics {
-    pub(crate) fn new(workers: usize) -> Self {
+    pub(crate) fn new(workers: usize, graphs: usize) -> Self {
         Metrics {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -88,11 +99,16 @@ impl Metrics {
             interactive_latencies: Mutex::new(Reservoir::default()),
             batch_latencies: Mutex::new(Reservoir::default()),
             worker_caches: Mutex::new(vec![Default::default(); workers]),
+            graph_served: (0..graphs.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            started: Instant::now(),
         }
     }
 
-    pub(crate) fn record_served(&self, latency: Duration, class: Priority) {
+    pub(crate) fn record_served(&self, latency: Duration, class: Priority, graph: usize) {
         self.served.fetch_add(1, Ordering::Relaxed);
+        if let Some(counter) = self.graph_served.get(graph) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
         let latency_ms = latency.as_secs_f64() * 1e3;
         self.latencies
             .lock()
@@ -193,6 +209,13 @@ impl Metrics {
             column_misses: columns.misses,
             y_hits,
             y_misses,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            build: BUILD_ID.to_string(),
+            graph_served: self
+                .graph_served
+                .iter()
+                .map(|counter| counter.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -253,6 +276,13 @@ pub struct StatsSnapshot {
     pub y_hits: u64,
     /// Y-bound-table misses summed over the worker sessions.
     pub y_misses: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Build identification ([`BUILD_ID`] — the `dht --version` version).
+    pub build: String,
+    /// Served requests per registered graph, in registration order (one
+    /// entry, equal to `served`, on a single-graph server).
+    pub graph_served: Vec<u64>,
 }
 
 impl StatsSnapshot {
@@ -275,7 +305,8 @@ impl StatsSnapshot {
              quota_rejected={} expired={} dropped={} \
              interactive_served={} batch_served={} \
              interactive_p99_ms={:.4} batch_p99_ms={:.4} batch_queue_capacity={} \
-             interactive_depth={} batch_depth={} connections={}",
+             interactive_depth={} batch_depth={} connections={} \
+             uptime_ms={} build={}",
             self.served,
             self.rejected,
             self.queue_depth,
@@ -301,6 +332,8 @@ impl StatsSnapshot {
             self.interactive_depth,
             self.batch_depth,
             self.connections,
+            self.uptime_ms,
+            self.build,
         )
     }
 }
@@ -311,9 +344,9 @@ mod tests {
 
     #[test]
     fn snapshot_reports_percentiles_and_counters() {
-        let metrics = Metrics::new(2);
+        let metrics = Metrics::new(2, 1);
         for ms in [1.0f64, 2.0, 3.0, 4.0] {
-            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Interactive);
+            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Interactive, 0);
         }
         metrics.record_rejected();
         metrics.store_worker_caches(
@@ -347,21 +380,39 @@ mod tests {
         assert_eq!((snap.y_hits, snap.y_misses), (2, 2));
         assert!((snap.column_hit_rate() - 4.0 / 6.0).abs() < 1e-12);
         assert_eq!(snap.connections, 7);
+        assert_eq!(snap.graph_served, vec![4], "single-graph count = served");
         let line = snap.wire_line();
         assert!(line.starts_with("STATS served=4 rejected=1"), "{line}");
         assert!(line.contains("p99_ms="), "{line}");
         assert!(line.contains("column_hit_rate=0.6667"), "{line}");
         assert!(line.contains("connections=7"), "{line}");
+        assert!(line.contains("uptime_ms="), "{line}");
+        assert!(line.contains(&format!("build={BUILD_ID}")), "{line}");
+    }
+
+    #[test]
+    fn per_graph_served_counters_split_by_registration_index() {
+        let metrics = Metrics::new(1, 3);
+        let ms = Duration::from_millis(1);
+        metrics.record_served(ms, Priority::Interactive, 0);
+        metrics.record_served(ms, Priority::Interactive, 2);
+        metrics.record_served(ms, Priority::Batch, 2);
+        // An out-of-range graph index still counts globally.
+        metrics.record_served(ms, Priority::Interactive, 9);
+        let snap = metrics.snapshot(0, 0, 8, 8, 0);
+        assert_eq!(snap.served, 4);
+        assert_eq!(snap.graph_served, vec![1, 0, 2]);
+        assert!(snap.uptime_ms < 60_000, "uptime is measured, not garbage");
     }
 
     #[test]
     fn per_class_counters_and_percentiles_are_split() {
-        let metrics = Metrics::new(1);
+        let metrics = Metrics::new(1, 1);
         for ms in [1.0f64, 2.0] {
-            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Interactive);
+            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Interactive, 0);
         }
         for ms in [50.0f64, 60.0, 70.0] {
-            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Batch);
+            metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Batch, 0);
         }
         metrics.record_quota_rejected();
         metrics.record_quota_rejected();

@@ -5,9 +5,13 @@
 //! *interactive* (the default) and *batch* (`PRIO batch` lines).  Each
 //! class has its **own capacity**, so a batch flood can exhaust only the
 //! batch class — interactive admission is untouched, which is what keeps
-//! well-behaved clients isolated from hostile floods.  Workers drain in
-//! **strict priority order**: a batch request is popped only when the
-//! interactive queue is empty.
+//! well-behaved clients isolated from hostile floods.  Workers drain by a
+//! **weighted priority pick**: interactive requests go first, but after
+//! `batch_weight` consecutive interactive pops while batch work is
+//! waiting, one batch request is served before the streak restarts —
+//! sustained interactive load can no longer starve batch forever (strict
+//! priority did).  The pick is deterministic, so scheduling is
+//! reproducible in tests.
 //!
 //! Readers `try_push` and **never block**: when the request's class is at
 //! capacity the push fails and the reader answers the client with a typed
@@ -43,6 +47,10 @@ pub(crate) enum PushRefused<T> {
 struct QueueState<T> {
     interactive: VecDeque<T>,
     batch: VecDeque<T>,
+    /// Consecutive interactive pops while batch work was waiting; at
+    /// `batch_weight` the next pick is a batch request.  Lives under the
+    /// lock so the weighted schedule is exact across workers.
+    interactive_streak: u32,
     closed: bool,
 }
 
@@ -55,16 +63,20 @@ impl<T> QueueState<T> {
     }
 }
 
-/// A bounded two-class MPMC queue with non-blocking producers and strict-
-/// priority batch-popping consumers that drain fully before observing
-/// close.
+/// A bounded two-class MPMC queue with non-blocking producers and
+/// weighted-priority batch-popping consumers that drain fully before
+/// observing close.
 #[derive(Debug)]
 pub(crate) struct RequestQueue<T> {
     inner: Mutex<QueueState<T>>,
     available: Condvar,
     interactive_capacity: usize,
     batch_capacity: usize,
+    batch_weight: u32,
 }
+
+/// Default interactive pops served per waiting batch pop (7:1).
+pub(crate) const DEFAULT_BATCH_WEIGHT: u32 = 7;
 
 impl<T> RequestQueue<T> {
     pub(crate) fn new(interactive_capacity: usize, batch_capacity: usize) -> Self {
@@ -72,12 +84,21 @@ impl<T> RequestQueue<T> {
             inner: Mutex::new(QueueState {
                 interactive: VecDeque::new(),
                 batch: VecDeque::new(),
+                interactive_streak: 0,
                 closed: false,
             }),
             available: Condvar::new(),
             interactive_capacity: interactive_capacity.max(1),
             batch_capacity: batch_capacity.max(1),
+            batch_weight: DEFAULT_BATCH_WEIGHT,
         }
+    }
+
+    /// Sets the weighted-pick ratio: `weight` interactive pops are served
+    /// per batch pop while both classes are non-empty (clamped to ≥ 1).
+    pub(crate) fn with_batch_weight(mut self, weight: u32) -> Self {
+        self.batch_weight = weight.max(1);
+        self
     }
 
     /// The configured capacity of one class.
@@ -123,14 +144,21 @@ impl<T> RequestQueue<T> {
     }
 
     /// Blocks until at least one request is available, then drains up to
-    /// `max` of them in **strict priority order**: every queued
-    /// interactive request comes out before any batch request — batch
-    /// work proceeds only when the interactive class is empty, within a
-    /// single micro-batch too.  Returns an **empty** batch only when the
-    /// queue has been closed **and** fully drained — the worker's signal
-    /// to exit after finishing in-flight work (graceful drain).  Because
-    /// `closed` lives under the same lock as the items, nothing can be
-    /// admitted after the empty-and-closed observation.
+    /// `max` of them by the **weighted priority pick**: interactive
+    /// requests are served first (FIFO within the class), but once
+    /// `batch_weight` consecutive interactive requests have been popped
+    /// while batch work was waiting, one batch request is served and the
+    /// streak restarts — so batch throughput is pinned at ≥ 1 per
+    /// `batch_weight` interactive requests under sustained contention
+    /// instead of starving.  The streak survives across micro-batches and
+    /// workers (it lives under the queue lock), and resets whenever the
+    /// batch class is empty, so uncontended interactive traffic never
+    /// banks credit against future batch arrivals.  Returns an **empty**
+    /// batch only when the queue has been closed **and** fully drained —
+    /// the worker's signal to exit after finishing in-flight work
+    /// (graceful drain).  Because `closed` lives under the same lock as
+    /// the items, nothing can be admitted after the empty-and-closed
+    /// observation.
     pub(crate) fn pop_batch(&self, max: usize) -> Vec<T> {
         let mut state = self.inner.lock().expect("queue lock poisoned");
         loop {
@@ -138,9 +166,19 @@ impl<T> RequestQueue<T> {
                 let max = max.max(1);
                 let mut batch = Vec::with_capacity(max.min(8));
                 while batch.len() < max {
-                    if let Some(item) = state.interactive.pop_front() {
+                    let take_batch = !state.batch.is_empty()
+                        && (state.interactive.is_empty()
+                            || state.interactive_streak >= self.batch_weight);
+                    if take_batch {
+                        let item = state.batch.pop_front().expect("batch is non-empty");
+                        state.interactive_streak = 0;
                         batch.push(item);
-                    } else if let Some(item) = state.batch.pop_front() {
+                    } else if let Some(item) = state.interactive.pop_front() {
+                        if state.batch.is_empty() {
+                            state.interactive_streak = 0;
+                        } else {
+                            state.interactive_streak += 1;
+                        }
                         batch.push(item);
                     } else {
                         break;
@@ -199,12 +237,62 @@ mod tests {
         queue.try_push(1, I).unwrap();
         queue.try_push(11, B).unwrap();
         queue.try_push(2, I).unwrap();
-        // Strict priority inside one micro-batch: both interactive items
-        // first (in FIFO order), then batch items (in FIFO order).
+        // Below the batch weight the pick degenerates to strict priority:
+        // both interactive items first (in FIFO order), then batch items
+        // (in FIFO order).
         assert_eq!(queue.pop_batch(3), vec![1, 2, 10]);
         queue.try_push(3, I).unwrap();
         // A later interactive arrival still beats an older batch item.
         assert_eq!(queue.pop_batch(8), vec![3, 11]);
+    }
+
+    #[test]
+    fn weighted_pick_prevents_batch_starvation() {
+        // Weight 3: every fourth pop under contention is a batch request.
+        let queue = RequestQueue::new(16, 16).with_batch_weight(3);
+        for i in 0..10 {
+            queue.try_push(i, I).unwrap();
+        }
+        queue.try_push(100, B).unwrap();
+        queue.try_push(101, B).unwrap();
+        assert_eq!(
+            queue.pop_batch(12),
+            vec![0, 1, 2, 100, 3, 4, 5, 101, 6, 7, 8, 9],
+            "deterministic 3:1 interleave while both classes are non-empty"
+        );
+
+        // The streak is shared across micro-batches: two pops of 2 then 2
+        // continue the same interleave instead of restarting it.
+        for i in 0..4 {
+            queue.try_push(i, I).unwrap();
+        }
+        queue.try_push(200, B).unwrap();
+        assert_eq!(queue.pop_batch(2), vec![0, 1]);
+        assert_eq!(queue.pop_batch(2), vec![2, 200]);
+        assert_eq!(queue.pop_batch(2), vec![3]);
+
+        // Uncontended interactive pops bank no credit: draining 5
+        // interactive requests with an empty batch class leaves the next
+        // contended sequence starting a fresh streak.
+        for i in 0..5 {
+            queue.try_push(i, I).unwrap();
+        }
+        assert_eq!(queue.pop_batch(8), vec![0, 1, 2, 3, 4]);
+        queue.try_push(7, I).unwrap();
+        queue.try_push(300, B).unwrap();
+        assert_eq!(
+            queue.pop_batch(8),
+            vec![7, 300],
+            "interactive still goes first after an uncontended drain"
+        );
+
+        // Weight is clamped to ≥ 1 (1:1 alternation, never batch-first).
+        let queue = RequestQueue::new(8, 8).with_batch_weight(0);
+        queue.try_push(1, I).unwrap();
+        queue.try_push(2, I).unwrap();
+        queue.try_push(400, B).unwrap();
+        queue.try_push(401, B).unwrap();
+        assert_eq!(queue.pop_batch(8), vec![1, 400, 2, 401]);
     }
 
     #[test]

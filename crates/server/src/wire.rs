@@ -64,6 +64,13 @@ pub fn is_deadline(response: &str) -> bool {
     response.starts_with("ERR DEADLINE")
 }
 
+/// Whether a response line is the router's typed backend-failure report
+/// (`ERR SHARD <name> unavailable …`) — the query reached the router but
+/// a backend holding part of its answer was down.
+pub fn is_shard(response: &str) -> bool {
+    response.starts_with("ERR SHARD")
+}
+
 /// Extracts the deterministic retry-after hint from an `ERR QUOTA` line
 /// (`… retry after <ms> ms`); `None` on any other line.
 pub fn retry_after_ms(response: &str) -> Option<u64> {
@@ -135,6 +142,8 @@ mod tests {
         ));
         assert!(is_deadline("ERR DEADLINE budget of 5 ms exhausted"));
         assert!(!is_deadline("OK TWOWAY 0"));
+        assert!(is_shard("ERR SHARD shard-1 unavailable; retry later"));
+        assert!(!is_shard("ERR BUSY interactive queue full"));
         assert_eq!(
             retry_after_ms("ERR QUOTA rate limit exceeded (50/s, burst 8); retry after 17 ms"),
             Some(17)

@@ -25,7 +25,13 @@
 //!   multiplexing any number of clients onto a pool of warm engine
 //!   sessions (bounded queue with `BUSY` backpressure, micro-batching,
 //!   `STATS`/`EXPLAIN`/`PING` verbs) plus the matching load-generator
-//!   client; wire answers are bit-identical to in-process sessions;
+//!   client; wire answers are bit-identical to in-process sessions; a
+//!   [`server::Server`] can host a whole registry of named graphs behind
+//!   one port (`USE <graph>` / `@<graph>` namespacing);
+//! * [`router`] — the sharded top-k front door: partitions backward-walk
+//!   targets across several `dht-server` backends by deterministic hash
+//!   and merges the per-shard scored streams into bit-exact global
+//!   answers, with typed `ERR SHARD` reporting when a backend dies;
 //! * [`datasets`] — synthetic analogues of the paper's datasets;
 //! * [`eval`] — ROC / AUC, link- and 3-clique-prediction experiments;
 //! * [`measures`] — the extension sketched in the paper's conclusion:
@@ -86,6 +92,7 @@ pub use dht_graph as graph;
 pub use dht_measures as measures;
 pub use dht_par as par;
 pub use dht_rankjoin as rankjoin;
+pub use dht_router as router;
 pub use dht_server as server;
 pub use dht_walks as walks;
 

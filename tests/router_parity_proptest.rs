@@ -1,0 +1,267 @@
+//! Fleet parity: answers merged by `dht-router` from a sharded fleet of
+//! `dht-server` backends are **bit-identical** to a single server hosting
+//! the union graph — at 1 and 4 backend workers, over 2 and 3 shards, and
+//! with a backend killed mid-stream every surviving answer stays bit-exact
+//! while the dead shard's lines answer a typed `ERR SHARD`.
+//!
+//! Every backend hosts the full union graph plus the base sets plus its
+//! shard's alias sets (`{base}%{i}of{n}`, cut by the router's
+//! deterministic node hash).  The router fans backward-family two-way
+//! lines out across the aliases and merges the per-shard top-k streams;
+//! everything else routes whole to one backend.  Scores travel as exact
+//! `f64` bit patterns, so the comparison is string equality.
+
+use proptest::prelude::*;
+
+use dht_nway::core::queryline::{self, ParseOptions};
+use dht_nway::engine::{Engine, EngineConfig};
+use dht_nway::prelude::*;
+use dht_nway::router::{shard_node_sets, Router, RouterConfig};
+use dht_nway::server::loadgen::{self, LoadGenConfig, LoadMode};
+use dht_nway::server::{wire, Server, ServerConfig};
+
+/// Strategy: a random directed weighted graph as an edge list over `n`
+/// nodes.
+fn er_graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (9usize..18).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.25f64..4.0), 1..(n * 3));
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: descriptors for a stream of query lines — `(algorithm index,
+/// set-pair index, k)`.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u32, u32, usize)>> {
+    proptest::collection::vec((0u32..5, 0u32..3, 1usize..5), 3..8)
+}
+
+fn build_graph(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut builder = GraphBuilder::with_nodes(n);
+    for &(u, v, w) in edges {
+        if u != v {
+            builder
+                .add_edge(NodeId(u), NodeId(v), w)
+                .expect("valid endpoints");
+        }
+    }
+    builder.build().expect("generated graph is valid")
+}
+
+/// Three overlapping node sets named A / B / C.
+fn overlapping_sets(n: usize) -> Vec<NodeSet> {
+    let n = n as u32;
+    let third = (n / 3).max(1);
+    vec![
+        NodeSet::new("A", (0..2 * third).map(NodeId)),
+        NodeSet::new("B", (third..n).map(NodeId)),
+        NodeSet::new("C", (0..n).step_by(2).map(NodeId)),
+    ]
+}
+
+/// Renders the descriptors as query-language lines.  The second element of
+/// each pair is the **right (target) set name** — the set the router
+/// shards — when the line is a fan-out candidate (backward-family two-way),
+/// `None` for whole-routed lines (forward algorithms and n-way).
+fn build_lines(descriptors: &[(u32, u32, usize)]) -> Vec<(String, Option<&'static str>)> {
+    const ALGORITHMS: [&str; 5] = ["b-bj", "b-idj-x", "b-idj-y", "auto", "f-bj"];
+    descriptors
+        .iter()
+        .enumerate()
+        .map(|(i, &(algo, pair, k))| {
+            let (left, right) = match pair {
+                0 => ("A", "B"),
+                1 => ("B", "C"),
+                _ => ("C", "A"),
+            };
+            if i % 5 == 4 {
+                (format!("nway chain {left} {right} {k} ap min"), None)
+            } else {
+                let algorithm = ALGORITHMS[algo as usize];
+                let fans_out = algorithm != "f-bj";
+                (
+                    format!("{left} {right} {k} {algorithm}"),
+                    fans_out.then_some(right),
+                )
+            }
+        })
+        .collect()
+}
+
+/// In-process reference over the union graph: what a single `dht-server`
+/// would answer.
+fn expected_responses(engine: &Engine, sets: &[NodeSet], lines: &[String]) -> Vec<String> {
+    let options = ParseOptions::default();
+    let mut session = engine.session();
+    lines
+        .iter()
+        .enumerate()
+        .map(|(index, line)| {
+            let parsed = queryline::parse_query_line(line, sets, &options, index + 1)
+                .expect("generated lines are well-formed")
+                .expect("no blank lines generated");
+            let output = session
+                .run(&parsed.spec)
+                .expect("generated queries are valid");
+            format!("OK {}", wire::encode_output(&output))
+        })
+        .collect()
+}
+
+/// Starts `count` backends, each hosting the union graph, the base sets
+/// and its shard's alias sets.
+fn start_fleet(graph: &Graph, sets: &[NodeSet], count: usize, workers: usize) -> Vec<Server> {
+    let aliases = shard_node_sets(sets, count);
+    (0..count)
+        .map(|index| {
+            let mut backend_sets = sets.to_vec();
+            backend_sets.extend(aliases[index].iter().cloned());
+            Server::start(
+                Engine::with_config(graph.clone(), EngineConfig::paper_default()),
+                backend_sets,
+                ParseOptions::default(),
+                ServerConfig::default().with_workers(workers),
+            )
+            .expect("bind loopback backend")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random streams replayed through the router over 2 and 3 shards at
+    /// 1 and 4 backend workers: every merged response equals the
+    /// single-server union answer, byte for byte.
+    #[test]
+    fn routed_answers_match_single_server_union_runs_bitwise(
+        (n, edges) in er_graph_strategy(),
+        descriptors in stream_strategy(),
+        shards in 2usize..4,
+    ) {
+        let graph = build_graph(n, &edges);
+        let sets = overlapping_sets(n);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let lines: Vec<String> = build_lines(&descriptors)
+            .into_iter()
+            .map(|(line, _)| line)
+            .collect();
+
+        let reference = Engine::with_config(graph.clone(), EngineConfig::paper_default());
+        let expected = expected_responses(&reference, &sets, &lines);
+
+        for workers in [1usize, 4] {
+            let fleet = start_fleet(&graph, &sets, shards, workers);
+            let addrs: Vec<_> = fleet.iter().map(Server::local_addr).collect();
+            let router = Router::start(&addrs, RouterConfig::default())
+                .expect("router binds and probes the fleet");
+            let report = loadgen::run(
+                router.local_addr(),
+                &lines,
+                &LoadGenConfig {
+                    connections: 2,
+                    repeat: 2,
+                    mode: LoadMode::Closed,
+                    ..LoadGenConfig::default()
+                },
+            )
+            .expect("replay through the router succeeds");
+            let stats = router.shutdown();
+            prop_assert_eq!(stats.shard_errors, 0, "healthy fleet, no shard errors");
+            prop_assert!(stats.fanned_out > 0, "backward lines must fan out");
+            for server in fleet {
+                server.shutdown();
+            }
+            for (connection, finals) in report.responses.iter().enumerate() {
+                prop_assert_eq!(finals.len(), 2 * lines.len());
+                for (index, response) in finals.iter().enumerate() {
+                    prop_assert_eq!(
+                        response,
+                        &expected[index % expected.len()],
+                        "shards={} workers={} connection={} request={}",
+                        shards, workers, connection, index
+                    );
+                }
+            }
+        }
+    }
+
+    /// Kill one backend mid-stream: lines whose target set has members on
+    /// the dead shard answer a typed `ERR SHARD`, every other line still
+    /// answers bit-identically to the single-server union run, and the
+    /// router itself stays up.
+    #[test]
+    fn killed_backends_yield_typed_shard_errors_and_exact_survivors(
+        (n, edges) in er_graph_strategy(),
+        descriptors in stream_strategy(),
+    ) {
+        let graph = build_graph(n, &edges);
+        let sets = overlapping_sets(n);
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let lines = build_lines(&descriptors);
+        let bare_lines: Vec<String> = lines.iter().map(|(line, _)| line.clone()).collect();
+
+        let reference = Engine::with_config(graph.clone(), EngineConfig::paper_default());
+        let expected = expected_responses(&reference, &sets, &bare_lines);
+
+        const SHARDS: usize = 2;
+        const KILLED: usize = 1;
+        let fleet = start_fleet(&graph, &sets, SHARDS, 1);
+        let addrs: Vec<_> = fleet.iter().map(Server::local_addr).collect();
+        let router = Router::start(&addrs, RouterConfig::default().with_retries(1))
+            .expect("router binds and probes the fleet");
+
+        // Healthy pass first — the stream is mid-flight when the kill lands.
+        let healthy = loadgen::run(
+            router.local_addr(),
+            &bare_lines,
+            &LoadGenConfig { connections: 1, ..LoadGenConfig::default() },
+        )
+        .expect("healthy replay succeeds");
+        for (index, response) in healthy.responses[0].iter().enumerate() {
+            prop_assert_eq!(response, &expected[index], "healthy request {}", index);
+        }
+
+        // Kill the second backend, then replay the same stream.
+        let mut fleet = fleet;
+        fleet.remove(KILLED).shutdown();
+        let wounded = loadgen::run(
+            router.local_addr(),
+            &bare_lines,
+            &LoadGenConfig { connections: 1, ..LoadGenConfig::default() },
+        )
+        .expect("the router stays up with a dead backend");
+
+        // Which target sets have members on the killed shard (a non-empty
+        // alias means the router must consult that backend)?
+        let killed_aliases = &shard_node_sets(&sets, SHARDS)[KILLED];
+        for (index, response) in wounded.responses[0].iter().enumerate() {
+            let (_, fanout_target) = &lines[index];
+            let touches_killed = fanout_target
+                .map(|set| killed_aliases.iter().any(|a| a.name().starts_with(set)))
+                .unwrap_or(false);
+            if touches_killed {
+                prop_assert!(
+                    wire::is_shard(response),
+                    "request {} targets the dead shard but answered '{}'",
+                    index, response
+                );
+                prop_assert!(
+                    response.contains("shard-1"),
+                    "ERR SHARD must name the dead backend, got '{}'",
+                    response
+                );
+            } else {
+                prop_assert!(
+                    response == &expected[index] || wire::is_shard(response),
+                    "request {} answered '{}', expected the union answer or ERR SHARD",
+                    index, response
+                );
+            }
+        }
+        let stats = router.shutdown();
+        prop_assert!(stats.served > 0);
+        for server in fleet {
+            server.shutdown();
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! serving rows, the `server_overload` hostile-mix isolation rows, the
 //! `server_soak` open-loop 1k-connection event-loop soak rows, the
 //! `router_throughput` sharded-fleet merge rows, the
+//! `trace_overhead` span-recording-cost rows, the
 //! `graph_load` binary-container-vs-text-parse rows (each
 //! block with a `"parity"` flag the `bench_check` CI gate enforces), and a
 //! walk-engine ablation (dense-serial seed path vs
@@ -35,6 +36,7 @@ use dht_bench::experiments::router_throughput::{self, RouterThroughputResult};
 use dht_bench::experiments::server_overload::{self, ServerOverloadResult};
 use dht_bench::experiments::server_soak::{self, ServerSoakResult};
 use dht_bench::experiments::server_throughput::{self, ServerThroughputResult};
+use dht_bench::experiments::trace_overhead::{self, TraceOverheadResult};
 use dht_bench::{timing, workloads};
 use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig};
 use dht_datasets::Scale;
@@ -188,6 +190,20 @@ fn main() {
     );
     timings.push(("router_throughput".to_string(), elapsed.as_secs_f64()));
 
+    let (trace, elapsed) = timing::time(|| trace_overhead::measure(scale));
+    eprintln!(
+        "trace_overhead: {} cache-hot queries, off {:.4} s vs on {:.4} s \
+         ({:+.2}% gated overhead, {:+.2}% median, bitwise {}, {} spans)",
+        trace.queries,
+        trace.plain_seconds,
+        trace.traced_seconds,
+        100.0 * trace.overhead(),
+        100.0 * trace.overhead_median,
+        trace.bitwise,
+        trace.spans
+    );
+    timings.push(("trace_overhead".to_string(), elapsed.as_secs_f64()));
+
     let (load, elapsed) = timing::time(|| graph_load::measure(scale));
     eprintln!(
         "graph_load: {} nodes, {} edges, text {:.4} s vs binary {:.4} s \
@@ -213,6 +229,7 @@ fn main() {
         &overload,
         &soak,
         &router,
+        &trace,
         &load,
         &ablation,
     );
@@ -284,6 +301,7 @@ fn render_json(
     overload: &ServerOverloadResult,
     soak: &ServerSoakResult,
     router: &RouterThroughputResult,
+    trace: &TraceOverheadResult,
     load: &GraphLoadResult,
     ablation: &[AblationRow],
 ) -> String {
@@ -463,6 +481,24 @@ fn render_json(
     // `measure` compares every merged wire response against the
     // in-process single-server union answer; gated by bench_check.
     let _ = writeln!(out, "    \"parity\": {}", router.parity);
+    out.push_str("  },\n");
+    out.push_str("  \"trace_overhead\": {\n");
+    out.push_str("    \"workload\": \"yeast_cache_hot_bbj_traced\",\n");
+    let _ = writeln!(out, "    \"queries\": {},", trace.queries);
+    let _ = writeln!(out, "    \"passes\": {},", trace.passes);
+    let _ = writeln!(out, "    \"plain_seconds\": {:.6},", trace.plain_seconds);
+    let _ = writeln!(out, "    \"traced_seconds\": {:.6},", trace.traced_seconds);
+    let _ = writeln!(out, "    \"overhead\": {:.4},", trace.overhead());
+    let _ = writeln!(
+        out,
+        "    \"overhead_median\": {:.4},",
+        trace.overhead_median
+    );
+    let _ = writeln!(out, "    \"spans\": {},", trace.spans);
+    let _ = writeln!(out, "    \"bitwise\": {},", trace.bitwise);
+    // Bit-identical answers AND traced wall-clock within the 5% budget;
+    // enforced by bench_check like the other flags.
+    let _ = writeln!(out, "    \"parity\": {}", trace.parity());
     out.push_str("  },\n");
     out.push_str("  \"graph_load\": {\n");
     out.push_str("    \"workload\": \"barabasi_albert_binary_vs_text\",\n");

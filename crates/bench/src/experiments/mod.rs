@@ -21,6 +21,7 @@ pub mod server_soak;
 pub mod server_throughput;
 pub mod table3;
 pub mod table4;
+pub mod trace_overhead;
 
 use dht_core::multiway::{NWayAlgorithm, NWayConfig};
 use dht_core::QueryGraph;

@@ -25,6 +25,7 @@ use dht_core::spec::AlgorithmChoice;
 use dht_core::twoway::TwoWayAlgorithm;
 use dht_engine::{Engine, EngineConfig};
 use dht_graph::NodeSet;
+use dht_walks::Phase;
 // The latency-percentile convention is shared with the server's `STATS`
 // report and `dht loadgen`, so all three surfaces agree by construction.
 use dht_server::metrics::percentile;
@@ -52,6 +53,10 @@ OPTIONS:
     --explain <0|1>         1: print each first-pass query's plan
                             (chosen algorithm, cost estimates,
                             cache residency)                     [default: 0]
+    --trace <0|1>           1: record per-query span timings
+                            (parse/plan/column/Y/join/top-k) and
+                            report the per-phase totals; answers
+                            are bit-identical either way         [default: 0]
     --sessions <n>          concurrent sessions answering the
                             stream (round-robin)                 [default: 1]
     --cache <bytes>         column-cache byte budget
@@ -74,6 +79,7 @@ const KNOWN: &[&str] = &[
     "algorithm",
     "m",
     "explain",
+    "trace",
     "sessions",
     "cache",
     "shared",
@@ -123,6 +129,9 @@ struct WorkerReport {
     /// `--explain 1`: `(query index, line number, plan line)` of every
     /// first-pass query this worker answered.
     plans: Vec<(usize, usize, String)>,
+    /// `--trace 1`: accumulated `(ms, count)` per [`Phase`], in
+    /// [`Phase::ALL`] order, across every query this worker answered.
+    spans: Vec<(f64, u64)>,
 }
 
 /// Answers the indices of `stream` owned by `worker` (round-robin over
@@ -134,8 +143,10 @@ fn run_worker(
     sessions: usize,
     repeat: usize,
     explain: bool,
+    trace: bool,
 ) -> WorkerReport {
     let mut session = engine.session();
+    session.set_trace_enabled(trace);
     let mut report = WorkerReport {
         latencies_ms: Vec::new(),
         answers_returned: 0,
@@ -144,6 +155,7 @@ fn run_worker(
         error: None,
         empty_lines: Vec::new(),
         plans: Vec::new(),
+        spans: vec![(0.0, 0); Phase::COUNT],
     };
     for pass in 0..repeat {
         for (index, item) in stream
@@ -182,6 +194,14 @@ fn run_worker(
             }
         }
     }
+    if trace {
+        for (slot, phase) in Phase::ALL.into_iter().enumerate() {
+            report.spans[slot] = (
+                session.trace().phase_ms(phase),
+                session.trace().phase_count(phase),
+            );
+        }
+    }
     report.cache = session.cache_stats();
     report.y_tables = session.y_table_stats();
     report
@@ -203,6 +223,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
         super::parse_two_way_choice(args.get("algorithm").unwrap_or("b-idj-y"))?;
     let m: usize = args.get_parsed_or("m", 50)?;
     let explain = args.get_parsed_or("explain", 0u8)? == 1;
+    let trace = args.get_parsed_or("trace", 0u8)? == 1;
     let sessions: usize = args.get_parsed_or("sessions", 1)?.max(1);
     let cache: usize = args.get_parsed_or("cache", dht_engine::DEFAULT_CACHE_BYTES)?;
     let shared = args.get_parsed_or("shared", 1u8)? == 1;
@@ -222,7 +243,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
 
     let stream_start = Instant::now();
     let mut reports: Vec<WorkerReport> = if sessions == 1 {
-        vec![run_worker(&engine, &stream, 0, 1, repeat, explain)]
+        vec![run_worker(&engine, &stream, 0, 1, repeat, explain, trace)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..sessions)
@@ -230,7 +251,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
                     let engine = &engine;
                     let stream = &stream;
                     scope.spawn(move || {
-                        run_worker(engine, stream, worker, sessions, repeat, explain)
+                        run_worker(engine, stream, worker, sessions, repeat, explain, trace)
                     })
                 })
                 .collect();
@@ -257,6 +278,7 @@ pub fn run(args: &ArgMap) -> Result<String> {
     let (mut y_hits, mut y_misses) = (0u64, 0u64);
     let mut empty_lines: Vec<usize> = Vec::new();
     let mut plans: Vec<(usize, usize, String)> = Vec::new();
+    let mut spans = [(0.0f64, 0u64); Phase::COUNT];
     for report in reports.drain(..) {
         latencies_ms.extend(report.latencies_ms);
         answers_returned += report.answers_returned;
@@ -265,6 +287,10 @@ pub fn run(args: &ArgMap) -> Result<String> {
         y_misses += report.y_tables.1;
         empty_lines.extend(report.empty_lines);
         plans.extend(report.plans);
+        for (slot, (ms, count)) in report.spans.into_iter().enumerate() {
+            spans[slot].0 += ms;
+            spans[slot].1 += count;
+        }
     }
     empty_lines.sort_unstable();
     empty_lines.dedup();
@@ -317,6 +343,20 @@ pub fn run(args: &ArgMap) -> Result<String> {
         "  max  {:>10.4}\n",
         latencies_ms.last().copied().unwrap_or(0.0)
     ));
+    if trace {
+        out.push_str("trace spans (summed across all queries and sessions)\n");
+        for (slot, phase) in Phase::ALL.into_iter().enumerate() {
+            let (ms, count) = spans[slot];
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<14} {ms:>10.3} ms  ({count} span{})\n",
+                phase.key(),
+                if count == 1 { "" } else { "s" }
+            ));
+        }
+    }
     out.push_str(&format!(
         "column cache: {} hits, {} misses ({:.1}% hit rate across sessions); \
          Y-tables: {y_hits} hits, {y_misses} misses\n",
@@ -458,6 +498,35 @@ mod tests {
         assert!(out.contains("plan line 3:"), "got: {out}");
         assert!(out.contains("(auto"), "got: {out}");
         assert!(out.contains("warm "), "got: {out}");
+        cleanup(&[&g, &s, &q]);
+    }
+
+    #[test]
+    fn trace_flag_reports_span_totals_without_perturbing_the_stream() {
+        let (g, s, q) = fixture("trace");
+        let base = [
+            "--graph",
+            g.to_str().unwrap(),
+            "--sets",
+            s.to_str().unwrap(),
+            "--queries",
+            q.to_str().unwrap(),
+        ];
+        let plain = run(&argmap(&base)).unwrap();
+        let mut traced_args: Vec<&str> = base.to_vec();
+        traced_args.extend(["--trace", "1"]);
+        let traced = run(&argmap(&traced_args)).unwrap();
+        assert!(traced.contains("trace spans"), "got: {traced}");
+        assert!(traced.contains("join"), "got: {traced}");
+        assert!(!plain.contains("trace spans"), "got: {plain}");
+        // Tracing only observes: both runs answer the same stream the same way.
+        let answers = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("query stream:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(answers(&plain), answers(&traced));
         cleanup(&[&g, &s, &q]);
     }
 

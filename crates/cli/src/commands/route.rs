@@ -23,6 +23,9 @@ dht-server wire protocol downstream, so `dht loadgen --via-router` and any
 querystream client work unchanged.  Merged top-k answers are bit-identical
 to a single server hosting the union graph; when a backend stays down past
 the retry budget its lines answer a typed `ERR SHARD <name> unavailable`.
+The router answers STATS (with per-backend health blocks) and METRICS (a
+Prometheus-style exposition ending `# EOF`) locally without touching the
+backends.
 
 OPTIONS:
     --backend <host:port>   a dht-server backend (repeat once per shard;
@@ -124,6 +127,7 @@ mod tests {
         assert!(out.contains("--own-backends"));
         assert!(out.contains("ERR SHARD"));
         assert!(out.contains("bit-identical"));
+        assert!(out.contains("METRICS"));
     }
 
     #[test]

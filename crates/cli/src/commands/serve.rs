@@ -31,10 +31,12 @@ const HELP: &str = "\
 dht serve — serve querystream queries over TCP from one warm engine
 
 The line protocol is the querystream query language plus PING / STATS /
-SETS / USE <graph> / EXPLAIN <query> / SHUTDOWN, with optional per-line
-prefixes (DEADLINE <ms>, PRIO <interactive|batch>, @<graph>).  Responses
-are bit-identical to in-process sessions; scores travel as exact f64 bit
-patterns.
+METRICS / SETS / USE <graph> / EXPLAIN <query> / SHUTDOWN, with optional
+per-line prefixes (DEADLINE <ms>, PRIO <interactive|batch>, @<graph>,
+TRACE).  Responses are bit-identical to in-process sessions; scores
+travel as exact f64 bit patterns.  METRICS returns the Prometheus-style
+text exposition ending `# EOF`; a TRACE prefix prepends one `# trace:`
+span-timing comment line to the (unchanged) answer.
 
 OPTIONS:
     --graph <path>          edge-list graph file (required); repeat as
@@ -77,6 +79,11 @@ OPTIONS:
     --epsilon <x>           truncation error bound                [default: 1e-6]
     --engine <name>         walk engine: dense | sparse | auto    [default: auto]
     --threads <n>           worker threads per query (0 = all)    [default: 1]
+    --slow-ms <n>           slow-query log: queries slower than
+                            this many ms print a SLOW line with
+                            the span tree, chosen plan and cache
+                            residency to stderr, rate-bounded
+                            (0 = off)                             [default: 0]
 ";
 
 const KNOWN: &[&str] = &[
@@ -102,6 +109,7 @@ const KNOWN: &[&str] = &[
     "epsilon",
     "engine",
     "threads",
+    "slow-ms",
 ];
 
 /// Default serving port (loopback only).
@@ -220,7 +228,8 @@ pub fn run(args: &ArgMap) -> Result<String> {
         .with_default_deadline_interactive(args.get_parsed_or("default-deadline-interactive", 0)?)
         .with_default_deadline_batch(args.get_parsed_or("default-deadline-batch", 0)?)
         .with_rate(args.get_parsed_or("rate", 0)?)
-        .with_burst(args.get_parsed_or("burst", 32)?);
+        .with_burst(args.get_parsed_or("burst", 32)?)
+        .with_slow_ms(args.get_parsed_or("slow-ms", 0)?);
     let graphs = registry.len();
     let server = Server::start_registry(registry, sets, parse, config).map_err(CliError::Io)?;
     // Scripts scrape this line for the (possibly ephemeral) port, so it
@@ -283,6 +292,9 @@ mod tests {
         assert!(out.contains("SHUTDOWN"));
         assert!(out.contains("NAME=PATH"));
         assert!(out.contains("USE <graph>"));
+        assert!(out.contains("METRICS"));
+        assert!(out.contains("TRACE"));
+        assert!(out.contains("--slow-ms"));
     }
 
     #[test]

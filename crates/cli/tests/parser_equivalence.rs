@@ -70,7 +70,7 @@ fn cli_and_server_accept_exactly_the_fixture_queries() {
     // Ground truth: the shared parser.
     let parsed = queryline::parse_query_file(&text, &sets, &ParseOptions::default())
         .expect("fixture parses");
-    assert_eq!(parsed.len(), 12, "fixture shape changed?");
+    assert_eq!(parsed.len(), 14, "fixture shape changed?");
     // The QoS-prefixed fixture lines carry their prefixes through the
     // shared parser (scheduling metadata only — spec-identical to the
     // bare forms, which the server parity suites pin separately).
@@ -80,6 +80,13 @@ fn cli_and_server_accept_exactly_the_fixture_queries() {
     assert_eq!(parsed[10].priority.name(), "interactive");
     assert_eq!(parsed[11].deadline_ms, Some(99));
     assert_eq!(parsed[11].priority.name(), "batch");
+    // The TRACE prefix is observability metadata only, composing with the
+    // QoS prefixes in any order.
+    assert!(parsed[12].trace);
+    assert!(parsed[13].trace);
+    assert_eq!(parsed[13].deadline_ms, Some(120));
+    assert_eq!(parsed[13].priority.name(), "batch");
+    assert!(parsed[..12].iter().all(|q| !q.trace));
 
     // CLI: `dht querystream` over the same file answers exactly that many.
     let dir = std::env::temp_dir();
@@ -113,12 +120,20 @@ fn cli_and_server_accept_exactly_the_fixture_queries() {
     let mut writer = BufWriter::new(stream.try_clone().unwrap());
     let mut reader = BufReader::new(stream);
     let mut responses = Vec::new();
+    let mut trace_comments = 0usize;
     for raw in text.lines() {
         writeln!(writer, "{raw}").unwrap();
         writer.flush().unwrap();
         if dht_server::wire::strip_line(raw).is_some() {
             let mut response = String::new();
             reader.read_line(&mut response).unwrap();
+            // TRACE lines prepend a `# trace:` span comment; the answer
+            // proper follows on the next line.
+            if response.starts_with("# trace:") {
+                trace_comments += 1;
+                response.clear();
+                reader.read_line(&mut response).unwrap();
+            }
             responses.push(response.trim_end().to_string());
         }
     }
@@ -127,6 +142,11 @@ fn cli_and_server_accept_exactly_the_fixture_queries() {
         responses.len(),
         parsed.len(),
         "server answered a different number of fixture lines"
+    );
+    assert_eq!(
+        trace_comments,
+        parsed.iter().filter(|q| q.trace).count(),
+        "every TRACE fixture line must yield exactly one span comment"
     );
     for (index, response) in responses.iter().enumerate() {
         assert!(
@@ -161,6 +181,8 @@ fn cli_and_server_reject_malformed_lines_with_the_same_diagnostics() {
         "PRIO urgent P Q",
         "DEADLINE 5 DEADLINE 6 P Q",
         "PRIO batch",
+        "TRACE TRACE P Q",
+        "TRACE",
     ];
     let dir = std::env::temp_dir();
     let pid = std::process::id();

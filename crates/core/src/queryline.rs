@@ -5,8 +5,8 @@
 //! One query per line; `#` starts a comment, blank lines are skipped:
 //!
 //! ```text
-//! [DEADLINE <ms>] [PRIO <class>] [@<graph>] LEFT RIGHT [k] [ALGORITHM]    # two-way join
-//! [DEADLINE <ms>] [PRIO <class>] [@<graph>] nway SHAPE S1 ... Sn [k] [ALGO] [AGG]
+//! [DEADLINE <ms>] [PRIO <class>] [@<graph>] [TRACE] LEFT RIGHT [k] [ALGO]    # two-way join
+//! [DEADLINE <ms>] [PRIO <class>] [@<graph>] [TRACE] nway SHAPE S1 ... Sn [k] [ALGO] [AGG]
 //! ```
 //!
 //! `LEFT`/`RIGHT`/`S1..Sn` name node sets; `SHAPE` is `chain`, `cycle`,
@@ -22,12 +22,15 @@
 //! assigns it to a scheduling class ([`Priority::Interactive`], the
 //! default, or [`Priority::Batch`]) — and `@<graph>` names the graph a
 //! multi-graph server should answer the line against (overriding the
-//! session's `USE` selection for that one line).  `DEADLINE` and `PRIO`
-//! are therefore reserved words (a node set cannot be named either) and
-//! a set name cannot start with `@`.  In-process front ends
+//! session's `USE` selection for that one line).  A bare `TRACE` prefix
+//! asks the answering front end to record per-phase span timings for
+//! that one query and return them as a `# trace:` comment line ahead of
+//! the answer rows.  `DEADLINE`, `PRIO` and `TRACE` are therefore
+//! reserved words (a node set cannot be named any of them) and a set
+//! name cannot start with `@`.  In-process front ends
 //! (`dht querystream`) parse and validate the prefixes but answer every
-//! query regardless — the prefixes only change *scheduling and routing*,
-//! never answers.
+//! query regardless — the prefixes only change *scheduling, routing and
+//! reporting*, never answers.
 //!
 //! Living in `dht-core`, this module is the **single** parser for the
 //! language: the CLI and the server cannot drift apart, because both call
@@ -155,6 +158,10 @@ pub struct ParsedQuery {
     /// selection).  Routing metadata only: single-graph front ends parse
     /// and ignore it.
     pub graph: Option<String>,
+    /// Whether the line carried a `TRACE` prefix asking for a per-phase
+    /// span breakdown (`# trace:` comment line) ahead of the answer.
+    /// Reporting metadata only: answers never depend on it.
+    pub trace: bool,
 }
 
 /// The QoS / namespace metadata split off the front of one query line.
@@ -170,13 +177,16 @@ pub struct LinePrefixes {
     pub priority: Priority,
     /// Graph namespace from an `@<graph>` prefix.
     pub graph: Option<String>,
+    /// Whether the line carried a `TRACE` prefix.
+    pub trace: bool,
 }
 
 impl LinePrefixes {
     /// Renders the prefixes back into their canonical leading tokens
-    /// (`DEADLINE <ms> PRIO <class> @<graph> `), ending with a trailing
-    /// space when non-empty, so `format!("{}{}", prefixes.render(), body)`
-    /// round-trips a split line into one the parser reads identically.
+    /// (`DEADLINE <ms> PRIO <class> @<graph> TRACE `), ending with a
+    /// trailing space when non-empty, so
+    /// `format!("{}{}", prefixes.render(), body)` round-trips a split
+    /// line into one the parser reads identically.
     pub fn render(&self) -> String {
         let mut out = String::new();
         if let Some(ms) = self.deadline_ms {
@@ -187,6 +197,9 @@ impl LinePrefixes {
         }
         if let Some(graph) = &self.graph {
             out.push_str(&format!("@{graph} "));
+        }
+        if self.trace {
+            out.push_str("TRACE ");
         }
         out
     }
@@ -430,8 +443,8 @@ pub fn is_valid_graph_name(name: &str) -> bool {
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
 }
 
-/// Consumes the optional `DEADLINE <ms>` / `PRIO <class>` / `@<graph>`
-/// QoS prefixes (any order, each at most once) from the front of
+/// Consumes the optional `DEADLINE <ms>` / `PRIO <class>` / `@<graph>` /
+/// `TRACE` QoS prefixes (any order, each at most once) from the front of
 /// `fields`, returning the parsed metadata and the remaining query
 /// fields.
 fn parse_qos_prefixes<'f>(
@@ -441,6 +454,7 @@ fn parse_qos_prefixes<'f>(
     let mut deadline_ms: Option<u64> = None;
     let mut priority: Option<Priority> = None;
     let mut graph: Option<String> = None;
+    let mut trace = false;
     loop {
         match fields.first() {
             Some(head) if head.starts_with('@') => {
@@ -503,6 +517,13 @@ fn parse_qos_prefixes<'f>(
                 priority = Some(class);
                 fields = &fields[2..];
             }
+            Some(head) if head.eq_ignore_ascii_case("trace") => {
+                if trace {
+                    return Err(LineError::new(line_no, "duplicate TRACE prefix"));
+                }
+                trace = true;
+                fields = &fields[1..];
+            }
             _ => break,
         }
     }
@@ -511,6 +532,7 @@ fn parse_qos_prefixes<'f>(
             deadline_ms,
             priority: priority.unwrap_or_default(),
             graph,
+            trace,
         },
         fields,
     ))
@@ -582,6 +604,7 @@ pub fn parse_query_line(
         deadline_ms: prefixes.deadline_ms,
         priority: prefixes.priority,
         graph: prefixes.graph,
+        trace: prefixes.trace,
     }))
 }
 
@@ -794,6 +817,54 @@ mod tests {
         assert!(!is_valid_graph_name(""));
         assert!(!is_valid_graph_name("a b"));
         assert!(!is_valid_graph_name("a=b"));
+    }
+
+    #[test]
+    fn trace_prefix_parses_composes_and_never_changes_the_query() {
+        let queries = parse(
+            "P Q 3\n\
+             TRACE P Q 3\n\
+             trace DEADLINE 250 PRIO batch @g P Q 3\n\
+             DEADLINE 40 TRACE nway chain P Q 2 ap min\n",
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 4);
+        assert!(!queries[0].trace, "default: tracing off");
+        assert!(queries[1].trace);
+        assert!(queries[2].trace, "case-insensitive, any order");
+        assert_eq!(queries[2].deadline_ms, Some(250));
+        assert_eq!(queries[2].priority, Priority::Batch);
+        assert_eq!(queries[2].graph.as_deref(), Some("g"));
+        assert!(queries[3].trace);
+        assert!(matches!(queries[3].spec, QuerySpec::NWay(_)));
+        assert_eq!(
+            format!("{:?}", queries[1].spec),
+            format!("{:?}", queries[0].spec),
+            "TRACE never changes the parsed query"
+        );
+
+        let err = parse("TRACE TRACE P Q\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate TRACE"), "{err}");
+        let err = parse("TRACE\n").unwrap_err();
+        assert!(
+            err.to_string().contains("followed by a query line"),
+            "{err}"
+        );
+
+        // split + render round-trip the prefix.
+        let (prefixes, body) = split_query_line("TRACE DEADLINE 9 P Q", 1)
+            .unwrap()
+            .expect("non-empty line");
+        assert!(prefixes.trace);
+        assert_eq!(prefixes.deadline_ms, Some(9));
+        assert_eq!(body, ["P", "Q"]);
+        assert_eq!(prefixes.render(), "DEADLINE 9 TRACE ");
+        let rebuilt = format!("{}{}", prefixes.render(), body.join(" "));
+        let reparsed = parse_query_line(&rebuilt, &sets(), &ParseOptions::default(), 1)
+            .unwrap()
+            .expect("non-empty line");
+        assert!(reparsed.trace);
+        assert_eq!(reparsed.deadline_ms, Some(9));
     }
 
     #[test]

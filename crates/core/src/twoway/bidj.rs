@@ -168,7 +168,7 @@ pub fn top_k_with_ctx(
         }
     });
 
-    let pairs = finalize_pairs(buffer);
+    let pairs = finalize_pairs(buffer, ctx.trace());
     if let Some(state) = incremental {
         for pair in &pairs {
             state.mark_emitted(pair.left, pair.right);

@@ -96,7 +96,7 @@ pub fn top_k_with_ctx(
         ..Default::default()
     };
     TwoWayOutput {
-        pairs: finalize_pairs(buffer),
+        pairs: finalize_pairs(buffer, ctx.trace()),
         stats,
     }
 }

@@ -113,7 +113,7 @@ pub fn top_k_with_ctx(
         }
     }
     TwoWayOutput {
-        pairs: finalize_pairs(buffer),
+        pairs: finalize_pairs(buffer, ctx.trace()),
         stats,
     }
 }

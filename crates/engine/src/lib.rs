@@ -86,13 +86,14 @@ use dht_core::twoway::{TwoWayAlgorithm, TwoWayConfig, TwoWayOutput};
 use dht_core::{Aggregate, CoreError, QueryGraph};
 use dht_graph::{Graph, NodeSet};
 use dht_walks::{
-    CacheStats, DhtParams, QueryCtx, SharedColumnCache, SharedYTableStore, WalkEngine,
+    CacheStats, DhtParams, Phase, QueryCtx, SharedColumnCache, SharedYTableStore, WalkEngine,
 };
 
 // The declarative query surface, re-exported so engine callers need not
 // depend on `dht-core` directly.
 pub use dht_core::spec::{AlgorithmChoice, NWaySpec, QuerySpec, TwoWaySpec};
-pub use plan::{CostEstimate, GraphStats, PlannedAlgorithm, QueryPlan};
+pub use dht_walks::Trace;
+pub use plan::{CostEstimate, GraphStats, PlanCounters, PlannedAlgorithm, QueryPlan};
 
 /// Construction-time knobs of an [`Engine`].
 #[derive(Debug, Clone, Copy)]
@@ -317,6 +318,7 @@ pub struct Engine {
     shared: Option<Arc<SharedColumnCache>>,
     shared_y: Option<Arc<SharedYTableStore>>,
     stats: GraphStats,
+    plan_counters: plan::PlanCounters,
 }
 
 impl Engine {
@@ -348,6 +350,7 @@ impl Engine {
             shared,
             shared_y,
             stats,
+            plan_counters: plan::PlanCounters::default(),
         }
     }
 
@@ -359,6 +362,12 @@ impl Engine {
     /// The sampled graph statistics the planner prices walks from.
     pub fn graph_stats(&self) -> &GraphStats {
         &self.stats
+    }
+
+    /// Tallies of the planner's `Auto` decisions on this engine (all
+    /// sessions combined) — what `STATS` / `METRICS` expose per graph.
+    pub fn plan_counters(&self) -> &plan::PlanCounters {
+        &self.plan_counters
     }
 
     /// The engine's configuration.
@@ -778,35 +787,39 @@ impl Session<'_> {
                 let algorithm = match s.algorithm {
                     AlgorithmChoice::Fixed(algorithm) => algorithm,
                     AlgorithmChoice::Auto => {
+                        let started = self.ctx.trace().begin();
                         let inputs = self.plan_inputs();
-                        plan::plan_two_way(&inputs, &self.ctx, s)
-                            .chosen
+                        let plan = plan::plan_two_way(&inputs, &self.ctx, s);
+                        self.ctx.trace().finish(started, Phase::Plan);
+                        self.engine.plan_counters.record(&plan);
+                        plan.chosen
                             .two_way()
                             .expect("two-way plans choose two-way algorithms")
                     }
                 };
-                Ok(EngineOutput::TwoWay(
-                    self.two_way(algorithm, &s.p, &s.q, s.k),
-                ))
+                let started = self.ctx.trace().begin();
+                let output = self.two_way(algorithm, &s.p, &s.q, s.k);
+                self.ctx.trace().finish(started, Phase::Join);
+                Ok(EngineOutput::TwoWay(output))
             }
             QuerySpec::NWay(s) => {
                 let algorithm = match s.algorithm {
                     AlgorithmChoice::Fixed(algorithm) => algorithm,
                     AlgorithmChoice::Auto => {
+                        let started = self.ctx.trace().begin();
                         let inputs = self.plan_inputs();
-                        plan::plan_n_way(&inputs, &self.ctx, s)
-                            .chosen
+                        let plan = plan::plan_n_way(&inputs, &self.ctx, s);
+                        self.ctx.trace().finish(started, Phase::Plan);
+                        self.engine.plan_counters.record(&plan);
+                        plan.chosen
                             .n_way()
                             .expect("n-way plans choose n-way algorithms")
                     }
                 };
-                Ok(EngineOutput::NWay(self.n_way(
-                    algorithm,
-                    &s.query,
-                    &s.sets,
-                    s.aggregate,
-                    s.k,
-                )?))
+                let started = self.ctx.trace().begin();
+                let output = self.n_way(algorithm, &s.query, &s.sets, s.aggregate, s.k)?;
+                self.ctx.trace().finish(started, Phase::Join);
+                Ok(EngineOutput::NWay(output))
             }
         }
     }
@@ -824,7 +837,13 @@ impl Session<'_> {
         &mut self,
         spec: &QuerySpec,
     ) -> dht_core::Result<(QueryPlan, EngineOutput)> {
+        let started = self.ctx.trace().begin();
         let plan = self.explain(spec)?;
+        self.ctx.trace().finish(started, Phase::Plan);
+        if plan.auto {
+            self.engine.plan_counters.record(&plan);
+        }
+        let started = self.ctx.trace().begin();
         let output = match (spec, &plan.chosen) {
             (QuerySpec::TwoWay(s), PlannedAlgorithm::TwoWay(algorithm)) => {
                 EngineOutput::TwoWay(self.two_way(*algorithm, &s.p, &s.q, s.k))
@@ -834,6 +853,7 @@ impl Session<'_> {
             }
             _ => unreachable!("the planner never changes a query's arity"),
         };
+        self.ctx.trace().finish(started, Phase::Join);
         Ok((plan, output))
     }
 
@@ -941,6 +961,25 @@ impl Session<'_> {
     /// the `*_with_ctx` entry points of `dht-core` / `dht-measures`.
     pub fn ctx_mut(&mut self) -> &mut QueryCtx {
         &mut self.ctx
+    }
+
+    /// Enables or disables per-query trace spans on this session,
+    /// clearing any recorded timings.  Tracing only reads clocks and bumps
+    /// counters — answers are bit-identical either way.
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.ctx.trace_mut().set_enabled(enabled);
+    }
+
+    /// The phase timings recorded since tracing was enabled (or last
+    /// [`Session::reset_trace`]).  Disabled traces report all zeros.
+    pub fn trace(&self) -> &Trace {
+        self.ctx.trace()
+    }
+
+    /// Zeroes the recorded phase timings, keeping tracing enabled —
+    /// called between queries so each `# trace:` line covers one query.
+    pub fn reset_trace(&mut self) {
+        self.ctx.trace_mut().reset();
     }
 }
 

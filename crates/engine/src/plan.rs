@@ -80,6 +80,68 @@ impl GraphStats {
     }
 }
 
+/// Atomic tallies of the planner's `Auto` decisions on one engine: one
+/// chosen-count slot per candidate algorithm, plus the number of plans
+/// made and candidates costed.  Updated lock-free from every session of
+/// the engine; read by `STATS` / `METRICS` exposition.
+#[derive(Debug, Default)]
+pub struct PlanCounters {
+    chosen: [std::sync::atomic::AtomicU64; PlanCounters::SLOTS.len()],
+    plans: std::sync::atomic::AtomicU64,
+    candidates: std::sync::atomic::AtomicU64,
+}
+
+impl PlanCounters {
+    /// Stable algorithm slots, in exposition order (PJ / PJ-i tally here
+    /// regardless of their concrete `m`).
+    pub const SLOTS: [&'static str; 9] = [
+        "f-bj", "f-idj", "b-bj", "b-idj-x", "b-idj-y", "nl", "ap", "pj", "pj-i",
+    ];
+
+    fn slot(algorithm: &PlannedAlgorithm) -> usize {
+        match algorithm {
+            PlannedAlgorithm::TwoWay(TwoWayAlgorithm::ForwardBasic) => 0,
+            PlannedAlgorithm::TwoWay(TwoWayAlgorithm::ForwardIdj) => 1,
+            PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardBasic) => 2,
+            PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardIdjX) => 3,
+            PlannedAlgorithm::TwoWay(TwoWayAlgorithm::BackwardIdjY) => 4,
+            PlannedAlgorithm::NWay(NWayAlgorithm::NestedLoop) => 5,
+            PlannedAlgorithm::NWay(NWayAlgorithm::AllPairs) => 6,
+            PlannedAlgorithm::NWay(NWayAlgorithm::PartialJoin { .. }) => 7,
+            PlannedAlgorithm::NWay(NWayAlgorithm::IncrementalPartialJoin { .. }) => 8,
+        }
+    }
+
+    /// Tallies one `Auto` plan: its chosen algorithm and how many
+    /// candidates were costed to pick it.
+    pub fn record(&self, plan: &QueryPlan) {
+        use std::sync::atomic::Ordering;
+        self.chosen[Self::slot(&plan.chosen)].fetch_add(1, Ordering::Relaxed);
+        self.plans.fetch_add(1, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(plan.candidates.len() as u64, Ordering::Relaxed);
+    }
+
+    /// `(label, chosen count)` for every algorithm slot.
+    pub fn chosen_counts(&self) -> Vec<(&'static str, u64)> {
+        use std::sync::atomic::Ordering;
+        Self::SLOTS
+            .iter()
+            .zip(&self.chosen)
+            .map(|(label, count)| (*label, count.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// `(plans made, candidates costed)` so far.
+    pub fn totals(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.plans.load(Ordering::Relaxed),
+            self.candidates.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// The algorithm a plan resolved to (with concrete parameters, e.g. PJ-i's
 /// initial list size `m`).
 #[derive(Debug, Clone, Copy, PartialEq)]

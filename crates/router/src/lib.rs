@@ -44,7 +44,10 @@
 //! * Everything else (forward algorithms, `nway`, `EXPLAIN`, `@<graph>`
 //!   lines, malformed input) routes **whole** to one backend picked by a
 //!   deterministic hash of the line, and the reply is relayed verbatim.
-//! * `PING` / `STATS` answer locally; `SHUTDOWN` answers `OK BYE`, drains,
+//! * `PING` / `STATS` / `METRICS` answer locally (`METRICS` renders the
+//!   router's own registry — routing counters, per-backend latency and
+//!   health — as a multi-line text exposition ending `# EOF`; scrape each
+//!   backend directly for engine-level families); `SHUTDOWN` answers `OK BYE`, drains,
 //!   and — with [`RouterConfig::own_backends`] — shuts the backends down
 //!   too.  `USE <graph>` is fanned to every backend (and replayed after
 //!   reconnects); it disables fan-out for the connection, since shard
@@ -73,6 +76,7 @@ use std::time::{Duration, Instant};
 
 use dht_core::queryline::{self, LinePrefixes};
 use dht_graph::NodeSet;
+use dht_obs::{Counter, Gauge, Histogram, Registry};
 use dht_poll::{poll, PollFd, POLLIN};
 use dht_server::loadgen::busy_backoff;
 use dht_server::metrics::BUILD_ID;
@@ -218,6 +222,22 @@ pub struct BackendInfo {
     pub sets: Vec<String>,
 }
 
+/// Per-backend health reported by `STATS` (the `backend.<name>.…` blocks)
+/// and the `METRICS` exposition.
+#[derive(Debug, Clone, Default)]
+pub struct BackendHealth {
+    /// The router's name for the backend (`shard-<index>`).
+    pub name: String,
+    /// Milliseconds since the backend's startup probe answered.
+    pub probe_age_ms: u64,
+    /// Reconnect attempts made against the backend (each failed exchange
+    /// drops the connection and reconnects on retry).
+    pub reconnects: u64,
+    /// Requests in flight against the backend at snapshot time, across
+    /// every client handler.
+    pub inflight: u64,
+}
+
 /// Point-in-time router counters.
 #[derive(Debug, Clone, Default)]
 pub struct RouterStatsSnapshot {
@@ -233,12 +253,17 @@ pub struct RouterStatsSnapshot {
     pub shard_errors: u64,
     /// Milliseconds since the router started.
     pub uptime_ms: u64,
+    /// Per-backend health, in backend order.
+    pub backend_health: Vec<BackendHealth>,
 }
 
 impl RouterStatsSnapshot {
-    /// The one-line `STATS` payload (without the leading `OK `).
+    /// The one-line `STATS` payload (without the leading `OK `): the
+    /// global counters followed by one `backend.<name>.…` block per
+    /// backend — appended last, so existing consumers keep parsing by
+    /// prefix.
     pub fn wire_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "STATS router backends={} served={} fanout={} whole={} shard_errors={} \
              uptime_ms={} build={}",
             self.backends,
@@ -248,36 +273,193 @@ impl RouterStatsSnapshot {
             self.shard_errors,
             self.uptime_ms,
             BUILD_ID,
-        )
+        );
+        for health in &self.backend_health {
+            line.push_str(&format!(
+                " backend.{0}.probe_age_ms={1} backend.{0}.reconnects={2} \
+                 backend.{0}.inflight={3}",
+                health.name, health.probe_age_ms, health.reconnects, health.inflight,
+            ));
+        }
+        line
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    served: AtomicU64,
-    fanned_out: AtomicU64,
-    whole_routed: AtomicU64,
-    shard_errors: AtomicU64,
+/// Registry handles for one backend's telemetry.
+struct BackendTelemetry {
+    /// Per-request round-trip latency against this backend (fan-out legs
+    /// and whole-routed lines alike).
+    latency: Arc<Histogram>,
+    /// `ERR SHARD` answers attributed to this backend.
+    errors: Arc<Counter>,
+    /// Reconnect attempts (a failed exchange drops the connection).
+    reconnects: Arc<Counter>,
+    /// Requests currently in flight, across every client handler.
+    inflight: AtomicU64,
+    /// Scrape-time view of [`BackendTelemetry::inflight`].
+    inflight_gauge: Arc<Gauge>,
+    /// Scrape-time gauge of seconds since the startup probe.
+    probe_age: Arc<Gauge>,
+    /// When the startup probe answered.
+    probed: Instant,
+}
+
+/// The router's metrics registry plus the hot-path handles into it.
+struct RouterMetrics {
+    registry: Registry,
+    served: Arc<Counter>,
+    fanned_out: Arc<Counter>,
+    whole_routed: Arc<Counter>,
+    shard_errors: Arc<Counter>,
+    retries: Arc<Counter>,
+    merges: Arc<Counter>,
+    merged_pairs: Arc<Counter>,
+    uptime: Arc<Gauge>,
+    per_backend: Vec<BackendTelemetry>,
+}
+
+impl RouterMetrics {
+    fn new(backends: &[BackendInfo]) -> Self {
+        let registry = Registry::new();
+        let served = registry.counter(
+            "dht_router_requests_total",
+            "Request lines answered by the router (all outcomes).",
+        );
+        let fanned_out = registry.counter(
+            "dht_router_fanout_total",
+            "Lines answered by sharded fan-out + merge.",
+        );
+        let whole_routed = registry.counter(
+            "dht_router_whole_routed_total",
+            "Lines routed whole to one hash-chosen backend.",
+        );
+        let shard_errors = registry.counter(
+            "dht_router_shard_errors_total",
+            "Lines answered ERR SHARD (a backend stayed down past retries).",
+        );
+        let retries = registry.counter(
+            "dht_router_retries_total",
+            "Backend exchanges retried over a fresh connection.",
+        );
+        let merges = registry.counter("dht_router_merges_total", "Fan-out merges performed.");
+        let merged_pairs = registry.counter(
+            "dht_router_merged_pairs_total",
+            "Scored pairs entering fan-out merges (sum over all merges).",
+        );
+        let backends_gauge = registry.gauge("dht_router_backends", "Backends configured.");
+        backends_gauge.set(backends.len() as f64);
+        let uptime = registry.gauge(
+            "dht_router_uptime_seconds",
+            "Seconds since the router started.",
+        );
+        let build_info = registry.gauge_with(
+            "dht_router_build_info",
+            "Constant 1; the version label carries the build id.",
+            &[("version", BUILD_ID)],
+        );
+        build_info.set(1.0);
+        let per_backend = backends
+            .iter()
+            .map(|backend| BackendTelemetry {
+                latency: registry.histogram_with(
+                    "dht_router_backend_latency_seconds",
+                    "Round-trip latency per backend exchange (fan-out legs included).",
+                    &[("backend", &backend.name)],
+                ),
+                errors: registry.counter_with(
+                    "dht_router_backend_errors_total",
+                    "ERR SHARD answers attributed to the backend.",
+                    &[("backend", &backend.name)],
+                ),
+                reconnects: registry.counter_with(
+                    "dht_router_backend_reconnects_total",
+                    "Reconnect attempts against the backend.",
+                    &[("backend", &backend.name)],
+                ),
+                inflight: AtomicU64::new(0),
+                inflight_gauge: registry.gauge_with(
+                    "dht_router_backend_inflight",
+                    "Requests in flight against the backend at scrape time.",
+                    &[("backend", &backend.name)],
+                ),
+                probe_age: registry.gauge_with(
+                    "dht_router_backend_probe_age_seconds",
+                    "Seconds since the backend's startup probe answered.",
+                    &[("backend", &backend.name)],
+                ),
+                probed: Instant::now(),
+            })
+            .collect();
+        RouterMetrics {
+            registry,
+            served,
+            fanned_out,
+            whole_routed,
+            shard_errors,
+            retries,
+            merges,
+            merged_pairs,
+            uptime,
+            per_backend,
+        }
+    }
 }
 
 struct RouterShared {
     config: RouterConfig,
     backends: Vec<BackendInfo>,
     shutdown: AtomicBool,
-    counters: Counters,
+    metrics: RouterMetrics,
     started: Instant,
 }
 
 impl RouterShared {
+    /// Counts one `ERR SHARD` answer, attributed to backend `index`.
+    fn record_shard_error(&self, index: usize) {
+        self.metrics.shard_errors.inc();
+        if let Some(telemetry) = self.metrics.per_backend.get(index) {
+            telemetry.errors.inc();
+        }
+    }
+
     fn snapshot(&self) -> RouterStatsSnapshot {
         RouterStatsSnapshot {
             backends: self.backends.len(),
-            served: self.counters.served.load(Ordering::Relaxed),
-            fanned_out: self.counters.fanned_out.load(Ordering::Relaxed),
-            whole_routed: self.counters.whole_routed.load(Ordering::Relaxed),
-            shard_errors: self.counters.shard_errors.load(Ordering::Relaxed),
+            served: self.metrics.served.get(),
+            fanned_out: self.metrics.fanned_out.get(),
+            whole_routed: self.metrics.whole_routed.get(),
+            shard_errors: self.metrics.shard_errors.get(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            backend_health: self
+                .backends
+                .iter()
+                .zip(&self.metrics.per_backend)
+                .map(|(backend, telemetry)| BackendHealth {
+                    name: backend.name.clone(),
+                    probe_age_ms: telemetry.probed.elapsed().as_millis() as u64,
+                    reconnects: telemetry.reconnects.get(),
+                    inflight: telemetry.inflight.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
+    }
+
+    /// Refreshes the scrape-time gauges and renders the full exposition,
+    /// trailing newline trimmed (the reply path appends exactly one).
+    fn metrics_text(&self) -> String {
+        self.metrics
+            .uptime
+            .set(self.started.elapsed().as_secs_f64());
+        for telemetry in &self.metrics.per_backend {
+            telemetry
+                .inflight_gauge
+                .set(telemetry.inflight.load(Ordering::Relaxed) as f64);
+            telemetry
+                .probe_age
+                .set(telemetry.probed.elapsed().as_secs_f64());
+        }
+        let text = self.metrics.registry.render();
+        text.trim_end_matches('\n').to_string()
     }
 }
 
@@ -323,11 +505,12 @@ impl Router {
         let listener = TcpListener::bind(("127.0.0.1", config.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let metrics = RouterMetrics::new(&infos);
         let shared = Arc::new(RouterShared {
             config,
             backends: infos,
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            metrics,
             started: Instant::now(),
         });
         let accept = {
@@ -509,26 +692,39 @@ impl<'r> ClientBackends<'r> {
     }
 
     /// Sends `line` to backend `index` and reads the one reply, retrying
-    /// with capped-exponential backoff over fresh connections.
+    /// with capped-exponential backoff over fresh connections.  The
+    /// round-trip (retries included) lands in the backend's latency
+    /// histogram; each failed attempt counts a reconnect.
     fn exchange(&mut self, index: usize, line: &str) -> io::Result<String> {
+        let shared = self.shared;
+        let telemetry = &shared.metrics.per_backend[index];
+        telemetry.inflight.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let mut attempt = 0u32;
-        loop {
+        let result = loop {
             let result = self.ensure(index).and_then(|conn| {
                 write_line(&mut conn.writer, line)?;
                 read_reply(&mut conn.reader)
             });
             match result {
-                Ok(reply) => return Ok(reply),
+                Ok(reply) => break Ok(reply),
                 Err(error) => {
                     self.conns[index] = None;
-                    if attempt >= self.shared.config.retries {
-                        return Err(error);
+                    telemetry.reconnects.inc();
+                    if attempt >= shared.config.retries {
+                        break Err(error);
                     }
+                    shared.metrics.retries.inc();
                     std::thread::sleep(busy_backoff(attempt));
                     attempt += 1;
                 }
             }
+        };
+        telemetry.inflight.fetch_sub(1, Ordering::Relaxed);
+        if result.is_ok() {
+            telemetry.latency.observe(started.elapsed());
         }
+        result
     }
 }
 
@@ -744,7 +940,7 @@ fn client_loop(stream: TcpStream, shared: Arc<RouterShared>) {
             continue;
         };
         let response = handle_line(line, &shared, &mut backends, &mut fanout_enabled);
-        shared.counters.served.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.served.inc();
         let done = line
             .split_whitespace()
             .next()
@@ -772,6 +968,13 @@ fn handle_line(
     if verb.eq_ignore_ascii_case("stats") {
         return format!("OK {}", shared.snapshot().wire_line());
     }
+    if verb.eq_ignore_ascii_case("metrics") {
+        // The router's own registry (routing counters, per-backend
+        // latency/health) — scrape each backend's METRICS directly for
+        // engine-level families.  Multi-line, one response unit, ends
+        // with the `# EOF` sentinel scrapers read until.
+        return format!("OK METRICS\n{}", shared.metrics_text());
+    }
     if verb.eq_ignore_ascii_case("shutdown") {
         shared.shutdown.store(true, Ordering::SeqCst);
         return "OK BYE".to_string();
@@ -794,7 +997,7 @@ fn handle_line(
                     }
                 }
                 Err(_) => {
-                    shared.counters.shard_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.record_shard_error(index);
                     return shard_unavailable(&shared.backends[index].name);
                 }
             }
@@ -808,7 +1011,7 @@ fn handle_line(
         return match backends.exchange(0, line) {
             Ok(reply) => reply,
             Err(_) => {
-                shared.counters.shard_errors.fetch_add(1, Ordering::Relaxed);
+                shared.record_shard_error(0);
                 shard_unavailable(&shared.backends[0].name)
             }
         };
@@ -825,30 +1028,44 @@ fn handle_line(
             if targets.is_empty() {
                 return route_whole(line, shared, backends);
             }
-            shared.counters.fanned_out.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.fanned_out.inc();
             // Phase 1: pipeline the rewritten sub-requests to every
-            // participating backend, so shards compute concurrently.
+            // participating backend, so shards compute concurrently.  Each
+            // leg's latency runs from its write to its reply.
             let mut sent = vec![false; targets.len()];
+            let mut starts = vec![Instant::now(); targets.len()];
             for (slot, (index, alias)) in targets.iter().enumerate() {
                 let rewritten = format!("{prefix}{left} {alias}{tail}");
+                starts[slot] = Instant::now();
                 sent[slot] = backends
                     .ensure(*index)
                     .and_then(|conn| write_line(&mut conn.writer, &rewritten))
                     .is_ok();
+                if sent[slot] {
+                    shared.metrics.per_backend[*index]
+                        .inflight
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
             // Phase 2: collect one reply per shard in backend order; a
             // failed write or read falls back to the retrying exchange.
             let mut replies = Vec::with_capacity(targets.len());
             for (slot, (index, alias)) in targets.iter().enumerate() {
+                let telemetry = &shared.metrics.per_backend[*index];
                 let result = if sent[slot] {
-                    match backends.conns[*index]
+                    let read = backends.conns[*index]
                         .as_mut()
                         .ok_or_else(|| io::Error::other("connection dropped"))
-                        .and_then(|conn| read_reply(&mut conn.reader))
-                    {
-                        Ok(reply) => Ok(reply),
+                        .and_then(|conn| read_reply(&mut conn.reader));
+                    telemetry.inflight.fetch_sub(1, Ordering::Relaxed);
+                    match read {
+                        Ok(reply) => {
+                            telemetry.latency.observe(starts[slot].elapsed());
+                            Ok(reply)
+                        }
                         Err(_) => {
                             backends.conns[*index] = None;
+                            telemetry.reconnects.inc();
                             let rewritten = format!("{prefix}{left} {alias}{tail}");
                             backends.exchange(*index, &rewritten)
                         }
@@ -860,12 +1077,22 @@ fn handle_line(
                 match result {
                     Ok(reply) => replies.push(reply),
                     Err(_) => {
-                        shared.counters.shard_errors.fetch_add(1, Ordering::Relaxed);
+                        shared.record_shard_error(*index);
                         return shard_unavailable(&shared.backends[*index].name);
                     }
                 }
             }
-            merge_twoway(&replies, k)
+            let merged = merge_twoway(&replies, k);
+            // Merge-size telemetry: how many scored pairs the shards
+            // contributed before truncation to k.
+            shared.metrics.merges.inc();
+            let input_pairs: usize = replies
+                .iter()
+                .filter_map(|reply| parse_twoway(reply))
+                .map(|pairs| pairs.len())
+                .sum();
+            shared.metrics.merged_pairs.add(input_pairs as u64);
+            merged
         }
         Route::Whole => route_whole(line, shared, backends),
     }
@@ -874,12 +1101,12 @@ fn handle_line(
 /// Forwards `line` verbatim to its hash-chosen backend and relays the
 /// reply.
 fn route_whole(line: &str, shared: &RouterShared, backends: &mut ClientBackends<'_>) -> String {
-    shared.counters.whole_routed.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.whole_routed.inc();
     let index = (fnv1a(line.as_bytes()) % shared.backends.len() as u64) as usize;
     match backends.exchange(index, line) {
         Ok(reply) => reply,
         Err(_) => {
-            shared.counters.shard_errors.fetch_add(1, Ordering::Relaxed);
+            shared.record_shard_error(index);
             shard_unavailable(&shared.backends[index].name)
         }
     }
@@ -1108,6 +1335,89 @@ mod tests {
         let bye = roundtrip(router.local_addr(), &["SHUTDOWN"]);
         assert_eq!(bye[0], "OK BYE");
         router.join();
+        for server in fleet {
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn metrics_verb_and_backend_health_blocks_are_exposed() {
+        let fleet = start_fleet(2);
+        let backend_addrs: Vec<SocketAddr> = fleet.iter().map(Server::local_addr).collect();
+        let router = Router::start(&backend_addrs, RouterConfig::default()).expect("start router");
+        let addr = router.local_addr();
+        let answers = roundtrip(addr, &["P Q 3", "P Q 3 f-bj"]);
+        assert!(
+            answers.iter().all(|a| a.starts_with("OK TWOWAY")),
+            "{answers:?}"
+        );
+        // STATS appends one health block per backend after the counters.
+        let stats = roundtrip(addr, &["STATS"]);
+        for backend in ["shard-0", "shard-1"] {
+            for field in ["probe_age_ms", "reconnects", "inflight"] {
+                assert!(
+                    stats[0].contains(&format!(" backend.{backend}.{field}=")),
+                    "{stats:?}"
+                );
+            }
+        }
+        assert!(
+            stats[0].contains("backend.shard-0.reconnects=0"),
+            "{stats:?}"
+        );
+        // METRICS renders the router registry, multi-line, through # EOF.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "METRICS\nPING").unwrap();
+        writer.flush().unwrap();
+        let mut head = String::new();
+        reader.read_line(&mut head).unwrap();
+        assert_eq!(head.trim_end(), "OK METRICS");
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(!line.is_empty(), "EOF before sentinel:\n{text}");
+            let done = line.trim_end() == "# EOF";
+            text.push_str(&line);
+            if done {
+                break;
+            }
+        }
+        let mut pong = String::new();
+        reader.read_line(&mut pong).unwrap();
+        assert_eq!(pong.trim_end(), "OK PONG", "scrapes must not eat answers");
+        for family in [
+            "dht_router_requests_total",
+            "dht_router_fanout_total",
+            "dht_router_whole_routed_total",
+            "dht_router_shard_errors_total",
+            "dht_router_merges_total",
+            "dht_router_merged_pairs_total",
+            "dht_router_backend_latency_seconds",
+            "dht_router_backend_reconnects_total",
+            "dht_router_backend_inflight",
+            "dht_router_build_info",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "{family} missing"
+            );
+        }
+        assert!(text.contains("dht_router_fanout_total 1"), "{text}");
+        assert!(text.contains("dht_router_whole_routed_total 1"), "{text}");
+        assert!(text.contains("dht_router_shard_errors_total 0"), "{text}");
+        assert!(text.contains("dht_router_merges_total 1"), "{text}");
+        // Both fan-out legs answered, so both backends saw traffic.
+        assert!(
+            text.contains("dht_router_backend_latency_seconds_count{backend=\"shard-0\"}"),
+            "{text}"
+        );
+        let snapshot = router.stats();
+        assert_eq!(snapshot.backend_health.len(), 2);
+        assert_eq!(snapshot.backend_health[0].name, "shard-0");
+        router.shutdown();
         for server in fleet {
             server.shutdown();
         }

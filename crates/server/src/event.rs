@@ -393,6 +393,7 @@ pub(crate) fn event_loop(
                             shared
                                 .live_connections
                                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            shared.metrics.record_connection_opened();
                         }
                         Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
                         Err(_) => break,
@@ -471,6 +472,7 @@ pub(crate) fn event_loop(
             shared
                 .live_connections
                 .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+            shared.metrics.record_connection_closed();
         }
         if shutting_down && conns.is_empty() {
             // Workers may still be draining dead connections' requests;

@@ -79,6 +79,7 @@
 //! ```text
 //! PING                     → OK PONG
 //! STATS                    → OK STATS served=… p50_ms=… (see StatsSnapshot::wire_line)
+//! METRICS                  → OK METRICS + the full metrics exposition, ending `# EOF`
 //! USE <graph>              → OK USE <graph>  (select this connection's graph)
 //! SETS                     → OK SETS <name…> (the current graph's set names)
 //! SHUTDOWN                 → OK BYE (then graceful drain)
@@ -95,7 +96,13 @@
 //! PRIO batch P Q 3             — schedule in the batch (low) class
 //! DEADLINE 40 PRIO batch P Q   — both
 //! @yeast P Q 3                 — answer against graph `yeast` (this line only)
+//! TRACE P Q 3                  — prepend a `# trace:` phase-timing comment
 //! ```
+//!
+//! A `TRACE`d answer arrives as **two lines in one response unit**: a
+//! `# trace: total_ms=… parse_ms=… join_ms=…` comment followed by the
+//! ordinary answer line.  The comment carries scheduling metadata only —
+//! the answer line is bit-identical with and without the prefix.
 //!
 //! ## Multi-graph serving
 //!
@@ -188,6 +195,15 @@ pub struct ServerConfig {
     /// Server-side default deadline (ms) applied to **batch** lines that
     /// carry no `DEADLINE` prefix; `0` (the default) applies none.
     pub default_deadline_batch_ms: u64,
+    /// Slow-query budget in milliseconds: a served request slower than
+    /// this (receive → response ready) is counted in
+    /// `dht_slow_queries_total` and logged to stderr with its full span
+    /// breakdown, plan and cache residency — at a bounded rate, so a
+    /// storm of slow queries cannot make logging the bottleneck.  `0`
+    /// (the default) disables the log.  A non-zero budget enables trace
+    /// spans on every request (two clock reads per phase; answers are
+    /// bit-identical either way).
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -206,6 +222,7 @@ impl Default for ServerConfig {
             batch_weight: DEFAULT_BATCH_WEIGHT,
             default_deadline_interactive_ms: 0,
             default_deadline_batch_ms: 0,
+            slow_ms: 0,
         }
     }
 }
@@ -271,6 +288,13 @@ impl ServerConfig {
     /// without a `DEADLINE` prefix (`0` applies none).
     pub fn with_default_deadline_batch(mut self, ms: u64) -> Self {
         self.default_deadline_batch_ms = ms;
+        self
+    }
+
+    /// Returns a copy with a slow-query budget in ms (`0` disables the
+    /// slow-query log).
+    pub fn with_slow_ms(mut self, ms: u64) -> Self {
+        self.slow_ms = ms;
         self
     }
 
@@ -346,6 +370,12 @@ struct Request {
     deadline: Option<Duration>,
     /// Scheduling class from the `PRIO <class>` prefix.
     class: Priority,
+    /// `TRACE` line prefix: prepend a `# trace:` phase-breakdown comment
+    /// to the answer.
+    trace: bool,
+    /// Event-thread time from receive to enqueue (the trace's Parse
+    /// phase; only read when tracing).
+    parse_time: Duration,
     /// The owning connection's liveness flag.
     conn: Arc<ConnectionState>,
     reply: event::ReplyHandle,
@@ -428,6 +458,46 @@ impl ServerShared {
             ));
         }
         line
+    }
+
+    /// The `METRICS` payload: samples the per-graph engine gauges (shared
+    /// caches, planner decisions), refreshes the queue/connection gauges
+    /// and renders the full text exposition.  The trailing newline is
+    /// trimmed because the reply path appends exactly one — the response
+    /// still ends with the `# EOF` sentinel line scrapers read until.
+    fn metrics_text(&self) -> String {
+        for (index, (_, engine)) in self.registry.iter().enumerate() {
+            let Some(gauges) = self.metrics.graphs.get(index) else {
+                continue;
+            };
+            let cache = engine.shared_cache_stats().unwrap_or_default();
+            gauges.cache_hits.set(cache.hits as f64);
+            gauges.cache_misses.set(cache.misses as f64);
+            gauges.cache_evictions.set(cache.evictions as f64);
+            let (y_hits, y_misses) = engine
+                .shared_y_tables()
+                .map(|store| store.stats())
+                .unwrap_or_default();
+            gauges.y_hits.set(y_hits as f64);
+            gauges.y_misses.set(y_misses as f64);
+            gauges.cache_bytes.set(engine.config().cache_bytes as f64);
+            let counters = engine.plan_counters();
+            for (gauge, (_, count)) in gauges.plan_chosen.iter().zip(counters.chosen_counts()) {
+                gauge.set(count as f64);
+            }
+            let (plans, candidates) = counters.totals();
+            gauges.plans.set(plans as f64);
+            gauges.plan_candidates.set(candidates as f64);
+        }
+        let (interactive_depth, batch_depth) = self.queue.depths();
+        let text = self.metrics.render_exposition(
+            interactive_depth,
+            batch_depth,
+            self.queue.capacity(Priority::Interactive),
+            self.queue.capacity(Priority::Batch),
+            self.live_connections.load(Ordering::Relaxed),
+        );
+        text.trim_end_matches('\n').to_string()
     }
 }
 
@@ -542,7 +612,8 @@ impl Server {
         };
         let (waker, wake_rx) = event::Waker::new()?;
         let (completions_tx, completions_rx) = mpsc::channel();
-        let graphs = registry.len();
+        let graph_names: Vec<&str> = registry.iter().map(|(name, _)| name).collect();
+        let metrics = Metrics::new(config.workers, &graph_names);
         let shared = Arc::new(ServerShared {
             registry,
             sets,
@@ -550,7 +621,7 @@ impl Server {
             config,
             queue: RequestQueue::new(config.queue_capacity, config.batch_queue_capacity)
                 .with_batch_weight(config.batch_weight),
-            metrics: Metrics::new(config.workers, graphs),
+            metrics,
             shutdown: AtomicBool::new(false),
             live_connections: AtomicUsize::new(0),
             waker,
@@ -647,6 +718,13 @@ fn dispatch_line(
     }
     if verb.eq_ignore_ascii_case("stats") {
         return Some(format!("OK {}", shared.stats_line()));
+    }
+    if verb.eq_ignore_ascii_case("metrics") {
+        // The full registry exposition.  Multi-line, but still ONE
+        // response unit: the reply path delivers the whole string through
+        // the reorder buffer atomically, so pipelined responses cannot
+        // interleave with it.  Scrapers read lines until `# EOF`.
+        return Some(format!("OK METRICS\n{}", shared.metrics_text()));
     }
     if verb.eq_ignore_ascii_case("use") {
         // Graph selection is a control verb (quota-exempt, answered
@@ -752,6 +830,8 @@ fn dispatch_line(
         deadline,
         class,
         graph: effective_graph,
+        trace: parsed.trace,
+        parse_time: received.elapsed(),
         conn: conn.clone(),
         reply: reply.clone(),
     };
@@ -813,20 +893,83 @@ fn worker_loop(shared: &Arc<ServerShared>, index: usize) {
                 }
             }
             let session = &mut sessions[request.graph];
-            let response = if request.explain {
+            // Tracing is per-request (`TRACE` prefix) or server-wide when
+            // a slow-query budget is set — the slow log needs spans for
+            // every request because it cannot know in advance which one
+            // will blow the budget.  Off, the spans cost one branch each.
+            let tracing = request.trace || shared.config.slow_ms > 0;
+            if tracing {
+                session.set_trace_enabled(true);
+                let trace = session.trace();
+                trace.add(dht_walks::Phase::Parse, request.parse_time);
+                trace.add(
+                    dht_walks::Phase::QueueWait,
+                    waited.saturating_sub(request.parse_time),
+                );
+            }
+            let mut response = if request.explain {
                 match session.explain(&request.spec) {
                     Ok(plan) => format!("OK PLAN {plan}"),
                     Err(error) => format!("ERR EXEC {error}"),
                 }
             } else {
                 match session.run(&request.spec) {
-                    Ok(output) => format!("OK {}", wire::encode_output(&output)),
+                    Ok(output) => {
+                        let span = session.trace().span(dht_walks::Phase::Serialize);
+                        let encoded = wire::encode_output(&output);
+                        drop(span);
+                        format!("OK {encoded}")
+                    }
                     Err(error) => format!("ERR EXEC {error}"),
                 }
             };
+            let latency = request.received.elapsed();
             shared
                 .metrics
-                .record_served(request.received.elapsed(), request.class, request.graph);
+                .record_served(latency, request.class, request.graph);
+            if tracing {
+                let total_ms = latency.as_secs_f64() * 1e3;
+                let comment = session.trace().render_comment(total_ms);
+                if request.trace {
+                    // The comment and the answer travel as ONE response
+                    // unit so the reorder buffer cannot interleave another
+                    // request's answer between them.
+                    shared.metrics.record_traced();
+                    response = format!("{comment}\n{response}");
+                }
+                let slow_ms = shared.config.slow_ms;
+                if slow_ms > 0 && total_ms > slow_ms as f64 && shared.metrics.record_slow() {
+                    let graph_name = shared
+                        .registry
+                        .iter()
+                        .nth(request.graph)
+                        .map(|(name, _)| name)
+                        .unwrap_or("?");
+                    let columns = session.cache_stats();
+                    let (y_hits, y_misses) = session.y_table_stats();
+                    // Re-planning for the log happens after the comment is
+                    // rendered, so the logged spans cover the query alone.
+                    let plan = match session.explain(&request.spec) {
+                        Ok(plan) => plan.to_string(),
+                        Err(error) => format!("unavailable: {error}"),
+                    };
+                    eprintln!(
+                        "SLOW worker={index} graph={graph_name} class={} seq={} \
+                         latency_ms={total_ms:.3} budget_ms={slow_ms} plan `{plan}` \
+                         columns[hits={} misses={} evictions={}] \
+                         y_tables[hits={} misses={}]\n  {comment}",
+                        request.class.name(),
+                        request.seq,
+                        columns.hits,
+                        columns.misses,
+                        columns.evictions,
+                        y_hits,
+                        y_misses,
+                    );
+                }
+                session.reset_trace();
+                session.set_trace_enabled(false);
+            }
             // The connection may be gone; in-flight answers are best-effort.
             request.reply.send(request.seq, response);
         }
@@ -1825,6 +1968,174 @@ mod tests {
             .is_err(),
             "sets must be per-graph"
         );
+    }
+
+    /// Reads one `METRICS` response: the `OK METRICS` head plus every
+    /// line through the `# EOF` sentinel.
+    fn read_metrics(reader: &mut impl BufRead) -> String {
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("receive metrics line");
+            assert!(!line.is_empty(), "EOF before the # EOF sentinel:\n{text}");
+            let done = line.trim_end() == "# EOF";
+            text.push_str(&line);
+            if done {
+                return text;
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_verb_exposes_the_registry_over_the_wire() {
+        let (registry, sets) = registry_fixture();
+        let server = Server::start_registry(
+            registry,
+            sets,
+            ParseOptions::default(),
+            ServerConfig::default(),
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr();
+        // Answer the queries first (their responses are read back, so the
+        // served counters are recorded before the scrape is dispatched —
+        // METRICS answers inline on the event thread).
+        let answers = roundtrip(addr, &["P Q 3 auto", "@path P Q 3 auto"]);
+        assert!(
+            answers.iter().all(|a| a.starts_with("OK TWOWAY")),
+            "{answers:?}"
+        );
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        // Pipeline a request behind the scrape: the multi-line response
+        // must come through the reorder buffer as one unit, in order.
+        writeln!(writer, "METRICS\nPING").unwrap();
+        writer.flush().unwrap();
+        let mut head = String::new();
+        reader.read_line(&mut head).unwrap();
+        assert_eq!(head.trim_end(), "OK METRICS");
+        let text = read_metrics(&mut reader);
+        let mut pong = String::new();
+        reader.read_line(&mut pong).unwrap();
+        assert_eq!(pong.trim_end(), "OK PONG", "scrapes must not eat answers");
+        for family in [
+            "dht_requests_served_total",
+            "dht_requests_rejected_total",
+            "dht_responses_dropped_total",
+            "dht_request_latency_seconds",
+            "dht_queue_depth",
+            "dht_connections",
+            "dht_graph_served_total",
+            "dht_plan_chosen",
+            "dht_build_info",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "{family} missing"
+            );
+        }
+        assert!(
+            text.contains("dht_requests_served_total{class=\"interactive\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dht_graph_served_total{graph=\"ring\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dht_graph_served_total{graph=\"path\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("dht_responses_dropped_total 0"), "{text}");
+        assert!(
+            text.contains("dht_request_latency_seconds_count{class=\"all\"} 2"),
+            "{text}"
+        );
+        // Both queries planned through Auto: the planner gauges are live.
+        assert!(
+            text.contains("dht_plans{graph=\"ring\"} 1")
+                && text.contains("dht_plans{graph=\"path\"} 1"),
+            "{text}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_prefix_returns_a_span_comment_before_an_identical_answer() {
+        let server = start_fixture(ServerConfig::default());
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "P Q 3\nTRACE P Q 3\nTRACE nway chain P Q 2 ap min").unwrap();
+        writer.flush().unwrap();
+        let mut plain = String::new();
+        reader.read_line(&mut plain).unwrap();
+        assert!(plain.starts_with("OK TWOWAY"), "{plain}");
+        let mut comment = String::new();
+        reader.read_line(&mut comment).unwrap();
+        assert!(comment.starts_with("# trace: total_ms="), "{comment}");
+        assert!(comment.contains(" parse_ms="), "{comment}");
+        assert!(comment.contains(" queue_ms="), "{comment}");
+        assert!(comment.contains(" join_ms="), "{comment}");
+        assert!(comment.contains(" serialize_ms="), "{comment}");
+        let mut traced = String::new();
+        reader.read_line(&mut traced).unwrap();
+        assert_eq!(
+            traced, plain,
+            "the TRACE prefix must never perturb the answer"
+        );
+        // N-way traces carry the same schema through a different path.
+        let mut nway_comment = String::new();
+        reader.read_line(&mut nway_comment).unwrap();
+        assert!(
+            nway_comment.starts_with("# trace: total_ms="),
+            "{nway_comment}"
+        );
+        let mut nway = String::new();
+        reader.read_line(&mut nway).unwrap();
+        assert!(nway.starts_with("OK NWAY"), "{nway}");
+        // The traced-request counter is visible in the exposition.
+        writeln!(writer, "METRICS").unwrap();
+        writer.flush().unwrap();
+        let mut head = String::new();
+        reader.read_line(&mut head).unwrap();
+        assert_eq!(head.trim_end(), "OK METRICS");
+        let text = read_metrics(&mut reader);
+        assert!(text.contains("dht_traced_requests_total 2"), "{text}");
+        let report = server.shutdown();
+        assert_eq!(report.served, 3);
+    }
+
+    #[test]
+    fn slow_query_budgets_enable_tracing_without_perturbing_answers() {
+        // A 1 ms budget on a debug-build n-way join: tracing is live for
+        // every request, yet answers are bit-identical to an untraced
+        // server and untraced lines get no comment prepended.
+        let baseline = start_fixture(ServerConfig::default());
+        let expected = roundtrip(baseline.local_addr(), &["nway chain P Q 3 ap min", "P Q 3"]);
+        baseline.shutdown();
+        let server = start_fixture(ServerConfig::default().with_slow_ms(1));
+        let responses = roundtrip(server.local_addr(), &["nway chain P Q 3 ap min", "P Q 3"]);
+        assert_eq!(responses, expected, "slow-query tracing must be invisible");
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "METRICS").unwrap();
+        writer.flush().unwrap();
+        let mut head = String::new();
+        reader.read_line(&mut head).unwrap();
+        assert_eq!(head.trim_end(), "OK METRICS");
+        let text = read_metrics(&mut reader);
+        assert!(
+            text.contains("# TYPE dht_slow_queries_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dht_traced_requests_total 0"),
+            "no TRACE prefix was sent: {text}"
+        );
+        server.shutdown();
     }
 
     #[test]

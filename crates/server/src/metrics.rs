@@ -1,17 +1,23 @@
 //! Per-request latency tracking and serving counters, surfaced over the
-//! wire by the `STATS` verb.
+//! wire by the `STATS` verb and the full `METRICS` exposition dump.
 //!
-//! Latencies are tracked in **three** reservoirs: one global (the
-//! `p50/p90/p99/max` fields, unchanged from before the QoS layer) and one
-//! per priority class — so `STATS` can show that interactive p99 stays
+//! Everything lives on a [`dht_obs::Registry`]: counters and latency
+//! histograms update lock-free on the hot path, and `STATS` is now a
+//! *view* over the registry — its `p50/p90/p99/max` fields read the exact
+//! log₂-bucket histograms ([`dht_obs::Histogram`]) instead of the old
+//! bounded sampling reservoir, so percentiles count **every** request
+//! with no sampling bias (at the histograms' factor-2 bucket resolution).
+//! Latencies are tracked in three histograms: one global and one per
+//! priority class — so `STATS` can show that interactive p99 stays
 //! bounded while batch p99 balloons under a flood, which is the whole
 //! point of the two-level queue.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dht_core::queryline::Priority;
+use dht_obs::{Counter, Gauge, Histogram, Registry};
 use dht_walks::CacheStats;
 
 /// Build identification reported by `STATS` (`build=`): the crate version,
@@ -20,9 +26,9 @@ use dht_walks::CacheStats;
 /// mixed-version backends apart.
 pub const BUILD_ID: &str = env!("CARGO_PKG_VERSION");
 
-/// Ring capacity of the latency reservoir: enough to make p99 meaningful
-/// under sustained load while bounding memory to ~512 KiB of samples.
-const RESERVOIR_CAPACITY: usize = 1 << 16;
+/// Minimum interval between slow-query log lines (bounded-rate: a storm
+/// of over-budget queries must not turn stderr into the bottleneck).
+const SLOW_LOG_INTERVAL: Duration = Duration::from_millis(250);
 
 /// `p`-th percentile (0 ≤ p ≤ 1) of an ascending-sorted sample, `0.0` when
 /// empty — the same convention `dht querystream` reports.
@@ -34,111 +40,328 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[index.min(sorted.len() - 1)]
 }
 
-/// Bounded latency reservoir: keeps the most recent
-/// [`RESERVOIR_CAPACITY`] samples in a ring.
-#[derive(Debug, Default)]
-struct Reservoir {
-    samples: Vec<f64>,
-    next: usize,
-}
-
-impl Reservoir {
-    fn record(&mut self, latency_ms: f64) {
-        if self.samples.len() < RESERVOIR_CAPACITY {
-            self.samples.push(latency_ms);
-        } else {
-            self.samples[self.next] = latency_ms;
-            self.next = (self.next + 1) % RESERVOIR_CAPACITY;
-        }
-    }
-
-    fn sorted(&self) -> Vec<f64> {
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(f64::total_cmp);
-        sorted
-    }
+/// Registry handles for one registered graph's sampled (set-at-scrape)
+/// gauges: shared-cache state and planner decisions.
+#[derive(Debug)]
+pub(crate) struct GraphGauges {
+    /// Served requests against this graph (`dht_graph_served_total`).
+    pub(crate) served: Arc<Counter>,
+    /// Shared column-cache hits / misses / evictions.
+    pub(crate) cache_hits: Arc<Gauge>,
+    /// See [`GraphGauges::cache_hits`].
+    pub(crate) cache_misses: Arc<Gauge>,
+    /// See [`GraphGauges::cache_hits`].
+    pub(crate) cache_evictions: Arc<Gauge>,
+    /// Shared Y-table hits / misses.
+    pub(crate) y_hits: Arc<Gauge>,
+    /// See [`GraphGauges::y_hits`].
+    pub(crate) y_misses: Arc<Gauge>,
+    /// Configured column-cache byte budget.
+    pub(crate) cache_bytes: Arc<Gauge>,
+    /// Planner `Auto` decisions per algorithm slot, in
+    /// `dht_engine::PlanCounters::SLOTS` order.
+    pub(crate) plan_chosen: Vec<Arc<Gauge>>,
+    /// `(plans made, candidates costed)` gauges.
+    pub(crate) plans: Arc<Gauge>,
+    /// See [`GraphGauges::plans`].
+    pub(crate) plan_candidates: Arc<Gauge>,
 }
 
 /// What the server measures while running; shared by every worker and
-/// connection thread.
+/// connection thread.  All counters/histograms are registry handles, so
+/// `METRICS` renders them without any snapshot plumbing.
 #[derive(Debug)]
 pub(crate) struct Metrics {
-    served: AtomicU64,
-    rejected: AtomicU64,
-    quota_rejected: AtomicU64,
-    expired: AtomicU64,
-    dropped: AtomicU64,
-    interactive_served: AtomicU64,
-    batch_served: AtomicU64,
-    latencies: Mutex<Reservoir>,
-    interactive_latencies: Mutex<Reservoir>,
-    batch_latencies: Mutex<Reservoir>,
+    registry: Registry,
+    interactive_served: Arc<Counter>,
+    batch_served: Arc<Counter>,
+    rejected: Arc<Counter>,
+    quota_rejected: Arc<Counter>,
+    expired: Arc<Counter>,
+    dropped: Arc<Counter>,
+    traced: Arc<Counter>,
+    slow_logged: Arc<Counter>,
+    connections_accepted: Arc<Counter>,
+    connections_closed: Arc<Counter>,
+    latencies: Arc<Histogram>,
+    interactive_latencies: Arc<Histogram>,
+    batch_latencies: Arc<Histogram>,
+    // Set-at-scrape gauges (sampled from live structures on STATS/METRICS).
+    interactive_depth: Arc<Gauge>,
+    batch_depth: Arc<Gauge>,
+    interactive_capacity: Arc<Gauge>,
+    batch_capacity: Arc<Gauge>,
+    connections: Arc<Gauge>,
+    workers_gauge: Arc<Gauge>,
+    uptime: Arc<Gauge>,
+    worker_column_hits: Arc<Gauge>,
+    worker_column_misses: Arc<Gauge>,
+    worker_y_hits: Arc<Gauge>,
+    worker_y_misses: Arc<Gauge>,
+    pub(crate) graphs: Vec<GraphGauges>,
     /// Per-worker `(column cache, (y hits, y misses))` snapshots, refreshed
     /// by each worker after every batch — so `STATS` can report cache hit
     /// rates without reaching into live sessions (meaningful for private
     /// caches too, where the engine has no global counters).
     worker_caches: Mutex<Vec<(CacheStats, (u64, u64))>>,
-    /// Served requests per registered graph (registration order) — the
-    /// multi-graph server's `STATS` per-graph blocks read these.
-    graph_served: Vec<AtomicU64>,
     /// When the server started, for the `uptime_ms=` field.
     started: Instant,
+    /// Milliseconds-since-start of the last slow-query log line (the
+    /// bounded-rate gate).
+    last_slow_log_ms: AtomicU64,
 }
 
 impl Metrics {
-    pub(crate) fn new(workers: usize, graphs: usize) -> Self {
+    pub(crate) fn new(workers: usize, graph_names: &[&str]) -> Self {
+        let registry = Registry::new();
+        let interactive_served = registry.counter_with(
+            "dht_requests_served_total",
+            "Query requests answered (successfully or with an EXEC error).",
+            &[("class", "interactive")],
+        );
+        let batch_served = registry.counter_with(
+            "dht_requests_served_total",
+            "Query requests answered (successfully or with an EXEC error).",
+            &[("class", "batch")],
+        );
+        let reject_help = "Query requests refused before execution, by reason.";
+        let rejected = registry.counter_with(
+            "dht_requests_rejected_total",
+            reject_help,
+            &[("reason", "busy")],
+        );
+        let quota_rejected = registry.counter_with(
+            "dht_requests_rejected_total",
+            reject_help,
+            &[("reason", "quota")],
+        );
+        let expired = registry.counter_with(
+            "dht_requests_rejected_total",
+            reject_help,
+            &[("reason", "deadline")],
+        );
+        let dropped = registry.counter(
+            "dht_responses_dropped_total",
+            "Responses dropped (and queued requests skipped) for dead connections.",
+        );
+        let traced = registry.counter(
+            "dht_traced_requests_total",
+            "Requests answered with per-query trace spans enabled.",
+        );
+        let slow_logged = registry.counter(
+            "dht_slow_queries_total",
+            "Served requests over the --slow-ms budget (logged at bounded rate).",
+        );
+        let connections_accepted = registry.counter(
+            "dht_connections_accepted_total",
+            "Connections accepted by the event loop.",
+        );
+        let connections_closed = registry.counter(
+            "dht_connections_closed_total",
+            "Connections closed (gracefully or dropped as dead).",
+        );
+        let latency_help = "Per-request latency, receive to response ready.";
+        let latencies = registry.histogram_with(
+            "dht_request_latency_seconds",
+            latency_help,
+            &[("class", "all")],
+        );
+        let interactive_latencies = registry.histogram_with(
+            "dht_request_latency_seconds",
+            latency_help,
+            &[("class", "interactive")],
+        );
+        let batch_latencies = registry.histogram_with(
+            "dht_request_latency_seconds",
+            latency_help,
+            &[("class", "batch")],
+        );
+        let depth_help = "Requests queued at scrape time.";
+        let interactive_depth =
+            registry.gauge_with("dht_queue_depth", depth_help, &[("class", "interactive")]);
+        let batch_depth = registry.gauge_with("dht_queue_depth", depth_help, &[("class", "batch")]);
+        let cap_help = "Configured queue capacity.";
+        let interactive_capacity =
+            registry.gauge_with("dht_queue_capacity", cap_help, &[("class", "interactive")]);
+        let batch_capacity =
+            registry.gauge_with("dht_queue_capacity", cap_help, &[("class", "batch")]);
+        let connections = registry.gauge(
+            "dht_connections",
+            "Connections currently registered with the event loop.",
+        );
+        let workers_gauge = registry.gauge("dht_workers", "Worker (session) threads.");
+        workers_gauge.set(workers as f64);
+        let uptime = registry.gauge("dht_uptime_seconds", "Seconds since the server started.");
+        let cache_help = "Worker-session column cache counters (summed across workers).";
+        let worker_column_hits =
+            registry.gauge_with("dht_column_cache", cache_help, &[("event", "hit")]);
+        let worker_column_misses =
+            registry.gauge_with("dht_column_cache", cache_help, &[("event", "miss")]);
+        let y_help = "Worker-session Y-bound-table counters (summed across workers).";
+        let worker_y_hits = registry.gauge_with("dht_y_table", y_help, &[("event", "hit")]);
+        let worker_y_misses = registry.gauge_with("dht_y_table", y_help, &[("event", "miss")]);
+        let build_info = registry.gauge_with(
+            "dht_build_info",
+            "Constant 1; the version label carries the build id.",
+            &[("version", BUILD_ID)],
+        );
+        build_info.set(1.0);
+        let names: Vec<&str> = if graph_names.is_empty() {
+            vec!["default"]
+        } else {
+            graph_names.to_vec()
+        };
+        let graphs = names
+            .iter()
+            .map(|name| GraphGauges {
+                served: registry.counter_with(
+                    "dht_graph_served_total",
+                    "Served requests per registered graph.",
+                    &[("graph", name)],
+                ),
+                cache_hits: registry.gauge_with(
+                    "dht_shared_cache",
+                    "Cross-session column-cache counters per graph.",
+                    &[("graph", name), ("event", "hit")],
+                ),
+                cache_misses: registry.gauge_with(
+                    "dht_shared_cache",
+                    "Cross-session column-cache counters per graph.",
+                    &[("graph", name), ("event", "miss")],
+                ),
+                cache_evictions: registry.gauge_with(
+                    "dht_shared_cache",
+                    "Cross-session column-cache counters per graph.",
+                    &[("graph", name), ("event", "eviction")],
+                ),
+                y_hits: registry.gauge_with(
+                    "dht_shared_y_table",
+                    "Cross-session Y-bound-table counters per graph.",
+                    &[("graph", name), ("event", "hit")],
+                ),
+                y_misses: registry.gauge_with(
+                    "dht_shared_y_table",
+                    "Cross-session Y-bound-table counters per graph.",
+                    &[("graph", name), ("event", "miss")],
+                ),
+                cache_bytes: registry.gauge_with(
+                    "dht_cache_budget_bytes",
+                    "Configured column-cache byte budget per graph.",
+                    &[("graph", name)],
+                ),
+                plan_chosen: dht_engine::PlanCounters::SLOTS
+                    .iter()
+                    .map(|slot| {
+                        registry.gauge_with(
+                            "dht_plan_chosen",
+                            "Planner Auto decisions per algorithm (sampled at scrape).",
+                            &[("graph", name), ("algorithm", slot)],
+                        )
+                    })
+                    .collect(),
+                plans: registry.gauge_with(
+                    "dht_plans",
+                    "Auto plans made per graph (sampled at scrape).",
+                    &[("graph", name)],
+                ),
+                plan_candidates: registry.gauge_with(
+                    "dht_plan_candidates",
+                    "Candidate algorithms costed by Auto plans (sampled at scrape).",
+                    &[("graph", name)],
+                ),
+            })
+            .collect();
         Metrics {
-            served: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            quota_rejected: AtomicU64::new(0),
-            expired: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            interactive_served: AtomicU64::new(0),
-            batch_served: AtomicU64::new(0),
-            latencies: Mutex::new(Reservoir::default()),
-            interactive_latencies: Mutex::new(Reservoir::default()),
-            batch_latencies: Mutex::new(Reservoir::default()),
+            registry,
+            interactive_served,
+            batch_served,
+            rejected,
+            quota_rejected,
+            expired,
+            dropped,
+            traced,
+            slow_logged,
+            connections_accepted,
+            connections_closed,
+            latencies,
+            interactive_latencies,
+            batch_latencies,
+            interactive_depth,
+            batch_depth,
+            interactive_capacity,
+            batch_capacity,
+            connections,
+            workers_gauge,
+            uptime,
+            worker_column_hits,
+            worker_column_misses,
+            worker_y_hits,
+            worker_y_misses,
+            graphs,
             worker_caches: Mutex::new(vec![Default::default(); workers]),
-            graph_served: (0..graphs.max(1)).map(|_| AtomicU64::new(0)).collect(),
             started: Instant::now(),
+            last_slow_log_ms: AtomicU64::new(0),
         }
     }
 
     pub(crate) fn record_served(&self, latency: Duration, class: Priority, graph: usize) {
-        self.served.fetch_add(1, Ordering::Relaxed);
-        if let Some(counter) = self.graph_served.get(graph) {
-            counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(gauges) = self.graphs.get(graph) {
+            gauges.served.inc();
         }
-        let latency_ms = latency.as_secs_f64() * 1e3;
-        self.latencies
-            .lock()
-            .expect("metrics lock poisoned")
-            .record(latency_ms);
-        let (counter, reservoir) = match class {
+        self.latencies.observe(latency);
+        let (counter, histogram) = match class {
             Priority::Interactive => (&self.interactive_served, &self.interactive_latencies),
             Priority::Batch => (&self.batch_served, &self.batch_latencies),
         };
-        counter.fetch_add(1, Ordering::Relaxed);
-        reservoir
-            .lock()
-            .expect("metrics lock poisoned")
-            .record(latency_ms);
+        counter.inc();
+        histogram.observe(latency);
     }
 
     pub(crate) fn record_rejected(&self) {
-        self.rejected.fetch_add(1, Ordering::Relaxed);
+        self.rejected.inc();
     }
 
     pub(crate) fn record_quota_rejected(&self) {
-        self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+        self.quota_rejected.inc();
     }
 
     pub(crate) fn record_expired(&self) {
-        self.expired.fetch_add(1, Ordering::Relaxed);
+        self.expired.inc();
     }
 
     pub(crate) fn record_dropped(&self, count: u64) {
-        self.dropped.fetch_add(count, Ordering::Relaxed);
+        self.dropped.add(count);
+    }
+
+    pub(crate) fn record_traced(&self) {
+        self.traced.inc();
+    }
+
+    pub(crate) fn record_connection_opened(&self) {
+        self.connections_accepted.inc();
+    }
+
+    pub(crate) fn record_connection_closed(&self) {
+        self.connections_closed.inc();
+    }
+
+    /// Counts a served request that blew the `--slow-ms` budget; returns
+    /// `true` when the caller should emit a log line (at most one per
+    /// [`SLOW_LOG_INTERVAL`], so a storm of slow queries cannot turn
+    /// stderr into the bottleneck).
+    pub(crate) fn record_slow(&self) -> bool {
+        self.slow_logged.inc();
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.last_slow_log_ms.load(Ordering::Relaxed);
+        // now_ms == 0 (a slow query in the server's first millisecond)
+        // loses the race against the initial value; accept one suppressed
+        // line over an extra sentinel.
+        if now_ms.saturating_sub(last) < SLOW_LOG_INTERVAL.as_millis() as u64 && last != 0 {
+            return false;
+        }
+        self.last_slow_log_ms
+            .compare_exchange(last, now_ms.max(1), Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
     }
 
     pub(crate) fn store_worker_caches(
@@ -153,29 +376,8 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn snapshot(
-        &self,
-        interactive_depth: usize,
-        batch_depth: usize,
-        queue_capacity: usize,
-        batch_queue_capacity: usize,
-        connections: usize,
-    ) -> StatsSnapshot {
-        let sorted = self
-            .latencies
-            .lock()
-            .expect("metrics lock poisoned")
-            .sorted();
-        let interactive = self
-            .interactive_latencies
-            .lock()
-            .expect("metrics lock poisoned")
-            .sorted();
-        let batch = self
-            .batch_latencies
-            .lock()
-            .expect("metrics lock poisoned")
-            .sorted();
+    /// Sums the per-worker cache snapshots.
+    fn worker_cache_totals(&self) -> (CacheStats, (u64, u64), usize) {
         let caches = self.worker_caches.lock().expect("metrics lock poisoned");
         let mut columns = CacheStats::default();
         let (mut y_hits, mut y_misses) = (0u64, 0u64);
@@ -184,27 +386,68 @@ impl Metrics {
             y_hits += hits;
             y_misses += misses;
         }
+        (columns, (y_hits, y_misses), caches.len())
+    }
+
+    /// Refreshes every set-at-scrape gauge from the live queue/connection
+    /// state, then renders the full text exposition (ending `# EOF`).
+    /// Per-graph gauges are the caller's job (the server samples its
+    /// engines before calling this).
+    pub(crate) fn render_exposition(
+        &self,
+        interactive_depth: usize,
+        batch_depth: usize,
+        queue_capacity: usize,
+        batch_queue_capacity: usize,
+        connections: usize,
+    ) -> String {
+        self.interactive_depth.set(interactive_depth as f64);
+        self.batch_depth.set(batch_depth as f64);
+        self.interactive_capacity.set(queue_capacity as f64);
+        self.batch_capacity.set(batch_queue_capacity as f64);
+        self.connections.set(connections as f64);
+        self.uptime.set(self.started.elapsed().as_secs_f64());
+        let (columns, (y_hits, y_misses), workers) = self.worker_cache_totals();
+        self.workers_gauge.set(workers as f64);
+        self.worker_column_hits.set(columns.hits as f64);
+        self.worker_column_misses.set(columns.misses as f64);
+        self.worker_y_hits.set(y_hits as f64);
+        self.worker_y_misses.set(y_misses as f64);
+        self.registry.render()
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        interactive_depth: usize,
+        batch_depth: usize,
+        queue_capacity: usize,
+        batch_queue_capacity: usize,
+        connections: usize,
+    ) -> StatsSnapshot {
+        let (columns, (y_hits, y_misses), workers) = self.worker_cache_totals();
+        let interactive_served = self.interactive_served.get();
+        let batch_served = self.batch_served.get();
         StatsSnapshot {
-            served: self.served.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-            interactive_served: self.interactive_served.load(Ordering::Relaxed),
-            batch_served: self.batch_served.load(Ordering::Relaxed),
+            served: interactive_served + batch_served,
+            rejected: self.rejected.get(),
+            quota_rejected: self.quota_rejected.get(),
+            expired: self.expired.get(),
+            dropped: self.dropped.get(),
+            interactive_served,
+            batch_served,
             queue_depth: interactive_depth + batch_depth,
             interactive_depth,
             batch_depth,
             queue_capacity,
             batch_queue_capacity,
-            workers: caches.len(),
+            workers,
             connections,
-            p50_ms: percentile(&sorted, 0.50),
-            p90_ms: percentile(&sorted, 0.90),
-            p99_ms: percentile(&sorted, 0.99),
-            max_ms: sorted.last().copied().unwrap_or(0.0),
-            interactive_p99_ms: percentile(&interactive, 0.99),
-            batch_p99_ms: percentile(&batch, 0.99),
+            p50_ms: self.latencies.quantile_ms(0.50),
+            p90_ms: self.latencies.quantile_ms(0.90),
+            p99_ms: self.latencies.quantile_ms(0.99),
+            max_ms: self.latencies.quantile_ms(1.0),
+            interactive_p99_ms: self.interactive_latencies.quantile_ms(0.99),
+            batch_p99_ms: self.batch_latencies.quantile_ms(0.99),
             column_hits: columns.hits,
             column_misses: columns.misses,
             y_hits,
@@ -212,9 +455,9 @@ impl Metrics {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             build: BUILD_ID.to_string(),
             graph_served: self
-                .graph_served
+                .graphs
                 .iter()
-                .map(|counter| counter.load(Ordering::Relaxed))
+                .map(|gauges| gauges.served.get())
                 .collect(),
         }
     }
@@ -256,13 +499,14 @@ pub struct StatsSnapshot {
     /// Connections currently registered with the event loop at snapshot
     /// time (accepted and not yet closed).
     pub connections: usize,
-    /// Median per-request latency, receive → response ready, in ms.
+    /// Median per-request latency, receive → response ready, in ms
+    /// (estimated from the exact log₂-bucket histogram).
     pub p50_ms: f64,
     /// 90th-percentile latency in ms.
     pub p90_ms: f64,
     /// 99th-percentile latency in ms.
     pub p99_ms: f64,
-    /// Worst latency in the reservoir, in ms.
+    /// Upper envelope of the slowest request's histogram bucket, in ms.
     pub max_ms: f64,
     /// 99th-percentile latency of interactive-class requests, in ms.
     pub interactive_p99_ms: f64,
@@ -344,7 +588,7 @@ mod tests {
 
     #[test]
     fn snapshot_reports_percentiles_and_counters() {
-        let metrics = Metrics::new(2, 1);
+        let metrics = Metrics::new(2, &["default"]);
         for ms in [1.0f64, 2.0, 3.0, 4.0] {
             metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Interactive, 0);
         }
@@ -374,8 +618,11 @@ mod tests {
         assert_eq!(snap.interactive_depth, 3);
         assert_eq!(snap.batch_depth, 2);
         assert_eq!(snap.workers, 2);
-        assert!((snap.p50_ms - 3.0).abs() < 0.5, "{}", snap.p50_ms);
-        assert!((snap.max_ms - 4.0).abs() < 0.5, "{}", snap.max_ms);
+        // Histogram percentiles land inside the log₂ bucket of the true
+        // value — a factor-2 envelope, not an exact order statistic.
+        assert!(snap.p50_ms >= 1.0 && snap.p50_ms <= 4.1, "{}", snap.p50_ms);
+        assert!(snap.max_ms >= 4.0 && snap.max_ms <= 8.2, "{}", snap.max_ms);
+        assert!(snap.p50_ms <= snap.p90_ms && snap.p90_ms <= snap.p99_ms);
         assert_eq!((snap.column_hits, snap.column_misses), (4, 2));
         assert_eq!((snap.y_hits, snap.y_misses), (2, 2));
         assert!((snap.column_hit_rate() - 4.0 / 6.0).abs() < 1e-12);
@@ -392,7 +639,7 @@ mod tests {
 
     #[test]
     fn per_graph_served_counters_split_by_registration_index() {
-        let metrics = Metrics::new(1, 3);
+        let metrics = Metrics::new(1, &["a", "b", "c"]);
         let ms = Duration::from_millis(1);
         metrics.record_served(ms, Priority::Interactive, 0);
         metrics.record_served(ms, Priority::Interactive, 2);
@@ -407,7 +654,7 @@ mod tests {
 
     #[test]
     fn per_class_counters_and_percentiles_are_split() {
-        let metrics = Metrics::new(1, 1);
+        let metrics = Metrics::new(1, &["default"]);
         for ms in [1.0f64, 2.0] {
             metrics.record_served(Duration::from_secs_f64(ms / 1e3), Priority::Interactive, 0);
         }
@@ -427,7 +674,7 @@ mod tests {
         assert_eq!(snap.dropped, 3);
         assert_eq!(snap.batch_queue_capacity, 4);
         assert!(
-            snap.interactive_p99_ms < 3.0 && snap.batch_p99_ms > 60.0,
+            snap.interactive_p99_ms < 5.0 && snap.batch_p99_ms > 50.0,
             "class percentiles must not mix: interactive {} batch {}",
             snap.interactive_p99_ms,
             snap.batch_p99_ms
@@ -445,14 +692,56 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_overwrites_oldest_beyond_capacity() {
-        let mut reservoir = Reservoir::default();
-        for i in 0..(RESERVOIR_CAPACITY + 10) {
-            reservoir.record(i as f64);
+    fn exposition_carries_every_required_family_and_eof() {
+        let metrics = Metrics::new(2, &["default", "web"]);
+        metrics.record_served(Duration::from_millis(2), Priority::Interactive, 0);
+        metrics.record_connection_opened();
+        metrics.record_traced();
+        let text = metrics.render_exposition(1, 0, 16, 8, 3);
+        for family in [
+            "dht_requests_served_total",
+            "dht_requests_rejected_total",
+            "dht_responses_dropped_total",
+            "dht_request_latency_seconds",
+            "dht_queue_depth",
+            "dht_queue_capacity",
+            "dht_connections",
+            "dht_connections_accepted_total",
+            "dht_workers",
+            "dht_uptime_seconds",
+            "dht_graph_served_total",
+            "dht_plan_chosen",
+            "dht_build_info",
+            "dht_traced_requests_total",
+            "dht_slow_queries_total",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "{family} missing"
+            );
         }
-        assert_eq!(reservoir.samples.len(), RESERVOIR_CAPACITY);
-        assert_eq!(reservoir.samples[0], RESERVOIR_CAPACITY as f64);
-        assert_eq!(reservoir.samples[10], 10.0, "later slots untouched");
+        assert!(
+            text.contains("dht_requests_served_total{class=\"interactive\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("dht_queue_depth{class=\"interactive\"} 1"));
+        assert!(text.contains("dht_connections 3"));
+        assert!(text.contains("dht_graph_served_total{graph=\"web\"} 0"));
+        assert!(text.contains("dht_request_latency_seconds_count{class=\"all\"} 1"));
+        assert!(text.contains("dht_traced_requests_total 1"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn slow_query_logging_is_bounded_rate() {
+        let metrics = Metrics::new(1, &["default"]);
+        assert!(metrics.record_slow(), "first slow query logs");
+        // Immediately after, the gate is closed (interval not elapsed).
+        assert!(!metrics.record_slow());
+        assert!(!metrics.record_slow());
+        // Counter still counts every slow query, logged or not.
+        let text = metrics.render_exposition(0, 0, 1, 1, 0);
+        assert!(text.contains("dht_slow_queries_total 3"), "{text}");
     }
 
     #[test]

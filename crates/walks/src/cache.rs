@@ -715,6 +715,11 @@ pub struct QueryCtx {
     y_tick: u64,
     y_hits: u64,
     y_misses: u64,
+    /// Per-query trace spans ([`dht_obs::Trace`]): disabled by default, so
+    /// every recording site below costs one branch.  Enabled per session by
+    /// the `TRACE` wire prefix / `--trace 1`; only ever reads clocks and
+    /// bumps counters, never perturbs answers.
+    trace: dht_obs::Trace,
 }
 
 /// Maximum number of Y-bound tables a context keeps (each is
@@ -808,6 +813,16 @@ impl QueryCtx {
         (self.y_hits, self.y_misses)
     }
 
+    /// The per-query trace carried by this context (disabled by default).
+    pub fn trace(&self) -> &dht_obs::Trace {
+        &self.trace
+    }
+
+    /// Mutable access to the trace — enable/disable/reset between queries.
+    pub fn trace_mut(&mut self) -> &mut dht_obs::Trace {
+        &mut self.trace
+    }
+
     /// Drops all cached columns and tables, keeping allocations and
     /// counters.  On a shared store this clears the **cross-session** cache
     /// (every session of the engine sees the drop).
@@ -880,13 +895,16 @@ impl QueryCtx {
     ) -> Arc<[f64]> {
         let sig = graph_scoped_sig(graph, dht_column_sig(params, d, engine));
         if let Some(column) = self.columns.get(sig, target.0) {
+            self.trace.event(dht_obs::Phase::ColumnHit);
             return column;
         }
+        let started = self.trace.begin();
         let mut scratch = self.pool.acquire();
         let mut scores = Vec::new();
         backward_dht_into(graph, params, target, d, engine, &mut scratch, &mut scores);
         let column: Arc<[f64]> = scores.into();
         self.columns.insert(sig, target.0, column.clone());
+        self.trace.finish(started, dht_obs::Phase::ColumnBuild);
         column
     }
 
@@ -948,6 +966,7 @@ impl QueryCtx {
         let pool = &self.pool;
         if !self.columns.is_enabled() {
             // Uncached fast path: identical to the pre-session streamer.
+            let started = self.trace.begin();
             dht_par::stream_map_ordered(
                 threads,
                 targets,
@@ -955,6 +974,7 @@ impl QueryCtx {
                 |scratch, &target| produce(scratch, target),
                 |&target, column| consume(target, &column),
             );
+            self.trace.finish(started, dht_obs::Phase::ColumnBuild);
             return;
         }
         /// Chunk length per parallel round, in items per worker (matches
@@ -972,12 +992,24 @@ impl QueryCtx {
                 .filter(|(_, slot)| slot.is_none())
                 .map(|(i, _)| (i, chunk[i]))
                 .collect();
+            for _ in 0..chunk.len() - missing.len() {
+                self.trace.event(dht_obs::Phase::ColumnHit);
+            }
+            // One build span per parallel round (the workers share the
+            // wall-clock; per-column timers across threads would not add
+            // up to anything meaningful).
+            let started = if missing.is_empty() {
+                None
+            } else {
+                self.trace.begin()
+            };
             let computed = dht_par::parallel_map_init(
                 threads,
                 &missing,
                 || pool.acquire(),
                 |scratch, _, &(_, target)| -> Arc<[f64]> { produce(scratch, target).into() },
             );
+            self.trace.finish(started, dht_obs::Phase::ColumnBuild);
             for (&(slot_index, target), column) in missing.iter().zip(computed) {
                 self.columns.insert(sig, target.0, column.clone());
                 slots[slot_index] = Some(column);
@@ -1012,16 +1044,19 @@ impl QueryCtx {
             if let Some(store) = &self.shared_y {
                 if let Some(table) = store.get(key) {
                     self.y_hits += 1;
+                    self.trace.event(dht_obs::Phase::YHit);
                     return table;
                 }
             } else if let Some((stamp, table)) = self.y_tables.get_mut(&key) {
                 self.y_tick += 1;
                 *stamp = self.y_tick;
                 self.y_hits += 1;
+                self.trace.event(dht_obs::Phase::YHit);
                 return table.clone();
             }
         }
         self.y_misses += 1;
+        let span_started = self.trace.begin();
         // Built outside any lock: on the shared store, racing sessions may
         // each build the (bit-identical) table, but none blocks another.
         let mut scratch = self.pool.acquire();
@@ -1054,6 +1089,7 @@ impl QueryCtx {
                 }
             }
         }
+        self.trace.finish(span_started, dht_obs::Phase::YBuild);
         table
     }
 }

@@ -61,3 +61,6 @@ pub use cache::{
 pub use forward::AbsorbingWalk;
 pub use frontier::{ScratchPool, WalkEngine, WalkScratch};
 pub use params::{DhtParams, ParamsError};
+// Re-exported so the join layers can record trace phases without taking a
+// direct `dht-obs` dependency.
+pub use dht_obs::{Phase, SpanGuard, Trace};

@@ -1,0 +1,201 @@
+//! Property-based parity tests for the observability layer: enabling
+//! per-query trace spans on a [`Session`] must be **bit-identical** to
+//! running with tracing disabled — same pairs, same order, same exact f64
+//! score bits — for every two-way algorithm and the n-way joins, at every
+//! tested thread count (`DHT_TEST_THREADS`, default 1 and 4).
+//!
+//! This is the contract that makes tracing safe to leave reachable in
+//! production: spans only *observe* the query; they may never change what
+//! it answers.
+
+use proptest::prelude::*;
+
+use dht_nway::core::multiway::NWayAlgorithm;
+use dht_nway::core::twoway::TwoWayAlgorithm;
+use dht_nway::engine::{Engine, EngineConfig, EngineOutput};
+use dht_nway::prelude::*;
+use dht_nway::walks::Phase;
+
+/// Strategy: a random Erdős–Rényi-style directed weighted graph given as an
+/// edge list over `n` nodes.
+fn er_graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (6usize..24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.25f64..4.0), 1..(n * 4));
+        (Just(n), edges)
+    })
+}
+
+/// Strategy: a stream of up to 6 two-way queries, each `(algorithm index,
+/// swap P/Q flag, k)` — repeats across both orientations exercise the
+/// cache-hit trace events alongside the build spans.
+fn stream_strategy() -> impl Strategy<Value = Vec<(u32, u32, usize)>> {
+    proptest::collection::vec((0u32..5, 0u32..2, 1usize..7), 2..6)
+}
+
+fn build_graph(n: usize, edges: &[(u32, u32, f64)]) -> Graph {
+    let mut builder = GraphBuilder::with_nodes(n);
+    for &(u, v, w) in edges {
+        if u != v {
+            builder
+                .add_edge(NodeId(u), NodeId(v), w)
+                .expect("valid endpoints");
+        }
+    }
+    builder.build().expect("generated graph is valid")
+}
+
+fn split_sets(n: usize) -> (NodeSet, NodeSet) {
+    let half = (n as u32 / 2).max(1);
+    (
+        NodeSet::new("P", (0..half).map(NodeId)),
+        NodeSet::new("Q", (half..n as u32).map(NodeId)),
+    )
+}
+
+fn engine_at(graph: &Graph, threads: usize) -> Engine {
+    Engine::with_config(
+        graph.clone(),
+        EngineConfig::paper_default().with_threads(threads),
+    )
+}
+
+/// Thread counts under test (CI matrix sets `DHT_TEST_THREADS`).
+fn thread_counts() -> Vec<usize> {
+    dht_nway::par::test_thread_counts(&[1, 4])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// Two-way query streams: traced session ≡ untraced session, bitwise,
+    /// at 1 and 4 threads — and the traced session actually records spans.
+    #[test]
+    fn traced_two_way_streams_are_bit_identical(
+        (n, edges) in er_graph_strategy(),
+        stream in stream_strategy(),
+    ) {
+        let graph = build_graph(n, &edges);
+        let (p, q) = split_sets(n);
+        prop_assume!(!p.is_empty() && !q.is_empty());
+        for threads in thread_counts() {
+            let engine = engine_at(&graph, threads);
+            let mut plain = engine.session();
+            let mut traced = engine.session();
+            traced.set_trace_enabled(true);
+            for &(algo, swap, k) in &stream {
+                let algorithm = TwoWayAlgorithm::ALL[algo as usize];
+                let (left, right) = if swap == 1 { (&q, &p) } else { (&p, &q) };
+                let spec = QuerySpec::TwoWay(
+                    TwoWaySpec::new(left.clone(), right.clone(), k).with_fixed(algorithm));
+                let a = plain.run(&spec).expect("valid query");
+                let b = traced.run(&spec).expect("valid query");
+                let (EngineOutput::TwoWay(a), EngineOutput::TwoWay(b)) = (a, b) else {
+                    panic!("two-way specs answer two-way outputs");
+                };
+                prop_assert_eq!(a.pairs.len(), b.pairs.len(),
+                    "{} threads={} k={}", algorithm.name(), threads, k);
+                for (x, y) in a.pairs.iter().zip(b.pairs.iter()) {
+                    prop_assert_eq!((x.left, x.right), (y.left, y.right),
+                        "{} threads={}", algorithm.name(), threads);
+                    prop_assert!(x.score == y.score,
+                        "{} threads={}: traced score {} != plain {}",
+                        algorithm.name(), threads, x.score, y.score);
+                }
+                prop_assert_eq!(&a.stats, &b.stats, "stats diverged under tracing");
+            }
+            // Tracing observed the stream: the join phase ran at least once
+            // per query, and the comment renders in wire shape.
+            prop_assert!(traced.trace().phase_count(Phase::Join) >= stream.len() as u64);
+            prop_assert!(traced.trace().render_comment(1.0).starts_with("# trace: total_ms=1.000"));
+            // The untraced session recorded nothing.
+            prop_assert_eq!(plain.trace().phase_count(Phase::Join), 0);
+        }
+    }
+
+    /// N-way joins answer identically with tracing on, for AP, PJ and PJ-i
+    /// (the joins that route through the cached two-way machinery).
+    #[test]
+    fn traced_n_way_joins_are_bit_identical(
+        (n, edges) in er_graph_strategy(),
+        m in 1usize..6,
+        k in 1usize..6,
+    ) {
+        let graph = build_graph(n, &edges);
+        let third = (n as u32 / 3).max(1);
+        let sets = vec![
+            NodeSet::new("A", (0..third).map(NodeId)),
+            NodeSet::new("B", (third..2 * third).map(NodeId)),
+            NodeSet::new("C", (2 * third..n as u32).map(NodeId)),
+        ];
+        prop_assume!(sets.iter().all(|s| !s.is_empty()));
+        let query = QueryGraph::chain(3);
+        for threads in thread_counts() {
+            let engine = engine_at(&graph, threads);
+            let mut plain = engine.session();
+            let mut traced = engine.session();
+            traced.set_trace_enabled(true);
+            for algorithm in [
+                NWayAlgorithm::AllPairs,
+                NWayAlgorithm::PartialJoin { m },
+                NWayAlgorithm::IncrementalPartialJoin { m },
+            ] {
+                let spec = QuerySpec::NWay(
+                    NWaySpec::new(query.clone(), sets.clone(), k)
+                        .with_aggregate(Aggregate::Min)
+                        .with_fixed(algorithm));
+                let a = plain.run(&spec).expect("valid query");
+                let b = traced.run(&spec).expect("valid query");
+                let (EngineOutput::NWay(a), EngineOutput::NWay(b)) = (a, b) else {
+                    panic!("n-way specs answer n-way outputs");
+                };
+                prop_assert_eq!(a.answers.len(), b.answers.len(),
+                    "{} threads={}", algorithm.name(), threads);
+                for (x, y) in a.answers.iter().zip(b.answers.iter()) {
+                    prop_assert_eq!(&x.nodes, &y.nodes,
+                        "{} threads={}", algorithm.name(), threads);
+                    prop_assert!(x.score == y.score,
+                        "{} threads={}: traced {} != plain {}",
+                        algorithm.name(), threads, x.score, y.score);
+                }
+            }
+            prop_assert!(traced.trace().phase_count(Phase::Join) > 0);
+        }
+    }
+
+    /// Toggling tracing mid-stream neither leaks spans nor perturbs the
+    /// answers that follow — the session can flip per request, which is
+    /// exactly what the server's `TRACE` prefix does.
+    #[test]
+    fn toggling_tracing_mid_stream_is_clean(
+        (n, edges) in er_graph_strategy(),
+        k in 1usize..7,
+    ) {
+        let graph = build_graph(n, &edges);
+        let (p, q) = split_sets(n);
+        prop_assume!(!p.is_empty() && !q.is_empty());
+        let engine = engine_at(&graph, 1);
+        let mut session = engine.session();
+        let spec = QuerySpec::TwoWay(
+            TwoWaySpec::new(p.clone(), q.clone(), k).with_fixed(TwoWayAlgorithm::BackwardIdjY));
+        let run_pairs = |session: &mut Session| match session.run(&spec).expect("valid query") {
+            EngineOutput::TwoWay(out) => out.pairs,
+            EngineOutput::NWay(_) => unreachable!("two-way spec"),
+        };
+        let reference = run_pairs(&mut session);
+        session.set_trace_enabled(true);
+        let traced = run_pairs(&mut session);
+        prop_assert!(session.trace().phase_count(Phase::Join) > 0);
+        session.set_trace_enabled(false);
+        prop_assert_eq!(session.trace().phase_count(Phase::Join), 0,
+            "disabling tracing must clear the recorded spans");
+        let after = run_pairs(&mut session);
+        for (x, y) in reference.iter().zip(traced.iter()) {
+            prop_assert_eq!((x.left, x.right), (y.left, y.right));
+            prop_assert!(x.score == y.score);
+        }
+        for (x, y) in reference.iter().zip(after.iter()) {
+            prop_assert_eq!((x.left, x.right), (y.left, y.right));
+            prop_assert!(x.score == y.score);
+        }
+    }
+}
